@@ -1,0 +1,47 @@
+//! Figure 5 (measured): TTFT vs context length for fully-cached prompts.
+//! Baseline prefill grows quadratically with length; Prompt Cache's
+//! fetch-and-concat path grows linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pc_model::{Model, ModelConfig};
+use pc_tokenizer::WordTokenizer;
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+use std::time::Duration;
+
+fn cache_advantage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_advantage");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(4));
+
+    for &n in &[128usize, 256, 512, 1024] {
+        let doc: String = (0..n - 1).map(|i| format!("w{} ", i % 97)).collect();
+        let tokenizer = WordTokenizer::train(&[doc.as_str(), "go"]);
+        let vocab = tokenizer.vocab().len().max(64);
+        let engine = PromptCache::new(
+            Model::new(ModelConfig::llama_small(vocab), 1),
+            tokenizer,
+            EngineConfig::default(),
+        );
+        let schema = format!(r#"<schema name="s"><module name="doc">{doc}</module></schema>"#);
+        engine.register_schema(&schema).unwrap();
+        let prompt = r#"<prompt schema="s"><doc/>go</prompt>"#;
+        let opts = ServeOptions {
+            max_new_tokens: 1,
+            ..Default::default()
+        };
+
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
+            b.iter(|| engine.serve_baseline(prompt, &opts).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("prompt_cache", n), &n, |b, _| {
+            b.iter(|| engine.serve_with(prompt, &opts).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cache_advantage);
+criterion_main!(benches);

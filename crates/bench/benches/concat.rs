@@ -1,0 +1,58 @@
+//! Concat ablation (§4.2): the buffered concatenation arena vs naive
+//! fresh-allocation concatenation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_cache::arena::naive_concat;
+use pc_cache::ConcatArena;
+use pc_model::KvCache;
+use std::time::Duration;
+
+fn segment(tokens: usize, marker: u64) -> KvCache {
+    let mut c = KvCache::with_shape(4, 128);
+    let row: Vec<f32> = (0..128).map(|i| ((marker + i as u64) as f32).sin()).collect();
+    for t in 0..tokens {
+        for l in 0..4 {
+            c.push_token_layer(l, &row, &row);
+        }
+        c.push_position(t);
+    }
+    c
+}
+
+fn concat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concat");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for &num_segments in &[2usize, 8, 32] {
+        let segments: Vec<KvCache> = (0..num_segments)
+            .map(|i| segment(128, i as u64))
+            .collect();
+        let refs: Vec<&KvCache> = segments.iter().collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("arena", num_segments),
+            &num_segments,
+            |b, _| {
+                let mut arena = ConcatArena::new(&segments[0]);
+                arena.rebuild(&refs).unwrap();
+                b.iter(|| {
+                    std::hint::black_box(arena.rebuild(&refs).unwrap());
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", num_segments),
+            &num_segments,
+            |b, _| {
+                b.iter(|| std::hint::black_box(naive_concat(&refs).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, concat);
+criterion_main!(benches);

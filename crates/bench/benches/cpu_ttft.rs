@@ -1,0 +1,41 @@
+//! Figure 4 (measured): CPU TTFT, baseline KV cache vs Prompt Cache, on
+//! scaled LongBench workloads. One criterion group per dataset with two
+//! functions — the bar pairs of the paper's figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_longbench::{DatasetSpec, Workload};
+use pc_model::Family;
+use prompt_cache::ServeOptions;
+use std::time::Duration;
+
+fn cpu_ttft(c: &mut Criterion) {
+    // A QA dataset (tiny uncached tail) and the few-shot outlier (large
+    // uncached tail) — the two extremes of Figure 4.
+    for name in ["2WikiMultihopQA", "TriviaQA", "GovReport", "MultiNews"] {
+        let spec = DatasetSpec::by_name(name).expect("dataset");
+        let sample = Workload::new(spec, 7, 0.05).sample(0);
+        let engine = pc_bench::measured::engine_for_sample(&sample, Family::Llama, 7);
+        engine.register_schema(&sample.schema_pml("lb")).unwrap();
+        let prompt = sample.prompt_pml("lb");
+        let opts = ServeOptions {
+            max_new_tokens: 1,
+            ..Default::default()
+        };
+
+        let mut group = c.benchmark_group(format!("cpu_ttft/{name}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(3));
+        group.bench_function("baseline", |b| {
+            b.iter(|| engine.serve_baseline(&prompt, &opts).unwrap())
+        });
+        group.bench_function("prompt_cache", |b| {
+            b.iter(|| engine.serve_with(&prompt, &opts).unwrap())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, cpu_ttft);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! §5.4 memcpy microbenchmark (host→host on this machine): copying
+//! attention states for 1K–5K tokens, the linear-cost half of Figure 5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pc_model::KvCache;
+use std::time::Duration;
+
+/// One Llama-7B-layer-sized state block per token: 2 × 4096 f32s.
+fn states(tokens: usize) -> KvCache {
+    let mut cache = KvCache::with_shape(1, 4096);
+    let row = vec![1.0f32; 4096];
+    for t in 0..tokens {
+        cache.push_token_layer(0, &row, &row);
+        cache.push_position(t);
+    }
+    cache
+}
+
+fn memcpy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memcpy_h2h");
+    group
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &tokens in &[1000usize, 2500, 5000] {
+        let src = states(tokens);
+        let bytes = src.size_bytes() as u64;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::from_parameter(tokens), &tokens, |b, _| {
+            let mut dst = KvCache::with_shape(1, 4096);
+            dst.append(&src).unwrap();
+            b.iter(|| {
+                dst.truncate(0);
+                dst.append(&src).unwrap();
+                std::hint::black_box(dst.len());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, memcpy);
+criterion_main!(benches);

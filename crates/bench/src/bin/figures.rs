@@ -1,0 +1,44 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p pc-bench --bin figures -- all
+//! cargo run --release -p pc-bench --bin figures -- fig3 table2
+//! cargo run --release -p pc-bench --bin figures -- --quick all
+//! ```
+//!
+//! Markdown goes to stdout; JSON results are written to `results/<id>.json`
+//! relative to the working directory.
+
+use pc_bench::experiments::{run, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ids: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
+        ALL_IDS.to_vec()
+    } else {
+        requested
+    };
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    for id in ids {
+        let Some(report) = run(id, quick) else {
+            eprintln!("unknown experiment `{id}`; known: {ALL_IDS:?}");
+            std::process::exit(2);
+        };
+        println!("\n## {}\n", report.title);
+        println!("{}", report.markdown);
+        let path = format!("results/{}.json", report.id);
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&report.json).expect("serialise"),
+        )
+        .expect("write results");
+        eprintln!("[figures] wrote {path}");
+    }
+}

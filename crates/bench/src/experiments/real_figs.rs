@@ -1,0 +1,243 @@
+//! Measured experiments on the real engine: Table 1 and the §5.6 use
+//! cases (Figures 6, 7, 8).
+
+use super::Report;
+use crate::emit::{fmt_speedup, fmt_time_s, Table};
+use crate::measured::{measure_accuracy, DEFAULT_SCALE};
+use pc_longbench::datasets::{DatasetSpec, FIGURE_SET};
+use pc_model::{Family, Model, ModelConfig};
+use pc_tokenizer::WordTokenizer;
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+use serde_json::json;
+
+/// Table 1: output fidelity of cached inference vs baseline across model
+/// families on the figure datasets. The paper reports task scores; with
+/// seeded random weights those are meaningless, so the reproduced claim
+/// is the one Table 1 exists to make — cached ≈ baseline — measured as
+/// score deltas and exact-output agreement.
+pub fn table1(quick: bool) -> Report {
+    let families = [Family::Llama, Family::Falcon, Family::Mpt, Family::Gpt2];
+    let datasets: Vec<&str> = if quick {
+        vec!["NarrativeQA", "TriviaQA"]
+    } else {
+        FIGURE_SET.to_vec()
+    };
+    let samples = if quick { 1 } else { 3 };
+    let mut table = Table::new(&[
+        "Dataset", "Metric", "Family", "Baseline", "Cached", "Δ", "Output agreement",
+        "Comparable (2σ)",
+    ]);
+    let mut rows = Vec::new();
+    for name in &datasets {
+        let spec = DatasetSpec::by_name(name).expect("dataset");
+        for family in families {
+            let a = measure_accuracy(spec, family, samples, DEFAULT_SCALE);
+            table.row(&[
+                a.dataset.clone(),
+                a.metric.clone(),
+                a.family.clone(),
+                format!("{:.3}±{:.3}", a.baseline_score, a.baseline_std),
+                format!("{:.3}±{:.3}", a.cached_score, a.cached_std),
+                format!("{:+.3}", a.cached_score - a.baseline_score),
+                format!("{:.0}%", a.agreement * 100.0),
+                a.comparable.to_string(),
+            ]);
+            rows.push(serde_json::to_value(&a).expect("serialisable"));
+        }
+    }
+    Report {
+        id: "table1",
+        title: "Table 1 — output fidelity: cached vs baseline across architectures",
+        markdown: format!(
+            "{}\nThe paper's claim is comparability (deltas within noise); here the \
+             engine is exact for single-module prompts and near-exact under the \
+             documented multi-module masking approximation.\n",
+            table.to_markdown()
+        ),
+        json: json!({ "rows": rows }),
+    }
+}
+
+/// Shared runner for the §5.6 use cases: serve a schema/prompt pair with
+/// the real engine, compare against the baseline path.
+fn usecase(
+    id: &'static str,
+    title: &'static str,
+    corpus_texts: &[&str],
+    schema: &str,
+    prompt: &str,
+    paper_note: &str,
+) -> Report {
+    let tokenizer = WordTokenizer::train(corpus_texts);
+    let vocab = tokenizer.vocab().len().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_small(vocab), 9),
+        tokenizer,
+        EngineConfig::default(),
+    );
+    engine.register_schema(schema).unwrap();
+    let opts = ServeOptions {
+        max_new_tokens: 8,
+        ..Default::default()
+    };
+    engine.serve_with(prompt, &opts).unwrap();
+    engine.serve_baseline(prompt, &opts).unwrap();
+    let mut best_cached = f64::MAX;
+    let mut best_base = f64::MAX;
+    let mut cached = None;
+    let mut baseline = None;
+    for _ in 0..3 {
+        let c = engine.serve_with(prompt, &opts).unwrap();
+        best_cached = best_cached.min(c.timings.ttft.as_secs_f64());
+        cached = Some(c);
+        let b = engine.serve_baseline(prompt, &opts).unwrap();
+        best_base = best_base.min(b.timings.ttft.as_secs_f64());
+        baseline = Some(b);
+    }
+    let cached = cached.expect("ran");
+    let baseline = baseline.expect("ran");
+    let speedup = best_base / best_cached;
+    let identical = cached.tokens == baseline.tokens;
+
+    let mut table = Table::new(&["Quantity", "Value"]);
+    table.row(&["cached tokens".into(), cached.stats.cached_tokens.to_string()]);
+    table.row(&["uncached tokens".into(), cached.stats.new_tokens.to_string()]);
+    table.row(&["baseline TTFT".into(), fmt_time_s(best_base)]);
+    table.row(&["Prompt Cache TTFT".into(), fmt_time_s(best_cached)]);
+    table.row(&["speedup".into(), fmt_speedup(speedup)]);
+    table.row(&["outputs identical".into(), identical.to_string()]);
+    Report {
+        id,
+        title,
+        markdown: format!("{}\n{paper_note}\n", table.to_markdown()),
+        json: json!({
+            "baseline_s": best_base, "cached_s": best_cached, "speedup": speedup,
+            "outputs_identical": identical,
+            "cached_tokens": cached.stats.cached_tokens,
+            "new_tokens": cached.stats.new_tokens,
+        }),
+    }
+}
+
+/// Figure 6: multi-file code generation — each source file is a module.
+pub fn fig6_code_generation() -> Report {
+    let corpus = pc_longbench::corpus::Corpus::new(6);
+    let files: Vec<(String, String)> = ["unit", "map", "game", "player"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (name.to_string(), corpus.code_file(i as u64, 120)))
+        .collect();
+    let mut schema = String::from(r#"<schema name="codegen">"#);
+    for (name, code) in &files {
+        schema.push_str(&format!(r#"<module name="{name}">{code}</module>"#));
+    }
+    schema.push_str("</schema>");
+    let prompt = r#"<prompt schema="codegen"><unit/><map/><game/><player/>write the next function now please</prompt>"#;
+    let texts: Vec<&str> = files
+        .iter()
+        .map(|(_, c)| c.as_str())
+        .chain(["write the next function now please"])
+        .collect();
+    usecase(
+        "fig6",
+        "Figure 6 — code generation with source files as prompt modules",
+        &texts,
+        &schema,
+        prompt,
+        "Paper: 4× TTFT improvement on GPU with identical output (CodeLlama 7B).",
+    )
+}
+
+/// Figure 7: personalization — six trait categories, five traits each,
+/// grouped in unions.
+pub fn fig7_personalization() -> Report {
+    let categories = [
+        ("grade", "the learner is in grade level"),
+        ("proficiency", "the learner proficiency is"),
+        ("history", "the learner previously studied topic"),
+        ("style", "the learner prefers a learning style of"),
+        ("assessment", "the learner will be assessed with"),
+        ("goal", "the learner long term goal is"),
+    ];
+    let traits = ["alpha", "beta", "gamma", "delta", "epsilon"];
+    let mut schema = String::from(r#"<schema name="persona">you are an education assistant "#);
+    let mut corpus_text =
+        String::from("you are an education assistant recommend the next lesson now");
+    for (cat, desc) in &categories {
+        schema.push_str("<union>");
+        for t in traits {
+            let body = format!("{desc} {t} which shapes every recommendation made");
+            schema.push_str(&format!(r#"<module name="{cat}-{t}">{body}</module>"#));
+            corpus_text.push(' ');
+            corpus_text.push_str(&body);
+        }
+        schema.push_str("</union>");
+    }
+    schema.push_str("</schema>");
+    let prompt = r#"<prompt schema="persona"><grade-alpha/><proficiency-gamma/><history-beta/><style-delta/><assessment-alpha/><goal-epsilon/>recommend the next lesson now</prompt>"#;
+    usecase(
+        "fig7",
+        "Figure 7 — personalization: 6 trait categories × 5 traits in unions",
+        &[corpus_text.as_str()],
+        &schema,
+        prompt,
+        "Paper: feature-based personalization with per-category unions; latency \
+         drops as cached trait tokens grow, output quality maintained.",
+    )
+}
+
+/// Figure 8: parameterized prompts — trip-plan with a duration parameter
+/// and two destination unions.
+pub fn fig8_parameterized() -> Report {
+    let schema = r#"
+      <schema name="travel">
+        you are an experienced travel planner
+        <module name="trip-plan">
+          plan a trip with a duration of <param name="duration" len="3"/> and
+          include practical notes on budget weather and local transport
+        </module>
+        <union>
+          <module name="miami">miami florida offers beaches surfing nightlife and cuban food year round</module>
+          <module name="seattle">seattle washington offers mountains coffee museums and rainy charm</module>
+        </union>
+        <union>
+          <module name="hotel">the traveler stays in a downtown hotel with breakfast</module>
+          <module name="hostel">the traveler stays in a social hostel near the center</module>
+        </union>
+      </schema>"#;
+    let prompt = r#"<prompt schema="travel"><trip-plan duration="three days"/><miami/><hostel/>make the itinerary now</prompt>"#;
+    let corpus = "you are an experienced travel planner plan a trip with a duration of and \
+        include practical notes on budget weather and local transport miami florida offers \
+        beaches surfing nightlife and cuban food year round seattle washington offers mountains \
+        coffee museums and rainy charm the traveler stays in a downtown hotel with breakfast \
+        the traveler stays in a social hostel near the center make the itinerary now three days";
+    usecase(
+        "fig8",
+        "Figure 8 — parameterized prompts: trip-plan with runtime arguments",
+        &[corpus],
+        schema,
+        prompt,
+        "Paper: the templated prompt is reconfigured at runtime (duration \
+         argument, destination/lodging unions) while keeping caching efficiency.",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_serves_with_params_and_unions() {
+        let r = fig8_parameterized();
+        assert!(r.json["cached_tokens"].as_u64().unwrap() > 20);
+        assert!(r.json["new_tokens"].as_u64().unwrap() > 0);
+        assert!(r.json["speedup"].as_f64().unwrap() > 0.5);
+    }
+
+    #[test]
+    fn table1_quick_runs_all_families() {
+        let r = table1(true);
+        // 2 datasets × 4 families.
+        assert_eq!(r.json["rows"].as_array().unwrap().len(), 8);
+    }
+}

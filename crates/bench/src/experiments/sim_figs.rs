@@ -1,0 +1,480 @@
+//! Simulated paper-scale figures (3, 4, 5, Table 2, §5.4 micro-results)
+//! plus measured counterparts where the real engine can contribute.
+
+use super::Report;
+use crate::emit::{fmt_speedup, fmt_time_s, Table};
+use crate::measured;
+use pc_longbench::datasets::{DatasetSpec, ALL, FIGURE_SET};
+use pc_simulator::devices::{CPUS, GPUS, INTEL_I9_13900K, RTX_4090};
+use pc_simulator::models::{LLAMA_13B, LLAMA_7B, TABLE2_MODELS};
+use pc_simulator::{baseline_ttft, prompt_cache_ttft, ModuleLocation};
+use serde_json::json;
+
+/// Figure 3: GPU TTFT for the eight figure datasets on three GPUs, with
+/// modules in CPU memory (yellow bars) and GPU memory (blue bars).
+pub fn fig3() -> Report {
+    let mut table = Table::new(&[
+        "Dataset", "GPU", "Baseline", "PC (CPU mem)", "PC (GPU mem)", "Speedup (CPU mem)",
+        "Speedup (GPU mem)",
+    ]);
+    let mut rows = Vec::new();
+    for name in FIGURE_SET {
+        let spec = DatasetSpec::by_name(name).expect("figure dataset");
+        let (n, cached) = (spec.total_tokens(), spec.context_tokens);
+        for gpu in &GPUS {
+            let base = baseline_ttft(&LLAMA_7B, gpu, n);
+            let host = prompt_cache_ttft(&LLAMA_7B, gpu, n, cached, ModuleLocation::HostMemory);
+            let dev = prompt_cache_ttft(&LLAMA_7B, gpu, n, cached, ModuleLocation::DeviceMemory);
+            table.row(&[
+                name.to_string(),
+                gpu.name.to_string(),
+                fmt_time_s(base.total_s),
+                fmt_time_s(host.total_s),
+                fmt_time_s(dev.total_s),
+                fmt_speedup(base.total_s / host.total_s),
+                fmt_speedup(base.total_s / dev.total_s),
+            ]);
+            rows.push(json!({
+                "dataset": name, "gpu": gpu.name, "baseline_s": base.total_s,
+                "pc_cpu_mem_s": host.total_s, "pc_gpu_mem_s": dev.total_s,
+            }));
+        }
+    }
+    Report {
+        id: "fig3",
+        title: "Figure 3 — GPU TTFT, LongBench × {RTX 4090, A40, A100} (simulated, Llama-7B)",
+        markdown: format!(
+            "{}\nPaper bands: 1.5–3× with modules in CPU memory, 5–10× in GPU memory.\n",
+            table.to_markdown()
+        ),
+        json: json!({ "rows": rows }),
+    }
+}
+
+/// Figure 4: CPU TTFT on the Intel and AMD hosts (simulated at paper
+/// scale) plus a measured scaled-down analogue on this machine.
+pub fn fig4(quick: bool) -> Report {
+    let mut table = Table::new(&["Dataset", "CPU", "Baseline", "Prompt Cache", "Speedup"]);
+    let mut rows = Vec::new();
+    for name in FIGURE_SET {
+        let spec = DatasetSpec::by_name(name).expect("figure dataset");
+        let (n, cached) = (spec.total_tokens(), spec.context_tokens);
+        for cpu in &CPUS {
+            let base = baseline_ttft(&LLAMA_7B, cpu, n);
+            let pc = prompt_cache_ttft(&LLAMA_7B, cpu, n, cached, ModuleLocation::HostMemory);
+            table.row(&[
+                name.to_string(),
+                cpu.name.to_string(),
+                fmt_time_s(base.total_s),
+                fmt_time_s(pc.total_s),
+                fmt_speedup(base.total_s / pc.total_s),
+            ]);
+            rows.push(json!({
+                "dataset": name, "cpu": cpu.name,
+                "baseline_s": base.total_s, "pc_s": pc.total_s,
+            }));
+        }
+    }
+
+    // Measured analogue on this machine, scaled workloads.
+    let mut measured_table = Table::new(&[
+        "Dataset (measured, scaled)", "Cached/new tokens", "Baseline", "Prompt Cache", "Speedup",
+    ]);
+    let datasets: &[&str] = if quick {
+        &["2WikiMultihopQA", "TriviaQA"]
+    } else {
+        &FIGURE_SET
+    };
+    let mut measured_rows = Vec::new();
+    for name in datasets {
+        let spec = DatasetSpec::by_name(name).expect("dataset");
+        let m = measured::measure_dataset(spec, measured::DEFAULT_SCALE, 3);
+        measured_table.row(&[
+            m.dataset.clone(),
+            format!("{}/{}", m.cached_tokens, m.new_tokens),
+            fmt_time_s(m.baseline_s),
+            fmt_time_s(m.cached_s),
+            fmt_speedup(m.speedup),
+        ]);
+        measured_rows.push(serde_json::to_value(&m).expect("serialisable"));
+    }
+
+    Report {
+        id: "fig4",
+        title: "Figure 4 — CPU TTFT (simulated at paper scale + measured scaled runs)",
+        markdown: format!(
+            "{}\nPaper bands: up to 70× (Intel/DDR5), up to 20× (AMD/DDR4).\n\n{}\n",
+            table.to_markdown(),
+            measured_table.to_markdown()
+        ),
+        json: json!({ "simulated": rows, "measured": measured_rows }),
+    }
+}
+
+/// Figure 5: TTFT vs sequence length — baseline quadratic, Prompt Cache
+/// linear. Simulated at paper scale; measured sweep on the real engine.
+pub fn fig5(quick: bool) -> Report {
+    let lengths = [1000usize, 2000, 3000, 4000, 5000];
+    let mut table = Table::new(&[
+        "Tokens", "i9 baseline", "i9 PC", "4090 baseline", "4090 PC", "A40 baseline", "A40 PC",
+    ]);
+    let mut rows = Vec::new();
+    for &n in &lengths {
+        let i9b = baseline_ttft(&LLAMA_7B, &INTEL_I9_13900K, n).total_s;
+        let i9p = prompt_cache_ttft(&LLAMA_7B, &INTEL_I9_13900K, n, n, ModuleLocation::HostMemory)
+            .total_s;
+        let g1b = baseline_ttft(&LLAMA_7B, &RTX_4090, n).total_s;
+        let g1p =
+            prompt_cache_ttft(&LLAMA_7B, &RTX_4090, n, n, ModuleLocation::HostMemory).total_s;
+        let g2b = baseline_ttft(&LLAMA_7B, &pc_simulator::devices::A40, n).total_s;
+        let g2p = prompt_cache_ttft(
+            &LLAMA_7B,
+            &pc_simulator::devices::A40,
+            n,
+            n,
+            ModuleLocation::HostMemory,
+        )
+        .total_s;
+        table.row(&[
+            n.to_string(),
+            fmt_time_s(i9b),
+            fmt_time_s(i9p),
+            fmt_time_s(g1b),
+            fmt_time_s(g1p),
+            fmt_time_s(g2b),
+            fmt_time_s(g2p),
+        ]);
+        rows.push(json!({
+            "tokens": n, "i9_baseline_s": i9b, "i9_pc_s": i9p,
+            "rtx4090_baseline_s": g1b, "rtx4090_pc_s": g1p,
+            "a40_baseline_s": g2b, "a40_pc_s": g2p,
+        }));
+    }
+
+    // Measured sweep: fully-cached synthetic prompts on the real engine.
+    let sweep: &[usize] = if quick {
+        &[128, 256]
+    } else {
+        &[128, 256, 512, 1024]
+    };
+    let mut measured_table =
+        Table::new(&["Tokens (measured)", "Baseline", "Prompt Cache", "Speedup"]);
+    let mut measured_rows = Vec::new();
+    for &n in sweep {
+        let (b, p) = measured_fully_cached(n);
+        measured_table.row(&[
+            n.to_string(),
+            fmt_time_s(b),
+            fmt_time_s(p),
+            fmt_speedup(b / p),
+        ]);
+        measured_rows.push(json!({ "tokens": n, "baseline_s": b, "pc_s": p }));
+    }
+
+    Report {
+        id: "fig5",
+        title: "Figure 5 — cache advantage: quadratic compute vs linear copy",
+        markdown: format!(
+            "{}\n{}\nThe baseline column grows superlinearly; the PC column is \
+             dominated by linear memcpy (plus fixed overhead at paper scale).\n",
+            table.to_markdown(),
+            measured_table.to_markdown()
+        ),
+        json: json!({ "simulated": rows, "measured": measured_rows }),
+    }
+}
+
+/// Measured fully-cached TTFT at context length `n`: one synthetic module
+/// of `n` tokens, one-word question. Returns `(baseline_s, pc_s)`.
+pub fn measured_fully_cached(n: usize) -> (f64, f64) {
+    use pc_model::{Model, ModelConfig};
+    use pc_tokenizer::WordTokenizer;
+    use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+
+    let doc: String = (0..n.saturating_sub(1).max(1))
+        .map(|i| format!("w{} ", i % 97))
+        .collect();
+    let tokenizer = WordTokenizer::train(&[doc.as_str(), "go"]);
+    let vocab = tokenizer.vocab().len().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_small(vocab), 1),
+        tokenizer,
+        EngineConfig::default(),
+    );
+    let schema = format!(r#"<schema name="sweep"><module name="doc">{doc}</module></schema>"#);
+    engine.register_schema(&schema).unwrap();
+    let prompt = r#"<prompt schema="sweep"><doc/>go</prompt>"#;
+    let opts = ServeOptions {
+        max_new_tokens: 1,
+        ..Default::default()
+    };
+    engine.serve_with(prompt, &opts).unwrap();
+    engine.serve_baseline(prompt, &opts).unwrap();
+    let mut best_b = f64::MAX;
+    let mut best_p = f64::MAX;
+    for _ in 0..3 {
+        best_p = best_p.min(
+            engine
+                .serve_with(prompt, &opts)
+                .unwrap()
+                .timings
+                .ttft
+                .as_secs_f64(),
+        );
+        best_b = best_b.min(
+            engine
+                .serve_baseline(prompt, &opts)
+                .unwrap()
+                .timings
+                .ttft
+                .as_secs_f64(),
+        );
+    }
+    (best_b, best_p)
+}
+
+/// Table 2: MB/token for the eight-model catalog.
+pub fn table2() -> Report {
+    let paper = [0.03, 0.18, 0.50, 0.78, 1.31, 1.87, 2.5, 4.53];
+    let mut table = Table::new(&["LLM", "MB/token (paper)", "MB/token (reproduced)"]);
+    let mut rows = Vec::new();
+    for (spec, &expected) in TABLE2_MODELS.iter().zip(&paper) {
+        let got = spec.mb_per_token();
+        table.row(&[
+            spec.name.to_string(),
+            format!("{expected}"),
+            format!("{got:.2}"),
+        ]);
+        rows.push(json!({ "llm": spec.name, "paper": expected, "reproduced": got }));
+    }
+    // Extension (§6 names "utilization of grouped query attention" as a
+    // way to cut copy overhead): the same catalog under the models' real
+    // GQA/MQA head counts.
+    let gqa = [
+        ("Llama 70B (GQA, 8 kv heads)", 80usize, 8 * 128usize),
+        ("Falcon 40B (MQA)", 60, 128),
+        ("Falcon 180B (GQA, 8 kv heads)", 80, 8 * 232),
+    ];
+    let mut gqa_table = Table::new(&["LLM (real attention layout)", "MB/token", "vs MHA"]);
+    for (name, layers, kv_dim) in gqa {
+        let mb = (2 * layers * kv_dim * 2) as f64 / 1e6;
+        let mha = TABLE2_MODELS
+            .iter()
+            .find(|m| name.starts_with(m.name.split(' ').next().unwrap()))
+            .map(|m| m.mb_per_token())
+            .unwrap_or(mb);
+        gqa_table.row(&[
+            name.to_string(),
+            format!("{mb:.2}"),
+            format!("{:.1}× smaller", mha / mb),
+        ]);
+    }
+    Report {
+        id: "table2",
+        title: "Table 2 — KV memory overhead per cached token (fp16, MHA)",
+        markdown: format!(
+            "{}\n### Extension: real GQA/MQA layouts (§6's copy-overhead lever)\n{}\n",
+            table.to_markdown(),
+            gqa_table.to_markdown()
+        ),
+        json: json!({ "rows": rows }),
+    }
+}
+
+/// §5.4 memcpy micro-results: one Llama-7B layer's 5K-token states across
+/// the three copy paths, plus this machine's measured h2h bandwidth.
+pub fn memcpy() -> Report {
+    let tokens = 5000;
+    let h2h = pc_simulator::sim::layer_memcpy_s(&LLAMA_7B, tokens, 21.6e9);
+    let h2d = pc_simulator::sim::layer_memcpy_s(&LLAMA_7B, tokens, 15.3e9);
+    let d2d = pc_simulator::sim::layer_memcpy_s(&LLAMA_7B, tokens, 356.0e9);
+
+    // Measured: copy a same-size buffer on this machine.
+    let bytes = 2 * tokens * LLAMA_7B.hidden * 2;
+    let src = vec![1u8; bytes];
+    let mut dst = vec![0u8; bytes];
+    let start = std::time::Instant::now();
+    let reps = 20;
+    for _ in 0..reps {
+        dst.copy_from_slice(&src);
+        std::hint::black_box(&dst);
+    }
+    let measured_s = start.elapsed().as_secs_f64() / reps as f64;
+
+    let mut table = Table::new(&["Path", "Paper", "Reproduced"]);
+    table.row(&["host→host".into(), "3.79 ms".into(), fmt_time_s(h2h)]);
+    table.row(&["host→device".into(), "5.34 ms".into(), fmt_time_s(h2d)]);
+    table.row(&["device→device".into(), "0.23 ms".into(), fmt_time_s(d2d)]);
+    table.row(&[
+        "host→host (measured, this machine)".into(),
+        "—".into(),
+        fmt_time_s(measured_s),
+    ]);
+    Report {
+        id: "memcpy",
+        title: "§5.4 — memcpy latency for 5K-token attention states (one layer, fp16-sized)",
+        markdown: table.to_markdown(),
+        json: json!({
+            "h2h_s": h2h, "h2d_s": h2d, "d2d_s": d2d,
+            "measured_h2h_s": measured_s, "bytes": bytes,
+        }),
+    }
+}
+
+/// §5.4 model-size effect: 7B → 13B at 3K tokens.
+pub fn modelsize() -> Report {
+    let n = 3000;
+    let b7 = baseline_ttft(&LLAMA_7B, &RTX_4090, n).compute_s;
+    let b13 = baseline_ttft(&LLAMA_13B, &RTX_4090, n).compute_s;
+    let p7 = prompt_cache_ttft(&LLAMA_7B, &RTX_4090, n, n, ModuleLocation::HostMemory);
+    let p13 = prompt_cache_ttft(&LLAMA_13B, &RTX_4090, n, n, ModuleLocation::HostMemory);
+    let pc_delta = p13.copy_s - p7.copy_s;
+    let mut table = Table::new(&["Quantity", "Paper", "Reproduced"]);
+    table.row(&[
+        "baseline Δ(13B−7B)".into(),
+        "+220 ms".into(),
+        fmt_time_s(b13 - b7),
+    ]);
+    table.row(&[
+        "Prompt Cache Δ(13B−7B)".into(),
+        "+30 ms".into(),
+        fmt_time_s(pc_delta),
+    ]);
+    Report {
+        id: "modelsize",
+        title: "§5.4 — effect of model size at 3K tokens (RTX 4090)",
+        markdown: format!(
+            "{}\nShape: the baseline delta is an order of magnitude larger than \
+             Prompt Cache's (compute scales ~quadratically with hidden size, the \
+             copy linearly).\n",
+            table.to_markdown()
+        ),
+        json: json!({
+            "baseline_delta_s": b13 - b7,
+            "pc_delta_s": pc_delta,
+        }),
+    }
+}
+
+/// §5.4 end-to-end latency: TTFT savings expressed against growing
+/// output lengths ("its impact … diminishes as the number of generated
+/// tokens increases"), plus the "25 more tokens in the same timeframe"
+/// claim.
+pub fn e2e() -> Report {
+    use pc_simulator::{decode_step_s, end_to_end_s};
+    let n = 3000;
+    let mut table = Table::new(&[
+        "Output tokens", "Baseline e2e", "Prompt Cache e2e", "Relative gain",
+    ]);
+    let mut rows = Vec::new();
+    for k in [1usize, 10, 25, 50, 100, 250] {
+        let base = end_to_end_s(&LLAMA_7B, &RTX_4090, n, 0, ModuleLocation::DeviceMemory, k);
+        let pc = end_to_end_s(&LLAMA_7B, &RTX_4090, n, n, ModuleLocation::DeviceMemory, k);
+        table.row(&[
+            k.to_string(),
+            fmt_time_s(base),
+            fmt_time_s(pc),
+            fmt_speedup(base / pc),
+        ]);
+        rows.push(json!({ "k": k, "baseline_s": base, "pc_s": pc }));
+    }
+    let step = decode_step_s(&LLAMA_7B, &RTX_4090, n);
+    let saving = baseline_ttft(&LLAMA_7B, &RTX_4090, n).total_s
+        - prompt_cache_ttft(&LLAMA_7B, &RTX_4090, n, n, ModuleLocation::DeviceMemory).total_s;
+    let tokens_bought = saving / step;
+    Report {
+        id: "e2e",
+        title: "§5.4 — end-to-end latency vs output length (RTX 4090, 3K context)",
+        markdown: format!(
+            "{}\nTTST ≈ {} per token (paper: 32 ms, \"regardless of the token \
+             length\"); the TTFT saving buys ≈ {tokens_bought:.0} output tokens \
+             (paper: \"generation of 25 more tokens within the same timeframe\").\n",
+            table.to_markdown(),
+            fmt_time_s(step)
+        ),
+        json: json!({ "rows": rows, "ttst_s": step, "tokens_bought": tokens_bought }),
+    }
+}
+
+/// Appendix: simulated speedups for all 21 datasets (GPU and CPU).
+pub fn appendix() -> Report {
+    let mut table = Table::new(&[
+        "Dataset", "Category", "Cached frac", "4090 speedup (GPU mem)", "i9 speedup",
+    ]);
+    let mut rows = Vec::new();
+    for spec in &ALL {
+        let (n, cached) = (spec.total_tokens(), spec.context_tokens);
+        let g = baseline_ttft(&LLAMA_7B, &RTX_4090, n).total_s
+            / prompt_cache_ttft(&LLAMA_7B, &RTX_4090, n, cached, ModuleLocation::DeviceMemory)
+                .total_s;
+        let c = baseline_ttft(&LLAMA_7B, &INTEL_I9_13900K, n).total_s
+            / prompt_cache_ttft(
+                &LLAMA_7B,
+                &INTEL_I9_13900K,
+                n,
+                cached,
+                ModuleLocation::HostMemory,
+            )
+            .total_s;
+        table.row(&[
+            spec.name.to_string(),
+            format!("{:?}", spec.category),
+            format!("{:.2}", spec.cached_fraction()),
+            fmt_speedup(g),
+            fmt_speedup(c),
+        ]);
+        rows.push(json!({
+            "dataset": spec.name, "cached_fraction": spec.cached_fraction(),
+            "gpu_speedup": g, "cpu_speedup": c,
+        }));
+    }
+    Report {
+        id: "appendix",
+        title: "Appendix — all 21 LongBench datasets, simulated speedups",
+        markdown: table.to_markdown(),
+        json: json!({ "rows": rows }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_covers_8_datasets_x_3_gpus() {
+        let r = fig3();
+        assert_eq!(r.json["rows"].as_array().unwrap().len(), 24);
+        assert!(r.markdown.contains("RTX 4090"));
+    }
+
+    #[test]
+    fn table2_rows_match_catalog() {
+        let r = table2();
+        assert_eq!(r.json["rows"].as_array().unwrap().len(), 8);
+        assert!(r.markdown.contains("Llama 70B"));
+    }
+
+    #[test]
+    fn memcpy_report_reproduces_paper_numbers() {
+        let r = memcpy();
+        let h2h = r.json["h2h_s"].as_f64().unwrap();
+        assert!((h2h * 1e3 - 3.79).abs() < 0.5);
+    }
+
+    #[test]
+    fn appendix_covers_21() {
+        let r = appendix();
+        assert_eq!(r.json["rows"].as_array().unwrap().len(), 21);
+    }
+
+    #[test]
+    fn modelsize_shape_holds() {
+        // Paper: +220 ms baseline vs +30 ms Prompt Cache (≈7×). Our
+        // conservative bulk-streaming bandwidth compresses the ratio; the
+        // reproduced shape is "baseline delta ≫ Prompt Cache delta".
+        let r = modelsize();
+        let base = r.json["baseline_delta_s"].as_f64().unwrap();
+        let pc = r.json["pc_delta_s"].as_f64().unwrap();
+        assert!(base > 3.0 * pc, "base {base:.3} vs pc {pc:.3}");
+    }
+}

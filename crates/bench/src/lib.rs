@@ -1,0 +1,21 @@
+//! Benchmark harness: regenerates every table and figure in the paper.
+//!
+//! Two kinds of evidence feed the reproduction:
+//!
+//! * **Measured** ([`measured`]) — the real Rust engine running scaled
+//!   LongBench workloads on this machine's CPU. These establish the
+//!   mechanism: cached TTFT beats baseline TTFT, quadratically growing
+//!   with context for the baseline and linearly for Prompt Cache, with
+//!   identical greedy outputs where theory says they must be identical.
+//! * **Simulated** (`pc-simulator`) — the paper-scale analytic model
+//!   (Llama-7B on the paper's five devices) that regenerates Figures 3–5
+//!   with the paper's own axes.
+//!
+//! The `figures` binary dispatches one experiment per paper artifact:
+//! `fig3 fig4 fig5 table1 table2 memcpy modelsize fig6 fig7 fig8
+//! appendix ablations all`. Criterion benches under `benches/` time the
+//! hot paths themselves.
+
+pub mod emit;
+pub mod experiments;
+pub mod measured;

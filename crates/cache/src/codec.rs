@@ -1,0 +1,184 @@
+//! Binary serialisation of encoded modules.
+//!
+//! Encoding a large module is expensive (that's the whole point of caching
+//! it); this codec lets precomputed attention states be written out and
+//! shipped between processes or machines — the "inference server
+//! precomputes and stores" deployment the paper's introduction sketches.
+//!
+//! Format (little-endian): magic `PCKV`, version u32, num_layers u32,
+//! kv_dim u32, num_tokens u32, positions as u64s, then per layer the k
+//! rows and v rows as f32s.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pc_model::KvCache;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"PCKV";
+const VERSION: u32 = 1;
+
+/// Errors from decoding a serialised module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The buffer does not start with the `PCKV` magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The buffer ended before the declared payload.
+    Truncated,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a PCKV module (bad magic)"),
+            CodecError::BadVersion(v) => write!(f, "unsupported PCKV version {v}"),
+            CodecError::Truncated => write!(f, "truncated PCKV payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serialises a module's attention states.
+pub fn encode(cache: &KvCache) -> Bytes {
+    let tokens = cache.len();
+    let per_layer = 2 * tokens * cache.kv_dim() * 4;
+    let mut buf =
+        BytesMut::with_capacity(20 + tokens * 8 + cache.num_layers() * per_layer);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(cache.num_layers() as u32);
+    buf.put_u32_le(cache.kv_dim() as u32);
+    buf.put_u32_le(tokens as u32);
+    for &p in cache.positions() {
+        buf.put_u64_le(p as u64);
+    }
+    for l in 0..cache.num_layers() {
+        for &x in cache.keys(l) {
+            buf.put_f32_le(x);
+        }
+        for &x in cache.values(l) {
+            buf.put_f32_le(x);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialises a module.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] for foreign, newer-versioned, or truncated
+/// buffers.
+pub fn decode(mut buf: &[u8]) -> Result<KvCache, CodecError> {
+    if buf.remaining() < 20 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let num_layers = buf.get_u32_le() as usize;
+    let kv_dim = buf.get_u32_le() as usize;
+    let tokens = buf.get_u32_le() as usize;
+
+    let need = tokens * 8 + num_layers * 2 * tokens * kv_dim * 4;
+    if buf.remaining() < need {
+        return Err(CodecError::Truncated);
+    }
+
+    let positions: Vec<usize> = (0..tokens).map(|_| buf.get_u64_le() as usize).collect();
+    let mut cache = KvCache::with_shape(num_layers, kv_dim);
+    let mut layer_k = vec![vec![0.0f32; tokens * kv_dim]; num_layers];
+    let mut layer_v = vec![vec![0.0f32; tokens * kv_dim]; num_layers];
+    for l in 0..num_layers {
+        for x in layer_k[l].iter_mut() {
+            *x = buf.get_f32_le();
+        }
+        for x in layer_v[l].iter_mut() {
+            *x = buf.get_f32_le();
+        }
+    }
+    for (t, &pos) in positions.iter().enumerate() {
+        for l in 0..num_layers {
+            cache.push_token_layer(
+                l,
+                &layer_k[l][t * kv_dim..(t + 1) * kv_dim],
+                &layer_v[l][t * kv_dim..(t + 1) * kv_dim],
+            );
+        }
+        cache.push_position(pos);
+    }
+    Ok(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(tokens: usize) -> KvCache {
+        let mut c = KvCache::with_shape(3, 4);
+        for t in 0..tokens {
+            for l in 0..3 {
+                let k: Vec<f32> = (0..4).map(|i| (t * 17 + l * 5 + i) as f32 * 0.25).collect();
+                let v: Vec<f32> = (0..4).map(|i| -((t + l + i) as f32)).collect();
+                c.push_token_layer(l, &k, &v);
+            }
+            c.push_position(t * 3 + 7);
+        }
+        c
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let m = module(9);
+        let decoded = decode(&encode(&m)).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn empty_module_round_trips() {
+        let m = KvCache::with_shape(2, 8);
+        assert_eq!(decode(&encode(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&module(1)).to_vec();
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = encode(&module(1)).to_vec();
+        bytes[4] = 99;
+        assert_eq!(decode(&bytes), Err(CodecError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = encode(&module(4));
+        for cut in [0, 3, 10, 19, bytes.len() - 1] {
+            assert_eq!(
+                decode(&bytes[..cut]),
+                Err(CodecError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_size_is_predictable() {
+        let m = module(4);
+        let bytes = encode(&m);
+        // header 20 + positions 4*8 + payload 3 layers × 2 × 4 tok × 4 dim × 4 B
+        assert_eq!(bytes.len(), 20 + 32 + 3 * 2 * 4 * 4 * 4);
+    }
+}

@@ -1,0 +1,36 @@
+//! Attention-state storage for Prompt Cache (paper §4.1 and §4.2).
+//!
+//! This crate owns everything about *keeping* encoded prompt modules:
+//!
+//! * [`ModuleStore`] — a thread-safe, two-tier store. Every encoded module
+//!   lives in host memory ("CPU memory (host DRAM)"); a bounded device
+//!   tier models GPU HBM. Fetching a module for device inference promotes
+//!   it, evicting colder modules under a configurable [`EvictionPolicy`] —
+//!   the cache-replacement strategy the paper names as future work.
+//! * [`ConcatArena`] — the paper's buffered concatenation operator:
+//!   "PyTorch only supports contiguous tensors, and therefore concatenation
+//!   … always results in a new memory allocation. We implement a buffered
+//!   concatenation operator that reuses memory." The arena reuses one
+//!   session cache's capacity across requests.
+//! * [`quant`] — 8-bit KV quantization, the compression direction the
+//!   paper points at for shrinking module storage (§5.5).
+//! * [`paged`] — paged-attention-style storage: module states split into
+//!   immutable blocks shared by pointer across sessions (§3.4's batch
+//!   memory optimisation), with physical-vs-logical accounting.
+//! * [`codec`] — a compact binary serialisation of encoded modules, so
+//!   precomputed attention states can be shipped between processes.
+//! * [`memory`] — Table 2's per-token memory accounting.
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod codec;
+mod eviction;
+pub mod memory;
+pub mod paged;
+pub mod quant;
+mod store;
+
+pub use arena::ConcatArena;
+pub use eviction::{EvictionPolicy, ModuleStats};
+pub use store::{ModuleKey, ModuleStore, StoreConfig, StoreStats, Tier};

@@ -1,0 +1,286 @@
+//! Paged KV storage with pointer-shared module blocks (paper §3.4).
+//!
+//! "Paged attention can resolve this issue by sharing the *pointer* to
+//! the same prompt module across different prompts, instead of
+//! duplicating the attention states." This module is that storage layout:
+//! module states are split into fixed-size immutable [`SharedBlock`]s
+//! held by `Arc`; every session referencing a module holds pointers, not
+//! copies, and appends its own decoded tokens into a private tail.
+//!
+//! The engine's attention kernel consumes contiguous buffers, so a
+//! [`PagedKv`] **materialises** a contiguous view on demand (tested to be
+//! exactly the concatenation of its blocks). Physical-vs-logical
+//! accounting — the quantity behind the paper's 50%-footprint example —
+//! comes from [`physical_bytes`], which counts each distinct
+//! block once across any session set via pointer identity.
+
+use pc_model::{KvCache, ModelError};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// An immutable block of cached states for up to `block_tokens` tokens.
+#[derive(Debug, PartialEq)]
+pub struct SharedBlock {
+    states: KvCache,
+}
+
+impl SharedBlock {
+    /// Tokens held.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the block is empty (never produced by [`split_into_blocks`]).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Bytes held.
+    pub fn size_bytes(&self) -> usize {
+        self.states.size_bytes()
+    }
+}
+
+/// Splits a module's states into immutable shared blocks of at most
+/// `block_tokens` tokens.
+///
+/// # Panics
+///
+/// Panics if `block_tokens == 0`.
+pub fn split_into_blocks(states: &KvCache, block_tokens: usize) -> Vec<Arc<SharedBlock>> {
+    assert!(block_tokens > 0, "block size must be positive");
+    let mut blocks = Vec::new();
+    let mut start = 0;
+    while start < states.len() {
+        let end = (start + block_tokens).min(states.len());
+        let slice = states.slice(start, end).expect("in-range slice");
+        blocks.push(Arc::new(SharedBlock { states: slice }));
+        start = end;
+    }
+    blocks
+}
+
+/// One session's KV view: shared module blocks + a private tail for the
+/// tokens this session computes (its uncached prompt text and decoded
+/// output).
+#[derive(Debug, Clone)]
+pub struct PagedKv {
+    blocks: Vec<Arc<SharedBlock>>,
+    tail: KvCache,
+}
+
+impl PagedKv {
+    /// An empty paged view shaped like `template`.
+    pub fn new(num_layers: usize, kv_dim: usize) -> Self {
+        PagedKv {
+            blocks: Vec::new(),
+            tail: KvCache::with_shape(num_layers, kv_dim),
+        }
+    }
+
+    /// References a module's blocks — a pointer copy, no state copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CacheShapeMismatch`] when a block's shape
+    /// differs, or when blocks are appended after private tail tokens
+    /// (the tail must stay the suffix).
+    pub fn append_blocks(&mut self, blocks: &[Arc<SharedBlock>]) -> Result<(), ModelError> {
+        if !self.tail.is_empty() {
+            return Err(ModelError::CacheShapeMismatch {
+                detail: "cannot append shared blocks after private tail tokens".into(),
+            });
+        }
+        for block in blocks {
+            if block.states.num_layers() != self.tail.num_layers()
+                || block.states.kv_dim() != self.tail.kv_dim()
+            {
+                return Err(ModelError::CacheShapeMismatch {
+                    detail: "block shape differs from session shape".into(),
+                });
+            }
+            self.blocks.push(Arc::clone(block));
+        }
+        Ok(())
+    }
+
+    /// The private tail (computed tokens are appended here by the model's
+    /// forward pass over a materialised view, then re-attached with
+    /// [`PagedKv::set_tail`]).
+    pub fn tail(&self) -> &KvCache {
+        &self.tail
+    }
+
+    /// Replaces the private tail.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatches.
+    pub fn set_tail(&mut self, tail: KvCache) -> Result<(), ModelError> {
+        if tail.num_layers() != self.tail.num_layers() || tail.kv_dim() != self.tail.kv_dim() {
+            return Err(ModelError::CacheShapeMismatch {
+                detail: "tail shape differs from session shape".into(),
+            });
+        }
+        self.tail = tail;
+        Ok(())
+    }
+
+    /// Logical tokens visible to attention (blocks + tail).
+    pub fn logical_tokens(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum::<usize>() + self.tail.len()
+    }
+
+    /// Logical bytes (what a duplicating layout would store for this
+    /// session alone).
+    pub fn logical_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.size_bytes()).sum::<usize>() + self.tail.size_bytes()
+    }
+
+    /// Materialises a contiguous cache (block states concatenated, tail
+    /// appended) for the engine's attention kernel.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatches (impossible for views built through this API).
+    pub fn materialize(&self) -> Result<KvCache, ModelError> {
+        let mut out = KvCache::with_shape(self.tail.num_layers(), self.tail.kv_dim());
+        for block in &self.blocks {
+            out.append(&block.states)?;
+        }
+        out.append(&self.tail)?;
+        Ok(out)
+    }
+}
+
+/// Physical bytes across a set of sessions: each distinct shared block
+/// counts once (pointer identity), every private tail counts fully —
+/// the §3.4 memory-footprint quantity.
+pub fn physical_bytes(sessions: &[&PagedKv]) -> usize {
+    let mut seen: HashSet<*const SharedBlock> = HashSet::new();
+    let mut total = 0usize;
+    for session in sessions {
+        for block in &session.blocks {
+            if seen.insert(Arc::as_ptr(block)) {
+                total += block.size_bytes();
+            }
+        }
+        total += session.tail.size_bytes();
+    }
+    total
+}
+
+/// Logical bytes across a set of sessions (the duplicating baseline).
+pub fn logical_bytes(sessions: &[&PagedKv]) -> usize {
+    sessions.iter().map(|s| s.logical_bytes()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(tokens: usize, marker: f32) -> KvCache {
+        let mut c = KvCache::with_shape(2, 4);
+        for t in 0..tokens {
+            for l in 0..2 {
+                c.push_token_layer(l, &[marker + t as f32; 4], &[-marker; 4]);
+            }
+            c.push_position(t);
+        }
+        c
+    }
+
+    #[test]
+    fn split_preserves_content_and_sizes() {
+        let m = module(10, 1.0);
+        let blocks = split_into_blocks(&m, 4);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].len(), 4);
+        assert_eq!(blocks[2].len(), 2);
+        // Concatenation reproduces the module exactly.
+        let mut view = PagedKv::new(2, 4);
+        view.append_blocks(&blocks).unwrap();
+        assert_eq!(view.materialize().unwrap(), m);
+    }
+
+    #[test]
+    fn sharing_is_by_pointer() {
+        let m = module(8, 2.0);
+        let blocks = split_into_blocks(&m, 4);
+        let mut a = PagedKv::new(2, 4);
+        let mut b = PagedKv::new(2, 4);
+        a.append_blocks(&blocks).unwrap();
+        b.append_blocks(&blocks).unwrap();
+        // Two sessions, one physical copy.
+        assert_eq!(physical_bytes(&[&a, &b]), m.size_bytes());
+        assert_eq!(logical_bytes(&[&a, &b]), 2 * m.size_bytes());
+    }
+
+    #[test]
+    fn paper_example_50_percent_with_real_blocks() {
+        // §5.4: 100 sessions, each 2K logical tokens, sharing a 1K module
+        // → ~50% physical reduction. Scaled ÷100 here: 20-token sessions
+        // sharing a 10-token module.
+        let shared = split_into_blocks(&module(10, 0.0), 4);
+        let sessions: Vec<PagedKv> = (0..100)
+            .map(|i| {
+                let mut s = PagedKv::new(2, 4);
+                s.append_blocks(&shared).unwrap();
+                s.set_tail(module(10, i as f32)).unwrap();
+                s
+            })
+            .collect();
+        let refs: Vec<&PagedKv> = sessions.iter().collect();
+        let reduction = 1.0 - physical_bytes(&refs) as f64 / logical_bytes(&refs) as f64;
+        assert!((reduction - 0.495).abs() < 0.01, "{reduction}");
+    }
+
+    #[test]
+    fn tail_is_private() {
+        let shared = split_into_blocks(&module(4, 0.0), 4);
+        let mut a = PagedKv::new(2, 4);
+        a.append_blocks(&shared).unwrap();
+        a.set_tail(module(3, 9.0)).unwrap();
+        assert_eq!(a.logical_tokens(), 7);
+        let m = a.materialize().unwrap();
+        assert_eq!(m.len(), 7);
+        assert_eq!(m.keys(0)[4 * 4], 9.0); // tail content after blocks
+    }
+
+    #[test]
+    fn blocks_after_tail_rejected() {
+        let shared = split_into_blocks(&module(4, 0.0), 4);
+        let mut a = PagedKv::new(2, 4);
+        a.set_tail(module(1, 1.0)).unwrap();
+        assert!(a.append_blocks(&shared).is_err());
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let shared = split_into_blocks(&module(4, 0.0), 4);
+        let mut wrong = PagedKv::new(3, 4);
+        assert!(wrong.append_blocks(&shared).is_err());
+        let mut right = PagedKv::new(2, 4);
+        assert!(right.set_tail(KvCache::with_shape(2, 8)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_size_panics() {
+        split_into_blocks(&module(4, 0.0), 0);
+    }
+
+    #[test]
+    fn distinct_modules_do_not_alias() {
+        let a_blocks = split_into_blocks(&module(4, 1.0), 4);
+        let b_blocks = split_into_blocks(&module(4, 2.0), 4);
+        let mut a = PagedKv::new(2, 4);
+        let mut b = PagedKv::new(2, 4);
+        a.append_blocks(&a_blocks).unwrap();
+        b.append_blocks(&b_blocks).unwrap();
+        assert_eq!(
+            physical_bytes(&[&a, &b]),
+            a_blocks[0].size_bytes() + b_blocks[0].size_bytes()
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! 8-bit quantization of stored modules.
+//!
+//! §5.5 ends: "compression methods for attention states remain an avenue
+//! for future research in prompt caching techniques." This module
+//! implements the simplest credible member of that family — symmetric
+//! per-row int8 quantization of each token's k/v rows — so the
+//! `quant_ablation` bench can measure the 4× footprint reduction against
+//! the output divergence it introduces.
+
+use pc_model::KvCache;
+
+/// An 8-bit quantized module: one scale per (layer, token, k/v) row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedKv {
+    layers: Vec<QuantLayer>,
+    positions: Vec<usize>,
+    kv_dim: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct QuantLayer {
+    k: Vec<i8>,
+    v: Vec<i8>,
+    k_scales: Vec<f32>,
+    v_scales: Vec<f32>,
+}
+
+impl QuantizedKv {
+    /// Quantizes a module's states.
+    pub fn quantize(cache: &KvCache) -> Self {
+        let kv_dim = cache.kv_dim();
+        let layers = (0..cache.num_layers())
+            .map(|l| {
+                let (k, k_scales) = quantize_rows(cache.keys(l), kv_dim);
+                let (v, v_scales) = quantize_rows(cache.values(l), kv_dim);
+                QuantLayer {
+                    k,
+                    v,
+                    k_scales,
+                    v_scales,
+                }
+            })
+            .collect();
+        QuantizedKv {
+            layers,
+            positions: cache.positions().to_vec(),
+            kv_dim,
+        }
+    }
+
+    /// Reconstructs an f32 module (lossy).
+    pub fn dequantize(&self) -> KvCache {
+        let mut out = KvCache::with_shape(self.layers.len(), self.kv_dim);
+        let tokens = self.positions.len();
+        for t in 0..tokens {
+            for (l, layer) in self.layers.iter().enumerate() {
+                let k = dequantize_row(&layer.k, &layer.k_scales, t, self.kv_dim);
+                let v = dequantize_row(&layer.v, &layer.v_scales, t, self.kv_dim);
+                out.push_token_layer(l, &k, &v);
+            }
+            out.push_position(self.positions[t]);
+        }
+        out
+    }
+
+    /// Number of cached tokens.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the module is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Storage size in bytes (int8 payload + f32 scales + positions).
+    pub fn size_bytes(&self) -> usize {
+        let payload: usize = self
+            .layers
+            .iter()
+            .map(|l| l.k.len() + l.v.len() + 4 * (l.k_scales.len() + l.v_scales.len()))
+            .sum();
+        payload + self.positions.len() * std::mem::size_of::<usize>()
+    }
+
+}
+
+fn quantize_rows(data: &[f32], kv_dim: usize) -> (Vec<i8>, Vec<f32>) {
+    let mut quantized = Vec::with_capacity(data.len());
+    let mut scales = Vec::with_capacity(data.len() / kv_dim.max(1));
+    for row in data.chunks_exact(kv_dim.max(1)) {
+        let max_abs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        scales.push(scale);
+        for &x in row {
+            quantized.push((x / scale).round().clamp(-127.0, 127.0) as i8);
+        }
+    }
+    (quantized, scales)
+}
+
+fn dequantize_row(data: &[i8], scales: &[f32], token: usize, kv_dim: usize) -> Vec<f32> {
+    let scale = scales[token];
+    data[token * kv_dim..(token + 1) * kv_dim]
+        .iter()
+        .map(|&q| q as f32 * scale)
+        .collect()
+}
+
+/// Maximum elementwise absolute error of quantize → dequantize over all
+/// layers of `cache`, as a fraction of the per-row max magnitude.
+pub fn round_trip_error(cache: &KvCache) -> f32 {
+    let deq = QuantizedKv::quantize(cache).dequantize();
+    let mut worst: f32 = 0.0;
+    for l in 0..cache.num_layers() {
+        for (rows, deq_rows) in [
+            (cache.keys(l), deq.keys(l)),
+            (cache.values(l), deq.values(l)),
+        ] {
+            for (row, drow) in rows
+                .chunks_exact(cache.kv_dim())
+                .zip(deq_rows.chunks_exact(cache.kv_dim()))
+            {
+                let max_abs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                if max_abs == 0.0 {
+                    continue;
+                }
+                for (a, b) in row.iter().zip(drow) {
+                    worst = worst.max((a - b).abs() / max_abs);
+                }
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(tokens: usize, seed: f32) -> KvCache {
+        let mut c = KvCache::with_shape(2, 4);
+        for t in 0..tokens {
+            for l in 0..2 {
+                let base = seed + t as f32 * 0.37 + l as f32 * 1.1;
+                let k: Vec<f32> = (0..4).map(|i| (base + i as f32).sin() * 3.0).collect();
+                let v: Vec<f32> = (0..4).map(|i| (base - i as f32).cos() * 0.5).collect();
+                c.push_token_layer(l, &k, &v);
+            }
+            c.push_position(t + 10);
+        }
+        c
+    }
+
+    #[test]
+    fn round_trip_preserves_shape_and_positions() {
+        let m = module(5, 0.3);
+        let deq = QuantizedKv::quantize(&m).dequantize();
+        assert_eq!(deq.len(), m.len());
+        assert_eq!(deq.positions(), m.positions());
+        assert_eq!(deq.num_layers(), m.num_layers());
+        assert_eq!(deq.kv_dim(), m.kv_dim());
+    }
+
+    #[test]
+    fn round_trip_error_is_sub_percent() {
+        let m = module(16, 1.7);
+        let err = round_trip_error(&m);
+        assert!(err > 0.0, "quantization should be lossy");
+        assert!(err < 0.01, "relative error {err} too large for int8");
+    }
+
+    #[test]
+    fn quantized_is_smaller_than_f32() {
+        // Use a realistic row width (64) so the one-f32-scale-per-row
+        // overhead amortises as it would in a real model.
+        let mut m = KvCache::with_shape(2, 64);
+        for t in 0..32 {
+            for l in 0..2 {
+                let row: Vec<f32> = (0..64).map(|i| ((t + l + i) as f32).sin()).collect();
+                m.push_token_layer(l, &row, &row);
+            }
+            m.push_position(t);
+        }
+        let q = QuantizedKv::quantize(&m);
+        // int8 payload ≈ 1/4 of the f32 payload (plus small scale overhead).
+        assert!(
+            q.size_bytes() * 3 < m.size_bytes(),
+            "q={} m={}",
+            q.size_bytes(),
+            m.size_bytes()
+        );
+    }
+
+    #[test]
+    fn zero_rows_survive() {
+        let mut m = KvCache::with_shape(1, 4);
+        m.push_token_layer(0, &[0.0; 4], &[0.0; 4]);
+        m.push_position(0);
+        let deq = QuantizedKv::quantize(&m).dequantize();
+        assert_eq!(deq.keys(0), &[0.0; 4]);
+    }
+
+    #[test]
+    fn empty_module() {
+        let m = KvCache::with_shape(2, 4);
+        let q = QuantizedKv::quantize(&m);
+        assert!(q.is_empty());
+        assert_eq!(q.dequantize(), m);
+    }
+
+    #[test]
+    fn extreme_magnitudes_clamp_safely() {
+        let mut m = KvCache::with_shape(1, 2);
+        m.push_token_layer(0, &[1e20, -1e20], &[1e-20, 0.0]);
+        m.push_position(0);
+        let deq = QuantizedKv::quantize(&m).dequantize();
+        assert!(deq.keys(0).iter().all(|x| x.is_finite()));
+        assert!(deq.keys(0)[0] > 0.0 && deq.keys(0)[1] < 0.0);
+    }
+}

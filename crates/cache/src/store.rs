@@ -1,0 +1,614 @@
+//! The two-tier prompt-module store (paper §4.1).
+//!
+//! Host memory holds every encoded module (it "can scale up to terabyte
+//! levels"); the bounded device tier models GPU HBM. Reading a module for
+//! device inference promotes it, charging a host-to-device copy the first
+//! time and evicting colder modules when capacity runs out. Reading for
+//! host inference never copies.
+
+use crate::eviction::{EvictionPolicy, ModuleStats};
+use parking_lot::Mutex;
+use pc_model::KvCache;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies one encoded module: schema name + module path. Union
+/// members are distinct keys; parameterised modules are stored with their
+/// `<unk>` placeholders, so one key serves all argument values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModuleKey {
+    /// Schema the module belongs to.
+    pub schema: String,
+    /// Hierarchical module path; `["<anon>", index]`-style paths are used
+    /// by the engine for anonymous spans.
+    pub path: Vec<String>,
+}
+
+impl ModuleKey {
+    /// Convenience constructor.
+    pub fn new(schema: &str, path: &[String]) -> Self {
+        ModuleKey {
+            schema: schema.to_owned(),
+            path: path.to_vec(),
+        }
+    }
+}
+
+/// Which memory the caller wants the module in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Host DRAM (CPU inference, or GPU inference paying a h2d copy).
+    Host,
+    /// Device HBM (GPU inference without a copy).
+    Device,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Device-tier capacity in bytes (0 disables the device tier).
+    pub device_capacity_bytes: usize,
+    /// Eviction policy for the device tier.
+    pub policy: EvictionPolicy,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            device_capacity_bytes: 0,
+            policy: EvictionPolicy::Lru,
+        }
+    }
+}
+
+/// Aggregate counters, retrievable with [`ModuleStore::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Successful lookups.
+    pub hits: u64,
+    /// Failed lookups.
+    pub misses: u64,
+    /// Bytes copied host → device on promotions.
+    pub bytes_copied_h2d: u64,
+    /// Device-tier evictions performed.
+    pub evictions: u64,
+    /// Lookups served without a copy because the module was already
+    /// resident on the device.
+    pub device_hits: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    cache: Arc<KvCache>,
+    stats: ModuleStats,
+    on_device: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<ModuleKey, Entry>,
+    device_used: usize,
+    clock: u64,
+    stats: StoreStats,
+}
+
+/// Thread-safe encoded-module storage with host + bounded device tiers.
+///
+/// # Example
+///
+/// ```
+/// use pc_cache::{ModuleKey, ModuleStore, StoreConfig, Tier};
+/// use pc_model::KvCache;
+///
+/// let store = ModuleStore::new(StoreConfig::default());
+/// let key = ModuleKey::new("travel", &["miami".into()]);
+/// store.insert(key.clone(), KvCache::with_shape(2, 8), 1.0);
+/// assert!(store.get(&key, Tier::Host).is_some());
+/// ```
+#[derive(Debug)]
+pub struct ModuleStore {
+    config: StoreConfig,
+    inner: Mutex<Inner>,
+}
+
+impl ModuleStore {
+    /// Creates an empty store.
+    pub fn new(config: StoreConfig) -> Self {
+        ModuleStore {
+            config,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Inserts (or replaces) a module's encoded states.
+    /// `recompute_cost` feeds cost-aware eviction; pass the encode time or
+    /// FLOPs in any consistent unit.
+    pub fn insert(&self, key: ModuleKey, cache: KvCache, recompute_cost: f64) {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let size = cache.size_bytes();
+        let clock = inner.clock;
+        // Replacing an entry that was resident frees its device budget.
+        if let Some(old) = inner.entries.get(&key) {
+            if old.on_device {
+                let old_size = old.stats.size_bytes;
+                inner.device_used -= old_size;
+            }
+        }
+        inner.entries.insert(
+            key,
+            Entry {
+                cache: Arc::new(cache),
+                stats: ModuleStats {
+                    last_access: clock,
+                    access_count: 0,
+                    size_bytes: size,
+                    recompute_cost,
+                },
+                on_device: false,
+            },
+        );
+    }
+
+    /// Whether the store holds `key`.
+    pub fn contains(&self, key: &ModuleKey) -> bool {
+        self.inner.lock().entries.contains_key(key)
+    }
+
+    /// Fetches a module's states for inference in `tier`.
+    ///
+    /// `Tier::Device` promotes the module (evicting under the configured
+    /// policy and charging a h2d copy) unless it is already resident or
+    /// larger than the whole device tier, in which case the copy is
+    /// charged on every access — exactly the "yellow bar" regime of
+    /// Figure 3 where modules stream from CPU memory each request.
+    pub fn get(&self, key: &ModuleKey, tier: Tier) -> Option<Arc<KvCache>> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if !inner.entries.contains_key(key) {
+            inner.stats.misses += 1;
+            return None;
+        }
+        inner.stats.hits += 1;
+        if tier == Tier::Device {
+            self.promote(&mut inner, key);
+        }
+        let entry = inner.entries.get_mut(key).expect("checked above");
+        entry.stats.last_access = clock;
+        entry.stats.access_count += 1;
+        Some(Arc::clone(&entry.cache))
+    }
+
+    fn promote(&self, inner: &mut Inner, key: &ModuleKey) {
+        let size = inner.entries[key].stats.size_bytes;
+        if inner.entries[key].on_device {
+            inner.stats.device_hits += 1;
+            return;
+        }
+        if size > self.config.device_capacity_bytes {
+            // Cannot ever be resident: stream it (charged every access).
+            inner.stats.bytes_copied_h2d += size as u64;
+            return;
+        }
+        while inner.device_used + size > self.config.device_capacity_bytes {
+            let candidates: Vec<(ModuleKey, ModuleStats)> = inner
+                .entries
+                .iter()
+                .filter(|(k, e)| e.on_device && *k != key)
+                .map(|(k, e)| (k.clone(), e.stats))
+                .collect();
+            let stats: Vec<ModuleStats> = candidates.iter().map(|(_, s)| *s).collect();
+            let Some(victim) = self.config.policy.victim(&stats) else {
+                break; // nothing evictable
+            };
+            let (vk, vs) = &candidates[victim];
+            inner.entries.get_mut(vk).expect("victim exists").on_device = false;
+            inner.device_used -= vs.size_bytes;
+            inner.stats.evictions += 1;
+        }
+        if inner.device_used + size <= self.config.device_capacity_bytes {
+            inner.entries.get_mut(key).expect("present").on_device = true;
+            inner.device_used += size;
+            inner.stats.bytes_copied_h2d += size as u64;
+        }
+    }
+
+    /// Prefetches modules into the device tier without counting a hit —
+    /// the union-sibling optimisation §3.2.3 sketches ("the system can
+    /// utilize this structure for optimizations, such as prefetching").
+    /// Unknown keys are skipped. Returns how many modules were promoted
+    /// by this call (already-resident ones don't count).
+    pub fn prefetch(&self, keys: &[ModuleKey]) -> usize {
+        let mut inner = self.inner.lock();
+        let mut promoted = 0;
+        for key in keys {
+            if !inner.entries.contains_key(key) {
+                continue;
+            }
+            let before = inner.stats.bytes_copied_h2d;
+            let was_resident = inner.entries[key].on_device;
+            self.promote(&mut inner, key);
+            // promote() counts a device hit for resident modules; undo
+            // that so prefetch stays invisible in the hit statistics.
+            if was_resident {
+                inner.stats.device_hits -= 1;
+            } else if inner.stats.bytes_copied_h2d > before && inner.entries[key].on_device {
+                promoted += 1;
+            }
+        }
+        promoted
+    }
+
+    /// Whether a module is currently resident in the device tier.
+    pub fn is_resident(&self, key: &ModuleKey) -> bool {
+        self.inner
+            .lock()
+            .entries
+            .get(key)
+            .is_some_and(|e| e.on_device)
+    }
+
+    /// Removes a module; returns whether it was present.
+    pub fn remove(&self, key: &ModuleKey) -> bool {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.entries.remove(key) {
+            if e.on_device {
+                inner.device_used -= e.stats.size_bytes;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops every module belonging to `schema`.
+    pub fn remove_schema(&self, schema: &str) {
+        let mut inner = self.inner.lock();
+        let removed: Vec<ModuleKey> = inner
+            .entries
+            .keys()
+            .filter(|k| k.schema == schema)
+            .cloned()
+            .collect();
+        for k in removed {
+            if let Some(e) = inner.entries.remove(&k) {
+                if e.on_device {
+                    inner.device_used -= e.stats.size_bytes;
+                }
+            }
+        }
+    }
+
+    /// Number of stored modules.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total host bytes held.
+    pub fn host_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .entries
+            .values()
+            .map(|e| e.stats.size_bytes)
+            .sum()
+    }
+
+    /// Bytes currently resident on the device tier.
+    pub fn device_bytes(&self) -> usize {
+        self.inner.lock().device_used
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().stats
+    }
+
+    /// All stored keys (used by persistence and diagnostics).
+    pub fn keys(&self) -> Vec<ModuleKey> {
+        self.inner.lock().entries.keys().cloned().collect()
+    }
+
+    /// Serialises every stored module into `dir`: one numbered `.pckv`
+    /// payload per module plus a `MANIFEST` mapping files back to keys
+    /// (schema and path segments are stored verbatim, so keys containing
+    /// any characters round-trip). Returns the module count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_dir(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        std::fs::create_dir_all(dir)?;
+        let inner = self.inner.lock();
+        let mut manifest = String::new();
+        for (i, (key, entry)) in inner.entries.iter().enumerate() {
+            let file = format!("m{i}.pckv");
+            std::fs::write(dir.join(&file), crate::codec::encode(&entry.cache))?;
+            manifest.push_str(&file);
+            manifest.push('\t');
+            manifest.push_str(&key.schema);
+            for seg in &key.path {
+                manifest.push('\t');
+                manifest.push_str(seg);
+            }
+            manifest.push('\n');
+        }
+        std::fs::write(dir.join("MANIFEST"), manifest)?;
+        Ok(inner.entries.len())
+    }
+
+    /// Loads a directory written by [`ModuleStore::save_dir`] back into
+    /// the store (host tier). Returns how many modules were loaded.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, `InvalidData` for undecodable payloads or a
+    /// malformed manifest.
+    pub fn load_dir(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        let manifest = std::fs::read_to_string(dir.join("MANIFEST"))?;
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned());
+        let mut loaded = 0;
+        for line in manifest.lines().filter(|l| !l.is_empty()) {
+            let mut parts = line.split('\t');
+            let file = parts.next().ok_or_else(|| bad("missing filename"))?;
+            let schema = parts.next().ok_or_else(|| bad("missing schema"))?;
+            let path: Vec<String> = parts.map(str::to_owned).collect();
+            let bytes = std::fs::read(dir.join(file))?;
+            let cache = crate::codec::decode(&bytes)
+                .map_err(|e| bad(&e.to_string()))?;
+            let cost = cache.len() as f64;
+            self.insert(
+                ModuleKey {
+                    schema: schema.to_owned(),
+                    path,
+                },
+                cache,
+                cost,
+            );
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(tokens: usize) -> KvCache {
+        // 2 layers, kv_dim 4 → size = 2*2*tokens*4*4 bytes = 64·tokens.
+        let mut c = KvCache::with_shape(2, 4);
+        for t in 0..tokens {
+            for l in 0..2 {
+                c.push_token_layer(l, &[t as f32; 4], &[t as f32; 4]);
+            }
+            c.push_position(t);
+        }
+        c
+    }
+
+    fn key(name: &str) -> ModuleKey {
+        ModuleKey::new("s", &[name.to_owned()])
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let store = ModuleStore::new(StoreConfig::default());
+        store.insert(key("a"), module(3), 1.0);
+        let got = store.get(&key("a"), Tier::Host).unwrap();
+        assert_eq!(got.len(), 3);
+        assert!(store.get(&key("b"), Tier::Host).is_none());
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn host_reads_never_copy() {
+        let store = ModuleStore::new(StoreConfig {
+            device_capacity_bytes: 1 << 20,
+            ..Default::default()
+        });
+        store.insert(key("a"), module(3), 1.0);
+        store.get(&key("a"), Tier::Host);
+        assert_eq!(store.stats().bytes_copied_h2d, 0);
+        assert_eq!(store.device_bytes(), 0);
+    }
+
+    #[test]
+    fn device_read_promotes_once() {
+        let store = ModuleStore::new(StoreConfig {
+            device_capacity_bytes: 1 << 20,
+            ..Default::default()
+        });
+        store.insert(key("a"), module(3), 1.0);
+        let size = module(3).size_bytes() as u64;
+        store.get(&key("a"), Tier::Device);
+        store.get(&key("a"), Tier::Device);
+        let s = store.stats();
+        assert_eq!(s.bytes_copied_h2d, size, "copied exactly once");
+        assert_eq!(s.device_hits, 1);
+        assert_eq!(store.device_bytes(), size as usize);
+    }
+
+    #[test]
+    fn capacity_forces_eviction_lru() {
+        let one = module(4).size_bytes();
+        let store = ModuleStore::new(StoreConfig {
+            device_capacity_bytes: 2 * one,
+            policy: EvictionPolicy::Lru,
+        });
+        for name in ["a", "b", "c"] {
+            store.insert(key(name), module(4), 1.0);
+        }
+        store.get(&key("a"), Tier::Device);
+        store.get(&key("b"), Tier::Device);
+        // Touch a to make b the LRU, then bring in c.
+        store.get(&key("a"), Tier::Device);
+        store.get(&key("c"), Tier::Device);
+        assert_eq!(store.stats().evictions, 1);
+        // b was evicted: re-reading it copies again.
+        let before = store.stats().bytes_copied_h2d;
+        store.get(&key("b"), Tier::Device);
+        assert!(store.stats().bytes_copied_h2d > before);
+    }
+
+    #[test]
+    fn oversized_module_streams_every_access() {
+        let store = ModuleStore::new(StoreConfig {
+            device_capacity_bytes: 8, // smaller than any module
+            ..Default::default()
+        });
+        store.insert(key("big"), module(16), 1.0);
+        let size = module(16).size_bytes() as u64;
+        store.get(&key("big"), Tier::Device);
+        store.get(&key("big"), Tier::Device);
+        assert_eq!(store.stats().bytes_copied_h2d, 2 * size);
+        assert_eq!(store.device_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_behaves_like_pure_host_store_with_streaming() {
+        let store = ModuleStore::new(StoreConfig::default());
+        store.insert(key("a"), module(2), 1.0);
+        assert!(store.get(&key("a"), Tier::Device).is_some());
+        assert!(store.stats().bytes_copied_h2d > 0);
+    }
+
+    #[test]
+    fn replace_updates_device_accounting() {
+        let store = ModuleStore::new(StoreConfig {
+            device_capacity_bytes: 1 << 20,
+            ..Default::default()
+        });
+        store.insert(key("a"), module(4), 1.0);
+        store.get(&key("a"), Tier::Device);
+        let used = store.device_bytes();
+        assert!(used > 0);
+        store.insert(key("a"), module(8), 1.0); // replacement lands on host
+        assert_eq!(store.device_bytes(), 0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_remove_schema() {
+        let store = ModuleStore::new(StoreConfig::default());
+        store.insert(key("a"), module(1), 1.0);
+        store.insert(ModuleKey::new("other", &["x".into()]), module(1), 1.0);
+        assert!(store.remove(&key("a")));
+        assert!(!store.remove(&key("a")));
+        store.remove_schema("other");
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn host_bytes_tracks_inserts() {
+        let store = ModuleStore::new(StoreConfig::default());
+        store.insert(key("a"), module(2), 1.0);
+        store.insert(key("b"), module(3), 1.0);
+        assert_eq!(
+            store.host_bytes(),
+            module(2).size_bytes() + module(3).size_bytes()
+        );
+    }
+
+    #[test]
+    fn prefetch_promotes_without_counting_hits() {
+        let store = ModuleStore::new(StoreConfig {
+            device_capacity_bytes: 1 << 20,
+            ..Default::default()
+        });
+        store.insert(key("a"), module(4), 1.0);
+        store.insert(key("b"), module(4), 1.0);
+        let promoted = store.prefetch(&[key("a"), key("b"), key("missing")]);
+        assert_eq!(promoted, 2);
+        assert!(store.is_resident(&key("a")) && store.is_resident(&key("b")));
+        let s = store.stats();
+        assert_eq!(s.hits, 0, "prefetch is not a lookup");
+        assert_eq!(s.device_hits, 0);
+        assert!(s.bytes_copied_h2d > 0);
+        // A later real access is served without another copy.
+        let before = store.stats().bytes_copied_h2d;
+        store.get(&key("a"), Tier::Device);
+        assert_eq!(store.stats().bytes_copied_h2d, before);
+        assert_eq!(store.stats().device_hits, 1);
+    }
+
+    #[test]
+    fn prefetch_is_idempotent() {
+        let store = ModuleStore::new(StoreConfig {
+            device_capacity_bytes: 1 << 20,
+            ..Default::default()
+        });
+        store.insert(key("a"), module(4), 1.0);
+        assert_eq!(store.prefetch(&[key("a")]), 1);
+        assert_eq!(store.prefetch(&[key("a")]), 0);
+        assert_eq!(store.stats().device_hits, 0);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_with_odd_keys() {
+        let dir = std::env::temp_dir().join(format!("pckv-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ModuleStore::new(StoreConfig::default());
+        // Keys with angle brackets and separators — the engine's internal
+        // span and scaffold keys look like this.
+        let odd = ModuleKey::new("my schema", &["<span>".into(), "3".into()]);
+        store.insert(odd.clone(), module(5), 1.0);
+        store.insert(key("plain"), module(2), 1.0);
+        assert_eq!(store.save_dir(&dir).unwrap(), 2);
+
+        let restored = ModuleStore::new(StoreConfig::default());
+        assert_eq!(restored.load_dir(&dir).unwrap(), 2);
+        let got = restored.get(&odd, Tier::Host).unwrap();
+        assert_eq!(got.len(), 5);
+        assert!(restored.get(&key("plain"), Tier::Host).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        let store = ModuleStore::new(StoreConfig::default());
+        assert!(store
+            .load_dir(std::path::Path::new("/nonexistent-pckv-dir"))
+            .is_err());
+    }
+
+    #[test]
+    fn keys_lists_all() {
+        let store = ModuleStore::new(StoreConfig::default());
+        store.insert(key("a"), module(1), 1.0);
+        store.insert(key("b"), module(1), 1.0);
+        let mut names: Vec<String> = store.keys().iter().map(|k| k.path[0].clone()).collect();
+        names.sort();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let store = std::sync::Arc::new(ModuleStore::new(StoreConfig {
+            device_capacity_bytes: 4096,
+            ..Default::default()
+        }));
+        for i in 0..8 {
+            store.insert(key(&format!("m{i}")), module(4), 1.0);
+        }
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let store = std::sync::Arc::clone(&store);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let k = key(&format!("m{}", (i + t) % 8));
+                        let _ = store.get(&k, if i % 2 == 0 { Tier::Host } else { Tier::Device });
+                    }
+                });
+            }
+        });
+        assert_eq!(store.stats().hits, 400);
+    }
+}

@@ -1,0 +1,160 @@
+//! Multi-turn conversations over a cached session.
+//!
+//! A dialogue system built on Prompt Cache enjoys two reuse layers: the
+//! schema's modules are shared *across* conversations (system prompts,
+//! persona/documents), and within one conversation the session KV cache
+//! carries every previous turn, so each turn pays prefill only for the
+//! new user text — the "real-time question answering and dialogue
+//! systems" deployment the paper closes with (§6).
+
+use crate::{PromptCache, Response, Result, ServeOptions};
+use pc_model::KvCache;
+use pc_tokenizer::SpecialToken;
+use std::time::Instant;
+
+/// One ongoing conversation: the accumulated session cache plus the
+/// transcript.
+#[derive(Debug)]
+pub struct Conversation<'a> {
+    engine: &'a PromptCache,
+    cache: KvCache,
+    transcript: Vec<Turn>,
+}
+
+/// One completed exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Turn {
+    /// What the user said.
+    pub user: String,
+    /// What the model answered.
+    pub assistant: String,
+}
+
+impl PromptCache {
+    /// Opens a conversation from an initial PML prompt (imports +
+    /// optional first user text). Returns the conversation and the first
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PromptCache::serve`].
+    pub fn conversation(
+        &self,
+        prompt_pml: &str,
+        options: &ServeOptions,
+    ) -> Result<(Conversation<'_>, Response)> {
+        let (response, mut cache) = self.serve_session(prompt_pml, options, &mut |_, _| {})?;
+        // The serve decode loop leaves the final sampled token un-fed (a
+        // one-shot response never needs its states); a conversation does —
+        // the next turn must attend to the complete reply.
+        if let Some(&last) = response.tokens.last() {
+            let pos = cache.positions().iter().max().map_or(0, |p| p + 1);
+            self.model().prefill(&[last], &[pos], &mut cache)?;
+        }
+        let mut conversation = Conversation {
+            engine: self,
+            cache,
+            transcript: Vec::new(),
+        };
+        conversation.transcript.push(Turn {
+            user: prompt_pml.to_owned(),
+            assistant: response.text.clone(),
+        });
+        Ok((conversation, response))
+    }
+}
+
+impl Conversation<'_> {
+    /// Sends one user message: its tokens prefill at the next positions
+    /// against the whole session history, then the reply decodes into the
+    /// session cache. TTFT scales with the *message* length, not the
+    /// conversation length.
+    ///
+    /// # Errors
+    ///
+    /// Model failures (e.g. the session exhausting `max_position`).
+    pub fn say(&mut self, user_text: &str, options: &ServeOptions) -> Result<Response> {
+        let started = Instant::now();
+        let tokenizer = self.engine.tokenizer();
+        let tokens = tokenizer.encode(user_text);
+        let history_tokens = self.cache.len();
+        let start_pos = self.next_position();
+        let positions: Vec<usize> = (start_pos..start_pos + tokens.len()).collect();
+        let model = self.engine.model();
+        let last_logits = if tokens.is_empty() {
+            // An empty nudge: re-derive logits from the last cached token
+            // is not available here; just continue decoding greedily from
+            // a single EOS-avoided pass over the last position. Simplest
+            // correct behaviour: reject.
+            return Err(crate::EngineError::EmptyPrompt);
+        } else {
+            model.prefill(&tokens, &positions, &mut self.cache)?
+        };
+        let prefill = started.elapsed();
+
+        let eos = tokenizer.special(SpecialToken::Eos);
+        let mut sampler: Box<dyn pc_model::Sampler> = match options.temperature {
+            Some((t, seed)) => Box::new(pc_model::TemperatureSampler::new(t, seed)),
+            None => Box::new(pc_model::GreedySampler),
+        };
+        let mut produced = Vec::new();
+        let mut ttft = std::time::Duration::ZERO;
+        let mut logits = last_logits;
+        let mut next_pos = self.next_position();
+        while produced.len() < options.max_new_tokens {
+            let token = sampler.sample(&logits);
+            produced.push(token);
+            if produced.len() == 1 {
+                ttft = started.elapsed();
+            }
+            // Feed every produced token — including the last — so future
+            // turns see the complete reply in the session cache.
+            logits = model.prefill(&[token], &[next_pos], &mut self.cache)?;
+            next_pos += 1;
+            if token == eos {
+                break;
+            }
+        }
+        let text = tokenizer.decode(&produced);
+        self.transcript.push(Turn {
+            user: user_text.to_owned(),
+            assistant: text.clone(),
+        });
+        Ok(Response {
+            text,
+            tokens: produced,
+            timings: crate::Timings {
+                ttft,
+                fetch: std::time::Duration::ZERO,
+                prefill,
+                decode: started.elapsed() - ttft,
+            },
+            stats: crate::ServeStats {
+                cached_tokens: history_tokens,
+                new_tokens: tokens.len(),
+                bytes_reused: 0,
+                used_scaffold: false,
+            },
+            warnings: Vec::new(),
+        })
+    }
+
+    /// Tokens currently held in the session cache (history + replies).
+    pub fn session_tokens(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The conversation transcript, oldest first.
+    pub fn transcript(&self) -> &[Turn] {
+        &self.transcript
+    }
+
+    /// Number of completed exchanges (the opening prompt counts as one).
+    pub fn turns(&self) -> usize {
+        self.transcript.len()
+    }
+
+    fn next_position(&self) -> usize {
+        self.cache.positions().iter().max().map_or(0, |p| p + 1)
+    }
+}

@@ -1,0 +1,855 @@
+//! The Prompt Cache engine: schema registration, cached inference, and the
+//! baseline KV-cache path.
+
+use crate::render::{render_plain, span_tokens, uncached_chunk, SpanTokens};
+use crate::response::{Response, ServeStats, Timings};
+use crate::scaffold::Scaffold;
+use crate::{EngineError, Result};
+use parking_lot::RwLock;
+use pc_cache::{ConcatArena, ModuleKey, ModuleStore, StoreConfig, StoreStats, Tier};
+use pc_model::{GreedySampler, KvCache, Model, Sampler, TemperatureSampler, TokenId};
+use pc_pml::layout::{ModulePath, SchemaLayout};
+use pc_pml::resolve::{resolve_prompt, ResolvedPart, ResolvedPrompt};
+use pc_pml::template::ChatTemplate;
+use pc_pml::{parse_prompt, parse_schema, Schema};
+use pc_tokenizer::{SpecialToken, Tokenizer};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Module-store configuration (device-tier capacity, eviction policy).
+    pub store: StoreConfig,
+    /// Chat template for `<system>/<user>/<assistant>` tags.
+    pub template: ChatTemplate,
+    /// Default memory tier modules are fetched into at serve time.
+    /// `None` means host inference (no device copies) — override per call
+    /// with [`ServeOptions::tier`].
+    pub tier: Option<Tier>,
+    /// Encode schema modules on parallel threads at registration.
+    pub parallel_encode: bool,
+    /// After serving a prompt that imported a union member, prefetch the
+    /// sibling members into the device tier (§3.2.3's union prefetching):
+    /// the next request is likely to pick a different member at the same
+    /// positions.
+    pub prefetch_union_siblings: bool,
+}
+
+/// Per-call serving options.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Maximum tokens to generate.
+    pub max_new_tokens: usize,
+    /// Memory tier override for this call.
+    pub tier: Option<Tier>,
+    /// Honour registered scaffolds (§3.3) when all members are imported.
+    pub use_scaffolds: bool,
+    /// Sampling temperature; `None` selects deterministic greedy decoding
+    /// (the paper's accuracy-evaluation setting).
+    pub temperature: Option<(f32, u64)>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_new_tokens: 16,
+            tier: None,
+            use_scaffolds: true,
+            temperature: None,
+        }
+    }
+}
+
+/// Summary returned by [`PromptCache::register_schema`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaInfo {
+    /// Schema name.
+    pub name: String,
+    /// Number of cacheable spans encoded.
+    pub spans: usize,
+    /// Total tokens encoded into the cache.
+    pub cached_tokens: usize,
+    /// Advisory lints (`pc_pml::lint`): structural anti-patterns that
+    /// will cache poorly. Never fatal.
+    pub lints: Vec<String>,
+}
+
+struct RegisteredSchema {
+    layout: SchemaLayout,
+    /// Precomputed token views of every span (index-aligned with
+    /// `layout.spans`), so serving never re-tokenises cached text.
+    span_tokens: Vec<SpanTokens>,
+    scaffolds: Vec<Scaffold>,
+}
+
+/// The Prompt Cache engine. See the [crate docs](crate) for a quickstart.
+///
+/// The engine is `Sync`: schemas register under a write lock, serving
+/// takes read locks, and the module store is internally synchronised.
+pub struct PromptCache {
+    model: Arc<Model>,
+    tokenizer: Arc<dyn Tokenizer + Send + Sync>,
+    config: EngineConfig,
+    store: ModuleStore,
+    schemas: RwLock<HashMap<String, RegisteredSchema>>,
+}
+
+impl PromptCache {
+    /// Creates an engine around a model and tokenizer.
+    pub fn new(
+        model: Model,
+        tokenizer: impl Tokenizer + Send + Sync + 'static,
+        config: EngineConfig,
+    ) -> Self {
+        let store = ModuleStore::new(config.store.clone());
+        PromptCache {
+            model: Arc::new(model),
+            tokenizer: Arc::new(tokenizer),
+            config,
+            store,
+            schemas: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The engine tokenizer.
+    pub fn tokenizer(&self) -> &(dyn Tokenizer + Send + Sync) {
+        self.tokenizer.as_ref()
+    }
+
+    /// Module-store counters (hits, copies, evictions).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Total bytes of encoded modules held in host memory.
+    pub fn cached_bytes(&self) -> usize {
+        self.store.host_bytes()
+    }
+
+    fn count(&self, text: &str) -> usize {
+        self.tokenizer.encode(text).len()
+    }
+
+    /// Registers a schema from PML source: parses it, compiles chat tags,
+    /// lays out positions, and **encodes every prompt module** into the
+    /// store (paper §3.3). Idempotent re-registration is an error; call
+    /// [`PromptCache::unregister_schema`] first to refresh.
+    ///
+    /// # Errors
+    ///
+    /// PML errors, duplicate registration, or model failures during
+    /// encoding.
+    pub fn register_schema(&self, pml: &str) -> Result<SchemaInfo> {
+        let schema = parse_schema(pml)?;
+        self.register_schema_ast(&schema)
+    }
+
+    /// [`PromptCache::register_schema`] for an already-parsed AST (e.g.
+    /// one built by `pc_pml::program::PromptProgram`).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PromptCache::register_schema`].
+    pub fn register_schema_ast(&self, schema: &Schema) -> Result<SchemaInfo> {
+        if self.schemas.read().contains_key(&schema.name) {
+            return Err(EngineError::SchemaAlreadyRegistered {
+                name: schema.name.clone(),
+            });
+        }
+        let counter = |t: &str| self.count(t);
+        let layout = SchemaLayout::build(schema, self.config.template, &counter);
+
+        // Tokenise every span once.
+        let tokens: Vec<SpanTokens> = layout
+            .spans
+            .iter()
+            .map(|s| span_tokens(s, self.tokenizer.as_ref()))
+            .collect();
+
+        // Encode per owner so a module split by nested children is encoded
+        // as one attention unit (its spans share an attention span), while
+        // distinct modules stay independent (the masking of §3.3).
+        let mut owners: Vec<ModulePath> = Vec::new();
+        for span in &layout.spans {
+            if !owners.contains(&span.owner) {
+                owners.push(span.owner.clone());
+            }
+        }
+
+        // Spans already present in the store (e.g. loaded from disk via
+        // [`PromptCache::load_modules`]) are reused instead of re-encoded
+        // — precomputation survives process restarts.
+        let mut preloaded_tokens = 0usize;
+        let mut preloaded_spans = 0usize;
+        let owners: Vec<ModulePath> = owners
+            .into_iter()
+            .filter(|owner| {
+                let span_ids: Vec<usize> = layout
+                    .spans
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| &s.owner == owner)
+                    .map(|(i, _)| i)
+                    .collect();
+                // Reuse only states that demonstrably belong to *this*
+                // schema revision: the token count and position layout of
+                // every span must match what the current layout expects —
+                // a persisted module from an edited schema re-encodes
+                // instead of silently serving stale states.
+                let all_valid = !span_ids.is_empty()
+                    && span_ids.iter().all(|&i| {
+                        self.store
+                            .get(&self.span_key(&schema.name, i), Tier::Host)
+                            .is_some_and(|states| {
+                                states.len() == tokens[i].tokens.len()
+                                    && states.positions() == tokens[i].positions
+                                    && states.num_layers() == self.model.config().num_layers
+                                    && states.kv_dim() == self.model.config().kv_dim()
+                            })
+                    });
+                if all_valid {
+                    for &i in &span_ids {
+                        preloaded_tokens += tokens[i].tokens.len();
+                        preloaded_spans += 1;
+                    }
+                }
+                !all_valid
+            })
+            .collect();
+
+        let encode_owner = |owner: &ModulePath| -> Result<Vec<(usize, KvCache)>> {
+            let span_ids: Vec<usize> = layout
+                .spans
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| &s.owner == owner)
+                .map(|(i, _)| i)
+                .collect();
+            let mut all_tokens = Vec::new();
+            let mut all_positions = Vec::new();
+            for &i in &span_ids {
+                all_tokens.extend_from_slice(&tokens[i].tokens);
+                all_positions.extend_from_slice(&tokens[i].positions);
+            }
+            if all_tokens.is_empty() {
+                return Ok(Vec::new());
+            }
+            let encoded = self.model.encode_segment(&all_tokens, &all_positions)?;
+            // Slice the jointly-encoded states back into per-span stores.
+            let mut out = Vec::new();
+            let mut offset = 0;
+            for &i in &span_ids {
+                let n = tokens[i].tokens.len();
+                let part = encoded.slice(offset, offset + n)?;
+                offset += n;
+                out.push((i, part));
+            }
+            Ok(out)
+        };
+
+        let encoded: Vec<(usize, KvCache)> = if self.config.parallel_encode && owners.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = owners
+                    .iter()
+                    .map(|owner| scope.spawn(|| encode_owner(owner)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("encode thread panicked"))
+                    .collect::<Result<Vec<_>>>()
+                    .map(|v| v.into_iter().flatten().collect())
+            })?
+        } else {
+            let mut all = Vec::new();
+            for owner in &owners {
+                all.extend(encode_owner(owner)?);
+            }
+            all
+        };
+
+        let mut cached_tokens = preloaded_tokens;
+        let mut spans = preloaded_spans;
+        for (i, cache) in encoded {
+            cached_tokens += cache.len();
+            spans += 1;
+            let cost = pc_model::flops::model_prefill_flops(self.model.config(), cache.len());
+            self.store
+                .insert(self.span_key(&schema.name, i), cache, cost as f64);
+        }
+
+        self.schemas.write().insert(
+            schema.name.clone(),
+            RegisteredSchema {
+                layout,
+                span_tokens: tokens,
+                scaffolds: Vec::new(),
+            },
+        );
+        let counter = |t: &str| self.count(t);
+        let lints = pc_pml::lint::lint_schema(
+            schema,
+            &counter,
+            &pc_pml::lint::LintConfig::default(),
+        )
+        .into_iter()
+        .map(|l| l.to_string())
+        .collect();
+        Ok(SchemaInfo {
+            name: schema.name.clone(),
+            spans,
+            cached_tokens,
+            lints,
+        })
+    }
+
+    /// Replaces a schema in place: the old layout is dropped but its
+    /// encoded states are kept, so spans whose content and positions are
+    /// unchanged in the new revision are **reused without re-encoding**.
+    /// An append-only extension (new modules added after existing ones)
+    /// therefore encodes only the new modules; edited modules re-encode
+    /// via the staleness check. Stale leftover spans are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PromptCache::register_schema`] (minus the
+    /// duplicate-name error).
+    pub fn replace_schema(&self, pml: &str) -> Result<SchemaInfo> {
+        let schema = parse_schema(pml)?;
+        self.schemas.write().remove(&schema.name);
+        // Keep the store contents: register_schema_ast validates each
+        // stored span against the new layout and reuses the matches.
+        let info = self.register_schema_ast(&schema)?;
+        // Garbage-collect spans beyond the new layout's span count.
+        let span_count = self
+            .schemas
+            .read()
+            .get(&schema.name)
+            .map(|e| e.layout.spans.len())
+            .unwrap_or(0);
+        for key in self.store_keys_for(&schema.name) {
+            match key.path.first().map(String::as_str) {
+                Some("<span>") => {
+                    let stale = key
+                        .path
+                        .get(1)
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .is_some_and(|i| i >= span_count);
+                    if stale {
+                        self.store.remove(&key);
+                    }
+                }
+                // Scaffolds were built against the old layout; drop them
+                // (callers re-add scaffolds after a replace).
+                Some("<scaffold>") => {
+                    self.store.remove(&key);
+                }
+                _ => {}
+            }
+        }
+        Ok(info)
+    }
+
+    fn store_keys_for(&self, schema: &str) -> Vec<ModuleKey> {
+        self.store
+            .keys()
+            .into_iter()
+            .filter(|k| k.schema == schema)
+            .collect()
+    }
+
+    /// Names of all registered schemas, sorted.
+    pub fn schema_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.schemas.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Whether `name` is registered.
+    pub fn has_schema(&self, name: &str) -> bool {
+        self.schemas.read().contains_key(name)
+    }
+
+    /// Drops a schema and all of its cached states.
+    pub fn unregister_schema(&self, name: &str) {
+        self.schemas.write().remove(name);
+        self.store.remove_schema(name);
+    }
+
+    fn span_key(&self, schema: &str, span_index: usize) -> ModuleKey {
+        ModuleKey {
+            schema: schema.to_owned(),
+            path: vec!["<span>".to_owned(), span_index.to_string()],
+        }
+    }
+
+    /// Registers a scaffold (§3.3): the named modules are re-encoded
+    /// **jointly** so they share an attention span, removing the
+    /// cross-module masking approximation at the cost of extra memory.
+    /// When a later prompt imports every member, the scaffold states
+    /// override the members' individual states.
+    ///
+    /// # Errors
+    ///
+    /// Unknown schema/modules, or members with parameters (unsupported
+    /// inside scaffolds).
+    pub fn add_scaffold(&self, schema: &str, modules: &[&str]) -> Result<()> {
+        let mut schemas = self.schemas.write();
+        let entry = schemas
+            .get_mut(schema)
+            .ok_or_else(|| EngineError::UnknownSchema {
+                name: schema.to_owned(),
+            })?;
+        let scaffold = Scaffold::build(schema, modules, &entry.layout, &entry.span_tokens)?;
+        let mut all_tokens = Vec::new();
+        let mut all_positions = Vec::new();
+        for &i in &scaffold.span_indices {
+            all_tokens.extend_from_slice(&entry.span_tokens[i].tokens);
+            all_positions.extend_from_slice(&entry.span_tokens[i].positions);
+        }
+        let encoded = self.model.encode_segment(&all_tokens, &all_positions)?;
+        let cost = pc_model::flops::model_prefill_flops(self.model.config(), encoded.len());
+        self.store.insert(scaffold.key.clone(), encoded, cost as f64);
+        entry.scaffolds.push(scaffold);
+        Ok(())
+    }
+
+    /// Serves a PML prompt with cached inference (§3.4) and default
+    /// options except the token budget.
+    ///
+    /// # Errors
+    ///
+    /// PML/resolution errors, unknown schemas, or model failures.
+    pub fn serve(&self, prompt_pml: &str, max_new_tokens: usize) -> Result<Response> {
+        self.serve_with(
+            prompt_pml,
+            &ServeOptions {
+                max_new_tokens,
+                ..ServeOptions::default()
+            },
+        )
+    }
+
+    /// Serves a PML prompt with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PromptCache::serve`].
+    pub fn serve_with(&self, prompt_pml: &str, options: &ServeOptions) -> Result<Response> {
+        self.serve_streaming(prompt_pml, options, &mut |_, _| {})
+    }
+
+    /// Serves a prompt, invoking `on_token(token_id, decoded_so_far_len)`
+    /// as each output token is produced — the streaming interface a
+    /// serving front-end wires to its response channel. The callback's
+    /// second argument is the number of tokens emitted so far (1-based).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PromptCache::serve`].
+    pub fn serve_streaming(
+        &self,
+        prompt_pml: &str,
+        options: &ServeOptions,
+        on_token: &mut dyn FnMut(TokenId, usize),
+    ) -> Result<Response> {
+        self.serve_session(prompt_pml, options, on_token)
+            .map(|(response, _)| response)
+    }
+
+    /// [`PromptCache::serve_streaming`], additionally returning the
+    /// session KV cache so the caller can continue the session (the
+    /// building block of [`crate::Conversation`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PromptCache::serve`].
+    pub fn serve_session(
+        &self,
+        prompt_pml: &str,
+        options: &ServeOptions,
+        on_token: &mut dyn FnMut(TokenId, usize),
+    ) -> Result<(Response, KvCache)> {
+        let prompt = parse_prompt(prompt_pml)?;
+        let schemas = self.schemas.read();
+        let entry = schemas
+            .get(&prompt.schema)
+            .ok_or_else(|| EngineError::UnknownSchema {
+                name: prompt.schema.clone(),
+            })?;
+        let counter = |t: &str| self.count(t);
+        let resolved = resolve_prompt(&entry.layout, &prompt, &counter)?;
+
+        let started = Instant::now();
+
+        // --- step ②: fetch cached states and concatenate ---
+        let tier = options.tier.or(self.config.tier).unwrap_or(Tier::Host);
+        let mut arena = ConcatArena::with_shape(
+            self.model.config().num_layers,
+            self.model.config().kv_dim(),
+        );
+        // Mirror of session-cache rows → token ids (for the rare
+        // module-only prompt that must re-derive its final token).
+        let mut row_tokens: Vec<TokenId> = Vec::new();
+        let mut cached_rows = 0usize;
+        let mut bytes_reused = 0usize;
+        let mut used_scaffold = false;
+
+        // Which params were filled, per span: (span_index, offset, len).
+        let mut filled: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+        for part in &resolved.parts {
+            if let ResolvedPart::Argument { module, param, .. } = part {
+                // Locate the placeholder inside the owning span.
+                for (i, span) in entry.layout.spans.iter().enumerate() {
+                    if &span.owner == module {
+                        if let Some((_, off, len)) = entry.span_tokens[i]
+                            .params
+                            .iter()
+                            .find(|(name, _, _)| name == param)
+                        {
+                            filled.entry(i).or_default().push((*off, *len));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Scaffold substitution: pick scaffolds fully covered by imports.
+        let imported: Vec<ModulePath> = resolved
+            .parts
+            .iter()
+            .filter_map(|p| match p {
+                ResolvedPart::Cached { module, .. } if !module.is_empty() => {
+                    Some(module.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        let mut scaffolded_spans: Vec<usize> = Vec::new();
+        let mut scaffold_keys: Vec<ModuleKey> = Vec::new();
+        if options.use_scaffolds {
+            for scaffold in &entry.scaffolds {
+                if scaffold.members.iter().all(|m| imported.contains(m))
+                    && !scaffold
+                        .span_indices
+                        .iter()
+                        .any(|i| scaffolded_spans.contains(i))
+                {
+                    scaffolded_spans.extend_from_slice(&scaffold.span_indices);
+                    scaffold_keys.push(scaffold.key.clone());
+                }
+            }
+        }
+
+        let session = arena.cache_mut();
+        for key in &scaffold_keys {
+            let states = self
+                .store
+                .get(key, tier)
+                .ok_or_else(|| EngineError::MissingModuleStates {
+                    key: format!("{key:?}"),
+                })?;
+            session.append(&states)?;
+            // Scaffold members have no params, so the mirror can take the
+            // span tokens directly.
+            cached_rows += states.len();
+            bytes_reused += states.size_bytes();
+            used_scaffold = true;
+        }
+        if used_scaffold {
+            // Rebuild the row mirror from scaffold span tokens.
+            for scaffold in &entry.scaffolds {
+                if scaffold_keys.contains(&scaffold.key) {
+                    for &i in &scaffold.span_indices {
+                        row_tokens.extend_from_slice(&entry.span_tokens[i].tokens);
+                    }
+                }
+            }
+        }
+
+        for part in &resolved.parts {
+            let ResolvedPart::Cached { span_index, .. } = part else {
+                continue;
+            };
+            if scaffolded_spans.contains(span_index) {
+                continue;
+            }
+            let key = self.span_key(&prompt.schema, *span_index);
+            let states =
+                self.store
+                    .get(&key, tier)
+                    .ok_or_else(|| EngineError::MissingModuleStates {
+                        key: format!("{}.span{}", prompt.schema, span_index),
+                    })?;
+            // Copy the span, skipping filled placeholder rows (their
+            // states are recomputed from the real argument below).
+            let skip = filled.get(span_index).cloned().unwrap_or_default();
+            let mut cursor = 0usize;
+            let toks = &entry.span_tokens[*span_index].tokens;
+            let mut ranges: Vec<(usize, usize)> = Vec::new();
+            let mut sorted = skip.clone();
+            sorted.sort_unstable();
+            for (off, len) in sorted {
+                if cursor < off {
+                    ranges.push((cursor, off));
+                }
+                cursor = off + len;
+            }
+            if cursor < states.len() {
+                ranges.push((cursor, states.len()));
+            }
+            for (s, e) in ranges {
+                session.append_range(&states, s, e)?;
+                row_tokens.extend_from_slice(&toks[s..e]);
+                cached_rows += e - s;
+                bytes_reused +=
+                    2 * states.num_layers() * (e - s) * states.kv_dim() * 4;
+            }
+        }
+        let fetch_time = started.elapsed();
+
+        // --- steps ③/④: compute uncached tokens at their positions ---
+        let chunk = uncached_chunk(&resolved, self.tokenizer.as_ref());
+        let eos = self.tokenizer.special(SpecialToken::Eos);
+        let session = arena.cache_mut();
+
+        let last_logits = if !chunk.tokens.is_empty() {
+            self.model
+                .prefill(&chunk.tokens, &chunk.positions, session)?
+        } else {
+            // Module-only prompt: re-derive the final token's logits by
+            // recomputing the last cached row.
+            if session.is_empty() {
+                return Err(EngineError::EmptyPrompt);
+            }
+            let last_row = session.len() - 1;
+            let last_token = row_tokens[last_row];
+            let last_pos = session.positions()[last_row];
+            session.truncate(last_row);
+            self.model.prefill(&[last_token], &[last_pos], session)?
+        };
+        let prefill_time = started.elapsed() - fetch_time;
+
+        // --- decode ---
+        let mut sampler: Box<dyn Sampler> = match options.temperature {
+            Some((t, seed)) => Box::new(TemperatureSampler::new(t, seed)),
+            None => Box::new(GreedySampler),
+        };
+        let (tokens, ttft, decode) = self.decode_loop(
+            session,
+            last_logits,
+            options.max_new_tokens,
+            eos,
+            sampler.as_mut(),
+            started,
+            on_token,
+        )?;
+
+        // Union prefetching (§3.2.3): warm the device tier with the
+        // siblings of every imported union member, outside the timed
+        // region — the next request likely swaps one member.
+        if self.config.prefetch_union_siblings && tier == Tier::Device {
+            let mut keys = Vec::new();
+            for path in &imported {
+                let Some(info) = entry.layout.module(path) else {
+                    continue;
+                };
+                let Some(group) = info.union_group else {
+                    continue;
+                };
+                for sibling in &entry.layout.modules {
+                    if sibling.union_group == Some(group) && sibling.path != *path {
+                        for (i, span) in entry.layout.spans.iter().enumerate() {
+                            if span.owner == sibling.path {
+                                keys.push(self.span_key(&prompt.schema, i));
+                            }
+                        }
+                    }
+                }
+            }
+            self.store.prefetch(&keys);
+        }
+
+        let response = Response {
+            text: self.tokenizer.decode(&tokens),
+            tokens,
+            timings: Timings {
+                ttft,
+                fetch: fetch_time,
+                prefill: prefill_time,
+                decode,
+            },
+            stats: ServeStats {
+                cached_tokens: cached_rows,
+                new_tokens: chunk.tokens.len(),
+                bytes_reused,
+                used_scaffold,
+            },
+            warnings: resolved.warnings,
+        };
+        Ok((response, arena.into_cache()))
+    }
+
+    /// Serves the same prompt through the **baseline KV-cache path**: the
+    /// prompt is rendered to plain text (modules inlined, arguments
+    /// substituted), tokenised, and prefilled from position 0 with no
+    /// reuse — the paper's comparison baseline, sharing every other stage
+    /// of the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PromptCache::serve`].
+    pub fn serve_baseline(&self, prompt_pml: &str, options: &ServeOptions) -> Result<Response> {
+        let prompt = parse_prompt(prompt_pml)?;
+        let schemas = self.schemas.read();
+        let entry = schemas
+            .get(&prompt.schema)
+            .ok_or_else(|| EngineError::UnknownSchema {
+                name: prompt.schema.clone(),
+            })?;
+        let counter = |t: &str| self.count(t);
+        let resolved = resolve_prompt(&entry.layout, &prompt, &counter)?;
+        let text = render_plain(&resolved, &entry.layout.spans);
+        drop(schemas);
+        self.generate_plain(&text, options, resolved.warnings)
+    }
+
+    /// Runs plain-text generation (full prefill, no cache reuse). Public
+    /// so benches can time arbitrary synthetic prompts.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EmptyPrompt`] for empty text; model failures.
+    pub fn generate_plain(
+        &self,
+        text: &str,
+        options: &ServeOptions,
+        warnings: Vec<String>,
+    ) -> Result<Response> {
+        let tokens = self.tokenizer.encode(text);
+        if tokens.is_empty() {
+            return Err(EngineError::EmptyPrompt);
+        }
+        let positions: Vec<usize> = (0..tokens.len()).collect();
+        let started = Instant::now();
+        let mut cache = KvCache::new(self.model.config());
+        let last_logits = self.model.prefill(&tokens, &positions, &mut cache)?;
+        let prefill_time = started.elapsed();
+        let eos = self.tokenizer.special(SpecialToken::Eos);
+        let mut sampler: Box<dyn Sampler> = match options.temperature {
+            Some((t, seed)) => Box::new(TemperatureSampler::new(t, seed)),
+            None => Box::new(GreedySampler),
+        };
+        let (out, ttft, decode) = self.decode_loop(
+            &mut cache,
+            last_logits,
+            options.max_new_tokens,
+            eos,
+            sampler.as_mut(),
+            started,
+            &mut |_, _| {},
+        )?;
+        Ok(Response {
+            text: self.tokenizer.decode(&out),
+            tokens: out,
+            timings: Timings {
+                ttft,
+                fetch: std::time::Duration::ZERO,
+                prefill: prefill_time,
+                decode,
+            },
+            stats: ServeStats {
+                cached_tokens: 0,
+                new_tokens: tokens.len(),
+                bytes_reused: 0,
+                used_scaffold: false,
+            },
+            warnings,
+        })
+    }
+
+    /// Resolves a parsed prompt against its registered schema — shared by
+    /// batch accounting.
+    pub(crate) fn resolve_for(
+        &self,
+        prompt: &pc_pml::Prompt,
+    ) -> Result<ResolvedPrompt> {
+        let schemas = self.schemas.read();
+        let entry = schemas
+            .get(&prompt.schema)
+            .ok_or_else(|| EngineError::UnknownSchema {
+                name: prompt.schema.clone(),
+            })?;
+        let counter = |t: &str| self.count(t);
+        Ok(resolve_prompt(&entry.layout, prompt, &counter)?)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decode_loop(
+        &self,
+        cache: &mut KvCache,
+        mut logits: Vec<f32>,
+        max_new_tokens: usize,
+        eos: TokenId,
+        sampler: &mut dyn Sampler,
+        started: Instant,
+        on_token: &mut dyn FnMut(TokenId, usize),
+    ) -> Result<(Vec<TokenId>, std::time::Duration, std::time::Duration)> {
+        let mut tokens = Vec::new();
+        let mut ttft = std::time::Duration::ZERO;
+        let mut next_pos = cache.positions().iter().max().map_or(0, |p| p + 1);
+        while tokens.len() < max_new_tokens {
+            let token = sampler.sample(&logits);
+            tokens.push(token);
+            if tokens.len() == 1 {
+                ttft = started.elapsed();
+            }
+            on_token(token, tokens.len());
+            if token == eos || tokens.len() == max_new_tokens {
+                break;
+            }
+            logits = self.model.prefill(&[token], &[next_pos], cache)?;
+            next_pos += 1;
+        }
+        let decode = started.elapsed() - ttft;
+        Ok((tokens, ttft, decode))
+    }
+
+    /// Persists every encoded module to `dir` (binary codec + manifest),
+    /// so a restarted server can skip re-encoding: register the same
+    /// schemas after [`PromptCache::load_modules`] and spans found in the
+    /// store are reused.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors.
+    pub fn save_modules(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        self.store.save_dir(dir)
+    }
+
+    /// Loads modules persisted by [`PromptCache::save_modules`]. Call
+    /// before registering schemas.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors or corrupted payloads.
+    pub fn load_modules(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        self.store.load_dir(dir)
+    }
+}
+
+impl std::fmt::Debug for PromptCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PromptCache")
+            .field("model", &self.model.config().family)
+            .field("schemas", &self.schemas.read().len())
+            .field("cached_bytes", &self.store.host_bytes())
+            .finish()
+    }
+}

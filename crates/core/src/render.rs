@@ -1,0 +1,223 @@
+//! Tokenisation of layout spans and plain-text rendering for the baseline
+//! path.
+
+use pc_model::TokenId;
+use pc_pml::layout::{LayoutSpan, Segment};
+use pc_pml::resolve::{ResolvedPart, ResolvedPrompt};
+use pc_tokenizer::{SpecialToken, Tokenizer};
+
+/// Token-level view of one layout span: ids, their schema positions, and
+/// where each parameter's placeholder rows sit within the span.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SpanTokens {
+    pub tokens: Vec<TokenId>,
+    pub positions: Vec<usize>,
+    /// `(param name, row offset within span, reserved len)`.
+    pub params: Vec<(String, usize, usize)>,
+}
+
+/// Tokenises a span: text segments via the tokenizer, parameters as `len`
+/// `<unk>` placeholder tokens (paper §3.3).
+pub(crate) fn span_tokens(span: &LayoutSpan, tokenizer: &dyn Tokenizer) -> SpanTokens {
+    let unk = tokenizer.special(SpecialToken::Unk);
+    let mut tokens = Vec::with_capacity(span.len);
+    let mut params = Vec::new();
+    for segment in &span.segments {
+        match segment {
+            Segment::Text { text, .. } => tokens.extend(tokenizer.encode(text)),
+            Segment::Param { name, len } => {
+                params.push((name.clone(), tokens.len(), *len));
+                tokens.extend(std::iter::repeat_n(unk, *len));
+            }
+        }
+    }
+    debug_assert_eq!(
+        tokens.len(),
+        span.len,
+        "layout token counts must come from the engine tokenizer"
+    );
+    let positions = (span.start..span.start + tokens.len()).collect();
+    SpanTokens {
+        tokens,
+        positions,
+        params,
+    }
+}
+
+/// Renders the resolved prompt as the plain text a schema-less system
+/// would have received: parts ordered by position, parameters substituted,
+/// unfilled placeholders dropped. This is the input to the baseline
+/// KV-cache path, guaranteeing both paths see the same content.
+pub(crate) fn render_plain(resolved: &ResolvedPrompt, spans: &[LayoutSpan]) -> String {
+    // (position, text) pieces, then sort by position for natural order.
+    let mut pieces: Vec<(usize, usize, String)> = Vec::new();
+    for (order, part) in resolved.parts.iter().enumerate() {
+        match part {
+            ResolvedPart::Cached {
+                span_index, start, ..
+            } => {
+                let span = &spans[*span_index];
+                let mut text_parts = Vec::new();
+                for segment in &span.segments {
+                    match segment {
+                        Segment::Text { text, .. } => text_parts.push(text.clone()),
+                        Segment::Param { name, .. } => {
+                            // Substitute the supplied argument, if any.
+                            let arg = resolved.parts.iter().find_map(|p| match p {
+                                ResolvedPart::Argument {
+                                    module,
+                                    param,
+                                    text,
+                                    ..
+                                } if *module == span.owner && param == name => {
+                                    Some(text.clone())
+                                }
+                                _ => None,
+                            });
+                            if let Some(arg) = arg {
+                                text_parts.push(arg);
+                            }
+                        }
+                    }
+                }
+                let text = text_parts.join(" ");
+                if !text.is_empty() {
+                    pieces.push((*start, order, text));
+                }
+            }
+            ResolvedPart::NewText { text, start, .. } => {
+                pieces.push((*start, order, text.clone()));
+            }
+            ResolvedPart::Argument { .. } => {} // rendered inside its span
+        }
+    }
+    pieces.sort_by_key(|&(pos, order, _)| (pos, order));
+    pieces
+        .into_iter()
+        .map(|(_, _, t)| t)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The uncached work of a serve call: argument and new-text tokens with
+/// their gap positions, in prompt order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct UncachedChunk {
+    pub tokens: Vec<TokenId>,
+    pub positions: Vec<usize>,
+}
+
+/// Builds the uncached chunk from a resolution.
+pub(crate) fn uncached_chunk(
+    resolved: &ResolvedPrompt,
+    tokenizer: &dyn Tokenizer,
+) -> UncachedChunk {
+    let mut chunk = UncachedChunk::default();
+    for part in &resolved.parts {
+        match part {
+            ResolvedPart::Argument { text, start, .. }
+            | ResolvedPart::NewText { text, start, .. } => {
+                let ids = tokenizer.encode(text);
+                chunk
+                    .positions
+                    .extend(*start..*start + ids.len());
+                chunk.tokens.extend(ids);
+            }
+            ResolvedPart::Cached { .. } => {}
+        }
+    }
+    chunk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_pml::layout::SchemaLayout;
+    use pc_pml::template::ChatTemplate;
+    use pc_pml::{parse_prompt, parse_schema};
+    use pc_tokenizer::WordTokenizer;
+
+    fn setup() -> (SchemaLayout, WordTokenizer) {
+        let mut tok = WordTokenizer::train(&[
+            "plan a trip of days miami has beaches surf and sun highlight the spots three",
+        ]);
+        tok.add_word("<unk>");
+        let schema = parse_schema(
+            r#"<schema name="t">
+                 <module name="plan">plan a trip of <param name="duration" len="3"/></module>
+                 <module name="miami">miami has beaches</module>
+               </schema>"#,
+        )
+        .unwrap();
+        let count = {
+            let t = tok.clone();
+            move |s: &str| pc_tokenizer::Tokenizer::encode(&t, s).len()
+        };
+        let layout = SchemaLayout::build(&schema, ChatTemplate::Plain, &count);
+        (layout, tok)
+    }
+
+    #[test]
+    fn span_tokens_place_unk_for_params() {
+        let (layout, tok) = setup();
+        let span = &layout.spans_of(&["plan".into()])[0];
+        let st = span_tokens(span, &tok);
+        assert_eq!(st.tokens.len(), 7); // 4 words + 3 slots
+        assert_eq!(st.params, vec![("duration".to_string(), 4, 3)]);
+        let unk = tok.special(pc_tokenizer::SpecialToken::Unk);
+        assert_eq!(&st.tokens[4..7], &[unk, unk, unk]);
+        assert_eq!(st.positions, (span.start..span.start + 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uncached_chunk_collects_args_and_text() {
+        let (layout, tok) = setup();
+        let count = {
+            let t = tok.clone();
+            move |s: &str| pc_tokenizer::Tokenizer::encode(&t, s).len()
+        };
+        let prompt = parse_prompt(
+            r#"<prompt schema="t"><plan duration="three days"/><miami/>highlight the spots</prompt>"#,
+        )
+        .unwrap();
+        let resolved = pc_pml::resolve::resolve_prompt(&layout, &prompt, &count).unwrap();
+        let chunk = uncached_chunk(&resolved, &tok);
+        assert_eq!(chunk.tokens.len(), 2 + 3);
+        // Argument positions are the param slots (4, 5); text follows the
+        // last module (miami ends at 7+3=10).
+        assert_eq!(chunk.positions, vec![4, 5, 10, 11, 12]);
+    }
+
+    #[test]
+    fn render_plain_orders_by_position_and_substitutes() {
+        let (layout, tok) = setup();
+        let count = {
+            let t = tok.clone();
+            move |s: &str| pc_tokenizer::Tokenizer::encode(&t, s).len()
+        };
+        let prompt = parse_prompt(
+            r#"<prompt schema="t"><miami/><plan duration="three days"/>highlight the spots</prompt>"#,
+        )
+        .unwrap();
+        let resolved = pc_pml::resolve::resolve_prompt(&layout, &prompt, &count).unwrap();
+        let text = render_plain(&resolved, &layout.spans);
+        // Position order puts plan (start 0) before miami (start 7) even
+        // though the prompt imported miami first.
+        assert_eq!(
+            text,
+            "plan a trip of three days miami has beaches highlight the spots"
+        );
+    }
+
+    #[test]
+    fn render_plain_drops_unfilled_params() {
+        let (layout, tok) = setup();
+        let count = {
+            let t = tok.clone();
+            move |s: &str| pc_tokenizer::Tokenizer::encode(&t, s).len()
+        };
+        let prompt = parse_prompt(r#"<prompt schema="t"><plan/></prompt>"#).unwrap();
+        let resolved = pc_pml::resolve::resolve_prompt(&layout, &prompt, &count).unwrap();
+        assert_eq!(render_plain(&resolved, &layout.spans), "plan a trip of");
+    }
+}

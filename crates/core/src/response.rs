@@ -1,0 +1,79 @@
+//! Serving results: generated text plus the instrumentation every
+//! benchmark reads.
+
+use std::time::Duration;
+
+/// Latency breakdown of one serve call.
+///
+/// `ttft` is the paper's headline metric — "the time to generate the
+/// first token" — and equals `fetch + prefill + first sample`. Decode time
+/// is identical between Prompt Cache and the baseline by construction
+/// (§5: "Prompt Cache and KV Cache have the same decoding latency after
+/// the first token").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Timings {
+    /// Time to first token.
+    pub ttft: Duration,
+    /// Of which: fetching + concatenating cached states.
+    pub fetch: Duration,
+    /// Of which: computing attention states for uncached tokens.
+    pub prefill: Duration,
+    /// Time spent decoding the remaining tokens.
+    pub decode: Duration,
+}
+
+/// Cache-effectiveness counters for one serve call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Prompt tokens whose states came from the cache.
+    pub cached_tokens: usize,
+    /// Prompt tokens computed this call (arguments + new text).
+    pub new_tokens: usize,
+    /// Bytes of cached states concatenated into the session cache.
+    pub bytes_reused: usize,
+    /// Whether a scaffold satisfied part of the prompt.
+    pub used_scaffold: bool,
+}
+
+impl ServeStats {
+    /// Fraction of prompt tokens served from cache.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cached_tokens + self.new_tokens;
+        if total == 0 {
+            0.0
+        } else {
+            self.cached_tokens as f64 / total as f64
+        }
+    }
+}
+
+/// The result of serving one prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Decoded output text.
+    pub text: String,
+    /// Generated token ids.
+    pub tokens: Vec<u32>,
+    /// Latency breakdown.
+    pub timings: Timings,
+    /// Cache counters.
+    pub stats: ServeStats,
+    /// Non-fatal issues from prompt resolution.
+    pub warnings: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_bounds() {
+        let mut s = ServeStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.cached_tokens = 3;
+        s.new_tokens = 1;
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        s.new_tokens = 0;
+        assert_eq!(s.hit_ratio(), 1.0);
+    }
+}

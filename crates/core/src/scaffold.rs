@@ -1,0 +1,81 @@
+//! Scaffolds (paper §3.3): module sets encoded together to share one
+//! attention span, removing the cross-module masking approximation "at
+//! the cost of additional memory".
+
+use crate::render::SpanTokens;
+use crate::{EngineError, Result};
+use pc_cache::ModuleKey;
+use pc_pml::layout::{ModulePath, SchemaLayout};
+
+/// A registered scaffold: members, their spans, and the store key of the
+/// jointly-encoded states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scaffold {
+    /// Member module paths (top-level dot paths resolved).
+    pub members: Vec<ModulePath>,
+    /// Span indices covered, in position order.
+    pub span_indices: Vec<usize>,
+    /// Store key of the joint encoding.
+    pub key: ModuleKey,
+}
+
+impl Scaffold {
+    /// Validates the member list against the layout and derives the span
+    /// set.
+    ///
+    /// # Errors
+    ///
+    /// Unknown modules, empty member lists, or members with parameters.
+    pub fn build(
+        schema: &str,
+        modules: &[&str],
+        layout: &SchemaLayout,
+        span_tokens: &[SpanTokens],
+    ) -> Result<Scaffold> {
+        if modules.is_empty() {
+            return Err(EngineError::InvalidScaffold {
+                detail: "scaffold needs at least one module".into(),
+            });
+        }
+        let mut members = Vec::new();
+        let mut span_indices = Vec::new();
+        for name in modules {
+            let path: ModulePath = name.split('.').map(str::to_owned).collect();
+            let info = layout
+                .module(&path)
+                .ok_or_else(|| EngineError::InvalidScaffold {
+                    detail: format!("module `{name}` not in schema `{schema}`"),
+                })?;
+            if !info.params.is_empty() {
+                return Err(EngineError::InvalidScaffold {
+                    detail: format!("module `{name}` has parameters; scaffolds require plain modules"),
+                });
+            }
+            for (i, span) in layout.spans.iter().enumerate() {
+                if span.owner == path {
+                    debug_assert!(span_tokens[i].params.is_empty());
+                    span_indices.push(i);
+                }
+            }
+            members.push(path);
+        }
+        span_indices.sort_unstable();
+        span_indices.dedup();
+        if span_indices.is_empty() {
+            return Err(EngineError::InvalidScaffold {
+                detail: "scaffold members contain no cacheable content".into(),
+            });
+        }
+        let key = ModuleKey {
+            schema: schema.to_owned(),
+            path: std::iter::once("<scaffold>".to_owned())
+                .chain(modules.iter().map(|s| s.to_string()))
+                .collect(),
+        };
+        Ok(Scaffold {
+            members,
+            span_indices,
+            key,
+        })
+    }
+}

@@ -1,0 +1,151 @@
+//! Multi-turn conversation tests: session reuse on top of module reuse.
+
+use pc_model::{Model, ModelConfig};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+
+const CORPUS: &str = "you are a helpful guide the miami coast has warm beaches surf and sun \
+    tell me about the water what about food compare both please one two three";
+
+fn engine() -> PromptCache {
+    let tokenizer = WordTokenizer::train(&[CORPUS]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_tiny(vocab), 8),
+        tokenizer,
+        EngineConfig::default(),
+    );
+    engine
+        .register_schema(
+            r#"<schema name="chat">
+                 <module name="miami">the miami coast has warm beaches surf and sun</module>
+               </schema>"#,
+        )
+        .unwrap();
+    engine
+}
+
+fn opts(n: usize) -> ServeOptions {
+    ServeOptions {
+        max_new_tokens: n,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn conversation_accumulates_session() {
+    let engine = engine();
+    let (mut convo, first) = engine
+        .conversation(
+            r#"<prompt schema="chat"><miami/>tell me about the water</prompt>"#,
+            &opts(4),
+        )
+        .unwrap();
+    assert_eq!(first.tokens.len(), 4);
+    let after_open = convo.session_tokens();
+    // Module 9 + question 5 + 4 decoded.
+    assert_eq!(after_open, 9 + 5 + 4);
+
+    let second = convo.say("what about food", &opts(4)).unwrap();
+    assert_eq!(second.stats.cached_tokens, after_open);
+    assert_eq!(second.stats.new_tokens, 3);
+    assert_eq!(convo.session_tokens(), after_open + 3 + 4);
+    assert_eq!(convo.turns(), 2);
+    assert_eq!(convo.transcript()[1].user, "what about food");
+}
+
+#[test]
+fn later_turns_match_a_monolithic_session() {
+    // Turn-by-turn conversation must equal serving the whole history in
+    // one pass: build the same token/position sequence manually through
+    // the model and compare outputs.
+    let engine = engine();
+    let (mut convo, first) = engine
+        .conversation(
+            r#"<prompt schema="chat"><miami/>tell me about the water</prompt>"#,
+            &opts(3),
+        )
+        .unwrap();
+    let second = convo.say("what about food", &opts(3)).unwrap();
+
+    // Reference: replay through a fresh model-level session.
+    let model = engine.model();
+    let tok = engine.tokenizer();
+    let mut cache = pc_model::KvCache::new(model.config());
+    let module_tokens = tok.encode("the miami coast has warm beaches surf and sun");
+    let q1 = tok.encode("tell me about the water");
+    let mut pos = 0usize;
+    let feed = |tokens: &[u32], cache: &mut pc_model::KvCache, pos: &mut usize| {
+        let positions: Vec<usize> = (*pos..*pos + tokens.len()).collect();
+        *pos += tokens.len();
+        model.prefill(tokens, &positions, cache).unwrap()
+    };
+    feed(&module_tokens, &mut cache, &mut pos);
+    let mut logits = feed(&q1, &mut cache, &mut pos);
+    let mut replay_first = Vec::new();
+    for _ in 0..3 {
+        let t = pc_tensor::ops::argmax_slice(&logits).unwrap() as u32;
+        replay_first.push(t);
+        logits = feed(&[t], &mut cache, &mut pos);
+    }
+    assert_eq!(replay_first, first.tokens);
+
+    let q2 = tok.encode("what about food");
+    // Continue: last decode already fed the 3rd token; replay did too.
+    let mut logits = feed(&q2, &mut cache, &mut pos);
+    let mut replay_second = Vec::new();
+    for _ in 0..3 {
+        let t = pc_tensor::ops::argmax_slice(&logits).unwrap() as u32;
+        replay_second.push(t);
+        logits = feed(&[t], &mut cache, &mut pos);
+    }
+    assert_eq!(replay_second, second.tokens);
+}
+
+#[test]
+fn turn_ttft_tracks_message_not_history() {
+    // Grow a long history, then verify a short message's prefill handles
+    // only its own tokens (new_tokens) while attending to everything.
+    let engine = engine();
+    let (mut convo, _) = engine
+        .conversation(
+            r#"<prompt schema="chat"><miami/>tell me about the water</prompt>"#,
+            &opts(2),
+        )
+        .unwrap();
+    for _ in 0..4 {
+        convo.say("compare both please one two three", &opts(2)).unwrap();
+    }
+    let history = convo.session_tokens();
+    let r = convo.say("what about food", &opts(1)).unwrap();
+    assert_eq!(r.stats.new_tokens, 3);
+    assert_eq!(r.stats.cached_tokens, history);
+}
+
+#[test]
+fn empty_message_rejected() {
+    let engine = engine();
+    let (mut convo, _) = engine
+        .conversation(r#"<prompt schema="chat"><miami/>tell me</prompt>"#, &opts(1))
+        .unwrap();
+    assert!(convo.say("", &opts(1)).is_err());
+    assert!(convo.say("   ", &opts(1)).is_err());
+}
+
+#[test]
+fn two_conversations_share_modules_but_not_history() {
+    let engine = engine();
+    let (mut a, _) = engine
+        .conversation(r#"<prompt schema="chat"><miami/>tell me</prompt>"#, &opts(2))
+        .unwrap();
+    let (mut b, _) = engine
+        .conversation(r#"<prompt schema="chat"><miami/>tell me</prompt>"#, &opts(2))
+        .unwrap();
+    a.say("what about food", &opts(2)).unwrap();
+    // b's history is unaffected by a's turn.
+    assert_eq!(b.turns(), 1);
+    let rb = b.say("what about food", &opts(2)).unwrap();
+    let ra_len = a.session_tokens();
+    assert_eq!(b.session_tokens(), ra_len);
+    assert!(rb.stats.cached_tokens > 0);
+}

@@ -1,0 +1,321 @@
+//! Tests for the serving-system features layered on the core mechanism:
+//! streaming decode, module persistence, and union-sibling prefetching.
+
+use pc_cache::{EvictionPolicy, StoreConfig, Tier};
+use pc_model::{Model, ModelConfig};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+
+const CORPUS: &str = "alpha beta gamma delta epsilon zeta eta theta iota kappa \
+    lambda mu nu xi omicron pi rho sigma tau upsilon answer the question now";
+
+fn engine_with(config: EngineConfig) -> PromptCache {
+    let tokenizer = WordTokenizer::train(&[CORPUS]);
+    let vocab = tokenizer.vocab_size().max(64);
+    PromptCache::new(Model::new(ModelConfig::llama_tiny(vocab), 77), tokenizer, config)
+}
+
+const UNION_SCHEMA: &str = r#"
+  <schema name="u">
+    <union>
+      <module name="a">alpha beta gamma delta epsilon</module>
+      <module name="b">zeta eta theta iota kappa</module>
+      <module name="c">lambda mu nu xi omicron</module>
+    </union>
+  </schema>"#;
+
+#[test]
+fn streaming_tokens_match_response() {
+    let engine = engine_with(EngineConfig::default());
+    engine.register_schema(UNION_SCHEMA).unwrap();
+    let mut streamed = Vec::new();
+    let mut counts = Vec::new();
+    let r = engine
+        .serve_streaming(
+            r#"<prompt schema="u"><a/>answer the question now</prompt>"#,
+            &ServeOptions {
+                max_new_tokens: 6,
+                ..Default::default()
+            },
+            &mut |tok, n| {
+                streamed.push(tok);
+                counts.push(n);
+            },
+        )
+        .unwrap();
+    assert_eq!(streamed, r.tokens);
+    assert_eq!(counts, (1..=r.tokens.len()).collect::<Vec<_>>());
+}
+
+#[test]
+fn streaming_baseline_equivalence_preserved() {
+    let engine = engine_with(EngineConfig::default());
+    engine.register_schema(UNION_SCHEMA).unwrap();
+    let prompt = r#"<prompt schema="u"><b/>answer the question now</prompt>"#;
+    let opts = ServeOptions {
+        max_new_tokens: 6,
+        ..Default::default()
+    };
+    let streamed = engine
+        .serve_streaming(prompt, &opts, &mut |_, _| {})
+        .unwrap();
+    let plain = engine.serve_with(prompt, &opts).unwrap();
+    assert_eq!(streamed.tokens, plain.tokens);
+}
+
+#[test]
+fn union_sibling_prefetch_warms_device_tier() {
+    let engine = engine_with(EngineConfig {
+        store: StoreConfig {
+            device_capacity_bytes: 1 << 22,
+            policy: EvictionPolicy::Lru,
+        },
+        tier: Some(Tier::Device),
+        prefetch_union_siblings: true,
+        ..Default::default()
+    });
+    engine.register_schema(UNION_SCHEMA).unwrap();
+    let opts = ServeOptions {
+        max_new_tokens: 1,
+        ..Default::default()
+    };
+    // Serving member `a` should prefetch b and c.
+    engine
+        .serve_with(r#"<prompt schema="u"><a/>answer</prompt>"#, &opts)
+        .unwrap();
+    let copied_after_first = engine.store_stats().bytes_copied_h2d;
+    // Serving member `b` now finds it resident: no further copies.
+    engine
+        .serve_with(r#"<prompt schema="u"><b/>answer</prompt>"#, &opts)
+        .unwrap();
+    let stats = engine.store_stats();
+    assert_eq!(stats.bytes_copied_h2d, copied_after_first);
+    assert!(stats.device_hits >= 1);
+}
+
+#[test]
+fn without_prefetch_siblings_pay_their_own_copy() {
+    let engine = engine_with(EngineConfig {
+        store: StoreConfig {
+            device_capacity_bytes: 1 << 22,
+            policy: EvictionPolicy::Lru,
+        },
+        tier: Some(Tier::Device),
+        prefetch_union_siblings: false,
+        ..Default::default()
+    });
+    engine.register_schema(UNION_SCHEMA).unwrap();
+    let opts = ServeOptions {
+        max_new_tokens: 1,
+        ..Default::default()
+    };
+    engine
+        .serve_with(r#"<prompt schema="u"><a/>answer</prompt>"#, &opts)
+        .unwrap();
+    let after_first = engine.store_stats().bytes_copied_h2d;
+    engine
+        .serve_with(r#"<prompt schema="u"><b/>answer</prompt>"#, &opts)
+        .unwrap();
+    assert!(engine.store_stats().bytes_copied_h2d > after_first);
+}
+
+#[test]
+fn persistence_round_trip_skips_re_encoding() {
+    let dir = std::env::temp_dir().join(format!("pc-engine-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // First process: register (encodes), generate a reference output,
+    // persist.
+    let reference = {
+        let engine = engine_with(EngineConfig::default());
+        let info = engine.register_schema(UNION_SCHEMA).unwrap();
+        assert_eq!(info.spans, 3);
+        let saved = engine.save_modules(&dir).unwrap();
+        assert_eq!(saved, 3);
+        engine
+            .serve(r#"<prompt schema="u"><c/>answer the question now</prompt>"#, 6)
+            .unwrap()
+            .tokens
+    };
+
+    // Second process (same seed ⇒ same weights): load states, register —
+    // no re-encoding — and serve identically.
+    let engine = engine_with(EngineConfig::default());
+    let loaded = engine.load_modules(&dir).unwrap();
+    assert_eq!(loaded, 3);
+    let info = engine.register_schema(UNION_SCHEMA).unwrap();
+    assert_eq!(info.spans, 3, "preloaded spans counted");
+    let r = engine
+        .serve(r#"<prompt schema="u"><c/>answer the question now</prompt>"#, 6)
+        .unwrap();
+    assert_eq!(r.tokens, reference);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stale_persisted_states_are_re_encoded_not_reused() {
+    // Persist states for one schema revision, then register an *edited*
+    // schema under the same name: the engine must detect the mismatch and
+    // re-encode rather than serve stale states.
+    let dir = std::env::temp_dir().join(format!("pc-engine-stale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let engine = engine_with(EngineConfig::default());
+        engine.register_schema(UNION_SCHEMA).unwrap();
+        engine.save_modules(&dir).unwrap();
+    }
+    // Edited revision: module `a` has different (longer) content.
+    let edited = r#"
+      <schema name="u">
+        <union>
+          <module name="a">alpha beta gamma delta epsilon zeta eta</module>
+          <module name="b">zeta eta theta iota kappa</module>
+          <module name="c">lambda mu nu xi omicron</module>
+        </union>
+      </schema>"#;
+    let engine = engine_with(EngineConfig::default());
+    engine.load_modules(&dir).unwrap();
+    engine.register_schema(edited).unwrap();
+    // Serving module `a` must reflect the edited 7-token content.
+    let r = engine
+        .serve(r#"<prompt schema="u"><a/>answer the question now</prompt>"#, 2)
+        .unwrap();
+    assert_eq!(r.stats.cached_tokens, 7);
+    // And the output must equal a fresh engine's (no stale states leaked).
+    let fresh = engine_with(EngineConfig::default());
+    fresh.register_schema(edited).unwrap();
+    let f = fresh
+        .serve(r#"<prompt schema="u"><a/>answer the question now</prompt>"#, 2)
+        .unwrap();
+    assert_eq!(r.tokens, f.tokens);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn persisted_states_are_bit_identical_to_fresh_encoding() {
+    let dir = std::env::temp_dir().join(format!("pc-engine-bits-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fresh = engine_with(EngineConfig::default());
+    fresh.register_schema(UNION_SCHEMA).unwrap();
+    fresh.save_modules(&dir).unwrap();
+
+    let restored = engine_with(EngineConfig::default());
+    restored.load_modules(&dir).unwrap();
+    restored.register_schema(UNION_SCHEMA).unwrap();
+    // Bytes held must match exactly (f32-exact codec round trip).
+    assert_eq!(fresh.cached_bytes(), restored.cached_bytes());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn schema_listing_apis() {
+    let engine = engine_with(EngineConfig::default());
+    assert!(engine.schema_names().is_empty());
+    engine.register_schema(UNION_SCHEMA).unwrap();
+    assert_eq!(engine.schema_names(), vec!["u".to_string()]);
+    assert!(engine.has_schema("u"));
+    assert!(!engine.has_schema("ghost"));
+    engine.unregister_schema("u");
+    assert!(!engine.has_schema("u"));
+}
+
+#[test]
+fn concurrent_registration_and_serving_is_safe() {
+    // One thread registers/unregisters new schemas while others serve an
+    // existing one: no panics, serving stays correct.
+    let engine = std::sync::Arc::new(engine_with(EngineConfig::default()));
+    engine.register_schema(UNION_SCHEMA).unwrap();
+    let reference = engine
+        .serve(r#"<prompt schema="u"><a/>answer the question now</prompt>"#, 3)
+        .unwrap()
+        .tokens;
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let engine = std::sync::Arc::clone(&engine);
+            let reference = reference.clone();
+            s.spawn(move || {
+                for _ in 0..20 {
+                    let r = engine
+                        .serve(r#"<prompt schema="u"><a/>answer the question now</prompt>"#, 3)
+                        .unwrap();
+                    assert_eq!(r.tokens, reference);
+                }
+            });
+        }
+        let engine = std::sync::Arc::clone(&engine);
+        s.spawn(move || {
+            for i in 0..10 {
+                let name = format!("temp{i}");
+                engine
+                    .register_schema(&format!(
+                        r#"<schema name="{name}"><module name="m">alpha beta gamma</module></schema>"#
+                    ))
+                    .unwrap();
+                engine.unregister_schema(&name);
+            }
+        });
+    });
+    assert!(engine.has_schema("u"));
+}
+
+#[test]
+fn replace_schema_reencodes_only_changed_modules() {
+    let engine = engine_with(EngineConfig::default());
+    engine.register_schema(UNION_SCHEMA).unwrap();
+    let bytes_before = engine.cached_bytes();
+    let reference = engine
+        .serve(r#"<prompt schema="u"><b/>answer the question now</prompt>"#, 4)
+        .unwrap()
+        .tokens;
+
+    // Append-only extension: a fourth union member plus a new module.
+    let extended = r#"
+      <schema name="u">
+        <union>
+          <module name="a">alpha beta gamma delta epsilon</module>
+          <module name="b">zeta eta theta iota kappa</module>
+          <module name="c">lambda mu nu xi omicron</module>
+        </union>
+        <module name="extra">pi rho sigma tau upsilon</module>
+      </schema>"#;
+    let info = engine.replace_schema(extended).unwrap();
+    assert_eq!(info.spans, 4);
+    // Old modules reused, only `extra`'s 5 tokens newly encoded.
+    assert!(engine.cached_bytes() > bytes_before);
+    // Unchanged module serves identically to the pre-replace engine.
+    let after = engine
+        .serve(r#"<prompt schema="u"><b/>answer the question now</prompt>"#, 4)
+        .unwrap();
+    assert_eq!(after.tokens, reference);
+    // The new module serves too.
+    let extra = engine
+        .serve(r#"<prompt schema="u"><extra/>answer</prompt>"#, 2)
+        .unwrap();
+    assert_eq!(extra.stats.cached_tokens, 5);
+}
+
+#[test]
+fn replace_schema_drops_stale_spans_and_scaffolds() {
+    let engine = engine_with(EngineConfig::default());
+    engine
+        .register_schema(
+            r#"<schema name="r">
+                 <module name="a">alpha beta gamma</module>
+                 <module name="b">delta epsilon zeta</module>
+               </schema>"#,
+        )
+        .unwrap();
+    engine.add_scaffold("r", &["a", "b"]).unwrap();
+    let bytes_with_two = engine.cached_bytes();
+    // Shrink to one module: span 1 and the scaffold must be dropped.
+    engine
+        .replace_schema(r#"<schema name="r"><module name="a">alpha beta gamma</module></schema>"#)
+        .unwrap();
+    assert!(engine.cached_bytes() < bytes_with_two);
+    let r = engine
+        .serve(r#"<prompt schema="r"><a/>answer</prompt>"#, 1)
+        .unwrap();
+    assert_eq!(r.stats.cached_tokens, 3);
+    assert!(!r.stats.used_scaffold);
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the engine: random schemas and prompts must
+//! uphold the reuse-equivalence and accounting invariants.
+
+use pc_model::{Model, ModelConfig};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+use proptest::prelude::*;
+
+/// Lowercase word strategy (PML-safe, tokenizer-friendly).
+fn words(range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-z]{2,7}", range)
+}
+
+fn build_engine(all_text: &str, seed: u64) -> PromptCache {
+    let tokenizer = WordTokenizer::train(&[all_text]);
+    let vocab = tokenizer.vocab_size().max(64);
+    PromptCache::new(
+        Model::new(ModelConfig::llama_tiny(vocab), seed),
+        tokenizer,
+        EngineConfig::default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Any single-module prompt must match the baseline exactly —
+    /// whatever the module text, question, and weights.
+    #[test]
+    fn single_module_equivalence_holds_generally(
+        module_words in words(1..40),
+        question_words in words(1..8),
+        seed in 0u64..1000,
+    ) {
+        let module_text = module_words.join(" ");
+        let question = question_words.join(" ");
+        let engine = build_engine(&format!("{module_text} {question}"), seed);
+        engine
+            .register_schema(&format!(
+                r#"<schema name="p"><module name="m">{module_text}</module></schema>"#
+            ))
+            .unwrap();
+        let prompt = format!(r#"<prompt schema="p"><m/>{question}</prompt>"#);
+        let opts = ServeOptions { max_new_tokens: 4, ..Default::default() };
+        let cached = engine.serve_with(&prompt, &opts).unwrap();
+        let baseline = engine.serve_baseline(&prompt, &opts).unwrap();
+        prop_assert_eq!(cached.tokens, baseline.tokens);
+        prop_assert_eq!(cached.stats.cached_tokens, module_words.len());
+        prop_assert_eq!(cached.stats.new_tokens, question_words.len());
+    }
+
+    /// Serving accounting: cached + new token counts always equal the
+    /// schema/prompt word counts, for any module partition.
+    #[test]
+    fn token_accounting_is_exact(
+        module_a in words(1..20),
+        module_b in words(1..20),
+        question in words(1..6),
+        import_b in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let (a, b, q) = (module_a.join(" "), module_b.join(" "), question.join(" "));
+        let engine = build_engine(&format!("{a} {b} {q}"), seed);
+        engine
+            .register_schema(&format!(
+                r#"<schema name="p">
+                     <module name="a">{a}</module>
+                     <module name="b">{b}</module>
+                   </schema>"#
+            ))
+            .unwrap();
+        let imports = if import_b { "<a/><b/>" } else { "<a/>" };
+        let prompt = format!(r#"<prompt schema="p">{imports}{q}</prompt>"#);
+        let r = engine.serve(&prompt, 1).unwrap();
+        let expected_cached =
+            module_a.len() + if import_b { module_b.len() } else { 0 };
+        prop_assert_eq!(r.stats.cached_tokens, expected_cached);
+        prop_assert_eq!(r.stats.new_tokens, question.len());
+        prop_assert_eq!(r.tokens.len(), 1);
+    }
+
+    /// Parameter arguments of any legal width serve successfully, and the
+    /// placeholder accounting matches.
+    #[test]
+    fn parameter_widths_all_serve(
+        prefix in words(1..10),
+        arg in words(1..5),
+        slot in 5usize..8,
+        seed in 0u64..1000,
+    ) {
+        let prefix_text = prefix.join(" ");
+        let arg_text = arg.join(" ");
+        let engine = build_engine(&format!("{prefix_text} {arg_text} go"), seed);
+        engine
+            .register_schema(&format!(
+                r#"<schema name="p">
+                     <module name="m">{prefix_text} <param name="x" len="{slot}"/></module>
+                   </schema>"#
+            ))
+            .unwrap();
+        let prompt = format!(r#"<prompt schema="p"><m x="{arg_text}"/>go</prompt>"#);
+        let r = engine.serve(&prompt, 1).unwrap();
+        // A supplied argument displaces the *entire* placeholder range:
+        // its rows are recomputed from the argument and trailing unused
+        // slots become a position gap (§3.3's "trailing white spaces do
+        // not change the semantics"). Cached rows are the module text
+        // alone.
+        prop_assert_eq!(r.stats.cached_tokens, prefix.len());
+        prop_assert_eq!(r.stats.new_tokens, arg.len() + 1);
+        let _ = slot;
+    }
+
+    /// Serving is deterministic: same prompt, same engine, same output.
+    #[test]
+    fn serving_is_deterministic(
+        module_words in words(2..24),
+        seed in 0u64..1000,
+    ) {
+        let text = module_words.join(" ");
+        let engine = build_engine(&format!("{text} q"), seed);
+        engine
+            .register_schema(&format!(
+                r#"<schema name="p"><module name="m">{text}</module></schema>"#
+            ))
+            .unwrap();
+        let prompt = r#"<prompt schema="p"><m/>q</prompt>"#;
+        let a = engine.serve(prompt, 5).unwrap();
+        let b = engine.serve(prompt, 5).unwrap();
+        prop_assert_eq!(a.tokens, b.tokens);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+}

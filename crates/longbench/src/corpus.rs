@@ -1,0 +1,171 @@
+//! Deterministic synthetic document generation.
+//!
+//! Documents are lowercase ASCII word sequences drawn from a fixed
+//! vocabulary, organised into sentences, with named entities and planted
+//! facts ("the secret code for X is Y") that questions can target. The
+//! same `(seed, doc id)` always produces the same document, byte for
+//! byte, on every platform.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The base vocabulary documents draw from.
+const WORDS: [&str; 64] = [
+    "the", "a", "of", "and", "in", "to", "was", "is", "for", "on", "with", "as", "by", "that",
+    "city", "river", "council", "report", "meeting", "project", "committee", "member", "plan",
+    "budget", "system", "study", "region", "record", "season", "village", "company", "treaty",
+    "valley", "station", "harbor", "garden", "market", "castle", "bridge", "museum", "library",
+    "found", "built", "noted", "early", "later", "north", "south", "first", "second", "large",
+    "small", "known", "major", "local", "annual", "formal", "recent", "brief", "final", "joint",
+    "public", "famous", "historic",
+];
+
+/// A deterministic document generator.
+#[derive(Debug)]
+pub struct Corpus {
+    seed: u64,
+}
+
+impl Corpus {
+    /// Creates a corpus rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Corpus { seed }
+    }
+
+    fn rng(&self, stream: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream))
+    }
+
+    /// A document of roughly `words` words, identified by `id`.
+    pub fn document(&self, id: u64, words: usize) -> String {
+        let mut rng = self.rng(id);
+        let mut out = Vec::with_capacity(words);
+        while out.len() < words {
+            let sentence_len = rng.gen_range(8..15).min(words - out.len()).max(1);
+            for _ in 0..sentence_len {
+                out.push(WORDS[rng.gen_range(0..WORDS.len())]);
+            }
+        }
+        out.join(" ")
+    }
+
+    /// A stable entity name for `(doc id, slot)`.
+    pub fn entity(&self, id: u64, slot: u64) -> String {
+        let mut rng = self.rng(id ^ (slot << 32) ^ 0xE7);
+        format!("entity{}", rng.gen_range(0..100_000))
+    }
+
+    /// A stable answer word for `(doc id, slot)`.
+    pub fn answer(&self, id: u64, slot: u64) -> String {
+        let mut rng = self.rng(id ^ (slot << 32) ^ 0xA5);
+        format!("code{}", rng.gen_range(0..100_000))
+    }
+
+    /// A document with a planted fact: `words` filler words plus the
+    /// sentence "the secret code for {entity} is {answer}" inserted at a
+    /// deterministic offset. Returns `(document, entity, answer)`.
+    pub fn document_with_fact(&self, id: u64, words: usize) -> (String, String, String) {
+        let entity = self.entity(id, 1);
+        let answer = self.answer(id, 1);
+        let body = self.document(id, words.saturating_sub(8).max(1));
+        let mut parts: Vec<&str> = body.split(' ').collect();
+        let fact = format!("the secret code for {entity} is {answer}");
+        let insert_at = {
+            let mut rng = self.rng(id ^ 0x51);
+            rng.gen_range(0..=parts.len())
+        };
+        let fact_words: Vec<&str> = fact.split(' ').collect();
+        for (i, w) in fact_words.iter().enumerate() {
+            parts.insert(insert_at + i, w);
+        }
+        (parts.join(" "), entity, answer)
+    }
+
+    /// A synthetic source-code "file" of roughly `words` tokens — used by
+    /// the code-completion datasets (LCC, RepoBench-P) and the Figure 6
+    /// example.
+    pub fn code_file(&self, id: u64, words: usize) -> String {
+        let mut rng = self.rng(id ^ 0xC0DE);
+        let mut out = String::new();
+        let mut count = 0;
+        let mut fn_idx = 0;
+        while count < words {
+            let params = rng.gen_range(0..3);
+            let body_lines = rng.gen_range(1..4);
+            out.push_str(&format!("fn func{}_{fn_idx} ( ", id));
+            for p in 0..params {
+                out.push_str(&format!("arg{p} "));
+            }
+            out.push_str(") { ");
+            for l in 0..body_lines {
+                out.push_str(&format!(
+                    "let v{l} = arg0 + {} ; ",
+                    rng.gen_range(0..100)
+                ));
+            }
+            out.push_str("} ");
+            count += 8 + 3 * body_lines + params;
+            fn_idx += 1;
+        }
+        out.trim_end().to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_are_deterministic() {
+        let a = Corpus::new(7).document(3, 100);
+        let b = Corpus::new(7).document(3, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_ids_and_seeds_differ() {
+        let c = Corpus::new(7);
+        assert_ne!(c.document(1, 50), c.document(2, 50));
+        assert_ne!(Corpus::new(8).document(1, 50), c.document(1, 50));
+    }
+
+    #[test]
+    fn word_count_is_close() {
+        let doc = Corpus::new(1).document(5, 200);
+        let count = doc.split_whitespace().count();
+        assert_eq!(count, 200);
+    }
+
+    #[test]
+    fn planted_fact_is_findable() {
+        let (doc, entity, answer) = Corpus::new(3).document_with_fact(11, 150);
+        assert!(doc.contains(&format!("the secret code for {entity} is {answer}")));
+        // Roughly the requested size.
+        let words = doc.split_whitespace().count();
+        assert!((140..=170).contains(&words), "{words}");
+    }
+
+    #[test]
+    fn entities_are_stable_and_slot_scoped() {
+        let c = Corpus::new(9);
+        assert_eq!(c.entity(4, 1), c.entity(4, 1));
+        assert_ne!(c.entity(4, 1), c.entity(4, 2));
+    }
+
+    #[test]
+    fn code_files_look_like_code() {
+        let code = Corpus::new(2).code_file(6, 120);
+        assert!(code.contains("fn func6_0"));
+        assert!(code.contains('{') && code.contains('}'));
+        let words = code.split_whitespace().count();
+        assert!(words >= 100, "{words}");
+    }
+
+    #[test]
+    fn tiny_documents_do_not_panic() {
+        let c = Corpus::new(0);
+        assert!(!c.document(0, 1).is_empty());
+        let (doc, _, _) = c.document_with_fact(0, 1);
+        assert!(doc.split_whitespace().count() >= 7); // at least the fact
+    }
+}

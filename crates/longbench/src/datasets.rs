@@ -1,0 +1,190 @@
+//! The 21-dataset LongBench catalog across 6 categories.
+//!
+//! Per-dataset context/question token budgets follow the LongBench
+//! paper's reported averages (4K–10K context) and the structural notes in
+//! the Prompt Cache paper (e.g. TriviaQA's few-shot directive makes its
+//! uncached portion unusually large, which is why it shows the smallest
+//! CPU speedup in Figure 4).
+
+use serde::Serialize;
+
+/// LongBench task category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Category {
+    /// Single-document question answering.
+    SingleDocQa,
+    /// Multi-document question answering.
+    MultiDocQa,
+    /// Summarisation.
+    Summarization,
+    /// Few-shot learning (examples ride in the uncached directive).
+    FewShot,
+    /// Synthetic retrieval/counting tasks.
+    Synthetic,
+    /// Code completion.
+    Code,
+}
+
+/// Evaluation metric family (LongBench's assignments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Metric {
+    /// Token-level F1.
+    F1,
+    /// Rouge-L F-measure.
+    RougeL,
+    /// Exact-match accuracy.
+    Accuracy,
+    /// Levenshtein edit similarity (code tasks).
+    EditSim,
+}
+
+/// Static description of one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DatasetSpec {
+    /// Dataset name as the paper prints it.
+    pub name: &'static str,
+    /// Task category.
+    pub category: Category,
+    /// Metric LongBench scores it with.
+    pub metric: Metric,
+    /// Average context (cacheable document) tokens at paper scale.
+    pub context_tokens: usize,
+    /// Documents per sample (= prompt modules).
+    pub num_docs: usize,
+    /// Average uncached directive/question tokens at paper scale.
+    pub question_tokens: usize,
+}
+
+impl DatasetSpec {
+    /// Looks a dataset up by name.
+    pub fn by_name(name: &str) -> Option<&'static DatasetSpec> {
+        ALL.iter().find(|d| d.name == name)
+    }
+
+    /// Total prompt tokens at paper scale.
+    pub fn total_tokens(&self) -> usize {
+        self.context_tokens + self.question_tokens
+    }
+
+    /// Fraction of the prompt that Prompt Cache serves from cache.
+    pub fn cached_fraction(&self) -> f64 {
+        self.context_tokens as f64 / self.total_tokens() as f64
+    }
+}
+
+macro_rules! ds {
+    ($name:literal, $cat:ident, $metric:ident, $ctx:literal, $docs:literal, $q:literal) => {
+        DatasetSpec {
+            name: $name,
+            category: Category::$cat,
+            metric: Metric::$metric,
+            context_tokens: $ctx,
+            num_docs: $docs,
+            question_tokens: $q,
+        }
+    };
+}
+
+/// All 21 LongBench datasets.
+pub const ALL: [DatasetSpec; 21] = [
+    // Single-document QA.
+    ds!("NarrativeQA", SingleDocQa, F1, 9000, 1, 50),
+    ds!("Qasper", SingleDocQa, F1, 4800, 1, 60),
+    ds!("MultiFieldQA-en", SingleDocQa, F1, 6200, 1, 55),
+    ds!("MultiFieldQA-zh", SingleDocQa, F1, 5100, 1, 55),
+    // Multi-document QA.
+    ds!("HotpotQA", MultiDocQa, F1, 8900, 10, 60),
+    ds!("2WikiMultihopQA", MultiDocQa, F1, 4900, 10, 60),
+    ds!("MuSiQue", MultiDocQa, F1, 9900, 20, 60),
+    ds!("DuReader", MultiDocQa, RougeL, 9500, 5, 60),
+    // Summarisation.
+    ds!("GovReport", Summarization, RougeL, 7900, 1, 40),
+    ds!("QMSum", Summarization, RougeL, 9000, 1, 70),
+    ds!("MultiNews", Summarization, RougeL, 4300, 4, 40),
+    ds!("VCSUM", Summarization, RougeL, 9000, 1, 40),
+    // Few-shot: large uncached exemplar blocks ride with the question.
+    ds!("TREC", FewShot, Accuracy, 4600, 1, 300),
+    ds!("TriviaQA", FewShot, F1, 6800, 1, 1400),
+    ds!("SAMSum", FewShot, RougeL, 5600, 1, 500),
+    ds!("LSHT", FewShot, Accuracy, 8200, 1, 300),
+    // Synthetic.
+    ds!("PassageCount", Synthetic, Accuracy, 9800, 10, 40),
+    ds!("PassageRetrieval-en", Synthetic, Accuracy, 8700, 30, 45),
+    ds!("PassageRetrieval-zh", Synthetic, Accuracy, 6300, 30, 45),
+    // Code.
+    ds!("LCC", Code, EditSim, 4700, 4, 60),
+    ds!("RepoBench-P", Code, EditSim, 6800, 8, 70),
+];
+
+/// The eight datasets the paper's Figures 3–4 and Table 1 print.
+pub const FIGURE_SET: [&str; 8] = [
+    "NarrativeQA",
+    "2WikiMultihopQA",
+    "MuSiQue",
+    "GovReport",
+    "QMSum",
+    "MultiNews",
+    "TriviaQA",
+    "PassageRetrieval-en",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_one_datasets_six_categories() {
+        assert_eq!(ALL.len(), 21);
+        let mut cats: Vec<Category> = ALL.iter().map(|d| d.category).collect();
+        cats.dedup();
+        let unique: std::collections::HashSet<_> =
+            ALL.iter().map(|d| format!("{:?}", d.category)).collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let unique: std::collections::HashSet<_> = ALL.iter().map(|d| d.name).collect();
+        assert_eq!(unique.len(), ALL.len());
+    }
+
+    #[test]
+    fn figure_set_resolves() {
+        for name in FIGURE_SET {
+            assert!(DatasetSpec::by_name(name).is_some(), "{name}");
+        }
+        assert!(DatasetSpec::by_name("NotADataset").is_none());
+    }
+
+    #[test]
+    fn context_lengths_span_4k_to_10k() {
+        for d in ALL {
+            assert!(
+                (4000..=10_000).contains(&d.context_tokens),
+                "{}: {}",
+                d.name,
+                d.context_tokens
+            );
+        }
+    }
+
+    #[test]
+    fn trivia_qa_has_largest_uncached_portion() {
+        // The paper singles TriviaQA out: "the latency is higher for the
+        // datasets with a larger proportion of uncached prompts, such as
+        // TriviaQA".
+        let trivia = DatasetSpec::by_name("TriviaQA").unwrap();
+        for d in ALL {
+            if d.name != "TriviaQA" {
+                assert!(d.question_tokens <= trivia.question_tokens, "{}", d.name);
+            }
+        }
+        assert!(trivia.cached_fraction() < 0.9);
+    }
+
+    #[test]
+    fn qa_datasets_are_mostly_cached() {
+        let narrative = DatasetSpec::by_name("NarrativeQA").unwrap();
+        assert!(narrative.cached_fraction() > 0.99);
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic LongBench-style workloads and evaluation metrics.
+//!
+//! The paper evaluates on the LongBench suite (Bai et al., 2023): "a
+//! curated subsample of elongated data, ranging from 4K to 10K context
+//! length, excerpts from 21 datasets across 6 categories", with documents
+//! defined as prompt modules and task directives kept as uncached user
+//! text. We cannot ship LongBench's copyrighted documents, so this crate
+//! generates **deterministic synthetic equivalents** that preserve what
+//! the experiments actually consume:
+//!
+//! * the context/question token split per dataset (which sets each
+//!   dataset's cache-hit ratio and thus its TTFT curve);
+//! * the document-per-module structure (multi-doc QA has many small
+//!   modules, summarisation a few large ones, few-shot datasets a large
+//!   uncached directive);
+//! * extractive ground truth (a planted fact per sample) so the metric
+//!   pipeline — token F1, Rouge-L, accuracy, edit similarity, the same
+//!   metric families LongBench uses — runs end to end.
+//!
+//! All 21 datasets across the 6 categories are modelled ([`datasets::ALL`]);
+//! the eight the paper prints in Figures 3–4 and Table 1 are
+//! [`datasets::FIGURE_SET`].
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod datasets;
+pub mod evaluate;
+pub mod metrics;
+pub mod workload;
+
+pub use datasets::{Category, DatasetSpec, Metric};
+pub use workload::{Sample, Workload};

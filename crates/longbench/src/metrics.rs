@@ -1,0 +1,212 @@
+//! Evaluation metrics: token F1, Rouge-L, accuracy, edit similarity.
+//!
+//! These mirror the metric families LongBench assigns its datasets
+//! (Table 1's F1 / Rouge-L / Acc columns). All operate on normalised
+//! token bags/sequences: lowercase, punctuation stripped, articles
+//! removed — the conventional SQuAD-style normalisation.
+
+/// Normalises text for scoring: lowercase, strip punctuation, drop
+/// English articles, collapse whitespace.
+pub fn normalize(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split_whitespace()
+        .map(|w| {
+            w.chars()
+                .filter(|c| c.is_alphanumeric())
+                .collect::<String>()
+        })
+        .filter(|w| !w.is_empty() && w != "a" && w != "an" && w != "the")
+        .collect()
+}
+
+/// Token-level F1 between a prediction and a reference, in `[0, 1]`.
+pub fn token_f1(prediction: &str, reference: &str) -> f64 {
+    let pred = normalize(prediction);
+    let refr = normalize(reference);
+    if pred.is_empty() || refr.is_empty() {
+        return if pred == refr { 1.0 } else { 0.0 };
+    }
+    let mut ref_counts = std::collections::HashMap::new();
+    for w in &refr {
+        *ref_counts.entry(w.as_str()).or_insert(0usize) += 1;
+    }
+    let mut overlap = 0usize;
+    for w in &pred {
+        if let Some(c) = ref_counts.get_mut(w.as_str()) {
+            if *c > 0 {
+                *c -= 1;
+                overlap += 1;
+            }
+        }
+    }
+    if overlap == 0 {
+        return 0.0;
+    }
+    let precision = overlap as f64 / pred.len() as f64;
+    let recall = overlap as f64 / refr.len() as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Rouge-L F-measure (longest-common-subsequence based), in `[0, 1]`.
+pub fn rouge_l(prediction: &str, reference: &str) -> f64 {
+    let pred = normalize(prediction);
+    let refr = normalize(reference);
+    if pred.is_empty() || refr.is_empty() {
+        return if pred == refr { 1.0 } else { 0.0 };
+    }
+    let lcs = lcs_len(&pred, &refr);
+    if lcs == 0 {
+        return 0.0;
+    }
+    let precision = lcs as f64 / pred.len() as f64;
+    let recall = lcs as f64 / refr.len() as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+fn lcs_len(a: &[String], b: &[String]) -> usize {
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for x in a {
+        for (j, y) in b.iter().enumerate() {
+            cur[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Exact-match accuracy after normalisation (1.0 or 0.0). LongBench's
+/// retrieval tasks additionally count a prediction correct when it
+/// *contains* the reference; pass `substring = true` for that behaviour.
+pub fn accuracy(prediction: &str, reference: &str, substring: bool) -> f64 {
+    let pred = normalize(prediction);
+    let refr = normalize(reference);
+    let hit = if substring {
+        !refr.is_empty() && pred.windows(refr.len().max(1)).any(|w| w == refr.as_slice())
+    } else {
+        pred == refr
+    };
+    if hit {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Levenshtein edit similarity over characters, in `[0, 1]` — the code
+/// datasets' metric.
+pub fn edit_similarity(prediction: &str, reference: &str) -> f64 {
+    let a: Vec<char> = prediction.chars().collect();
+    let b: Vec<char> = reference.chars().collect();
+    let max_len = a.len().max(b.len());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(&a, &b) as f64 / max_len as f64
+}
+
+fn levenshtein(a: &[char], b: &[char]) -> usize {
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Scores a prediction with the metric a dataset uses.
+pub fn score(metric: crate::Metric, prediction: &str, reference: &str) -> f64 {
+    match metric {
+        crate::Metric::F1 => token_f1(prediction, reference),
+        crate::Metric::RougeL => rouge_l(prediction, reference),
+        crate::Metric::Accuracy => accuracy(prediction, reference, true),
+        crate::Metric::EditSim => edit_similarity(prediction, reference),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_strips_articles_and_punctuation() {
+        assert_eq!(normalize("The cat, sat!"), vec!["cat", "sat"]);
+        assert_eq!(normalize("An  apple"), vec!["apple"]);
+        assert!(normalize("").is_empty());
+    }
+
+    #[test]
+    fn f1_perfect_and_zero() {
+        assert_eq!(token_f1("the cat sat", "cat sat"), 1.0);
+        assert_eq!(token_f1("dog", "cat"), 0.0);
+        assert_eq!(token_f1("", ""), 1.0);
+        assert_eq!(token_f1("x", ""), 0.0);
+    }
+
+    #[test]
+    fn f1_partial_hand_computed() {
+        // pred {cat, sat, mat}, ref {cat, ran}: overlap 1,
+        // P = 1/3, R = 1/2, F1 = 2·(1/6)/(5/6) = 0.4.
+        let f1 = token_f1("cat sat mat", "cat ran");
+        assert!((f1 - 0.4).abs() < 1e-9, "{f1}");
+    }
+
+    #[test]
+    fn f1_respects_counts() {
+        // Repeated prediction words can't double-count one reference word.
+        let f1 = token_f1("cat cat cat", "cat dog");
+        // overlap 1, P = 1/3, R = 1/2 → 0.4
+        assert!((f1 - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rouge_l_orders_matter() {
+        // Same bag, different order: F1 is 1.0 but Rouge-L is lower.
+        assert_eq!(token_f1("b c d", "d c b"), 1.0);
+        assert!(rouge_l("b c d", "d c b") < 1.0);
+        assert_eq!(rouge_l("b c d", "b c d"), 1.0);
+    }
+
+    #[test]
+    fn rouge_l_hand_computed() {
+        // pred "x b c", ref "b c y": LCS = [b, c] = 2,
+        // P = 2/3, R = 2/3 → F = 2/3.
+        let r = rouge_l("x b c", "b c y");
+        assert!((r - 2.0 / 3.0).abs() < 1e-9, "{r}");
+    }
+
+    #[test]
+    fn accuracy_exact_and_substring() {
+        assert_eq!(accuracy("Paragraph 7", "paragraph 7", false), 1.0);
+        assert_eq!(accuracy("it is paragraph 7 indeed", "paragraph 7", false), 0.0);
+        assert_eq!(accuracy("it is paragraph 7 indeed", "paragraph 7", true), 1.0);
+        assert_eq!(accuracy("paragraph 8", "paragraph 7", true), 0.0);
+    }
+
+    #[test]
+    fn edit_similarity_bounds_and_known_value() {
+        assert_eq!(edit_similarity("abc", "abc"), 1.0);
+        assert_eq!(edit_similarity("", ""), 1.0);
+        // "kitten" → "sitting": distance 3, max len 7 → 1 - 3/7.
+        let sim = edit_similarity("kitten", "sitting");
+        assert!((sim - (1.0 - 3.0 / 7.0)).abs() < 1e-9);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn score_dispatches() {
+        assert_eq!(score(crate::Metric::F1, "cat", "cat"), 1.0);
+        assert_eq!(score(crate::Metric::RougeL, "cat", "cat"), 1.0);
+        assert_eq!(score(crate::Metric::Accuracy, "so cat yes", "cat"), 1.0);
+        assert_eq!(score(crate::Metric::EditSim, "cat", "cat"), 1.0);
+    }
+}

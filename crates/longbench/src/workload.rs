@@ -1,0 +1,319 @@
+//! Sample generation: documents-as-modules prompts with ground truth.
+
+use crate::corpus::Corpus;
+use crate::datasets::{Category, DatasetSpec};
+
+/// One evaluation sample: documents (→ prompt modules), an uncached
+/// directive, and the planted ground-truth answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Dataset name this sample belongs to.
+    pub dataset: &'static str,
+    /// Context documents, one per prompt module.
+    pub docs: Vec<String>,
+    /// Uncached task directive / question.
+    pub question: String,
+    /// Ground-truth answer.
+    pub answer: String,
+}
+
+impl Sample {
+    /// Approximate context size in whitespace tokens.
+    pub fn context_words(&self) -> usize {
+        self.docs.iter().map(|d| d.split_whitespace().count()).sum()
+    }
+
+    /// Approximate directive size in whitespace tokens.
+    pub fn question_words(&self) -> usize {
+        self.question.split_whitespace().count()
+    }
+
+    /// The PML schema for this sample: one `<module>` per document, named
+    /// `doc-0…doc-N` — "we defined the documents in the LongBench
+    /// datasets … as prompt modules" (§5.1).
+    pub fn schema_pml(&self, schema_name: &str) -> String {
+        let mut out = format!("<schema name=\"{schema_name}\">");
+        for (i, doc) in self.docs.iter().enumerate() {
+            out.push_str(&format!("<module name=\"doc-{i}\">{}</module>", escape(doc)));
+        }
+        out.push_str("</schema>");
+        out
+    }
+
+    /// The PML prompt importing every document and appending the
+    /// directive as uncached text.
+    pub fn prompt_pml(&self, schema_name: &str) -> String {
+        let mut out = format!("<prompt schema=\"{schema_name}\">");
+        for i in 0..self.docs.len() {
+            out.push_str(&format!("<doc-{i}/>"));
+        }
+        out.push_str(&escape(&self.question));
+        out.push_str("</prompt>");
+        out
+    }
+
+    /// The sample as plain text (documents then directive) — the
+    /// baseline's input.
+    pub fn plain_text(&self) -> String {
+        let mut parts = self.docs.clone();
+        parts.push(self.question.clone());
+        parts.join(" ")
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// A deterministic sample generator for one dataset.
+///
+/// `scale` shrinks the paper-scale token budgets so the real (tiny-model)
+/// engine can run the workload: `scale = 1.0` reproduces LongBench-sized
+/// prompts for the simulator, `scale = 0.05` gives a few hundred tokens
+/// for measured runs.
+#[derive(Debug)]
+pub struct Workload {
+    spec: &'static DatasetSpec,
+    corpus: Corpus,
+    scale: f64,
+}
+
+impl Workload {
+    /// Creates a workload for `spec` rooted at `seed`.
+    pub fn new(spec: &'static DatasetSpec, seed: u64, scale: f64) -> Self {
+        Workload {
+            spec,
+            corpus: Corpus::new(seed),
+            scale,
+        }
+    }
+
+    /// The dataset spec.
+    pub fn spec(&self) -> &'static DatasetSpec {
+        self.spec
+    }
+
+    /// Generates the `index`-th sample.
+    pub fn sample(&self, index: u64) -> Sample {
+        let ctx_words = ((self.spec.context_tokens as f64 * self.scale) as usize).max(16);
+        let q_words = ((self.spec.question_tokens as f64 * self.scale) as usize).max(4);
+        let num_docs = self.spec.num_docs;
+        let per_doc = (ctx_words / num_docs).max(8);
+        let base = index * 1000 + fnv(self.spec.name);
+
+        let mut docs = Vec::with_capacity(num_docs);
+        // Plant the fact in a deterministic "gold" document.
+        let gold = (index as usize) % num_docs;
+        let mut entity = String::new();
+        let mut answer = String::new();
+        for d in 0..num_docs {
+            let id = base + d as u64;
+            if matches!(self.spec.category, Category::Code) {
+                docs.push(self.corpus.code_file(id, per_doc));
+            } else if d == gold {
+                let (doc, e, a) = self.corpus.document_with_fact(id, per_doc);
+                entity = e;
+                answer = a;
+                docs.push(doc);
+            } else {
+                docs.push(self.corpus.document(id, per_doc));
+            }
+        }
+
+        let (question, answer) = match self.spec.category {
+            Category::Code => {
+                // Completion target: the first function of the gold file.
+                let reference = docs[gold]
+                    .split('}')
+                    .next()
+                    .map(|s| format!("{s}}}"))
+                    .unwrap_or_default();
+                (
+                    format!(
+                        "complete the next function in the style of file {gold} {}",
+                        filler(q_words.saturating_sub(10))
+                    ),
+                    reference,
+                )
+            }
+            Category::Summarization => (
+                format!(
+                    "summarize the documents above in one sentence {}",
+                    filler(q_words.saturating_sub(8))
+                ),
+                format!("the secret code for {entity} is {answer}"),
+            ),
+            Category::Synthetic => (
+                format!(
+                    "which document mentions {entity} answer with its number {}",
+                    filler(q_words.saturating_sub(9))
+                ),
+                format!("document {gold}"),
+            ),
+            Category::FewShot => (
+                format!(
+                    "{} question what is the secret code for {entity} answer",
+                    few_shot_block(q_words.saturating_sub(10), &self.corpus, base)
+                ),
+                answer,
+            ),
+            _ => (
+                format!(
+                    "what is the secret code for {entity} {}",
+                    filler(q_words.saturating_sub(7))
+                ),
+                answer,
+            ),
+        };
+
+        Sample {
+            dataset: self.spec.name,
+            docs,
+            question: question.trim().to_owned(),
+            answer,
+        }
+    }
+}
+
+fn filler(words: usize) -> String {
+    std::iter::repeat("please answer precisely and concisely now")
+        .flat_map(|s| s.split(' '))
+        .take(words)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn few_shot_block(words: usize, corpus: &Corpus, base: u64) -> String {
+    // Exemplar QA pairs, the uncached bulk of few-shot datasets.
+    let mut out = Vec::new();
+    let mut i = 0u64;
+    while out.len() < words {
+        let e = corpus.entity(base + 500 + i, 2);
+        let a = corpus.answer(base + 500 + i, 2);
+        for w in format!("example question what is the secret code for {e} answer {a}").split(' ')
+        {
+            if out.len() >= words {
+                break;
+            }
+            out.push(w.to_owned());
+        }
+        i += 1;
+    }
+    out.join(" ")
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{DatasetSpec, ALL, FIGURE_SET};
+
+    fn workload(name: &str, scale: f64) -> Workload {
+        Workload::new(DatasetSpec::by_name(name).unwrap(), 7, scale)
+    }
+
+    #[test]
+    fn samples_are_deterministic() {
+        let w = workload("NarrativeQA", 0.05);
+        assert_eq!(w.sample(3), w.sample(3));
+        assert_ne!(w.sample(3), w.sample(4));
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = workload("GovReport", 0.02).sample(0);
+        let large = workload("GovReport", 0.2).sample(0);
+        assert!(large.context_words() > 5 * small.context_words());
+    }
+
+    #[test]
+    fn token_budgets_roughly_match_spec() {
+        for name in FIGURE_SET {
+            let spec = DatasetSpec::by_name(name).unwrap();
+            let s = Workload::new(spec, 1, 1.0).sample(0);
+            let ctx = s.context_words() as f64;
+            let expected = spec.context_tokens as f64;
+            assert!(
+                (ctx - expected).abs() / expected < 0.1,
+                "{name}: {ctx} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_doc_datasets_emit_multiple_modules() {
+        let s = workload("MuSiQue", 0.05).sample(0);
+        assert_eq!(s.docs.len(), 20);
+        let single = workload("NarrativeQA", 0.05).sample(0);
+        assert_eq!(single.docs.len(), 1);
+    }
+
+    #[test]
+    fn qa_answer_is_planted_in_context() {
+        let s = workload("2WikiMultihopQA", 0.1).sample(2);
+        let joined = s.docs.join(" ");
+        assert!(joined.contains(&s.answer), "{}", s.answer);
+        assert!(s.question.contains("secret code"));
+    }
+
+    #[test]
+    fn few_shot_directive_dominates_uncached_tokens() {
+        let s = workload("TriviaQA", 0.1).sample(0);
+        assert!(s.question_words() > 100);
+        let narrative = workload("NarrativeQA", 0.1).sample(0);
+        assert!(s.question_words() > 10 * narrative.question_words());
+    }
+
+    #[test]
+    fn schema_and_prompt_pml_parse_and_resolve() {
+        let s = workload("MultiNews", 0.05).sample(1);
+        let schema = pc_pml::parse_schema(&s.schema_pml("mn")).unwrap();
+        let prompt = pc_pml::parse_prompt(&s.prompt_pml("mn")).unwrap();
+        let count = |t: &str| t.split_whitespace().count();
+        let layout = pc_pml::layout::SchemaLayout::build(
+            &schema,
+            pc_pml::template::ChatTemplate::Plain,
+            &count,
+        );
+        let resolved = pc_pml::resolve::resolve_prompt(&layout, &prompt, &count).unwrap();
+        assert_eq!(resolved.cached_tokens(), s.context_words());
+        assert_eq!(resolved.new_tokens(), s.question_words());
+    }
+
+    #[test]
+    fn every_dataset_generates() {
+        for spec in &ALL {
+            let s = Workload::new(spec, 3, 0.02).sample(0);
+            assert!(!s.docs.is_empty(), "{}", spec.name);
+            assert!(!s.question.is_empty(), "{}", spec.name);
+            assert!(!s.answer.is_empty(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn code_dataset_reference_is_prefix_like() {
+        let s = workload("LCC", 0.05).sample(0);
+        assert!(s.answer.starts_with("fn "), "{}", s.answer);
+        assert!(s.answer.ends_with('}'));
+    }
+
+    #[test]
+    fn oracle_scores_perfect_with_planted_answers() {
+        // Sanity of the metric pipeline: an oracle that answers with the
+        // ground truth scores 1.0 on its dataset metric.
+        for name in FIGURE_SET {
+            let spec = DatasetSpec::by_name(name).unwrap();
+            let s = Workload::new(spec, 5, 0.05).sample(0);
+            let score = crate::metrics::score(spec.metric, &s.answer, &s.answer);
+            assert!((score - 1.0).abs() < 1e-9, "{name}");
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Multi-head attention over a KV cache with explicit position IDs.
+//!
+//! The kernel below is what both code paths in the paper share: baseline
+//! prefill, cached inference, and decoding all funnel through
+//! [`attention_chunk`]. Causality is defined by **cache order** (a query may
+//! attend to every token cached before it plus the chunk prefix up to
+//! itself), while positional information comes exclusively from the
+//! **position IDs** riding on the cache — exactly the separation that lets
+//! Prompt Cache serve discontinuous, out-of-order position layouts.
+
+use crate::pos::AlibiTable;
+use crate::ModelConfig;
+
+/// Computes attention outputs for a chunk of `n` new tokens.
+///
+/// * `q` — rotated/raw query rows, `[n × hidden]`.
+/// * `q_positions` — position id of each chunk token (ALiBi bias lookup).
+/// * `keys`/`values` — the layer's full cache including the chunk's own
+///   rows, `[total × kv_dim]`.
+/// * `key_positions` — position id of every cached token, length `total`.
+/// * `base` — number of tokens that were already cached before this chunk;
+///   chunk token `i` attends to cache rows `0..base + i + 1`.
+/// * `out` — output rows, `[n × hidden]`, overwritten.
+///
+/// Grouped-query attention falls out of `cfg.kv_group_size()`: query head
+/// `h` reads kv head `h / group_size`.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_chunk(
+    cfg: &ModelConfig,
+    q: &[f32],
+    q_positions: &[usize],
+    keys: &[f32],
+    values: &[f32],
+    key_positions: &[usize],
+    base: usize,
+    alibi: Option<&AlibiTable>,
+    out: &mut [f32],
+) {
+    let n = q_positions.len();
+    let d = cfg.hidden_size;
+    let kv_dim = cfg.kv_dim();
+    let scale = 1.0 / (cfg.head_dim() as f32).sqrt();
+    let total = key_positions.len();
+    debug_assert_eq!(q.len(), n * d);
+    debug_assert_eq!(out.len(), n * d);
+    debug_assert_eq!(keys.len(), total * kv_dim);
+    debug_assert!(base + n <= total);
+
+    out.fill(0.0);
+
+    // One query row is independent of every other, so rows parallelise
+    // with bit-identical results (no cross-row reductions). Decode (n = 1)
+    // and tiny chunks stay on the calling thread.
+    let threads = cfg.threads.max(1).min(n.max(1));
+    if threads > 1 && n >= 2 * threads {
+        let rows_per_thread = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_idx, out_chunk) in out.chunks_mut(rows_per_thread * d).enumerate() {
+                let first_row = chunk_idx * rows_per_thread;
+                scope.spawn(move || {
+                    let mut scores = vec![0.0f32; total];
+                    for (local, o_row) in out_chunk.chunks_mut(d).enumerate() {
+                        let i = first_row + local;
+                        attention_row(
+                            cfg,
+                            &q[i * d..(i + 1) * d],
+                            q_positions[i],
+                            keys,
+                            values,
+                            key_positions,
+                            base + i + 1,
+                            alibi,
+                            scale,
+                            &mut scores,
+                            o_row,
+                        );
+                    }
+                });
+            }
+        });
+    } else {
+        let mut scores = vec![0.0f32; total];
+        for (i, o_row) in out.chunks_exact_mut(d).enumerate() {
+            attention_row(
+                cfg,
+                &q[i * d..(i + 1) * d],
+                q_positions[i],
+                keys,
+                values,
+                key_positions,
+                base + i + 1,
+                alibi,
+                scale,
+                &mut scores,
+                o_row,
+            );
+        }
+    }
+}
+
+/// Attention for one query row over the first `visible` cached tokens.
+#[allow(clippy::too_many_arguments)]
+fn attention_row(
+    cfg: &ModelConfig,
+    q_row: &[f32],
+    q_pos: usize,
+    keys: &[f32],
+    values: &[f32],
+    key_positions: &[usize],
+    visible: usize,
+    alibi: Option<&AlibiTable>,
+    scale: f32,
+    scores: &mut [f32],
+    o_row: &mut [f32],
+) {
+    let hd = cfg.head_dim();
+    let kv_dim = cfg.kv_dim();
+    let group = cfg.kv_group_size();
+    for h in 0..cfg.num_heads {
+        let q_head = &q_row[h * hd..(h + 1) * hd];
+        let kv_h = h / group;
+        let scores = &mut scores[..visible];
+        for (j, s) in scores.iter_mut().enumerate() {
+            let k_head = &keys[j * kv_dim + kv_h * hd..j * kv_dim + (kv_h + 1) * hd];
+            let mut dot = 0.0;
+            for (a, b) in q_head.iter().zip(k_head) {
+                dot += a * b;
+            }
+            *s = dot * scale;
+            if let Some(alibi) = alibi {
+                *s += alibi.bias(h, q_pos, key_positions[j]);
+            }
+        }
+        pc_tensor::ops::softmax_slice(scores);
+        let o_head = &mut o_row[h * hd..(h + 1) * hd];
+        for (j, &p) in scores.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let v_head = &values[j * kv_dim + kv_h * hd..j * kv_dim + (kv_h + 1) * hd];
+            for (o, &v) in o_head.iter_mut().zip(v_head) {
+                *o += p * v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelConfig;
+
+    /// 1 head, head_dim 2, so hand-computable.
+    fn tiny_cfg() -> ModelConfig {
+        ModelConfig {
+            hidden_size: 2,
+            num_heads: 1,
+            num_kv_heads: 1,
+            ..ModelConfig::llama_tiny(8)
+        }
+    }
+
+    #[test]
+    fn single_key_copies_value() {
+        let cfg = tiny_cfg();
+        // One query, one cached key: softmax over one score = 1 → out = v.
+        let q = [1.0, 0.0];
+        let keys = [0.3, 0.7];
+        let values = [5.0, -2.0];
+        let mut out = [0.0; 2];
+        attention_chunk(&cfg, &q, &[0], &keys, &values, &[0], 0, None, &mut out);
+        assert_eq!(out, [5.0, -2.0]);
+    }
+
+    #[test]
+    fn causality_hides_future_chunk_tokens() {
+        let cfg = tiny_cfg();
+        // Two chunk tokens. Token 0 must ignore token 1's value.
+        let q = [1.0, 0.0, 1.0, 0.0];
+        let keys = [1.0, 0.0, 1.0, 0.0];
+        let values = [1.0, 0.0, 100.0, 0.0];
+        let mut out = [0.0; 4];
+        attention_chunk(&cfg, &q, &[0, 1], &keys, &values, &[0, 1], 0, None, &mut out);
+        // Token 0 sees only value 1.0.
+        assert_eq!(out[0], 1.0);
+        // Token 1 mixes both (equal scores → mean).
+        assert!((out[2] - 50.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn base_tokens_are_visible_to_all_chunk_tokens() {
+        let cfg = tiny_cfg();
+        // One pre-cached token (base=1) + one chunk token.
+        let q = [1.0, 0.0];
+        let keys = [1.0, 0.0, 1.0, 0.0]; // cached + chunk's own
+        let values = [10.0, 0.0, 20.0, 0.0];
+        let mut out = [0.0; 2];
+        attention_chunk(&cfg, &q, &[1], &keys, &values, &[0, 1], 1, None, &mut out);
+        assert!((out[0] - 15.0).abs() < 1e-3); // attends to both equally
+    }
+
+    #[test]
+    fn sharper_key_match_dominates() {
+        let cfg = tiny_cfg();
+        let q = [4.0, 0.0];
+        let keys = [4.0, 0.0, -4.0, 0.0, 4.0, 0.0];
+        let values = [1.0, 0.0, -1.0, 0.0, 1.0, 0.0];
+        let mut out = [0.0; 2];
+        attention_chunk(&cfg, &q, &[2], &keys, &values, &[0, 1, 2], 2, None, &mut out);
+        // Matching keys get nearly all mass → out ≈ 1.
+        assert!(out[0] > 0.99, "{out:?}");
+    }
+
+    #[test]
+    fn alibi_bias_prefers_near_keys() {
+        let cfg = ModelConfig {
+            hidden_size: 2,
+            num_heads: 1,
+            num_kv_heads: 1,
+            ..ModelConfig::mpt_tiny(8)
+        };
+        let alibi = AlibiTable::new(1);
+        // Query matches both keys equally; ALiBi should favour the nearer.
+        let q = [1.0, 0.0];
+        let keys = [1.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+        let values = [1.0, 0.0, 2.0, 0.0, 0.0, 0.0];
+        let mut with_alibi = [0.0; 2];
+        attention_chunk(
+            &cfg,
+            &q,
+            &[50],
+            &keys,
+            &values,
+            &[0, 49, 50],
+            2,
+            Some(&alibi),
+            &mut with_alibi,
+        );
+        let mut without = [0.0; 2];
+        attention_chunk(&cfg, &q, &[50], &keys, &values, &[0, 49, 50], 2, None, &mut without);
+        // The nearer key (value 2.0, distance 1) gains mass relative to the
+        // far key (value 1.0, distance 50), pulling the output upward.
+        assert!(with_alibi[0] > without[0], "{with_alibi:?} vs {without:?}");
+    }
+
+    #[test]
+    fn gqa_heads_share_kv() {
+        // 2 query heads, 1 kv head: both heads must read the same kv rows.
+        let cfg = ModelConfig {
+            hidden_size: 4,
+            num_heads: 2,
+            num_kv_heads: 1,
+            ..ModelConfig::falcon_tiny(8)
+        };
+        assert_eq!(cfg.kv_dim(), 2);
+        let q = [1.0, 0.0, 1.0, 0.0]; // identical per-head queries
+        let keys = [0.5, 0.5];
+        let values = [3.0, 7.0];
+        let mut out = [0.0; 4];
+        attention_chunk(&cfg, &q, &[0], &keys, &values, &[0], 0, None, &mut out);
+        assert_eq!(&out[0..2], &out[2..4]);
+        assert_eq!(&out[0..2], &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn empty_chunk_is_noop() {
+        let cfg = tiny_cfg();
+        let mut out: [f32; 0] = [];
+        attention_chunk(&cfg, &[], &[], &[], &[], &[], 0, None, &mut out);
+    }
+
+    #[test]
+    fn parallel_attention_is_bit_identical() {
+        // Same weights, same inputs: 1 thread vs 4 threads must agree on
+        // every bit (rows are independent; no cross-thread reductions).
+        let serial_cfg = ModelConfig::llama_tiny(64);
+        let parallel_cfg = ModelConfig {
+            threads: 4,
+            ..serial_cfg.clone()
+        };
+        let tokens: Vec<u32> = (0..48).map(|t| t % 64).collect();
+        let positions: Vec<usize> = (0..48).collect();
+        let serial = crate::Model::new(serial_cfg, 7);
+        let parallel = crate::Model::new(parallel_cfg, 7);
+        let mut a = crate::KvCache::new(serial.config());
+        let mut b = crate::KvCache::new(parallel.config());
+        let la = serial.forward(&tokens, &positions, &mut a).unwrap();
+        let lb = parallel.forward(&tokens, &positions, &mut b).unwrap();
+        assert_eq!(la.data(), lb.data());
+        assert_eq!(a, b);
+    }
+}

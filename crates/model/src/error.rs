@@ -1,0 +1,89 @@
+use std::fmt;
+
+/// Errors produced by the model engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A token id is outside the configured vocabulary.
+    TokenOutOfVocab {
+        /// The offending token id.
+        token: u32,
+        /// Configured vocabulary size.
+        vocab_size: usize,
+    },
+    /// A position id exceeds the configured maximum position.
+    PositionOutOfRange {
+        /// The offending position id.
+        position: usize,
+        /// Configured maximum position (exclusive).
+        max_position: usize,
+    },
+    /// `tokens` and `positions` slices have different lengths.
+    LengthMismatch {
+        /// Number of tokens supplied.
+        tokens: usize,
+        /// Number of position ids supplied.
+        positions: usize,
+    },
+    /// A KV cache built for a different model shape was supplied.
+    CacheShapeMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// The configuration is internally inconsistent.
+    InvalidConfig {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// An empty token sequence was supplied where at least one is needed.
+    EmptyInput,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::TokenOutOfVocab { token, vocab_size } => {
+                write!(f, "token id {token} out of vocabulary (size {vocab_size})")
+            }
+            ModelError::PositionOutOfRange {
+                position,
+                max_position,
+            } => write!(
+                f,
+                "position id {position} exceeds max position {max_position}"
+            ),
+            ModelError::LengthMismatch { tokens, positions } => write!(
+                f,
+                "{tokens} tokens supplied with {positions} position ids"
+            ),
+            ModelError::CacheShapeMismatch { detail } => {
+                write!(f, "kv cache shape mismatch: {detail}")
+            }
+            ModelError::InvalidConfig { detail } => write!(f, "invalid model config: {detail}"),
+            ModelError::EmptyInput => write!(f, "empty token sequence"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::TokenOutOfVocab {
+            token: 999,
+            vocab_size: 100,
+        };
+        assert!(e.to_string().contains("999"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<ModelError>();
+    }
+}

@@ -1,0 +1,124 @@
+//! Output-fidelity metrics between two inference paths.
+//!
+//! Table 1's claim is "cached ≈ baseline". With real task scores
+//! unavailable (seeded weights), the honest quantities are distances over
+//! the next-token distribution: exact-argmax agreement, maximum logit
+//! deviation, and KL divergence. These utilities compute them; the
+//! `fidelity` integration tests use them to show the cross-module masking
+//! approximation's divergence is small and scaffolding drives it to zero.
+
+use pc_tensor::ops::{argmax_slice, log_softmax_slice};
+
+/// Summary distance between two logit vectors over the same vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogitDistance {
+    /// Whether both argmaxes coincide (greedy decoding would agree).
+    pub argmax_agrees: bool,
+    /// Maximum absolute elementwise difference.
+    pub max_abs_diff: f32,
+    /// KL divergence `KL(p ‖ q)` of the softmax distributions, in nats.
+    pub kl_divergence: f32,
+}
+
+/// Computes the distance from `p_logits` (reference) to `q_logits`.
+///
+/// # Panics
+///
+/// Panics when the slices' lengths differ or are zero.
+pub fn logit_distance(p_logits: &[f32], q_logits: &[f32]) -> LogitDistance {
+    assert_eq!(p_logits.len(), q_logits.len(), "vocab sizes differ");
+    assert!(!p_logits.is_empty(), "empty logits");
+    let argmax_agrees = argmax_slice(p_logits) == argmax_slice(q_logits);
+    let max_abs_diff = p_logits
+        .iter()
+        .zip(q_logits)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+
+    let mut lp = p_logits.to_vec();
+    let mut lq = q_logits.to_vec();
+    log_softmax_slice(&mut lp);
+    log_softmax_slice(&mut lq);
+    let kl = lp
+        .iter()
+        .zip(&lq)
+        .map(|(&a, &b)| a.exp() * (a - b))
+        .sum::<f32>()
+        .max(0.0);
+
+    LogitDistance {
+        argmax_agrees,
+        max_abs_diff,
+        kl_divergence: kl,
+    }
+}
+
+/// Fraction of positions where two token sequences agree (up to the
+/// shorter length; 1.0 for two empty sequences).
+pub fn token_agreement(a: &[u32], b: &[u32]) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return if a.len() == b.len() { 1.0 } else { 0.0 };
+    }
+    let same = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    same as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_logits_have_zero_distance() {
+        let l = [0.5f32, -1.0, 2.0, 0.0];
+        let d = logit_distance(&l, &l);
+        assert!(d.argmax_agrees);
+        assert_eq!(d.max_abs_diff, 0.0);
+        assert!(d.kl_divergence.abs() < 1e-6);
+    }
+
+    #[test]
+    fn divergent_logits_measured() {
+        let p = [0.0f32, 3.0, 0.0];
+        let q = [3.0f32, 0.0, 0.0];
+        let d = logit_distance(&p, &q);
+        assert!(!d.argmax_agrees);
+        assert_eq!(d.max_abs_diff, 3.0);
+        assert!(d.kl_divergence > 1.0);
+    }
+
+    #[test]
+    fn kl_is_asymmetric_but_nonnegative() {
+        let p = [2.0f32, 0.0, 0.0, 0.0];
+        let q = [0.5f32, 0.5, 0.5, 0.0];
+        let pq = logit_distance(&p, &q).kl_divergence;
+        let qp = logit_distance(&q, &p).kl_divergence;
+        assert!(pq >= 0.0 && qp >= 0.0);
+        assert!((pq - qp).abs() > 1e-4);
+    }
+
+    #[test]
+    fn shift_invariance_of_kl() {
+        // Adding a constant to logits leaves the distribution unchanged.
+        let p = [0.1f32, 1.2, -0.3];
+        let q: Vec<f32> = p.iter().map(|x| x + 10.0).collect();
+        let d = logit_distance(&p, &q);
+        assert!(d.kl_divergence < 1e-5);
+        assert!(d.argmax_agrees);
+    }
+
+    #[test]
+    fn token_agreement_counts() {
+        assert_eq!(token_agreement(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(token_agreement(&[1, 2, 3], &[1, 9, 3]), 2.0 / 3.0);
+        assert_eq!(token_agreement(&[], &[]), 1.0);
+        assert_eq!(token_agreement(&[], &[1]), 0.0);
+        assert_eq!(token_agreement(&[1, 2], &[1, 2, 9, 9]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab sizes differ")]
+    fn mismatched_lengths_rejected() {
+        logit_distance(&[1.0], &[1.0, 2.0]);
+    }
+}

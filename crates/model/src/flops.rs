@@ -1,0 +1,113 @@
+//! Analytic FLOP accounting.
+//!
+//! The paper's §2.2 and §5.4 reason about prefill cost with the per-layer
+//! formula `6nd² + 4n²d` (projection + attention FLOPs for an `n`-token
+//! sequence at hidden size `d`) and decode cost `6d² + 4nd`. These helpers
+//! implement that exact model; `pc-simulator` combines them with device
+//! specs to regenerate the paper-scale latency figures, and the measured
+//! benches sanity-check the quadratic/linear split against wall clock.
+
+use crate::ModelConfig;
+
+/// FLOPs for prefilling `n` tokens through one layer: `6nd² + 4n²d`.
+pub fn layer_prefill_flops(n: usize, d: usize) -> u64 {
+    let (n, d) = (n as u64, d as u64);
+    6 * n * d * d + 4 * n * n * d
+}
+
+/// FLOPs for decoding one token against an `n`-token cache in one layer:
+/// `6d² + 4nd`.
+pub fn layer_decode_flops(n: usize, d: usize) -> u64 {
+    let (n, d) = (n as u64, d as u64);
+    6 * d * d + 4 * n * d
+}
+
+/// Whole-model prefill FLOPs for `n` tokens.
+pub fn model_prefill_flops(cfg: &ModelConfig, n: usize) -> u64 {
+    cfg.num_layers as u64 * layer_prefill_flops(n, cfg.hidden_size)
+}
+
+/// Whole-model decode FLOPs for one token against an `n`-token cache.
+pub fn model_decode_flops(cfg: &ModelConfig, n: usize) -> u64 {
+    cfg.num_layers as u64 * layer_decode_flops(n, cfg.hidden_size)
+}
+
+/// Prefill FLOPs when the first `cached` of `n` tokens come from Prompt
+/// Cache: only the `n − cached` uncached tokens are computed, but their
+/// attention still spans all `n` tokens. (The memcpy cost of the cached
+/// states is a bandwidth term, modelled in `pc-simulator`.)
+pub fn cached_prefill_flops(cfg: &ModelConfig, n: usize, cached: usize) -> u64 {
+    let new = n.saturating_sub(cached);
+    let d = cfg.hidden_size as u64;
+    let (n64, new64) = (n as u64, new as u64);
+    // Projections for new tokens only; attention of new tokens over the
+    // full n-token context.
+    cfg.num_layers as u64 * (6 * new64 * d * d + 4 * new64 * n64 * d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefill_grows_quadratically() {
+        let d = 4096;
+        let f1 = layer_prefill_flops(1000, d);
+        let f2 = layer_prefill_flops(2000, d);
+        let f4 = layer_prefill_flops(4000, d);
+        // Ratios exceed linear growth and approach quadratic as the n²
+        // term dominates.
+        assert!(f2 > 2 * f1);
+        assert!(f4 > 2 * f2);
+    }
+
+    #[test]
+    fn decode_grows_linearly() {
+        let d = 4096;
+        let f1 = layer_decode_flops(1000, d);
+        let f2 = layer_decode_flops(2000, d);
+        // The 4nd term dominates; doubling n must not quite double cost
+        // (the 6d² constant is shared).
+        assert!(f2 < 2 * f1);
+        assert!(f2 > f1);
+    }
+
+    #[test]
+    fn fully_cached_prefill_is_free() {
+        let cfg = ModelConfig::llama_tiny(64);
+        assert_eq!(cached_prefill_flops(&cfg, 500, 500), 0);
+    }
+
+    #[test]
+    fn uncached_prefill_matches_baseline() {
+        let cfg = ModelConfig::llama_tiny(64);
+        assert_eq!(
+            cached_prefill_flops(&cfg, 500, 0),
+            model_prefill_flops(&cfg, 500)
+        );
+    }
+
+    #[test]
+    fn caching_monotonically_reduces_flops() {
+        let cfg = ModelConfig::llama_tiny(64);
+        let mut prev = u64::MAX;
+        for cached in [0, 100, 250, 400, 500] {
+            let f = cached_prefill_flops(&cfg, 500, cached);
+            assert!(f < prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn paper_scale_example() {
+        // Llama-7B-like: d = 4096, 32 layers, 3K tokens — §5.4 discusses
+        // hundreds of ms on GPUs, i.e. tens of TFLOPs.
+        let cfg = ModelConfig {
+            hidden_size: 4096,
+            num_layers: 32,
+            ..ModelConfig::llama_tiny(32_000)
+        };
+        let f = model_prefill_flops(&cfg, 3000);
+        assert!(f > 10_u64.pow(13) && f < 10_u64.pow(15), "{f}");
+    }
+}

@@ -1,0 +1,358 @@
+//! KV attention-state cache with per-token position IDs.
+//!
+//! A [`KvCache`] is both the classic autoregressive KV cache *and* the unit
+//! of Prompt Cache storage: encoding a prompt module (paper §3.3) produces
+//! a `KvCache` holding the module's `(k, v)` states at its schema-assigned
+//! positions, and cached inference (§3.4) builds the session cache by
+//! concatenating module caches with [`KvCache::append`] and splicing
+//! parameter arguments over their `<unk>` placeholders with
+//! [`KvCache::splice`].
+//!
+//! Position IDs are stored once per cache (they are identical across
+//! layers), so ALiBi bias lookup and debugging stay cheap.
+
+use crate::{ModelConfig, ModelError, Result};
+
+/// Per-layer key/value buffers, flattened `[token][kv_dim]` row-major.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LayerKv {
+    /// Keys, one row of `kv_dim` floats per cached token.
+    pub k: Vec<f32>,
+    /// Values, same layout as `k`.
+    pub v: Vec<f32>,
+}
+
+/// Cached attention states for a token span across all layers, plus the
+/// position id of every cached token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvCache {
+    layers: Vec<LayerKv>,
+    positions: Vec<usize>,
+    kv_dim: usize,
+}
+
+impl KvCache {
+    /// An empty cache shaped for `cfg`.
+    pub fn new(cfg: &ModelConfig) -> Self {
+        KvCache {
+            layers: vec![LayerKv::default(); cfg.num_layers],
+            positions: Vec::new(),
+            kv_dim: cfg.kv_dim(),
+        }
+    }
+
+    /// An empty cache with explicit layer count and kv width.
+    pub fn with_shape(num_layers: usize, kv_dim: usize) -> Self {
+        KvCache {
+            layers: vec![LayerKv::default(); num_layers],
+            positions: Vec::new(),
+            kv_dim,
+        }
+    }
+
+    /// Number of cached tokens.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether no tokens are cached.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Width of one token's key (or value) row.
+    pub fn kv_dim(&self) -> usize {
+        self.kv_dim
+    }
+
+    /// Position ids of the cached tokens, in cache order.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// The layer buffers (read-only).
+    pub fn layer(&self, i: usize) -> &LayerKv {
+        &self.layers[i]
+    }
+
+    /// Appends one token's k/v rows for layer `layer`. The caller must call
+    /// [`KvCache::push_position`] exactly once per token after writing all
+    /// layers; `debug_assert`s keep the two in lock-step in tests.
+    pub fn push_token_layer(&mut self, layer: usize, k_row: &[f32], v_row: &[f32]) {
+        debug_assert_eq!(k_row.len(), self.kv_dim);
+        debug_assert_eq!(v_row.len(), self.kv_dim);
+        self.layers[layer].k.extend_from_slice(k_row);
+        self.layers[layer].v.extend_from_slice(v_row);
+    }
+
+    /// Records the position id of the token whose rows were just pushed.
+    pub fn push_position(&mut self, pos: usize) {
+        self.positions.push(pos);
+    }
+
+    /// Key rows of layer `layer` as a flat `[len × kv_dim]` slice.
+    pub fn keys(&self, layer: usize) -> &[f32] {
+        &self.layers[layer].k
+    }
+
+    /// Value rows of layer `layer` as a flat `[len × kv_dim]` slice.
+    pub fn values(&self, layer: usize) -> &[f32] {
+        &self.layers[layer].v
+    }
+
+    /// Appends another cache's tokens after this cache's tokens — the
+    /// module-concatenation step of cached inference (§3.4). Order follows
+    /// the argument order; the paper notes concatenation order does not
+    /// change semantics (transformer permutation invariance) as long as
+    /// position ids ride along, which they do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CacheShapeMismatch`] when layer counts or kv
+    /// widths differ.
+    pub fn append(&mut self, other: &KvCache) -> Result<()> {
+        self.check_compatible(other)?;
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            dst.k.extend_from_slice(&src.k);
+            dst.v.extend_from_slice(&src.v);
+        }
+        self.positions.extend_from_slice(&other.positions);
+        Ok(())
+    }
+
+    /// Replaces the token range `start..start + replacement.len()` with
+    /// `replacement`'s states — the parameter-substitution step (§3.3):
+    /// argument states overwrite the `<unk>` placeholder states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CacheShapeMismatch`] when shapes differ or the
+    /// range exceeds this cache's length.
+    pub fn splice(&mut self, start: usize, replacement: &KvCache) -> Result<()> {
+        self.check_compatible(replacement)?;
+        let n = replacement.len();
+        if start + n > self.len() {
+            return Err(ModelError::CacheShapeMismatch {
+                detail: format!(
+                    "splice range {start}..{} exceeds cache length {}",
+                    start + n,
+                    self.len()
+                ),
+            });
+        }
+        let d = self.kv_dim;
+        for (dst, src) in self.layers.iter_mut().zip(&replacement.layers) {
+            dst.k[start * d..(start + n) * d].copy_from_slice(&src.k);
+            dst.v[start * d..(start + n) * d].copy_from_slice(&src.v);
+        }
+        self.positions[start..start + n].copy_from_slice(&replacement.positions);
+        Ok(())
+    }
+
+    /// Appends the token range `start..end` of another cache — the
+    /// single-copy building block the engine uses to concatenate module
+    /// spans while skipping filled parameter-placeholder rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CacheShapeMismatch`] for incompatible shapes
+    /// or an invalid range.
+    pub fn append_range(&mut self, other: &KvCache, start: usize, end: usize) -> Result<()> {
+        self.check_compatible(other)?;
+        if start > end || end > other.len() {
+            return Err(ModelError::CacheShapeMismatch {
+                detail: format!(
+                    "append range {start}..{end} invalid for length {}",
+                    other.len()
+                ),
+            });
+        }
+        let d = self.kv_dim;
+        for (dst, src) in self.layers.iter_mut().zip(&other.layers) {
+            dst.k.extend_from_slice(&src.k[start * d..end * d]);
+            dst.v.extend_from_slice(&src.v[start * d..end * d]);
+        }
+        self.positions.extend_from_slice(&other.positions[start..end]);
+        Ok(())
+    }
+
+    /// Removes the trailing tokens, keeping the first `len` — used to roll
+    /// back speculative decoding in tests and to trim parameter buffers.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len() {
+            return;
+        }
+        let d = self.kv_dim;
+        for layer in &mut self.layers {
+            layer.k.truncate(len * d);
+            layer.v.truncate(len * d);
+        }
+        self.positions.truncate(len);
+    }
+
+    /// A copy of the token range `start..end` as a standalone cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CacheShapeMismatch`] for an invalid range.
+    pub fn slice(&self, start: usize, end: usize) -> Result<KvCache> {
+        if start > end || end > self.len() {
+            return Err(ModelError::CacheShapeMismatch {
+                detail: format!("slice {start}..{end} invalid for length {}", self.len()),
+            });
+        }
+        let d = self.kv_dim;
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| LayerKv {
+                k: l.k[start * d..end * d].to_vec(),
+                v: l.v[start * d..end * d].to_vec(),
+            })
+            .collect();
+        Ok(KvCache {
+            layers,
+            positions: self.positions[start..end].to_vec(),
+            kv_dim: d,
+        })
+    }
+
+    /// Size of the cached states in bytes at f32 width (the in-memory
+    /// format) — Table 2 reports the f16 equivalent, computed in
+    /// `pc-cache`.
+    pub fn size_bytes(&self) -> usize {
+        2 * self.num_layers() * self.len() * self.kv_dim * std::mem::size_of::<f32>()
+    }
+
+    fn check_compatible(&self, other: &KvCache) -> Result<()> {
+        if self.layers.len() != other.layers.len() || self.kv_dim != other.kv_dim {
+            return Err(ModelError::CacheShapeMismatch {
+                detail: format!(
+                    "{} layers × kv_dim {} vs {} layers × kv_dim {}",
+                    self.layers.len(),
+                    self.kv_dim,
+                    other.layers.len(),
+                    other.kv_dim
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_with(tokens: &[(usize, f32)]) -> KvCache {
+        // 2 layers, kv_dim 3; fill each token's rows with its marker value.
+        let mut c = KvCache::with_shape(2, 3);
+        for &(pos, val) in tokens {
+            for layer in 0..2 {
+                let row = [val + layer as f32 * 100.0; 3];
+                c.push_token_layer(layer, &row, &row.map(|x| -x));
+            }
+            c.push_position(pos);
+        }
+        c
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let c = cache_with(&[(0, 1.0), (1, 2.0)]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.positions(), &[0, 1]);
+        assert_eq!(c.keys(0), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        assert_eq!(c.values(1), &[-101.0, -101.0, -101.0, -102.0, -102.0, -102.0]);
+    }
+
+    #[test]
+    fn append_concatenates_in_order() {
+        let mut a = cache_with(&[(0, 1.0)]);
+        let b = cache_with(&[(5, 9.0), (6, 10.0)]);
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.positions(), &[0, 5, 6]);
+        assert_eq!(&a.keys(0)[3..6], &[9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn append_rejects_shape_mismatch() {
+        let mut a = cache_with(&[(0, 1.0)]);
+        let b = KvCache::with_shape(3, 3);
+        assert!(a.append(&b).is_err());
+        let c = KvCache::with_shape(2, 4);
+        assert!(a.append(&c).is_err());
+    }
+
+    #[test]
+    fn splice_replaces_range() {
+        let mut a = cache_with(&[(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)]);
+        let r = cache_with(&[(10, 8.0), (11, 9.0)]);
+        a.splice(1, &r).unwrap();
+        assert_eq!(a.positions(), &[0, 10, 11, 3]);
+        assert_eq!(&a.keys(0)[3..9], &[8.0, 8.0, 8.0, 9.0, 9.0, 9.0]);
+        // Untouched rows stay.
+        assert_eq!(&a.keys(0)[0..3], &[1.0, 1.0, 1.0]);
+        assert_eq!(&a.keys(0)[9..12], &[4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn splice_out_of_range_rejected() {
+        let mut a = cache_with(&[(0, 1.0), (1, 2.0)]);
+        let r = cache_with(&[(10, 8.0), (11, 9.0)]);
+        assert!(a.splice(1, &r).is_err());
+    }
+
+    #[test]
+    fn truncate_drops_tail() {
+        let mut a = cache_with(&[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        a.truncate(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.keys(0).len(), 3);
+        a.truncate(5); // no-op beyond length
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn slice_extracts_range() {
+        let a = cache_with(&[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        let s = a.slice(1, 3).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.positions(), &[1, 2]);
+        assert_eq!(&s.keys(1)[0..3], &[102.0, 102.0, 102.0]);
+        assert!(a.slice(2, 1).is_err());
+        assert!(a.slice(0, 4).is_err());
+    }
+
+    #[test]
+    fn append_range_copies_subrange() {
+        let mut a = cache_with(&[(0, 1.0)]);
+        let b = cache_with(&[(5, 9.0), (6, 10.0), (7, 11.0)]);
+        a.append_range(&b, 1, 3).unwrap();
+        assert_eq!(a.positions(), &[0, 6, 7]);
+        assert_eq!(&a.keys(0)[3..6], &[10.0, 10.0, 10.0]);
+        assert!(a.append_range(&b, 2, 1).is_err());
+        assert!(a.append_range(&b, 0, 4).is_err());
+    }
+
+    #[test]
+    fn slice_then_append_round_trips() {
+        let a = cache_with(&[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        let mut rebuilt = a.slice(0, 1).unwrap();
+        rebuilt.append(&a.slice(1, 3).unwrap()).unwrap();
+        assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn size_bytes_counts_both_k_and_v() {
+        let a = cache_with(&[(0, 1.0), (1, 2.0)]);
+        // 2 layers × 2 tokens × kv_dim 3 × (k+v) × 4 bytes
+        assert_eq!(a.size_bytes(), 2 * 2 * 2 * 3 * 4);
+    }
+}

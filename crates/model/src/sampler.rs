@@ -1,0 +1,263 @@
+//! Token samplers.
+//!
+//! The paper's accuracy evaluation uses "deterministic sampling where the
+//! token with the highest probability is chosen at every step so that the
+//! results with and without Prompt Cache are comparable" — that is
+//! [`GreedySampler`], the default throughout this reproduction.
+//! [`TemperatureSampler`] exists for the qualitative use-case examples.
+
+use crate::TokenId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maps a logit vector to the next token id.
+pub trait Sampler {
+    /// Picks a token from `logits` (length = vocab size).
+    fn sample(&mut self, logits: &[f32]) -> TokenId;
+}
+
+/// Deterministic argmax sampling (ties break to the lower id).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedySampler;
+
+impl Sampler for GreedySampler {
+    fn sample(&mut self, logits: &[f32]) -> TokenId {
+        pc_tensor::ops::argmax_slice(logits).expect("non-empty logits") as TokenId
+    }
+}
+
+/// Seeded temperature sampling over the softmax distribution.
+#[derive(Debug)]
+pub struct TemperatureSampler {
+    temperature: f32,
+    rng: StdRng,
+}
+
+impl TemperatureSampler {
+    /// Creates a sampler with the given temperature (clamped to ≥ 1e-3;
+    /// lower values behave like greedy) and RNG seed.
+    pub fn new(temperature: f32, seed: u64) -> Self {
+        TemperatureSampler {
+            temperature: temperature.max(1e-3),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Sampler for TemperatureSampler {
+    fn sample(&mut self, logits: &[f32]) -> TokenId {
+        let mut probs: Vec<f32> = logits.iter().map(|&l| l / self.temperature).collect();
+        pc_tensor::ops::softmax_slice(&mut probs);
+        let draw: f32 = self.rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (i, &p) in probs.iter().enumerate() {
+            acc += p;
+            if draw < acc {
+                return i as TokenId;
+            }
+        }
+        (probs.len() - 1) as TokenId
+    }
+}
+
+/// Top-k sampling: temperature softmax restricted to the `k` highest
+/// logits.
+#[derive(Debug)]
+pub struct TopKSampler {
+    k: usize,
+    temperature: f32,
+    rng: StdRng,
+}
+
+impl TopKSampler {
+    /// Creates a sampler keeping the `k` best tokens (`k ≥ 1`).
+    pub fn new(k: usize, temperature: f32, seed: u64) -> Self {
+        TopKSampler {
+            k: k.max(1),
+            temperature: temperature.max(1e-3),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Sampler for TopKSampler {
+    fn sample(&mut self, logits: &[f32]) -> TokenId {
+        let top = pc_tensor::ops::top_k(logits, self.k);
+        let mut probs: Vec<f32> = top.iter().map(|&(_, l)| l / self.temperature).collect();
+        pc_tensor::ops::softmax_slice(&mut probs);
+        let draw: f32 = self.rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (&(id, _), &p) in top.iter().zip(&probs) {
+            acc += p;
+            if draw < acc {
+                return id as TokenId;
+            }
+        }
+        top.last().map(|&(id, _)| id as TokenId).unwrap_or(0)
+    }
+}
+
+/// Nucleus (top-p) sampling: the smallest probability mass ≥ `p` is kept.
+#[derive(Debug)]
+pub struct NucleusSampler {
+    p: f32,
+    temperature: f32,
+    rng: StdRng,
+}
+
+impl NucleusSampler {
+    /// Creates a sampler keeping the top-`p` nucleus (`p` clamped to
+    /// `(0, 1]`).
+    pub fn new(p: f32, temperature: f32, seed: u64) -> Self {
+        NucleusSampler {
+            p: p.clamp(1e-3, 1.0),
+            temperature: temperature.max(1e-3),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Sampler for NucleusSampler {
+    fn sample(&mut self, logits: &[f32]) -> TokenId {
+        let mut probs: Vec<f32> = logits.iter().map(|&l| l / self.temperature).collect();
+        pc_tensor::ops::softmax_slice(&mut probs);
+        let mut ranked: Vec<(usize, f32)> = probs.into_iter().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut nucleus = Vec::new();
+        let mut mass = 0.0;
+        for (id, p) in ranked {
+            nucleus.push((id, p));
+            mass += p;
+            if mass >= self.p {
+                break;
+            }
+        }
+        let draw: f32 = self.rng.gen_range(0.0..mass.max(f32::MIN_POSITIVE));
+        let mut acc = 0.0;
+        for &(id, p) in &nucleus {
+            acc += p;
+            if draw < acc {
+                return id as TokenId;
+            }
+        }
+        nucleus.last().map(|&(id, _)| id as TokenId).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_picks_max() {
+        let mut s = GreedySampler;
+        assert_eq!(s.sample(&[0.1, 3.0, 1.0]), 1);
+    }
+
+    #[test]
+    fn greedy_tie_breaks_low() {
+        let mut s = GreedySampler;
+        assert_eq!(s.sample(&[2.0, 2.0]), 0);
+    }
+
+    #[test]
+    fn temperature_is_seeded_deterministic() {
+        let logits = [0.0, 1.0, 2.0, 0.5];
+        let a: Vec<_> = {
+            let mut s = TemperatureSampler::new(1.0, 42);
+            (0..10).map(|_| s.sample(&logits)).collect()
+        };
+        let b: Vec<_> = {
+            let mut s = TemperatureSampler::new(1.0, 42);
+            (0..10).map(|_| s.sample(&logits)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn low_temperature_approaches_greedy() {
+        let logits = [0.0, 5.0, 1.0];
+        let mut s = TemperatureSampler::new(1e-6, 7);
+        for _ in 0..20 {
+            assert_eq!(s.sample(&logits), 1);
+        }
+    }
+
+    #[test]
+    fn high_temperature_spreads_mass() {
+        let logits = [0.0, 1.0];
+        let mut s = TemperatureSampler::new(50.0, 3);
+        let picks: Vec<_> = (0..200).map(|_| s.sample(&logits)).collect();
+        assert!(picks.contains(&0));
+        assert!(picks.contains(&1));
+    }
+
+    #[test]
+    fn sampler_never_exceeds_vocab() {
+        let logits = [f32::NEG_INFINITY, f32::NEG_INFINITY, 0.0];
+        let mut s = TemperatureSampler::new(1.0, 5);
+        for _ in 0..50 {
+            assert!((s.sample(&logits) as usize) < 3);
+        }
+    }
+
+    #[test]
+    fn top_k_restricts_support() {
+        // k = 2 over clearly separated logits: only the top two ids ever
+        // appear.
+        let logits = [0.0, 10.0, 9.0, -5.0];
+        let mut s = TopKSampler::new(2, 1.0, 11);
+        for _ in 0..100 {
+            let t = s.sample(&logits);
+            assert!(t == 1 || t == 2, "{t}");
+        }
+    }
+
+    #[test]
+    fn top_k_one_is_greedy() {
+        let logits = [0.3, 2.0, 1.0];
+        let mut s = TopKSampler::new(1, 1.0, 3);
+        for _ in 0..20 {
+            assert_eq!(s.sample(&logits), 1);
+        }
+    }
+
+    #[test]
+    fn top_k_is_seeded() {
+        let logits = [1.0, 1.1, 0.9, 1.05];
+        let run = |seed| -> Vec<TokenId> {
+            let mut s = TopKSampler::new(3, 1.0, seed);
+            (0..20).map(|_| s.sample(&logits)).collect()
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn nucleus_tight_p_is_greedy() {
+        // One token holds most of the mass; tiny p keeps only it.
+        let logits = [0.0, 8.0, 0.5];
+        let mut s = NucleusSampler::new(0.5, 1.0, 2);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&logits), 1);
+        }
+    }
+
+    #[test]
+    fn nucleus_full_p_spreads() {
+        let logits = [1.0, 1.0];
+        let mut s = NucleusSampler::new(1.0, 10.0, 8);
+        let picks: Vec<TokenId> = (0..200).map(|_| s.sample(&logits)).collect();
+        assert!(picks.contains(&0) && picks.contains(&1));
+    }
+
+    #[test]
+    fn nucleus_is_seeded_and_in_vocab() {
+        let logits = [0.2, 0.9, 0.4, 0.1];
+        let run = |seed| -> Vec<TokenId> {
+            let mut s = NucleusSampler::new(0.9, 1.0, seed);
+            (0..20).map(|_| s.sample(&logits)).collect()
+        };
+        assert_eq!(run(5), run(5));
+        assert!(run(5).iter().all(|&t| (t as usize) < 4));
+    }
+}

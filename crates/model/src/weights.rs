@@ -1,0 +1,165 @@
+//! Model weights: layout and deterministic initialisation.
+//!
+//! Weights are initialised from a seed (see `pc_tensor::init`) — the
+//! reproduction never loads pretrained checkpoints, because the Prompt
+//! Cache mechanism (state reuse ≡ recomputation) is weight-agnostic and is
+//! verified exactly on seeded random weights.
+
+use crate::{Family, ModelConfig};
+use pc_tensor::init::Initializer;
+use pc_tensor::Tensor;
+
+/// Weights of one transformer layer. All projection matrices are stored
+/// `[out, in]` row-major and applied as `y = x · Wᵀ`.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Query projection `[hidden, hidden]`.
+    pub wq: Tensor,
+    /// Key projection `[kv_dim, hidden]`.
+    pub wk: Tensor,
+    /// Value projection `[kv_dim, hidden]`.
+    pub wv: Tensor,
+    /// Output projection `[hidden, hidden]`.
+    pub wo: Tensor,
+    /// First norm weight `[hidden]`.
+    pub norm1_w: Tensor,
+    /// First norm bias `[hidden]` (unused by RMSNorm families).
+    pub norm1_b: Tensor,
+    /// Second norm weight `[hidden]` (absent in parallel-block families at
+    /// runtime but always allocated for simplicity).
+    pub norm2_w: Tensor,
+    /// Second norm bias `[hidden]`.
+    pub norm2_b: Tensor,
+    /// MLP up projection `[intermediate, hidden]`.
+    pub w_up: Tensor,
+    /// MLP gate projection `[intermediate, hidden]` (Llama gated MLP only).
+    pub w_gate: Tensor,
+    /// MLP down projection `[hidden, intermediate]`.
+    pub w_down: Tensor,
+}
+
+/// Full model weights.
+#[derive(Debug, Clone)]
+pub struct ModelWeights {
+    /// Token embedding table `[vocab, hidden]`; also used (tied) as the
+    /// output head: `logits = x · Eᵀ`.
+    pub embedding: Tensor,
+    /// Learned position embedding `[max_position, hidden]` — only allocated
+    /// for [`Family::Gpt2`].
+    pub pos_embedding: Option<Tensor>,
+    /// Per-layer weights.
+    pub layers: Vec<LayerWeights>,
+    /// Final norm weight `[hidden]`.
+    pub final_norm_w: Tensor,
+    /// Final norm bias `[hidden]`.
+    pub final_norm_b: Tensor,
+}
+
+impl ModelWeights {
+    /// Initialises weights for `cfg` from `seed`, deterministically.
+    pub fn init(cfg: &ModelConfig, seed: u64) -> Self {
+        let mut init = Initializer::new(seed);
+        let d = cfg.hidden_size;
+        let kv = cfg.kv_dim();
+        let ff = cfg.intermediate_size;
+        let std = 0.08; // keeps activations sane through tiny-depth stacks
+
+        let layers = (0..cfg.num_layers)
+            .map(|_| LayerWeights {
+                wq: init.normal(&[d, d], std),
+                wk: init.normal(&[kv, d], std),
+                wv: init.normal(&[kv, d], std),
+                wo: init.normal(&[d, d], std),
+                norm1_w: Tensor::full(&[d], 1.0),
+                norm1_b: Tensor::zeros(&[d]),
+                norm2_w: Tensor::full(&[d], 1.0),
+                norm2_b: Tensor::zeros(&[d]),
+                w_up: init.normal(&[ff, d], std),
+                w_gate: init.normal(&[ff, d], std),
+                w_down: init.normal(&[d, ff], std),
+            })
+            .collect();
+
+        ModelWeights {
+            embedding: init.normal(&[cfg.vocab_size, d], 0.04),
+            pos_embedding: matches!(cfg.family, Family::Gpt2)
+                .then(|| init.normal(&[cfg.max_position, d], 0.02)),
+            layers,
+            final_norm_w: Tensor::full(&[d], 1.0),
+            final_norm_b: Tensor::zeros(&[d]),
+        }
+    }
+
+    /// Total parameter count.
+    pub fn num_parameters(&self) -> usize {
+        let layer_params: usize = self
+            .layers
+            .iter()
+            .map(|l| {
+                l.wq.len()
+                    + l.wk.len()
+                    + l.wv.len()
+                    + l.wo.len()
+                    + l.norm1_w.len()
+                    + l.norm1_b.len()
+                    + l.norm2_w.len()
+                    + l.norm2_b.len()
+                    + l.w_up.len()
+                    + l.w_gate.len()
+                    + l.w_down.len()
+            })
+            .sum();
+        self.embedding.len()
+            + self.pos_embedding.as_ref().map_or(0, Tensor::len)
+            + layer_params
+            + self.final_norm_w.len()
+            + self.final_norm_b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_deterministic() {
+        let cfg = ModelConfig::llama_tiny(64);
+        let a = ModelWeights::init(&cfg, 9);
+        let b = ModelWeights::init(&cfg, 9);
+        assert_eq!(a.embedding.data(), b.embedding.data());
+        assert_eq!(a.layers[1].w_down.data(), b.layers[1].w_down.data());
+    }
+
+    #[test]
+    fn seeds_change_weights() {
+        let cfg = ModelConfig::llama_tiny(64);
+        let a = ModelWeights::init(&cfg, 1);
+        let b = ModelWeights::init(&cfg, 2);
+        assert_ne!(a.embedding.data(), b.embedding.data());
+    }
+
+    #[test]
+    fn gpt2_gets_position_table() {
+        let cfg = ModelConfig::gpt2_tiny(64);
+        let w = ModelWeights::init(&cfg, 0);
+        let pe = w.pos_embedding.expect("gpt2 has learned positions");
+        assert_eq!(pe.dims(), &[cfg.max_position, cfg.hidden_size]);
+        let llama = ModelWeights::init(&ModelConfig::llama_tiny(64), 0);
+        assert!(llama.pos_embedding.is_none());
+    }
+
+    #[test]
+    fn mqa_shrinks_kv_projections() {
+        let cfg = ModelConfig::falcon_tiny(64);
+        let w = ModelWeights::init(&cfg, 0);
+        assert_eq!(w.layers[0].wk.dims(), &[cfg.kv_dim(), cfg.hidden_size]);
+        assert!(cfg.kv_dim() < cfg.hidden_size);
+    }
+
+    #[test]
+    fn parameter_count_is_positive_and_scales() {
+        let tiny = ModelWeights::init(&ModelConfig::llama_tiny(64), 0);
+        let small = ModelWeights::init(&ModelConfig::llama_small(64), 0);
+        assert!(small.num_parameters() > tiny.num_parameters());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the engine's cache-reuse invariants.
+//!
+//! These pin down the correctness claims Prompt Cache builds on: chunked
+//! prefill ≡ monolithic prefill, relative positional encodings are
+//! shift-invariant, and KV caches compose (slice ∘ append = identity).
+
+use pc_model::{Family, KvCache, Model, ModelConfig};
+use proptest::prelude::*;
+
+fn family_cfg(which: u8) -> ModelConfig {
+    match which % 4 {
+        0 => ModelConfig::llama_tiny(32),
+        1 => ModelConfig::falcon_tiny(32),
+        2 => ModelConfig::mpt_tiny(32),
+        _ => ModelConfig::gpt2_tiny(32),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Splitting a prefill at any point yields the same final logits.
+    #[test]
+    fn chunk_split_invariance(
+        which in 0u8..4,
+        tokens in proptest::collection::vec(0u32..32, 2..10),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let cfg = family_cfg(which);
+        let model = Model::new(cfg.clone(), 99);
+        let positions: Vec<usize> = (0..tokens.len()).collect();
+        let split = ((tokens.len() as f64 * split_frac) as usize).clamp(1, tokens.len() - 1);
+
+        let mut full_cache = KvCache::new(&cfg);
+        let full = model.prefill(&tokens, &positions, &mut full_cache).unwrap();
+
+        let mut inc_cache = KvCache::new(&cfg);
+        model.encode(&tokens[..split], &positions[..split], &mut inc_cache).unwrap();
+        let part = model.prefill(&tokens[split..], &positions[split..], &mut inc_cache).unwrap();
+
+        for (a, b) in full.iter().zip(&part) {
+            prop_assert!((a - b).abs() < 2e-3, "split {split}: {a} vs {b}");
+        }
+    }
+
+    /// RoPE and ALiBi families: shifting all positions by a constant leaves
+    /// next-token logits unchanged.
+    #[test]
+    fn relative_schemes_shift_invariant(
+        which in prop_oneof![Just(0u8), Just(1), Just(2)],
+        tokens in proptest::collection::vec(0u32..32, 1..8),
+        shift in 0usize..1000,
+    ) {
+        let cfg = family_cfg(which);
+        prop_assume!(cfg.family != Family::Gpt2);
+        let model = Model::new(cfg.clone(), 5);
+        let base: Vec<usize> = (0..tokens.len()).collect();
+        let shifted: Vec<usize> = base.iter().map(|p| p + shift).collect();
+
+        let mut a = KvCache::new(&cfg);
+        let la = model.prefill(&tokens, &base, &mut a).unwrap();
+        let mut b = KvCache::new(&cfg);
+        let lb = model.prefill(&tokens, &shifted, &mut b).unwrap();
+        for (x, y) in la.iter().zip(&lb) {
+            prop_assert!((x - y).abs() < 2e-2, "shift {shift}: {x} vs {y}");
+        }
+    }
+
+    /// slice(0, k) + slice(k, n) re-appended reproduces the original cache.
+    #[test]
+    fn cache_slice_append_round_trip(
+        which in 0u8..4,
+        tokens in proptest::collection::vec(0u32..32, 2..10),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let cfg = family_cfg(which);
+        let model = Model::new(cfg.clone(), 17);
+        let positions: Vec<usize> = (0..tokens.len()).collect();
+        let mut cache = KvCache::new(&cfg);
+        model.encode(&tokens, &positions, &mut cache).unwrap();
+
+        let cut = ((tokens.len() as f64 * cut_frac) as usize).min(tokens.len());
+        let mut rebuilt = cache.slice(0, cut).unwrap();
+        rebuilt.append(&cache.slice(cut, cache.len()).unwrap()).unwrap();
+        prop_assert_eq!(rebuilt, cache);
+    }
+
+    /// Splicing a segment over itself is the identity.
+    #[test]
+    fn cache_self_splice_is_identity(
+        tokens in proptest::collection::vec(0u32..32, 3..10),
+        start_frac in 0.0f64..1.0,
+    ) {
+        let cfg = ModelConfig::llama_tiny(32);
+        let model = Model::new(cfg.clone(), 8);
+        let positions: Vec<usize> = (0..tokens.len()).collect();
+        let mut cache = KvCache::new(&cfg);
+        model.encode(&tokens, &positions, &mut cache).unwrap();
+        let original = cache.clone();
+
+        let start = ((tokens.len() as f64 * start_frac) as usize).min(tokens.len() - 1);
+        let seg = cache.slice(start, tokens.len()).unwrap();
+        cache.splice(start, &seg).unwrap();
+        prop_assert_eq!(cache, original);
+    }
+
+    /// Greedy generation from the same state is always identical.
+    #[test]
+    fn generation_determinism(
+        which in 0u8..4,
+        tokens in proptest::collection::vec(0u32..32, 1..6),
+    ) {
+        let cfg = family_cfg(which);
+        let model = Model::new(cfg.clone(), 31);
+        let positions: Vec<usize> = (0..tokens.len()).collect();
+        let run = || {
+            let mut cache = KvCache::new(&cfg);
+            let logits = model.prefill(&tokens, &positions, &mut cache).unwrap();
+            model
+                .generate(&mut cache, &logits, 5, None, &mut pc_model::GreedySampler)
+                .unwrap()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Logits are always finite, whatever the position layout.
+    #[test]
+    fn forward_is_numerically_stable(
+        which in 0u8..4,
+        tokens in proptest::collection::vec(0u32..32, 1..8),
+        gaps in proptest::collection::vec(1usize..50, 1..8),
+    ) {
+        let cfg = family_cfg(which);
+        let model = Model::new(cfg.clone(), 77);
+        // Build strictly increasing, gapped positions.
+        let mut positions = Vec::new();
+        let mut p = 0usize;
+        for (i, g) in gaps.iter().cycle().take(tokens.len()).enumerate() {
+            p += if i == 0 { 0 } else { *g };
+            positions.push(p);
+        }
+        prop_assume!(positions.last().copied().unwrap_or(0) < cfg.max_position);
+        let mut cache = KvCache::new(&cfg);
+        let logits = model.forward(&tokens, &positions, &mut cache).unwrap();
+        prop_assert!(logits.all_finite());
+    }
+}

@@ -1,0 +1,309 @@
+//! PML abstract syntax trees for schemas and prompts.
+
+use std::fmt;
+
+/// Chat roles recognised by the `<system>/<user>/<assistant>` tags
+/// (paper §3.2.3). The template compiler maps these onto each LLM's own
+/// conversation format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// System-level instructions.
+    System,
+    /// User-generated content.
+    User,
+    /// Exemplar assistant responses.
+    Assistant,
+}
+
+impl Role {
+    /// Tag name for this role.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Role::System => "system",
+            Role::User => "user",
+            Role::Assistant => "assistant",
+        }
+    }
+
+    /// Parses a tag name into a role.
+    pub fn from_tag(tag: &str) -> Option<Role> {
+        match tag {
+            "system" => Some(Role::System),
+            "user" => Some(Role::User),
+            "assistant" => Some(Role::Assistant),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed schema: named, with an ordered list of top-level items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    /// Unique schema identifier (the `name` attribute).
+    pub name: String,
+    /// Top-level content in document order.
+    pub items: Vec<SchemaItem>,
+}
+
+/// Top-level schema content.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaItem {
+    /// Anonymous text — always included in every derived prompt.
+    Text(String),
+    /// A named, individually cacheable prompt module.
+    Module(ModuleDef),
+    /// Mutually exclusive modules sharing a start position.
+    Union(Vec<ModuleDef>),
+    /// Chat-role wrapper around nested items.
+    Chat {
+        /// The role of this wrapper.
+        role: Role,
+        /// Wrapped items.
+        items: Vec<SchemaItem>,
+    },
+}
+
+/// A prompt-module definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleDef {
+    /// Module name, unique within its nesting level.
+    pub name: String,
+    /// Ordered content.
+    pub items: Vec<ModuleItem>,
+}
+
+/// Content inside a module definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModuleItem {
+    /// Literal text.
+    Text(String),
+    /// A parameter placeholder (`<param name=… len=…/>`), reserving `len`
+    /// `<unk>` token slots (§3.3).
+    Param {
+        /// Parameter name, unique within the module.
+        name: String,
+        /// Maximum argument length in tokens.
+        len: usize,
+    },
+    /// A nested module.
+    Module(ModuleDef),
+    /// A nested union.
+    Union(Vec<ModuleDef>),
+}
+
+impl ModuleDef {
+    /// Direct child module names (including union members).
+    pub fn child_module_names(&self) -> Vec<&str> {
+        let mut names = Vec::new();
+        for item in &self.items {
+            match item {
+                ModuleItem::Module(m) => names.push(m.name.as_str()),
+                ModuleItem::Union(ms) => names.extend(ms.iter().map(|m| m.name.as_str())),
+                _ => {}
+            }
+        }
+        names
+    }
+
+    /// Declared parameters as `(name, len)` pairs, in document order.
+    pub fn params(&self) -> Vec<(&str, usize)> {
+        self.items
+            .iter()
+            .filter_map(|i| match i {
+                ModuleItem::Param { name, len } => Some((name.as_str(), *len)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A parsed prompt derived from a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prompt {
+    /// Name of the schema this prompt derives from.
+    pub schema: String,
+    /// Ordered prompt content.
+    pub items: Vec<PromptItem>,
+}
+
+/// Content inside a prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PromptItem {
+    /// An imported module: `<name arg="…"…>…nested imports…</name>`.
+    ModuleRef {
+        /// The module's name in the schema.
+        name: String,
+        /// Parameter arguments, in attribute order.
+        args: Vec<(String, String)>,
+        /// Imports of nested modules.
+        children: Vec<PromptItem>,
+    },
+    /// Uncached new text.
+    Text(String),
+}
+
+impl PromptItem {
+    /// Convenience constructor for a plain module import.
+    pub fn import(name: &str) -> Self {
+        PromptItem::ModuleRef {
+            name: name.to_owned(),
+            args: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn fmt_module(m: &ModuleDef, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "<module name=\"{}\">", m.name)?;
+    for item in &m.items {
+        match item {
+            ModuleItem::Text(t) => write!(f, "{}", escape(t))?,
+            ModuleItem::Param { name, len } => {
+                write!(f, "<param name=\"{name}\" len=\"{len}\"/>")?
+            }
+            ModuleItem::Module(inner) => fmt_module(inner, f)?,
+            ModuleItem::Union(ms) => {
+                write!(f, "<union>")?;
+                for inner in ms {
+                    fmt_module(inner, f)?;
+                }
+                write!(f, "</union>")?;
+            }
+        }
+    }
+    write!(f, "</module>")
+}
+
+impl fmt::Display for Schema {
+    /// Serialises back to PML; [`crate::parse_schema`] of the output
+    /// reproduces the AST (round-trip tested).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn fmt_items(items: &[SchemaItem], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            for item in items {
+                match item {
+                    SchemaItem::Text(t) => write!(f, "{}", escape(t))?,
+                    SchemaItem::Module(m) => fmt_module(m, f)?,
+                    SchemaItem::Union(ms) => {
+                        write!(f, "<union>")?;
+                        for m in ms {
+                            fmt_module(m, f)?;
+                        }
+                        write!(f, "</union>")?;
+                    }
+                    SchemaItem::Chat { role, items } => {
+                        write!(f, "<{}>", role.tag())?;
+                        fmt_items(items, f)?;
+                        write!(f, "</{}>", role.tag())?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        write!(f, "<schema name=\"{}\">", self.name)?;
+        fmt_items(&self.items, f)?;
+        write!(f, "</schema>")
+    }
+}
+
+impl fmt::Display for Prompt {
+    /// Serialises back to PML (round-trip tested).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn fmt_items(items: &[PromptItem], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            for item in items {
+                match item {
+                    PromptItem::Text(t) => write!(f, "{}", escape(t))?,
+                    PromptItem::ModuleRef {
+                        name,
+                        args,
+                        children,
+                    } => {
+                        write!(f, "<{name}")?;
+                        for (k, v) in args {
+                            write!(f, " {k}=\"{v}\"")?;
+                        }
+                        if children.is_empty() {
+                            write!(f, "/>")?;
+                        } else {
+                            write!(f, ">")?;
+                            fmt_items(children, f)?;
+                            write!(f, "</{name}>")?;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        write!(f, "<prompt schema=\"{}\">", self.schema)?;
+        fmt_items(&self.items, f)?;
+        write!(f, "</prompt>")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_tags_round_trip() {
+        for role in [Role::System, Role::User, Role::Assistant] {
+            assert_eq!(Role::from_tag(role.tag()), Some(role));
+        }
+        assert_eq!(Role::from_tag("nope"), None);
+    }
+
+    #[test]
+    fn child_names_cover_unions() {
+        let m = ModuleDef {
+            name: "parent".into(),
+            items: vec![
+                ModuleItem::Module(ModuleDef {
+                    name: "a".into(),
+                    items: vec![],
+                }),
+                ModuleItem::Union(vec![
+                    ModuleDef {
+                        name: "b".into(),
+                        items: vec![],
+                    },
+                    ModuleDef {
+                        name: "c".into(),
+                        items: vec![],
+                    },
+                ]),
+            ],
+        };
+        assert_eq!(m.child_module_names(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn params_in_order() {
+        let m = ModuleDef {
+            name: "m".into(),
+            items: vec![
+                ModuleItem::Param {
+                    name: "x".into(),
+                    len: 3,
+                },
+                ModuleItem::Text("mid".into()),
+                ModuleItem::Param {
+                    name: "y".into(),
+                    len: 5,
+                },
+            ],
+        };
+        assert_eq!(m.params(), vec![("x", 3), ("y", 5)]);
+    }
+
+    #[test]
+    fn display_escapes_angle_brackets() {
+        let s = Schema {
+            name: "s".into(),
+            items: vec![SchemaItem::Text("a < b".into())],
+        };
+        assert!(s.to_string().contains("a &lt; b"));
+    }
+}

@@ -1,0 +1,149 @@
+use std::fmt;
+
+/// Errors from PML parsing, layout, and prompt resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PmlError {
+    /// Lexer/parser failure with byte offset context.
+    Parse {
+        /// Byte offset in the source where the failure occurred.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A tag that is not valid where it appeared.
+    UnexpectedTag {
+        /// The tag name.
+        tag: String,
+        /// Where it appeared (human-readable context).
+        context: String,
+    },
+    /// A required attribute is missing from a tag.
+    MissingAttribute {
+        /// The tag name.
+        tag: String,
+        /// The missing attribute.
+        attribute: String,
+    },
+    /// An attribute value failed to parse (e.g. non-numeric `len`).
+    InvalidAttribute {
+        /// The tag name.
+        tag: String,
+        /// The attribute name.
+        attribute: String,
+        /// The offending value.
+        value: String,
+    },
+    /// Two modules (or parameters within a module) share a name.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A prompt references a module the schema does not define (at the
+    /// referenced nesting level).
+    UnknownModule {
+        /// The module name the prompt used.
+        name: String,
+        /// The schema searched.
+        schema: String,
+    },
+    /// A prompt supplied an argument for a parameter the module does not
+    /// declare.
+    UnknownParameter {
+        /// Module name.
+        module: String,
+        /// Parameter name.
+        parameter: String,
+    },
+    /// An argument exceeds its parameter's declared token budget.
+    ArgumentTooLong {
+        /// Module name.
+        module: String,
+        /// Parameter name.
+        parameter: String,
+        /// Declared maximum token length.
+        max_len: usize,
+        /// Actual token length of the supplied argument.
+        actual: usize,
+    },
+    /// A prompt imported more than one member of a union.
+    UnionConflict {
+        /// The names of the conflicting imports.
+        members: Vec<String>,
+    },
+    /// The prompt names a different schema than the one resolved against.
+    SchemaMismatch {
+        /// Schema the prompt claims.
+        expected: String,
+        /// Schema actually provided.
+        actual: String,
+    },
+}
+
+impl fmt::Display for PmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmlError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            PmlError::UnexpectedTag { tag, context } => {
+                write!(f, "unexpected tag <{tag}> in {context}")
+            }
+            PmlError::MissingAttribute { tag, attribute } => {
+                write!(f, "<{tag}> is missing required attribute `{attribute}`")
+            }
+            PmlError::InvalidAttribute {
+                tag,
+                attribute,
+                value,
+            } => write!(f, "<{tag}> attribute `{attribute}` has invalid value `{value}`"),
+            PmlError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            PmlError::UnknownModule { name, schema } => {
+                write!(f, "module `{name}` not defined in schema `{schema}`")
+            }
+            PmlError::UnknownParameter { module, parameter } => {
+                write!(f, "module `{module}` has no parameter `{parameter}`")
+            }
+            PmlError::ArgumentTooLong {
+                module,
+                parameter,
+                max_len,
+                actual,
+            } => write!(
+                f,
+                "argument for {module}.{parameter} is {actual} tokens, max {max_len}"
+            ),
+            PmlError::UnionConflict { members } => {
+                write!(f, "multiple members of one union imported: {members:?}")
+            }
+            PmlError::SchemaMismatch { expected, actual } => {
+                write!(f, "prompt targets schema `{expected}` but got `{actual}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_detail() {
+        let e = PmlError::ArgumentTooLong {
+            module: "trip".into(),
+            parameter: "duration".into(),
+            max_len: 2,
+            actual: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("trip.duration") && s.contains('5') && s.contains('2'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<PmlError>();
+    }
+}

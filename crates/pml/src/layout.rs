@@ -1,0 +1,469 @@
+//! Position-ID layout of a schema (paper §3.3, "Encoding Schema").
+//!
+//! Layout walks a (chat-compiled) schema with a cursor and assigns every
+//! piece of cacheable content an absolute position-ID range:
+//!
+//! * anonymous text advances the cursor and is always included;
+//! * a module's subtree starts at the cursor and advances it by the
+//!   subtree's token length;
+//! * union members all start at the **same** position and the cursor
+//!   advances by the **largest** member ("their token sequence size is
+//!   considered with the size of the largest child");
+//! * parameters reserve `len` token slots inside their module's span.
+//!
+//! The output is a list of [`LayoutSpan`]s — contiguous cacheable runs
+//! owned by a module path (or by the anonymous path `[]`) — plus a
+//! [`ModuleInfo`] index used by prompt resolution.
+
+use crate::ast::{ModuleDef, ModuleItem, Schema, SchemaItem};
+use crate::template::ChatTemplate;
+
+/// Hierarchical module identifier: `["travel-plan", "miami"]`. The empty
+/// path owns anonymous schema text.
+pub type ModulePath = Vec<String>;
+
+/// A contiguous run of cacheable content at fixed positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutSpan {
+    /// Owning module path (empty for anonymous schema text).
+    pub owner: ModulePath,
+    /// Absolute starting position ID.
+    pub start: usize,
+    /// Ordered text/parameter segments.
+    pub segments: Vec<Segment>,
+    /// Total token length of the span.
+    pub len: usize,
+}
+
+/// One segment of a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// Literal schema text.
+    Text {
+        /// The text.
+        text: String,
+        /// Its token length under the layout's counter.
+        len: usize,
+    },
+    /// A parameter placeholder reserving `len` `<unk>` slots.
+    Param {
+        /// Parameter name.
+        name: String,
+        /// Reserved token slots.
+        len: usize,
+    },
+}
+
+impl Segment {
+    /// Token length of this segment.
+    pub fn len(&self) -> usize {
+        match self {
+            Segment::Text { len, .. } | Segment::Param { len, .. } => *len,
+        }
+    }
+
+    /// Whether the segment is zero tokens long.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Metadata for one module: its subtree range, parameters, and union
+/// membership.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleInfo {
+    /// Hierarchical path.
+    pub path: ModulePath,
+    /// Subtree start position.
+    pub start: usize,
+    /// Subtree end position (exclusive).
+    pub end: usize,
+    /// Declared parameters.
+    pub params: Vec<ParamInfo>,
+    /// Union group id if the module is a union member.
+    pub union_group: Option<usize>,
+}
+
+/// A parameter's placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamInfo {
+    /// Parameter name.
+    pub name: String,
+    /// Maximum argument token length.
+    pub len: usize,
+    /// Absolute position of the first reserved slot.
+    pub start: usize,
+}
+
+/// The computed layout of one schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaLayout {
+    /// Name of the schema this layout was computed from.
+    pub schema_name: String,
+    /// All cacheable spans in position order of creation.
+    pub spans: Vec<LayoutSpan>,
+    /// Module index.
+    pub modules: Vec<ModuleInfo>,
+    /// One position past the last assigned position.
+    pub total_len: usize,
+}
+
+impl SchemaLayout {
+    /// Computes the layout of `schema` after compiling chat tags with
+    /// `template`, counting tokens with `count`.
+    pub fn build(
+        schema: &Schema,
+        template: ChatTemplate,
+        count: &dyn Fn(&str) -> usize,
+    ) -> SchemaLayout {
+        let compiled = template.compile(schema);
+        let mut builder = Builder {
+            count,
+            spans: Vec::new(),
+            modules: Vec::new(),
+            next_union_group: 0,
+        };
+        let total_len = builder.walk_schema_items(&compiled.items, &[], 0);
+        SchemaLayout {
+            schema_name: schema.name.clone(),
+            spans: builder.spans,
+            modules: builder.modules,
+            total_len,
+        }
+    }
+
+    /// Spans owned exactly by `path` (a module's direct content), in
+    /// position order.
+    pub fn spans_of(&self, path: &[String]) -> Vec<&LayoutSpan> {
+        self.spans.iter().filter(|s| s.owner == path).collect()
+    }
+
+    /// Anonymous spans (always included in any derived prompt).
+    pub fn anonymous_spans(&self) -> Vec<&LayoutSpan> {
+        self.spans_of(&[])
+    }
+
+    /// Metadata for the module at `path`.
+    pub fn module(&self, path: &[String]) -> Option<&ModuleInfo> {
+        self.modules.iter().find(|m| m.path == path)
+    }
+
+    /// Total cacheable tokens across all spans (counting every union
+    /// member — the memory the encoder will populate, not the positions).
+    pub fn cacheable_tokens(&self) -> usize {
+        self.spans.iter().map(|s| s.len).sum()
+    }
+}
+
+struct Builder<'a> {
+    count: &'a dyn Fn(&str) -> usize,
+    spans: Vec<LayoutSpan>,
+    modules: Vec<ModuleInfo>,
+    next_union_group: usize,
+}
+
+impl Builder<'_> {
+    /// Walks top-level (or chat-unwrapped) schema items; returns the
+    /// cursor after the last item.
+    fn walk_schema_items(
+        &mut self,
+        items: &[SchemaItem],
+        owner: &[String],
+        mut cursor: usize,
+    ) -> usize {
+        let mut pending: Vec<Segment> = Vec::new();
+        let mut pending_start = cursor;
+        for item in items {
+            match item {
+                SchemaItem::Text(t) => {
+                    let len = (self.count)(t);
+                    cursor += len;
+                    pending.push(Segment::Text {
+                        text: t.clone(),
+                        len,
+                    });
+                }
+                SchemaItem::Module(m) => {
+                    self.flush(owner, pending_start, &mut pending);
+                    cursor = self.walk_module(m, owner, cursor, None);
+                    pending_start = cursor;
+                }
+                SchemaItem::Union(ms) => {
+                    self.flush(owner, pending_start, &mut pending);
+                    cursor = self.walk_union(ms, owner, cursor);
+                    pending_start = cursor;
+                }
+                SchemaItem::Chat { items, .. } => {
+                    // Normally removed by template compilation; lay out the
+                    // contents transparently if one slipped through.
+                    self.flush(owner, pending_start, &mut pending);
+                    cursor = self.walk_schema_items(items, owner, cursor);
+                    pending_start = cursor;
+                }
+            }
+        }
+        self.flush(owner, pending_start, &mut pending);
+        cursor
+    }
+
+    /// Lays out one module subtree starting at `cursor`; returns the
+    /// position after it.
+    fn walk_module(
+        &mut self,
+        m: &ModuleDef,
+        parent: &[String],
+        cursor: usize,
+        union_group: Option<usize>,
+    ) -> usize {
+        let path: ModulePath = parent.iter().cloned().chain([m.name.clone()]).collect();
+        let start = cursor;
+        let mut cur = cursor;
+        let mut params = Vec::new();
+        let mut pending: Vec<Segment> = Vec::new();
+        let mut pending_start = cur;
+        for item in &m.items {
+            match item {
+                ModuleItem::Text(t) => {
+                    let len = (self.count)(t);
+                    cur += len;
+                    pending.push(Segment::Text {
+                        text: t.clone(),
+                        len,
+                    });
+                }
+                ModuleItem::Param { name, len } => {
+                    params.push(ParamInfo {
+                        name: name.clone(),
+                        len: *len,
+                        start: cur,
+                    });
+                    cur += len;
+                    pending.push(Segment::Param {
+                        name: name.clone(),
+                        len: *len,
+                    });
+                }
+                ModuleItem::Module(inner) => {
+                    self.flush(&path, pending_start, &mut pending);
+                    cur = self.walk_module(inner, &path, cur, None);
+                    pending_start = cur;
+                }
+                ModuleItem::Union(ms) => {
+                    self.flush(&path, pending_start, &mut pending);
+                    cur = self.walk_union(ms, &path, cur);
+                    pending_start = cur;
+                }
+            }
+        }
+        self.flush(&path, pending_start, &mut pending);
+        self.modules.push(ModuleInfo {
+            path,
+            start,
+            end: cur,
+            params,
+            union_group,
+        });
+        cur
+    }
+
+    /// Lays out union members at a shared start; returns `start + max
+    /// member length`.
+    fn walk_union(&mut self, members: &[ModuleDef], parent: &[String], start: usize) -> usize {
+        let group = self.next_union_group;
+        self.next_union_group += 1;
+        let mut max_end = start;
+        for m in members {
+            let end = self.walk_module(m, parent, start, Some(group));
+            max_end = max_end.max(end);
+        }
+        max_end
+    }
+
+    fn flush(&mut self, owner: &[String], start: usize, pending: &mut Vec<Segment>) {
+        if pending.is_empty() || pending.iter().all(Segment::is_empty) {
+            pending.clear();
+            return;
+        }
+        let segments = std::mem::take(pending);
+        let len = segments.iter().map(Segment::len).sum();
+        self.spans.push(LayoutSpan {
+            owner: owner.to_vec(),
+            start,
+            segments,
+            len,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_schema;
+
+    /// Counter: one token per whitespace-separated word.
+    fn words(text: &str) -> usize {
+        text.split_whitespace().count()
+    }
+
+    fn build(src: &str) -> SchemaLayout {
+        SchemaLayout::build(&parse_schema(src).unwrap(), ChatTemplate::Plain, &words)
+    }
+
+    #[test]
+    fn sequential_modules_get_sequential_starts() {
+        // Paper's worked example: modules of 50 and 60 tokens put the third
+        // module at position 110.
+        let m1 = "w ".repeat(50);
+        let m2 = "w ".repeat(60);
+        let src = format!(
+            r#"<schema name="s">
+                 <module name="a">{m1}</module>
+                 <module name="b">{m2}</module>
+                 <module name="c">tail words here</module>
+               </schema>"#
+        );
+        let l = build(&src);
+        assert_eq!(l.module(&["a".into()]).unwrap().start, 0);
+        assert_eq!(l.module(&["b".into()]).unwrap().start, 50);
+        assert_eq!(l.module(&["c".into()]).unwrap().start, 110);
+        assert_eq!(l.total_len, 113);
+    }
+
+    #[test]
+    fn anonymous_text_advances_cursor_and_is_tracked() {
+        let l = build(
+            r#"<schema name="s">
+                 one two three
+                 <module name="m">four five</module>
+               </schema>"#,
+        );
+        let anon = l.anonymous_spans();
+        assert_eq!(anon.len(), 1);
+        assert_eq!(anon[0].start, 0);
+        assert_eq!(anon[0].len, 3);
+        assert_eq!(l.module(&["m".into()]).unwrap().start, 3);
+    }
+
+    #[test]
+    fn union_members_share_start_and_advance_by_max() {
+        let l = build(
+            r#"<schema name="s">
+                 <union>
+                   <module name="short">a b</module>
+                   <module name="long">a b c d e</module>
+                 </union>
+                 <module name="after">x</module>
+               </schema>"#,
+        );
+        let short = l.module(&["short".into()]).unwrap();
+        let long = l.module(&["long".into()]).unwrap();
+        assert_eq!(short.start, 0);
+        assert_eq!(long.start, 0);
+        assert_eq!(short.union_group, long.union_group);
+        assert!(short.union_group.is_some());
+        // Next module starts after the largest member.
+        assert_eq!(l.module(&["after".into()]).unwrap().start, 5);
+    }
+
+    #[test]
+    fn separate_unions_get_distinct_groups() {
+        let l = build(
+            r#"<schema name="s">
+                 <union><module name="a">x</module></union>
+                 <union><module name="b">y</module></union>
+               </schema>"#,
+        );
+        assert_ne!(
+            l.module(&["a".into()]).unwrap().union_group,
+            l.module(&["b".into()]).unwrap().union_group
+        );
+    }
+
+    #[test]
+    fn params_reserve_slots_at_recorded_positions() {
+        let l = build(
+            r#"<schema name="s">
+                 <module name="trip">
+                   plan a trip of <param name="duration" len="3"/> starting now
+                 </module>
+               </schema>"#,
+        );
+        let m = l.module(&["trip".into()]).unwrap();
+        assert_eq!(m.params.len(), 1);
+        let p = &m.params[0];
+        assert_eq!(p.name, "duration");
+        assert_eq!(p.len, 3);
+        assert_eq!(p.start, 4); // after "plan a trip of"
+        assert_eq!(m.end, 4 + 3 + 2);
+        // The span carries a Param segment at the right offset.
+        let spans = l.spans_of(&["trip".into()]);
+        assert_eq!(spans.len(), 1);
+        assert!(matches!(&spans[0].segments[1], Segment::Param { name, len: 3 } if name == "duration"));
+    }
+
+    #[test]
+    fn nested_module_splits_parent_spans() {
+        let l = build(
+            r#"<schema name="s">
+                 <module name="outer">
+                   intro words
+                   <module name="inner">deep content here</module>
+                   outro
+                 </module>
+               </schema>"#,
+        );
+        let outer_spans = l.spans_of(&["outer".into()]);
+        assert_eq!(outer_spans.len(), 2);
+        assert_eq!(outer_spans[0].start, 0);
+        assert_eq!(outer_spans[0].len, 2);
+        assert_eq!(outer_spans[1].start, 5); // after inner's 3 tokens
+        let inner = l.module(&["outer".into(), "inner".into()]).unwrap();
+        assert_eq!(inner.start, 2);
+        assert_eq!(inner.end, 5);
+        let outer = l.module(&["outer".into()]).unwrap();
+        assert_eq!((outer.start, outer.end), (0, 6));
+    }
+
+    #[test]
+    fn chat_template_text_is_cached_as_anonymous() {
+        let l = SchemaLayout::build(
+            &parse_schema(r#"<schema name="c"><system>be good</system></schema>"#).unwrap(),
+            ChatTemplate::Plain,
+            &words,
+        );
+        // "System:" prefix + "be good" — all anonymous text.
+        let anon_len: usize = l.anonymous_spans().iter().map(|s| s.len).sum();
+        assert_eq!(anon_len, 3);
+    }
+
+    #[test]
+    fn empty_modules_yield_no_spans() {
+        let l = build(r#"<schema name="s"><module name="empty"></module></schema>"#);
+        assert!(l.spans_of(&["empty".into()]).is_empty());
+        let m = l.module(&["empty".into()]).unwrap();
+        assert_eq!(m.start, m.end);
+    }
+
+    #[test]
+    fn cacheable_exceeds_positions_with_unions() {
+        // Two 5-token union members occupy 5 positions but 10 cacheable
+        // tokens.
+        let l = build(
+            r#"<schema name="s">
+                 <union>
+                   <module name="a">a b c d e</module>
+                   <module name="b">f g h i j</module>
+                 </union>
+               </schema>"#,
+        );
+        assert_eq!(l.total_len, 5);
+        assert_eq!(l.cacheable_tokens(), 10);
+    }
+
+    #[test]
+    fn unknown_module_lookup_is_none() {
+        let l = build(r#"<schema name="s"><module name="a">x</module></schema>"#);
+        assert!(l.module(&["missing".into()]).is_none());
+        assert!(l.module(&["a".into(), "missing".into()]).is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! A small XML-ish lexer for PML.
+//!
+//! PML needs only a fraction of XML: open tags with double-quoted
+//! attributes, close tags, self-closing tags, text, and the three
+//! entities `&amp; &lt; &gt;`. Comments (`<!-- -->`) are skipped.
+
+use crate::{PmlError, Result};
+
+/// One lexical token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `<name attr="v"…>` or `<name …/>` (self_closing distinguishes).
+    Open {
+        /// Tag name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<(String, String)>,
+        /// Whether the tag ended with `/>`.
+        self_closing: bool,
+        /// Byte offset of `<`.
+        offset: usize,
+    },
+    /// `</name>`.
+    Close {
+        /// Tag name.
+        name: String,
+        /// Byte offset of `<`.
+        offset: usize,
+    },
+    /// Text between tags, entity-decoded. Whitespace-only text between
+    /// tags is dropped by the lexer; leading/trailing whitespace of mixed
+    /// text is trimmed (PML is whitespace-insensitive at tag boundaries).
+    Text {
+        /// The decoded text.
+        text: String,
+        /// Byte offset where it began.
+        offset: usize,
+    },
+}
+
+/// Tokenises a PML document.
+///
+/// # Errors
+///
+/// Returns [`PmlError::Parse`] for malformed tags, unterminated strings,
+/// or stray `<`.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            if src[i..].starts_with("<!--") {
+                let end = src[i..].find("-->").ok_or_else(|| PmlError::Parse {
+                    offset: i,
+                    message: "unterminated comment".into(),
+                })?;
+                i += end + 3;
+                continue;
+            }
+            let (token, next) = lex_tag(src, i)?;
+            tokens.push(token);
+            i = next;
+        } else {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'<' {
+                i += 1;
+            }
+            let raw = &src[start..i];
+            let trimmed = raw.trim();
+            if !trimmed.is_empty() {
+                tokens.push(Token::Text {
+                    text: decode_entities(trimmed),
+                    offset: start,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_tag(src: &str, start: usize) -> Result<(Token, usize)> {
+    let err = |offset: usize, message: &str| PmlError::Parse {
+        offset,
+        message: message.into(),
+    };
+    let bytes = src.as_bytes();
+    let mut i = start + 1;
+    let closing = bytes.get(i) == Some(&b'/');
+    if closing {
+        i += 1;
+    }
+    let name_start = i;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-' || bytes[i] == b'_')
+    {
+        i += 1;
+    }
+    if i == name_start {
+        return Err(err(start, "expected tag name after `<`"));
+    }
+    let name = src[name_start..i].to_owned();
+
+    if closing {
+        i = skip_ws(bytes, i);
+        if bytes.get(i) != Some(&b'>') {
+            return Err(err(i, "expected `>` after closing tag name"));
+        }
+        return Ok((Token::Close { name, offset: start }, i + 1));
+    }
+
+    let mut attrs = Vec::new();
+    loop {
+        i = skip_ws(bytes, i);
+        match bytes.get(i) {
+            Some(b'>') => {
+                return Ok((
+                    Token::Open {
+                        name,
+                        attrs,
+                        self_closing: false,
+                        offset: start,
+                    },
+                    i + 1,
+                ));
+            }
+            Some(b'/') => {
+                if bytes.get(i + 1) != Some(&b'>') {
+                    return Err(err(i, "expected `>` after `/`"));
+                }
+                return Ok((
+                    Token::Open {
+                        name,
+                        attrs,
+                        self_closing: true,
+                        offset: start,
+                    },
+                    i + 2,
+                ));
+            }
+            Some(_) => {
+                let key_start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'-' || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if i == key_start {
+                    return Err(err(i, "expected attribute name"));
+                }
+                let key = src[key_start..i].to_owned();
+                i = skip_ws(bytes, i);
+                if bytes.get(i) != Some(&b'=') {
+                    return Err(err(i, "expected `=` after attribute name"));
+                }
+                i = skip_ws(bytes, i + 1);
+                if bytes.get(i) != Some(&b'"') {
+                    return Err(err(i, "expected `\"` to open attribute value"));
+                }
+                i += 1;
+                let val_start = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(err(val_start, "unterminated attribute value"));
+                }
+                attrs.push((key, decode_entities(&src[val_start..i])));
+                i += 1;
+            }
+            None => return Err(err(start, "unterminated tag")),
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+fn decode_entities(text: &str) -> String {
+    text.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_open_close_text() {
+        let toks = lex("<a>hello</a>").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert!(matches!(&toks[0], Token::Open { name, self_closing: false, .. } if name == "a"));
+        assert!(matches!(&toks[1], Token::Text { text, .. } if text == "hello"));
+        assert!(matches!(&toks[2], Token::Close { name, .. } if name == "a"));
+    }
+
+    #[test]
+    fn lexes_attributes() {
+        let toks = lex(r#"<module name="doc-1" len="5"/>"#).unwrap();
+        let Token::Open {
+            attrs,
+            self_closing,
+            ..
+        } = &toks[0]
+        else {
+            panic!("expected open tag");
+        };
+        assert!(*self_closing);
+        assert_eq!(attrs[0], ("name".into(), "doc-1".into()));
+        assert_eq!(attrs[1], ("len".into(), "5".into()));
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let toks = lex("<a>\n   </a>").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn text_is_trimmed() {
+        let toks = lex("<a>\n  hi there \n</a>").unwrap();
+        assert!(matches!(&toks[1], Token::Text { text, .. } if text == "hi there"));
+    }
+
+    #[test]
+    fn entities_decoded_in_text_and_attrs() {
+        let toks = lex(r#"<a v="x &amp; y">1 &lt; 2</a>"#).unwrap();
+        let Token::Open { attrs, .. } = &toks[0] else { panic!() };
+        assert_eq!(attrs[0].1, "x & y");
+        assert!(matches!(&toks[1], Token::Text { text, .. } if text == "1 < 2"));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("<a><!-- note -->x</a>").unwrap();
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let err = lex("text <").unwrap_err();
+        assert!(matches!(err, PmlError::Parse { offset: 5, .. }));
+        assert!(lex(r#"<a v="unterminated>"#).is_err());
+        assert!(lex("<a b>").is_err());
+        assert!(lex("</a junk>").is_err());
+        assert!(lex("<!-- unterminated").is_err());
+    }
+
+    #[test]
+    fn hyphenated_and_underscored_names() {
+        let toks = lex("<trip-plan/><my_mod/>").unwrap();
+        assert!(matches!(&toks[0], Token::Open { name, .. } if name == "trip-plan"));
+        assert!(matches!(&toks[1], Token::Open { name, .. } if name == "my_mod"));
+    }
+}

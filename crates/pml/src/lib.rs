@@ -1,0 +1,68 @@
+//! Prompt Markup Language (PML) — schemas, prompts, layout, and resolution.
+//!
+//! PML is the user-facing half of Prompt Cache (paper §3.2): a small markup
+//! language that makes the reusable structure of prompts explicit so the
+//! engine can cache and reuse attention states safely.
+//!
+//! * A **schema** declares prompt modules (`<module>`), parameters
+//!   (`<param>`), mutually-exclusive groups (`<union>`), nesting, and
+//!   chat-role wrappers (`<system>/<user>/<assistant>`).
+//! * A **prompt** derives from a schema (`<prompt schema="…">`), imports
+//!   modules (`<miami/>`), supplies parameter arguments
+//!   (`<trip-plan duration="3 days"/>`), and adds uncached text.
+//!
+//! The crate covers the full pipeline up to (but not including) tensor
+//! work:
+//!
+//! 1. [`parse_schema`] / [`parse_prompt`] — text → AST.
+//! 2. [`layout::SchemaLayout`] — assigns every module its absolute
+//!    position-ID range (§3.3): sequential cursors, unions sharing a start
+//!    position and advancing by their largest member, parameters reserving
+//!    `len` `<unk>` slots.
+//! 3. [`resolve::resolve_prompt`] — validates a prompt against its schema
+//!    and produces the ordered cached-span / argument / new-text parts with
+//!    concrete position IDs (§3.4) for the engine in `prompt-cache`.
+//! 4. [`program::PromptProgram`] — the "prompt programs → PML" compiler of
+//!    §3.2.4, as a Rust builder (if → module, choose-one → union, function
+//!    call → nested module, argument → param).
+//!
+//! # Example
+//!
+//! ```
+//! use pc_pml::{parse_schema, parse_prompt};
+//!
+//! let schema = parse_schema(r#"
+//!   <schema name="travel">
+//!     <module name="miami">Miami is warm.</module>
+//!     <module name="trip-plan">
+//!       Plan a trip of <param name="duration" len="2"/>.
+//!     </module>
+//!   </schema>"#).unwrap();
+//! let prompt = parse_prompt(r#"
+//!   <prompt schema="travel">
+//!     <trip-plan duration="3 days"/><miami/>
+//!     Highlight the surf spots.
+//!   </prompt>"#).unwrap();
+//! assert_eq!(schema.name, "travel");
+//! assert_eq!(prompt.schema, "travel");
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod error;
+pub mod layout;
+pub mod lint;
+mod lexer;
+mod parser;
+pub mod pretty;
+pub mod program;
+pub mod resolve;
+pub mod template;
+
+pub use ast::{ModuleDef, ModuleItem, Prompt, PromptItem, Role, Schema, SchemaItem};
+pub use error::PmlError;
+pub use parser::{parse_prompt, parse_schema};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PmlError>;

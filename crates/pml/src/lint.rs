@@ -1,0 +1,359 @@
+//! Schema lints: advisory diagnostics for schemas that parse but will
+//! cache poorly.
+//!
+//! Prompt Cache's benefit scales with module size and reuse frequency
+//! (§1: advantage "becomes more pronounced as the size of cached segments
+//! grows"), and its approximation quality depends on modules being
+//! "self-contained and semantically independent" (§3.3). These lints
+//! catch the structural anti-patterns: modules too small to pay for
+//! their bookkeeping, parameters crowding out cacheable text, unions
+//! whose members waste position budget, duplicated module bodies, and
+//! over-deep nesting.
+
+use crate::layout::SchemaLayout;
+use crate::template::ChatTemplate;
+use crate::Schema;
+use std::fmt;
+
+/// One advisory finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Lint {
+    /// A module with no content caches nothing.
+    EmptyModule {
+        /// Module path (dot-joined).
+        path: String,
+    },
+    /// A module below `min_tokens` saves less than its bookkeeping costs.
+    TinyModule {
+        /// Module path.
+        path: String,
+        /// Its token count.
+        tokens: usize,
+        /// The threshold used.
+        min_tokens: usize,
+    },
+    /// Parameter slots outnumber cacheable text tokens: most of the
+    /// module is recomputed per request anyway.
+    ParamHeavyModule {
+        /// Module path.
+        path: String,
+        /// Reserved parameter slots.
+        param_tokens: usize,
+        /// Cacheable text tokens.
+        text_tokens: usize,
+    },
+    /// Union members differ greatly in size; the union reserves positions
+    /// for its largest member, so small members waste position budget.
+    UnbalancedUnion {
+        /// Union group id.
+        group: usize,
+        /// Smallest member's subtree length.
+        min_tokens: usize,
+        /// Largest member's subtree length.
+        max_tokens: usize,
+    },
+    /// Two modules have byte-identical content — they should be one
+    /// module (each copy is encoded and stored separately).
+    DuplicateModules {
+        /// First module path.
+        first: String,
+        /// Second module path.
+        second: String,
+    },
+    /// Nesting deeper than 3 levels: every level forces explicit nested
+    /// imports in prompts.
+    DeepNesting {
+        /// Module path.
+        path: String,
+        /// Its depth.
+        depth: usize,
+    },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::EmptyModule { path } => write!(f, "module `{path}` is empty"),
+            Lint::TinyModule {
+                path,
+                tokens,
+                min_tokens,
+            } => write!(
+                f,
+                "module `{path}` has only {tokens} tokens (< {min_tokens}); caching \
+                 overhead may exceed the saving"
+            ),
+            Lint::ParamHeavyModule {
+                path,
+                param_tokens,
+                text_tokens,
+            } => write!(
+                f,
+                "module `{path}` reserves {param_tokens} parameter slots against \
+                 {text_tokens} cacheable tokens; most of it is recomputed per request"
+            ),
+            Lint::UnbalancedUnion {
+                group,
+                min_tokens,
+                max_tokens,
+            } => write!(
+                f,
+                "union #{group} members span {min_tokens}–{max_tokens} tokens; small \
+                 members waste the position budget reserved for the largest"
+            ),
+            Lint::DuplicateModules { first, second } => write!(
+                f,
+                "modules `{first}` and `{second}` have identical content; merge them \
+                 to avoid duplicate encoding and storage"
+            ),
+            Lint::DeepNesting { path, depth } => {
+                write!(f, "module `{path}` is nested {depth} levels deep")
+            }
+        }
+    }
+}
+
+/// Configuration for [`lint_schema`].
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Modules below this token count get [`Lint::TinyModule`].
+    pub min_module_tokens: usize,
+    /// Union member size ratio above which [`Lint::UnbalancedUnion`]
+    /// fires.
+    pub union_imbalance_ratio: f64,
+    /// Nesting depth above which [`Lint::DeepNesting`] fires.
+    pub max_depth: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            min_module_tokens: 4,
+            union_imbalance_ratio: 4.0,
+            max_depth: 3,
+        }
+    }
+}
+
+/// Lints a schema, returning advisory findings (never errors — a linted
+/// schema still serves).
+pub fn lint_schema(
+    schema: &Schema,
+    count: &dyn Fn(&str) -> usize,
+    config: &LintConfig,
+) -> Vec<Lint> {
+    let layout = SchemaLayout::build(schema, ChatTemplate::Plain, count);
+    let mut lints = Vec::new();
+
+    // Per-module lints from the layout.
+    for m in &layout.modules {
+        let path = m.path.join(".");
+        let subtree = m.end - m.start;
+        let param_tokens: usize = m.params.iter().map(|p| p.len).sum();
+        let own_text: usize = layout
+            .spans
+            .iter()
+            .filter(|s| s.owner == m.path)
+            .map(|s| s.len)
+            .sum::<usize>()
+            .saturating_sub(param_tokens);
+        if subtree == 0 {
+            lints.push(Lint::EmptyModule { path: path.clone() });
+        } else if subtree < config.min_module_tokens {
+            lints.push(Lint::TinyModule {
+                path: path.clone(),
+                tokens: subtree,
+                min_tokens: config.min_module_tokens,
+            });
+        }
+        if param_tokens > own_text && param_tokens > 0 {
+            lints.push(Lint::ParamHeavyModule {
+                path: path.clone(),
+                param_tokens,
+                text_tokens: own_text,
+            });
+        }
+        if m.path.len() > config.max_depth {
+            lints.push(Lint::DeepNesting {
+                path,
+                depth: m.path.len(),
+            });
+        }
+    }
+
+    // Union balance.
+    let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    for m in &layout.modules {
+        if let Some(g) = m.union_group {
+            groups.entry(g).or_default().push(m.end - m.start);
+        }
+    }
+    let mut group_ids: Vec<usize> = groups.keys().copied().collect();
+    group_ids.sort_unstable();
+    for g in group_ids {
+        let sizes = &groups[&g];
+        let (min, max) = (
+            sizes.iter().copied().min().unwrap_or(0),
+            sizes.iter().copied().max().unwrap_or(0),
+        );
+        if min > 0 && max as f64 / min as f64 > config.union_imbalance_ratio {
+            lints.push(Lint::UnbalancedUnion {
+                group: g,
+                min_tokens: min,
+                max_tokens: max,
+            });
+        }
+    }
+
+    // Duplicate module bodies (compare span text content per module).
+    let mut bodies: Vec<(String, String)> = Vec::new();
+    for m in &layout.modules {
+        let body: String = layout
+            .spans
+            .iter()
+            .filter(|s| s.owner == m.path)
+            .flat_map(|s| {
+                s.segments.iter().map(|seg| match seg {
+                    crate::layout::Segment::Text { text, .. } => text.clone(),
+                    crate::layout::Segment::Param { name, len } => {
+                        format!("<param {name} {len}>")
+                    }
+                })
+            })
+            .collect::<Vec<_>>()
+            .join("\u{1f}");
+        if body.is_empty() {
+            continue;
+        }
+        if let Some((first, _)) = bodies.iter().find(|(_, b)| *b == body) {
+            lints.push(Lint::DuplicateModules {
+                first: first.clone(),
+                second: m.path.join("."),
+            });
+        } else {
+            bodies.push((m.path.join("."), body));
+        }
+    }
+
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_schema;
+
+    fn words(t: &str) -> usize {
+        t.split_whitespace().count()
+    }
+
+    fn lint(src: &str) -> Vec<Lint> {
+        lint_schema(&parse_schema(src).unwrap(), &words, &LintConfig::default())
+    }
+
+    #[test]
+    fn clean_schema_has_no_lints() {
+        let lints = lint(
+            r#"<schema name="ok">
+                 <module name="doc">one two three four five six seven eight</module>
+               </schema>"#,
+        );
+        assert!(lints.is_empty(), "{lints:?}");
+    }
+
+    #[test]
+    fn empty_and_tiny_modules_flagged() {
+        let lints = lint(
+            r#"<schema name="s">
+                 <module name="empty"></module>
+                 <module name="tiny">two words</module>
+               </schema>"#,
+        );
+        assert!(lints.iter().any(|l| matches!(l, Lint::EmptyModule { path } if path == "empty")));
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::TinyModule { path, tokens: 2, .. } if path == "tiny")));
+    }
+
+    #[test]
+    fn param_heavy_module_flagged() {
+        let lints = lint(
+            r#"<schema name="s">
+                 <module name="form">fill <param name="a" len="10"/></module>
+               </schema>"#,
+        );
+        assert!(lints.iter().any(
+            |l| matches!(l, Lint::ParamHeavyModule { param_tokens: 10, text_tokens: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn unbalanced_union_flagged() {
+        let long = "w ".repeat(30);
+        let lints = lint(&format!(
+            r#"<schema name="s">
+                 <union>
+                   <module name="small">just a few tokens here</module>
+                   <module name="large">{long}</module>
+                 </union>
+               </schema>"#
+        ));
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::UnbalancedUnion { min_tokens: 5, max_tokens: 30, .. })));
+    }
+
+    #[test]
+    fn balanced_union_not_flagged() {
+        let lints = lint(
+            r#"<schema name="s">
+                 <union>
+                   <module name="a">one two three four five</module>
+                   <module name="b">six seven eight nine ten</module>
+                 </union>
+               </schema>"#,
+        );
+        assert!(!lints.iter().any(|l| matches!(l, Lint::UnbalancedUnion { .. })));
+    }
+
+    #[test]
+    fn duplicate_modules_flagged() {
+        let lints = lint(
+            r#"<schema name="s">
+                 <module name="a">same body of text here</module>
+                 <module name="b">same body of text here</module>
+               </schema>"#,
+        );
+        assert!(lints.iter().any(
+            |l| matches!(l, Lint::DuplicateModules { first, second } if first == "a" && second == "b")
+        ));
+    }
+
+    #[test]
+    fn deep_nesting_flagged() {
+        let lints = lint(
+            r#"<schema name="s">
+                 <module name="l1">one two three four
+                   <module name="l2">one two three four
+                     <module name="l3">one two three four
+                       <module name="l4">one two three four five</module>
+                     </module>
+                   </module>
+                 </module>
+               </schema>"#,
+        );
+        assert!(lints
+            .iter()
+            .any(|l| matches!(l, Lint::DeepNesting { depth: 4, .. })));
+    }
+
+    #[test]
+    fn lints_display_readably() {
+        for l in lint(
+            r#"<schema name="s"><module name="empty"></module></schema>"#,
+        ) {
+            assert!(!l.to_string().is_empty());
+        }
+    }
+}

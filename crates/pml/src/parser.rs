@@ -1,0 +1,591 @@
+//! Recursive-descent parser: token stream → schema / prompt ASTs.
+
+use crate::ast::{ModuleDef, ModuleItem, Prompt, PromptItem, Role, Schema, SchemaItem};
+use crate::lexer::{lex, Token};
+use crate::{PmlError, Result};
+use std::collections::HashSet;
+
+/// Tags with reserved meaning; anything else in a prompt is a module
+/// reference.
+const RESERVED: [&str; 8] = [
+    "schema",
+    "module",
+    "union",
+    "param",
+    "prompt",
+    "system",
+    "user",
+    "assistant",
+];
+
+struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_close(&mut self, tag: &str) -> Result<()> {
+        match self.next() {
+            Some(Token::Close { name, .. }) if name == tag => Ok(()),
+            Some(t) => Err(PmlError::Parse {
+                offset: token_offset(&t),
+                message: format!("expected </{tag}>, found {t:?}"),
+            }),
+            None => Err(PmlError::Parse {
+                offset: usize::MAX,
+                message: format!("expected </{tag}>, found end of input"),
+            }),
+        }
+    }
+}
+
+fn token_offset(t: &Token) -> usize {
+    match t {
+        Token::Open { offset, .. } | Token::Close { offset, .. } | Token::Text { offset, .. } => {
+            *offset
+        }
+    }
+}
+
+fn get_attr(attrs: &[(String, String)], key: &str) -> Option<String> {
+    attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+}
+
+fn require_attr(tag: &str, attrs: &[(String, String)], key: &str) -> Result<String> {
+    get_attr(attrs, key).ok_or_else(|| PmlError::MissingAttribute {
+        tag: tag.to_owned(),
+        attribute: key.to_owned(),
+    })
+}
+
+/// Parses a PML schema document.
+///
+/// # Errors
+///
+/// Returns the first lexical, structural, or naming error encountered;
+/// see [`PmlError`] for the catalogue.
+pub fn parse_schema(src: &str) -> Result<Schema> {
+    let mut cur = Cursor {
+        tokens: lex(src)?,
+        pos: 0,
+    };
+    let Some(Token::Open {
+        name,
+        attrs,
+        self_closing,
+        offset,
+    }) = cur.next()
+    else {
+        return Err(PmlError::Parse {
+            offset: 0,
+            message: "expected <schema> as the root element".into(),
+        });
+    };
+    if name != "schema" || self_closing {
+        return Err(PmlError::Parse {
+            offset,
+            message: "expected <schema> as the root element".into(),
+        });
+    }
+    let schema_name = require_attr("schema", &attrs, "name")?;
+    let items = parse_schema_items(&mut cur, "schema")?;
+    if let Some(t) = cur.peek() {
+        return Err(PmlError::Parse {
+            offset: token_offset(t),
+            message: "content after </schema>".into(),
+        });
+    }
+    Ok(Schema {
+        name: schema_name,
+        items,
+    })
+}
+
+/// Parses items until the matching close tag of `parent` (consumed).
+fn parse_schema_items(cur: &mut Cursor, parent: &str) -> Result<Vec<SchemaItem>> {
+    let mut items = Vec::new();
+    let mut names = HashSet::new();
+    loop {
+        match cur.peek().cloned() {
+            Some(Token::Close { .. }) => {
+                cur.expect_close(parent)?;
+                return Ok(items);
+            }
+            Some(Token::Text { text, .. }) => {
+                cur.next();
+                items.push(SchemaItem::Text(text));
+            }
+            Some(Token::Open { ref name, .. }) if name == "module" => {
+                let m = parse_module(cur)?;
+                check_unique(&mut names, &m.name)?;
+                items.push(SchemaItem::Module(m));
+            }
+            Some(Token::Open { ref name, .. }) if name == "union" => {
+                let members = parse_union(cur)?;
+                for m in &members {
+                    check_unique(&mut names, &m.name)?;
+                }
+                items.push(SchemaItem::Union(members));
+            }
+            Some(Token::Open {
+                ref name, offset, ..
+            }) => {
+                if let Some(role) = Role::from_tag(name) {
+                    let tag = name.clone();
+                    cur.next();
+                    let inner = parse_schema_items(cur, &tag)?;
+                    items.push(SchemaItem::Chat { role, items: inner });
+                } else {
+                    return Err(PmlError::Parse {
+                        offset,
+                        message: format!("unexpected <{name}> inside <{parent}>"),
+                    });
+                }
+            }
+            None => {
+                return Err(PmlError::Parse {
+                    offset: usize::MAX,
+                    message: format!("unterminated <{parent}>"),
+                })
+            }
+        }
+    }
+}
+
+fn check_unique(names: &mut HashSet<String>, name: &str) -> Result<()> {
+    if !names.insert(name.to_owned()) {
+        return Err(PmlError::DuplicateName {
+            name: name.to_owned(),
+        });
+    }
+    Ok(())
+}
+
+/// Parses `<module name=…>…</module>` (the open tag is still in the
+/// stream).
+fn parse_module(cur: &mut Cursor) -> Result<ModuleDef> {
+    let Some(Token::Open {
+        attrs,
+        self_closing,
+        ..
+    }) = cur.next()
+    else {
+        unreachable!("caller peeked an open tag");
+    };
+    let name = require_attr("module", &attrs, "name")?;
+    if RESERVED.contains(&name.as_str()) {
+        return Err(PmlError::InvalidAttribute {
+            tag: "module".into(),
+            attribute: "name".into(),
+            value: name,
+        });
+    }
+    if self_closing {
+        return Ok(ModuleDef {
+            name,
+            items: Vec::new(),
+        });
+    }
+
+    let mut items = Vec::new();
+    let mut child_names = HashSet::new();
+    let mut param_names = HashSet::new();
+    loop {
+        match cur.peek().cloned() {
+            Some(Token::Close { .. }) => {
+                cur.expect_close("module")?;
+                return Ok(ModuleDef { name, items });
+            }
+            Some(Token::Text { text, .. }) => {
+                cur.next();
+                items.push(ModuleItem::Text(text));
+            }
+            Some(Token::Open { ref name, .. }) if name == "param" => {
+                let Some(Token::Open {
+                    attrs,
+                    self_closing,
+                    offset,
+                    ..
+                }) = cur.next()
+                else {
+                    unreachable!();
+                };
+                if !self_closing {
+                    return Err(PmlError::Parse {
+                        offset,
+                        message: "<param> must be self-closing".into(),
+                    });
+                }
+                let pname = require_attr("param", &attrs, "name")?;
+                let len_raw = require_attr("param", &attrs, "len")?;
+                let len: usize =
+                    len_raw
+                        .parse()
+                        .ok()
+                        .filter(|&l| l > 0)
+                        .ok_or_else(|| PmlError::InvalidAttribute {
+                            tag: "param".into(),
+                            attribute: "len".into(),
+                            value: len_raw,
+                        })?;
+                check_unique(&mut param_names, &pname)?;
+                items.push(ModuleItem::Param { name: pname, len });
+            }
+            Some(Token::Open { ref name, .. }) if name == "module" => {
+                let m = parse_module(cur)?;
+                check_unique(&mut child_names, &m.name)?;
+                items.push(ModuleItem::Module(m));
+            }
+            Some(Token::Open { ref name, .. }) if name == "union" => {
+                let members = parse_union(cur)?;
+                for m in &members {
+                    check_unique(&mut child_names, &m.name)?;
+                }
+                items.push(ModuleItem::Union(members));
+            }
+            Some(Token::Open {
+                ref name, offset, ..
+            }) => {
+                return Err(PmlError::Parse {
+                    offset,
+                    message: format!("unexpected <{name}> inside <module>"),
+                });
+            }
+            None => {
+                return Err(PmlError::Parse {
+                    offset: usize::MAX,
+                    message: "unterminated <module>".into(),
+                })
+            }
+        }
+    }
+}
+
+/// Parses `<union>…</union>`: only whole modules are permitted inside.
+fn parse_union(cur: &mut Cursor) -> Result<Vec<ModuleDef>> {
+    let Some(Token::Open {
+        self_closing,
+        offset,
+        ..
+    }) = cur.next()
+    else {
+        unreachable!("caller peeked an open tag");
+    };
+    if self_closing {
+        return Err(PmlError::Parse {
+            offset,
+            message: "<union> cannot be self-closing".into(),
+        });
+    }
+    let mut members = Vec::new();
+    loop {
+        match cur.peek().cloned() {
+            Some(Token::Close { .. }) => {
+                cur.expect_close("union")?;
+                return Ok(members);
+            }
+            Some(Token::Open { ref name, .. }) if name == "module" => {
+                members.push(parse_module(cur)?);
+            }
+            Some(t) => {
+                return Err(PmlError::Parse {
+                    offset: token_offset(&t),
+                    message: "only <module> is allowed inside <union>".into(),
+                });
+            }
+            None => {
+                return Err(PmlError::Parse {
+                    offset: usize::MAX,
+                    message: "unterminated <union>".into(),
+                })
+            }
+        }
+    }
+}
+
+/// Parses a PML prompt document.
+///
+/// # Errors
+///
+/// Same failure modes as [`parse_schema`]; reserved tags (other than the
+/// chat roles, which are permitted and pass through) may not be used as
+/// module references.
+pub fn parse_prompt(src: &str) -> Result<Prompt> {
+    let mut cur = Cursor {
+        tokens: lex(src)?,
+        pos: 0,
+    };
+    let Some(Token::Open {
+        name,
+        attrs,
+        self_closing,
+        offset,
+    }) = cur.next()
+    else {
+        return Err(PmlError::Parse {
+            offset: 0,
+            message: "expected <prompt> as the root element".into(),
+        });
+    };
+    if name != "prompt" || self_closing {
+        return Err(PmlError::Parse {
+            offset,
+            message: "expected <prompt> as the root element".into(),
+        });
+    }
+    let schema = require_attr("prompt", &attrs, "schema")?;
+    let items = parse_prompt_items(&mut cur, "prompt")?;
+    if let Some(t) = cur.peek() {
+        return Err(PmlError::Parse {
+            offset: token_offset(t),
+            message: "content after </prompt>".into(),
+        });
+    }
+    Ok(Prompt { schema, items })
+}
+
+fn parse_prompt_items(cur: &mut Cursor, parent: &str) -> Result<Vec<PromptItem>> {
+    let mut items = Vec::new();
+    loop {
+        match cur.peek().cloned() {
+            Some(Token::Close { .. }) => {
+                cur.expect_close(parent)?;
+                return Ok(items);
+            }
+            Some(Token::Text { text, .. }) => {
+                cur.next();
+                items.push(PromptItem::Text(text));
+            }
+            Some(Token::Open {
+                ref name, offset, ..
+            }) if RESERVED.contains(&name.as_str()) => {
+                return Err(PmlError::Parse {
+                    offset,
+                    message: format!("reserved tag <{name}> cannot be used in a prompt"),
+                });
+            }
+            Some(Token::Open { .. }) => {
+                let Some(Token::Open {
+                    name,
+                    attrs,
+                    self_closing,
+                    ..
+                }) = cur.next()
+                else {
+                    unreachable!();
+                };
+                let children = if self_closing {
+                    Vec::new()
+                } else {
+                    parse_prompt_items(cur, &name)?
+                };
+                items.push(PromptItem::ModuleRef {
+                    name,
+                    args: attrs,
+                    children,
+                });
+            }
+            None => {
+                return Err(PmlError::Parse {
+                    offset: usize::MAX,
+                    message: format!("unterminated <{parent}>"),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRAVEL: &str = r#"
+        <schema name="travel">
+          You are a travel assistant.
+          <module name="trip-plan">
+            Plan a trip of <param name="duration" len="2"/> days.
+          </module>
+          <union>
+            <module name="miami">Miami: beaches and surf.</module>
+            <module name="tokyo">Tokyo: temples and food.</module>
+          </union>
+        </schema>"#;
+
+    #[test]
+    fn parses_full_schema() {
+        let s = parse_schema(TRAVEL).unwrap();
+        assert_eq!(s.name, "travel");
+        assert_eq!(s.items.len(), 3);
+        assert!(matches!(&s.items[0], SchemaItem::Text(t) if t.starts_with("You are")));
+        let SchemaItem::Module(m) = &s.items[1] else {
+            panic!()
+        };
+        assert_eq!(m.name, "trip-plan");
+        assert_eq!(m.params(), vec![("duration", 2)]);
+        let SchemaItem::Union(u) = &s.items[2] else {
+            panic!()
+        };
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn parses_nested_modules() {
+        let s = parse_schema(
+            r#"<schema name="n">
+                 <module name="outer">
+                   intro
+                   <module name="inner">deep</module>
+                   outro
+                 </module>
+               </schema>"#,
+        )
+        .unwrap();
+        let SchemaItem::Module(outer) = &s.items[0] else {
+            panic!()
+        };
+        assert_eq!(outer.child_module_names(), vec!["inner"]);
+        assert_eq!(outer.items.len(), 3);
+    }
+
+    #[test]
+    fn parses_chat_roles() {
+        let s = parse_schema(
+            r#"<schema name="c">
+                 <system>Be helpful.<module name="policy">No lies.</module></system>
+                 <user>Hi</user>
+               </schema>"#,
+        )
+        .unwrap();
+        let SchemaItem::Chat { role, items } = &s.items[0] else {
+            panic!()
+        };
+        assert_eq!(*role, Role::System);
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicate_module_names() {
+        let err = parse_schema(
+            r#"<schema name="d">
+                 <module name="a">x</module>
+                 <module name="a">y</module>
+               </schema>"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PmlError::DuplicateName { name } if name == "a"));
+    }
+
+    #[test]
+    fn same_name_ok_at_different_levels() {
+        // Nested levels are separate namespaces.
+        assert!(parse_schema(
+            r#"<schema name="d">
+                 <module name="a"><module name="b">x</module></module>
+                 <module name="c"><module name="b">y</module></module>
+               </schema>"#,
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_param() {
+        for src in [
+            r#"<schema name="p"><module name="m"><param len="3"/></module></schema>"#,
+            r#"<schema name="p"><module name="m"><param name="x"/></module></schema>"#,
+            r#"<schema name="p"><module name="m"><param name="x" len="zero"/></module></schema>"#,
+            r#"<schema name="p"><module name="m"><param name="x" len="0"/></module></schema>"#,
+            r#"<schema name="p"><module name="m"><param name="x" len="3">t</param></module></schema>"#,
+        ] {
+            assert!(parse_schema(src).is_err(), "{src}");
+        }
+    }
+
+    #[test]
+    fn rejects_module_named_like_reserved_tag() {
+        assert!(parse_schema(r#"<schema name="r"><module name="union">x</module></schema>"#)
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_non_module_in_union() {
+        assert!(parse_schema(r#"<schema name="u"><union>text</union></schema>"#).is_err());
+    }
+
+    #[test]
+    fn parses_prompt_with_imports_args_and_text() {
+        let p = parse_prompt(
+            r#"<prompt schema="travel">
+                 <trip-plan duration="3 days"/>
+                 <miami/>
+                 Highlight the surf spots.
+               </prompt>"#,
+        )
+        .unwrap();
+        assert_eq!(p.schema, "travel");
+        assert_eq!(p.items.len(), 3);
+        let PromptItem::ModuleRef { name, args, .. } = &p.items[0] else {
+            panic!()
+        };
+        assert_eq!(name, "trip-plan");
+        assert_eq!(args[0], ("duration".into(), "3 days".into()));
+        assert!(matches!(&p.items[2], PromptItem::Text(t) if t == "Highlight the surf spots."));
+    }
+
+    #[test]
+    fn parses_nested_imports() {
+        let p = parse_prompt(r#"<prompt schema="s"><outer><inner/></outer></prompt>"#).unwrap();
+        let PromptItem::ModuleRef { children, .. } = &p.items[0] else {
+            panic!()
+        };
+        assert_eq!(children.len(), 1);
+    }
+
+    #[test]
+    fn prompt_rejects_reserved_tags() {
+        assert!(parse_prompt(r#"<prompt schema="s"><module name="x"/></prompt>"#).is_err());
+    }
+
+    #[test]
+    fn prompt_requires_schema_attr() {
+        assert!(matches!(
+            parse_prompt("<prompt>x</prompt>"),
+            Err(PmlError::MissingAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn schema_display_round_trips() {
+        let s = parse_schema(TRAVEL).unwrap();
+        let reparsed = parse_schema(&s.to_string()).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn prompt_display_round_trips() {
+        let p = parse_prompt(
+            r#"<prompt schema="travel"><trip-plan duration="3 days"/><miami/>notes</prompt>"#,
+        )
+        .unwrap();
+        let reparsed = parse_prompt(&p.to_string()).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn unterminated_structures_error() {
+        assert!(parse_schema(r#"<schema name="x"><module name="m">"#).is_err());
+        assert!(parse_prompt(r#"<prompt schema="s"><a>"#).is_err());
+        assert!(parse_schema(r#"<schema name="x"></schema>extra"#).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! Pretty-printing: indented, human-maintainable PML.
+//!
+//! `Display` on [`crate::Schema`]/[`crate::Prompt`] emits compact
+//! single-line PML (canonical for round-trips); [`pretty_schema`] and
+//! [`pretty_prompt`] emit the indented form a human would keep in a
+//! `.pml` file. Pretty output re-parses to the same AST (tested), because
+//! the lexer trims whitespace at tag boundaries.
+
+use crate::ast::{ModuleDef, ModuleItem, Prompt, PromptItem, Schema, SchemaItem};
+
+const INDENT: &str = "  ";
+
+fn pad(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str(INDENT);
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a schema with two-space indentation.
+pub fn pretty_schema(schema: &Schema) -> String {
+    let mut out = format!("<schema name=\"{}\">\n", schema.name);
+    for item in &schema.items {
+        schema_item(item, 1, &mut out);
+    }
+    out.push_str("</schema>\n");
+    out
+}
+
+fn schema_item(item: &SchemaItem, depth: usize, out: &mut String) {
+    match item {
+        SchemaItem::Text(t) => {
+            pad(depth, out);
+            out.push_str(&escape(t));
+            out.push('\n');
+        }
+        SchemaItem::Module(m) => module(m, depth, out),
+        SchemaItem::Union(ms) => {
+            pad(depth, out);
+            out.push_str("<union>\n");
+            for m in ms {
+                module(m, depth + 1, out);
+            }
+            pad(depth, out);
+            out.push_str("</union>\n");
+        }
+        SchemaItem::Chat { role, items } => {
+            pad(depth, out);
+            out.push_str(&format!("<{}>\n", role.tag()));
+            for inner in items {
+                schema_item(inner, depth + 1, out);
+            }
+            pad(depth, out);
+            out.push_str(&format!("</{}>\n", role.tag()));
+        }
+    }
+}
+
+fn module(m: &ModuleDef, depth: usize, out: &mut String) {
+    pad(depth, out);
+    if m.items.is_empty() {
+        out.push_str(&format!("<module name=\"{}\"/>\n", m.name));
+        return;
+    }
+    out.push_str(&format!("<module name=\"{}\">\n", m.name));
+    for item in &m.items {
+        match item {
+            ModuleItem::Text(t) => {
+                pad(depth + 1, out);
+                out.push_str(&escape(t));
+                out.push('\n');
+            }
+            ModuleItem::Param { name, len } => {
+                pad(depth + 1, out);
+                out.push_str(&format!("<param name=\"{name}\" len=\"{len}\"/>\n"));
+            }
+            ModuleItem::Module(inner) => module(inner, depth + 1, out),
+            ModuleItem::Union(ms) => {
+                pad(depth + 1, out);
+                out.push_str("<union>\n");
+                for inner in ms {
+                    module(inner, depth + 2, out);
+                }
+                pad(depth + 1, out);
+                out.push_str("</union>\n");
+            }
+        }
+    }
+    pad(depth, out);
+    out.push_str("</module>\n");
+}
+
+/// Renders a prompt with two-space indentation.
+pub fn pretty_prompt(prompt: &Prompt) -> String {
+    let mut out = format!("<prompt schema=\"{}\">\n", prompt.schema);
+    for item in &prompt.items {
+        prompt_item(item, 1, &mut out);
+    }
+    out.push_str("</prompt>\n");
+    out
+}
+
+fn prompt_item(item: &PromptItem, depth: usize, out: &mut String) {
+    match item {
+        PromptItem::Text(t) => {
+            pad(depth, out);
+            out.push_str(&escape(t));
+            out.push('\n');
+        }
+        PromptItem::ModuleRef {
+            name,
+            args,
+            children,
+        } => {
+            pad(depth, out);
+            out.push('<');
+            out.push_str(name);
+            for (k, v) in args {
+                out.push_str(&format!(" {k}=\"{v}\""));
+            }
+            if children.is_empty() {
+                out.push_str("/>\n");
+            } else {
+                out.push_str(">\n");
+                for child in children {
+                    prompt_item(child, depth + 1, out);
+                }
+                pad(depth, out);
+                out.push_str(&format!("</{name}>\n"));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_prompt, parse_schema};
+
+    const DENSE: &str = r#"<schema name="t">intro words<module name="plan">plan of <param name="d" len="3"/></module><union><module name="a">one</module><module name="b">two</module></union><system>be kind</system></schema>"#;
+
+    #[test]
+    fn pretty_schema_reparses_identically() {
+        let schema = parse_schema(DENSE).unwrap();
+        let pretty = pretty_schema(&schema);
+        assert_eq!(parse_schema(&pretty).unwrap(), schema);
+    }
+
+    #[test]
+    fn pretty_schema_is_indented() {
+        let schema = parse_schema(DENSE).unwrap();
+        let pretty = pretty_schema(&schema);
+        assert!(pretty.contains("\n  <module name=\"plan\">\n"));
+        assert!(pretty.contains("\n    <module name=\"a\">\n"));
+        assert!(pretty.ends_with("</schema>\n"));
+    }
+
+    #[test]
+    fn pretty_prompt_reparses_identically() {
+        let prompt = parse_prompt(
+            r#"<prompt schema="t"><plan d="three days"/><a/><outer><inner/></outer>go now</prompt>"#,
+        )
+        .unwrap();
+        let pretty = pretty_prompt(&prompt);
+        assert_eq!(parse_prompt(&pretty).unwrap(), prompt);
+        assert!(pretty.contains("  <plan d=\"three days\"/>\n"));
+    }
+
+    #[test]
+    fn empty_module_renders_self_closing() {
+        let schema = parse_schema(r#"<schema name="e"><module name="m"/></schema>"#).unwrap();
+        let pretty = pretty_schema(&schema);
+        assert!(pretty.contains("<module name=\"m\"/>"));
+        assert_eq!(parse_schema(&pretty).unwrap(), schema);
+    }
+
+    #[test]
+    fn escapes_survive_pretty_round_trip() {
+        let schema =
+            parse_schema(r#"<schema name="x"><module name="m">a &lt; b &amp; c</module></schema>"#)
+                .unwrap();
+        let pretty = pretty_schema(&schema);
+        assert_eq!(parse_schema(&pretty).unwrap(), schema);
+    }
+}

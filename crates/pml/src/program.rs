@@ -1,0 +1,260 @@
+//! Prompt programs → PML compilation (paper §3.2.4).
+//!
+//! The paper ships a Python API that turns prompt programs into PML
+//! schemas: `if` statements become `<module>`s, choose-one statements
+//! become `<union>`s, function calls become nested modules, and decorated
+//! arguments become `<param>`s. [`PromptProgram`] is the Rust equivalent —
+//! a builder whose output is a [`Schema`] (and, via `Display`, PML text).
+//!
+//! # Example
+//!
+//! ```
+//! use pc_pml::program::PromptProgram;
+//!
+//! let schema = PromptProgram::new("assistant")
+//!     .text("You are a helpful assistant.")
+//!     .cond("verbose", |m| m.text("Answer at length."))
+//!     .choose(|u| {
+//!         u.case("english", |m| m.text("Respond in English."))
+//!          .case("french", |m| m.text("Respond in French."))
+//!     })
+//!     .call("profile", |m| {
+//!         m.text("The user is named")
+//!          .param("name", 4)
+//!     })
+//!     .build();
+//! assert_eq!(schema.items.len(), 4);
+//! ```
+
+use crate::ast::{ModuleDef, ModuleItem, Role, Schema, SchemaItem};
+
+/// Builder that compiles a prompt program into a PML schema.
+#[derive(Debug, Clone)]
+pub struct PromptProgram {
+    name: String,
+    items: Vec<SchemaItem>,
+}
+
+impl PromptProgram {
+    /// Starts a program that compiles to a schema named `name`.
+    pub fn new(name: &str) -> Self {
+        PromptProgram {
+            name: name.to_owned(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Unconditional text — always included (an anonymous module).
+    pub fn text(mut self, text: &str) -> Self {
+        self.items.push(SchemaItem::Text(text.to_owned()));
+        self
+    }
+
+    /// An `if`-conditional block: included only when the prompt imports
+    /// the module named `name`.
+    pub fn cond(mut self, name: &str, body: impl FnOnce(ModuleBuilder) -> ModuleBuilder) -> Self {
+        let module = body(ModuleBuilder::new(name)).finish();
+        self.items.push(SchemaItem::Module(module));
+        self
+    }
+
+    /// A choose-one (`if`/`else` or `match`) block: compiles to a union.
+    pub fn choose(mut self, body: impl FnOnce(UnionBuilder) -> UnionBuilder) -> Self {
+        let members = body(UnionBuilder::default()).members;
+        self.items.push(SchemaItem::Union(members));
+        self
+    }
+
+    /// A function call: compiles to a module (callers import it like any
+    /// conditional; nested calls compile to nested modules).
+    pub fn call(self, name: &str, body: impl FnOnce(ModuleBuilder) -> ModuleBuilder) -> Self {
+        self.cond(name, body)
+    }
+
+    /// Wraps items built by `body` in a chat-role tag.
+    pub fn role(mut self, role: Role, body: impl FnOnce(PromptProgram) -> PromptProgram) -> Self {
+        let inner = body(PromptProgram::new("__role__"));
+        self.items.push(SchemaItem::Chat {
+            role,
+            items: inner.items,
+        });
+        self
+    }
+
+    /// Finishes the program, producing a schema AST.
+    pub fn build(self) -> Schema {
+        Schema {
+            name: self.name,
+            items: self.items,
+        }
+    }
+
+    /// Finishes the program, producing PML text.
+    pub fn to_pml(self) -> String {
+        self.build().to_string()
+    }
+}
+
+/// Builds one module's body.
+#[derive(Debug, Clone)]
+pub struct ModuleBuilder {
+    name: String,
+    items: Vec<ModuleItem>,
+}
+
+impl ModuleBuilder {
+    fn new(name: &str) -> Self {
+        ModuleBuilder {
+            name: name.to_owned(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Literal text inside the module.
+    pub fn text(mut self, text: &str) -> Self {
+        self.items.push(ModuleItem::Text(text.to_owned()));
+        self
+    }
+
+    /// A parameter slot (the `@parameter(max_len)` decorator of the
+    /// paper's Python API).
+    pub fn param(mut self, name: &str, len: usize) -> Self {
+        self.items.push(ModuleItem::Param {
+            name: name.to_owned(),
+            len,
+        });
+        self
+    }
+
+    /// A nested conditional (nested `if` → nested module).
+    pub fn cond(mut self, name: &str, body: impl FnOnce(ModuleBuilder) -> ModuleBuilder) -> Self {
+        let module = body(ModuleBuilder::new(name)).finish();
+        self.items.push(ModuleItem::Module(module));
+        self
+    }
+
+    /// A nested choose-one (nested `match` → nested union).
+    pub fn choose(mut self, body: impl FnOnce(UnionBuilder) -> UnionBuilder) -> Self {
+        let members = body(UnionBuilder::default()).members;
+        self.items.push(ModuleItem::Union(members));
+        self
+    }
+
+    fn finish(self) -> ModuleDef {
+        ModuleDef {
+            name: self.name,
+            items: self.items,
+        }
+    }
+}
+
+/// Builds a union's member list.
+#[derive(Debug, Clone, Default)]
+pub struct UnionBuilder {
+    members: Vec<ModuleDef>,
+}
+
+impl UnionBuilder {
+    /// One arm of the choose-one.
+    pub fn case(mut self, name: &str, body: impl FnOnce(ModuleBuilder) -> ModuleBuilder) -> Self {
+        self.members.push(body(ModuleBuilder::new(name)).finish());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::SchemaLayout;
+    use crate::template::ChatTemplate;
+    use crate::{parse_prompt, parse_schema, resolve::resolve_prompt};
+
+    fn words(text: &str) -> usize {
+        text.split_whitespace().count()
+    }
+
+    #[test]
+    fn if_becomes_module() {
+        let s = PromptProgram::new("p")
+            .cond("flag", |m| m.text("conditional text"))
+            .build();
+        assert!(matches!(&s.items[0], SchemaItem::Module(m) if m.name == "flag"));
+    }
+
+    #[test]
+    fn choose_becomes_union() {
+        let s = PromptProgram::new("p")
+            .choose(|u| u.case("a", |m| m.text("x")).case("b", |m| m.text("y")))
+            .build();
+        let SchemaItem::Union(members) = &s.items[0] else {
+            panic!()
+        };
+        assert_eq!(members.len(), 2);
+    }
+
+    #[test]
+    fn call_nests_modules() {
+        let s = PromptProgram::new("p")
+            .call("outer", |m| m.text("a").cond("inner", |m| m.text("b")))
+            .build();
+        let SchemaItem::Module(outer) = &s.items[0] else {
+            panic!()
+        };
+        assert_eq!(outer.child_module_names(), vec!["inner"]);
+    }
+
+    #[test]
+    fn param_matches_decorator_semantics() {
+        let s = PromptProgram::new("p")
+            .cond("greet", |m| m.text("Hello").param("name", 5))
+            .build();
+        let SchemaItem::Module(m) = &s.items[0] else {
+            panic!()
+        };
+        assert_eq!(m.params(), vec![("name", 5)]);
+    }
+
+    #[test]
+    fn generated_pml_parses_back_identically() {
+        let schema = PromptProgram::new("round")
+            .text("intro")
+            .cond("a", |m| m.text("body").param("x", 2))
+            .choose(|u| u.case("l", |m| m.text("left")).case("r", |m| m.text("right")))
+            .role(Role::System, |p| p.text("sys text"))
+            .build();
+        let reparsed = parse_schema(&schema.to_string()).unwrap();
+        assert_eq!(schema, reparsed);
+    }
+
+    #[test]
+    fn generated_schema_is_usable_end_to_end() {
+        let schema = PromptProgram::new("e2e")
+            .text("base context words")
+            .cond("detail", |m| m.text("extra detail text"))
+            .build();
+        let layout = SchemaLayout::build(&schema, ChatTemplate::Plain, &words);
+        let prompt = parse_prompt(r#"<prompt schema="e2e"><detail/>go</prompt>"#).unwrap();
+        let resolved = resolve_prompt(&layout, &prompt, &words).unwrap();
+        assert_eq!(resolved.cached_tokens(), 3 + 3);
+        assert_eq!(resolved.new_tokens(), 1);
+    }
+
+    #[test]
+    fn nested_choose_inside_module() {
+        let s = PromptProgram::new("p")
+            .cond("profile", |m| {
+                m.text("user level:").choose(|u| {
+                    u.case("novice", |m| m.text("novice"))
+                        .case("expert", |m| m.text("expert"))
+                })
+            })
+            .build();
+        let SchemaItem::Module(m) = &s.items[0] else {
+            panic!()
+        };
+        assert!(m
+            .items
+            .iter()
+            .any(|i| matches!(i, ModuleItem::Union(u) if u.len() == 2)));
+    }
+}

@@ -1,0 +1,518 @@
+//! Prompt resolution: validation against a schema layout and assignment of
+//! concrete position IDs to every prompt part (paper §3.4).
+//!
+//! Resolution produces the exact work list the engine executes:
+//!
+//! * [`ResolvedPart::Cached`] — an imported module span whose attention
+//!   states come from the cache (step ② in Figure 2);
+//! * [`ResolvedPart::Argument`] — parameter text computed at the `<unk>`
+//!   placeholder positions and spliced over them (step ③);
+//! * [`ResolvedPart::NewText`] — uncached text computed at gap positions
+//!   following the preceding content (step ④).
+
+use crate::ast::{Prompt, PromptItem};
+use crate::layout::{ModulePath, SchemaLayout};
+use crate::{PmlError, Result};
+use std::collections::HashMap;
+
+/// One unit of engine work, in prompt order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolvedPart {
+    /// Reuse the cached states of one span of an imported module.
+    Cached {
+        /// Owning module path.
+        module: ModulePath,
+        /// Index into [`SchemaLayout::spans`].
+        span_index: usize,
+        /// Absolute start position.
+        start: usize,
+        /// Token length.
+        len: usize,
+    },
+    /// Compute a parameter argument at its placeholder positions.
+    Argument {
+        /// Module the parameter belongs to.
+        module: ModulePath,
+        /// Parameter name.
+        param: String,
+        /// Supplied argument text.
+        text: String,
+        /// Absolute position of the first placeholder slot.
+        start: usize,
+        /// Declared maximum length.
+        max_len: usize,
+        /// Actual token length of `text`.
+        actual_len: usize,
+    },
+    /// Compute uncached new text at gap positions.
+    NewText {
+        /// The text.
+        text: String,
+        /// Absolute start position.
+        start: usize,
+        /// Token length.
+        len: usize,
+    },
+}
+
+/// The result of resolving a prompt against a schema layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedPrompt {
+    /// Schema name.
+    pub schema: String,
+    /// Work list in execution order.
+    pub parts: Vec<ResolvedPart>,
+    /// Non-fatal issues (e.g. new text overlapping imported positions).
+    pub warnings: Vec<String>,
+}
+
+impl ResolvedPrompt {
+    /// Tokens served from the cache.
+    pub fn cached_tokens(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|p| match p {
+                ResolvedPart::Cached { len, .. } => *len,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Tokens that must be computed (arguments + new text).
+    pub fn new_tokens(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|p| match p {
+                ResolvedPart::Argument { actual_len, .. } => *actual_len,
+                ResolvedPart::NewText { len, .. } => *len,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total prompt length in tokens (cached + computed).
+    pub fn total_tokens(&self) -> usize {
+        self.cached_tokens() + self.new_tokens()
+    }
+
+    /// Fraction of the prompt served from cache, in `[0, 1]`.
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.total_tokens();
+        if total == 0 {
+            0.0
+        } else {
+            self.cached_tokens() as f64 / total as f64
+        }
+    }
+}
+
+/// Validates `prompt` against `layout` and assigns positions.
+///
+/// Anonymous schema text is always included (it precedes the imports in
+/// the work list, in schema order). Imported modules contribute their
+/// spans at schema-assigned positions; new text is positioned after the
+/// maximum position used so far, per §3.4.
+///
+/// # Errors
+///
+/// Returns [`PmlError::SchemaMismatch`], [`PmlError::UnknownModule`],
+/// [`PmlError::UnknownParameter`], [`PmlError::ArgumentTooLong`], or
+/// [`PmlError::UnionConflict`].
+pub fn resolve_prompt(
+    layout: &SchemaLayout,
+    prompt: &Prompt,
+    count: &dyn Fn(&str) -> usize,
+) -> Result<ResolvedPrompt> {
+    if prompt.schema != layout.schema_name {
+        return Err(PmlError::SchemaMismatch {
+            expected: prompt.schema.clone(),
+            actual: layout.schema_name.clone(),
+        });
+    }
+
+    let mut parts = Vec::new();
+    let mut warnings = Vec::new();
+    let mut cursor = 0usize;
+    // union group -> first imported member (for conflict reporting)
+    let mut union_seen: HashMap<usize, String> = HashMap::new();
+
+    // Anonymous text is always included.
+    for (idx, span) in layout.spans.iter().enumerate() {
+        if span.owner.is_empty() {
+            parts.push(ResolvedPart::Cached {
+                module: Vec::new(),
+                span_index: idx,
+                start: span.start,
+                len: span.len,
+            });
+            cursor = cursor.max(span.start + span.len);
+        }
+    }
+
+    resolve_items(
+        layout,
+        &prompt.items,
+        &[],
+        count,
+        &mut parts,
+        &mut warnings,
+        &mut cursor,
+        &mut union_seen,
+    )?;
+
+    // Overlap audit: new text colliding with imported positions is legal
+    // (relative encodings tolerate it) but worth surfacing.
+    let cached_ranges: Vec<(usize, usize)> = parts
+        .iter()
+        .filter_map(|p| match p {
+            ResolvedPart::Cached { start, len, .. } => Some((*start, start + len)),
+            _ => None,
+        })
+        .collect();
+    for p in &parts {
+        if let ResolvedPart::NewText { start, len, text } = p {
+            let (s, e) = (*start, start + len);
+            if cached_ranges.iter().any(|&(cs, ce)| s < ce && cs < e) {
+                warnings.push(format!(
+                    "new text {:?} at positions {s}..{e} overlaps cached positions",
+                    truncate(text)
+                ));
+            }
+        }
+    }
+
+    Ok(ResolvedPrompt {
+        schema: prompt.schema.clone(),
+        parts,
+        warnings,
+    })
+}
+
+fn truncate(text: &str) -> String {
+    if text.len() > 24 {
+        format!("{}…", &text[..24])
+    } else {
+        text.to_owned()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_items(
+    layout: &SchemaLayout,
+    items: &[PromptItem],
+    parent: &[String],
+    count: &dyn Fn(&str) -> usize,
+    parts: &mut Vec<ResolvedPart>,
+    warnings: &mut Vec<String>,
+    cursor: &mut usize,
+    union_seen: &mut HashMap<usize, String>,
+) -> Result<()> {
+    for item in items {
+        match item {
+            PromptItem::Text(text) => {
+                let len = count(text);
+                parts.push(ResolvedPart::NewText {
+                    text: text.clone(),
+                    start: *cursor,
+                    len,
+                });
+                *cursor += len;
+            }
+            PromptItem::ModuleRef {
+                name,
+                args,
+                children,
+            } => {
+                let path: ModulePath =
+                    parent.iter().cloned().chain([name.clone()]).collect();
+                let info = layout.module(&path).ok_or_else(|| PmlError::UnknownModule {
+                    name: path.join("."),
+                    schema: layout.schema_name.clone(),
+                })?;
+
+                if let Some(group) = info.union_group {
+                    if let Some(prev) = union_seen.get(&group) {
+                        return Err(PmlError::UnionConflict {
+                            members: vec![prev.clone(), path.join(".")],
+                        });
+                    }
+                    union_seen.insert(group, path.join("."));
+                }
+
+                // Cached spans of this module's direct content.
+                for (idx, span) in layout.spans.iter().enumerate() {
+                    if span.owner == path {
+                        parts.push(ResolvedPart::Cached {
+                            module: path.clone(),
+                            span_index: idx,
+                            start: span.start,
+                            len: span.len,
+                        });
+                    }
+                }
+
+                // Arguments for declared parameters.
+                let mut supplied: Vec<&str> = Vec::new();
+                for (key, value) in args {
+                    let param = info
+                        .params
+                        .iter()
+                        .find(|p| &p.name == key)
+                        .ok_or_else(|| PmlError::UnknownParameter {
+                            module: path.join("."),
+                            parameter: key.clone(),
+                        })?;
+                    let actual = count(value);
+                    if actual > param.len {
+                        return Err(PmlError::ArgumentTooLong {
+                            module: path.join("."),
+                            parameter: key.clone(),
+                            max_len: param.len,
+                            actual,
+                        });
+                    }
+                    supplied.push(key);
+                    parts.push(ResolvedPart::Argument {
+                        module: path.clone(),
+                        param: key.clone(),
+                        text: value.clone(),
+                        start: param.start,
+                        max_len: param.len,
+                        actual_len: actual,
+                    });
+                }
+                for p in &info.params {
+                    if !supplied.contains(&p.name.as_str()) {
+                        warnings.push(format!(
+                            "parameter {}.{} left unfilled ({} <unk> slots remain)",
+                            path.join("."),
+                            p.name,
+                            p.len
+                        ));
+                    }
+                }
+
+                *cursor = (*cursor).max(info.end);
+
+                resolve_items(
+                    layout, children, &path, count, parts, warnings, cursor, union_seen,
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::ChatTemplate;
+    use crate::{parse_prompt, parse_schema};
+
+    fn words(text: &str) -> usize {
+        text.split_whitespace().count()
+    }
+
+    fn travel_layout() -> SchemaLayout {
+        let schema = parse_schema(
+            r#"<schema name="travel">
+                 you are an assistant
+                 <module name="trip-plan">
+                   plan a trip of <param name="duration" len="3"/>
+                 </module>
+                 <union>
+                   <module name="miami">miami has beaches and surf and sun</module>
+                   <module name="tokyo">tokyo has temples</module>
+                 </union>
+               </schema>"#,
+        )
+        .unwrap();
+        SchemaLayout::build(&schema, ChatTemplate::Plain, &words)
+    }
+
+    fn resolve(layout: &SchemaLayout, prompt_src: &str) -> Result<ResolvedPrompt> {
+        resolve_prompt(layout, &parse_prompt(prompt_src).unwrap(), &words)
+    }
+
+    #[test]
+    fn figure_2_style_prompt_resolves() {
+        let layout = travel_layout();
+        let r = resolve(
+            &layout,
+            r#"<prompt schema="travel">
+                 <trip-plan duration="3 days"/>
+                 <miami/>
+                 highlight the surf spots
+               </prompt>"#,
+        )
+        .unwrap();
+        // anonymous (4 tokens) + trip-plan span (7) + miami (7) cached;
+        // argument (2) + new text (4) computed.
+        assert_eq!(r.cached_tokens(), 4 + 7 + 7);
+        assert_eq!(r.new_tokens(), 2 + 4);
+        assert!(r.warnings.is_empty());
+        // New text goes after the highest used position: union end = 4+4+3=11,
+        // then miami ends at 11+7=18 → text starts at 18.
+        let Some(ResolvedPart::NewText { start, .. }) = r
+            .parts
+            .iter()
+            .find(|p| matches!(p, ResolvedPart::NewText { .. }))
+        else {
+            panic!()
+        };
+        assert_eq!(*start, 18);
+    }
+
+    #[test]
+    fn argument_lands_on_param_slots() {
+        let layout = travel_layout();
+        let r = resolve(
+            &layout,
+            r#"<prompt schema="travel"><trip-plan duration="two weeks"/></prompt>"#,
+        )
+        .unwrap();
+        let arg = r
+            .parts
+            .iter()
+            .find_map(|p| match p {
+                ResolvedPart::Argument { start, actual_len, max_len, .. } => {
+                    Some((*start, *actual_len, *max_len))
+                }
+                _ => None,
+            })
+            .unwrap();
+        // trip-plan starts at 4 (after 4 anonymous tokens), its text "plan a
+        // trip of" is 4 tokens, so the param starts at 8.
+        assert_eq!(arg, (8, 2, 3));
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let layout = travel_layout();
+        assert!(matches!(
+            resolve(&layout, r#"<prompt schema="other"><miami/></prompt>"#),
+            Err(PmlError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_module_rejected() {
+        let layout = travel_layout();
+        assert!(matches!(
+            resolve(&layout, r#"<prompt schema="travel"><paris/></prompt>"#),
+            Err(PmlError::UnknownModule { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_parameter_rejected() {
+        let layout = travel_layout();
+        assert!(matches!(
+            resolve(
+                &layout,
+                r#"<prompt schema="travel"><trip-plan budget="low"/></prompt>"#
+            ),
+            Err(PmlError::UnknownParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn overlong_argument_rejected() {
+        let layout = travel_layout();
+        assert!(matches!(
+            resolve(
+                &layout,
+                r#"<prompt schema="travel"><trip-plan duration="three weeks and four days"/></prompt>"#
+            ),
+            Err(PmlError::ArgumentTooLong { max_len: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn union_conflict_rejected() {
+        let layout = travel_layout();
+        assert!(matches!(
+            resolve(
+                &layout,
+                r#"<prompt schema="travel"><miami/><tokyo/></prompt>"#
+            ),
+            Err(PmlError::UnionConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn single_union_member_is_fine() {
+        let layout = travel_layout();
+        assert!(resolve(&layout, r#"<prompt schema="travel"><tokyo/></prompt>"#).is_ok());
+    }
+
+    #[test]
+    fn unfilled_param_warns() {
+        let layout = travel_layout();
+        let r = resolve(&layout, r#"<prompt schema="travel"><trip-plan/></prompt>"#).unwrap();
+        assert!(r.warnings.iter().any(|w| w.contains("duration")));
+    }
+
+    #[test]
+    fn nested_import_resolves_inner_module() {
+        let schema = parse_schema(
+            r#"<schema name="n">
+                 <module name="outer">
+                   intro text
+                   <module name="inner">inner content here</module>
+                 </module>
+               </schema>"#,
+        )
+        .unwrap();
+        let layout = SchemaLayout::build(&schema, ChatTemplate::Plain, &words);
+        let r = resolve(&layout, r#"<prompt schema="n"><outer><inner/></outer></prompt>"#)
+            .unwrap();
+        assert_eq!(r.cached_tokens(), 2 + 3);
+        // Importing outer alone excludes inner's 3 tokens.
+        let r2 = resolve(&layout, r#"<prompt schema="n"><outer/></prompt>"#).unwrap();
+        assert_eq!(r2.cached_tokens(), 2);
+    }
+
+    #[test]
+    fn inner_without_outer_context_fails() {
+        let schema = parse_schema(
+            r#"<schema name="n">
+                 <module name="outer"><module name="inner">x</module></module>
+               </schema>"#,
+        )
+        .unwrap();
+        let layout = SchemaLayout::build(&schema, ChatTemplate::Plain, &words);
+        // "inner" is not a top-level module.
+        assert!(matches!(
+            resolve(&layout, r#"<prompt schema="n"><inner/></prompt>"#),
+            Err(PmlError::UnknownModule { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_hit_ratio_reflects_split() {
+        let layout = travel_layout();
+        let r = resolve(
+            &layout,
+            r#"<prompt schema="travel"><miami/>extra words</prompt>"#,
+        )
+        .unwrap();
+        let expected = (4 + 7) as f64 / (4 + 7 + 2) as f64;
+        assert!((r.cache_hit_ratio() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_only_prompt_positions_after_anonymous() {
+        let layout = travel_layout();
+        let r = resolve(&layout, r#"<prompt schema="travel">just a question</prompt>"#).unwrap();
+        let Some(ResolvedPart::NewText { start, .. }) = r
+            .parts
+            .iter()
+            .find(|p| matches!(p, ResolvedPart::NewText { .. }))
+        else {
+            panic!()
+        };
+        // Anonymous text occupies 0..4.
+        assert_eq!(*start, 4);
+    }
+}

@@ -1,0 +1,156 @@
+//! LLM-specific chat-template compilation (paper §3.2.3).
+//!
+//! Instruction-tuned LLMs wrap conversations in model-specific markers —
+//! Llama2 uses `<s>[INST] … [/INST] … </s>`, MPT-chat uses ChatML-style
+//! `<|im_start|>role … <|im_end|>`, Falcon-instruct uses plain
+//! `Role: …` lines. PML's `<system>/<user>/<assistant>` tags abstract over
+//! these; [`ChatTemplate::compile`] rewrites a schema's chat wrappers into
+//! the target model's literal markers, inserted as anonymous text so they
+//! are cached (and positioned) like any other schema text.
+
+use crate::ast::{Role, Schema, SchemaItem};
+
+/// The conversation formats the reproduction understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChatTemplate {
+    /// Llama2-chat: `[INST] <<SYS>>…<</SYS>> … [/INST] …`.
+    Llama2,
+    /// ChatML (MPT-chat): `<|im_start|>role\n…<|im_end|>`.
+    ChatMl,
+    /// Plain role prefixes (Falcon-instruct): `System: …`, `User: …`.
+    #[default]
+    Plain,
+}
+
+impl ChatTemplate {
+    /// Text inserted before a role's content.
+    pub fn prefix(self, role: Role) -> String {
+        match self {
+            ChatTemplate::Llama2 => match role {
+                Role::System => "[INST] <<SYS>> ".to_owned(),
+                Role::User => "[INST] ".to_owned(),
+                Role::Assistant => String::new(),
+            },
+            ChatTemplate::ChatMl => format!("<|im_start|>{} ", role.tag()),
+            ChatTemplate::Plain => match role {
+                Role::System => "System: ".to_owned(),
+                Role::User => "User: ".to_owned(),
+                Role::Assistant => "Assistant: ".to_owned(),
+            },
+        }
+    }
+
+    /// Text inserted after a role's content.
+    pub fn suffix(self, role: Role) -> String {
+        match self {
+            ChatTemplate::Llama2 => match role {
+                Role::System => " <</SYS>>".to_owned(),
+                Role::User => " [/INST]".to_owned(),
+                Role::Assistant => String::new(),
+            },
+            ChatTemplate::ChatMl => " <|im_end|>".to_owned(),
+            ChatTemplate::Plain => String::new(),
+        }
+    }
+
+    /// Rewrites every [`SchemaItem::Chat`] wrapper into literal prefix /
+    /// suffix text for this template, recursively, preserving everything
+    /// else. The result contains no `Chat` items.
+    pub fn compile(self, schema: &Schema) -> Schema {
+        Schema {
+            name: schema.name.clone(),
+            items: self.compile_items(&schema.items),
+        }
+    }
+
+    fn compile_items(self, items: &[SchemaItem]) -> Vec<SchemaItem> {
+        let mut out = Vec::new();
+        for item in items {
+            match item {
+                SchemaItem::Chat { role, items } => {
+                    let prefix = self.prefix(*role);
+                    if !prefix.is_empty() {
+                        out.push(SchemaItem::Text(prefix));
+                    }
+                    out.extend(self.compile_items(items));
+                    let suffix = self.suffix(*role);
+                    if !suffix.is_empty() {
+                        out.push(SchemaItem::Text(suffix));
+                    }
+                }
+                other => out.push(other.clone()),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_schema;
+
+    fn chat_schema() -> Schema {
+        parse_schema(
+            r#"<schema name="c">
+                 <system>Be helpful.<module name="rules">No lies.</module></system>
+                 <user>Question.</user>
+               </schema>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compile_removes_chat_items() {
+        for template in [ChatTemplate::Llama2, ChatTemplate::ChatMl, ChatTemplate::Plain] {
+            let compiled = template.compile(&chat_schema());
+            fn has_chat(items: &[SchemaItem]) -> bool {
+                items.iter().any(|i| matches!(i, SchemaItem::Chat { .. }))
+            }
+            assert!(!has_chat(&compiled.items), "{template:?}");
+        }
+    }
+
+    #[test]
+    fn llama2_markers_present() {
+        let compiled = ChatTemplate::Llama2.compile(&chat_schema());
+        let flat = compiled.to_string();
+        assert!(flat.contains("[INST]"));
+        assert!(flat.contains("&lt;&lt;SYS&gt;&gt;")); // escaped in serialisation
+        assert!(flat.contains("[/INST]"));
+    }
+
+    #[test]
+    fn chatml_markers_wrap_each_role() {
+        let compiled = ChatTemplate::ChatMl.compile(&chat_schema());
+        let flat = compiled.to_string();
+        assert!(flat.contains("im_start|&gt;system"));
+        assert!(flat.contains("im_start|&gt;user"));
+    }
+
+    #[test]
+    fn plain_template_uses_role_prefixes() {
+        let compiled = ChatTemplate::Plain.compile(&chat_schema());
+        let SchemaItem::Text(first) = &compiled.items[0] else {
+            panic!()
+        };
+        assert_eq!(first, "System: ");
+    }
+
+    #[test]
+    fn modules_survive_compilation() {
+        let compiled = ChatTemplate::Llama2.compile(&chat_schema());
+        let has_module = compiled
+            .items
+            .iter()
+            .any(|i| matches!(i, SchemaItem::Module(m) if m.name == "rules"));
+        assert!(has_module);
+    }
+
+    #[test]
+    fn compile_without_chat_is_identity() {
+        let s = parse_schema(r#"<schema name="x">plain<module name="m">t</module></schema>"#)
+            .unwrap();
+        assert_eq!(ChatTemplate::Llama2.compile(&s), s);
+    }
+}

@@ -1,0 +1,242 @@
+//! Property-based tests for PML: serialisation round-trips and layout
+//! invariants over randomly generated schemas.
+
+use pc_pml::layout::{SchemaLayout, Segment};
+use pc_pml::template::ChatTemplate;
+use pc_pml::{parse_prompt, parse_schema, ModuleDef, ModuleItem, Prompt, PromptItem, Schema, SchemaItem};
+use proptest::prelude::*;
+
+fn words(text: &str) -> usize {
+    text.split_whitespace().count()
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[a-z]{1,6}", 1..6).prop_map(|w| w.join(" "))
+}
+
+fn arb_module(depth: u32) -> BoxedStrategy<ModuleDef> {
+    let name = "[a-z][a-z0-9-]{0,6}";
+    let item = if depth == 0 {
+        prop_oneof![
+            arb_text().prop_map(ModuleItem::Text),
+            ("[a-z]{1,5}", 1usize..5).prop_map(|(n, l)| ModuleItem::Param { name: n, len: l }),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            arb_text().prop_map(ModuleItem::Text),
+            ("[a-z]{1,5}", 1usize..5).prop_map(|(n, l)| ModuleItem::Param { name: n, len: l }),
+            arb_module(depth - 1).prop_map(ModuleItem::Module),
+        ]
+        .boxed()
+    };
+    (name.prop_map(String::from), proptest::collection::vec(item, 0..4))
+        .prop_map(|(name, items)| sanitize_module(name, items))
+        .boxed()
+}
+
+/// Makes generated modules structurally valid: unique param and child
+/// names, no reserved names.
+fn sanitize_module(name: String, items: Vec<ModuleItem>) -> ModuleDef {
+    const RESERVED: [&str; 8] = [
+        "schema", "module", "union", "param", "prompt", "system", "user", "assistant",
+    ];
+    let name = if RESERVED.contains(&name.as_str()) {
+        format!("{name}-m")
+    } else {
+        name
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (i, item) in items.into_iter().enumerate() {
+        match item {
+            ModuleItem::Param { name, len } => {
+                let name = format!("{name}{i}");
+                if seen.insert(name.clone()) {
+                    out.push(ModuleItem::Param { name, len });
+                }
+            }
+            ModuleItem::Module(m) => {
+                let renamed = ModuleDef {
+                    name: format!("{}{i}", m.name),
+                    items: m.items,
+                };
+                if seen.insert(renamed.name.clone()) {
+                    out.push(ModuleItem::Module(renamed));
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    ModuleDef { name, items: out }
+}
+
+fn arb_schema() -> impl Strategy<Value = Schema> {
+    let item = prop_oneof![
+        arb_text().prop_map(SchemaItem::Text),
+        arb_module(1).prop_map(SchemaItem::Module),
+        proptest::collection::vec(arb_module(0), 1..4).prop_map(SchemaItem::Union),
+    ];
+    ("[a-z]{1,8}", proptest::collection::vec(item, 0..5)).prop_map(|(name, items)| {
+        // Rename top-level modules/union members to be globally unique.
+        let mut counter = 0usize;
+        let items = items
+            .into_iter()
+            .map(|i| match i {
+                SchemaItem::Module(m) => {
+                    counter += 1;
+                    SchemaItem::Module(ModuleDef {
+                        name: format!("{}-{counter}", m.name),
+                        items: m.items,
+                    })
+                }
+                SchemaItem::Union(ms) => SchemaItem::Union(
+                    ms.into_iter()
+                        .map(|m| {
+                            counter += 1;
+                            ModuleDef {
+                                name: format!("{}-{counter}", m.name),
+                                items: m.items,
+                            }
+                        })
+                        .collect(),
+                ),
+                other => other,
+            })
+            .collect();
+        Schema { name, items }
+    })
+}
+
+/// Merges adjacent text nodes the way Display-then-parse does (they
+/// serialise back-to-back and re-lex as one node).
+fn normalize_schema(schema: Schema) -> Schema {
+    fn norm_items(items: Vec<SchemaItem>) -> Vec<SchemaItem> {
+        let mut out: Vec<SchemaItem> = Vec::new();
+        for item in items {
+            let item = match item {
+                SchemaItem::Module(m) => SchemaItem::Module(norm_module(m)),
+                SchemaItem::Union(ms) => {
+                    SchemaItem::Union(ms.into_iter().map(norm_module).collect())
+                }
+                SchemaItem::Chat { role, items } => SchemaItem::Chat {
+                    role,
+                    items: norm_items(items),
+                },
+                t => t,
+            };
+            match (out.last_mut(), item) {
+                (Some(SchemaItem::Text(prev)), SchemaItem::Text(next)) => prev.push_str(&next),
+                (_, item) => out.push(item),
+            }
+        }
+        out
+    }
+    fn norm_module(m: ModuleDef) -> ModuleDef {
+        let mut out: Vec<ModuleItem> = Vec::new();
+        for item in m.items {
+            let item = match item {
+                ModuleItem::Module(inner) => ModuleItem::Module(norm_module(inner)),
+                ModuleItem::Union(ms) => {
+                    ModuleItem::Union(ms.into_iter().map(norm_module).collect())
+                }
+                t => t,
+            };
+            match (out.last_mut(), item) {
+                (Some(ModuleItem::Text(prev)), ModuleItem::Text(next)) => prev.push_str(&next),
+                (_, item) => out.push(item),
+            }
+        }
+        ModuleDef {
+            name: m.name,
+            items: out,
+        }
+    }
+    Schema {
+        name: schema.name,
+        items: norm_items(schema.items),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Display ∘ parse is the identity on generated schemas (up to the
+    /// lexer's merging of adjacent text nodes).
+    #[test]
+    fn schema_serialisation_round_trips(schema in arb_schema()) {
+        let reparsed = parse_schema(&schema.to_string()).unwrap();
+        prop_assert_eq!(normalize_schema(schema), reparsed);
+    }
+
+    /// Layout spans owned by different non-union modules never overlap.
+    #[test]
+    fn non_union_spans_are_disjoint(schema in arb_schema()) {
+        let layout = SchemaLayout::build(&schema, ChatTemplate::Plain, &words);
+        let spans: Vec<_> = layout.spans.iter().filter(|s| s.len > 0).collect();
+        for (i, a) in spans.iter().enumerate() {
+            for b in spans.iter().skip(i + 1) {
+                // Skip pairs where either owner sits under a union group
+                // (union members legitimately share positions) or where one
+                // is the ancestor of the other (parents wrap children).
+                let union_involved = [&a.owner, &b.owner].iter().any(|o| {
+                    (1..=o.len()).any(|k| {
+                        layout
+                            .module(&o[..k])
+                            .is_some_and(|m| m.union_group.is_some())
+                    })
+                });
+                if union_involved {
+                    continue;
+                }
+                let overlap = a.start < b.start + b.len && b.start < a.start + a.len;
+                prop_assert!(!overlap, "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+
+    /// Every span's segment lengths sum to its recorded length, and every
+    /// module's params lie inside the module's range.
+    #[test]
+    fn layout_internal_consistency(schema in arb_schema()) {
+        let layout = SchemaLayout::build(&schema, ChatTemplate::Plain, &words);
+        for span in &layout.spans {
+            let sum: usize = span.segments.iter().map(Segment::len).sum();
+            prop_assert_eq!(sum, span.len);
+        }
+        for m in &layout.modules {
+            prop_assert!(m.start <= m.end);
+            for p in &m.params {
+                prop_assert!(p.start >= m.start && p.start + p.len <= m.end);
+            }
+        }
+        // total_len bounds every span.
+        for span in &layout.spans {
+            prop_assert!(span.start + span.len <= layout.total_len);
+        }
+    }
+
+    /// Prompt serialisation round-trips.
+    #[test]
+    fn prompt_serialisation_round_trips(
+        schema_name in "[a-z]{1,8}",
+        names in proptest::collection::vec("[a-z]{1,6}", 0..5),
+        text in arb_text(),
+    ) {
+        let items: Vec<PromptItem> = names
+            .iter()
+            .map(|n| PromptItem::import(n))
+            .chain([PromptItem::Text(text)])
+            .collect();
+        let prompt = Prompt { schema: schema_name, items };
+        let reparsed = parse_prompt(&prompt.to_string()).unwrap();
+        prop_assert_eq!(prompt, reparsed);
+    }
+
+    /// Parsing never panics on arbitrary input.
+    #[test]
+    fn parser_total_on_garbage(src in "\\PC{0,120}") {
+        let _ = parse_schema(&src);
+        let _ = parse_prompt(&src);
+    }
+}

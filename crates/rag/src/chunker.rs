@@ -1,0 +1,94 @@
+//! Document chunking: fixed word-count windows with overlap.
+//!
+//! RAG corpora are chunked before indexing so retrieval granularity and
+//! module size stay bounded. Overlap keeps facts that straddle a boundary
+//! retrievable from at least one chunk.
+
+/// Splits `text` into chunks of at most `chunk_words` words, consecutive
+/// chunks sharing `overlap_words` words. Returns whole-text single chunk
+/// when it fits; never returns empty chunks.
+///
+/// # Panics
+///
+/// Panics if `overlap_words >= chunk_words` (the window would not
+/// advance).
+pub fn chunk_words(text: &str, chunk_words: usize, overlap_words: usize) -> Vec<String> {
+    assert!(
+        overlap_words < chunk_words,
+        "overlap {overlap_words} must be smaller than chunk size {chunk_words}"
+    );
+    let words: Vec<&str> = text.split_whitespace().collect();
+    if words.is_empty() {
+        return Vec::new();
+    }
+    if words.len() <= chunk_words {
+        return vec![words.join(" ")];
+    }
+    let stride = chunk_words - overlap_words;
+    let mut chunks = Vec::new();
+    let mut start = 0;
+    while start < words.len() {
+        let end = (start + chunk_words).min(words.len());
+        chunks.push(words[start..end].join(" "));
+        if end == words.len() {
+            break;
+        }
+        start += stride;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_text_is_one_chunk() {
+        let chunks = chunk_words("one two three", 10, 2);
+        assert_eq!(chunks, vec!["one two three"]);
+    }
+
+    #[test]
+    fn empty_text_yields_nothing() {
+        assert!(chunk_words("", 10, 2).is_empty());
+        assert!(chunk_words("   ", 10, 2).is_empty());
+    }
+
+    #[test]
+    fn chunks_cover_everything_with_overlap() {
+        let words: Vec<String> = (0..25).map(|i| format!("w{i}")).collect();
+        let text = words.join(" ");
+        let chunks = chunk_words(&text, 10, 3);
+        // Every word appears in at least one chunk.
+        for w in &words {
+            assert!(chunks.iter().any(|c| c.split_whitespace().any(|x| x == w)));
+        }
+        // Consecutive chunks share exactly the overlap.
+        let first: Vec<&str> = chunks[0].split_whitespace().collect();
+        let second: Vec<&str> = chunks[1].split_whitespace().collect();
+        assert_eq!(&first[first.len() - 3..], &second[..3]);
+    }
+
+    #[test]
+    fn chunk_sizes_are_bounded() {
+        let text = (0..100).map(|i| format!("w{i} ")).collect::<String>();
+        for chunk in chunk_words(&text, 16, 4) {
+            let n = chunk.split_whitespace().count();
+            assert!(n <= 16 && n > 0);
+        }
+    }
+
+    #[test]
+    fn no_tiny_trailing_duplicate() {
+        // When the final window reaches the end exactly, no extra chunk.
+        let text = (0..20).map(|i| format!("w{i} ")).collect::<String>();
+        let chunks = chunk_words(&text, 10, 0);
+        assert_eq!(chunks.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be smaller")]
+    fn overlap_must_advance() {
+        chunk_words("a b c", 5, 5);
+    }
+}

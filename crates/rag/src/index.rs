@@ -1,0 +1,196 @@
+//! A from-scratch BM25 retrieval index.
+//!
+//! Okapi BM25 with the conventional constants (`k1 = 1.2`, `b = 0.75`) and
+//! the non-negative idf variant `ln(1 + (N − df + 0.5)/(df + 0.5))`.
+
+use std::collections::HashMap;
+
+const K1: f64 = 1.2;
+const B: f64 = 0.75;
+
+/// An immutable BM25 index over a chunk collection.
+#[derive(Debug, Clone)]
+pub struct Bm25Index {
+    /// Term → (doc id, term frequency) postings.
+    postings: HashMap<String, Vec<(usize, usize)>>,
+    doc_lens: Vec<usize>,
+    avg_len: f64,
+}
+
+fn terms(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split_whitespace().map(|w| {
+        w.chars()
+            .filter(|c| c.is_alphanumeric())
+            .collect::<String>()
+            .to_lowercase()
+    })
+}
+
+impl Bm25Index {
+    /// Builds an index over `docs` (ids are the slice indices).
+    pub fn build<S: AsRef<str>>(docs: &[S]) -> Self {
+        let mut postings: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
+        let mut doc_lens = Vec::with_capacity(docs.len());
+        for (id, doc) in docs.iter().enumerate() {
+            let mut tf: HashMap<String, usize> = HashMap::new();
+            let mut len = 0usize;
+            for term in terms(doc.as_ref()).filter(|t| !t.is_empty()) {
+                *tf.entry(term).or_insert(0) += 1;
+                len += 1;
+            }
+            doc_lens.push(len);
+            for (term, count) in tf {
+                postings.entry(term).or_default().push((id, count));
+            }
+        }
+        let avg_len = if doc_lens.is_empty() {
+            0.0
+        } else {
+            doc_lens.iter().sum::<usize>() as f64 / doc_lens.len() as f64
+        };
+        Bm25Index {
+            postings,
+            doc_lens,
+            avg_len,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.doc_lens.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.doc_lens.is_empty()
+    }
+
+    /// BM25 score of document `id` for `query`.
+    pub fn score(&self, query: &str, id: usize) -> f64 {
+        let n = self.len() as f64;
+        let mut total = 0.0;
+        for term in terms(query).filter(|t| !t.is_empty()) {
+            let Some(posting) = self.postings.get(&term) else {
+                continue;
+            };
+            let Some(&(_, tf)) = posting.iter().find(|(d, _)| *d == id) else {
+                continue;
+            };
+            let df = posting.len() as f64;
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            let tf = tf as f64;
+            let len_norm = 1.0 - B + B * self.doc_lens[id] as f64 / self.avg_len.max(1e-9);
+            total += idf * tf * (K1 + 1.0) / (tf + K1 * len_norm);
+        }
+        total
+    }
+
+    /// The `k` best-scoring documents for `query`, best first; documents
+    /// with zero score are excluded. Ties break toward lower ids.
+    pub fn retrieve(&self, query: &str, k: usize) -> Vec<(usize, f64)> {
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        let n = self.len() as f64;
+        for term in terms(query).filter(|t| !t.is_empty()) {
+            let Some(posting) = self.postings.get(&term) else {
+                continue;
+            };
+            let df = posting.len() as f64;
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            for &(id, tf) in posting {
+                let tf = tf as f64;
+                let len_norm =
+                    1.0 - B + B * self.doc_lens[id] as f64 / self.avg_len.max(1e-9);
+                *scores.entry(id).or_insert(0.0) +=
+                    idf * tf * (K1 + 1.0) / (tf + K1 * len_norm);
+            }
+        }
+        let mut ranked: Vec<(usize, f64)> = scores.into_iter().filter(|&(_, s)| s > 0.0).collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "the eiffel tower stands in paris france",
+            "mount fuji rises near tokyo japan",
+            "the colosseum sits in rome italy",
+            "paris also hosts the louvre museum in france",
+        ]
+    }
+
+    #[test]
+    fn retrieves_relevant_documents_first() {
+        let index = Bm25Index::build(&corpus());
+        let top = index.retrieve("where is the eiffel tower", 2);
+        assert_eq!(top[0].0, 0);
+    }
+
+    #[test]
+    fn multiple_matches_rank_by_score() {
+        let index = Bm25Index::build(&corpus());
+        let top = index.retrieve("paris france", 4);
+        let ids: Vec<usize> = top.iter().map(|x| x.0).collect();
+        assert!(ids.contains(&0) && ids.contains(&3));
+        assert!(!ids.contains(&1), "tokyo doc must not match");
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_terms() {
+        let index = Bm25Index::build(&corpus());
+        // "colosseum" appears once; "the" appears everywhere.
+        let specific = index.retrieve("colosseum", 1);
+        assert_eq!(specific[0].0, 2);
+        let idf_common = index.score("the", 0);
+        let idf_rare = index.score("colosseum", 2);
+        assert!(idf_rare > idf_common);
+    }
+
+    #[test]
+    fn zero_score_documents_excluded() {
+        let index = Bm25Index::build(&corpus());
+        let top = index.retrieve("zzz qqq", 10);
+        assert!(top.is_empty());
+    }
+
+    #[test]
+    fn k_truncates() {
+        let index = Bm25Index::build(&corpus());
+        assert_eq!(index.retrieve("the", 2).len(), 2);
+    }
+
+    #[test]
+    fn case_and_punctuation_insensitive() {
+        let index = Bm25Index::build(&["Hello, World!"]);
+        assert!(!index.retrieve("hello world", 1).is_empty());
+        assert!(index.score("HELLO", 0) > 0.0);
+    }
+
+    #[test]
+    fn empty_index_and_query() {
+        let index = Bm25Index::build::<&str>(&[]);
+        assert!(index.is_empty());
+        assert!(index.retrieve("anything", 3).is_empty());
+        let index = Bm25Index::build(&corpus());
+        assert!(index.retrieve("", 3).is_empty());
+    }
+
+    #[test]
+    fn term_frequency_saturates() {
+        // BM25's tf term saturates: 10 repeats score < 10× one occurrence.
+        let index = Bm25Index::build(&["cat", "cat cat cat cat cat cat cat cat cat cat"]);
+        let once = index.score("cat", 0);
+        let many = index.score("cat", 1);
+        assert!(many < 10.0 * once);
+        assert!(many > 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Retrieval-augmented generation over a Prompt Cache module database.
+//!
+//! The paper's conclusion singles this out: "Prompt Cache can directly
+//! accelerate in-context retrieval augmented generation (RAG) methods,
+//! where the information retrieval system basically serves as a database
+//! of prompt modules" (§6). This crate builds that system:
+//!
+//! * [`chunker`] splits documents into fixed-size overlapping chunks —
+//!   each chunk becomes one prompt module;
+//! * [`Bm25Index`] is a from-scratch BM25 retriever over the chunks;
+//! * [`RagPipeline`] wires them to a [`prompt_cache::PromptCache`]: at
+//!   build time every chunk is encoded once into the cache; at query time
+//!   the retriever picks top-k chunks and the engine serves a prompt that
+//!   *imports* them, so document context costs a memcpy instead of a
+//!   prefill — the latency-sensitive RAG serving the paper motivates.
+//!
+//! # Example
+//!
+//! ```
+//! use pc_model::{Model, ModelConfig};
+//! use pc_rag::{RagConfig, RagPipeline};
+//! use pc_tokenizer::WordTokenizer;
+//! use prompt_cache::{EngineConfig, PromptCache};
+//!
+//! let docs = ["the eiffel tower stands in paris france",
+//!             "mount fuji rises near tokyo japan"];
+//! let tokenizer = WordTokenizer::train(&["the eiffel tower stands in paris \
+//!     france mount fuji rises near tokyo japan where is it located"]);
+//! let engine = PromptCache::new(
+//!     Model::new(ModelConfig::llama_tiny(64), 0), tokenizer,
+//!     EngineConfig::default());
+//! let rag = RagPipeline::build(engine, &docs, RagConfig::default()).unwrap();
+//! let result = rag.query("where is the eiffel tower located", 1, 4).unwrap();
+//! assert_eq!(result.retrieved, vec![0]); // the paris chunk
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod chunker;
+mod index;
+mod pipeline;
+
+pub use index::Bm25Index;
+pub use pipeline::{RagConfig, RagPipeline, RagResult};

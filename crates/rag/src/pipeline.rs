@@ -1,0 +1,368 @@
+//! The RAG pipeline: chunk → index → encode-as-modules → retrieve-and-serve.
+
+use crate::chunker::chunk_words as chunk_words_helper;
+use crate::index::Bm25Index;
+use prompt_cache::{PromptCache, Response, Result, ServeOptions};
+
+/// RAG pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct RagConfig {
+    /// Words per chunk (each chunk becomes one prompt module).
+    pub chunk_words: usize,
+    /// Overlapping words between consecutive chunks.
+    pub overlap_words: usize,
+    /// Schema name the corpus registers under.
+    pub schema_name: String,
+}
+
+impl Default for RagConfig {
+    fn default() -> Self {
+        RagConfig {
+            chunk_words: 64,
+            overlap_words: 8,
+            schema_name: "rag-corpus".to_owned(),
+        }
+    }
+}
+
+/// The result of one RAG query.
+#[derive(Debug, Clone)]
+pub struct RagResult {
+    /// Chunk ids that were retrieved and imported, best match first.
+    pub retrieved: Vec<usize>,
+    /// The engine response (generated text, TTFT, cache stats).
+    pub response: Response,
+}
+
+/// A retrieval-augmented generation pipeline whose document store *is* a
+/// Prompt Cache module database: retrieval selects which precomputed
+/// modules a prompt imports.
+#[derive(Debug)]
+pub struct RagPipeline {
+    engine: PromptCache,
+    index: Bm25Index,
+    chunks: Vec<String>,
+    schema_name: String,
+}
+
+impl RagPipeline {
+    /// Chunks `docs`, indexes the chunks, and encodes every chunk as a
+    /// prompt module (the one-time cost that makes queries cheap).
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema-registration failures.
+    pub fn build<S: AsRef<str>>(
+        engine: PromptCache,
+        docs: &[S],
+        config: RagConfig,
+    ) -> Result<Self> {
+        let chunks: Vec<String> = docs
+            .iter()
+            .flat_map(|d| chunk_words_helper(d.as_ref(), config.chunk_words, config.overlap_words))
+            .collect();
+        let index = Bm25Index::build(&chunks);
+
+        let mut schema = format!("<schema name=\"{}\">", config.schema_name);
+        for (i, chunk) in chunks.iter().enumerate() {
+            schema.push_str(&format!(
+                "<module name=\"chunk-{i}\">{}</module>",
+                escape(chunk)
+            ));
+        }
+        schema.push_str("</schema>");
+        engine.register_schema(&schema)?;
+
+        Ok(RagPipeline {
+            engine,
+            index,
+            chunks,
+            schema_name: config.schema_name,
+        })
+    }
+
+    /// Adds documents to a live pipeline: new chunks are appended to the
+    /// schema (append-only, so existing chunk states are reused and only
+    /// the new chunks are encoded) and the retrieval index is rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema-replacement failures.
+    pub fn add_documents<S: AsRef<str>>(
+        &mut self,
+        docs: &[S],
+        chunk_words: usize,
+        overlap_words: usize,
+    ) -> Result<usize> {
+        let new_chunks: Vec<String> = docs
+            .iter()
+            .flat_map(|d| chunk_words_helper(d.as_ref(), chunk_words, overlap_words))
+            .collect();
+        let added = new_chunks.len();
+        self.chunks.extend(new_chunks);
+        let mut schema = format!("<schema name=\"{}\">", self.schema_name);
+        for (i, chunk) in self.chunks.iter().enumerate() {
+            schema.push_str(&format!(
+                "<module name=\"chunk-{i}\">{}</module>",
+                escape(chunk)
+            ));
+        }
+        schema.push_str("</schema>");
+        self.engine.replace_schema(&schema)?;
+        self.index = Bm25Index::build(&self.chunks);
+        Ok(added)
+    }
+
+    /// Number of indexed chunks (= prompt modules).
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The text of chunk `id`.
+    pub fn chunk(&self, id: usize) -> Option<&str> {
+        self.chunks.get(id).map(String::as_str)
+    }
+
+    /// The underlying engine (for stats and persistence).
+    pub fn engine(&self) -> &PromptCache {
+        &self.engine
+    }
+
+    /// Retrieves the top-`k` chunks for `question` and serves a prompt
+    /// importing them. With zero retrieval hits the question is served
+    /// without context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn query(&self, question: &str, k: usize, max_new_tokens: usize) -> Result<RagResult> {
+        self.query_with(
+            question,
+            k,
+            &ServeOptions {
+                max_new_tokens,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// [`RagPipeline::query`] with full serve options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn query_with(
+        &self,
+        question: &str,
+        k: usize,
+        options: &ServeOptions,
+    ) -> Result<RagResult> {
+        let retrieved: Vec<usize> = self
+            .index
+            .retrieve(question, k)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        let mut prompt = format!("<prompt schema=\"{}\">", self.schema_name);
+        for id in &retrieved {
+            prompt.push_str(&format!("<chunk-{id}/>"));
+        }
+        prompt.push_str(&escape(question));
+        prompt.push_str("</prompt>");
+        let response = self.engine.serve_with(&prompt, options)?;
+        Ok(RagResult {
+            retrieved,
+            response,
+        })
+    }
+
+    /// The baseline comparison: the same retrieved context served as a
+    /// plain uncached prompt (what a RAG system without Prompt Cache pays).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures.
+    pub fn query_baseline(
+        &self,
+        question: &str,
+        k: usize,
+        options: &ServeOptions,
+    ) -> Result<RagResult> {
+        let retrieved: Vec<usize> = self
+            .index
+            .retrieve(question, k)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        let mut text = String::new();
+        for id in &retrieved {
+            text.push_str(&self.chunks[*id]);
+            text.push(' ');
+        }
+        text.push_str(question);
+        let response = self.engine.generate_plain(&text, options, Vec::new())?;
+        Ok(RagResult {
+            retrieved,
+            response,
+        })
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_model::{Model, ModelConfig};
+    use pc_tokenizer::{Tokenizer, WordTokenizer};
+    use prompt_cache::EngineConfig;
+
+    fn docs() -> Vec<String> {
+        vec![
+            "the eiffel tower stands in paris france and attracts visitors".to_owned(),
+            "mount fuji rises near tokyo japan with snow capped slopes".to_owned(),
+            "the colosseum sits in rome italy hosting ancient games".to_owned(),
+        ]
+    }
+
+    fn pipeline() -> RagPipeline {
+        let corpus = docs().join(" ") + " where is the located what question";
+        let tokenizer = WordTokenizer::train(&[corpus.as_str()]);
+        let vocab = tokenizer.vocab_size().max(64);
+        let engine = PromptCache::new(
+            Model::new(ModelConfig::llama_tiny(vocab), 3),
+            tokenizer,
+            EngineConfig::default(),
+        );
+        RagPipeline::build(engine, &docs(), RagConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn build_encodes_all_chunks() {
+        let rag = pipeline();
+        assert_eq!(rag.num_chunks(), 3); // short docs → one chunk each
+        assert!(rag.engine().cached_bytes() > 0);
+        assert!(rag.chunk(0).unwrap().contains("eiffel"));
+        assert!(rag.chunk(9).is_none());
+    }
+
+    #[test]
+    fn query_retrieves_and_serves_from_cache() {
+        let rag = pipeline();
+        let result = rag.query("where is the eiffel tower located", 1, 4).unwrap();
+        assert_eq!(result.retrieved, vec![0]);
+        assert!(result.response.stats.cached_tokens > 0);
+        assert_eq!(
+            result.response.stats.cached_tokens,
+            rag.chunk(0).unwrap().split_whitespace().count()
+        );
+    }
+
+    #[test]
+    fn query_beats_baseline_ttft() {
+        let rag = pipeline();
+        let opts = ServeOptions {
+            max_new_tokens: 1,
+            ..Default::default()
+        };
+        // Warm up both paths.
+        rag.query_with("where is mount fuji", 2, &opts).unwrap();
+        rag.query_baseline("where is mount fuji", 2, &opts).unwrap();
+        let cached = rag.query_with("where is mount fuji", 2, &opts).unwrap();
+        let baseline = rag.query_baseline("where is mount fuji", 2, &opts).unwrap();
+        assert_eq!(cached.retrieved, baseline.retrieved);
+        assert!(
+            cached.response.timings.ttft <= baseline.response.timings.ttft,
+            "cached {:?} vs baseline {:?}",
+            cached.response.timings.ttft,
+            baseline.response.timings.ttft
+        );
+    }
+
+    #[test]
+    fn no_hits_serves_question_alone() {
+        let rag = pipeline();
+        let result = rag.query("zzz qqq xxx", 2, 2).unwrap();
+        assert!(result.retrieved.is_empty());
+        assert_eq!(result.response.stats.cached_tokens, 0);
+    }
+
+    #[test]
+    fn long_documents_are_chunked() {
+        let long_doc: String = (0..300).map(|i| format!("w{i} ")).collect();
+        let corpus = long_doc.clone() + " question";
+        let tokenizer = WordTokenizer::train(&[corpus.as_str()]);
+        let vocab = tokenizer.vocab_size().max(64);
+        let engine = PromptCache::new(
+            Model::new(ModelConfig::llama_tiny(vocab), 3),
+            tokenizer,
+            EngineConfig::default(),
+        );
+        let rag = RagPipeline::build(
+            engine,
+            &[long_doc],
+            RagConfig {
+                chunk_words: 64,
+                overlap_words: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(rag.num_chunks() >= 5, "{}", rag.num_chunks());
+        let result = rag.query("w137", 1, 1).unwrap();
+        assert_eq!(result.retrieved.len(), 1);
+        assert!(rag.chunk(result.retrieved[0]).unwrap().contains("w137"));
+    }
+}
+#[cfg(test)]
+mod incremental_tests {
+    use super::tests_support::*;
+
+    #[test]
+    fn add_documents_extends_without_reencoding_old_chunks() {
+        let mut rag = pipeline_fixture();
+        let chunks_before = rag.num_chunks();
+        let added = rag
+            .add_documents(
+                &["the golden gate bridge spans san francisco bay california"],
+                64,
+                8,
+            )
+            .unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(rag.num_chunks(), chunks_before + 1);
+        // Old and new content both retrievable and cache-served.
+        let old = rag.query("where is the eiffel tower located", 1, 2).unwrap();
+        assert_eq!(old.retrieved, vec![0]);
+        let new = rag.query("where is the golden gate bridge", 1, 2).unwrap();
+        assert_eq!(new.retrieved, vec![chunks_before]);
+        assert!(new.response.stats.cached_tokens > 0);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+    use pc_model::{Model, ModelConfig};
+    use pc_tokenizer::{Tokenizer, WordTokenizer};
+    use prompt_cache::EngineConfig;
+
+    pub(crate) fn pipeline_fixture() -> RagPipeline {
+        let docs = [
+            "the eiffel tower stands in paris france and attracts visitors".to_owned(),
+            "mount fuji rises near tokyo japan with snow capped slopes".to_owned(),
+        ];
+        let corpus = docs.join(" ")
+            + " where is the located golden gate bridge spans san francisco bay california";
+        let tokenizer = WordTokenizer::train(&[corpus.as_str()]);
+        let vocab = tokenizer.vocab_size().max(64);
+        let engine = PromptCache::new(
+            Model::new(ModelConfig::llama_tiny(vocab), 3),
+            tokenizer,
+            EngineConfig::default(),
+        );
+        RagPipeline::build(engine, &docs, RagConfig::default()).unwrap()
+    }
+}

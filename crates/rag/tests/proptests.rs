@@ -1,0 +1,77 @@
+//! Property-based tests for the RAG substrate.
+
+use pc_rag::chunker::chunk_words;
+use pc_rag::Bm25Index;
+use proptest::prelude::*;
+
+fn docs_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        proptest::collection::vec("[a-z]{2,6}", 3..30).prop_map(|w| w.join(" ")),
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Chunking loses no words and respects the size bound.
+    #[test]
+    fn chunking_covers_and_bounds(
+        words in proptest::collection::vec("[a-z]{1,6}", 0..120),
+        chunk in 4usize..32,
+        overlap in 0usize..3,
+    ) {
+        let text = words.join(" ");
+        let chunks = chunk_words(&text, chunk, overlap);
+        // Bound.
+        for c in &chunks {
+            prop_assert!(c.split_whitespace().count() <= chunk);
+        }
+        // Coverage: concatenating chunks with overlap removed reproduces
+        // the original word sequence.
+        let mut rebuilt: Vec<&str> = Vec::new();
+        for (i, c) in chunks.iter().enumerate() {
+            let ws: Vec<&str> = c.split_whitespace().collect();
+            let skip = if i == 0 { 0 } else { overlap.min(ws.len()) };
+            rebuilt.extend(&ws[skip..]);
+        }
+        let original: Vec<&str> = text.split_whitespace().collect();
+        prop_assert_eq!(rebuilt, original);
+    }
+
+    /// A document always retrieves itself for a query made of its own
+    /// rarest term (when that term is unique to it).
+    #[test]
+    fn unique_term_retrieves_owner(docs in docs_strategy(), marker_doc in 0usize..8) {
+        let mut docs = docs;
+        let idx = marker_doc % docs.len();
+        docs[idx].push_str(" zzuniquemarker");
+        let index = Bm25Index::build(&docs);
+        let top = index.retrieve("zzuniquemarker", 1);
+        prop_assert_eq!(top.len(), 1);
+        prop_assert_eq!(top[0].0, idx);
+    }
+
+    /// Scores are non-negative and retrieval is sorted descending.
+    #[test]
+    fn retrieval_is_sorted_and_nonnegative(docs in docs_strategy(), query in "[a-z]{2,6}( [a-z]{2,6}){0,3}") {
+        let index = Bm25Index::build(&docs);
+        let top = index.retrieve(&query, docs.len());
+        for w in top.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        for (_, s) in &top {
+            prop_assert!(*s > 0.0);
+        }
+    }
+
+    /// retrieve() agrees with score() on every returned document.
+    #[test]
+    fn retrieve_scores_match_score(docs in docs_strategy(), query in "[a-z]{2,6}") {
+        let index = Bm25Index::build(&docs);
+        for (id, s) in index.retrieve(&query, docs.len()) {
+            let direct = index.score(&query, id);
+            prop_assert!((s - direct).abs() < 1e-9);
+        }
+    }
+}

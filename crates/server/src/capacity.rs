@@ -1,0 +1,204 @@
+//! Memory-budgeted batch capacity with and without module sharing.
+//!
+//! §5.4's throughput argument, made computable: "suppose there are 100
+//! requests, each with a 2K token prompt. If all prompts share the same 1K
+//! token module, Prompt Cache can reduce the memory footprint by 50% when
+//! combined with methods like paged attention, allowing for a larger
+//! working batch size and thus higher throughput."
+//!
+//! A batch's KV footprint in tokens:
+//!
+//! * **naive** — every request stores its full prompt:
+//!   `Σ total_tokens`;
+//! * **shared** — each distinct module is stored once, plus every
+//!   request's private (uncached) tokens:
+//!   `Σ_unique module_tokens + Σ private_tokens`.
+
+use std::collections::HashMap;
+
+/// One request's KV footprint description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestFootprint {
+    /// `(module id, token length)` for every imported module.
+    pub modules: Vec<(u64, usize)>,
+    /// Uncached tokens private to this request (question + arguments +
+    /// generated tokens it will hold).
+    pub private_tokens: usize,
+}
+
+impl RequestFootprint {
+    /// Total prompt tokens of this request.
+    pub fn total_tokens(&self) -> usize {
+        self.modules.iter().map(|(_, n)| n).sum::<usize>() + self.private_tokens
+    }
+}
+
+/// Capacity analysis of one request population under a token budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityReport {
+    /// KV tokens a naive (duplicating) batch of all requests needs.
+    pub naive_tokens: usize,
+    /// KV tokens a module-sharing batch needs.
+    pub shared_tokens: usize,
+    /// Requests that fit the budget without sharing.
+    pub naive_batch: usize,
+    /// Requests that fit the budget with sharing.
+    pub shared_batch: usize,
+}
+
+impl CapacityReport {
+    /// Footprint reduction from sharing, in `[0, 1)`.
+    pub fn footprint_reduction(&self) -> f64 {
+        if self.naive_tokens == 0 {
+            0.0
+        } else {
+            1.0 - self.shared_tokens as f64 / self.naive_tokens as f64
+        }
+    }
+
+    /// Throughput multiplier from the larger batch (≥ 1 when sharing
+    /// helps and the budget binds).
+    pub fn batch_gain(&self) -> f64 {
+        if self.naive_batch == 0 {
+            0.0
+        } else {
+            self.shared_batch as f64 / self.naive_batch as f64
+        }
+    }
+}
+
+/// Analyses `requests` (assumed homogeneous admission order) against a
+/// `budget_tokens` KV budget. Batch sizes count how many requests, taken
+/// in order, fit before the budget is exceeded.
+pub fn analyze(budget_tokens: usize, requests: &[RequestFootprint]) -> CapacityReport {
+    let naive_tokens: usize = requests.iter().map(RequestFootprint::total_tokens).sum();
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    let mut shared_tokens = 0usize;
+    for r in requests {
+        shared_tokens += r.private_tokens;
+        for &(id, len) in &r.modules {
+            if seen.insert(id, len).is_none() {
+                shared_tokens += len;
+            }
+        }
+    }
+
+    // Admission sweeps.
+    let mut naive_batch = 0;
+    let mut used = 0usize;
+    for r in requests {
+        if used + r.total_tokens() > budget_tokens {
+            break;
+        }
+        used += r.total_tokens();
+        naive_batch += 1;
+    }
+    let mut shared_batch = 0;
+    let mut used = 0usize;
+    let mut resident: HashMap<u64, usize> = HashMap::new();
+    for r in requests {
+        let mut marginal = r.private_tokens;
+        for &(id, len) in &r.modules {
+            if !resident.contains_key(&id) {
+                marginal += len;
+            }
+        }
+        if used + marginal > budget_tokens {
+            break;
+        }
+        used += marginal;
+        for &(id, len) in &r.modules {
+            resident.insert(id, len);
+        }
+        shared_batch += 1;
+    }
+
+    CapacityReport {
+        naive_tokens,
+        shared_tokens,
+        naive_batch,
+        shared_batch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_population() -> Vec<RequestFootprint> {
+        // §5.4: 100 requests × 2K tokens, all sharing one 1K module.
+        (0..100)
+            .map(|_| RequestFootprint {
+                modules: vec![(1, 1000)],
+                private_tokens: 1000,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_50_percent_reduction() {
+        let report = analyze(usize::MAX, &paper_population());
+        assert_eq!(report.naive_tokens, 200_000);
+        assert_eq!(report.shared_tokens, 101_000);
+        assert!((report.footprint_reduction() - 0.495).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_example_doubles_batch_under_binding_budget() {
+        // Budget that naively fits 50 requests.
+        let report = analyze(100_000, &paper_population());
+        assert_eq!(report.naive_batch, 50);
+        assert_eq!(report.shared_batch, 99);
+        assert!(report.batch_gain() > 1.9);
+    }
+
+    #[test]
+    fn disjoint_modules_share_nothing() {
+        let requests: Vec<RequestFootprint> = (0..10)
+            .map(|i| RequestFootprint {
+                modules: vec![(i, 500)],
+                private_tokens: 100,
+            })
+            .collect();
+        let report = analyze(usize::MAX, &requests);
+        assert_eq!(report.naive_tokens, report.shared_tokens);
+        assert_eq!(report.footprint_reduction(), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // Two module pools: even requests use module 1, odd use module 2.
+        let requests: Vec<RequestFootprint> = (0..4)
+            .map(|i| RequestFootprint {
+                modules: vec![(1 + (i % 2), 300)],
+                private_tokens: 50,
+            })
+            .collect();
+        let report = analyze(usize::MAX, &requests);
+        assert_eq!(report.naive_tokens, 4 * 350);
+        assert_eq!(report.shared_tokens, 2 * 300 + 4 * 50);
+    }
+
+    #[test]
+    fn empty_population() {
+        let report = analyze(1000, &[]);
+        assert_eq!(report.naive_batch, 0);
+        assert_eq!(report.footprint_reduction(), 0.0);
+        assert_eq!(report.batch_gain(), 0.0);
+    }
+
+    #[test]
+    fn budget_smaller_than_one_request() {
+        let report = analyze(10, &paper_population());
+        assert_eq!(report.naive_batch, 0);
+        assert_eq!(report.shared_batch, 0);
+    }
+
+    #[test]
+    fn shared_batch_never_smaller_than_naive() {
+        for budget in [0usize, 1000, 5000, 50_000, 150_000] {
+            let report = analyze(budget, &paper_population());
+            assert!(report.shared_batch >= report.naive_batch, "budget {budget}");
+        }
+    }
+}

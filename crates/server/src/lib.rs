@@ -1,0 +1,51 @@
+//! A multi-threaded serving layer over the Prompt Cache engine.
+//!
+//! The paper positions Prompt Cache as "a foundational component for
+//! future LLM serving systems" (§1, §6). This crate is that serving
+//! system in miniature:
+//!
+//! * [`Server`] — a bounded request queue drained by a worker pool, each
+//!   worker serving prompts through one shared [`prompt_cache::PromptCache`]
+//!   (the module store is internally synchronised, so workers share every
+//!   cached module by `Arc` — the §3.4 batch-sharing optimisation falls
+//!   out of the architecture);
+//! * [`metrics`] — latency recording with percentile queries, the numbers
+//!   a serving dashboard reads (p50/p95/p99 TTFT, throughput);
+//! * [`capacity`] — the memory-budgeted batch-capacity model behind the
+//!   paper's §5.4 throughput argument: sharing modules shrinks each
+//!   request's KV footprint, so more requests fit one memory budget;
+//! * [`trace`] — deterministic Poisson arrival traces and open-loop
+//!   replay, the load methodology for serving experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use pc_model::{Model, ModelConfig};
+//! use pc_server::{Server, ServerConfig};
+//! use pc_tokenizer::WordTokenizer;
+//! use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+//!
+//! let tokenizer = WordTokenizer::train(&["hello world question"]);
+//! let engine = PromptCache::new(
+//!     Model::new(ModelConfig::llama_tiny(64), 0), tokenizer,
+//!     EngineConfig::default());
+//! engine.register_schema(
+//!     r#"<schema name="s"><module name="m">hello world</module></schema>"#).unwrap();
+//!
+//! let server = Server::start(engine, ServerConfig::default());
+//! let handle = server.submit(
+//!     r#"<prompt schema="s"><m/>question</prompt>"#.into(),
+//!     ServeOptions { max_new_tokens: 2, ..Default::default() });
+//! let result = handle.wait().unwrap();
+//! assert!(result.outcome.is_ok());
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod metrics;
+mod server;
+pub mod trace;
+
+pub use server::{RequestHandle, RequestResult, Server, ServerConfig};

@@ -1,0 +1,137 @@
+//! Serving metrics: latency percentiles and throughput counters.
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// A thread-safe latency recorder with percentile queries.
+///
+/// Stores every sample (serving experiments here run thousands, not
+/// billions, of requests — exact percentiles beat sketch complexity).
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    samples: Mutex<Vec<Duration>>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, sample: Duration) {
+        self.samples.lock().push(sample);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.lock().is_empty()
+    }
+
+    /// The `q`-th percentile (`0.0..=100.0`) by nearest-rank, or `None`
+    /// when empty.
+    pub fn percentile(&self, q: f64) -> Option<Duration> {
+        let mut samples = self.samples.lock().clone();
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let rank = ((q / 100.0) * samples.len() as f64).ceil() as usize;
+        Some(samples[rank.clamp(1, samples.len()) - 1])
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<Duration> {
+        let samples = self.samples.lock();
+        if samples.is_empty() {
+            return None;
+        }
+        Some(samples.iter().sum::<Duration>() / samples.len() as u32)
+    }
+}
+
+/// A point-in-time snapshot of server health.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests completed successfully.
+    pub served: u64,
+    /// Requests that returned an error.
+    pub failed: u64,
+    /// Median time-to-first-token.
+    pub ttft_p50: Option<Duration>,
+    /// 95th-percentile time-to-first-token.
+    pub ttft_p95: Option<Duration>,
+    /// 99th-percentile time-to-first-token.
+    pub ttft_p99: Option<Duration>,
+    /// Mean end-to-end service time (queue excluded).
+    pub service_mean: Option<Duration>,
+    /// Mean time spent queued before a worker picked the request up.
+    pub queue_mean: Option<Duration>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let rec = LatencyRecorder::new();
+        for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            rec.record(ms(v));
+        }
+        assert_eq!(rec.percentile(50.0), Some(ms(50)));
+        assert_eq!(rec.percentile(90.0), Some(ms(90)));
+        assert_eq!(rec.percentile(100.0), Some(ms(100)));
+        assert_eq!(rec.percentile(1.0), Some(ms(10)));
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let rec = LatencyRecorder::new();
+        rec.record(ms(42));
+        for q in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(rec.percentile(q), Some(ms(42)));
+        }
+    }
+
+    #[test]
+    fn empty_recorder_returns_none() {
+        let rec = LatencyRecorder::new();
+        assert!(rec.is_empty());
+        assert_eq!(rec.percentile(50.0), None);
+        assert_eq!(rec.mean(), None);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let rec = LatencyRecorder::new();
+        rec.record(ms(10));
+        rec.record(ms(30));
+        assert_eq!(rec.mean(), Some(ms(20)));
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let rec = std::sync::Arc::new(LatencyRecorder::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let rec = std::sync::Arc::clone(&rec);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        rec.record(ms(t * 100 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.len(), 400);
+    }
+}

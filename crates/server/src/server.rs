@@ -1,0 +1,379 @@
+//! The worker-pool server.
+
+use crate::metrics::{LatencyRecorder, MetricsSnapshot};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use prompt_cache::{EngineError, PromptCache, Response, ServeOptions};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Maximum queued (not yet picked up) requests; submits beyond this
+    /// block the caller — simple admission control.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// The completed result of one request.
+#[derive(Debug)]
+pub struct RequestResult {
+    /// The id assigned at submission.
+    pub id: u64,
+    /// The engine outcome.
+    pub outcome: Result<Response, EngineError>,
+    /// Time spent queued before a worker started serving.
+    pub queue_time: Duration,
+    /// Time the worker spent serving.
+    pub service_time: Duration,
+}
+
+/// A handle to a submitted request.
+#[derive(Debug)]
+pub struct RequestHandle {
+    id: u64,
+    rx: Receiver<RequestResult>,
+}
+
+impl RequestHandle {
+    /// The request's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request completes. Returns `None` only if the
+    /// server was shut down before serving it.
+    pub fn wait(self) -> Option<RequestResult> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<RequestResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+struct Job {
+    id: u64,
+    prompt: String,
+    options: ServeOptions,
+    baseline: bool,
+    submitted: Instant,
+    reply: Sender<RequestResult>,
+}
+
+#[derive(Default)]
+struct Shared {
+    served: AtomicU64,
+    failed: AtomicU64,
+    ttft: LatencyRecorder,
+    service: LatencyRecorder,
+    queue: LatencyRecorder,
+}
+
+/// A multi-threaded Prompt Cache server. See the [crate docs](crate).
+pub struct Server {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    next_id: AtomicU64,
+    engine: Arc<PromptCache>,
+}
+
+impl Server {
+    /// Starts the worker pool over `engine`.
+    pub fn start(engine: PromptCache, config: ServerConfig) -> Self {
+        let engine = Arc::new(engine);
+        let shared = Arc::new(Shared::default());
+        let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let engine = Arc::clone(&engine);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&rx, &engine, &shared))
+            })
+            .collect();
+        Server {
+            tx: Some(tx),
+            workers,
+            shared,
+            next_id: AtomicU64::new(0),
+            engine,
+        }
+    }
+
+    /// The engine behind the server (for registration and stats).
+    pub fn engine(&self) -> &PromptCache {
+        &self.engine
+    }
+
+    /// Submits a cached-inference request. Blocks when the queue is full.
+    pub fn submit(&self, prompt_pml: String, options: ServeOptions) -> RequestHandle {
+        self.submit_inner(prompt_pml, options, false)
+    }
+
+    /// Submits a baseline (full-prefill) request — lets load experiments
+    /// mix both paths through the same queue.
+    pub fn submit_baseline(&self, prompt_pml: String, options: ServeOptions) -> RequestHandle {
+        self.submit_inner(prompt_pml, options, true)
+    }
+
+    fn submit_inner(&self, prompt: String, options: ServeOptions, baseline: bool) -> RequestHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = bounded(1);
+        let job = Job {
+            id,
+            prompt,
+            options,
+            baseline,
+            submitted: Instant::now(),
+            reply,
+        };
+        self.tx
+            .as_ref()
+            .expect("server not shut down")
+            .send(job)
+            .expect("workers alive while server exists");
+        RequestHandle { id, rx }
+    }
+
+    /// Current metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            served: self.shared.served.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            ttft_p50: self.shared.ttft.percentile(50.0),
+            ttft_p95: self.shared.ttft.percentile(95.0),
+            ttft_p99: self.shared.ttft.percentile(99.0),
+            service_mean: self.shared.service.mean(),
+            queue_mean: self.shared.queue.mean(),
+        }
+    }
+
+    /// Drains the queue and joins the workers. Pending requests complete
+    /// first; new submissions are impossible afterwards.
+    pub fn shutdown(mut self) {
+        self.tx.take(); // close the channel; workers exit on disconnect
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.workers.len())
+            .field("served", &self.shared.served.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn worker_loop(rx: &Receiver<Job>, engine: &PromptCache, shared: &Shared) {
+    while let Ok(job) = rx.recv() {
+        let queue_time = job.submitted.elapsed();
+        let start = Instant::now();
+        let outcome = if job.baseline {
+            engine.serve_baseline(&job.prompt, &job.options)
+        } else {
+            engine.serve_with(&job.prompt, &job.options)
+        };
+        let service_time = start.elapsed();
+        match &outcome {
+            Ok(response) => {
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared.ttft.record(response.timings.ttft);
+            }
+            Err(_) => {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shared.service.record(service_time);
+        shared.queue.record(queue_time);
+        // Receiver may have been dropped (caller gave up) — fine.
+        let _ = job.reply.send(RequestResult {
+            id: job.id,
+            outcome,
+            queue_time,
+            service_time,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_model::{Model, ModelConfig};
+    use pc_tokenizer::{Tokenizer, WordTokenizer};
+    use prompt_cache::EngineConfig;
+
+    const CORPUS: &str =
+        "alpha beta gamma delta epsilon zeta eta theta question one two three four";
+
+    fn engine() -> PromptCache {
+        let tokenizer = WordTokenizer::train(&[CORPUS]);
+        let vocab = tokenizer.vocab_size().max(64);
+        let engine = PromptCache::new(
+            Model::new(ModelConfig::llama_tiny(vocab), 5),
+            tokenizer,
+            EngineConfig::default(),
+        );
+        engine
+            .register_schema(
+                r#"<schema name="s">
+                     <module name="ctx">alpha beta gamma delta epsilon zeta eta theta</module>
+                   </schema>"#,
+            )
+            .unwrap();
+        engine
+    }
+
+    fn opts() -> ServeOptions {
+        ServeOptions {
+            max_new_tokens: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn serves_a_request() {
+        let server = Server::start(engine(), ServerConfig::default());
+        let result = server
+            .submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+            .wait()
+            .unwrap();
+        let response = result.outcome.unwrap();
+        assert!(response.stats.cached_tokens > 0);
+        assert_eq!(server.metrics().served, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_results_match_direct_serving() {
+        let reference = engine()
+            .serve_with(r#"<prompt schema="s"><ctx/>question</prompt>"#, &opts())
+            .unwrap()
+            .tokens;
+        let server = Server::start(
+            engine(),
+            ServerConfig {
+                workers: 4,
+                queue_capacity: 64,
+            },
+        );
+        let handles: Vec<_> = (0..32)
+            .map(|_| {
+                server.submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+            })
+            .collect();
+        for handle in handles {
+            let result = handle.wait().unwrap();
+            assert_eq!(result.outcome.unwrap().tokens, reference);
+        }
+        let m = server.metrics();
+        assert_eq!(m.served, 32);
+        assert_eq!(m.failed, 0);
+        assert!(m.ttft_p50.is_some() && m.ttft_p99 >= m.ttft_p50);
+        server.shutdown();
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let server = Server::start(engine(), ServerConfig::default());
+        let bad = server
+            .submit(r#"<prompt schema="ghost">x</prompt>"#.into(), opts())
+            .wait()
+            .unwrap();
+        assert!(bad.outcome.is_err());
+        // Server keeps serving afterwards.
+        let good = server
+            .submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+            .wait()
+            .unwrap();
+        assert!(good.outcome.is_ok());
+        let m = server.metrics();
+        assert_eq!((m.served, m.failed), (1, 1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn baseline_and_cached_paths_share_the_queue() {
+        let server = Server::start(engine(), ServerConfig::default());
+        let cached = server
+            .submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+            .wait()
+            .unwrap()
+            .outcome
+            .unwrap();
+        let baseline = server
+            .submit_baseline(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+            .wait()
+            .unwrap()
+            .outcome
+            .unwrap();
+        assert_eq!(cached.tokens, baseline.tokens);
+        assert_eq!(baseline.stats.cached_tokens, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let server = Server::start(engine(), ServerConfig::default());
+        let a = server.submit(r#"<prompt schema="s"><ctx/>one</prompt>"#.into(), opts());
+        let b = server.submit(r#"<prompt schema="s"><ctx/>two</prompt>"#.into(), opts());
+        assert!(b.id() > a.id());
+        a.wait().unwrap();
+        b.wait().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_cleanly() {
+        let server = Server::start(engine(), ServerConfig::default());
+        let handle = server.submit(r#"<prompt schema="s"><ctx/>one</prompt>"#.into(), opts());
+        handle.wait().unwrap();
+        drop(server); // Drop impl joins workers without hanging
+    }
+
+    #[test]
+    fn queue_time_is_recorded() {
+        let server = Server::start(
+            engine(),
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 64,
+            },
+        );
+        // Pile up work on a single worker so later requests queue.
+        let handles: Vec<_> = (0..8)
+            .map(|_| server.submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts()))
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        assert!(server.metrics().queue_mean.unwrap() > Duration::ZERO);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,253 @@
+//! Trace-driven load replay: Poisson arrivals over a prompt mix.
+//!
+//! Serving papers evaluate under open-loop load; this module generates
+//! deterministic Poisson arrival traces and replays them against a
+//! [`crate::Server`], reporting the latency distribution the offered load
+//! produced — the methodology for exercising the §5.4 throughput claims
+//! beyond closed-loop bursts.
+
+use crate::metrics::LatencyRecorder;
+use crate::Server;
+use prompt_cache::ServeOptions;
+use std::time::{Duration, Instant};
+
+/// One scheduled arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Offset from replay start.
+    pub at: Duration,
+    /// Index into the prompt mix.
+    pub prompt_index: usize,
+}
+
+/// Generates a deterministic Poisson arrival trace: `requests` arrivals
+/// at `rate_hz` mean rate, cycling through `num_prompts` prompt-mix
+/// entries. Inter-arrival gaps are exponential via inverse-CDF over a
+/// seeded xorshift stream.
+pub fn poisson_trace(
+    requests: usize,
+    rate_hz: f64,
+    num_prompts: usize,
+    seed: u64,
+) -> Vec<TraceEvent> {
+    assert!(rate_hz > 0.0, "arrival rate must be positive");
+    assert!(num_prompts > 0, "need at least one prompt");
+    let mut state = seed | 1;
+    let mut uniform = move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let x = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        // map to (0, 1]
+        ((x >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+    };
+    let mut at = 0.0f64;
+    (0..requests)
+        .map(|i| {
+            at += -uniform().ln() / rate_hz;
+            TraceEvent {
+                at: Duration::from_secs_f64(at),
+                prompt_index: i % num_prompts,
+            }
+        })
+        .collect()
+}
+
+/// Replay outcome.
+#[derive(Debug)]
+pub struct ReplayReport {
+    /// Wall-clock duration of the whole replay.
+    pub wall: Duration,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests that errored.
+    pub failed: u64,
+    /// End-to-end latency (submission → completion) distribution.
+    pub e2e: LatencyRecorder,
+}
+
+impl ReplayReport {
+    /// Achieved goodput in requests/second.
+    pub fn goodput_rps(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Replays `trace` against `server`: each event submits
+/// `prompts[event.prompt_index]` at its scheduled offset (sleeping as
+/// needed), then all completions are awaited.
+pub fn replay(
+    server: &Server,
+    prompts: &[String],
+    trace: &[TraceEvent],
+    options: &ServeOptions,
+) -> ReplayReport {
+    let start = Instant::now();
+    let mut pending = Vec::with_capacity(trace.len());
+    for event in trace {
+        if let Some(wait) = event.at.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let handle = server.submit(prompts[event.prompt_index].clone(), options.clone());
+        pending.push((Instant::now(), handle));
+    }
+    let e2e = LatencyRecorder::new();
+    let mut completed = 0;
+    let mut failed = 0;
+    for (submitted, handle) in pending {
+        match handle.wait() {
+            Some(result) if result.outcome.is_ok() => {
+                completed += 1;
+                e2e.record(submitted.elapsed());
+            }
+            Some(_) => failed += 1,
+            None => failed += 1,
+        }
+    }
+    ReplayReport {
+        wall: start.elapsed(),
+        completed,
+        failed,
+        e2e,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServerConfig;
+    use pc_model::{Model, ModelConfig};
+    use pc_tokenizer::{Tokenizer, WordTokenizer};
+    use prompt_cache::{EngineConfig, PromptCache};
+
+    #[test]
+    fn trace_is_deterministic_and_monotone() {
+        let a = poisson_trace(50, 100.0, 3, 7);
+        let b = poisson_trace(50, 100.0, 3, 7);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[1].at >= w[0].at);
+        }
+        assert_ne!(a, poisson_trace(50, 100.0, 3, 8));
+    }
+
+    #[test]
+    fn mean_interarrival_matches_rate() {
+        let trace = poisson_trace(2000, 250.0, 1, 3);
+        let total = trace.last().unwrap().at.as_secs_f64();
+        let mean_gap = total / trace.len() as f64;
+        assert!((mean_gap - 1.0 / 250.0).abs() < 0.0008, "{mean_gap}");
+    }
+
+    #[test]
+    fn prompt_mix_cycles() {
+        let trace = poisson_trace(6, 10.0, 3, 1);
+        let idx: Vec<usize> = trace.iter().map(|e| e.prompt_index).collect();
+        assert_eq!(idx, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn replay_completes_offered_load() {
+        let corpus = "alpha beta gamma delta question one two";
+        let tokenizer = WordTokenizer::train(&[corpus]);
+        let vocab = tokenizer.vocab_size().max(64);
+        let engine = PromptCache::new(
+            Model::new(ModelConfig::llama_tiny(vocab), 2),
+            tokenizer,
+            EngineConfig::default(),
+        );
+        engine
+            .register_schema(
+                r#"<schema name="t"><module name="m">alpha beta gamma delta</module></schema>"#,
+            )
+            .unwrap();
+        let server = Server::start(
+            engine,
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 64,
+            },
+        );
+        let prompts = vec![
+            r#"<prompt schema="t"><m/>question one</prompt>"#.to_owned(),
+            r#"<prompt schema="t"><m/>question two</prompt>"#.to_owned(),
+        ];
+        let trace = poisson_trace(20, 500.0, prompts.len(), 11);
+        let report = replay(
+            &server,
+            &prompts,
+            &trace,
+            &ServeOptions {
+                max_new_tokens: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.completed, 20);
+        assert_eq!(report.failed, 0);
+        assert!(report.goodput_rps() > 1.0);
+        assert!(report.e2e.percentile(99.0).unwrap() >= report.e2e.percentile(50.0).unwrap());
+        server.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        poisson_trace(1, 0.0, 1, 1);
+    }
+}
+
+#[cfg(test)]
+mod overload_tests {
+    use super::*;
+    use crate::ServerConfig;
+    use pc_model::{Model, ModelConfig};
+    use pc_tokenizer::{Tokenizer, WordTokenizer};
+    use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+
+    #[test]
+    fn overload_degrades_gracefully_without_loss() {
+        // Offered load far above capacity: everything still completes
+        // (closed channel admission blocks, no drops) and tail latency
+        // grows beyond the median.
+        let doc: String = (0..200).map(|i| format!("w{} ", i % 31)).collect();
+        let corpus = format!("{doc} q");
+        let tokenizer = WordTokenizer::train(&[corpus.as_str()]);
+        let vocab = tokenizer.vocab_size().max(64);
+        let engine = PromptCache::new(
+            Model::new(ModelConfig::llama_small(vocab), 4),
+            tokenizer,
+            EngineConfig::default(),
+        );
+        engine
+            .register_schema(&format!(
+                r#"<schema name="o"><module name="doc">{doc}</module></schema>"#
+            ))
+            .unwrap();
+        let server = Server::start(
+            engine,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 8,
+            },
+        );
+        let prompts = vec![r#"<prompt schema="o"><doc/>q</prompt>"#.to_owned()];
+        // 40 arrivals at a nominal 10 kHz — far beyond one worker.
+        let trace = poisson_trace(40, 10_000.0, 1, 5);
+        let report = replay(
+            &server,
+            &prompts,
+            &trace,
+            &ServeOptions {
+                max_new_tokens: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.failed, 0);
+        let p50 = report.e2e.percentile(50.0).unwrap();
+        let p99 = report.e2e.percentile(99.0).unwrap();
+        assert!(p99 > p50, "queueing must show up in the tail");
+        server.shutdown();
+    }
+}

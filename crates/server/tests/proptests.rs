@@ -1,0 +1,79 @@
+//! Property-based tests for the capacity model and latency recorder.
+
+use pc_server::capacity::{analyze, RequestFootprint};
+use pc_server::metrics::LatencyRecorder;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn population() -> impl Strategy<Value = Vec<RequestFootprint>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec((0u64..6, 10usize..500), 0..4),
+            10usize..300,
+        )
+            .prop_map(|(modules, private_tokens)| RequestFootprint {
+                modules,
+                private_tokens,
+            }),
+        0..20,
+    )
+    .prop_map(|mut requests| {
+        // Same module id must have one consistent length across requests.
+        let mut canonical: std::collections::HashMap<u64, usize> = Default::default();
+        for r in &mut requests {
+            for (id, len) in &mut r.modules {
+                let e = canonical.entry(*id).or_insert(*len);
+                *len = *e;
+            }
+        }
+        requests
+    })
+}
+
+proptest! {
+    /// Sharing never stores more than duplicating, and the batch under
+    /// any budget is never smaller.
+    #[test]
+    fn sharing_dominates(requests in population(), budget in 0usize..50_000) {
+        let report = analyze(budget, &requests);
+        prop_assert!(report.shared_tokens <= report.naive_tokens);
+        prop_assert!(report.shared_batch >= report.naive_batch);
+        prop_assert!((0.0..1.0).contains(&report.footprint_reduction())
+            || report.naive_tokens == 0);
+    }
+
+    /// With an unbounded budget every request is admitted on both paths.
+    #[test]
+    fn unbounded_budget_admits_all(requests in population()) {
+        let report = analyze(usize::MAX, &requests);
+        prop_assert_eq!(report.naive_batch, requests.len());
+        prop_assert_eq!(report.shared_batch, requests.len());
+    }
+
+    /// Shared footprint equals naive when no module id repeats.
+    #[test]
+    fn no_overlap_means_no_saving(n in 1usize..12, len in 10usize..100) {
+        let requests: Vec<RequestFootprint> = (0..n as u64)
+            .map(|i| RequestFootprint { modules: vec![(i, len)], private_tokens: 7 })
+            .collect();
+        let report = analyze(usize::MAX, &requests);
+        prop_assert_eq!(report.naive_tokens, report.shared_tokens);
+    }
+
+    /// Percentiles are monotone in q and bounded by min/max samples.
+    #[test]
+    fn percentiles_monotone(samples in proptest::collection::vec(1u64..10_000, 1..80)) {
+        let rec = LatencyRecorder::new();
+        for &s in &samples {
+            rec.record(Duration::from_micros(s));
+        }
+        let p = |q| rec.percentile(q).unwrap();
+        prop_assert!(p(10.0) <= p(50.0));
+        prop_assert!(p(50.0) <= p(90.0));
+        prop_assert!(p(90.0) <= p(100.0));
+        let max = Duration::from_micros(*samples.iter().max().unwrap());
+        let min = Duration::from_micros(*samples.iter().min().unwrap());
+        prop_assert_eq!(p(100.0), max);
+        prop_assert!(p(0.1) >= min && p(0.1) <= max);
+    }
+}

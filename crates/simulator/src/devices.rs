@@ -1,0 +1,158 @@
+//! Device catalog with calibrated effective parameters.
+//!
+//! Peak spec sheets wildly overstate what an unoptimised HuggingFace
+//! pipeline (the paper's prototype substrate, §4) sustains, so each device
+//! carries *effective* numbers calibrated against the paper's published
+//! anchors and then frozen:
+//!
+//! * **RTX 4090** — the paper reports baseline TTFT ≈ 900 ms for 3K tokens
+//!   of Llama-7B (§5.4). 3K tokens ≈ 1.44e13 FLOPs → ~16 TFLOPS effective
+//!   (≈10% of fp16 peak, typical for eager-mode transformers of that era).
+//! * **A40 / A100** — scaled from the 4090 by the Figure 3 bar ratios
+//!   (A40 ≈ 0.55×, A100 ≈ 1.2× the 4090's effective throughput).
+//! * **Copy bandwidths** — §5.4 reports 3.79 ms (h2h), 5.34 ms (h2d) and
+//!   0.23 ms (d2d) for "attention states with 5K tokens", which matches
+//!   one layer's k+v at fp16 (5000 × 4096 × 2 × 2 B ≈ 82 MB) → 21.6, 15.3
+//!   and 356 GB/s *peak* rates; [`crate::sim::layer_memcpy_s`] uses those
+//!   directly. Whole-module streaming, however, walks 2 × 32 tensors per
+//!   module through the Python/pageable-copy path, so each device's
+//!   `h2h`/`h2d` fields carry a much lower **effective module
+//!   materialisation rate**, fitted so the figure-level speedup bands
+//!   match the paper: 4 GB/s h2d on the 4090 (yellow bars land at
+//!   1.5–3×), 3 GB/s h2h on the Intel CPU (≤ ~70× max speedup) and
+//!   1.1 GB/s on the AMD CPU (≤ ~25×, the DDR4 penalty the authors call
+//!   out).
+//! * **Fixed overhead** — 400 ms per request (tokenisation, Python
+//!   dispatch, first-token sampling) on every device, bounding the
+//!   maximum GPU-memory speedup near the paper's 10×.
+
+use serde::Serialize;
+
+/// CPU or GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DeviceKind {
+    /// Graphics processor: inference on device, modules in host or device
+    /// memory.
+    Gpu,
+    /// Host processor: inference and modules both in host memory.
+    Cpu,
+}
+
+/// One device's calibrated effective parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DeviceSpec {
+    /// Display name as the paper prints it.
+    pub name: &'static str,
+    /// CPU or GPU.
+    pub kind: DeviceKind,
+    /// Effective sustained throughput for transformer prefill, FLOP/s.
+    pub effective_flops: f64,
+    /// Host→host sustained copy bandwidth, bytes/s.
+    pub h2h_bytes_per_s: f64,
+    /// Host→device bulk copy bandwidth, bytes/s (GPUs only; unused on
+    /// CPUs).
+    pub h2d_bytes_per_s: f64,
+    /// Device→device copy bandwidth, bytes/s.
+    pub d2d_bytes_per_s: f64,
+    /// Sustained weight-streaming bandwidth during decode, bytes/s —
+    /// autoregressive decoding is memory-bound, so time-per-output-token
+    /// ≈ model weight bytes / this rate (§5.4 anchors the 4090 at ~32 ms
+    /// per token for Llama-7B, i.e. ~14 GB / 450 GB/s).
+    pub decode_bytes_per_s: f64,
+    /// Fixed per-request overhead, seconds.
+    pub overhead_s: f64,
+}
+
+/// NVIDIA RTX 4090 (paired with the Intel host in the paper).
+pub const RTX_4090: DeviceSpec = DeviceSpec {
+    name: "RTX 4090",
+    kind: DeviceKind::Gpu,
+    effective_flops: 16.0e12,
+    h2h_bytes_per_s: 21.6e9,
+    h2d_bytes_per_s: 4.0e9,
+    d2d_bytes_per_s: 356.0e9,
+    decode_bytes_per_s: 450.0e9,
+    overhead_s: 0.40,
+};
+
+/// NVIDIA A40 (NCSA Delta virtual node).
+pub const A40: DeviceSpec = DeviceSpec {
+    name: "A40",
+    kind: DeviceKind::Gpu,
+    effective_flops: 9.0e12,
+    h2h_bytes_per_s: 18.0e9,
+    h2d_bytes_per_s: 3.0e9,
+    d2d_bytes_per_s: 300.0e9,
+    decode_bytes_per_s: 600.0e9,
+    overhead_s: 0.40,
+};
+
+/// NVIDIA A100 40GB (NCSA Delta virtual node).
+pub const A100: DeviceSpec = DeviceSpec {
+    name: "A100",
+    kind: DeviceKind::Gpu,
+    effective_flops: 19.0e12,
+    h2h_bytes_per_s: 18.0e9,
+    h2d_bytes_per_s: 5.0e9,
+    d2d_bytes_per_s: 600.0e9,
+    decode_bytes_per_s: 1500.0e9,
+    overhead_s: 0.40,
+};
+
+/// Intel i9-13900K with DDR5-5600.
+pub const INTEL_I9_13900K: DeviceSpec = DeviceSpec {
+    name: "Intel i9-13900K",
+    kind: DeviceKind::Cpu,
+    effective_flops: 0.35e12,
+    h2h_bytes_per_s: 3.0e9,
+    h2d_bytes_per_s: 0.0,
+    d2d_bytes_per_s: 0.0,
+    decode_bytes_per_s: 40.0e9,
+    overhead_s: 0.40,
+};
+
+/// AMD Ryzen 9 7950X with DDR4-3600.
+pub const AMD_7950X: DeviceSpec = DeviceSpec {
+    name: "AMD 7950X",
+    kind: DeviceKind::Cpu,
+    effective_flops: 0.5e12,
+    h2h_bytes_per_s: 1.1e9,
+    h2d_bytes_per_s: 0.0,
+    d2d_bytes_per_s: 0.0,
+    decode_bytes_per_s: 30.0e9,
+    overhead_s: 0.40,
+};
+
+/// The Figure 3 GPU set.
+pub const GPUS: [DeviceSpec; 3] = [RTX_4090, A40, A100];
+
+/// The Figure 4 CPU set.
+pub const CPUS: [DeviceSpec; 2] = [INTEL_I9_13900K, AMD_7950X];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpus_outrun_cpus() {
+        for gpu in GPUS {
+            for cpu in CPUS {
+                assert!(gpu.effective_flops > 10.0 * cpu.effective_flops);
+            }
+        }
+    }
+
+    #[test]
+    fn d2d_beats_h2d_beats_nothing() {
+        for gpu in GPUS {
+            assert!(gpu.d2d_bytes_per_s > gpu.h2d_bytes_per_s);
+            assert!(gpu.h2d_bytes_per_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn intel_memory_outruns_amd() {
+        // The paper attributes the Intel/AMD speedup gap to DDR5 vs DDR4.
+        assert!(INTEL_I9_13900K.h2h_bytes_per_s > AMD_7950X.h2h_bytes_per_s);
+    }
+}

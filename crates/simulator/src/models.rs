@@ -1,0 +1,161 @@
+//! The paper's LLM catalog with real architecture dimensions.
+
+use serde::Serialize;
+
+/// Architecture summary of one LLM (the dimensions that drive prefill
+/// FLOPs and KV memory).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LlmSpec {
+    /// Display name as the paper prints it.
+    pub name: &'static str,
+    /// Transformer layer count.
+    pub layers: usize,
+    /// Hidden dimension `d`.
+    pub hidden: usize,
+}
+
+impl LlmSpec {
+    /// Prefill FLOPs for `n` tokens: `layers × (6nd² + 4n²d)` — the
+    /// paper's §2.2 formula.
+    pub fn prefill_flops(&self, n: usize) -> f64 {
+        let (n, d) = (n as f64, self.hidden as f64);
+        self.layers as f64 * (6.0 * n * d * d + 4.0 * n * n * d)
+    }
+
+    /// Prefill FLOPs when `cached` of `n` tokens are reused: projections
+    /// for the uncached tokens only, attention of uncached tokens over the
+    /// full context.
+    pub fn cached_prefill_flops(&self, n: usize, cached: usize) -> f64 {
+        let new = n.saturating_sub(cached) as f64;
+        let (n, d) = (n as f64, self.hidden as f64);
+        self.layers as f64 * (6.0 * new * d * d + 4.0 * new * n * d)
+    }
+
+    /// Bytes to cache one token at fp16 under the Table 2 MHA assumption:
+    /// `2 × layers × hidden × 2`.
+    pub fn kv_bytes_per_token(&self) -> usize {
+        2 * self.layers * self.hidden * 2
+    }
+
+    /// MB/token at fp16 — the Table 2 column.
+    pub fn mb_per_token(&self) -> f64 {
+        self.kv_bytes_per_token() as f64 / 1e6
+    }
+
+    /// Approximate fp16 weight footprint in bytes: `12·L·d²` parameters
+    /// (attention 4d² + MLP ≈ 8d²) at 2 bytes each — what a decode step
+    /// must stream from memory.
+    pub fn weight_bytes(&self) -> f64 {
+        12.0 * self.layers as f64 * (self.hidden as f64).powi(2) * 2.0
+    }
+}
+
+/// BERT-base (Table 2 row 1).
+pub const BERT: LlmSpec = LlmSpec {
+    name: "BERT",
+    layers: 12,
+    hidden: 768,
+};
+/// Falcon 1B.
+pub const FALCON_1B: LlmSpec = LlmSpec {
+    name: "Falcon 1B",
+    layers: 24,
+    hidden: 2048,
+};
+/// Llama2 7B — the workhorse of Figures 3–5.
+pub const LLAMA_7B: LlmSpec = LlmSpec {
+    name: "Llama 7B",
+    layers: 32,
+    hidden: 4096,
+};
+/// Llama2 13B.
+pub const LLAMA_13B: LlmSpec = LlmSpec {
+    name: "Llama 13B",
+    layers: 40,
+    hidden: 5120,
+};
+/// MPT 30B.
+pub const MPT_30B: LlmSpec = LlmSpec {
+    name: "MPT 30B",
+    layers: 48,
+    hidden: 7168,
+};
+/// Falcon 40B.
+pub const FALCON_40B: LlmSpec = LlmSpec {
+    name: "Falcon 40B",
+    layers: 60,
+    hidden: 8192,
+};
+/// Llama2 70B (Table 2 assumes MHA, as the paper does).
+pub const LLAMA_70B: LlmSpec = LlmSpec {
+    name: "Llama 70B",
+    layers: 80,
+    hidden: 8192,
+};
+/// Falcon 180B.
+pub const FALCON_180B: LlmSpec = LlmSpec {
+    name: "Falcon 180B",
+    layers: 80,
+    hidden: 14848,
+};
+
+/// The Table 2 catalog, in the paper's order.
+pub const TABLE2_MODELS: [LlmSpec; 8] = [
+    BERT,
+    FALCON_1B,
+    LLAMA_7B,
+    LLAMA_13B,
+    MPT_30B,
+    FALCON_40B,
+    LLAMA_70B,
+    FALCON_180B,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_2_mb_per_token_reproduced() {
+        // Paper values: 0.03, 0.18, 0.50, 0.78, 1.31, 1.87, 2.5, 4.53.
+        let paper = [0.03, 0.18, 0.50, 0.78, 1.31, 1.87, 2.5, 4.53];
+        for (spec, &expected) in TABLE2_MODELS.iter().zip(&paper) {
+            let got = spec.mb_per_token();
+            let rel = (got - expected).abs() / expected;
+            assert!(
+                rel < 0.30,
+                "{}: got {got:.3} MB/token, paper {expected}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn llama_7b_is_exactly_half_mb() {
+        assert!((LLAMA_7B.mb_per_token() - 0.524).abs() < 0.01);
+    }
+
+    #[test]
+    fn prefill_flops_quadratic_tail() {
+        let f1 = LLAMA_7B.prefill_flops(1000);
+        let f10 = LLAMA_7B.prefill_flops(10_000);
+        // At 10K tokens the n² term dominates → superlinear growth.
+        assert!(f10 > 15.0 * f1);
+    }
+
+    #[test]
+    fn fully_cached_flops_are_zero() {
+        assert_eq!(LLAMA_7B.cached_prefill_flops(5000, 5000), 0.0);
+        assert_eq!(
+            LLAMA_7B.cached_prefill_flops(5000, 0),
+            LLAMA_7B.prefill_flops(5000)
+        );
+    }
+
+    #[test]
+    fn paper_scale_anchor_3k_tokens() {
+        // §5.4 reasons about ~1.4e13 FLOPs at 3K tokens for Llama-7B.
+        let f = LLAMA_7B.prefill_flops(3000);
+        assert!(f > 1.2e13 && f < 1.7e13, "{f:.3e}");
+    }
+}

@@ -1,0 +1,341 @@
+//! TTFT estimation: baseline KV cache vs Prompt Cache.
+
+use crate::devices::{DeviceKind, DeviceSpec};
+use crate::models::LlmSpec;
+use serde::Serialize;
+
+/// Where prompt modules live for a GPU inference (Figure 3's yellow vs
+/// blue bars). Ignored for CPU inference, which always reads host memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ModuleLocation {
+    /// Modules in host DRAM: GPU pays a host→device copy per request.
+    HostMemory,
+    /// Modules resident in GPU HBM: device→device copy only.
+    DeviceMemory,
+}
+
+/// A TTFT estimate with its breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TtftEstimate {
+    /// Total time-to-first-token, seconds.
+    pub total_s: f64,
+    /// Attention/MLP compute, seconds.
+    pub compute_s: f64,
+    /// Cached-state copy time, seconds.
+    pub copy_s: f64,
+    /// Fixed per-request overhead, seconds.
+    pub overhead_s: f64,
+}
+
+impl TtftEstimate {
+    fn new(compute_s: f64, copy_s: f64, overhead_s: f64) -> Self {
+        TtftEstimate {
+            total_s: compute_s + copy_s + overhead_s,
+            compute_s,
+            copy_s,
+            overhead_s,
+        }
+    }
+}
+
+/// Seconds to copy `bytes` at `bytes_per_s` (0 bandwidth → no copy, e.g.
+/// GPU-resident modules that need no transfer at all would pass 0 bytes
+/// instead).
+pub fn memcpy_time_s(bytes: f64, bytes_per_s: f64) -> f64 {
+    if bytes_per_s <= 0.0 {
+        0.0
+    } else {
+        bytes / bytes_per_s
+    }
+}
+
+/// Baseline (regular KV cache) TTFT: full prefill of `n` tokens.
+pub fn baseline_ttft(llm: &LlmSpec, device: &DeviceSpec, n: usize) -> TtftEstimate {
+    let compute = llm.prefill_flops(n) / device.effective_flops;
+    TtftEstimate::new(compute, 0.0, device.overhead_s)
+}
+
+/// Prompt Cache TTFT: `cached` of `n` tokens come from memory (copied at
+/// the relevant bandwidth), the remaining `n − cached` are computed with
+/// attention over the full context.
+pub fn prompt_cache_ttft(
+    llm: &LlmSpec,
+    device: &DeviceSpec,
+    n: usize,
+    cached: usize,
+    location: ModuleLocation,
+) -> TtftEstimate {
+    let cached = cached.min(n);
+    let compute = llm.cached_prefill_flops(n, cached) / device.effective_flops;
+    let bytes = (cached * llm.kv_bytes_per_token()) as f64;
+    let bandwidth = match (device.kind, location) {
+        (DeviceKind::Cpu, _) => device.h2h_bytes_per_s,
+        (DeviceKind::Gpu, ModuleLocation::HostMemory) => device.h2d_bytes_per_s,
+        (DeviceKind::Gpu, ModuleLocation::DeviceMemory) => device.d2d_bytes_per_s,
+    };
+    let copy = memcpy_time_s(bytes, bandwidth);
+    TtftEstimate::new(compute, copy, device.overhead_s)
+}
+
+/// The §5.4 memcpy microbenchmark: seconds to move one layer's (k, v)
+/// states for `tokens` tokens ("attention states with 5K tokens" in the
+/// paper's phrasing matches one layer at fp16).
+pub fn layer_memcpy_s(llm: &LlmSpec, tokens: usize, bytes_per_s: f64) -> f64 {
+    let bytes = (2 * tokens * llm.hidden * 2) as f64;
+    memcpy_time_s(bytes, bytes_per_s)
+}
+
+/// Time per output token (TTST/TPOT) against an `n`-token context.
+/// Decoding is memory-bound — every step streams the weights — with a
+/// small FLOP floor; §5.4 anchors this at ~32 ms/token for Llama-7B on
+/// the RTX 4090, "regardless of the token length" (the weight term
+/// dominates the n-dependent attention term at these scales).
+pub fn decode_step_s(llm: &LlmSpec, device: &DeviceSpec, n: usize) -> f64 {
+    let weight_time = llm.weight_bytes() / device.decode_bytes_per_s;
+    let (n, d) = (n as f64, llm.hidden as f64);
+    let flop_time = llm.layers as f64 * (6.0 * d * d + 4.0 * n * d) / device.effective_flops;
+    weight_time + flop_time
+}
+
+/// End-to-end latency to receive `k` output tokens: TTFT plus `k − 1`
+/// decode steps. §5.4: "Since Prompt Cache reduces only TTFT, its impact
+/// on the time needed to receive the complete LLM response diminishes as
+/// the number of generated tokens increases."
+pub fn end_to_end_s(
+    llm: &LlmSpec,
+    device: &DeviceSpec,
+    n: usize,
+    cached: usize,
+    location: ModuleLocation,
+    k: usize,
+) -> f64 {
+    let ttft = if cached == 0 {
+        baseline_ttft(llm, device, n).total_s
+    } else {
+        prompt_cache_ttft(llm, device, n, cached, location).total_s
+    };
+    let mut total = ttft;
+    for step in 1..k {
+        total += decode_step_s(llm, device, n + step);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{A40, AMD_7950X, INTEL_I9_13900K, RTX_4090};
+    use crate::models::{LLAMA_13B, LLAMA_7B};
+
+    #[test]
+    fn paper_anchor_900ms_at_3k_on_4090() {
+        let est = baseline_ttft(&LLAMA_7B, &RTX_4090, 3000);
+        assert!(
+            est.compute_s > 0.7 && est.compute_s < 1.1,
+            "compute {:.3}s",
+            est.compute_s
+        );
+    }
+
+    #[test]
+    fn gpu_memory_speedup_in_5_to_12_band() {
+        // Figure 3 blue bars: 5–10× with modules in GPU memory. The
+        // LongBench datasets keep 40–250 uncached question tokens on
+        // 5–9K-token contexts.
+        for uncached in [50, 100, 250] {
+            let base = baseline_ttft(&LLAMA_7B, &RTX_4090, 5000).total_s;
+            let pc = prompt_cache_ttft(
+                &LLAMA_7B,
+                &RTX_4090,
+                5000,
+                5000 - uncached,
+                ModuleLocation::DeviceMemory,
+            )
+            .total_s;
+            let speedup = base / pc;
+            assert!(
+                (4.0..12.0).contains(&speedup),
+                "uncached {uncached}: {speedup:.1}×"
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_memory_speedup_in_1_5_to_5_band() {
+        // Figure 3 yellow bars: 1.5–3× with modules streamed from host.
+        for uncached in [50, 100, 250] {
+            let base = baseline_ttft(&LLAMA_7B, &RTX_4090, 5000).total_s;
+            let pc = prompt_cache_ttft(
+                &LLAMA_7B,
+                &RTX_4090,
+                5000,
+                5000 - uncached,
+                ModuleLocation::HostMemory,
+            )
+            .total_s;
+            let speedup = base / pc;
+            assert!(
+                (1.5..5.0).contains(&speedup),
+                "uncached {uncached}: {speedup:.1}×"
+            );
+        }
+    }
+
+    #[test]
+    fn intel_cpu_reaches_dozens_of_x() {
+        // Figure 4: up to 70× on the Intel CPU for mostly-cached prompts.
+        let base = baseline_ttft(&LLAMA_7B, &INTEL_I9_13900K, 5000).total_s;
+        let pc = prompt_cache_ttft(
+            &LLAMA_7B,
+            &INTEL_I9_13900K,
+            5000,
+            4950,
+            ModuleLocation::HostMemory,
+        )
+        .total_s;
+        let speedup = base / pc;
+        assert!((30.0..80.0).contains(&speedup), "{speedup:.1}×");
+    }
+
+    #[test]
+    fn amd_cpu_tops_out_lower() {
+        // Figure 4: ~20× maximum on the AMD CPU (slower DDR4 copies).
+        let base = baseline_ttft(&LLAMA_7B, &AMD_7950X, 5000).total_s;
+        let pc = prompt_cache_ttft(
+            &LLAMA_7B,
+            &AMD_7950X,
+            5000,
+            4950,
+            ModuleLocation::HostMemory,
+        )
+        .total_s;
+        let speedup = base / pc;
+        assert!((12.0..32.0).contains(&speedup), "{speedup:.1}×");
+    }
+
+    #[test]
+    fn cpu_benefits_more_than_gpu() {
+        // §5.2.2: "CPU inference benefits more significantly from Prompt
+        // Cache than GPU inference does."
+        let cached = 4800;
+        let gpu_speedup = baseline_ttft(&LLAMA_7B, &RTX_4090, 5000).total_s
+            / prompt_cache_ttft(&LLAMA_7B, &RTX_4090, 5000, cached, ModuleLocation::DeviceMemory)
+                .total_s;
+        let cpu_speedup = baseline_ttft(&LLAMA_7B, &INTEL_I9_13900K, 5000).total_s
+            / prompt_cache_ttft(
+                &LLAMA_7B,
+                &INTEL_I9_13900K,
+                5000,
+                cached,
+                ModuleLocation::HostMemory,
+            )
+            .total_s;
+        assert!(cpu_speedup > gpu_speedup);
+    }
+
+    #[test]
+    fn baseline_quadratic_pc_linear() {
+        // Figure 5: baseline grows quadratically with length, Prompt Cache
+        // (fully cached) linearly.
+        let b1 = baseline_ttft(&LLAMA_7B, &INTEL_I9_13900K, 2000).compute_s;
+        let b2 = baseline_ttft(&LLAMA_7B, &INTEL_I9_13900K, 4000).compute_s;
+        assert!(b2 > 2.4 * b1, "superlinear: {b1:.2} → {b2:.2}");
+        let p1 =
+            prompt_cache_ttft(&LLAMA_7B, &INTEL_I9_13900K, 2000, 2000, ModuleLocation::HostMemory)
+                .copy_s;
+        let p2 =
+            prompt_cache_ttft(&LLAMA_7B, &INTEL_I9_13900K, 4000, 4000, ModuleLocation::HostMemory)
+                .copy_s;
+        assert!((p2 / p1 - 2.0).abs() < 0.05, "linear: {p1:.4} → {p2:.4}");
+    }
+
+    #[test]
+    fn memcpy_microbenchmark_matches_5_4() {
+        // h2h 3.79 ms, h2d 5.34 ms, d2d 0.23 ms for 5K tokens (one layer).
+        let h2h = layer_memcpy_s(&LLAMA_7B, 5000, 21.6e9);
+        let h2d = layer_memcpy_s(&LLAMA_7B, 5000, 15.3e9);
+        let d2d = layer_memcpy_s(&LLAMA_7B, 5000, 356.0e9);
+        assert!((h2h * 1e3 - 3.79).abs() < 0.5, "h2h {:.2} ms", h2h * 1e3);
+        assert!((h2d * 1e3 - 5.34).abs() < 0.7, "h2d {:.2} ms", h2d * 1e3);
+        assert!((d2d * 1e3 - 0.23).abs() < 0.05, "d2d {:.2} ms", d2d * 1e3);
+    }
+
+    #[test]
+    fn model_size_effect_matches_5_4() {
+        // §5.4: 7B → 13B at 3K tokens adds ~220 ms baseline but only
+        // ~30 ms for Prompt Cache (on the 4090).
+        let base_delta = baseline_ttft(&LLAMA_13B, &RTX_4090, 3000).compute_s
+            - baseline_ttft(&LLAMA_7B, &RTX_4090, 3000).compute_s;
+        let pc_13 =
+            prompt_cache_ttft(&LLAMA_13B, &RTX_4090, 3000, 3000, ModuleLocation::HostMemory);
+        let pc_7 =
+            prompt_cache_ttft(&LLAMA_7B, &RTX_4090, 3000, 3000, ModuleLocation::HostMemory);
+        let pc_delta = pc_13.total_s - pc_7.total_s;
+        // The paper reports +220 ms; pure FLOP scaling gives ~740 ms (the
+        // authors' 13B run evidently sustained better utilisation). The
+        // reproduced *shape* is that the baseline delta is hundreds of ms…
+        assert!(
+            base_delta > 0.15 && base_delta < 1.0,
+            "baseline Δ {:.0} ms",
+            base_delta * 1e3
+        );
+        // …while Prompt Cache's is a small fraction of it (paper: 30 ms).
+        assert!(pc_delta < base_delta / 3.0, "pc Δ {:.0} ms", pc_delta * 1e3);
+    }
+
+    #[test]
+    fn cached_fraction_never_hurts() {
+        for cached in [0, 1000, 2500, 5000] {
+            let pc = prompt_cache_ttft(
+                &LLAMA_7B,
+                &RTX_4090,
+                5000,
+                cached,
+                ModuleLocation::DeviceMemory,
+            );
+            let base = baseline_ttft(&LLAMA_7B, &RTX_4090, 5000);
+            assert!(pc.total_s <= base.total_s * 1.001, "cached {cached}");
+        }
+    }
+
+    #[test]
+    fn decode_step_matches_32ms_anchor() {
+        // §5.4: TTST ≈ 32 ms/token for Llama-7B on the 4090, roughly
+        // independent of context length.
+        let at_3k = decode_step_s(&LLAMA_7B, &RTX_4090, 3000);
+        let at_100 = decode_step_s(&LLAMA_7B, &RTX_4090, 100);
+        assert!((at_3k * 1e3 - 32.0).abs() < 8.0, "{:.1} ms", at_3k * 1e3);
+        assert!((at_3k - at_100) / at_3k < 0.15, "context-insensitive");
+    }
+
+    #[test]
+    fn end_to_end_advantage_diminishes_with_output_length() {
+        // §5.4's worked numbers: TTFT 900 ms → 90 ms at 3K context buys
+        // ~25 tokens of decoding headroom; relative end-to-end gain
+        // shrinks as k grows.
+        let n = 3000;
+        let gain = |k| {
+            end_to_end_s(&LLAMA_7B, &RTX_4090, n, 0, ModuleLocation::DeviceMemory, k)
+                / end_to_end_s(&LLAMA_7B, &RTX_4090, n, n, ModuleLocation::DeviceMemory, k)
+        };
+        assert!(gain(1) > gain(10));
+        assert!(gain(10) > gain(100));
+        assert!(gain(100) < 1.5, "{}", gain(100));
+
+        // TTFT saving expressed in decode steps ≈ tens of tokens.
+        let saving = baseline_ttft(&LLAMA_7B, &RTX_4090, n).total_s
+            - prompt_cache_ttft(&LLAMA_7B, &RTX_4090, n, n, ModuleLocation::DeviceMemory)
+                .total_s;
+        let tokens_bought = saving / decode_step_s(&LLAMA_7B, &RTX_4090, n);
+        assert!(
+            (10.0..60.0).contains(&tokens_bought),
+            "{tokens_bought:.0} tokens"
+        );
+    }
+
+    #[test]
+    fn estimate_breakdown_sums() {
+        let est = prompt_cache_ttft(&LLAMA_7B, &A40, 4000, 3000, ModuleLocation::HostMemory);
+        assert!((est.total_s - (est.compute_s + est.copy_s + est.overhead_s)).abs() < 1e-12);
+    }
+}

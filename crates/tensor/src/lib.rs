@@ -1,0 +1,42 @@
+//! Minimal f32 tensor kernels for the Prompt Cache reproduction.
+//!
+//! This crate is the arithmetic substrate underneath the transformer engine
+//! in `pc-model`. It deliberately implements only what LLM inference needs —
+//! dense row-major f32 tensors, matrix multiplication, softmax with additive
+//! bias (for attention masks and ALiBi), normalisation layers, and the
+//! activation functions used by the Llama/Falcon/MPT/GPT-2 families — and
+//! implements those operations carefully and predictably rather than
+//! generically.
+//!
+//! # Layout
+//!
+//! All tensors are contiguous row-major [`Tensor`] values. Shapes are plain
+//! `Vec<usize>` wrapped in [`Shape`]. There is no broadcasting, no autograd,
+//! and no device abstraction: Prompt Cache's device story (CPU vs GPU
+//! memory) lives in `pc-cache` and `pc-simulator`.
+//!
+//! # Example
+//!
+//! ```
+//! use pc_tensor::{Tensor, ops};
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = ops::matmul(&a, &b).unwrap();
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod init;
+pub mod ops;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,104 @@
+//! Activation functions used by the supported model families.
+//!
+//! SiLU (a.k.a. swish) drives Llama-style gated MLPs; tanh-approximated GELU
+//! drives Falcon/MPT/GPT-2 MLPs.
+
+use crate::Tensor;
+
+/// SiLU applied to one value: `x · sigmoid(x)`.
+#[inline]
+pub fn silu_scalar(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Tanh-approximated GELU applied to one value (the GPT-2/Falcon variant).
+#[inline]
+pub fn gelu_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// In-place SiLU over a slice.
+pub fn silu_slice(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v = silu_scalar(*v);
+    }
+}
+
+/// In-place GELU over a slice.
+pub fn gelu_slice(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v = gelu_scalar(*v);
+    }
+}
+
+/// Elementwise SiLU of a tensor.
+pub fn silu(x: &Tensor) -> Tensor {
+    x.map(silu_scalar)
+}
+
+/// Elementwise GELU of a tensor.
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(gelu_scalar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silu_fixed_points() {
+        assert_eq!(silu_scalar(0.0), 0.0);
+        // silu(x) → x for large x, → 0 for very negative x.
+        assert!((silu_scalar(20.0) - 20.0).abs() < 1e-4);
+        assert!(silu_scalar(-20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn silu_known_value() {
+        // silu(1) = 1/(1+e^-1) ≈ 0.731059
+        assert!((silu_scalar(1.0) - 0.731_059).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gelu_fixed_points() {
+        assert_eq!(gelu_scalar(0.0), 0.0);
+        assert!((gelu_scalar(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu_scalar(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_known_value() {
+        // Reference value from the tanh approximation at x = 1.
+        assert!((gelu_scalar(1.0) - 0.841_192).abs() < 1e-4);
+    }
+
+    #[test]
+    fn activations_are_monotone_on_positives() {
+        let mut prev_s = 0.0;
+        let mut prev_g = 0.0;
+        for i in 1..100 {
+            let x = i as f32 * 0.1;
+            let s = silu_scalar(x);
+            let g = gelu_scalar(x);
+            assert!(s > prev_s && g > prev_g, "x={x}");
+            prev_s = s;
+            prev_g = g;
+        }
+    }
+
+    #[test]
+    fn slice_and_tensor_variants_agree() {
+        let vals = vec![-2.0, -0.5, 0.0, 0.5, 2.0];
+        let t = Tensor::from_vec(vals.clone(), &[5]).unwrap();
+        let ts = silu(&t);
+        let mut s = vals.clone();
+        silu_slice(&mut s);
+        assert_eq!(ts.data(), &s[..]);
+
+        let tg = gelu(&t);
+        let mut g = vals;
+        gelu_slice(&mut g);
+        assert_eq!(tg.data(), &g[..]);
+    }
+}

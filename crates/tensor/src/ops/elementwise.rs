@@ -1,0 +1,100 @@
+//! Elementwise arithmetic.
+
+use crate::{Result, Tensor, TensorError};
+
+fn check_same_shape(op: &'static str, a: &Tensor, b: &Tensor) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    Ok(())
+}
+
+/// Elementwise sum of two same-shape tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape("add", a, b)?;
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
+    Tensor::from_vec(data, a.dims())
+}
+
+/// Elementwise (Hadamard) product of two same-shape tensors.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape("mul", a, b)?;
+    let data = a.data().iter().zip(b.data()).map(|(x, y)| x * y).collect();
+    Tensor::from_vec(data, a.dims())
+}
+
+/// Multiplies every element by a scalar.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    a.map(|x| x * s)
+}
+
+/// In-place `a[i] += b[i]` over slices (residual connections).
+pub fn add_assign_slice(a: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// In-place scalar multiply over a slice.
+pub fn scale_slice(a: &mut [f32], s: f32) {
+    for x in a.iter_mut() {
+        *x *= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[data.len()]).unwrap()
+    }
+
+    #[test]
+    fn add_and_mul() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[3.0, 4.0]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[4.0, 6.0]);
+        assert_eq!(mul(&a, &b).unwrap().data(), &[3.0, 8.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = t(&[1.0, 2.0]);
+        let b = Tensor::zeros(&[3]);
+        assert!(add(&a, &b).is_err());
+        assert!(mul(&a, &b).is_err());
+        // Same element count, different shape must also fail.
+        let c = Tensor::zeros(&[1, 2]);
+        assert!(add(&a, &c).is_err());
+    }
+
+    #[test]
+    fn scale_variants_agree() {
+        let a = t(&[1.0, -2.0, 0.5]);
+        let scaled = scale(&a, 2.0);
+        let mut raw = a.data().to_vec();
+        scale_slice(&mut raw, 2.0);
+        assert_eq!(scaled.data(), &raw[..]);
+    }
+
+    #[test]
+    fn add_assign_slice_accumulates() {
+        let mut a = [1.0, 1.0];
+        add_assign_slice(&mut a, &[0.5, -0.5]);
+        assert_eq!(a, [1.5, 0.5]);
+    }
+}

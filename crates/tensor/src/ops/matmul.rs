@@ -1,0 +1,247 @@
+//! Matrix multiplication kernels.
+//!
+//! The transformer engine spends nearly all of its time here, so the slice
+//! kernels use an `i-k-j` loop order (unit-stride inner loop over the output
+//! row) which the compiler auto-vectorises, plus a transposed-B variant for
+//! attention `Q·Kᵀ` where `K` is stored row-per-token.
+
+use crate::{Result, Tensor, TensorError};
+
+/// `C[m,n] = A[m,k] · B[k,n]` over raw slices.
+///
+/// # Panics
+///
+/// Debug-asserts the slice lengths; callers are the validated [`matmul`]
+/// wrapper and the model engine, which guarantees layouts.
+pub fn matmul_slices(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    c.fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
+                *c_ij += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// `C[m,n] = A[m,k] · B[n,k]ᵀ` over raw slices (`B` stored row-major with
+/// rows of length `k`, i.e. row-per-output-column).
+pub fn matmul_transb_slices(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            c[i * n + j] = dot_unrolled(a_row, b_row);
+        }
+    }
+}
+
+/// Dot product with 4-way manual unrolling (helps on dot-heavy attention).
+#[inline]
+fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// `y[n] = x[k] · W[k,n]` (row vector times matrix).
+pub fn matvec(x: &[f32], w: &[f32], y: &mut [f32], k: usize, n: usize) {
+    matmul_slices(x, w, y, 1, k, n);
+}
+
+/// `y[n] = x[k] · W[n,k]ᵀ` — the usual "linear layer" with weights stored
+/// `[out, in]`, applied to one token.
+pub fn vecmat_transb(x: &[f32], w: &[f32], y: &mut [f32], k: usize, n: usize) {
+    matmul_transb_slices(x, w, y, 1, k, n);
+}
+
+/// Validated tensor matmul: `A[m,k] · B[k,n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix operands and
+/// [`TensorError::ShapeMismatch`] when inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use pc_tensor::{ops, Tensor};
+/// let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+/// let b = Tensor::from_vec(vec![3.0, 4.0], &[2, 1]).unwrap();
+/// assert_eq!(ops::matmul(&a, &b).unwrap().data(), &[11.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k, k2, n) = matrix_dims("matmul", a, b)?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut c = Tensor::zeros(&[m, n]);
+    matmul_slices(a.data(), b.data(), c.data_mut(), m, k, n);
+    Ok(c)
+}
+
+/// Validated tensor matmul with transposed right operand: `A[m,k] · B[n,k]ᵀ`.
+///
+/// # Errors
+///
+/// Same contract as [`matmul`], with `B`'s *second* dimension matched
+/// against `A`'s.
+pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k, n, k2) = matrix_dims("matmul_transb", a, b)?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_transb",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let mut c = Tensor::zeros(&[m, n]);
+    matmul_transb_slices(a.data(), b.data(), c.data_mut(), m, k, n);
+    Ok(c)
+}
+
+fn matrix_dims(
+    op: &'static str,
+    a: &Tensor,
+    b: &Tensor,
+) -> Result<(usize, usize, usize, usize)> {
+    let (ad, bd) = (a.dims(), b.dims());
+    if ad.len() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: ad.len(),
+        });
+    }
+    if bd.len() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: bd.len(),
+        });
+    }
+    Ok((ad[0], ad[1], bd[0], bd[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_2x2() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let c = matmul(&a, &Tensor::eye(3)).unwrap();
+        assert_eq!(c.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = t(&[1.0; 6], &[2, 3]);
+        let b = t(&[1.0; 8], &[4, 2]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_rejects_vectors() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[1.0, 2.0], &[2]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transb_matches_explicit_transpose() {
+        // A[2,3] · B[4,3]ᵀ == A · Bᵀ[3,4]
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(
+            &[1.0, 0.0, 2.0, 0.0, 1.0, 1.0, 3.0, 1.0, 0.0, 2.0, 2.0, 2.0],
+            &[4, 3],
+        );
+        let via_transb = matmul_transb(&a, &b).unwrap();
+        // Transpose b manually.
+        let mut bt = Tensor::zeros(&[3, 4]);
+        for i in 0..4 {
+            for j in 0..3 {
+                bt.data_mut()[j * 4 + i] = b.data()[i * 3 + j];
+            }
+        }
+        let direct = matmul(&a, &bt).unwrap();
+        assert_eq!(via_transb.data(), direct.data());
+    }
+
+    #[test]
+    fn matvec_and_vecmat() {
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // [2,3] row-major
+        let x = [1.0, 1.0];
+        let mut y = [0.0; 3];
+        matvec(&x, &w, &mut y, 2, 3);
+        assert_eq!(y, [5.0, 7.0, 9.0]);
+
+        // vecmat_transb: W stored [out=3, in=2]
+        let w2 = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
+        let mut y2 = [0.0; 3];
+        vecmat_transb(&x, &w2, &mut y2, 2, 3);
+        assert_eq!(y2, [5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn dot_unrolled_handles_remainders() {
+        for len in [0usize, 1, 3, 4, 5, 8, 13] {
+            let a: Vec<f32> = (0..len).map(|i| i as f32).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i * 2) as f32).collect();
+            let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert_eq!(super::dot_unrolled(&a, &b), expect, "len {len}");
+        }
+    }
+
+    #[test]
+    fn large_matmul_associativity_with_identity_chain() {
+        let a = t(&(0..64).map(|x| (x % 7) as f32 - 3.0).collect::<Vec<_>>(), &[8, 8]);
+        let c = matmul(&matmul(&a, &Tensor::eye(8)).unwrap(), &Tensor::eye(8)).unwrap();
+        assert_eq!(c.data(), a.data());
+    }
+}

@@ -1,0 +1,98 @@
+//! Reductions: argmax, top-k, dot, mean.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Index of the maximum element (ties break toward the lower index, which
+/// keeps greedy decoding deterministic).
+///
+/// # Errors
+///
+/// Returns [`TensorError::Empty`] for an empty tensor.
+pub fn argmax(x: &Tensor) -> Result<usize> {
+    argmax_slice(x.data()).ok_or(TensorError::Empty { op: "argmax" })
+}
+
+/// Slice form of [`argmax`]; `None` on an empty slice.
+pub fn argmax_slice(x: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Indices and values of the `k` largest elements, in descending value
+/// order (ties break toward lower indices).
+///
+/// Returns fewer than `k` entries when the tensor is shorter than `k`.
+pub fn top_k(x: &[f32], k: usize) -> Vec<(usize, f32)> {
+    let mut indexed: Vec<(usize, f32)> = x.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    indexed.truncate(k);
+    indexed
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Arithmetic mean; 0.0 on an empty slice.
+pub fn mean(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f32>() / x.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_basic() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 3.0], &[3]).unwrap();
+        assert_eq!(argmax(&t).unwrap(), 1);
+    }
+
+    #[test]
+    fn argmax_tie_breaks_low() {
+        assert_eq!(argmax_slice(&[2.0, 2.0, 1.0]), Some(0));
+    }
+
+    #[test]
+    fn argmax_empty_errors() {
+        let t = Tensor::zeros(&[0]);
+        assert!(matches!(argmax(&t), Err(TensorError::Empty { .. })));
+        assert_eq!(argmax_slice(&[]), None);
+    }
+
+    #[test]
+    fn argmax_handles_negatives() {
+        assert_eq!(argmax_slice(&[-3.0, -1.0, -2.0]), Some(1));
+    }
+
+    #[test]
+    fn top_k_sorted_descending() {
+        let got = top_k(&[0.1, 0.9, 0.5, 0.7], 3);
+        assert_eq!(got.iter().map(|x| x.0).collect::<Vec<_>>(), vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn top_k_truncates_to_len() {
+        assert_eq!(top_k(&[1.0, 2.0], 5).len(), 2);
+        assert!(top_k(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn dot_and_mean() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

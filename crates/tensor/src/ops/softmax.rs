@@ -1,0 +1,171 @@
+//! Numerically stable softmax kernels.
+
+use crate::{Result, Tensor, TensorError};
+
+/// In-place numerically stable softmax over a slice.
+///
+/// Subtracts the running maximum before exponentiating, so arbitrarily large
+/// logits (including the `-inf` entries used for causal masks) are safe. An
+/// all `-inf` slice yields all zeros rather than NaN, which is the behaviour
+/// attention wants for fully masked rows.
+pub fn softmax_slice(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        x.fill(0.0);
+        return;
+    }
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        for v in x.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// In-place log-softmax over a slice (used for KL-divergence fidelity
+/// metrics in the accuracy experiments).
+pub fn log_softmax_slice(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum = x.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+    for v in x.iter_mut() {
+        *v -= log_sum;
+    }
+}
+
+/// Softmax over the last dimension of a rank-1 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for tensors that are not rank 1;
+/// use [`softmax_rows`] for matrices.
+pub fn softmax(x: &Tensor) -> Result<Tensor> {
+    if x.dims().len() != 1 {
+        return Err(TensorError::RankMismatch {
+            op: "softmax",
+            expected: 1,
+            actual: x.dims().len(),
+        });
+    }
+    let mut out = x.clone();
+    softmax_slice(out.data_mut());
+    Ok(out)
+}
+
+/// Row-wise softmax of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrix input.
+pub fn softmax_rows(x: &Tensor) -> Result<Tensor> {
+    let dims = x.dims();
+    if dims.len() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "softmax_rows",
+            expected: 2,
+            actual: dims.len(),
+        });
+    }
+    let cols = dims[1];
+    let mut out = x.clone();
+    if cols == 0 {
+        return Ok(out);
+    }
+    for row in out.data_mut().chunks_exact_mut(cols) {
+        softmax_slice(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_to_one() {
+        let mut x = [1.0, 2.0, 3.0];
+        softmax_slice(&mut x);
+        let s: f32 = x.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn stable_under_large_logits() {
+        let mut x = [1000.0, 1001.0];
+        softmax_slice(&mut x);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn neg_inf_entries_become_zero() {
+        let mut x = [f32::NEG_INFINITY, 0.0, f32::NEG_INFINITY];
+        softmax_slice(&mut x);
+        assert_eq!(x, [0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn fully_masked_row_is_all_zero() {
+        let mut x = [f32::NEG_INFINITY; 4];
+        softmax_slice(&mut x);
+        assert_eq!(x, [0.0; 4]);
+    }
+
+    #[test]
+    fn empty_slice_is_noop() {
+        let mut x: [f32; 0] = [];
+        softmax_slice(&mut x);
+        log_softmax_slice(&mut x);
+    }
+
+    #[test]
+    fn shift_invariance() {
+        let mut a = [0.1, 0.5, -0.2];
+        let mut b = [100.1, 100.5, 99.8];
+        softmax_slice(&mut a);
+        softmax_slice(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_exp_matches_softmax() {
+        let mut a = [0.3, -1.0, 2.0, 0.0];
+        let mut b = a;
+        softmax_slice(&mut a);
+        log_softmax_slice(&mut b);
+        for (p, lp) in a.iter().zip(&b) {
+            assert!((p - lp.exp()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rows_independent() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 1000.0, 1000.0], &[2, 2]).unwrap();
+        let y = softmax_rows(&x).unwrap();
+        assert!((y.at(&[1, 0]).unwrap() - 0.5).abs() < 1e-6);
+        assert!((y.at(&[0, 0]).unwrap() + y.at(&[0, 1]).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rank_checks() {
+        let v = Tensor::zeros(&[3]);
+        let m = Tensor::zeros(&[2, 3]);
+        assert!(softmax(&v).is_ok());
+        assert!(softmax(&m).is_err());
+        assert!(softmax_rows(&m).is_ok());
+        assert!(softmax_rows(&v).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+use std::fmt;
+
+/// The dimensions of a [`crate::Tensor`], in row-major order.
+///
+/// A `Shape` is a thin, validated wrapper around a dimension list. Rank-0
+/// shapes are permitted and describe scalars (one element).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a dimension slice.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size of dimension `i`, or `None` if the rank is too small.
+    pub fn dim(&self, i: usize) -> Option<usize> {
+        self.0.get(i).copied()
+    }
+
+    /// Row-major strides for this shape, in elements.
+    ///
+    /// The last dimension always has stride 1; an empty shape yields an
+    /// empty stride vector.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1;
+        for (s, &d) in strides.iter_mut().zip(self.0.iter()).rev() {
+            *s = acc;
+            acc *= d;
+        }
+        strides
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+        assert!(s.strides().is_empty());
+    }
+
+    #[test]
+    fn row_major_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn zero_dim_shape_is_empty() {
+        let s = Shape::new(&[3, 0, 2]);
+        assert_eq!(s.num_elements(), 0);
+    }
+
+    #[test]
+    fn dim_accessor() {
+        let s = Shape::new(&[5, 7]);
+        assert_eq!(s.dim(0), Some(5));
+        assert_eq!(s.dim(1), Some(7));
+        assert_eq!(s.dim(2), None);
+    }
+
+    #[test]
+    fn display_matches_debug_list() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2, 3]");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Shape = vec![1, 2].into();
+        let b: Shape = [1usize, 2].into();
+        assert_eq!(a, b);
+    }
+}

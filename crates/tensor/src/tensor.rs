@@ -1,0 +1,294 @@
+use crate::{Result, Shape, TensorError};
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+///
+/// `Tensor` is the only data container in this crate. It owns its buffer;
+/// cheap sub-views are exposed as plain `&[f32]` row slices via
+/// [`Tensor::row`] and [`Tensor::rows`], which is all the transformer engine
+/// needs (per-token and per-head slices are rows under the layouts chosen in
+/// `pc-model`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat buffer and shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if `data.len()` is not the
+    /// product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.num_elements() != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: dims.to_vec(),
+                data_len: data.len(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![0.0; shape.num_elements()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![value; shape.num_elements()],
+            shape,
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimensions as a slice (shorthand for `shape().dims()`).
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only access to the flat row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the flat row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the buffer under a new shape with the same element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the element counts
+    /// differ.
+    pub fn reshape(self, dims: &[usize]) -> Result<Self> {
+        Tensor::from_vec(self.data, dims)
+    }
+
+    /// Row `i` of a rank-2 tensor, as a slice of length `cols`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix tensors and
+    /// [`TensorError::IndexOutOfBounds`] for an out-of-range row.
+    pub fn row(&self, i: usize) -> Result<&[f32]> {
+        let dims = self.shape.dims();
+        if dims.len() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "row",
+                expected: 2,
+                actual: dims.len(),
+            });
+        }
+        let (rows, cols) = (dims[0], dims[1]);
+        if i >= rows {
+            return Err(TensorError::IndexOutOfBounds { index: i, bound: rows });
+        }
+        Ok(&self.data[i * cols..(i + 1) * cols])
+    }
+
+    /// Iterator over the rows of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-matrix tensors.
+    pub fn rows(&self) -> Result<impl Iterator<Item = &[f32]>> {
+        let dims = self.shape.dims();
+        if dims.len() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "rows",
+                expected: 2,
+                actual: dims.len(),
+            });
+        }
+        Ok(self.data.chunks_exact(dims[1].max(1)))
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the index rank or any coordinate is out of
+    /// bounds.
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        let dims = self.shape.dims();
+        if index.len() != dims.len() {
+            return Err(TensorError::RankMismatch {
+                op: "at",
+                expected: dims.len(),
+                actual: index.len(),
+            });
+        }
+        let mut offset = 0;
+        for ((&i, &d), stride) in index.iter().zip(dims).zip(self.shape.strides()) {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds { index: i, bound: d });
+            }
+            offset += i * stride;
+        }
+        Ok(self.data[offset])
+    }
+
+    /// Returns a new tensor with every element mapped through `f`.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Maximum absolute difference against another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "max_abs_diff",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// Whether all elements are finite (no NaN or infinity).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+        let err = Tensor::from_vec(vec![1.0; 5], &[2, 3]).unwrap_err();
+        assert!(matches!(err, TensorError::ShapeDataMismatch { .. }));
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(&[3, 2]);
+        assert_eq!(z.len(), 6);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(&[2], 7.5);
+        assert_eq!(f.data(), &[7.5, 7.5]);
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.at(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(i.at(&[0, 1]).unwrap(), 0.0);
+        assert_eq!(i.at(&[2, 2]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn row_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.row(0).unwrap(), &[1.0, 2.0, 3.0]);
+        assert_eq!(t.row(1).unwrap(), &[4.0, 5.0, 6.0]);
+        assert!(t.row(2).is_err());
+    }
+
+    #[test]
+    fn rows_iterates_all() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[3, 2]).unwrap();
+        let rows: Vec<_> = t.rows().unwrap().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn rows_rejects_rank_1() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        assert!(t.rows().is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        let m = t.clone().reshape(&[2, 2]).unwrap();
+        assert_eq!(m.data(), t.data());
+        assert!(t.reshape(&[3, 2]).is_err());
+    }
+
+    #[test]
+    fn at_multi_dim() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]).unwrap();
+        assert_eq!(t.at(&[1, 2, 3]).unwrap(), 23.0);
+        assert_eq!(t.at(&[0, 1, 2]).unwrap(), 6.0);
+        assert!(t.at(&[2, 0, 0]).is_err());
+        assert!(t.at(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let t = Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap();
+        assert_eq!(t.map(f32::abs).data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![1.5, 2.0], &[2]).unwrap();
+        assert_eq!(a.max_abs_diff(&b).unwrap(), 0.5);
+        let c = Tensor::zeros(&[3]);
+        assert!(a.max_abs_diff(&c).is_err());
+    }
+
+    #[test]
+    fn all_finite_flags_nan() {
+        let mut t = Tensor::zeros(&[2]);
+        assert!(t.all_finite());
+        t.data_mut()[0] = f32::NAN;
+        assert!(!t.all_finite());
+    }
+}

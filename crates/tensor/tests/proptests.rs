@@ -1,0 +1,153 @@
+//! Property-based tests for the tensor kernels.
+
+use pc_tensor::{ops, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with dims in [1, 8] and small finite values.
+fn matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(data, &[r, c]).unwrap())
+    })
+}
+
+fn vector(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    (1..=max_len).prop_flat_map(|n| proptest::collection::vec(-50.0f32..50.0, n))
+}
+
+proptest! {
+    #[test]
+    fn matmul_identity_left_and_right(a in matrix(8)) {
+        let (r, c) = (a.dims()[0], a.dims()[1]);
+        let left = ops::matmul(&Tensor::eye(r), &a).unwrap();
+        let right = ops::matmul(&a, &Tensor::eye(c)).unwrap();
+        prop_assert_eq!(left.data(), a.data());
+        prop_assert_eq!(right.data(), a.data());
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        seed in proptest::collection::vec(-5.0f32..5.0, 48)
+    ) {
+        // A[2,4], B[4,3], C[4,3]: A·(B+C) == A·B + A·C (within fp tolerance).
+        let a = Tensor::from_vec(seed[0..8].to_vec(), &[2, 4]).unwrap();
+        let b = Tensor::from_vec(seed[8..20].to_vec(), &[4, 3]).unwrap();
+        let c = Tensor::from_vec(seed[20..32].to_vec(), &[4, 3]).unwrap();
+        let lhs = ops::matmul(&a, &ops::add(&b, &c).unwrap()).unwrap();
+        let rhs = ops::add(&ops::matmul(&a, &b).unwrap(), &ops::matmul(&a, &c).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn matmul_transb_equals_matmul_of_transpose(
+        (a, b) in (1usize..=6, 1usize..=6, 1usize..=6).prop_flat_map(|(m, k, n)| {
+            (
+                proptest::collection::vec(-10.0f32..10.0, m * k)
+                    .prop_map(move |d| Tensor::from_vec(d, &[m, k]).unwrap()),
+                proptest::collection::vec(-10.0f32..10.0, n * k)
+                    .prop_map(move |d| Tensor::from_vec(d, &[n, k]).unwrap()),
+            )
+        })
+    ) {
+        let (n, k) = (b.dims()[0], b.dims()[1]);
+        let mut bt = Tensor::zeros(&[k, n]);
+        for i in 0..n {
+            for j in 0..k {
+                bt.data_mut()[j * n + i] = b.data()[i * k + j];
+            }
+        }
+        let via_t = ops::matmul_transb(&a, &b).unwrap();
+        let direct = ops::matmul(&a, &bt).unwrap();
+        prop_assert!(via_t.max_abs_diff(&direct).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn softmax_is_distribution(v in vector(64)) {
+        let mut x = v;
+        ops::softmax_slice(&mut x);
+        let sum: f32 = x.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(x.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+    }
+
+    #[test]
+    fn softmax_shift_invariant(v in vector(32), shift in -100.0f32..100.0) {
+        let mut a = v.clone();
+        let mut b: Vec<f32> = v.iter().map(|x| x + shift).collect();
+        ops::softmax_slice(&mut a);
+        ops::softmax_slice(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_order(v in vector(32)) {
+        let mut s = v.clone();
+        ops::softmax_slice(&mut s);
+        for i in 0..v.len() {
+            for j in 0..v.len() {
+                if v[i] > v[j] {
+                    prop_assert!(s[i] >= s[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rms_norm_output_has_unit_rms(v in vector(64)) {
+        prop_assume!(v.iter().any(|&x| x.abs() > 1e-3));
+        let mut x = v;
+        let w = vec![1.0; x.len()];
+        ops::rms_norm_slice(&mut x, &w, 1e-6);
+        let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+        prop_assert!((ms - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn layer_norm_output_zero_mean(v in vector(64)) {
+        let mut x = v;
+        let n = x.len();
+        let w = vec![1.0; n];
+        let b = vec![0.0; n];
+        ops::layer_norm_slice(&mut x, &w, &b, 1e-5);
+        prop_assert!(ops::mean(&x).abs() < 1e-3);
+    }
+
+    #[test]
+    fn argmax_is_maximal(v in vector(64)) {
+        let i = ops::argmax_slice(&v).unwrap();
+        prop_assert!(v.iter().all(|&x| x <= v[i]));
+    }
+
+    #[test]
+    fn top_k_prefix_is_sorted_and_contains_argmax(v in vector(64), k in 1usize..8) {
+        let top = ops::top_k(&v, k);
+        prop_assert_eq!(top.len(), k.min(v.len()));
+        for w in top.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        let am = ops::argmax_slice(&v).unwrap();
+        prop_assert_eq!(top[0].0, am);
+    }
+
+    #[test]
+    fn reshape_round_trip(a in matrix(8)) {
+        let dims = a.dims().to_vec();
+        let flat = a.clone().reshape(&[a.len()]).unwrap();
+        let back = flat.reshape(&dims).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn silu_bounded_below(x in -100.0f32..100.0) {
+        // silu(x) >= -0.2785 (global minimum ≈ -0.27846)
+        prop_assert!(ops::silu_scalar(x) >= -0.279);
+    }
+
+    #[test]
+    fn gelu_between_zero_and_x_for_positive(x in 0.0f32..50.0) {
+        let g = ops::gelu_scalar(x);
+        prop_assert!(g >= 0.0 && g <= x + 1e-5);
+    }
+}

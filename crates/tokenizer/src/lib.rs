@@ -1,0 +1,57 @@
+//! Deterministic trainable tokenizers for the Prompt Cache reproduction.
+//!
+//! The paper's prototype reuses each LLM's own tokenizer; this reproduction
+//! builds two from scratch:
+//!
+//! * [`BpeTokenizer`] — a byte-level byte-pair-encoding tokenizer. It is
+//!   lossless (decode ∘ encode is the identity on any string), trainable on
+//!   a corpus, and deterministic, which makes it the default for the engine.
+//! * [`WordTokenizer`] — a whitespace/punctuation word tokenizer used by the
+//!   synthetic workload generators where a stable token≈word mapping makes
+//!   prompt-length arithmetic easy to reason about.
+//!
+//! Both share a [`Vocab`] that reserves the special tokens Prompt Cache
+//! needs: `<s>`, `</s>`, `<unk>` (the paper fills parameter slots with
+//! `<unk>` tokens, §3.3), and the chat-template markers `[INST]`/`[/INST]`
+//! (§3.2.3).
+//!
+//! # Example
+//!
+//! ```
+//! use pc_tokenizer::{BpeTokenizer, Tokenizer};
+//!
+//! let tok = BpeTokenizer::train(&["the cat sat on the mat"], 300);
+//! let ids = tok.encode("the cat");
+//! assert_eq!(tok.decode(&ids), "the cat");
+//! ```
+
+#![warn(missing_docs)]
+
+mod bpe;
+mod saved;
+mod vocab;
+mod word;
+
+pub use bpe::BpeTokenizer;
+pub use saved::{SavedBpe, SavedWord};
+pub use vocab::{SpecialToken, Vocab};
+pub use word::WordTokenizer;
+
+/// Token id type used across the workspace.
+pub type TokenId = u32;
+
+/// Common interface over the crate's tokenizers.
+pub trait Tokenizer {
+    /// Encodes text into token ids (never empty for non-empty input).
+    fn encode(&self, text: &str) -> Vec<TokenId>;
+
+    /// Decodes token ids back into text. Unknown ids decode to the `<unk>`
+    /// surface form rather than panicking.
+    fn decode(&self, ids: &[TokenId]) -> String;
+
+    /// Total vocabulary size (including special tokens).
+    fn vocab_size(&self) -> usize;
+
+    /// The id of a special token.
+    fn special(&self, token: SpecialToken) -> TokenId;
+}

@@ -1,0 +1,177 @@
+//! Shared vocabulary with reserved special tokens.
+
+use crate::TokenId;
+use std::collections::HashMap;
+
+/// The special tokens every tokenizer in this workspace reserves.
+///
+/// Ids are assigned in declaration order starting from 0, so `<s>` is always
+/// token 0 regardless of training corpus — the engine and the chat-template
+/// compiler rely on this stability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialToken {
+    /// Beginning-of-sequence, `<s>`.
+    Bos,
+    /// End-of-sequence, `</s>`.
+    Eos,
+    /// Unknown token, `<unk>`. Also used to reserve parameter slots during
+    /// prompt-module encoding (paper §3.3).
+    Unk,
+    /// Padding token, `<pad>`.
+    Pad,
+    /// Llama-style instruction open marker, `[INST]`.
+    InstOpen,
+    /// Llama-style instruction close marker, `[/INST]`.
+    InstClose,
+    /// System-prompt open marker, `<<SYS>>`.
+    SysOpen,
+    /// System-prompt close marker, `<</SYS>>`.
+    SysClose,
+}
+
+impl SpecialToken {
+    /// All special tokens in id order.
+    pub const ALL: [SpecialToken; 8] = [
+        SpecialToken::Bos,
+        SpecialToken::Eos,
+        SpecialToken::Unk,
+        SpecialToken::Pad,
+        SpecialToken::InstOpen,
+        SpecialToken::InstClose,
+        SpecialToken::SysOpen,
+        SpecialToken::SysClose,
+    ];
+
+    /// The surface string of this special token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpecialToken::Bos => "<s>",
+            SpecialToken::Eos => "</s>",
+            SpecialToken::Unk => "<unk>",
+            SpecialToken::Pad => "<pad>",
+            SpecialToken::InstOpen => "[INST]",
+            SpecialToken::InstClose => "[/INST]",
+            SpecialToken::SysOpen => "<<SYS>>",
+            SpecialToken::SysClose => "<</SYS>>",
+        }
+    }
+
+    /// The fixed id of this special token.
+    pub fn id(self) -> TokenId {
+        SpecialToken::ALL
+            .iter()
+            .position(|&t| t == self)
+            .expect("token listed in ALL") as TokenId
+    }
+}
+
+/// A bidirectional token-string ↔ id map with the special tokens reserved at
+/// the front.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Vocab {
+    token_to_id: HashMap<String, TokenId>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// Creates a vocabulary containing only the special tokens.
+    pub fn new() -> Self {
+        let mut v = Vocab {
+            token_to_id: HashMap::new(),
+            id_to_token: Vec::new(),
+        };
+        for t in SpecialToken::ALL {
+            let id = v.push(t.as_str().to_owned());
+            debug_assert_eq!(id, t.id());
+        }
+        v
+    }
+
+    /// Adds a token if absent and returns its id.
+    pub fn add(&mut self, token: &str) -> TokenId {
+        if let Some(&id) = self.token_to_id.get(token) {
+            return id;
+        }
+        self.push(token.to_owned())
+    }
+
+    fn push(&mut self, token: String) -> TokenId {
+        let id = self.id_to_token.len() as TokenId;
+        self.token_to_id.insert(token.clone(), id);
+        self.id_to_token.push(token);
+        id
+    }
+
+    /// Looks up a token's id.
+    pub fn id_of(&self, token: &str) -> Option<TokenId> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Looks up an id's surface form.
+    pub fn token_of(&self, id: TokenId) -> Option<&str> {
+        self.id_to_token.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of tokens, special tokens included.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// Whether the vocabulary is empty (never true after [`Vocab::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// Whether `id` designates one of the reserved special tokens.
+    pub fn is_special(&self, id: TokenId) -> bool {
+        (id as usize) < SpecialToken::ALL.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_ids_are_stable() {
+        assert_eq!(SpecialToken::Bos.id(), 0);
+        assert_eq!(SpecialToken::Eos.id(), 1);
+        assert_eq!(SpecialToken::Unk.id(), 2);
+        assert_eq!(SpecialToken::InstOpen.id(), 4);
+    }
+
+    #[test]
+    fn new_vocab_contains_specials() {
+        let v = Vocab::new();
+        assert_eq!(v.len(), SpecialToken::ALL.len());
+        assert_eq!(v.id_of("<unk>"), Some(SpecialToken::Unk.id()));
+        assert_eq!(v.token_of(0), Some("<s>"));
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.add("hello");
+        let b = v.add("hello");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), SpecialToken::ALL.len() + 1);
+    }
+
+    #[test]
+    fn round_trip_lookup() {
+        let mut v = Vocab::new();
+        let id = v.add("world");
+        assert_eq!(v.token_of(id), Some("world"));
+        assert_eq!(v.id_of("world"), Some(id));
+        assert_eq!(v.id_of("missing"), None);
+        assert_eq!(v.token_of(9999), None);
+    }
+
+    #[test]
+    fn is_special_boundary() {
+        let mut v = Vocab::new();
+        let id = v.add("plain");
+        assert!(v.is_special(SpecialToken::SysClose.id()));
+        assert!(!v.is_special(id));
+    }
+}

@@ -1,0 +1,160 @@
+//! Whitespace/punctuation word tokenizer.
+//!
+//! The synthetic workload generators in `pc-longbench` size prompts in
+//! tokens; a word-level tokenizer keeps that arithmetic transparent (one
+//! word ≈ one token). Unknown words map to `<unk>`, so unlike
+//! [`crate::BpeTokenizer`] this tokenizer is lossy outside its training
+//! vocabulary — tests cover both regimes.
+
+use crate::{SpecialToken, TokenId, Tokenizer, Vocab};
+
+/// A word-level tokenizer with a trained vocabulary.
+#[derive(Debug, Clone)]
+pub struct WordTokenizer {
+    vocab: Vocab,
+}
+
+impl WordTokenizer {
+    /// Builds a vocabulary from every word that appears in `corpus`.
+    pub fn train(corpus: &[&str]) -> Self {
+        let mut vocab = Vocab::new();
+        for text in corpus {
+            for word in split_words(text) {
+                vocab.add(word);
+            }
+        }
+        WordTokenizer { vocab }
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Wraps an existing vocabulary (snapshot restoration).
+    pub(crate) fn from_vocab(vocab: Vocab) -> Self {
+        WordTokenizer { vocab }
+    }
+
+    /// Adds a word to the vocabulary after training (the workload
+    /// generators register answer strings this way).
+    pub fn add_word(&mut self, word: &str) -> TokenId {
+        self.vocab.add(word)
+    }
+}
+
+/// Splits text into word and punctuation chunks. Whitespace separates
+/// chunks and is not itself a token.
+fn split_words(text: &str) -> impl Iterator<Item = &str> {
+    text.split_whitespace().flat_map(|w| {
+        // Peel punctuation off both ends as separate tokens.
+        let mut parts = Vec::new();
+        let mut rest = w;
+        while let Some(c) = rest.chars().next() {
+            if c.is_ascii_punctuation() {
+                parts.push(&rest[..c.len_utf8()]);
+                rest = &rest[c.len_utf8()..];
+            } else {
+                break;
+            }
+        }
+        let mut tail = Vec::new();
+        while let Some(c) = rest.chars().last() {
+            if c.is_ascii_punctuation() {
+                tail.push(&rest[rest.len() - c.len_utf8()..]);
+                rest = &rest[..rest.len() - c.len_utf8()];
+            } else {
+                break;
+            }
+        }
+        if !rest.is_empty() {
+            parts.push(rest);
+        }
+        parts.extend(tail.into_iter().rev());
+        parts
+    })
+}
+
+impl Tokenizer for WordTokenizer {
+    fn encode(&self, text: &str) -> Vec<TokenId> {
+        split_words(text)
+            .map(|w| {
+                self.vocab
+                    .id_of(w)
+                    .unwrap_or_else(|| SpecialToken::Unk.id())
+            })
+            .collect()
+    }
+
+    fn decode(&self, ids: &[TokenId]) -> String {
+        let words: Vec<&str> = ids
+            .iter()
+            .map(|&id| self.vocab.token_of(id).unwrap_or("<unk>"))
+            .collect();
+        words.join(" ")
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    fn special(&self, token: SpecialToken) -> TokenId {
+        token.id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace_and_punctuation() {
+        let words: Vec<&str> = split_words("Hello, world! (yes)").collect();
+        assert_eq!(words, vec!["Hello", ",", "world", "!", "(", "yes", ")"]);
+    }
+
+    #[test]
+    fn known_words_round_trip() {
+        let tok = WordTokenizer::train(&["alpha beta gamma"]);
+        let ids = tok.encode("beta alpha");
+        assert_eq!(tok.decode(&ids), "beta alpha");
+    }
+
+    #[test]
+    fn unknown_words_become_unk() {
+        let tok = WordTokenizer::train(&["alpha"]);
+        let ids = tok.encode("alpha omega");
+        assert_eq!(ids[1], SpecialToken::Unk.id());
+        assert_eq!(tok.decode(&ids), "alpha <unk>");
+    }
+
+    #[test]
+    fn one_word_one_token() {
+        let tok = WordTokenizer::train(&["a b c d e"]);
+        assert_eq!(tok.encode("a b c").len(), 3);
+    }
+
+    #[test]
+    fn add_word_extends_vocab() {
+        let mut tok = WordTokenizer::train(&["base"]);
+        let before = tok.vocab_size();
+        tok.add_word("extension");
+        assert_eq!(tok.vocab_size(), before + 1);
+        assert_eq!(tok.decode(&tok.encode("extension")), "extension");
+    }
+
+    #[test]
+    fn empty_text() {
+        let tok = WordTokenizer::train(&[]);
+        assert!(tok.encode("").is_empty());
+        assert!(tok.encode("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn punctuation_only_word() {
+        let tok = WordTokenizer::train(&["..."]);
+        let ids = tok.encode("...");
+        assert_eq!(ids.len(), 3); // three '.' tokens
+        assert!(ids.iter().all(|&id| id != SpecialToken::Unk.id()));
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests for the tokenizers.
+
+use pc_tokenizer::{BpeTokenizer, SpecialToken, Tokenizer, WordTokenizer};
+use proptest::prelude::*;
+
+proptest! {
+    /// Byte-level BPE must be lossless on arbitrary unicode strings.
+    #[test]
+    fn bpe_byte_level_round_trip(s in "\\PC{0,64}") {
+        let tok = BpeTokenizer::byte_level();
+        prop_assert_eq!(tok.decode(&tok.encode(&s)), s);
+    }
+
+    /// Trained BPE must stay lossless on arbitrary strings, including text
+    /// far from the training corpus.
+    #[test]
+    fn bpe_trained_round_trip(s in "\\PC{0,64}") {
+        let tok = BpeTokenizer::train(
+            &["the quick brown fox jumps over the lazy dog", "pack my box"],
+            320,
+        );
+        prop_assert_eq!(tok.decode(&tok.encode(&s)), s);
+    }
+
+    /// Encoding never produces ids outside the vocabulary.
+    #[test]
+    fn bpe_ids_in_range(s in "\\PC{0,64}") {
+        let tok = BpeTokenizer::train(&["abc abc abc"], 280);
+        for id in tok.encode(&s) {
+            prop_assert!((id as usize) < tok.vocab_size());
+        }
+    }
+
+    /// More merges never lengthen an encoding of in-corpus text.
+    #[test]
+    fn bpe_compression_is_monotone(reps in 1usize..10) {
+        let text = "hello world ".repeat(reps);
+        let corpus = [text.as_str()];
+        let small = BpeTokenizer::train(&corpus, 270);
+        let large = BpeTokenizer::train(&corpus, 320);
+        prop_assert!(large.encode(&text).len() <= small.encode(&text).len());
+    }
+
+    /// Word tokenizer round-trips whitespace-normalised in-vocab text.
+    #[test]
+    fn word_round_trip_in_vocab(words in proptest::collection::vec("[a-z]{1,8}", 1..16)) {
+        let text = words.join(" ");
+        let tok = WordTokenizer::train(&[&text]);
+        prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+    }
+
+    /// Word tokenizer emits exactly one token per alphabetic word.
+    #[test]
+    fn word_token_count(words in proptest::collection::vec("[a-z]{1,8}", 0..16)) {
+        let text = words.join(" ");
+        let tok = WordTokenizer::train(&[&text]);
+        prop_assert_eq!(tok.encode(&text).len(), words.len());
+    }
+
+    /// Unknown words never panic and always map to <unk>.
+    #[test]
+    fn word_unknowns_map_to_unk(w in "[A-Z]{1,8}") {
+        let tok = WordTokenizer::train(&["lowercase only corpus"]);
+        let ids = tok.encode(&w);
+        prop_assert_eq!(ids.len(), 1);
+        prop_assert_eq!(ids[0], SpecialToken::Unk.id());
+    }
+}

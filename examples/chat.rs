@@ -1,0 +1,74 @@
+//! Multi-turn dialogue over a cached session — the "dialogue systems"
+//! deployment of §6. The document modules are shared across all
+//! conversations; within one conversation every turn reuses the session
+//! cache, so per-turn TTFT tracks the new message, not the history.
+//!
+//! ```text
+//! cargo run --release --example chat
+//! ```
+
+use pc_model::{Model, ModelConfig};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+
+fn main() {
+    let doc: String = (0..250).map(|i| format!("fact{} ", i % 61)).collect();
+    let corpus = format!(
+        "{doc} you are a helpful guide tell me about the area what should i eat \
+         and where should i stay compare the options please"
+    );
+    let tokenizer = WordTokenizer::train(&[corpus.as_str()]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_small(vocab), 21),
+        tokenizer,
+        EngineConfig::default(),
+    );
+    engine
+        .register_schema(&format!(
+            r#"<schema name="guide">
+                 you are a helpful guide
+                 <module name="area">{doc}</module>
+               </schema>"#
+        ))
+        .expect("register");
+
+    let opts = ServeOptions {
+        max_new_tokens: 6,
+        ..Default::default()
+    };
+    let (mut convo, first) = engine
+        .conversation(
+            r#"<prompt schema="guide"><area/>tell me about the area</prompt>"#,
+            &opts,
+        )
+        .expect("open conversation");
+    println!(
+        "turn 1 (opens session, {} tokens cached from modules): TTFT {:?}\n  reply: {:?}",
+        first.stats.cached_tokens, first.timings.ttft, first.text
+    );
+
+    for (i, message) in [
+        "what should i eat",
+        "and where should i stay",
+        "compare the options please",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let r = convo.say(message, &opts).expect("turn");
+        println!(
+            "turn {} ({} history tokens reused, {} new): TTFT {:?}\n  reply: {:?}",
+            i + 2,
+            r.stats.cached_tokens,
+            r.stats.new_tokens,
+            r.timings.ttft,
+            r.text
+        );
+    }
+    println!(
+        "\nsession holds {} tokens across {} turns",
+        convo.session_tokens(),
+        convo.turns()
+    );
+}

@@ -1,0 +1,74 @@
+//! Figure 6 scenario: multi-file code generation. Each source file is a
+//! prompt module, so users "import" files into their prompt context with
+//! minimal overhead, and a request touching four files pays prefill only
+//! for its instruction.
+//!
+//! ```text
+//! cargo run --release --example code_generation
+//! ```
+
+use pc_longbench::corpus::Corpus;
+use pc_model::{Model, ModelConfig};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+
+fn main() {
+    // Four synthetic source files — the Unit/Map/Game/Player split of the
+    // paper's game-programming example.
+    let corpus = Corpus::new(6);
+    let files: Vec<(&str, String)> = ["unit", "map", "game", "player"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| (*name, corpus.code_file(i as u64, 150)))
+        .collect();
+
+    let mut schema = String::from(r#"<schema name="repo">"#);
+    for (name, code) in &files {
+        schema.push_str(&format!(r#"<module name="{name}">{code}</module>"#));
+    }
+    schema.push_str("</schema>");
+
+    let instruction = "write the next function extending the game loop";
+    let mut texts: Vec<&str> = files.iter().map(|(_, c)| c.as_str()).collect();
+    texts.push(instruction);
+    let tokenizer = WordTokenizer::train(&texts);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_small(vocab), 6),
+        tokenizer,
+        EngineConfig::default(),
+    );
+    let info = engine.register_schema(&schema).expect("register");
+    println!(
+        "indexed {} source files as prompt modules ({} tokens cached)",
+        files.len(),
+        info.cached_tokens
+    );
+
+    let opts = ServeOptions {
+        max_new_tokens: 12,
+        ..Default::default()
+    };
+
+    // Request 1: the full repository context.
+    let full = format!(
+        r#"<prompt schema="repo"><unit/><map/><game/><player/>{instruction}</prompt>"#
+    );
+    let cached = engine.serve_with(&full, &opts).expect("serve");
+    let baseline = engine.serve_baseline(&full, &opts).expect("baseline");
+    println!(
+        "\nall four files: TTFT {:?} cached vs {:?} baseline ({:.1}x), identical output: {}",
+        cached.timings.ttft,
+        baseline.timings.ttft,
+        baseline.timings.ttft.as_secs_f64() / cached.timings.ttft.as_secs_f64(),
+        cached.tokens == baseline.tokens,
+    );
+
+    // Request 2: a different file subset — modules compose freely.
+    let subset = format!(r#"<prompt schema="repo"><unit/><player/>{instruction}</prompt>"#);
+    let r = engine.serve_with(&subset, &opts).expect("serve subset");
+    println!(
+        "unit+player only: {} cached / {} new tokens, TTFT {:?}",
+        r.stats.cached_tokens, r.stats.new_tokens, r.timings.ttft
+    );
+}

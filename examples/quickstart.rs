@@ -1,0 +1,66 @@
+//! Quickstart: register a schema, serve a prompt with cached attention
+//! states, and compare against the baseline full prefill.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pc_model::{Model, ModelConfig};
+use pc_tokenizer::WordTokenizer;
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+
+fn main() {
+    // 1. A model and tokenizer. The reproduction uses seeded random
+    //    weights: Prompt Cache's guarantees are about attention-state
+    //    reuse, which is weight-agnostic.
+    let corpus = "miami florida offers warm beaches surfing and cuban food \
+                  all year round what should i do there on a weekend";
+    let tokenizer = WordTokenizer::train(&[corpus]);
+    let model = Model::new(ModelConfig::llama_small(tokenizer_len(&tokenizer)), 42);
+    let engine = PromptCache::new(model, tokenizer, EngineConfig::default());
+
+    // 2. Register a schema. Every <module> is encoded once and cached.
+    engine
+        .register_schema(
+            r#"<schema name="cities">
+                 <module name="miami">
+                   miami florida offers warm beaches surfing and cuban food all year round
+                 </module>
+               </schema>"#,
+        )
+        .expect("valid schema");
+
+    // 3. Serve a prompt derived from the schema. The module's attention
+    //    states come from the cache; only the question is computed.
+    let prompt = r#"<prompt schema="cities"><miami/>what should i do there on a weekend</prompt>"#;
+    let opts = ServeOptions {
+        max_new_tokens: 8,
+        ..Default::default()
+    };
+    let cached = engine.serve_with(prompt, &opts).expect("serve");
+    let baseline = engine.serve_baseline(prompt, &opts).expect("serve baseline");
+
+    println!("generated (cached):   {:?}", cached.text);
+    println!("generated (baseline): {:?}", baseline.text);
+    println!(
+        "outputs identical: {}",
+        cached.tokens == baseline.tokens
+    );
+    println!(
+        "cache hit: {}/{} prompt tokens ({:.0}%)",
+        cached.stats.cached_tokens,
+        cached.stats.cached_tokens + cached.stats.new_tokens,
+        cached.stats.hit_ratio() * 100.0
+    );
+    println!(
+        "TTFT: cached {:?} vs baseline {:?} ({:.1}x)",
+        cached.timings.ttft,
+        baseline.timings.ttft,
+        baseline.timings.ttft.as_secs_f64() / cached.timings.ttft.as_secs_f64()
+    );
+}
+
+fn tokenizer_len(t: &WordTokenizer) -> usize {
+    use pc_tokenizer::Tokenizer;
+    t.vocab_size().max(64)
+}

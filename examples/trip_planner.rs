@@ -1,0 +1,85 @@
+//! Figure 8 scenario: parameterized prompts. One templated trip-plan
+//! module takes a runtime `duration` argument (computed at the `<unk>`
+//! placeholder positions and spliced over them), and two unions pick the
+//! destination and lodging — the template reconfigures per request while
+//! staying cached.
+//!
+//! ```text
+//! cargo run --release --example trip_planner
+//! ```
+
+use pc_model::{Model, ModelConfig};
+use pc_pml::program::PromptProgram;
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+
+fn main() {
+    // Build the schema as a prompt program (§3.2.4): function call →
+    // module, argument → param, choose-one → union.
+    let schema = PromptProgram::new("travel")
+        .text("you are an experienced travel planner")
+        .call("trip-plan", |m| {
+            m.text("plan a trip with a duration of")
+                .param("duration", 3)
+                .text("including notes on budget weather and transport")
+        })
+        .choose(|u| {
+            u.case("miami", |m| {
+                m.text("miami florida offers beaches surfing nightlife and cuban food")
+            })
+            .case("seattle", |m| {
+                m.text("seattle washington offers mountains coffee museums and rain")
+            })
+        })
+        .choose(|u| {
+            u.case("hotel", |m| m.text("the traveler stays in a downtown hotel"))
+                .case("hostel", |m| m.text("the traveler stays in a social hostel"))
+        })
+        .build();
+
+    let corpus = "you are an experienced travel planner plan a trip with a duration of \
+        including notes on budget weather and transport miami florida offers beaches surfing \
+        nightlife and cuban food seattle washington offers mountains coffee museums and rain \
+        the traveler stays in a downtown hotel the traveler stays in a social hostel \
+        make the itinerary now three days two weeks one month";
+    let tokenizer = WordTokenizer::train(&[corpus]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_small(vocab), 8),
+        tokenizer,
+        EngineConfig::default(),
+    );
+    engine.register_schema_ast(&schema).expect("register");
+    println!("schema as PML:\n{}\n", schema);
+
+    let opts = ServeOptions {
+        max_new_tokens: 8,
+        ..Default::default()
+    };
+
+    // The same cached template, reconfigured three ways at runtime.
+    let requests = [
+        ("three days", "miami", "hostel"),
+        ("two weeks", "seattle", "hotel"),
+        ("one month", "miami", "hotel"),
+    ];
+    for (duration, city, lodging) in requests {
+        let prompt = format!(
+            r#"<prompt schema="travel"><trip-plan duration="{duration}"/><{city}/><{lodging}/>make the itinerary now</prompt>"#
+        );
+        let r = engine.serve_with(&prompt, &opts).expect("serve");
+        println!(
+            "{duration:>10} / {city:>7} / {lodging:>6}: {:.0}% cached, TTFT {:?}, output {:?}",
+            r.stats.hit_ratio() * 100.0,
+            r.timings.ttft,
+            r.text
+        );
+    }
+
+    // Overlong arguments are rejected against the declared budget.
+    let overlong = engine.serve_with(
+        r#"<prompt schema="travel"><trip-plan duration="a very long argument of many words"/><miami/><hotel/>go</prompt>"#,
+        &opts,
+    );
+    println!("\noverlong argument rejected: {}", overlong.is_err());
+}

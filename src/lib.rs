@@ -1,0 +1,13 @@
+//! Facade crate: re-exports the Prompt Cache reproduction workspace so
+//! examples and integration tests can reach every subsystem.
+pub use pc_bench as bench;
+pub use pc_rag as rag;
+pub use pc_server as server;
+pub use pc_cache as cache;
+pub use pc_longbench as longbench;
+pub use pc_model as model;
+pub use pc_pml as pml;
+pub use pc_simulator as simulator;
+pub use pc_tensor as tensor;
+pub use pc_tokenizer as tokenizer;
+pub use prompt_cache as engine;

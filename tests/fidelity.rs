@@ -1,0 +1,136 @@
+//! Quantifying the §3.3 masking approximation with logit-level distances:
+//! the cross-crate measurement behind the Table 1 reproduction.
+
+use pc_model::fidelity::{logit_distance, token_agreement};
+use pc_model::{KvCache, Model, ModelConfig};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+
+/// Computes next-token logits for `question` after `modules`, three ways:
+/// baseline (monolithic prefill), masked (modules encoded independently),
+/// scaffolded (modules co-encoded).
+fn three_way_logits(
+    modules: &[&str],
+    question: &str,
+    seed: u64,
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let corpus = modules.join(" ") + " " + question;
+    let tokenizer = WordTokenizer::train(&[corpus.as_str()]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let cfg = ModelConfig::llama_tiny(vocab);
+    let model = Model::new(cfg.clone(), seed);
+
+    let module_tokens: Vec<Vec<u32>> = modules.iter().map(|m| tokenizer.encode(m)).collect();
+    let question_tokens = tokenizer.encode(question);
+    let starts: Vec<usize> = module_tokens
+        .iter()
+        .scan(0usize, |acc, t| {
+            let s = *acc;
+            *acc += t.len();
+            Some(s)
+        })
+        .collect();
+    let total: usize = module_tokens.iter().map(Vec::len).sum();
+
+    // Baseline: one pass over everything.
+    let mut all = Vec::new();
+    for t in &module_tokens {
+        all.extend_from_slice(t);
+    }
+    all.extend_from_slice(&question_tokens);
+    let positions: Vec<usize> = (0..all.len()).collect();
+    let mut cache = KvCache::new(&cfg);
+    let baseline = model.prefill(&all, &positions, &mut cache).unwrap();
+
+    // Masked: encode each module independently at its schema positions.
+    let mut session = KvCache::new(&cfg);
+    for (tokens, &start) in module_tokens.iter().zip(&starts) {
+        let positions: Vec<usize> = (start..start + tokens.len()).collect();
+        let seg = model.encode_segment(tokens, &positions).unwrap();
+        session.append(&seg).unwrap();
+    }
+    let q_positions: Vec<usize> = (total..total + question_tokens.len()).collect();
+    let masked = model
+        .prefill(&question_tokens, &q_positions, &mut session.clone())
+        .unwrap();
+
+    // Scaffolded: modules co-encoded in one segment.
+    let mut joint_tokens = Vec::new();
+    for t in &module_tokens {
+        joint_tokens.extend_from_slice(t);
+    }
+    let joint_positions: Vec<usize> = (0..total).collect();
+    let mut scaffold_session = model
+        .encode_segment(&joint_tokens, &joint_positions)
+        .unwrap();
+    let scaffolded = model
+        .prefill(&question_tokens, &q_positions, &mut scaffold_session)
+        .unwrap();
+
+    (baseline, masked, scaffolded)
+}
+
+const MODULES: [&str; 3] = [
+    "the miami coast has warm beaches surf and sun",
+    "tokyo offers temples gardens and remarkable food",
+    "the colosseum sits in rome hosting ancient games",
+];
+
+#[test]
+fn scaffolding_is_exact_masking_is_bounded() {
+    let (baseline, masked, scaffolded) =
+        three_way_logits(&MODULES, "compare the three destinations now", 42);
+
+    // Scaffolded path is numerically identical to the baseline (same
+    // computation, different bookkeeping).
+    let d_scaffold = logit_distance(&baseline, &scaffolded);
+    assert!(d_scaffold.argmax_agrees);
+    assert!(d_scaffold.max_abs_diff < 1e-3, "{d_scaffold:?}");
+
+    // Masked path diverges (it is an approximation) but stays bounded —
+    // and strictly worse than scaffolding.
+    let d_masked = logit_distance(&baseline, &masked);
+    assert!(d_masked.max_abs_diff > d_scaffold.max_abs_diff);
+    assert!(
+        d_masked.kl_divergence < 5.0,
+        "masking divergence blew up: {d_masked:?}"
+    );
+}
+
+#[test]
+fn single_module_has_zero_masking_divergence() {
+    let (baseline, masked, _) =
+        three_way_logits(&MODULES[..1], "compare the destinations", 7);
+    let d = logit_distance(&baseline, &masked);
+    assert!(d.argmax_agrees);
+    assert!(d.max_abs_diff < 1e-3, "{d:?}");
+    assert!(d.kl_divergence < 1e-5);
+}
+
+#[test]
+fn engine_level_token_agreement_tracks_logit_distance() {
+    // The engine's greedy outputs inherit the logit-level picture: with
+    // one module, agreement is total.
+    let corpus = MODULES.join(" ") + " compare the destinations now";
+    let tokenizer = WordTokenizer::train(&[corpus.as_str()]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_tiny(vocab), 42),
+        tokenizer,
+        EngineConfig::default(),
+    );
+    engine
+        .register_schema(&format!(
+            r#"<schema name="f"><module name="m">{}</module></schema>"#,
+            MODULES[0]
+        ))
+        .unwrap();
+    let prompt = r#"<prompt schema="f"><m/>compare the destinations now</prompt>"#;
+    let opts = ServeOptions {
+        max_new_tokens: 10,
+        ..Default::default()
+    };
+    let cached = engine.serve_with(prompt, &opts).unwrap();
+    let baseline = engine.serve_baseline(prompt, &opts).unwrap();
+    assert_eq!(token_agreement(&cached.tokens, &baseline.tokens), 1.0);
+}

@@ -1,0 +1,228 @@
+//! Cross-crate integration tests: workload generation → PML → engine →
+//! metrics → storage features, exercised together.
+
+use pc_longbench::{metrics, DatasetSpec, Workload};
+use pc_model::{Family, Model, ModelConfig};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+
+fn small_opts(n: usize) -> ServeOptions {
+    ServeOptions {
+        max_new_tokens: n,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn longbench_pipeline_end_to_end() {
+    // Workload → schema/prompt PML → engine → scored outputs, for one
+    // dataset per category.
+    for name in [
+        "NarrativeQA",
+        "HotpotQA",
+        "GovReport",
+        "TREC",
+        "PassageCount",
+        "LCC",
+    ] {
+        let spec = DatasetSpec::by_name(name).unwrap();
+        let sample = Workload::new(spec, 3, 0.02).sample(0);
+        let engine = pc_bench::measured::engine_for_sample(&sample, Family::Llama, 3);
+        engine.register_schema(&sample.schema_pml("it")).unwrap();
+        let r = engine
+            .serve_with(&sample.prompt_pml("it"), &small_opts(4))
+            .unwrap();
+        assert!(r.stats.cached_tokens > 0, "{name}");
+        let score = metrics::score(spec.metric, &r.text, &sample.answer);
+        assert!((0.0..=1.0).contains(&score), "{name}");
+    }
+}
+
+#[test]
+fn all_21_datasets_serve_from_cache() {
+    for spec in &pc_longbench::datasets::ALL {
+        let sample = Workload::new(spec, 1, 0.01).sample(0);
+        let engine = pc_bench::measured::engine_for_sample(&sample, Family::Llama, 1);
+        engine.register_schema(&sample.schema_pml("all")).unwrap();
+        let r = engine
+            .serve_with(&sample.prompt_pml("all"), &small_opts(1))
+            .unwrap();
+        assert_eq!(
+            r.stats.cached_tokens,
+            sample.context_words(),
+            "{}",
+            spec.name
+        );
+        assert_eq!(r.stats.new_tokens, sample.question_words(), "{}", spec.name);
+    }
+}
+
+#[test]
+fn codec_round_trips_an_engine_encoded_module() {
+    // Encode a module with the real model, serialise, deserialise, and
+    // verify the states are byte-identical.
+    let model = Model::new(ModelConfig::llama_tiny(64), 5);
+    let seg = model
+        .encode_segment(&[1, 2, 3, 4, 5], &[10, 11, 12, 13, 14])
+        .unwrap();
+    let bytes = pc_cache::codec::encode(&seg);
+    let decoded = pc_cache::codec::decode(&bytes).unwrap();
+    assert_eq!(decoded, seg);
+}
+
+#[test]
+fn quantized_module_preserves_next_token() {
+    // Dequantized states drive generation to the same greedy token as the
+    // exact states (int8 error ≪ logit margins on this model).
+    let cfg = ModelConfig::llama_tiny(64);
+    let model = Model::new(cfg.clone(), 9);
+    let tokens = [7u32, 3, 22, 41, 5, 17];
+    let positions: Vec<usize> = (0..tokens.len()).collect();
+    let exact = model.encode_segment(&tokens, &positions).unwrap();
+    let lossy = pc_cache::quant::QuantizedKv::quantize(&exact).dequantize();
+
+    let next = |seed_cache: &pc_model::KvCache| {
+        let mut cache = seed_cache.clone();
+        let logits = model.prefill(&[9], &[tokens.len()], &mut cache).unwrap();
+        pc_tensor::ops::argmax_slice(&logits).unwrap()
+    };
+    assert_eq!(next(&exact), next(&lossy));
+}
+
+#[test]
+fn simulator_agrees_with_measurement_on_direction_and_shape() {
+    // The measured engine and the analytic simulator must agree that (a)
+    // caching wins, and (b) the baseline grows faster than linearly while
+    // the cached path grows roughly linearly.
+    let (b_small, p_small) = pc_bench::experiments::measured_fully_cached(128);
+    let (b_large, p_large) = pc_bench::experiments::measured_fully_cached(512);
+    assert!(b_small > p_small && b_large > p_large);
+    // 4× tokens → baseline more than 4× (quadratic term), cached < 16×.
+    assert!(b_large / b_small > 3.0, "{b_small} -> {b_large}");
+    assert!(p_large / p_small < b_large / b_small);
+}
+
+#[test]
+fn device_tier_eviction_with_real_modules() {
+    // Small device tier forces eviction while serving still succeeds.
+    use pc_cache::{EvictionPolicy, StoreConfig, Tier};
+    let doc1 = "alpha beta gamma delta epsilon zeta eta theta";
+    let doc2 = "one two three four five six seven eight nine ten";
+    let tokenizer = WordTokenizer::train(&[doc1, doc2, "question"]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let cfg = ModelConfig::llama_tiny(vocab);
+    // Capacity ≈ one 8-token module (2 layers × kv 64 × 2 × 8 tokens × 4B).
+    let engine = PromptCache::new(
+        Model::new(cfg, 2),
+        tokenizer,
+        EngineConfig {
+            store: StoreConfig {
+                device_capacity_bytes: 9000,
+                policy: EvictionPolicy::Lru,
+            },
+            tier: Some(Tier::Device),
+            ..Default::default()
+        },
+    );
+    engine
+        .register_schema(&format!(
+            r#"<schema name="ev"><module name="a">{doc1}</module><module name="b">{doc2}</module></schema>"#
+        ))
+        .unwrap();
+    for _ in 0..3 {
+        engine
+            .serve_with(r#"<prompt schema="ev"><a/>question</prompt>"#, &small_opts(1))
+            .unwrap();
+        engine
+            .serve_with(r#"<prompt schema="ev"><b/>question</prompt>"#, &small_opts(1))
+            .unwrap();
+    }
+    let stats = engine.store_stats();
+    assert!(stats.bytes_copied_h2d > 0);
+    // The two modules cannot both fit: thrashing shows up as copies on
+    // later requests too (or evictions if both individually fit).
+    assert!(stats.evictions > 0 || stats.device_hits < stats.hits);
+}
+
+#[test]
+fn chat_template_compiles_into_cached_text() {
+    let corpus = "be helpful and honest answer the question now please";
+    let tokenizer = WordTokenizer::train(&[corpus]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_tiny(vocab), 4),
+        tokenizer,
+        EngineConfig {
+            template: pc_pml::template::ChatTemplate::Llama2,
+            ..Default::default()
+        },
+    );
+    engine
+        .register_schema(
+            r#"<schema name="chat"><system>be helpful and honest</system></schema>"#,
+        )
+        .unwrap();
+    let r = engine
+        .serve(
+            r#"<prompt schema="chat">answer the question now</prompt>"#,
+            1,
+        )
+        .unwrap();
+    // [INST] <<SYS>> markers + system text are anonymous cached tokens.
+    assert!(r.stats.cached_tokens > 4, "{:?}", r.stats);
+}
+
+#[test]
+fn parallel_encode_matches_serial() {
+    let schema = r#"<schema name="par">
+        <module name="a">one two three four five</module>
+        <module name="b">six seven eight nine ten</module>
+        <module name="c">alpha beta gamma delta</module>
+      </schema>"#;
+    let corpus = "one two three four five six seven eight nine ten alpha beta gamma delta go";
+    let build = |parallel: bool| {
+        let tokenizer = WordTokenizer::train(&[corpus]);
+        let vocab = tokenizer.vocab_size().max(64);
+        let engine = PromptCache::new(
+            Model::new(ModelConfig::llama_tiny(vocab), 12),
+            tokenizer,
+            EngineConfig {
+                parallel_encode: parallel,
+                ..Default::default()
+            },
+        );
+        engine.register_schema(schema).unwrap();
+        engine
+            .serve(r#"<prompt schema="par"><a/><b/><c/>go</prompt>"#, 6)
+            .unwrap()
+            .tokens
+    };
+    assert_eq!(build(false), build(true));
+}
+
+#[test]
+fn figure_reports_are_consistent() {
+    // fig3's JSON speedups must match what the markdown narrates: GPU-mem
+    // faster than CPU-mem, both faster than baseline.
+    let report = pc_bench::experiments::run("fig3", true).unwrap();
+    for row in report.json["rows"].as_array().unwrap() {
+        let base = row["baseline_s"].as_f64().unwrap();
+        let host = row["pc_cpu_mem_s"].as_f64().unwrap();
+        let dev = row["pc_gpu_mem_s"].as_f64().unwrap();
+        assert!(dev <= host && host < base, "{row}");
+    }
+}
+
+#[test]
+fn table2_reproduction_within_tolerance() {
+    let report = pc_bench::experiments::run("table2", true).unwrap();
+    for row in report.json["rows"].as_array().unwrap() {
+        let paper = row["paper"].as_f64().unwrap();
+        let got = row["reproduced"].as_f64().unwrap();
+        assert!(
+            (got - paper).abs() / paper < 0.3,
+            "{}: {got} vs {paper}",
+            row["llm"]
+        );
+    }
+}
