@@ -1,0 +1,107 @@
+//! Thread-count sweep over the parallelised hot paths: prefill-shaped
+//! matmul (m = 256), the decode-shaped m = 1 guard, and schema
+//! registration with 8 independent modules (concurrent encoding).
+//!
+//! Results feed the `threads` figures experiment; run with `PC_THREADS=1`
+//! to pin the rest of the stack while sweeping the explicit configs here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pc_model::{Model, ModelConfig};
+use pc_tensor::{ops, Parallelism};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{EngineConfig, PromptCache};
+use std::time::Duration;
+
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn fill(len: usize, salt: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i * 31 + salt * 7) % 17) as f32 * 0.11 - 0.9)
+        .collect()
+}
+
+fn matmul_prefill(c: &mut Criterion) {
+    let (m, k, n) = (256, 256, 256);
+    let a = fill(m * k, 1);
+    let b = fill(n * k, 2);
+    let mut out = vec![0.0f32; m * n];
+
+    let mut group = c.benchmark_group("threads/matmul_prefill_m256");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Elements((m * k * n) as u64));
+    for t in SWEEP {
+        let par = Parallelism {
+            num_threads: t,
+            min_work: 0,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(t), &par, |bch, par| {
+            bch.iter(|| ops::matmul_transb_slices_par(&a, &b, &mut out, m, k, n, par));
+        });
+    }
+    group.finish();
+}
+
+fn matvec_decode(c: &mut Criterion) {
+    // m = 1 with the *default* threshold: every thread count must take
+    // the serial path, so the sweep shows flat timings (no regression
+    // from pool hand-off on decode steps).
+    let (k, n) = (256, 1024);
+    let a = fill(k, 3);
+    let b = fill(n * k, 4);
+    let mut out = vec![0.0f32; n];
+
+    let mut group = c.benchmark_group("threads/matvec_decode_m1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for t in SWEEP {
+        let par = Parallelism::with_threads(t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &par, |bch, par| {
+            bch.iter(|| ops::matmul_transb_slices_par(&a, &b, &mut out, 1, k, n, par));
+        });
+    }
+    group.finish();
+}
+
+fn register_schema(c: &mut Criterion) {
+    let modules: Vec<String> = (0..8)
+        .map(|m| {
+            let body: String = (0..96).map(|i| format!("w{} ", (m * 96 + i) % 89)).collect();
+            format!(r#"<module name="m{m}">{body}</module>"#)
+        })
+        .collect();
+    let schema = format!(r#"<schema name="threads">{}</schema>"#, modules.join(""));
+    let corpus: String = (0..89).map(|i| format!("w{i} ")).collect();
+
+    let mut group = c.benchmark_group("threads/register_schema_8mod");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for t in SWEEP {
+        let tokenizer = WordTokenizer::train(&[corpus.as_str()]);
+        let vocab = tokenizer.vocab_size().max(64);
+        let engine = PromptCache::new(
+            Model::new(ModelConfig::llama_tiny(vocab), 11),
+            tokenizer,
+            EngineConfig {
+                parallelism: Parallelism::with_threads(t),
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(t), &engine, |bch, engine| {
+            bch.iter(|| {
+                engine.register_schema(&schema).expect("register");
+                engine.unregister_schema("threads");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, matmul_prefill, matvec_decode, register_schema);
+criterion_main!(benches);

@@ -5,9 +5,11 @@ mod ablations;
 mod real_figs;
 mod serving_exp;
 mod sim_figs;
+mod threads_exp;
 
 pub use ablations::ablations;
 pub use serving_exp::{rag, throughput};
+pub use threads_exp::threads;
 pub use real_figs::{fig6_code_generation, fig7_personalization, fig8_parameterized, table1};
 pub use sim_figs::{
     appendix, e2e, fig3, fig4, fig5, measured_fully_cached, memcpy, modelsize, table2,
@@ -29,9 +31,9 @@ pub struct Report {
 }
 
 /// Every experiment id the `figures` binary accepts, in run order.
-pub const ALL_IDS: [&str; 15] = [
+pub const ALL_IDS: [&str; 16] = [
     "fig3", "fig4", "fig5", "table1", "table2", "memcpy", "modelsize", "e2e", "fig6", "fig7",
-    "fig8", "appendix", "ablations", "throughput", "rag",
+    "fig8", "appendix", "ablations", "throughput", "rag", "threads",
 ];
 
 /// Runs an experiment by id. `quick` shrinks sample counts for smoke
@@ -53,6 +55,7 @@ pub fn run(id: &str, quick: bool) -> Option<Report> {
         "ablations" => Some(ablations(quick)),
         "throughput" => Some(throughput(quick)),
         "rag" => Some(rag(quick)),
+        "threads" => Some(threads(quick)),
         _ => None,
     }
 }

@@ -175,12 +175,12 @@ pub fn throughput(quick: bool) -> Report {
         json: json!({
             "cached_rps": cached_rps, "baseline_rps": baseline_rps,
             "cached_ttft_p50_s": cached_p50, "baseline_ttft_p50_s": baseline_p50,
-            "capacity": {
+            "capacity": json!({
                 "naive_tokens": capacity.naive_tokens,
                 "shared_tokens": capacity.shared_tokens,
                 "naive_batch": capacity.naive_batch,
                 "shared_batch": capacity.shared_batch,
-            },
+            }),
             "load_sweep": load_rows,
         }),
     }

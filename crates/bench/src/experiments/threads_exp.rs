@@ -1,0 +1,163 @@
+//! Thread-scaling experiment: wall-clock for the two parallelised hot
+//! paths — prefill-shaped matmul and schema registration (concurrent
+//! module encoding) — swept over 1/2/4/8 threads, plus a guard that the
+//! `min_work` threshold keeps decode-shaped (m = 1) kernels serial.
+//!
+//! Speedups are relative to the 1-thread run on the same machine; on a
+//! single-core host they hover around 1× by construction (the results are
+//! still bit-identical, which the test below re-checks end to end).
+
+use super::Report;
+use crate::emit::{fmt_speedup, fmt_time_s, Table};
+use pc_model::{Model, ModelConfig};
+use pc_tensor::{ops, Parallelism};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{EngineConfig, PromptCache};
+use serde_json::json;
+use std::time::Instant;
+
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Forces the fan-out at any problem size.
+fn force(threads: usize) -> Parallelism {
+    Parallelism {
+        num_threads: threads,
+        min_work: 0,
+    }
+}
+
+/// Mean seconds per call over `reps` calls (one untimed warm-up).
+fn time_mean<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn fill(len: usize, salt: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| ((i * 31 + salt * 7) % 17) as f32 * 0.11 - 0.9)
+        .collect()
+}
+
+/// An 8-module schema so registration has enough independent owners to
+/// occupy every swept thread count.
+fn eight_module_engine(par: Parallelism) -> (PromptCache, String) {
+    let modules: Vec<String> = (0..8)
+        .map(|m| {
+            let body: String = (0..96).map(|i| format!("w{} ", (m * 96 + i) % 89)).collect();
+            format!(r#"<module name="m{m}">{body}</module>"#)
+        })
+        .collect();
+    let schema = format!(r#"<schema name="threads">{}</schema>"#, modules.join(""));
+    let corpus: String = (0..89).map(|i| format!("w{i} ")).collect();
+    let tokenizer = WordTokenizer::train(&[corpus.as_str()]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_tiny(vocab), 11),
+        tokenizer,
+        EngineConfig {
+            parallelism: par,
+            ..Default::default()
+        },
+    );
+    (engine, schema)
+}
+
+/// Thread sweep over the parallel matmul and concurrent registration.
+pub fn threads(quick: bool) -> Report {
+    let (m, k, n) = if quick { (64, 64, 64) } else { (256, 256, 256) };
+    let reps = if quick { 2 } else { 8 };
+    let a = fill(m * k, 1);
+    let b = fill(n * k, 2);
+    let mut c = vec![0.0f32; m * n];
+
+    let mut table = Table::new(&["Threads", "matmul (m=256)", "speedup", "register 8 modules", "speedup"]);
+    let mut rows = Vec::new();
+    let mut matmul_base = 0.0;
+    let mut register_base = 0.0;
+    for t in SWEEP {
+        let par = force(t);
+        let matmul_s = time_mean(reps, || {
+            ops::matmul_transb_slices_par(&a, &b, &mut c, m, k, n, &par);
+        });
+        let (engine, schema) = eight_module_engine(par);
+        let register_s = time_mean(reps, || {
+            engine.register_schema(&schema).expect("register");
+            engine.unregister_schema("threads");
+        });
+        if t == 1 {
+            matmul_base = matmul_s;
+            register_base = register_s;
+        }
+        table.row(&[
+            format!("{t}"),
+            fmt_time_s(matmul_s),
+            fmt_speedup(matmul_base / matmul_s),
+            fmt_time_s(register_s),
+            fmt_speedup(register_base / register_s),
+        ]);
+        rows.push(json!({
+            "threads": t,
+            "matmul_s": matmul_s,
+            "matmul_speedup": matmul_base / matmul_s,
+            "register_s": register_s,
+            "register_speedup": register_base / register_s,
+        }));
+    }
+
+    // Decode guard: with the default `min_work` threshold, an m = 1
+    // matvec must not pay pool hand-off — multi-thread configs route it
+    // through the identical serial path, so the ratio stays near 1.
+    let dk = 256;
+    let dn = 1024;
+    let qa = fill(dk, 3);
+    let wb = fill(dn * dk, 4);
+    let mut dout = vec![0.0f32; dn];
+    let decode_reps = if quick { 16 } else { 128 };
+    let serial = Parallelism::serial();
+    let wide = Parallelism::with_threads(8);
+    let decode_1t = time_mean(decode_reps, || {
+        ops::matmul_transb_slices_par(&qa, &wb, &mut dout, 1, dk, dn, &serial);
+    });
+    let decode_8t = time_mean(decode_reps, || {
+        ops::matmul_transb_slices_par(&qa, &wb, &mut dout, 1, dk, dn, &wide);
+    });
+    let decode_ratio = decode_8t / decode_1t;
+
+    Report {
+        id: "threads",
+        title: "Thread scaling — parallel kernels and concurrent module encoding",
+        markdown: format!(
+            "{}\n\nDecode guard (m=1 matvec, default threshold): 8-thread config runs at \
+             {} of the serial time — the `min_work` gate keeps decode on the calling thread.\n",
+            table.to_markdown(),
+            fmt_speedup(decode_ratio)
+        ),
+        json: json!({
+            "rows": rows,
+            "decode_m1_ratio": decode_ratio,
+            "shape": json!({ "m": m, "k": k, "n": n }),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_report_has_full_sweep() {
+        let r = threads(true);
+        let rows = r.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), SWEEP.len());
+        assert_eq!(rows[0]["threads"], 1);
+        for row in rows {
+            assert!(row["matmul_s"].as_f64().unwrap() > 0.0);
+            assert!(row["register_s"].as_f64().unwrap() > 0.0);
+        }
+        assert!(r.json["decode_m1_ratio"].as_f64().unwrap() > 0.0);
+    }
+}

@@ -12,6 +12,8 @@ use pc_pml::layout::{ModulePath, SchemaLayout};
 use pc_pml::resolve::{resolve_prompt, ResolvedPart, ResolvedPrompt};
 use pc_pml::template::ChatTemplate;
 use pc_pml::{parse_prompt, parse_schema, Schema};
+use pc_tensor::par::run_tasks;
+use pc_tensor::Parallelism;
 use pc_tokenizer::{SpecialToken, Tokenizer};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -28,8 +30,12 @@ pub struct EngineConfig {
     /// `None` means host inference (no device copies) — override per call
     /// with [`ServeOptions::tier`].
     pub tier: Option<Tier>,
-    /// Encode schema modules on parallel threads at registration.
-    pub parallel_encode: bool,
+    /// Thread count for concurrent module encoding at registration (each
+    /// owner module is an independent encode, so they fan out across the
+    /// shared pool). Defaults to [`Parallelism::from_env`], which honours
+    /// the `PC_THREADS` environment variable. Stored span states are
+    /// byte-identical at any thread count.
+    pub parallelism: Parallelism,
     /// After serving a prompt that imported a union member, prefetch the
     /// sibling members into the device tier (§3.2.3's union prefetching):
     /// the next request is likely to pick a different member at the same
@@ -254,18 +260,37 @@ impl PromptCache {
             Ok(out)
         };
 
-        let encoded: Vec<(usize, KvCache)> = if self.config.parallel_encode && owners.len() > 1 {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = owners
-                    .iter()
-                    .map(|owner| scope.spawn(|| encode_owner(owner)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("encode thread panicked"))
-                    .collect::<Result<Vec<_>>>()
-                    .map(|v| v.into_iter().flatten().collect())
-            })?
+        // Each owner is an independent encode (attention never crosses
+        // owners), so registrations fan out across the shared pool. The
+        // per-owner work is untouched — stored states are byte-identical
+        // at any thread count.
+        let threads = self
+            .config
+            .parallelism
+            .num_threads
+            .min(owners.len().max(1));
+        type EncodeSlot = Option<Result<Vec<(usize, KvCache)>>>;
+        let encoded: Vec<(usize, KvCache)> = if threads > 1 {
+            let mut slots: Vec<EncodeSlot> = Vec::new();
+            slots.resize_with(owners.len(), || None);
+            let encode_owner = &encode_owner;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                .iter_mut()
+                .zip(&owners)
+                .map(|(slot, owner)| {
+                    Box::new(move || {
+                        *slot = Some(encode_owner(owner));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_tasks(tasks, threads);
+            slots
+                .into_iter()
+                .map(|s| s.expect("encode task completed"))
+                .collect::<Result<Vec<_>>>()?
+                .into_iter()
+                .flatten()
+                .collect()
         } else {
             let mut all = Vec::new();
             for owner in &owners {
@@ -380,6 +405,21 @@ impl PromptCache {
     pub fn unregister_schema(&self, name: &str) {
         self.schemas.write().remove(name);
         self.store.remove_schema(name);
+    }
+
+    /// The stored KV states of every span of a registered schema, in span
+    /// order (`None` for spans with no cached state, e.g. empty or
+    /// evicted). This is the engine's ground truth for what registration
+    /// encoded; the integration tests compare these across thread counts
+    /// to prove concurrent encoding stores byte-identical states.
+    pub fn schema_span_states(&self, schema: &str) -> Vec<Option<Arc<KvCache>>> {
+        let schemas = self.schemas.read();
+        let Some(reg) = schemas.get(schema) else {
+            return Vec::new();
+        };
+        (0..reg.layout.spans.len())
+            .map(|i| self.store.get(&self.span_key(schema, i), Tier::Host))
+            .collect()
     }
 
     fn span_key(&self, schema: &str, span_index: usize) -> ModuleKey {

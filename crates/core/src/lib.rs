@@ -43,6 +43,7 @@ mod scaffold;
 pub use batch::{BatchReport, BatchSharing};
 pub use conversation::{Conversation, Turn};
 pub use engine::{EngineConfig, PromptCache, ServeOptions};
+pub use pc_tensor::Parallelism;
 pub use error::EngineError;
 pub use response::{Response, ServeStats, Timings};
 

@@ -10,6 +10,7 @@
 
 use crate::pos::AlibiTable;
 use crate::ModelConfig;
+use pc_tensor::par::run_tasks;
 
 /// Computes attention outputs for a chunk of `n` new tokens.
 ///
@@ -46,55 +47,92 @@ pub fn attention_chunk(
     debug_assert_eq!(keys.len(), total * kv_dim);
     debug_assert!(base + n <= total);
 
-    out.fill(0.0);
-
     // One query row is independent of every other, so rows parallelise
-    // with bit-identical results (no cross-row reductions). Decode (n = 1)
-    // and tiny chunks stay on the calling thread.
-    let threads = cfg.threads.max(1).min(n.max(1));
-    if threads > 1 && n >= 2 * threads {
-        let rows_per_thread = n.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (chunk_idx, out_chunk) in out.chunks_mut(rows_per_thread * d).enumerate() {
-                let first_row = chunk_idx * rows_per_thread;
-                scope.spawn(move || {
-                    let mut scores = vec![0.0f32; total];
-                    for (local, o_row) in out_chunk.chunks_mut(d).enumerate() {
-                        let i = first_row + local;
-                        attention_row(
-                            cfg,
-                            &q[i * d..(i + 1) * d],
-                            q_positions[i],
-                            keys,
-                            values,
-                            key_positions,
-                            base + i + 1,
-                            alibi,
-                            scale,
-                            &mut scores,
-                            o_row,
-                        );
-                    }
-                });
-            }
-        });
+    // with bit-identical results (no cross-row reductions): serial and
+    // parallel paths run the same `attention_rows` over disjoint output
+    // chunks. Decode (n = 1) and tiny chunks stay on the calling thread
+    // via the `min_work` threshold.
+    let work = n * total * d;
+    let threads = cfg.parallelism.threads_for(work).min(n.max(1)).max(1);
+    if threads > 1 {
+        let rows_per_task = n.div_ceil(threads);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+            .chunks_mut(rows_per_task * d)
+            .enumerate()
+            .map(|(chunk_idx, out_chunk)| {
+                let first_row = chunk_idx * rows_per_task;
+                Box::new(move || {
+                    attention_rows(
+                        cfg,
+                        q,
+                        q_positions,
+                        keys,
+                        values,
+                        key_positions,
+                        base,
+                        alibi,
+                        scale,
+                        first_row,
+                        out_chunk,
+                    );
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_tasks(tasks, threads);
     } else {
-        let mut scores = vec![0.0f32; total];
-        for (i, o_row) in out.chunks_exact_mut(d).enumerate() {
-            attention_row(
-                cfg,
-                &q[i * d..(i + 1) * d],
-                q_positions[i],
-                keys,
-                values,
-                key_positions,
-                base + i + 1,
-                alibi,
-                scale,
-                &mut scores,
-                o_row,
-            );
-        }
+        attention_rows(
+            cfg,
+            q,
+            q_positions,
+            keys,
+            values,
+            key_positions,
+            base,
+            alibi,
+            scale,
+            0,
+            out,
+        );
+    }
+}
+
+/// Attention for the contiguous query rows `first_row ..` backing
+/// `out_chunk`. Both the serial and the parallel entry points run exactly
+/// this code, which is what makes thread count invisible in the output
+/// bits.
+#[allow(clippy::too_many_arguments)]
+fn attention_rows(
+    cfg: &ModelConfig,
+    q: &[f32],
+    q_positions: &[usize],
+    keys: &[f32],
+    values: &[f32],
+    key_positions: &[usize],
+    base: usize,
+    alibi: Option<&AlibiTable>,
+    scale: f32,
+    first_row: usize,
+    out_chunk: &mut [f32],
+) {
+    let d = cfg.hidden_size;
+    let total = key_positions.len();
+    let mut scores = vec![0.0f32; total];
+    for (local, o_row) in out_chunk.chunks_exact_mut(d).enumerate() {
+        let i = first_row + local;
+        o_row.fill(0.0);
+        attention_row(
+            cfg,
+            &q[i * d..(i + 1) * d],
+            q_positions[i],
+            keys,
+            values,
+            key_positions,
+            base + i + 1,
+            alibi,
+            scale,
+            &mut scores,
+            o_row,
+        );
     }
 }
 
@@ -134,9 +172,6 @@ fn attention_row(
         pc_tensor::ops::softmax_slice(scores);
         let o_head = &mut o_row[h * hd..(h + 1) * hd];
         for (j, &p) in scores.iter().enumerate() {
-            if p == 0.0 {
-                continue;
-            }
             let v_head = &values[j * kv_dim + kv_h * hd..j * kv_dim + (kv_h + 1) * hd];
             for (o, &v) in o_head.iter_mut().zip(v_head) {
                 *o += p * v;
@@ -275,7 +310,11 @@ mod tests {
         // every bit (rows are independent; no cross-thread reductions).
         let serial_cfg = ModelConfig::llama_tiny(64);
         let parallel_cfg = ModelConfig {
-            threads: 4,
+            // min_work: 0 forces the fan-out even at toy sizes.
+            parallelism: pc_tensor::Parallelism {
+                num_threads: 4,
+                min_work: 0,
+            },
             ..serial_cfg.clone()
         };
         let tokens: Vec<u32> = (0..48).map(|t| t % 64).collect();

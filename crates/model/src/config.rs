@@ -1,6 +1,7 @@
 //! Model configuration and family presets.
 
 use crate::{ModelError, Result};
+use pc_tensor::Parallelism;
 
 /// The transformer families supported by the engine.
 ///
@@ -64,11 +65,14 @@ pub struct ModelConfig {
     pub rope_theta: f32,
     /// Epsilon for RMSNorm/LayerNorm.
     pub norm_eps: f32,
-    /// Worker threads for the attention kernel during multi-token
-    /// prefill (1 = single-threaded, the default; decode steps are always
-    /// single-threaded). Results are bit-identical at any thread count —
-    /// rows are independent and no reductions cross threads.
-    pub threads: usize,
+    /// Thread count and serial/parallel threshold for the matmul and
+    /// attention kernels. Presets default to [`Parallelism::serial`];
+    /// callers opt in with [`Parallelism::from_env`] (honours
+    /// `PC_THREADS`) or an explicit thread count. Results are
+    /// bit-identical at any thread count — each output row is produced by
+    /// exactly one thread running the serial kernel's floating-point
+    /// order, and no reductions cross threads.
+    pub parallelism: Parallelism,
 }
 
 impl ModelConfig {
@@ -80,8 +84,8 @@ impl ModelConfig {
     /// evenly or any dimension is zero.
     pub fn validated(self) -> Result<Self> {
         let err = |detail: String| Err(ModelError::InvalidConfig { detail });
-        if self.threads == 0 {
-            return err("threads must be >= 1 (use 1 for single-threaded)".into());
+        if self.parallelism.num_threads == 0 {
+            return err("parallelism.num_threads must be >= 1 (use 1 for single-threaded)".into());
         }
         if self.vocab_size == 0
             || self.hidden_size == 0
@@ -153,7 +157,7 @@ impl ModelConfig {
             max_position: 4096,
             rope_theta: 10_000.0,
             norm_eps: 1e-5,
-            threads: 1,
+            parallelism: Parallelism::serial(),
         }
     }
 

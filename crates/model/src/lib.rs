@@ -50,6 +50,7 @@ mod sampler;
 mod weights;
 
 pub use config::{Family, ModelConfig};
+pub use pc_tensor::Parallelism;
 pub use error::ModelError;
 pub use kv::{KvCache, LayerKv};
 pub use model::Model;

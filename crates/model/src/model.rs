@@ -71,7 +71,15 @@ impl Model {
         let d = self.cfg.hidden_size;
         let v = self.cfg.vocab_size;
         let mut logits = vec![0.0f32; n * v];
-        ops::matmul_transb_slices(&hidden, self.weights.embedding.data(), &mut logits, n, d, v);
+        ops::matmul_transb_slices_par(
+            &hidden,
+            self.weights.embedding.data(),
+            &mut logits,
+            n,
+            d,
+            v,
+            &self.cfg.parallelism,
+        );
         Tensor::from_vec(logits, &[n, v]).map_err(|e| ModelError::InvalidConfig {
             detail: e.to_string(),
         })
@@ -99,13 +107,14 @@ impl Model {
         let d = self.cfg.hidden_size;
         let v = self.cfg.vocab_size;
         let mut logits = vec![0.0f32; v];
-        ops::matmul_transb_slices(
+        ops::matmul_transb_slices_par(
             &hidden[(n - 1) * d..n * d],
             self.weights.embedding.data(),
             &mut logits,
             1,
             d,
             v,
+            &self.cfg.parallelism,
         );
         Ok(logits)
     }
@@ -157,15 +166,14 @@ impl Model {
     ) -> Result<Vec<TokenId>> {
         let mut produced = Vec::new();
         let mut logits = last_logits.to_vec();
-        let mut next_pos = cache.positions().iter().max().map_or(0, |p| p + 1);
-        for _ in 0..max_new_tokens {
+        let first_pos = cache.positions().iter().max().map_or(0, |p| p + 1);
+        for next_pos in first_pos..first_pos + max_new_tokens {
             let token = sampler.sample(&logits);
             produced.push(token);
             if Some(token) == eos {
                 break;
             }
             logits = self.prefill(&[token], &[next_pos], cache)?;
-            next_pos += 1;
         }
         Ok(produced)
     }
@@ -185,6 +193,7 @@ impl Model {
         let kv_dim = cfg.kv_dim();
         let hd = cfg.head_dim();
         let ff = cfg.intermediate_size;
+        let par = &cfg.parallelism;
         let base = cache.len();
 
         // Token embeddings (+ learned positions for GPT-2-style models).
@@ -220,9 +229,9 @@ impl Model {
             normed.copy_from_slice(&x);
             self.apply_norm(&mut normed, &lw.norm1_w, &lw.norm1_b);
 
-            ops::matmul_transb_slices(&normed, lw.wq.data(), &mut q, n, d, d);
-            ops::matmul_transb_slices(&normed, lw.wk.data(), &mut k, n, d, kv_dim);
-            ops::matmul_transb_slices(&normed, lw.wv.data(), &mut v, n, d, kv_dim);
+            ops::matmul_transb_slices_par(&normed, lw.wq.data(), &mut q, n, d, d, par);
+            ops::matmul_transb_slices_par(&normed, lw.wk.data(), &mut k, n, d, kv_dim, par);
+            ops::matmul_transb_slices_par(&normed, lw.wv.data(), &mut v, n, d, kv_dim, par);
 
             if let Some(rope) = &self.rope {
                 for i in 0..n {
@@ -255,7 +264,7 @@ impl Model {
                 self.alibi.as_ref(),
                 &mut attn,
             );
-            ops::matmul_transb_slices(&attn, lw.wo.data(), &mut proj, n, d, d);
+            ops::matmul_transb_slices_par(&attn, lw.wo.data(), &mut proj, n, d, d, par);
 
             if matches!(cfg.family, Family::Falcon) {
                 // Parallel block: MLP reads the same normed input; both
@@ -298,9 +307,10 @@ impl Model {
     ) {
         let d = self.cfg.hidden_size;
         let ff = self.cfg.intermediate_size;
-        ops::matmul_transb_slices(input, lw.w_up.data(), up, n, d, ff);
+        let par = &self.cfg.parallelism;
+        ops::matmul_transb_slices_par(input, lw.w_up.data(), up, n, d, ff, par);
         if matches!(self.cfg.family, Family::Llama) {
-            ops::matmul_transb_slices(input, lw.w_gate.data(), gate, n, d, ff);
+            ops::matmul_transb_slices_par(input, lw.w_gate.data(), gate, n, d, ff, par);
             ops::silu_slice(gate);
             for (u, &g) in up.iter_mut().zip(gate.iter()) {
                 *u *= g;
@@ -308,7 +318,7 @@ impl Model {
         } else {
             ops::gelu_slice(up);
         }
-        ops::matmul_transb_slices(up, lw.w_down.data(), down, n, ff, d);
+        ops::matmul_transb_slices_par(up, lw.w_down.data(), down, n, ff, d, par);
     }
 
     fn validate(&self, tokens: &[TokenId], positions: &[usize], cache: &KvCache) -> Result<()> {

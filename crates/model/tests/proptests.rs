@@ -123,6 +123,33 @@ proptest! {
         prop_assert_eq!(run(), run());
     }
 
+    /// A parallel forward pass is **bit-identical** to the serial one for
+    /// every family, any thread count (including more threads than rows),
+    /// and odd row counts — m = 1 decode shapes, m < threads, and
+    /// non-multiples of the thread count. Exact `==`, not approximate.
+    #[test]
+    fn parallel_forward_is_bit_identical(
+        which in 0u8..4,
+        tokens in proptest::collection::vec(0u32..32, 1..12),
+        threads in 2usize..9,
+    ) {
+        let serial_cfg = family_cfg(which);
+        let parallel_cfg = ModelConfig {
+            // min_work: 0 forces the fan-out even at toy sizes.
+            parallelism: pc_model::Parallelism { num_threads: threads, min_work: 0 },
+            ..serial_cfg.clone()
+        };
+        let positions: Vec<usize> = (0..tokens.len()).collect();
+        let serial = Model::new(serial_cfg.clone(), 23);
+        let parallel = Model::new(parallel_cfg, 23);
+        let mut a = KvCache::new(&serial_cfg);
+        let mut b = KvCache::new(&serial_cfg);
+        let la = serial.forward(&tokens, &positions, &mut a).unwrap();
+        let lb = parallel.forward(&tokens, &positions, &mut b).unwrap();
+        prop_assert_eq!(la.data(), lb.data());
+        prop_assert_eq!(a, b);
+    }
+
     /// Logits are always finite, whatever the position layout.
     #[test]
     fn forward_is_numerically_stable(

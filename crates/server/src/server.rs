@@ -19,9 +19,12 @@ pub struct ServerConfig {
 }
 
 impl Default for ServerConfig {
+    /// Workers follow [`prompt_cache::Parallelism::from_env`] (the
+    /// `PC_THREADS` environment variable, else the number of available
+    /// cores), so the whole serving stack scales with one knob.
     fn default() -> Self {
         ServerConfig {
-            workers: 2,
+            workers: prompt_cache::Parallelism::from_env().num_threads.max(2),
             queue_capacity: 64,
         }
     }

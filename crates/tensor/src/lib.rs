@@ -31,10 +31,12 @@
 mod error;
 pub mod init;
 pub mod ops;
+pub mod par;
 mod shape;
 mod tensor;
 
 pub use error::TensorError;
+pub use par::Parallelism;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -3,9 +3,19 @@
 //! The transformer engine spends nearly all of its time here, so the slice
 //! kernels use an `i-k-j` loop order (unit-stride inner loop over the output
 //! row) which the compiler auto-vectorises, plus a transposed-B variant for
-//! attention `Q·Kᵀ` where `K` is stored row-per-token.
+//! attention `Q·Kᵀ` where `K` is stored row-per-token. The inner loops are
+//! branch-free: a data-dependent `if` in the hot loop would defeat
+//! auto-vectorisation and make kernel timing input-dependent.
+//!
+//! Both kernels have `*_par` variants that split **output rows** across the
+//! [`crate::par`] thread pool. Every output element is still computed by
+//! exactly one thread running the identical scalar code in the identical
+//! floating-point order, so parallel results are bit-identical to serial —
+//! see the determinism notes in [`crate::par`].
 
+use crate::par::{run_tasks, Parallelism};
 use crate::{Result, Tensor, TensorError};
+use std::ops::Range;
 
 /// `C[m,n] = A[m,k] · B[k,n]` over raw slices.
 ///
@@ -18,18 +28,65 @@ pub fn matmul_slices(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n:
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
     c.fill(0.0);
-    for i in 0..m {
+    matmul_rows(a, b, c, 0..m, k, n);
+}
+
+/// [`matmul_slices`] with output rows split across `par` threads.
+/// Bit-identical to the serial kernel at any thread count.
+pub fn matmul_slices_par(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    par: &Parallelism,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let threads = par.threads_for(m * k * n).min(m).max(1);
+    if threads <= 1 {
+        matmul_slices(a, b, c, m, k, n);
+        return;
+    }
+    c.fill(0.0);
+    let per = m.div_ceil(threads);
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = c
+        .chunks_mut(per * n)
+        .enumerate()
+        .map(|(chunk_idx, c_rows)| {
+            let first = chunk_idx * per;
+            let rows = first..first + c_rows.len() / n;
+            Box::new(move || matmul_rows(a, b, c_rows, rows, k, n))
+                as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_tasks(tasks, threads);
+}
+
+/// Computes output rows `rows` of `A·B` into `c_rows` (pre-zeroed, local
+/// row 0 = global row `rows.start`). The single implementation shared by
+/// the serial and parallel entry points — sharing it is what makes the
+/// bit-identity guarantee structural rather than incidental.
+#[inline]
+fn matmul_rows(a: &[f32], b: &[f32], c_rows: &mut [f32], rows: Range<usize>, k: usize, n: usize) {
+    for (local, i) in rows.enumerate() {
         let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
+        let c_row = &mut c_rows[local * n..(local + 1) * n];
         for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row) {
-                *c_ij += a_ip * b_pj;
-            }
+            axpy(a_ip, &b[p * n..(p + 1) * n], c_row);
         }
+    }
+}
+
+/// Fused `y += alpha · x` update — the branch-free body of the `i-k-j`
+/// matmul inner loop, kept as its own `#[inline]` function so both kernels
+/// vectorise the identical code.
+#[inline]
+fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    for (y_j, &x_j) in y.iter_mut().zip(x) {
+        *y_j += alpha * x_j;
     }
 }
 
@@ -39,29 +96,81 @@ pub fn matmul_transb_slices(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: us
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
+    matmul_transb_rows(a, b, c, 0..m, k, n);
+}
+
+/// [`matmul_transb_slices`] with output rows split across `par` threads.
+/// Bit-identical to the serial kernel at any thread count.
+pub fn matmul_transb_slices_par(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    par: &Parallelism,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    let threads = par.threads_for(m * k * n).min(m).max(1);
+    if threads <= 1 {
+        matmul_transb_slices(a, b, c, m, k, n);
+        return;
+    }
+    let per = m.div_ceil(threads);
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = c
+        .chunks_mut(per * n)
+        .enumerate()
+        .map(|(chunk_idx, c_rows)| {
+            let first = chunk_idx * per;
+            let rows = first..first + c_rows.len() / n;
+            Box::new(move || matmul_transb_rows(a, b, c_rows, rows, k, n))
+                as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_tasks(tasks, threads);
+}
+
+/// Output rows `rows` of `A·Bᵀ` into `c_rows` (local row 0 = global row
+/// `rows.start`); shared by the serial and parallel entry points.
+#[inline]
+fn matmul_transb_rows(
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    rows: Range<usize>,
+    k: usize,
+    n: usize,
+) {
+    for (local, i) in rows.enumerate() {
         let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            c[i * n + j] = dot_unrolled(a_row, b_row);
+        let c_row = &mut c_rows[local * n..(local + 1) * n];
+        for (j, c_ij) in c_row.iter_mut().enumerate() {
+            *c_ij = dot_unrolled(a_row, &b[j * k..(j + 1) * k]);
         }
     }
 }
 
-/// Dot product with 4-way manual unrolling (helps on dot-heavy attention).
+/// Dot product with 8-way manual unrolling (helps on dot-heavy attention:
+/// eight independent accumulators keep the FMA pipeline full).
 #[inline]
 fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
     for c in 0..chunks {
-        let i = c * 4;
+        let i = c * 8;
         acc[0] += a[i] * b[i];
         acc[1] += a[i + 1] * b[i + 1];
         acc[2] += a[i + 2] * b[i + 2];
         acc[3] += a[i + 3] * b[i + 3];
+        acc[4] += a[i + 4] * b[i + 4];
+        acc[5] += a[i + 5] * b[i + 5];
+        acc[6] += a[i + 6] * b[i + 6];
+        acc[7] += a[i + 7] * b[i + 7];
     }
-    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
+    let mut s = ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
+    for i in chunks * 8..a.len() {
         s += a[i] * b[i];
     }
     s
@@ -102,8 +211,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.dims().to_vec(),
         });
     }
+    // `c` comes fresh from `Tensor::zeros`, so skip the kernel's re-zeroing
+    // pass and accumulate directly.
     let mut c = Tensor::zeros(&[m, n]);
-    matmul_slices(a.data(), b.data(), c.data_mut(), m, k, n);
+    matmul_rows(a.data(), b.data(), c.data_mut(), 0..m, k, n);
     Ok(c)
 }
 
@@ -194,6 +305,16 @@ mod tests {
     }
 
     #[test]
+    fn zero_entries_in_a_are_handled() {
+        // The kernel is branch-free: rows/columns of zeros must come out
+        // exactly zero, with no special-casing in the inner loop.
+        let a = t(&[0.0, 0.0, 1.0, 2.0], &[2, 2]);
+        let b = t(&[3.0, 4.0, 5.0, 6.0], &[2, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[0.0, 0.0, 13.0, 16.0]);
+    }
+
+    #[test]
     fn transb_matches_explicit_transpose() {
         // A[2,3] · B[4,3]ᵀ == A · Bᵀ[3,4]
         let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
@@ -230,7 +351,7 @@ mod tests {
 
     #[test]
     fn dot_unrolled_handles_remainders() {
-        for len in [0usize, 1, 3, 4, 5, 8, 13] {
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 9, 13, 16, 17, 23, 24] {
             let a: Vec<f32> = (0..len).map(|i| i as f32).collect();
             let b: Vec<f32> = (0..len).map(|i| (i * 2) as f32).collect();
             let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
@@ -239,9 +360,66 @@ mod tests {
     }
 
     #[test]
+    fn axpy_accumulates_in_place() {
+        let mut y = [1.0f32, 2.0, 3.0];
+        axpy(2.0, &[10.0, 20.0, 30.0], &mut y);
+        assert_eq!(y, [21.0, 42.0, 63.0]);
+        axpy(0.0, &[5.0, 5.0, 5.0], &mut y);
+        assert_eq!(y, [21.0, 42.0, 63.0]);
+    }
+
+    #[test]
     fn large_matmul_associativity_with_identity_chain() {
         let a = t(&(0..64).map(|x| (x % 7) as f32 - 3.0).collect::<Vec<_>>(), &[8, 8]);
         let c = matmul(&matmul(&a, &Tensor::eye(8)).unwrap(), &Tensor::eye(8)).unwrap();
         assert_eq!(c.data(), a.data());
+    }
+
+    fn force_par(threads: usize) -> Parallelism {
+        Parallelism {
+            num_threads: threads,
+            min_work: 0,
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical() {
+        let (m, k, n) = (13, 9, 11);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.19).cos()).collect();
+        let mut serial = vec![0.0f32; m * n];
+        matmul_slices(&a, &b, &mut serial, m, k, n);
+        for threads in [2usize, 3, 4, 8, 16] {
+            let mut par = vec![f32::NAN; m * n];
+            matmul_slices_par(&a, &b, &mut par, m, k, n, &force_par(threads));
+            assert_eq!(serial, par, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_transb_is_bit_identical() {
+        let (m, k, n) = (7, 17, 5);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.41).sin()).collect();
+        let b: Vec<f32> = (0..n * k).map(|i| (i as f32 * 0.23).cos()).collect();
+        let mut serial = vec![0.0f32; m * n];
+        matmul_transb_slices(&a, &b, &mut serial, m, k, n);
+        for threads in [2usize, 3, 4, 8, 16] {
+            let mut par = vec![f32::NAN; m * n];
+            matmul_transb_slices_par(&a, &b, &mut par, m, k, n, &force_par(threads));
+            assert_eq!(serial, par, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_single_row_falls_back_to_serial() {
+        // m = 1 cannot split; the decode-step matvec must stay serial.
+        let (k, n) = (16, 8);
+        let a: Vec<f32> = (0..k).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32).collect();
+        let mut serial = vec![0.0f32; n];
+        matmul_slices(&a, &b, &mut serial, 1, k, n);
+        let mut par = vec![f32::NAN; n];
+        matmul_slices_par(&a, &b, &mut par, 1, k, n, &force_par(8));
+        assert_eq!(serial, par);
     }
 }

@@ -15,7 +15,8 @@ mod softmax;
 pub use activation::{gelu, gelu_scalar, gelu_slice, silu, silu_scalar, silu_slice};
 pub use elementwise::{add, add_assign_slice, mul, scale, scale_slice};
 pub use matmul::{
-    matmul, matmul_slices, matmul_transb, matmul_transb_slices, matvec, vecmat_transb,
+    matmul, matmul_slices, matmul_slices_par, matmul_transb, matmul_transb_slices,
+    matmul_transb_slices_par, matvec, vecmat_transb,
 };
 pub use norm::{layer_norm, layer_norm_slice, rms_norm, rms_norm_slice};
 pub use reduce::{argmax, argmax_slice, dot, mean, top_k};

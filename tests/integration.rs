@@ -180,24 +180,61 @@ fn parallel_encode_matches_serial() {
         <module name="c">alpha beta gamma delta</module>
       </schema>"#;
     let corpus = "one two three four five six seven eight nine ten alpha beta gamma delta go";
-    let build = |parallel: bool| {
+    let build = |threads: usize| {
         let tokenizer = WordTokenizer::train(&[corpus]);
         let vocab = tokenizer.vocab_size().max(64);
         let engine = PromptCache::new(
             Model::new(ModelConfig::llama_tiny(vocab), 12),
             tokenizer,
             EngineConfig {
-                parallel_encode: parallel,
+                parallelism: prompt_cache::Parallelism::with_threads(threads),
                 ..Default::default()
             },
         );
         engine.register_schema(schema).unwrap();
         engine
+    };
+    let serial = build(1);
+    let parallel = build(4);
+
+    // Concurrent registration must store **byte-identical** KV states for
+    // every span, not merely similar ones: compare the raw f32 bit
+    // patterns of keys, values, and position ids.
+    let a = serial.schema_span_states("par");
+    let b = parallel.schema_span_states("par");
+    assert_eq!(a.len(), b.len());
+    assert!(a.iter().any(|s| s.is_some()), "no spans were cached");
+    for (i, (sa, sb)) in a.iter().zip(&b).enumerate() {
+        match (sa, sb) {
+            (None, None) => {}
+            (Some(sa), Some(sb)) => {
+                assert_eq!(sa.positions(), sb.positions(), "span {i} positions");
+                for layer in 0..sa.num_layers() {
+                    let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(
+                        bits(sa.keys(layer)),
+                        bits(sb.keys(layer)),
+                        "span {i} layer {layer} keys"
+                    );
+                    assert_eq!(
+                        bits(sa.values(layer)),
+                        bits(sb.values(layer)),
+                        "span {i} layer {layer} values"
+                    );
+                }
+            }
+            _ => panic!("span {i} cached on one path only"),
+        }
+    }
+
+    // And the end-to-end generation must agree too.
+    let serve = |engine: &prompt_cache::PromptCache| {
+        engine
             .serve(r#"<prompt schema="par"><a/><b/><c/>go</prompt>"#, 6)
             .unwrap()
             .tokens
     };
-    assert_eq!(build(false), build(true));
+    assert_eq!(serve(&serial), serve(&parallel));
 }
 
 #[test]

@@ -1,0 +1,389 @@
+//! Vendored workalike of the `crossbeam` API subset this workspace uses:
+//! `channel::{bounded, unbounded, Sender, Receiver}` and
+//! `sync::WaitGroup`.
+//!
+//! The build environment has no crates registry, so this is a minimal
+//! std-backed implementation (Mutex + Condvar MPMC queue). Semantics the
+//! callers depend on and that are covered by tests below:
+//!
+//! - multi-producer **and** multi-consumer (clone either end);
+//! - `bounded(cap)` blocks senders at capacity;
+//! - `recv()` returns `Err(RecvError)` once the channel is empty and all
+//!   senders are dropped (this is how the server drains on shutdown);
+//! - `send()` fails once all receivers are dropped;
+//! - `Receiver::iter()` yields until disconnect.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Error for `send` on a channel with no remaining receivers; carries
+    /// the unsent message like the real crossbeam type.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: Debug without requiring `T: Debug`, so
+    // `send(...).expect(...)` works for unprintable payloads (closures).
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error for `recv` on an empty channel with no remaining senders.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for `try_recv`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel is currently empty.
+        Empty,
+        /// Channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    write!(f, "receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+    impl std::error::Error for RecvError {}
+    impl std::error::Error for TryRecvError {}
+
+    fn shared<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    /// Creates a channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        shared(None)
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    /// `bounded(0)` is approximated with capacity 1 (the workspace never
+    /// relies on rendezvous semantics).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        shared(Some(cap.max(1)))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks while the channel is full; fails once all receivers are
+        /// dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.0.state.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.0.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self.0.not_full.wait(state).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; fails once the channel is empty
+        /// and all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.0.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.not_empty.wait(state).unwrap();
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.0.state.lock().unwrap();
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.0.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.0.state.lock().unwrap().queue.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Blocking iterator: yields until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
+
+pub mod sync {
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner {
+        count: Mutex<usize>,
+        zero: Condvar,
+    }
+
+    /// Synchronisation point: `wait()` blocks until every clone has been
+    /// dropped.
+    pub struct WaitGroup(Arc<Inner>);
+
+    impl WaitGroup {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            WaitGroup(Arc::new(Inner {
+                count: Mutex::new(1),
+                zero: Condvar::new(),
+            }))
+        }
+
+        /// Drops this handle and blocks until all other clones are dropped.
+        pub fn wait(self) {
+            let inner = self.0.clone();
+            drop(self); // decrement our own count first
+            let mut count = inner.count.lock().unwrap();
+            while *count > 0 {
+                count = inner.zero.wait(count).unwrap();
+            }
+        }
+    }
+
+    impl Default for WaitGroup {
+        fn default() -> Self {
+            WaitGroup::new()
+        }
+    }
+
+    impl Clone for WaitGroup {
+        fn clone(&self) -> Self {
+            *self.0.count.lock().unwrap() += 1;
+            WaitGroup(self.0.clone())
+        }
+    }
+
+    impl Drop for WaitGroup {
+        fn drop(&mut self) {
+            let mut count = self.0.count.lock().unwrap();
+            *count -= 1;
+            if *count == 0 {
+                drop(count);
+                self.0.zero.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, TryRecvError};
+    use super::sync::WaitGroup;
+
+    #[test]
+    fn unbounded_mpmc_delivers_everything() {
+        let (tx, rx) = unbounded::<usize>();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        tx.send(t * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_blocks_then_unblocks() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = std::thread::spawn(move || tx.send(3).unwrap());
+        assert_eq!(rx.recv().unwrap(), 1);
+        t.join().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn recv_disconnects_when_senders_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn waitgroup_waits_for_all_clones() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let wg = WaitGroup::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let wg = wg.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+                drop(wg);
+            });
+        }
+        wg.wait();
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+    }
+}

@@ -1,0 +1,183 @@
+//! Vendored workalike of the `proptest` API subset this workspace uses.
+//!
+//! The build environment has no crates registry (see `vendor/README.md`),
+//! so this crate re-implements the property-testing surface the test
+//! suites call — `proptest!`, `prop_assert*`, `prop_assume!`,
+//! `prop_oneof!`, `Just`, `any`, range/tuple/regex-string strategies,
+//! `prop_map` / `prop_flat_map` / `boxed`, and `collection::vec` — on top
+//! of the vendored deterministic `rand`.
+//!
+//! Deliberate simplifications versus the real crate:
+//!
+//! - **no shrinking**: a failing case reports the `prop_assert*` message
+//!   (which embeds the compared values) instead of a minimised input;
+//! - **deterministic seeding**: each test derives its RNG seed from the
+//!   test name, so failures reproduce exactly; set `PROPTEST_SEED` to vary
+//!   the stream;
+//! - string strategies accept the small regex subset the workspace uses
+//!   (char classes, groups, `{n,m}` repetition, `\PC`), not full regex.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn` runs its body for many sampled
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+                let mut __cases_run: u32 = 0;
+                let mut __rejects: u32 = 0;
+                while __cases_run < __config.cases {
+                    $(let $pat =
+                        $crate::strategy::Strategy::new_value(&($strat), &mut __rng);)+
+                    let __result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => __cases_run += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(__why),
+                        ) => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects < __config.max_global_rejects,
+                                "proptest `{}`: too many prop_assume rejections ({})",
+                                stringify!($name),
+                                __why,
+                            );
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            panic!(
+                                "proptest `{}` failed at case {}: {}",
+                                stringify!($name),
+                                __cases_run,
+                                __msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current test case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless both sides compare equal; the
+/// message embeds both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r,
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l == *__r, $($fmt)+);
+            }
+        }
+    };
+}
+
+/// Fails the current test case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                );
+            }
+        }
+    };
+}
+
+/// Discards the current test case (does not count towards `cases`) unless
+/// the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among the given strategies (all must produce the same
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,239 @@
+//! The [`Strategy`] trait and combinators.
+//!
+//! A strategy is just "something that can produce a value from the test
+//! RNG" — no shrink trees (see the crate docs for why).
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// Produces values of type `Self::Value` for property tests.
+pub trait Strategy {
+    type Value: Debug;
+
+    /// Samples one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every sampled value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derives a second strategy from each sampled value (dependent
+    /// generation, e.g. dims first, then data of that size).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.new_value(rng)))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// Uniform choice among type-erased strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+}
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].new_value(rng)
+    }
+}
+
+// ---- Ranges are strategies ---------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ---- String literals are regex strategies ------------------------------
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    /// Interprets the literal as a generation pattern (regex subset, see
+    /// [`crate::string`]).
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+// ---- Tuples of strategies are strategies -------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn ranges_maps_and_flat_maps_compose() {
+        let mut rng = rng_for("compose");
+        let strat = (1usize..=4, 1usize..=4)
+            .prop_flat_map(|(r, c)| {
+                crate::collection::vec(0u32..10, r * c).prop_map(move |v| (r, c, v))
+            });
+        for _ in 0..200 {
+            let (r, c, v) = strat.new_value(&mut rng);
+            assert!((1..=4).contains(&r) && (1..=4).contains(&c));
+            assert_eq!(v.len(), r * c);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = rng_for("oneof");
+        let strat = crate::prop_oneof![Just(0u8), Just(1), Just(2)];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.new_value(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn boxed_strategies_support_recursion() {
+        fn tree(depth: u32) -> BoxedStrategy<usize> {
+            if depth == 0 {
+                Just(1usize).boxed()
+            } else {
+                tree(depth - 1).prop_map(|n| n + 1).boxed()
+            }
+        }
+        let mut rng = rng_for("recursion");
+        assert_eq!(tree(3).new_value(&mut rng), 4);
+    }
+}

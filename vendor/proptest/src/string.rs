@@ -1,0 +1,251 @@
+//! String generation from a small regex subset.
+//!
+//! Supports exactly the pattern features the workspace's test suites use
+//! as string strategies:
+//!
+//! - literal characters (`a`, space, …);
+//! - character classes with ranges and literals: `[a-z]`, `[a-z0-9-]`,
+//!   `[A-Z]`;
+//! - `\PC` — "any non-control character" (printable ASCII most of the
+//!   time, a sprinkle of multi-byte unicode to exercise byte-level
+//!   tokenizer paths);
+//! - groups `( ... )`;
+//! - repetition `{n}`, `{n,m}` as a postfix on any of the above.
+//!
+//! Unsupported syntax panics with the offending pattern, so a new test
+//! using a wider feature fails loudly instead of sampling garbage.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// Inclusive char ranges (single chars are degenerate ranges).
+    Class(Vec<(char, char)>),
+    /// Any non-control character.
+    NonControl,
+    Group(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Non-ASCII sample pool for `\PC`: Latin-1, Greek, CJK, emoji — enough
+/// to exercise multi-byte encode/decode paths.
+const UNICODE_SAMPLE: &[char] = &[
+    'é', 'ü', 'ß', 'ñ', 'α', 'β', 'Ω', 'π', 'д', 'ж', '中', '文', '日', '本', '語', '→', '‖',
+    '€', '😀', '🦀', '🌍', '𝕊',
+];
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let nodes = parse_sequence(&mut pattern.chars().peekable(), pattern, false);
+    let mut out = String::new();
+    for node in &nodes {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_sequence(chars: &mut Chars<'_>, pattern: &str, in_group: bool) -> Vec<Node> {
+    let mut nodes: Vec<Node> = Vec::new();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ')' if in_group => break,
+            '(' => {
+                chars.next();
+                let inner = parse_sequence(chars, pattern, true);
+                assert_eq!(
+                    chars.next(),
+                    Some(')'),
+                    "unclosed group in pattern {pattern:?}"
+                );
+                nodes.push(Node::Group(inner));
+            }
+            '[' => {
+                chars.next();
+                nodes.push(parse_class(chars, pattern));
+            }
+            '\\' => {
+                chars.next();
+                match (chars.next(), chars.next()) {
+                    (Some('P'), Some('C')) => nodes.push(Node::NonControl),
+                    (a, b) => panic!(
+                        "unsupported escape `\\{}{}` in pattern {pattern:?}",
+                        a.map(String::from).unwrap_or_default(),
+                        b.map(String::from).unwrap_or_default(),
+                    ),
+                }
+            }
+            '{' => {
+                chars.next();
+                let (lo, hi) = parse_repeat(chars, pattern);
+                let prev = nodes
+                    .pop()
+                    .unwrap_or_else(|| panic!("dangling repetition in pattern {pattern:?}"));
+                nodes.push(Node::Repeat(Box::new(prev), lo, hi));
+            }
+            '*' | '+' | '?' | '|' | '.' | '^' | '$' => {
+                panic!("unsupported regex feature `{c}` in pattern {pattern:?}")
+            }
+            _ => {
+                chars.next();
+                nodes.push(Node::Literal(c));
+            }
+        }
+    }
+    nodes
+}
+
+fn parse_class(chars: &mut Chars<'_>, pattern: &str) -> Node {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                return Node::Class(ranges);
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().unwrap();
+                let hi = chars.next().unwrap();
+                assert!(lo <= hi, "reversed range in pattern {pattern:?}");
+                ranges.push((lo, hi));
+            }
+            c => {
+                if let Some(p) = pending.replace(c) {
+                    ranges.push((p, p));
+                }
+            }
+        }
+    }
+}
+
+fn parse_repeat(chars: &mut Chars<'_>, pattern: &str) -> (u32, u32) {
+    let mut text = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => text.push(c),
+            None => panic!("unclosed repetition in pattern {pattern:?}"),
+        }
+    }
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<u32>()
+            .unwrap_or_else(|_| panic!("bad repetition `{{{text}}}` in pattern {pattern:?}"))
+    };
+    match text.split_once(',') {
+        Some((lo, hi)) => (parse(lo), parse(hi)),
+        None => {
+            let n = parse(&text);
+            (n, n)
+        }
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+            let mut pick = rng.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let size = hi as u32 - lo as u32 + 1;
+                if pick < size {
+                    out.push(char::from_u32(lo as u32 + pick).expect("valid class char"));
+                    return;
+                }
+                pick -= size;
+            }
+            unreachable!("class pick out of range");
+        }
+        Node::NonControl => {
+            if rng.gen_range(0..100) < 85 {
+                out.push(char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap());
+            } else {
+                out.push(UNICODE_SAMPLE[rng.gen_range(0..UNICODE_SAMPLE.len())]);
+            }
+        }
+        Node::Group(nodes) => {
+            for n in nodes {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn class_patterns_stay_in_class() {
+        let mut rng = rng_for("class");
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn multi_range_class_with_literal_dash() {
+        let mut rng = rng_for("dash");
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9-]{0,6}", &mut rng);
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn groups_and_spaces() {
+        let mut rng = rng_for("groups");
+        for _ in 0..100 {
+            let s = generate("[a-z]{2,6}( [a-z]{2,6}){0,3}", &mut rng);
+            for word in s.split(' ') {
+                assert!((2..=6).contains(&word.len()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_control_never_emits_control_chars() {
+        let mut rng = rng_for("nc");
+        let mut saw_non_ascii = false;
+        for _ in 0..300 {
+            let s = generate("\\PC{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64);
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+            saw_non_ascii |= s.chars().any(|c| !c.is_ascii());
+        }
+        assert!(saw_non_ascii, "\\PC should exercise multi-byte chars");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex feature")]
+    fn unsupported_syntax_is_loud() {
+        let mut rng = rng_for("loud");
+        let _ = generate("[a-z]+", &mut rng);
+    }
+}

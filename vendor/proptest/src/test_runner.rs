@@ -1,0 +1,76 @@
+//! Test-case plumbing: config, case outcome, and deterministic seeding.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG driving value generation (deterministic, see [`rng_for`]).
+pub type TestRng = StdRng;
+
+/// Runner configuration. Construct with struct-update syntax, e.g.
+/// `ProptestConfig { cases: 12, ..ProptestConfig::default() }`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Successful cases required per property.
+    pub cases: u32,
+    /// Abort after this many `prop_assume!` rejections (guards against
+    /// assumptions that almost never hold).
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            // The real crate defaults to 256; 64 keeps the whole workspace's
+            // property suites fast on small CI machines while still
+            // exploring the space (override per-suite via proptest_config).
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// Input rejected by `prop_assume!` — generate a fresh one.
+    Reject(String),
+    /// Property violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-test RNG: seeded from the test name (FNV-1a) XOR the
+/// optional `PROPTEST_SEED` environment variable, so a failure reproduces
+/// by re-running the same test and the stream can be varied explicitly.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let extra = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    StdRng::seed_from_u64(hash ^ extra)
+}

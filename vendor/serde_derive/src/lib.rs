@@ -1,0 +1,223 @@
+//! Vendored workalike of `serde_derive` for the vendored `serde` crate's
+//! value model (see `vendor/README.md`).
+//!
+//! No `syn`/`quote` (the registry is unreachable): the item is parsed by
+//! walking `proc_macro::TokenTree`s and the impl is emitted as source text
+//! via `str::parse`. Supported shapes — everything the workspace derives:
+//!
+//! - structs with named fields → JSON-object round-trip keyed by field
+//!   name;
+//! - enums whose variants are all unit variants → JSON string of the
+//!   variant name.
+//!
+//! Anything else (tuple structs, payload-carrying variants, generics,
+//! `#[serde(...)]` attributes) produces a `compile_error!` naming the
+//! limitation rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Splits a brace-group body into top-level comma-separated chunks.
+fn split_commas(body: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => chunks.push(Vec::new()),
+            _ => chunks.last_mut().unwrap().push(tt),
+        }
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Strips leading `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> Result<&[TokenTree], String> {
+    let mut rest = chunk;
+    loop {
+        match rest {
+            [TokenTree::Punct(p), TokenTree::Group(g), tail @ ..]
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let text = g.to_string();
+                if text.starts_with("[serde") {
+                    return Err("#[serde(...)] attributes are not supported by the \
+                                vendored serde_derive"
+                        .to_string());
+                }
+                rest = tail;
+            }
+            [TokenTree::Ident(id), tail @ ..] if id.to_string() == "pub" => {
+                rest = match tail {
+                    [TokenTree::Group(g), t @ ..] if g.delimiter() == Delimiter::Parenthesis => t,
+                    t => t,
+                };
+            }
+            _ => return Ok(rest),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let outer = strip_attrs_and_vis(&tokens)?;
+    let (kind, rest) = match outer {
+        [TokenTree::Ident(id), rest @ ..]
+            if id.to_string() == "struct" || id.to_string() == "enum" =>
+        {
+            (id.to_string(), rest)
+        }
+        _ => return Err("vendored serde_derive supports only `struct` and `enum` items".into()),
+    };
+    let (name, rest) = match rest {
+        [TokenTree::Ident(id), rest @ ..] => (id.to_string(), rest),
+        _ => return Err("expected an item name".into()),
+    };
+    let body = match rest {
+        [TokenTree::Group(g)] if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        [TokenTree::Punct(p), ..] if p.as_char() == '<' => {
+            return Err("generic items are not supported by the vendored serde_derive".into());
+        }
+        _ => {
+            return Err("vendored serde_derive supports only brace-bodied items \
+                        (no tuple structs)"
+                .into());
+        }
+    };
+
+    if kind == "struct" {
+        let mut fields = Vec::new();
+        for chunk in split_commas(body) {
+            let chunk = strip_attrs_and_vis(&chunk)?;
+            match chunk {
+                [TokenTree::Ident(id), TokenTree::Punct(colon), ..]
+                    if colon.as_char() == ':' =>
+                {
+                    fields.push(id.to_string());
+                }
+                _ => return Err("expected a named field (tuple structs unsupported)".into()),
+            }
+        }
+        Ok(Item::Struct { name, fields })
+    } else {
+        let mut variants = Vec::new();
+        for chunk in split_commas(body) {
+            let chunk = strip_attrs_and_vis(&chunk)?;
+            match chunk {
+                [TokenTree::Ident(id)] => variants.push(id.to_string()),
+                _ => {
+                    return Err("vendored serde_derive supports only unit enum variants".into());
+                }
+            }
+        }
+        Ok(Item::Enum { name, variants })
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let src = match item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let src = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             v.get({f:?}).ok_or_else(|| \
+                                 ::serde::DeError::missing_field({f:?}))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("::std::option::Option::Some({v:?}) => \
+                             ::std::result::Result::Ok({name}::{v}),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v.as_str() {{\n\
+                             {arms}\n\
+                             _ => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected({name:?}, v)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse().unwrap()
+}
