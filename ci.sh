@@ -6,4 +6,8 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+cargo test -q -p pc-telemetry
+# Zero-overhead smoke check: a serve with telemetry disabled must record
+# no spans and no metric state, and results must match the enabled path.
+cargo test -q -p prompt-cache --test telemetry_tests
 cargo clippy --all-targets -- -D warnings

@@ -6,10 +6,12 @@ mod real_figs;
 mod serving_exp;
 mod sim_figs;
 mod threads_exp;
+mod ttft_exp;
 
 pub use ablations::ablations;
 pub use serving_exp::{rag, throughput};
 pub use threads_exp::threads;
+pub use ttft_exp::ttft_breakdown;
 pub use real_figs::{fig6_code_generation, fig7_personalization, fig8_parameterized, table1};
 pub use sim_figs::{
     appendix, e2e, fig3, fig4, fig5, measured_fully_cached, memcpy, modelsize, table2,
@@ -31,9 +33,9 @@ pub struct Report {
 }
 
 /// Every experiment id the `figures` binary accepts, in run order.
-pub const ALL_IDS: [&str; 16] = [
+pub const ALL_IDS: [&str; 17] = [
     "fig3", "fig4", "fig5", "table1", "table2", "memcpy", "modelsize", "e2e", "fig6", "fig7",
-    "fig8", "appendix", "ablations", "throughput", "rag", "threads",
+    "fig8", "appendix", "ablations", "throughput", "rag", "threads", "ttft_breakdown",
 ];
 
 /// Runs an experiment by id. `quick` shrinks sample counts for smoke
@@ -56,6 +58,7 @@ pub fn run(id: &str, quick: bool) -> Option<Report> {
         "throughput" => Some(throughput(quick)),
         "rag" => Some(rag(quick)),
         "threads" => Some(threads(quick)),
+        "ttft_breakdown" => Some(ttft_breakdown(quick)),
         _ => None,
     }
 }

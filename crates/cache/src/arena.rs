@@ -9,6 +9,7 @@
 //! The `concat_ablation` bench quantifies the win against naive concat.
 
 use pc_model::{KvCache, ModelError};
+use pc_telemetry::Telemetry;
 
 /// A reusable concatenation buffer for session caches.
 #[derive(Debug)]
@@ -70,6 +71,15 @@ impl ConcatArena {
     /// session outlives the request, e.g. multi-turn conversations).
     pub fn into_cache(self) -> KvCache {
         self.cache
+    }
+
+    /// Records current occupancy into `telemetry` as the
+    /// `pc_arena_rows` / `pc_arena_bytes` gauges (no-op when disabled).
+    pub fn record_occupancy(&self, telemetry: &Telemetry) {
+        telemetry.gauge("pc_arena_rows").set(self.cache.len() as i64);
+        telemetry
+            .gauge("pc_arena_bytes")
+            .set(self.cache.size_bytes() as i64);
     }
 }
 
@@ -148,6 +158,26 @@ mod tests {
         let mut arena = ConcatArena::with_shape(2, 4);
         let cache = arena.rebuild(&[]).unwrap();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn record_occupancy_sets_gauges() {
+        let telemetry = Telemetry::new();
+        let a = seg(3, 1.0);
+        let mut arena = ConcatArena::new(&a);
+        arena.rebuild(&[&a]).unwrap();
+        arena.record_occupancy(&telemetry);
+        let snap = telemetry.snapshot();
+        let gauge = |n: &str| {
+            snap.gauges
+                .iter()
+                .find(|(name, _)| name == n)
+                .map_or(0, |(_, v)| *v)
+        };
+        assert_eq!(gauge("pc_arena_rows"), 3);
+        assert_eq!(gauge("pc_arena_bytes"), arena.cache().size_bytes() as i64);
+        // Disabled telemetry: a no-op, not a panic.
+        arena.record_occupancy(&Telemetry::disabled());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::eviction::{EvictionPolicy, ModuleStats};
 use parking_lot::Mutex;
 use pc_model::KvCache;
+use pc_telemetry::{Counter, Gauge, Telemetry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -77,6 +78,36 @@ pub struct StoreStats {
     pub device_hits: u64,
 }
 
+/// Pre-resolved telemetry handles, so the store's hot paths never take the
+/// registry lock. With disabled telemetry every handle is a no-op
+/// ([`Counter::default`]/[`Gauge::default`]), costing one branch per call.
+#[derive(Debug, Clone, Default)]
+struct StoreMetrics {
+    hits: Counter,
+    misses: Counter,
+    device_hits: Counter,
+    evictions: Counter,
+    bytes_copied_h2d: Counter,
+    host_bytes: Gauge,
+    device_bytes: Gauge,
+    modules: Gauge,
+}
+
+impl StoreMetrics {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        StoreMetrics {
+            hits: telemetry.counter("pc_cache_hits_total"),
+            misses: telemetry.counter("pc_cache_misses_total"),
+            device_hits: telemetry.counter("pc_cache_device_hits_total"),
+            evictions: telemetry.counter("pc_cache_evictions_total"),
+            bytes_copied_h2d: telemetry.counter("pc_cache_bytes_copied_h2d_total"),
+            host_bytes: telemetry.gauge("pc_cache_host_bytes"),
+            device_bytes: telemetry.gauge("pc_cache_device_bytes"),
+            modules: telemetry.gauge("pc_cache_modules"),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Entry {
     cache: Arc<KvCache>,
@@ -109,14 +140,31 @@ struct Inner {
 pub struct ModuleStore {
     config: StoreConfig,
     inner: Mutex<Inner>,
+    metrics: StoreMetrics,
 }
 
 impl ModuleStore {
-    /// Creates an empty store.
+    /// Creates an empty store with telemetry disabled (the [`StoreStats`]
+    /// counters are always on regardless).
     pub fn new(config: StoreConfig) -> Self {
         ModuleStore {
             config,
             inner: Mutex::new(Inner::default()),
+            metrics: StoreMetrics::default(),
+        }
+    }
+
+    /// Creates an empty store that mirrors its activity into `telemetry`:
+    /// `pc_cache_{hits,misses,device_hits,evictions}_total` and
+    /// `pc_cache_bytes_copied_h2d_total` counters plus
+    /// `pc_cache_{host,device}_bytes` / `pc_cache_modules` occupancy
+    /// gauges. Handles are resolved once here, so recording never takes
+    /// the registry lock.
+    pub fn with_telemetry(config: StoreConfig, telemetry: &Telemetry) -> Self {
+        ModuleStore {
+            config,
+            inner: Mutex::new(Inner::default()),
+            metrics: StoreMetrics::resolve(telemetry),
         }
     }
 
@@ -129,12 +177,14 @@ impl ModuleStore {
         let size = cache.size_bytes();
         let clock = inner.clock;
         // Replacing an entry that was resident frees its device budget.
-        if let Some(old) = inner.entries.get(&key) {
-            if old.on_device {
-                let old_size = old.stats.size_bytes;
-                inner.device_used -= old_size;
-            }
+        let old = inner
+            .entries
+            .get(&key)
+            .map(|old| (old.stats.size_bytes, old.on_device));
+        if let Some((old_size, true)) = old {
+            inner.device_used -= old_size;
         }
+        let old_size = old.map(|(size, _)| size);
         inner.entries.insert(
             key,
             Entry {
@@ -148,6 +198,11 @@ impl ModuleStore {
                 on_device: false,
             },
         );
+        self.metrics
+            .host_bytes
+            .add(size as i64 - old_size.unwrap_or(0) as i64);
+        self.metrics.modules.set(inner.entries.len() as i64);
+        self.metrics.device_bytes.set(inner.device_used as i64);
     }
 
     /// Whether the store holds `key`.
@@ -168,11 +223,13 @@ impl ModuleStore {
         let clock = inner.clock;
         if !inner.entries.contains_key(key) {
             inner.stats.misses += 1;
+            self.metrics.misses.inc();
             return None;
         }
         inner.stats.hits += 1;
+        self.metrics.hits.inc();
         if tier == Tier::Device {
-            self.promote(&mut inner, key);
+            self.promote(&mut inner, key, true);
         }
         let entry = inner.entries.get_mut(key).expect("checked above");
         entry.stats.last_access = clock;
@@ -180,15 +237,21 @@ impl ModuleStore {
         Some(Arc::clone(&entry.cache))
     }
 
-    fn promote(&self, inner: &mut Inner, key: &ModuleKey) {
+    /// `count_device_hit` distinguishes real lookups from prefetch, which
+    /// must stay invisible in the hit statistics.
+    fn promote(&self, inner: &mut Inner, key: &ModuleKey, count_device_hit: bool) {
         let size = inner.entries[key].stats.size_bytes;
         if inner.entries[key].on_device {
-            inner.stats.device_hits += 1;
+            if count_device_hit {
+                inner.stats.device_hits += 1;
+                self.metrics.device_hits.inc();
+            }
             return;
         }
         if size > self.config.device_capacity_bytes {
             // Cannot ever be resident: stream it (charged every access).
             inner.stats.bytes_copied_h2d += size as u64;
+            self.metrics.bytes_copied_h2d.add(size as u64);
             return;
         }
         while inner.device_used + size > self.config.device_capacity_bytes {
@@ -206,12 +269,15 @@ impl ModuleStore {
             inner.entries.get_mut(vk).expect("victim exists").on_device = false;
             inner.device_used -= vs.size_bytes;
             inner.stats.evictions += 1;
+            self.metrics.evictions.inc();
         }
         if inner.device_used + size <= self.config.device_capacity_bytes {
             inner.entries.get_mut(key).expect("present").on_device = true;
             inner.device_used += size;
             inner.stats.bytes_copied_h2d += size as u64;
+            self.metrics.bytes_copied_h2d.add(size as u64);
         }
+        self.metrics.device_bytes.set(inner.device_used as i64);
     }
 
     /// Prefetches modules into the device tier without counting a hit —
@@ -228,12 +294,11 @@ impl ModuleStore {
             }
             let before = inner.stats.bytes_copied_h2d;
             let was_resident = inner.entries[key].on_device;
-            self.promote(&mut inner, key);
-            // promote() counts a device hit for resident modules; undo
-            // that so prefetch stays invisible in the hit statistics.
-            if was_resident {
-                inner.stats.device_hits -= 1;
-            } else if inner.stats.bytes_copied_h2d > before && inner.entries[key].on_device {
+            self.promote(&mut inner, key, false);
+            if !was_resident
+                && inner.stats.bytes_copied_h2d > before
+                && inner.entries[key].on_device
+            {
                 promoted += 1;
             }
         }
@@ -256,6 +321,9 @@ impl ModuleStore {
             if e.on_device {
                 inner.device_used -= e.stats.size_bytes;
             }
+            self.metrics.host_bytes.add(-(e.stats.size_bytes as i64));
+            self.metrics.modules.set(inner.entries.len() as i64);
+            self.metrics.device_bytes.set(inner.device_used as i64);
             true
         } else {
             false
@@ -276,8 +344,11 @@ impl ModuleStore {
                 if e.on_device {
                     inner.device_used -= e.stats.size_bytes;
                 }
+                self.metrics.host_bytes.add(-(e.stats.size_bytes as i64));
             }
         }
+        self.metrics.modules.set(inner.entries.len() as i64);
+        self.metrics.device_bytes.set(inner.device_used as i64);
     }
 
     /// Number of stored modules.
@@ -549,6 +620,56 @@ mod tests {
         assert_eq!(store.prefetch(&[key("a")]), 1);
         assert_eq!(store.prefetch(&[key("a")]), 0);
         assert_eq!(store.stats().device_hits, 0);
+    }
+
+    #[test]
+    fn telemetry_mirrors_store_activity() {
+        let telemetry = Telemetry::new();
+        let store = ModuleStore::with_telemetry(
+            StoreConfig {
+                device_capacity_bytes: 1 << 20,
+                ..Default::default()
+            },
+            &telemetry,
+        );
+        let size = module(3).size_bytes();
+        store.insert(key("a"), module(3), 1.0);
+        store.get(&key("a"), Tier::Device); // promote (copy)
+        store.get(&key("a"), Tier::Device); // device hit
+        store.get(&key("missing"), Tier::Host); // miss
+
+        let snap = telemetry.snapshot();
+        let counter = |n: &str| {
+            snap.counters
+                .iter()
+                .find(|(name, _)| name == n)
+                .map_or(0, |(_, v)| *v)
+        };
+        let gauge = |n: &str| {
+            snap.gauges
+                .iter()
+                .find(|(name, _)| name == n)
+                .map_or(0, |(_, v)| *v)
+        };
+        assert_eq!(counter("pc_cache_hits_total"), 2);
+        assert_eq!(counter("pc_cache_misses_total"), 1);
+        assert_eq!(counter("pc_cache_device_hits_total"), 1);
+        assert_eq!(counter("pc_cache_bytes_copied_h2d_total"), size as u64);
+        assert_eq!(gauge("pc_cache_modules"), 1);
+        assert_eq!(gauge("pc_cache_host_bytes"), size as i64);
+        assert_eq!(gauge("pc_cache_device_bytes"), size as i64);
+
+        store.remove(&key("a"));
+        let snap = telemetry.snapshot();
+        let gauge = |n: &str| {
+            snap.gauges
+                .iter()
+                .find(|(name, _)| name == n)
+                .map_or(0, |(_, v)| *v)
+        };
+        assert_eq!(gauge("pc_cache_modules"), 0);
+        assert_eq!(gauge("pc_cache_host_bytes"), 0);
+        assert_eq!(gauge("pc_cache_device_bytes"), 0);
     }
 
     #[test]

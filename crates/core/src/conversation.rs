@@ -77,6 +77,7 @@ impl Conversation<'_> {
         let started = Instant::now();
         let tokenizer = self.engine.tokenizer();
         let tokens = tokenizer.encode(user_text);
+        let tokenize_end = started.elapsed();
         let history_tokens = self.cache.len();
         let start_pos = self.next_position();
         let positions: Vec<usize> = (start_pos..start_pos + tokens.len()).collect();
@@ -128,6 +129,12 @@ impl Conversation<'_> {
                 fetch: std::time::Duration::ZERO,
                 prefill,
                 decode: started.elapsed() - ttft,
+            },
+            breakdown: crate::TtftBreakdown {
+                tokenize: tokenize_end,
+                fetch: std::time::Duration::ZERO,
+                prefill: prefill.saturating_sub(tokenize_end),
+                sample: ttft.saturating_sub(prefill),
             },
             stats: crate::ServeStats {
                 cached_tokens: history_tokens,

@@ -2,7 +2,7 @@
 //! baseline KV-cache path.
 
 use crate::render::{render_plain, span_tokens, uncached_chunk, SpanTokens};
-use crate::response::{Response, ServeStats, Timings};
+use crate::response::{Response, ServeStats, Timings, TtftBreakdown};
 use crate::scaffold::Scaffold;
 use crate::{EngineError, Result};
 use parking_lot::RwLock;
@@ -12,12 +12,13 @@ use pc_pml::layout::{ModulePath, SchemaLayout};
 use pc_pml::resolve::{resolve_prompt, ResolvedPart, ResolvedPrompt};
 use pc_pml::template::ChatTemplate;
 use pc_pml::{parse_prompt, parse_schema, Schema};
+use pc_telemetry::Telemetry;
 use pc_tensor::par::run_tasks;
 use pc_tensor::Parallelism;
 use pc_tokenizer::{SpecialToken, Tokenizer};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Engine configuration.
 #[derive(Debug, Clone, Default)]
@@ -41,6 +42,13 @@ pub struct EngineConfig {
     /// the next request is likely to pick a different member at the same
     /// positions.
     pub prefetch_union_siblings: bool,
+    /// Telemetry collector threaded through the engine, module store, and
+    /// model: serve phases become spans, cache activity becomes
+    /// `pc_cache_*` counters/gauges, sampled forward passes record
+    /// per-layer attention/MLP histograms. Defaults to
+    /// [`Telemetry::disabled`], where every recording call is a single
+    /// branch — serve results are identical with telemetry on or off.
+    pub telemetry: Telemetry,
 }
 
 /// Per-call serving options.
@@ -109,7 +117,8 @@ impl PromptCache {
         tokenizer: impl Tokenizer + Send + Sync + 'static,
         config: EngineConfig,
     ) -> Self {
-        let store = ModuleStore::new(config.store.clone());
+        let store = ModuleStore::with_telemetry(config.store.clone(), &config.telemetry);
+        let model = model.with_telemetry(config.telemetry.clone());
         PromptCache {
             model: Arc::new(model),
             tokenizer: Arc::new(tokenizer),
@@ -122,6 +131,12 @@ impl PromptCache {
     /// The underlying model.
     pub fn model(&self) -> &Model {
         &self.model
+    }
+
+    /// The engine's telemetry handle (disabled unless one was supplied in
+    /// [`EngineConfig::telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.config.telemetry
     }
 
     /// The engine tokenizer.
@@ -516,6 +531,15 @@ impl PromptCache {
         options: &ServeOptions,
         on_token: &mut dyn FnMut(TokenId, usize),
     ) -> Result<(Response, KvCache)> {
+        // One clock, cumulative checkpoints: each TTFT phase is the delta
+        // between consecutive checkpoints, so the TtftBreakdown phases sum
+        // to `Timings.ttft` exactly.
+        let telemetry = &self.config.telemetry;
+        let serve_span = telemetry.span("serve");
+        let started = Instant::now();
+
+        // --- step ①: parse, resolve, and tokenise uncached text ---
+        let resolve_span = telemetry.span("schema-resolve");
         let prompt = parse_prompt(prompt_pml)?;
         let schemas = self.schemas.read();
         let entry = schemas
@@ -525,10 +549,14 @@ impl PromptCache {
             })?;
         let counter = |t: &str| self.count(t);
         let resolved = resolve_prompt(&entry.layout, &prompt, &counter)?;
-
-        let started = Instant::now();
+        drop(resolve_span);
+        let tokenize_span = telemetry.span("tokenize");
+        let chunk = uncached_chunk(&resolved, self.tokenizer.as_ref());
+        drop(tokenize_span);
+        let tokenize_end = started.elapsed();
 
         // --- step ②: fetch cached states and concatenate ---
+        let fetch_span = telemetry.span("cache-fetch");
         let tier = options.tier.or(self.config.tier).unwrap_or(Tier::Host);
         let mut arena = ConcatArena::with_shape(
             self.model.config().num_layers,
@@ -652,10 +680,12 @@ impl PromptCache {
                     2 * states.num_layers() * (e - s) * states.kv_dim() * 4;
             }
         }
-        let fetch_time = started.elapsed();
+        arena.record_occupancy(telemetry);
+        drop(fetch_span);
+        let fetch_end = started.elapsed();
 
         // --- steps ③/④: compute uncached tokens at their positions ---
-        let chunk = uncached_chunk(&resolved, self.tokenizer.as_ref());
+        let prefill_span = telemetry.span("prefill");
         let eos = self.tokenizer.special(SpecialToken::Eos);
         let session = arena.cache_mut();
 
@@ -674,7 +704,8 @@ impl PromptCache {
             session.truncate(last_row);
             self.model.prefill(&[last_token], &[last_pos], session)?
         };
-        let prefill_time = started.elapsed() - fetch_time;
+        drop(prefill_span);
+        let prefill_end = started.elapsed();
 
         // --- decode ---
         let mut sampler: Box<dyn Sampler> = match options.temperature {
@@ -689,7 +720,14 @@ impl PromptCache {
             sampler.as_mut(),
             started,
             on_token,
+            telemetry,
         )?;
+        let breakdown = TtftBreakdown {
+            tokenize: tokenize_end,
+            fetch: fetch_end - tokenize_end,
+            prefill: prefill_end - fetch_end,
+            sample: ttft.saturating_sub(prefill_end),
+        };
 
         // Union prefetching (§3.2.3): warm the device tier with the
         // siblings of every imported union member, outside the timed
@@ -721,10 +759,11 @@ impl PromptCache {
             tokens,
             timings: Timings {
                 ttft,
-                fetch: fetch_time,
-                prefill: prefill_time,
+                fetch: breakdown.fetch,
+                prefill: breakdown.prefill,
                 decode,
             },
+            breakdown,
             stats: ServeStats {
                 cached_tokens: cached_rows,
                 new_tokens: chunk.tokens.len(),
@@ -733,6 +772,7 @@ impl PromptCache {
             },
             warnings: resolved.warnings,
         };
+        drop(serve_span);
         Ok((response, arena.into_cache()))
     }
 
@@ -772,15 +812,22 @@ impl PromptCache {
         options: &ServeOptions,
         warnings: Vec<String>,
     ) -> Result<Response> {
+        let telemetry = &self.config.telemetry;
+        let serve_span = telemetry.span("serve-baseline");
+        let started = Instant::now();
+        let tokenize_span = telemetry.span("tokenize");
         let tokens = self.tokenizer.encode(text);
+        drop(tokenize_span);
         if tokens.is_empty() {
             return Err(EngineError::EmptyPrompt);
         }
         let positions: Vec<usize> = (0..tokens.len()).collect();
-        let started = Instant::now();
+        let tokenize_end = started.elapsed();
+        let prefill_span = telemetry.span("prefill");
         let mut cache = KvCache::new(self.model.config());
         let last_logits = self.model.prefill(&tokens, &positions, &mut cache)?;
-        let prefill_time = started.elapsed();
+        drop(prefill_span);
+        let prefill_end = started.elapsed();
         let eos = self.tokenizer.special(SpecialToken::Eos);
         let mut sampler: Box<dyn Sampler> = match options.temperature {
             Some((t, seed)) => Box::new(TemperatureSampler::new(t, seed)),
@@ -794,16 +841,25 @@ impl PromptCache {
             sampler.as_mut(),
             started,
             &mut |_, _| {},
+            telemetry,
         )?;
+        let breakdown = TtftBreakdown {
+            tokenize: tokenize_end,
+            fetch: Duration::ZERO,
+            prefill: prefill_end - tokenize_end,
+            sample: ttft.saturating_sub(prefill_end),
+        };
+        drop(serve_span);
         Ok(Response {
             text: self.tokenizer.decode(&out),
             tokens: out,
             timings: Timings {
                 ttft,
-                fetch: std::time::Duration::ZERO,
-                prefill: prefill_time,
+                fetch: Duration::ZERO,
+                prefill: breakdown.prefill,
                 decode,
             },
+            breakdown,
             stats: ServeStats {
                 cached_tokens: 0,
                 new_tokens: tokens.len(),
@@ -840,12 +896,19 @@ impl PromptCache {
         sampler: &mut dyn Sampler,
         started: Instant,
         on_token: &mut dyn FnMut(TokenId, usize),
-    ) -> Result<(Vec<TokenId>, std::time::Duration, std::time::Duration)> {
+        telemetry: &Telemetry,
+    ) -> Result<(Vec<TokenId>, Duration, Duration)> {
         let mut tokens = Vec::new();
-        let mut ttft = std::time::Duration::ZERO;
+        let mut ttft = Duration::ZERO;
         let mut next_pos = cache.positions().iter().max().map_or(0, |p| p + 1);
         while tokens.len() < max_new_tokens {
-            let token = sampler.sample(&logits);
+            let token = if tokens.is_empty() {
+                // The first sample closes the TTFT window.
+                let _sample_span = telemetry.span("sample");
+                sampler.sample(&logits)
+            } else {
+                sampler.sample(&logits)
+            };
             tokens.push(token);
             if tokens.len() == 1 {
                 ttft = started.elapsed();

@@ -44,8 +44,9 @@ pub use batch::{BatchReport, BatchSharing};
 pub use conversation::{Conversation, Turn};
 pub use engine::{EngineConfig, PromptCache, ServeOptions};
 pub use pc_tensor::Parallelism;
+pub use pc_telemetry::Telemetry;
 pub use error::EngineError;
-pub use response::{Response, ServeStats, Timings};
+pub use response::{Response, ServeStats, Timings, TtftBreakdown};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, EngineError>;

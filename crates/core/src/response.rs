@@ -6,10 +6,12 @@ use std::time::Duration;
 /// Latency breakdown of one serve call.
 ///
 /// `ttft` is the paper's headline metric — "the time to generate the
-/// first token" — and equals `fetch + prefill + first sample`. Decode time
-/// is identical between Prompt Cache and the baseline by construction
-/// (§5: "Prompt Cache and KV Cache have the same decoding latency after
-/// the first token").
+/// first token" — measured from serve entry, so it equals
+/// `tokenize + fetch + prefill + first sample` (the full per-phase
+/// accounting lives in [`TtftBreakdown`]). Decode time is identical
+/// between Prompt Cache and the baseline by construction (§5: "Prompt
+/// Cache and KV Cache have the same decoding latency after the first
+/// token").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Timings {
     /// Time to first token.
@@ -20,6 +22,41 @@ pub struct Timings {
     pub prefill: Duration,
     /// Time spent decoding the remaining tokens.
     pub decode: Duration,
+}
+
+/// Exhaustive per-phase accounting of time-to-first-token, built from
+/// cumulative checkpoints on one clock so the phases **sum exactly to
+/// `Timings.ttft`** — the paper's Figure-3-style breakdown (attention
+/// compute vs. KV retrieval) as first-class serve output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TtftBreakdown {
+    /// Prompt parsing, schema resolution, and tokenisation of uncached
+    /// text (zero-cache-adjacent work done before any state is touched).
+    pub tokenize: Duration,
+    /// Fetching cached module states and concatenating them into the
+    /// session cache — the memcpy the paper trades attention FLOPs for.
+    pub fetch: Duration,
+    /// Transformer prefill over the uncached tokens at gap positions.
+    pub prefill: Duration,
+    /// Sampling the first output token from the prefill logits.
+    pub sample: Duration,
+}
+
+impl TtftBreakdown {
+    /// Sum of all phases — equals the measured TTFT by construction.
+    pub fn total(&self) -> Duration {
+        self.tokenize + self.fetch + self.prefill + self.sample
+    }
+
+    /// `(phase name, duration)` pairs in pipeline order, for reports.
+    pub fn phases(&self) -> [(&'static str, Duration); 4] {
+        [
+            ("tokenize", self.tokenize),
+            ("fetch", self.fetch),
+            ("prefill", self.prefill),
+            ("sample", self.sample),
+        ]
+    }
 }
 
 /// Cache-effectiveness counters for one serve call.
@@ -56,6 +93,8 @@ pub struct Response {
     pub tokens: Vec<u32>,
     /// Latency breakdown.
     pub timings: Timings,
+    /// Per-phase TTFT accounting (phases sum to `timings.ttft`).
+    pub breakdown: TtftBreakdown,
     /// Cache counters.
     pub stats: ServeStats,
     /// Non-fatal issues from prompt resolution.
@@ -65,6 +104,19 @@ pub struct Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn breakdown_total_sums_phases() {
+        let b = TtftBreakdown {
+            tokenize: Duration::from_micros(10),
+            fetch: Duration::from_micros(20),
+            prefill: Duration::from_micros(30),
+            sample: Duration::from_micros(5),
+        };
+        assert_eq!(b.total(), Duration::from_micros(65));
+        assert_eq!(b.phases()[0], ("tokenize", Duration::from_micros(10)));
+        assert_eq!(b.phases().iter().map(|(_, d)| *d).sum::<Duration>(), b.total());
+    }
 
     #[test]
     fn hit_ratio_bounds() {

@@ -1,0 +1,105 @@
+//! End-to-end telemetry tests: the TTFT breakdown must account for the
+//! measured TTFT, spans must cover the serve path, and disabling
+//! telemetry must leave serve results untouched (the zero-overhead
+//! contract).
+
+use pc_model::{Model, ModelConfig};
+use pc_tokenizer::WordTokenizer;
+use prompt_cache::{EngineConfig, PromptCache, Response, ServeOptions, Telemetry};
+
+const CORPUS: &str = "the miami coast has warm beaches surf and sun all year \
+    you are a helpful travel assistant highlight surf spots please";
+
+const SCHEMA: &str = r#"
+  <schema name="doc">
+    <module name="beach">
+      the miami coast has warm beaches surf and sun all year
+    </module>
+  </schema>"#;
+
+const PROMPT: &str = r#"<prompt schema="doc"><beach/>highlight surf spots please</prompt>"#;
+
+fn engine(telemetry: Telemetry) -> PromptCache {
+    let model = Model::new(ModelConfig::llama_tiny(256), 42);
+    let tokenizer = WordTokenizer::train(&[CORPUS]);
+    let engine = PromptCache::new(
+        model,
+        tokenizer,
+        EngineConfig {
+            telemetry,
+            ..Default::default()
+        },
+    );
+    engine.register_schema(SCHEMA).unwrap();
+    engine
+}
+
+fn opts() -> ServeOptions {
+    ServeOptions {
+        max_new_tokens: 4,
+        ..Default::default()
+    }
+}
+
+fn assert_breakdown_accounts_for_ttft(response: &Response) {
+    let ttft = response.timings.ttft.as_secs_f64();
+    let total = response.breakdown.total().as_secs_f64();
+    // Phases are cumulative-checkpoint deltas on one clock, so their sum
+    // matches the measured TTFT up to Duration rounding — well inside the
+    // 5% acceptance bound.
+    assert!(
+        (total - ttft).abs() <= 0.05 * ttft.max(1e-9),
+        "breakdown sum {total}s vs ttft {ttft}s"
+    );
+    assert!(response.breakdown.prefill > std::time::Duration::ZERO);
+}
+
+#[test]
+fn breakdown_accounts_for_ttft_cached_and_uncached() {
+    let engine = engine(Telemetry::new());
+    // Cold serve: the module encodes on first use (uncached fetch path).
+    let cold = engine.serve_with(PROMPT, &opts()).unwrap();
+    assert_breakdown_accounts_for_ttft(&cold);
+    // Warm serve: the module is now cached; fetch is a state copy.
+    let warm = engine.serve_with(PROMPT, &opts()).unwrap();
+    assert_breakdown_accounts_for_ttft(&warm);
+    assert!(warm.stats.cached_tokens > 0, "second serve must hit cache");
+    // Fully uncached baseline path.
+    let plain = engine
+        .generate_plain("highlight surf spots please", &opts(), Vec::new())
+        .unwrap();
+    assert_breakdown_accounts_for_ttft(&plain);
+    assert_eq!(plain.breakdown.fetch, std::time::Duration::ZERO);
+}
+
+#[test]
+fn serve_emits_expected_spans_and_no_spans_when_disabled() {
+    let telemetry = Telemetry::new();
+    let engine = engine(telemetry.clone());
+    engine.serve_with(PROMPT, &opts()).unwrap();
+    let names: Vec<&str> = telemetry.spans().iter().map(|s| s.name).collect();
+    for expected in ["serve", "schema-resolve", "tokenize", "cache-fetch", "prefill", "sample"] {
+        assert!(names.contains(&expected), "missing span {expected} in {names:?}");
+    }
+
+    let disabled = Telemetry::disabled();
+    let engine = self::engine(disabled.clone());
+    engine.serve_with(PROMPT, &opts()).unwrap();
+    assert!(disabled.spans().is_empty(), "disabled telemetry must record nothing");
+    assert!(disabled.snapshot().counters.is_empty());
+}
+
+#[test]
+fn telemetry_does_not_change_serve_results() {
+    let with = engine(Telemetry::new());
+    let without = engine(Telemetry::disabled());
+    for e in [&with, &without] {
+        // Warm both engines identically so cache state matches.
+        e.serve_with(PROMPT, &opts()).unwrap();
+    }
+    let a = with.serve_with(PROMPT, &opts()).unwrap();
+    let b = without.serve_with(PROMPT, &opts()).unwrap();
+    assert_eq!(a.tokens, b.tokens, "telemetry must not perturb sampling");
+    assert_eq!(a.text, b.text);
+    assert_eq!(a.stats, b.stats);
+}

@@ -4,8 +4,15 @@ use crate::attention::attention_chunk;
 use crate::pos::{AlibiTable, RopeTable};
 use crate::sampler::Sampler;
 use crate::{Family, KvCache, ModelConfig, ModelError, ModelWeights, Result, TokenId};
+use pc_telemetry::Telemetry;
 use pc_tensor::ops;
 use pc_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// Per-layer attention/MLP timing is sampled on every `N`-th forward pass
+/// (per [`Telemetry::should_sample`]) so the hot loop stays free of clock
+/// reads in the common case.
+const LAYER_TIMING_SAMPLE_EVERY: u64 = 16;
 
 /// A decoder-only transformer with seeded random weights.
 ///
@@ -18,6 +25,7 @@ pub struct Model {
     weights: ModelWeights,
     rope: Option<RopeTable>,
     alibi: Option<AlibiTable>,
+    telemetry: Telemetry,
 }
 
 impl Model {
@@ -39,7 +47,21 @@ impl Model {
             weights,
             rope,
             alibi,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle; per-layer attention/MLP timings are
+    /// recorded into `pc_model_attention_seconds` /
+    /// `pc_model_mlp_seconds` histograms on sampled forward passes.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the telemetry handle in place (see [`Model::with_telemetry`]).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The model's configuration.
@@ -224,8 +246,14 @@ impl Model {
         let mut gate = vec![0.0f32; n * ff];
         let mut down = vec![0.0f32; n * d];
 
+        // Timing is sampled: most passes skip every clock read below.
+        let timed = self.telemetry.should_sample(LAYER_TIMING_SAMPLE_EVERY);
+        let mut attn_time = Duration::ZERO;
+        let mut mlp_time = Duration::ZERO;
+
         for (layer_idx, lw) in self.weights.layers.iter().enumerate() {
             // --- attention path ---
+            let attn_start = timed.then(Instant::now);
             normed.copy_from_slice(&x);
             self.apply_norm(&mut normed, &lw.norm1_w, &lw.norm1_b);
 
@@ -265,20 +293,40 @@ impl Model {
                 &mut attn,
             );
             ops::matmul_transb_slices_par(&attn, lw.wo.data(), &mut proj, n, d, d, par);
+            if let Some(t) = attn_start {
+                attn_time += t.elapsed();
+            }
 
             if matches!(cfg.family, Family::Falcon) {
                 // Parallel block: MLP reads the same normed input; both
                 // paths add to the residual stream together.
+                let mlp_start = timed.then(Instant::now);
                 self.mlp(lw, &normed, &mut up, &mut gate, &mut down, n);
+                if let Some(t) = mlp_start {
+                    mlp_time += t.elapsed();
+                }
                 ops::add_assign_slice(&mut x, &proj);
                 ops::add_assign_slice(&mut x, &down);
             } else {
                 ops::add_assign_slice(&mut x, &proj);
+                let mlp_start = timed.then(Instant::now);
                 normed.copy_from_slice(&x);
                 self.apply_norm(&mut normed, &lw.norm2_w, &lw.norm2_b);
                 self.mlp(lw, &normed, &mut up, &mut gate, &mut down, n);
+                if let Some(t) = mlp_start {
+                    mlp_time += t.elapsed();
+                }
                 ops::add_assign_slice(&mut x, &down);
             }
+        }
+
+        if timed {
+            self.telemetry
+                .latency_histogram("pc_model_attention_seconds")
+                .observe(attn_time.as_secs_f64());
+            self.telemetry
+                .latency_histogram("pc_model_mlp_seconds")
+                .observe(mlp_time.as_secs_f64());
         }
 
         self.apply_norm(&mut x, &self.weights.final_norm_w, &self.weights.final_norm_b);
@@ -568,6 +616,23 @@ mod tests {
         assert_eq!(seg.len(), 3);
         assert_eq!(seg.positions(), &[10, 11, 12]);
         assert_eq!(seg.num_layers(), cfg.num_layers);
+    }
+
+    #[test]
+    fn layer_timing_recorded_when_telemetry_enabled() {
+        let telemetry = Telemetry::new();
+        let cfg = ModelConfig::llama_tiny(64);
+        let model = Model::new(cfg.clone(), 1).with_telemetry(telemetry.clone());
+        let mut cache = KvCache::new(&cfg);
+        // First forward pass is always sampled (`should_sample` fires on 0).
+        model.forward(&[1, 2, 3], &[0, 1, 2], &mut cache).unwrap();
+        let snap = telemetry.snapshot();
+        let names: Vec<&str> = snap.histograms.iter().map(|h| h.name.as_str()).collect();
+        assert!(names.contains(&"pc_model_attention_seconds"), "{names:?}");
+        assert!(names.contains(&"pc_model_mlp_seconds"), "{names:?}");
+        for h in &snap.histograms {
+            assert_eq!(h.count, 1);
+        }
     }
 
     #[test]

@@ -34,9 +34,10 @@ impl LatencyRecorder {
     }
 
     /// The `q`-th percentile (`0.0..=100.0`) by nearest-rank, or `None`
-    /// when empty.
+    /// when empty. Sorts the samples in place under the lock — no clone;
+    /// later `record` calls append and the next query re-sorts.
     pub fn percentile(&self, q: f64) -> Option<Duration> {
-        let mut samples = self.samples.lock().clone();
+        let mut samples = self.samples.lock();
         if samples.is_empty() {
             return None;
         }
@@ -109,6 +110,23 @@ mod tests {
         assert!(rec.is_empty());
         assert_eq!(rec.percentile(50.0), None);
         assert_eq!(rec.mean(), None);
+    }
+
+    #[test]
+    fn percentile_stays_exact_after_interleaved_records() {
+        // The in-place sort must not disturb later queries: recording
+        // after a percentile query (which sorted the buffer) still yields
+        // exact nearest-rank answers.
+        let rec = LatencyRecorder::new();
+        for v in [50, 10, 30] {
+            rec.record(ms(v));
+        }
+        assert_eq!(rec.percentile(100.0), Some(ms(50)));
+        rec.record(ms(20));
+        rec.record(ms(40));
+        assert_eq!(rec.percentile(50.0), Some(ms(30)));
+        assert_eq!(rec.percentile(100.0), Some(ms(50)));
+        assert_eq!(rec.len(), 5);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The worker-pool server.
 
-use crate::metrics::{LatencyRecorder, MetricsSnapshot};
+use crate::metrics::MetricsSnapshot;
 use crossbeam::channel::{bounded, Receiver, Sender};
+use pc_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use prompt_cache::{EngineError, PromptCache, Response, ServeOptions};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -77,13 +78,33 @@ struct Job {
     reply: Sender<RequestResult>,
 }
 
-#[derive(Default)]
+/// Per-server metric state: an always-on [`Telemetry`] registry with
+/// pre-resolved handles, replacing the bespoke sample-vector aggregation
+/// this crate used to carry. Recording is atomics-only on the worker
+/// path; the registry lock is touched exactly once per handle, here.
 struct Shared {
-    served: AtomicU64,
-    failed: AtomicU64,
-    ttft: LatencyRecorder,
-    service: LatencyRecorder,
-    queue: LatencyRecorder,
+    telemetry: Telemetry,
+    served: Counter,
+    failed: Counter,
+    ttft: Histogram,
+    service: Histogram,
+    queue: Histogram,
+    queue_depth: Gauge,
+}
+
+impl Default for Shared {
+    fn default() -> Self {
+        let telemetry = Telemetry::new();
+        Shared {
+            served: telemetry.counter("pc_requests_served_total"),
+            failed: telemetry.counter("pc_requests_failed_total"),
+            ttft: telemetry.latency_histogram("pc_ttft_seconds"),
+            service: telemetry.latency_histogram("pc_service_seconds"),
+            queue: telemetry.latency_histogram("pc_queue_wait_seconds"),
+            queue_depth: telemetry.gauge("pc_queue_depth"),
+            telemetry,
+        }
+    }
 }
 
 /// A multi-threaded Prompt Cache server. See the [crate docs](crate).
@@ -145,6 +166,7 @@ impl Server {
             submitted: Instant::now(),
             reply,
         };
+        self.shared.queue_depth.add(1);
         self.tx
             .as_ref()
             .expect("server not shut down")
@@ -155,15 +177,55 @@ impl Server {
 
     /// Current metrics.
     pub fn metrics(&self) -> MetricsSnapshot {
+        let dur = |s: Option<f64>| s.map(Duration::from_secs_f64);
         MetricsSnapshot {
-            served: self.shared.served.load(Ordering::Relaxed),
-            failed: self.shared.failed.load(Ordering::Relaxed),
-            ttft_p50: self.shared.ttft.percentile(50.0),
-            ttft_p95: self.shared.ttft.percentile(95.0),
-            ttft_p99: self.shared.ttft.percentile(99.0),
-            service_mean: self.shared.service.mean(),
-            queue_mean: self.shared.queue.mean(),
+            served: self.shared.served.get(),
+            failed: self.shared.failed.get(),
+            ttft_p50: dur(self.shared.ttft.percentile(50.0)),
+            ttft_p95: dur(self.shared.ttft.percentile(95.0)),
+            ttft_p99: dur(self.shared.ttft.percentile(99.0)),
+            service_mean: dur(self.shared.service.mean()),
+            queue_mean: dur(self.shared.queue.mean()),
         }
+    }
+
+    /// All server and cache metrics in Prometheus text exposition format
+    /// — the payload a `/metrics` HTTP endpoint would return. Contains
+    /// the server's own registry (`pc_requests_*_total`, the
+    /// `pc_ttft_seconds` / `pc_service_seconds` / `pc_queue_wait_seconds`
+    /// histograms, the `pc_queue_depth` gauge), everything the engine's
+    /// telemetry recorded (when enabled), and the module-store counters
+    /// (`pc_cache_*_total`), which are synthesised from the always-on
+    /// [`prompt_cache::PromptCache::store_stats`] if the engine registry
+    /// did not already provide them.
+    pub fn metrics_text(&self) -> String {
+        let mut snap = self.shared.telemetry.snapshot();
+        let engine_snap = self.engine.telemetry().snapshot();
+        snap.counters.extend(engine_snap.counters);
+        snap.gauges.extend(engine_snap.gauges);
+        snap.histograms.extend(engine_snap.histograms);
+        let stats = self.engine.store_stats();
+        for (name, value) in [
+            ("pc_cache_hits_total", stats.hits),
+            ("pc_cache_misses_total", stats.misses),
+            ("pc_cache_device_hits_total", stats.device_hits),
+            ("pc_cache_evictions_total", stats.evictions),
+            ("pc_cache_bytes_copied_h2d_total", stats.bytes_copied_h2d),
+        ] {
+            if !snap.counters.iter().any(|(n, _)| n == name) {
+                snap.counters.push((name.to_owned(), value));
+            }
+        }
+        snap.counters.sort();
+        snap.gauges.sort();
+        snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        pc_telemetry::export::prometheus_text(&snap)
+    }
+
+    /// The server's own telemetry registry (always enabled; distinct from
+    /// the engine's [`prompt_cache::EngineConfig::telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
     }
 
     /// Drains the queue and joins the workers. Pending requests complete
@@ -189,13 +251,14 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("workers", &self.workers.len())
-            .field("served", &self.shared.served.load(Ordering::Relaxed))
+            .field("served", &self.shared.served.get())
             .finish()
     }
 }
 
 fn worker_loop(rx: &Receiver<Job>, engine: &PromptCache, shared: &Shared) {
     while let Ok(job) = rx.recv() {
+        shared.queue_depth.add(-1);
         let queue_time = job.submitted.elapsed();
         let start = Instant::now();
         let outcome = if job.baseline {
@@ -206,15 +269,15 @@ fn worker_loop(rx: &Receiver<Job>, engine: &PromptCache, shared: &Shared) {
         let service_time = start.elapsed();
         match &outcome {
             Ok(response) => {
-                shared.served.fetch_add(1, Ordering::Relaxed);
-                shared.ttft.record(response.timings.ttft);
+                shared.served.inc();
+                shared.ttft.observe(response.timings.ttft.as_secs_f64());
             }
             Err(_) => {
-                shared.failed.fetch_add(1, Ordering::Relaxed);
+                shared.failed.inc();
             }
         }
-        shared.service.record(service_time);
-        shared.queue.record(queue_time);
+        shared.service.observe(service_time.as_secs_f64());
+        shared.queue.observe(queue_time.as_secs_f64());
         // Receiver may have been dropped (caller gave up) — fine.
         let _ = job.reply.send(RequestResult {
             id: job.id,
@@ -358,6 +421,69 @@ mod tests {
         let handle = server.submit(r#"<prompt schema="s"><ctx/>one</prompt>"#.into(), opts());
         handle.wait().unwrap();
         drop(server); // Drop impl joins workers without hanging
+    }
+
+    #[test]
+    fn metrics_text_is_valid_prometheus_with_expected_series() {
+        let server = Server::start(engine(), ServerConfig::default());
+        server
+            .submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+            .wait()
+            .unwrap();
+        let text = server.metrics_text();
+        assert!(text.contains("# TYPE pc_cache_hits_total counter"), "{text}");
+        assert!(text.contains("# TYPE pc_ttft_seconds histogram"), "{text}");
+        assert!(text.contains("pc_ttft_seconds_bucket{le=\""), "{text}");
+        assert!(text.contains("# TYPE pc_queue_depth gauge"), "{text}");
+        assert!(text.contains("pc_requests_served_total 1"), "{text}");
+        // Every line parses as `# TYPE …` or `name[{labels}] value`.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "{line}");
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparsable value: {line}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_text_merges_enabled_engine_telemetry_without_duplicates() {
+        let tokenizer = WordTokenizer::train(&[CORPUS]);
+        let vocab = tokenizer.vocab_size().max(64);
+        let engine = PromptCache::new(
+            Model::new(ModelConfig::llama_tiny(vocab), 5),
+            tokenizer,
+            EngineConfig {
+                telemetry: pc_telemetry::Telemetry::new(),
+                ..Default::default()
+            },
+        );
+        engine
+            .register_schema(
+                r#"<schema name="s">
+                     <module name="ctx">alpha beta gamma delta epsilon zeta eta theta</module>
+                   </schema>"#,
+            )
+            .unwrap();
+        let server = Server::start(engine, ServerConfig::default());
+        server
+            .submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+            .wait()
+            .unwrap();
+        let text = server.metrics_text();
+        // The engine registry provides the cache counters; the StoreStats
+        // fallback must not add a second series with the same name.
+        let hits_lines = text
+            .lines()
+            .filter(|l| l.starts_with("pc_cache_hits_total "))
+            .count();
+        assert_eq!(hits_lines, 1, "{text}");
+        // Engine-side metrics (sampled model timing) show up too.
+        assert!(text.contains("pc_model_attention_seconds"), "{text}");
+        server.shutdown();
     }
 
     #[test]

@@ -61,16 +61,61 @@ pub struct ReplayReport {
     pub wall: Duration,
     /// Requests completed successfully.
     pub completed: u64,
-    /// Requests that errored.
+    /// Requests that errored (the engine returned an error).
     pub failed: u64,
+    /// Requests whose handle yielded no result at all (the server shut
+    /// down before serving them) — distinct from `failed`, which saw an
+    /// engine error.
+    pub dropped: u64,
     /// End-to-end latency (submission → completion) distribution.
     pub e2e: LatencyRecorder,
+    /// TTFT distribution across completed requests.
+    pub ttft: LatencyRecorder,
+    /// Per-phase TTFT breakdown distributions (from each completed
+    /// response's [`prompt_cache::TtftBreakdown`]), keyed
+    /// tokenize/fetch/prefill/sample.
+    pub phases: [(&'static str, LatencyRecorder); 4],
 }
 
 impl ReplayReport {
     /// Achieved goodput in requests/second.
     pub fn goodput_rps(&self) -> f64 {
         self.completed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Human-readable multi-line summary: counts, goodput, end-to-end and
+    /// TTFT percentiles, and per-phase TTFT percentiles.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "replay: {} completed, {} failed, {} dropped in {:.3}s ({:.1} req/s)",
+            self.completed,
+            self.failed,
+            self.dropped,
+            self.wall.as_secs_f64(),
+            self.goodput_rps(),
+        );
+        let line = |out: &mut String, name: &str, rec: &LatencyRecorder| {
+            let p = |q| {
+                rec.percentile(q)
+                    .map_or_else(|| "-".to_owned(), |d| format!("{:.3}ms", d.as_secs_f64() * 1e3))
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<10} p50 {:>10}  p95 {:>10}  p99 {:>10}",
+                p(50.0),
+                p(95.0),
+                p(99.0)
+            );
+        };
+        line(&mut out, "e2e", &self.e2e);
+        line(&mut out, "ttft", &self.ttft);
+        for (name, rec) in &self.phases {
+            line(&mut out, name, rec);
+        }
+        out
     }
 }
 
@@ -93,23 +138,42 @@ pub fn replay(
         pending.push((Instant::now(), handle));
     }
     let e2e = LatencyRecorder::new();
+    let ttft = LatencyRecorder::new();
+    let phases = [
+        ("tokenize", LatencyRecorder::new()),
+        ("fetch", LatencyRecorder::new()),
+        ("prefill", LatencyRecorder::new()),
+        ("sample", LatencyRecorder::new()),
+    ];
     let mut completed = 0;
     let mut failed = 0;
+    let mut dropped = 0;
     for (submitted, handle) in pending {
         match handle.wait() {
-            Some(result) if result.outcome.is_ok() => {
-                completed += 1;
-                e2e.record(submitted.elapsed());
-            }
-            Some(_) => failed += 1,
-            None => failed += 1,
+            Some(result) => match result.outcome {
+                Ok(response) => {
+                    completed += 1;
+                    e2e.record(submitted.elapsed());
+                    ttft.record(response.timings.ttft);
+                    for ((_, rec), (_, dur)) in
+                        phases.iter().zip(response.breakdown.phases())
+                    {
+                        rec.record(dur);
+                    }
+                }
+                Err(_) => failed += 1,
+            },
+            None => dropped += 1,
         }
     }
     ReplayReport {
         wall: start.elapsed(),
         completed,
         failed,
+        dropped,
         e2e,
+        ttft,
+        phases,
     }
 }
 
@@ -185,8 +249,19 @@ mod tests {
         );
         assert_eq!(report.completed, 20);
         assert_eq!(report.failed, 0);
+        assert_eq!(report.dropped, 0);
         assert!(report.goodput_rps() > 1.0);
         assert!(report.e2e.percentile(99.0).unwrap() >= report.e2e.percentile(50.0).unwrap());
+        // Per-phase breakdown distributions cover every completed request.
+        assert_eq!(report.ttft.len(), 20);
+        for (name, rec) in &report.phases {
+            assert_eq!(rec.len(), 20, "phase {name}");
+        }
+        let summary = report.summary();
+        assert!(summary.contains("20 completed, 0 failed, 0 dropped"), "{summary}");
+        for phase in ["tokenize", "fetch", "prefill", "sample"] {
+            assert!(summary.contains(phase), "{summary}");
+        }
         server.shutdown();
     }
 

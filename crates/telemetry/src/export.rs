@@ -1,0 +1,148 @@
+//! Exporters: Prometheus text exposition and Chrome trace-event JSON.
+
+use crate::metrics::RegistrySnapshot;
+use crate::span::SpanRecord;
+use std::fmt::Write;
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` comments, cumulative `_bucket{le="…"}`
+/// histogram series, `_sum`/`_count`, one sample per line.
+pub fn prometheus_text(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+    }
+    for h in &snapshot.histograms {
+        let name = &h.name;
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.buckets) {
+            cum += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders spans as Chrome trace-event JSON: an object with a
+/// `traceEvents` array of complete (`"ph":"X"`) events, timestamps in
+/// microseconds relative to the telemetry epoch. Load the file in
+/// `chrome://tracing` or <https://ui.perfetto.dev> to see the per-phase
+/// flame graph of a serve.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"pc\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+             \"ts\":{},\"dur\":{},\"args\":{{\"depth\":{}}}}}",
+            escape_json(s.name),
+            s.thread,
+            s.start_ns as f64 / 1e3,
+            s.dur_ns as f64 / 1e3,
+            s.depth
+        );
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn prometheus_golden_string() {
+        let t = Telemetry::new();
+        t.counter("pc_cache_hits_total").add(3);
+        t.gauge("pc_queue_depth").set(2);
+        let h = t.histogram("pc_ttft_seconds", &[0.001, 0.01]);
+        h.observe(0.0005);
+        h.observe(0.0005);
+        h.observe(0.5);
+        assert_eq!(
+            t.prometheus_text(),
+            "# TYPE pc_cache_hits_total counter\n\
+             pc_cache_hits_total 3\n\
+             # TYPE pc_queue_depth gauge\n\
+             pc_queue_depth 2\n\
+             # TYPE pc_ttft_seconds histogram\n\
+             pc_ttft_seconds_bucket{le=\"0.001\"} 2\n\
+             pc_ttft_seconds_bucket{le=\"0.01\"} 2\n\
+             pc_ttft_seconds_bucket{le=\"+Inf\"} 3\n\
+             pc_ttft_seconds_sum 0.501\n\
+             pc_ttft_seconds_count 3\n"
+        );
+    }
+
+    #[test]
+    fn prometheus_lines_are_well_formed() {
+        let t = Telemetry::new();
+        t.counter("a_total").inc();
+        t.latency_histogram("lat_seconds").observe(0.01);
+        for line in t.prometheus_text().lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "{line}");
+                continue;
+            }
+            // Every sample line is `name[{labels}] value`.
+            let (name, value) = line.rsplit_once(' ').expect("name value");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparsable value: {line}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_fields() {
+        let t = Telemetry::new();
+        {
+            let _outer = t.span("serve \"quoted\"");
+            let _inner = t.span("prefill");
+        }
+        let json = t.chrome_trace_json();
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = value["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e["ph"], "X");
+            assert!(e["ts"].as_f64().is_some());
+            assert!(e["dur"].as_f64().is_some());
+        }
+        assert_eq!(events[0]["name"].as_str().unwrap(), "prefill");
+        assert_eq!(events[0]["args"]["depth"].as_f64().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn empty_exports() {
+        let t = Telemetry::new();
+        assert_eq!(t.prometheus_text(), "");
+        assert_eq!(
+            t.chrome_trace_json(),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Observability substrate for the Prompt Cache stack.
+//!
+//! The paper's headline claim is a *TTFT breakdown*: attention compute
+//! shrinks while KV retrieval (a memcpy) grows linearly. Verifying that
+//! requires seeing where time goes inside a serve — tokenize vs. cache
+//! fetch vs. prefill of uncached tokens vs. sampling — and observing
+//! cache behaviour (hit/miss/eviction) under load. This crate is the
+//! measurement substrate every subsystem reports through:
+//!
+//! * [`Telemetry`] — a cheap, cloneable handle. [`Telemetry::disabled`]
+//!   is the default everywhere: every recording call then reduces to one
+//!   `Option` check, no allocation, no atomics.
+//! * [`Span`] — hierarchical RAII span tracing (`telemetry.span("prefill")`
+//!   or [`Span::enter`]) with per-thread nesting depth, thread-safe
+//!   collection, and a panic on imbalanced (non-LIFO) span drops.
+//! * [`metrics`] — a registry of named counters, gauges, and fixed-bucket
+//!   histograms. Recording is lock-free (atomics on pre-resolved
+//!   handles); the registry lock is only taken when a handle is first
+//!   resolved, and for point-in-time snapshots.
+//! * [`export`] — two exporters over snapshots: Prometheus text
+//!   exposition format, and Chrome trace-event JSON loadable in
+//!   `chrome://tracing` / Perfetto.
+//!
+//! # Example
+//!
+//! ```
+//! use pc_telemetry::Telemetry;
+//!
+//! let telemetry = Telemetry::new();
+//! let requests = telemetry.counter("pc_requests_total");
+//! {
+//!     let _serve = telemetry.span("serve");
+//!     let _prefill = telemetry.span("prefill"); // nested under "serve"
+//!     requests.inc();
+//! }
+//! assert_eq!(requests.get(), 1);
+//! let spans = telemetry.spans();
+//! assert_eq!(spans.len(), 2);
+//! assert!(telemetry.prometheus_text().contains("pc_requests_total 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+mod span;
+mod telemetry;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, LATENCY_BUCKETS,
+};
+pub use span::{Span, SpanRecord};
+pub use telemetry::Telemetry;

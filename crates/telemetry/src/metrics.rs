@@ -1,0 +1,437 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Handle resolution (`registry.counter("name")`) takes the registry
+//! lock once; the returned handle records through atomics only, so the
+//! hot path never contends on a lock ("lock-cheap recording"). Snapshots
+//! ([`Registry::snapshot`]) are point-in-time copies sorted by name, the
+//! input to both exporters.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default latency histogram bounds in **seconds**: log-spaced from 1 µs
+/// to 10 s, dense enough that nearest-rank percentile estimates stay
+/// within one bucket step of the exact value.
+pub const LATENCY_BUCKETS: [f64; 22] = [
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+    2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+];
+
+/// A monotonically increasing counter. A disabled handle (from a
+/// disabled [`crate::Telemetry`]) makes every operation a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depth, resident
+/// bytes).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a disabled handle).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// Finite upper bounds, ascending. Bucket `i` counts observations
+    /// `v <= bounds[i]`; one extra overflow bucket catches the rest.
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// `f64` bit patterns updated by CAS — exact sums without a lock.
+    sum_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+fn atomic_f64_update(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl HistogramCore {
+    fn new(bounds: &[f64]) -> Self {
+        let bounds: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let mut buckets = Vec::with_capacity(bounds.len() + 1);
+        buckets.resize_with(bounds.len() + 1, AtomicU64::default);
+        HistogramCore {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_update(&self.sum_bits, |s| s + v);
+        atomic_f64_update(&self.max_bits, |m| m.max(v));
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_owned(),
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if let Some(h) = &self.0 {
+            h.observe(v);
+        }
+    }
+
+    /// Number of observations (0 for a disabled handle).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+
+    /// Exact sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |h| f64::from_bits(h.sum_bits.load(Ordering::Relaxed)))
+    }
+
+    /// Exact arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() / n as f64)
+    }
+
+    /// Nearest-rank percentile estimate (`q` in `0.0..=100.0`): the upper
+    /// bound of the bucket holding the rank (the true value is ≤ the
+    /// estimate, within one bucket step). Observations beyond the last
+    /// finite bound report the exact maximum seen. `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        let h = self.0.as_ref()?;
+        h.snapshot("").percentile(q)
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Finite bucket upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; one overflow bucket at the
+    /// end, so `buckets.len() == bounds.len() + 1`.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Exact sum of observations.
+    pub sum: f64,
+    /// Largest observation seen (`-inf` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank percentile estimate — see [`Histogram::percentile`].
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return Some(if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                });
+            }
+        }
+        Some(self.max)
+    }
+}
+
+/// Point-in-time copy of a whole registry, sorted by metric name —
+/// deterministic input for the exporters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` counter pairs.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauge pairs.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: HashMap<String, Arc<AtomicU64>>,
+    gauges: HashMap<String, Arc<AtomicI64>>,
+    histograms: HashMap<String, Arc<HistogramCore>>,
+}
+
+/// A named-metric registry. Usually reached through
+/// [`crate::Telemetry`], which adds the zero-overhead disabled mode.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Resolves (registering on first use) a counter handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.lock();
+        let cell = inner
+            .counters
+            .entry(name.to_owned())
+            .or_default()
+            .clone();
+        Counter(Some(cell))
+    }
+
+    /// Resolves (registering on first use) a gauge handle.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.lock();
+        let cell = inner.gauges.entry(name.to_owned()).or_default().clone();
+        Gauge(Some(cell))
+    }
+
+    /// Resolves (registering on first use) a histogram with the given
+    /// finite bucket bounds. A later resolution of the same name returns
+    /// the existing histogram; its original bounds win.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` are not strictly ascending (first
+    /// registration only).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut inner = self.lock();
+        let core = inner
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(HistogramCore::new(bounds)))
+            .clone();
+        Histogram(Some(core))
+    }
+
+    /// Point-in-time snapshot of every metric, sorted by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.lock();
+        let mut counters: Vec<(String, u64)> = inner
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, i64)> = inner
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        gauges.sort();
+        let mut histograms: Vec<HistogramSnapshot> = inner
+            .histograms
+            .iter()
+            .map(|(k, v)| v.snapshot(k))
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name → same underlying cell.
+        assert_eq!(r.counter("c").get(), 5);
+        let g = r.gauge("g");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn disabled_handles_are_noops() {
+        let c = Counter::default();
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::default();
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::default();
+        h.observe(1.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), None);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_le() {
+        let r = Registry::new();
+        let h = r.histogram("h", &[1.0, 2.0, 4.0]);
+        // Exactly on a bound lands in that bucket (Prometheus `le`).
+        for v in [0.5, 1.0, 1.5, 2.0, 4.0, 9.0] {
+            h.observe(v);
+        }
+        let snap = &r.snapshot().histograms[0];
+        assert_eq!(snap.buckets, vec![2, 2, 1, 1]);
+        assert_eq!(snap.count, 6);
+        assert!((snap.sum - 18.0).abs() < 1e-12);
+        assert_eq!(snap.max, 9.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotone_bucket_bounds() {
+        let r = Registry::new();
+        let h = r.histogram("h", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 0.6, 0.7, 3.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(50.0), Some(1.0));
+        assert_eq!(h.percentile(75.0), Some(1.0));
+        assert_eq!(h.percentile(100.0), Some(4.0));
+        assert!(h.percentile(99.0) >= h.percentile(50.0));
+        // Overflow observations report the exact max.
+        h.observe(100.0);
+        assert_eq!(h.percentile(100.0), Some(100.0));
+        assert_eq!(h.mean(), Some((0.5 + 0.6 + 0.7 + 3.0 + 100.0) / 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        Registry::new().histogram("bad", &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn latency_buckets_are_valid() {
+        assert!(LATENCY_BUCKETS.windows(2).all(|w| w[0] < w[1]));
+        let r = Registry::new();
+        let h = r.histogram("lat", &LATENCY_BUCKETS);
+        h.observe(3e-4);
+        assert_eq!(h.percentile(50.0), Some(5e-4));
+    }
+
+    #[test]
+    fn concurrent_recording_from_4_threads_is_exact() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        let h = r.histogram("h", &[0.5, 1.5]);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = c.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe(if (i + t) % 2 == 0 { 0.25 } else { 1.0 });
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+        let snap = &r.snapshot().histograms[0];
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.buckets, vec![2000, 2000, 0]);
+        assert!((snap.sum - (2000.0 * 0.25 + 2000.0 * 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let r = Registry::new();
+        r.counter("zeta").inc();
+        r.counter("alpha").inc();
+        r.gauge("mid").set(1);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].0, "alpha");
+        assert_eq!(snap.counters[1].0, "zeta");
+    }
+}

@@ -1,0 +1,202 @@
+//! Hierarchical RAII span tracing.
+//!
+//! A [`Span`] measures one named region of code. Spans nest per thread:
+//! the depth of each span is the number of spans already open on the
+//! entering thread, and drops must be LIFO — an out-of-order drop is a
+//! bug in the instrumentation and panics loudly rather than producing a
+//! silently corrupt trace. Completed spans are appended to the owning
+//! [`crate::Telemetry`]'s thread-safe collection; a disabled telemetry
+//! hands out no-op spans that never touch a lock or allocate.
+
+use crate::telemetry::Inner;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One completed span, in nanoseconds relative to the telemetry epoch
+/// (the instant the [`crate::Telemetry`] was created).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Region name (`"prefill"`, `"cache-fetch"`, …).
+    pub name: &'static str,
+    /// Small sequential id of the recording thread (stable within a
+    /// process, first-use ordered).
+    pub thread: u64,
+    /// Start offset from the telemetry epoch.
+    pub start_ns: u64,
+    /// Span duration.
+    pub dur_ns: u64,
+    /// Nesting depth on the recording thread (0 = top level).
+    pub depth: u32,
+}
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    /// Names of the spans currently open on this thread, outermost first.
+    static OPEN_SPANS: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+struct ActiveSpan {
+    inner: Arc<Inner>,
+    name: &'static str,
+    start_ns: u64,
+    started: Instant,
+    depth: u32,
+}
+
+/// An RAII guard for one traced region: the span runs from
+/// [`Span::enter`] (or [`crate::Telemetry::span`]) until drop.
+#[must_use = "a span measures until dropped; binding it to `_` drops immediately"]
+#[derive(Default)]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Span {
+    /// Opens a span on `telemetry` — identical to `telemetry.span(name)`.
+    pub fn enter(telemetry: &crate::Telemetry, name: &'static str) -> Span {
+        telemetry.span(name)
+    }
+
+    pub(crate) fn noop() -> Span {
+        Span { active: None }
+    }
+
+    pub(crate) fn open(inner: Arc<Inner>, name: &'static str) -> Span {
+        let depth = OPEN_SPANS.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name);
+            (s.len() - 1) as u32
+        });
+        Span {
+            active: Some(ActiveSpan {
+                start_ns: inner.epoch.elapsed().as_nanos() as u64,
+                inner,
+                name,
+                started: Instant::now(),
+                depth,
+            }),
+        }
+    }
+
+    /// Whether this span is a disabled-telemetry no-op.
+    pub fn is_noop(&self) -> bool {
+        self.active.is_none()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let dur_ns = active.started.elapsed().as_nanos() as u64;
+        let popped = OPEN_SPANS.with(|s| s.borrow_mut().pop());
+        if popped != Some(active.name) {
+            // Don't turn an unwinding panic into an abort.
+            if !std::thread::panicking() {
+                panic!(
+                    "span imbalance: dropped `{}` but innermost open span is {:?} — \
+                     spans must close LIFO",
+                    active.name, popped
+                );
+            }
+            return;
+        }
+        let record = SpanRecord {
+            name: active.name,
+            thread: THREAD_ID.with(|t| *t),
+            start_ns: active.start_ns,
+            dur_ns,
+            depth: active.depth,
+        };
+        active
+            .inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record);
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.active {
+            Some(a) => write!(f, "Span({:?} depth={})", a.name, a.depth),
+            None => write!(f, "Span(noop)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let t = Telemetry::new();
+        {
+            let _outer = t.span("outer");
+            {
+                let _inner = t.span("inner");
+            }
+            let _sibling = t.span("sibling");
+        }
+        let spans = t.spans();
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("outer").depth, 0);
+        assert_eq!(by_name("inner").depth, 1);
+        assert_eq!(by_name("sibling").depth, 1);
+        // Children close before parents, so "inner" is recorded first.
+        assert_eq!(spans.last().unwrap().name, "outer");
+        // Containment: child runs within the parent's window.
+        let outer = by_name("outer");
+        let inner = by_name("inner");
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "span imbalance")]
+    fn out_of_order_drop_panics() {
+        let t = Telemetry::new();
+        let a = t.span("a");
+        let _b = t.span("b");
+        drop(a); // `b` is still open — non-LIFO
+    }
+
+    #[test]
+    fn disabled_spans_are_noops_and_track_no_nesting() {
+        let t = Telemetry::disabled();
+        let a = t.span("a");
+        assert!(a.is_noop());
+        let b = t.span("b");
+        drop(a); // no imbalance panic: disabled spans are not tracked
+        drop(b);
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn concurrent_span_recording() {
+        let t = Telemetry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        let _outer = t.span("outer");
+                        let _inner = t.span("inner");
+                    }
+                });
+            }
+        });
+        let spans = t.spans();
+        assert_eq!(spans.len(), 400);
+        let threads: std::collections::HashSet<u64> =
+            spans.iter().map(|s| s.thread).collect();
+        assert_eq!(threads.len(), 4);
+    }
+}

@@ -1,0 +1,222 @@
+//! The [`Telemetry`] handle — the one type the rest of the stack holds.
+
+use crate::metrics::{Counter, Gauge, Histogram, Registry, RegistrySnapshot, LATENCY_BUCKETS};
+use crate::span::{Span, SpanRecord};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Debug)]
+pub(crate) struct Inner {
+    /// All span offsets are relative to this instant.
+    pub(crate) epoch: Instant,
+    pub(crate) spans: Mutex<Vec<SpanRecord>>,
+    pub(crate) registry: Registry,
+    sample_clock: AtomicU64,
+}
+
+/// A cheap, cloneable telemetry handle: span tracer + metrics registry.
+///
+/// The default ([`Telemetry::disabled`]) mode is the global off switch:
+/// every recording call reduces to one `Option` discriminant check —
+/// no locks, no atomics, no allocation — so instrumented code pays
+/// nothing in production-off configurations. Clones share the same
+/// collection, so one handle threaded through engine, cache, model, and
+/// server aggregates everything in one place.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// Creates an **enabled** telemetry collector.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+                registry: Registry::new(),
+                sample_clock: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// The disabled handle (also [`Default`]): all operations are no-ops.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a named span; it measures until dropped. No-op (and
+    /// allocation-free) when disabled.
+    pub fn span(&self, name: &'static str) -> Span {
+        match &self.inner {
+            Some(inner) => Span::open(Arc::clone(inner), name),
+            None => Span::noop(),
+        }
+    }
+
+    /// Resolves a counter handle (a no-op handle when disabled).
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.registry.counter(name),
+            None => Counter::default(),
+        }
+    }
+
+    /// Resolves a gauge handle (a no-op handle when disabled).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(inner) => inner.registry.gauge(name),
+            None => Gauge::default(),
+        }
+    }
+
+    /// Resolves a histogram handle with explicit bucket bounds.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        match &self.inner {
+            Some(inner) => inner.registry.histogram(name, bounds),
+            None => Histogram::default(),
+        }
+    }
+
+    /// Resolves a latency histogram using [`LATENCY_BUCKETS`] (seconds).
+    pub fn latency_histogram(&self, name: &str) -> Histogram {
+        self.histogram(name, &LATENCY_BUCKETS)
+    }
+
+    /// Sampling guard for instrumentation too hot to time every call
+    /// (e.g. per-layer model timing): returns `true` on every `every`-th
+    /// invocation across the process, and never when disabled.
+    pub fn should_sample(&self, every: u64) -> bool {
+        match &self.inner {
+            Some(inner) => {
+                inner.sample_clock.fetch_add(1, Ordering::Relaxed) % every.max(1) == 0
+            }
+            None => false,
+        }
+    }
+
+    /// Snapshot of every completed span, in completion order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            Some(inner) => inner
+                .spans
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drains (removes and returns) every completed span.
+    pub fn take_spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            Some(inner) => std::mem::take(
+                &mut *inner.spans.lock().unwrap_or_else(|e| e.into_inner()),
+            ),
+            None => Vec::new(),
+        }
+    }
+
+    /// Point-in-time snapshot of the metrics registry.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        match &self.inner {
+            Some(inner) => inner.registry.snapshot(),
+            None => RegistrySnapshot::default(),
+        }
+    }
+
+    /// The current metrics in Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        crate::export::prometheus_text(&self.snapshot())
+    }
+
+    /// The completed spans as Chrome trace-event JSON (see
+    /// [`crate::export::chrome_trace_json`]).
+    pub fn chrome_trace_json(&self) -> String {
+        crate::export::chrome_trace_json(&self.spans())
+    }
+
+    /// Writes the Chrome trace JSON to `path` (typically under
+    /// `results/`), creating parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_chrome_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.chrome_trace_json())
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => f
+                .debug_struct("Telemetry")
+                .field("enabled", &true)
+                .field(
+                    "spans",
+                    &inner.spans.lock().unwrap_or_else(|e| e.into_inner()).len(),
+                )
+                .finish(),
+            None => f
+                .debug_struct("Telemetry")
+                .field("enabled", &false)
+                .finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_default_and_inert() {
+        let t = Telemetry::default();
+        assert!(!t.is_enabled());
+        t.counter("c").inc();
+        assert!(t.span("s").is_noop());
+        assert!(!t.should_sample(1));
+        assert!(t.spans().is_empty());
+        assert_eq!(t.snapshot(), RegistrySnapshot::default());
+        assert_eq!(t.prometheus_text(), "");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::new();
+        let u = t.clone();
+        u.counter("c").add(3);
+        {
+            let _s = u.span("shared");
+        }
+        assert_eq!(t.counter("c").get(), 3);
+        assert_eq!(t.spans().len(), 1);
+    }
+
+    #[test]
+    fn should_sample_fires_every_nth() {
+        let t = Telemetry::new();
+        let fired: Vec<bool> = (0..6).map(|_| t.should_sample(3)).collect();
+        assert_eq!(fired, vec![true, false, false, true, false, false]);
+    }
+
+    #[test]
+    fn take_spans_drains() {
+        let t = Telemetry::new();
+        {
+            let _s = t.span("once");
+        }
+        assert_eq!(t.take_spans().len(), 1);
+        assert!(t.spans().is_empty());
+    }
+}
