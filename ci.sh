@@ -10,4 +10,10 @@ cargo test -q -p pc-telemetry
 # Zero-overhead smoke check: a serve with telemetry disabled must record
 # no spans and no metric state, and results must match the enabled path.
 cargo test -q -p prompt-cache --test telemetry_tests
+# Zero-copy gate: segmented views must be bit-identical to flat caches at
+# the kernel/model level, alias (not copy) shared module blocks, and the
+# engine must serve byte-identical responses with zero_copy on vs off —
+# with zero KV memcpy on the default path.
+cargo test -q -p pc-model --test view_tests
+cargo test -q -p prompt-cache --test zero_copy_tests
 cargo clippy --all-targets -- -D warnings

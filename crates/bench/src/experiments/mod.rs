@@ -7,11 +7,13 @@ mod serving_exp;
 mod sim_figs;
 mod threads_exp;
 mod ttft_exp;
+mod zero_copy_exp;
 
 pub use ablations::ablations;
 pub use serving_exp::{rag, throughput};
 pub use threads_exp::threads;
 pub use ttft_exp::ttft_breakdown;
+pub use zero_copy_exp::zero_copy;
 pub use real_figs::{fig6_code_generation, fig7_personalization, fig8_parameterized, table1};
 pub use sim_figs::{
     appendix, e2e, fig3, fig4, fig5, measured_fully_cached, memcpy, modelsize, table2,
@@ -33,9 +35,10 @@ pub struct Report {
 }
 
 /// Every experiment id the `figures` binary accepts, in run order.
-pub const ALL_IDS: [&str; 17] = [
+pub const ALL_IDS: [&str; 18] = [
     "fig3", "fig4", "fig5", "table1", "table2", "memcpy", "modelsize", "e2e", "fig6", "fig7",
     "fig8", "appendix", "ablations", "throughput", "rag", "threads", "ttft_breakdown",
+    "zero_copy",
 ];
 
 /// Runs an experiment by id. `quick` shrinks sample counts for smoke
@@ -59,6 +62,7 @@ pub fn run(id: &str, quick: bool) -> Option<Report> {
         "rag" => Some(rag(quick)),
         "threads" => Some(threads(quick)),
         "ttft_breakdown" => Some(ttft_breakdown(quick)),
+        "zero_copy" => Some(zero_copy(quick)),
         _ => None,
     }
 }

@@ -1,0 +1,230 @@
+//! Zero-copy A/B under load: replays one Poisson trace against two
+//! engines that differ only in `EngineConfig::zero_copy`, comparing the
+//! fetch phase (pointer assembly vs memcpy) and the engine's byte
+//! counters (`pc_kv_bytes_shared_total` / `pc_kv_bytes_copied_total`).
+//!
+//! The paper's §3.4 observation is that module attention states can be
+//! *shared* across prompts rather than copied into each session; this
+//! experiment measures what that buys on a live serving run and asserts
+//! the two transports produce identical outputs.
+
+use super::Report;
+use crate::emit::{fmt_time_s, Table};
+use pc_model::{Model, ModelConfig};
+use pc_server::trace::{poisson_trace, replay, TraceEvent};
+use pc_server::{Server, ServerConfig};
+use pc_telemetry::Telemetry;
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+use serde_json::json;
+use std::time::Duration;
+
+const SCHEMA_DOC_WORDS: usize = 300;
+
+fn build_engine(zero_copy: bool, telemetry: Telemetry) -> PromptCache {
+    let doc: String = (0..SCHEMA_DOC_WORDS).map(|i| format!("w{} ", i % 89)).collect();
+    let corpus = format!("{doc} you are a helpful assistant answer briefly q0 q1 q2 q3 q4");
+    let tokenizer = WordTokenizer::train(&[corpus.as_str()]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_small(vocab), 10),
+        tokenizer,
+        EngineConfig {
+            zero_copy,
+            telemetry,
+            ..Default::default()
+        },
+    );
+    engine
+        .register_schema(&format!(
+            r#"<schema name="svc">you are a helpful assistant<module name="doc">{doc}</module></schema>"#
+        ))
+        .expect("register");
+    engine
+}
+
+fn prompts() -> Vec<String> {
+    (0..5)
+        .map(|i| format!(r#"<prompt schema="svc"><doc/>answer briefly q{i}</prompt>"#))
+        .collect()
+}
+
+struct ModeResult {
+    mode: &'static str,
+    fetch_p50_s: f64,
+    fetch_p95_s: f64,
+    fetch_mean_s: f64,
+    ttft_mean_s: f64,
+    completed: u64,
+    bytes_shared: u64,
+    bytes_copied: u64,
+}
+
+fn run_mode(zero_copy: bool, prompts: &[String], trace: &[TraceEvent]) -> ModeResult {
+    let telemetry = Telemetry::new();
+    let engine = build_engine(zero_copy, telemetry.clone());
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 256,
+        },
+    );
+    let report = replay(
+        &server,
+        prompts,
+        trace,
+        &ServeOptions {
+            max_new_tokens: 1,
+            ..Default::default()
+        },
+    );
+    server.shutdown();
+
+    let secs = |d: Option<Duration>| d.unwrap_or_default().as_secs_f64();
+    let fetch = report
+        .phases
+        .iter()
+        .find(|(name, _)| *name == "fetch")
+        .map(|(_, rec)| rec)
+        .expect("fetch phase");
+    let snap = telemetry.snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    ModeResult {
+        mode: if zero_copy { "zero-copy" } else { "memcpy" },
+        fetch_p50_s: secs(fetch.percentile(50.0)),
+        fetch_p95_s: secs(fetch.percentile(95.0)),
+        fetch_mean_s: secs(fetch.mean()),
+        ttft_mean_s: secs(report.ttft.mean()),
+        completed: report.completed,
+        bytes_shared: counter("pc_kv_bytes_shared_total"),
+        bytes_copied: counter("pc_kv_bytes_copied_total"),
+    }
+}
+
+/// Fetch-phase and bytes-copied A/B of the zero-copy serving path over a
+/// Poisson replay. Full runs also write `BENCH_zero_copy.json` at the
+/// working directory root — the perf-trajectory artifact later PRs
+/// compare against.
+pub fn zero_copy(quick: bool) -> Report {
+    let prompts = prompts();
+    let n = if quick { 10 } else { 60 };
+    let trace = poisson_trace(n, 200.0, prompts.len(), 11);
+
+    let shared = run_mode(true, &prompts, &trace);
+    let copied = run_mode(false, &prompts, &trace);
+
+    // The replay keeps distributions, not outputs — assert byte-identity
+    // directly on fresh engines serving the same prompt mix.
+    let a = build_engine(true, Telemetry::disabled());
+    let b = build_engine(false, Telemetry::disabled());
+    let opts = ServeOptions {
+        max_new_tokens: 4,
+        ..Default::default()
+    };
+    let mut identical = 0usize;
+    for prompt in &prompts {
+        let ra = a.serve_with(prompt, &opts).expect("serve zero-copy");
+        let rb = b.serve_with(prompt, &opts).expect("serve memcpy");
+        assert_eq!(ra.tokens, rb.tokens, "outputs diverged: {prompt}");
+        assert_eq!(ra.text, rb.text, "outputs diverged: {prompt}");
+        identical += 1;
+    }
+
+    let mut table = Table::new(&[
+        "Mode",
+        "fetch p50",
+        "fetch p95",
+        "fetch mean",
+        "TTFT mean",
+        "KV bytes shared",
+        "KV bytes copied",
+    ]);
+    let mode_json = |m: &ModeResult| {
+        json!({
+            "mode": m.mode,
+            "fetch_p50_s": m.fetch_p50_s,
+            "fetch_p95_s": m.fetch_p95_s,
+            "fetch_mean_s": m.fetch_mean_s,
+            "ttft_mean_s": m.ttft_mean_s,
+            "completed": m.completed,
+            "kv_bytes_shared": m.bytes_shared,
+            "kv_bytes_copied": m.bytes_copied,
+        })
+    };
+    for m in [&shared, &copied] {
+        table.row(&[
+            m.mode.into(),
+            fmt_time_s(m.fetch_p50_s),
+            fmt_time_s(m.fetch_p95_s),
+            fmt_time_s(m.fetch_mean_s),
+            fmt_time_s(m.ttft_mean_s),
+            format!("{}", m.bytes_shared),
+            format!("{}", m.bytes_copied),
+        ]);
+    }
+    let speedup = copied.fetch_mean_s / shared.fetch_mean_s.max(1e-12);
+    let json = json!({
+        "requests": n,
+        "identical_outputs": identical,
+        "fetch_mean_speedup": speedup,
+        "modes": [mode_json(&shared), mode_json(&copied)],
+    });
+
+    // The perf-trajectory file: full runs only (quick doubles as the test
+    // path and must stay side-effect free).
+    let mut bench_path = None;
+    if !quick {
+        let path = "BENCH_zero_copy.json";
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&json).expect("serialise"),
+        )
+        .expect("write BENCH_zero_copy.json");
+        bench_path = Some(path.to_owned());
+    }
+
+    Report {
+        id: "zero_copy",
+        title: "Zero-copy KV serving A/B: shared segments vs memcpy (measured)",
+        markdown: format!(
+            "{}\nfetch mean speedup {speedup:.2}x; {identical}/{} prompts byte-identical across modes{}\n",
+            table.to_markdown(),
+            prompts.len(),
+            bench_path
+                .as_deref()
+                .map(|p| format!("; trajectory at `{p}`"))
+                .unwrap_or_default()
+        ),
+        json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_copy_ab_holds() {
+        let r = zero_copy(true);
+        assert_eq!(r.json["identical_outputs"].as_u64().unwrap(), 5);
+        let modes = r.json["modes"].as_array().unwrap();
+        let shared = &modes[0];
+        let copied = &modes[1];
+        assert_eq!(shared["completed"].as_u64().unwrap(), 10);
+        assert_eq!(copied["completed"].as_u64().unwrap(), 10);
+        // The default path never memcpys cached states; the baseline
+        // never shares them.
+        assert_eq!(shared["kv_bytes_copied"].as_u64().unwrap(), 0);
+        assert!(shared["kv_bytes_shared"].as_u64().unwrap() > 0);
+        assert_eq!(copied["kv_bytes_shared"].as_u64().unwrap(), 0);
+        assert!(copied["kv_bytes_copied"].as_u64().unwrap() > 0);
+        // Quick mode writes no artifact.
+        assert!(!std::path::Path::new("BENCH_zero_copy.json").exists());
+    }
+}

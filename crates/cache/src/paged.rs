@@ -7,21 +7,27 @@
 //! held by `Arc`; every session referencing a module holds pointers, not
 //! copies, and appends its own decoded tokens into a private tail.
 //!
-//! The engine's attention kernel consumes contiguous buffers, so a
-//! [`PagedKv`] **materialises** a contiguous view on demand (tested to be
-//! exactly the concatenation of its blocks). Physical-vs-logical
-//! accounting — the quantity behind the paper's 50%-footprint example —
-//! comes from [`physical_bytes`], which counts each distinct
-//! block once across any session set via pointer identity.
+//! The attention kernel consumes segmented caches in place
+//! ([`pc_model::KvView`]), so the hot serve path assembles a view over
+//! the shared blocks with [`PagedKv::view`] — pure pointer arithmetic,
+//! zero module bytes moved. [`PagedKv::materialize`] remains the escape
+//! hatch for consumers that genuinely need one flat owned buffer
+//! (persistence, codecs, compaction) and is tested to be exactly the
+//! concatenation of blocks + tail. Physical-vs-logical accounting — the
+//! quantity behind the paper's 50%-footprint example — comes from
+//! [`physical_bytes`], which counts each distinct block once across any
+//! session set via pointer identity.
 
-use pc_model::{KvCache, ModelError};
+use pc_model::{KvCache, KvView, ModelError};
 use std::collections::HashSet;
 use std::sync::Arc;
 
 /// An immutable block of cached states for up to `block_tokens` tokens.
+/// The states themselves sit behind an `Arc` so a [`KvView`] can alias
+/// them without holding the whole `SharedBlock`.
 #[derive(Debug, PartialEq)]
 pub struct SharedBlock {
-    states: KvCache,
+    states: Arc<KvCache>,
 }
 
 impl SharedBlock {
@@ -39,6 +45,11 @@ impl SharedBlock {
     pub fn size_bytes(&self) -> usize {
         self.states.size_bytes()
     }
+
+    /// The shared states — cloning the `Arc` shares, never copies.
+    pub fn states(&self) -> &Arc<KvCache> {
+        &self.states
+    }
 }
 
 /// Splits a module's states into immutable shared blocks of at most
@@ -54,7 +65,9 @@ pub fn split_into_blocks(states: &KvCache, block_tokens: usize) -> Vec<Arc<Share
     while start < states.len() {
         let end = (start + block_tokens).min(states.len());
         let slice = states.slice(start, end).expect("in-range slice");
-        blocks.push(Arc::new(SharedBlock { states: slice }));
+        blocks.push(Arc::new(SharedBlock {
+            states: Arc::new(slice),
+        }));
         start = end;
     }
     blocks
@@ -137,8 +150,25 @@ impl PagedKv {
         self.blocks.iter().map(|b| b.size_bytes()).sum::<usize>() + self.tail.size_bytes()
     }
 
+    /// Assembles a segmented [`KvView`] over the shared blocks — the
+    /// zero-copy path the attention kernel consumes directly. Only the
+    /// private tail is copied (O(tail) bytes); every module block is
+    /// aliased by `Arc`.
+    pub fn view(&self) -> KvView {
+        let mut view = KvView::with_shape(self.tail.num_layers(), self.tail.kv_dim());
+        for block in &self.blocks {
+            view.push_cache(Arc::clone(&block.states))
+                .expect("block shape was validated at append");
+        }
+        view.append_range_copy(&self.tail, 0, self.tail.len())
+            .expect("tail shares the session shape");
+        view
+    }
+
     /// Materialises a contiguous cache (block states concatenated, tail
-    /// appended) for the engine's attention kernel.
+    /// appended) — the escape hatch for persistence/codec consumers that
+    /// need one flat owned buffer. The serving hot path uses
+    /// [`PagedKv::view`] instead.
     ///
     /// # Errors
     ///
@@ -268,6 +298,22 @@ mod tests {
     #[should_panic(expected = "block size must be positive")]
     fn zero_block_size_panics() {
         split_into_blocks(&module(4, 0.0), 0);
+    }
+
+    #[test]
+    fn view_matches_materialize_and_aliases_blocks() {
+        let shared = split_into_blocks(&module(10, 3.0), 4);
+        let mut s = PagedKv::new(2, 4);
+        s.append_blocks(&shared).unwrap();
+        s.set_tail(module(3, 9.0)).unwrap();
+        let view = s.view();
+        // Same logical content, but block bytes are aliased, not copied.
+        assert_eq!(view.materialize(), s.materialize().unwrap());
+        assert_eq!(view.shared_rows(), 10);
+        assert_eq!(view.tail().len(), 3);
+        for (seg, block) in view.segments().iter().zip(&shared) {
+            assert!(Arc::ptr_eq(seg.cache(), block.states()));
+        }
     }
 
     #[test]

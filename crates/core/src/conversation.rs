@@ -8,16 +8,19 @@
 //! systems" deployment the paper closes with (§6).
 
 use crate::{PromptCache, Response, Result, ServeOptions};
-use pc_model::KvCache;
+use pc_model::{KvSeq, KvView};
 use pc_tokenizer::SpecialToken;
 use std::time::Instant;
 
-/// One ongoing conversation: the accumulated session cache plus the
-/// transcript.
+/// One ongoing conversation: the accumulated session KV view plus the
+/// transcript. The view's shared segments alias the schema's module
+/// states (shared *across* conversations), while every turn's tokens
+/// accumulate in the private tail — so N concurrent conversations over
+/// one schema hold one physical copy of the modules.
 #[derive(Debug)]
 pub struct Conversation<'a> {
     engine: &'a PromptCache,
-    cache: KvCache,
+    cache: KvView,
     transcript: Vec<Turn>,
 }
 
@@ -140,6 +143,8 @@ impl Conversation<'_> {
                 cached_tokens: history_tokens,
                 new_tokens: tokens.len(),
                 bytes_reused: 0,
+                bytes_shared: 0,
+                bytes_copied: 0,
                 used_scaffold: false,
             },
             warnings: Vec::new(),
@@ -149,6 +154,13 @@ impl Conversation<'_> {
     /// Tokens currently held in the session cache (history + replies).
     pub fn session_tokens(&self) -> usize {
         self.cache.len()
+    }
+
+    /// The session KV view: shared module segments + this conversation's
+    /// private tail. Feed a set of these to [`pc_model::view::physical_bytes`]
+    /// to see cross-conversation sharing.
+    pub fn session_view(&self) -> &KvView {
+        &self.cache
     }
 
     /// The conversation transcript, oldest first.

@@ -6,8 +6,8 @@ use crate::response::{Response, ServeStats, Timings, TtftBreakdown};
 use crate::scaffold::Scaffold;
 use crate::{EngineError, Result};
 use parking_lot::RwLock;
-use pc_cache::{ConcatArena, ModuleKey, ModuleStore, StoreConfig, StoreStats, Tier};
-use pc_model::{GreedySampler, KvCache, Model, Sampler, TemperatureSampler, TokenId};
+use pc_cache::{ModuleKey, ModuleStore, StoreConfig, StoreStats, Tier};
+use pc_model::{GreedySampler, KvCache, KvSeq, KvView, Model, Sampler, TemperatureSampler, TokenId};
 use pc_pml::layout::{ModulePath, SchemaLayout};
 use pc_pml::resolve::{resolve_prompt, ResolvedPart, ResolvedPrompt};
 use pc_pml::template::ChatTemplate;
@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Module-store configuration (device-tier capacity, eviction policy).
     pub store: StoreConfig,
@@ -49,6 +49,26 @@ pub struct EngineConfig {
     /// [`Telemetry::disabled`], where every recording call is a single
     /// branch — serve results are identical with telemetry on or off.
     pub telemetry: Telemetry,
+    /// Assemble session caches as zero-copy [`KvView`]s over the store's
+    /// shared module states (default) instead of memcpying every cached
+    /// span into a per-request buffer. Outputs are bit-identical either
+    /// way — the copying path is kept purely for A/B measurement
+    /// (`bytes_copied` vs `bytes_shared` in [`ServeStats`]).
+    pub zero_copy: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            store: StoreConfig::default(),
+            template: ChatTemplate::default(),
+            tier: None,
+            parallelism: Parallelism::default(),
+            prefetch_union_siblings: false,
+            telemetry: Telemetry::disabled(),
+            zero_copy: true,
+        }
+    }
 }
 
 /// Per-call serving options.
@@ -96,6 +116,26 @@ struct RegisteredSchema {
     /// `layout.spans`), so serving never re-tokenises cached text.
     span_tokens: Vec<SpanTokens>,
     scaffolds: Vec<Scaffold>,
+    /// `module → indices of the spans it owns`, prebuilt at registration
+    /// so argument resolution at serve time is a map lookup instead of an
+    /// O(spans) scan per argument.
+    owner_spans: HashMap<ModulePath, Vec<usize>>,
+}
+
+/// Pre-resolved engine telemetry handles (the `StoreMetrics` pattern):
+/// one registry lookup at construction, lock-free atomics per serve.
+struct EngineMetrics {
+    kv_bytes_shared: pc_telemetry::Counter,
+    kv_bytes_copied: pc_telemetry::Counter,
+}
+
+impl EngineMetrics {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        EngineMetrics {
+            kv_bytes_shared: telemetry.counter("pc_kv_bytes_shared_total"),
+            kv_bytes_copied: telemetry.counter("pc_kv_bytes_copied_total"),
+        }
+    }
 }
 
 /// The Prompt Cache engine. See the [crate docs](crate) for a quickstart.
@@ -108,6 +148,7 @@ pub struct PromptCache {
     config: EngineConfig,
     store: ModuleStore,
     schemas: RwLock<HashMap<String, RegisteredSchema>>,
+    metrics: EngineMetrics,
 }
 
 impl PromptCache {
@@ -119,12 +160,14 @@ impl PromptCache {
     ) -> Self {
         let store = ModuleStore::with_telemetry(config.store.clone(), &config.telemetry);
         let model = model.with_telemetry(config.telemetry.clone());
+        let metrics = EngineMetrics::resolve(&config.telemetry);
         PromptCache {
             model: Arc::new(model),
             tokenizer: Arc::new(tokenizer),
             config,
             store,
             schemas: RwLock::new(HashMap::new()),
+            metrics,
         }
     }
 
@@ -196,12 +239,17 @@ impl PromptCache {
 
         // Encode per owner so a module split by nested children is encoded
         // as one attention unit (its spans share an attention span), while
-        // distinct modules stay independent (the masking of §3.3).
+        // distinct modules stay independent (the masking of §3.3). The
+        // owner → span-indices map is kept on the registered schema so the
+        // serve path resolves arguments by lookup, not by scanning spans.
         let mut owners: Vec<ModulePath> = Vec::new();
-        for span in &layout.spans {
-            if !owners.contains(&span.owner) {
+        let mut owner_spans: HashMap<ModulePath, Vec<usize>> = HashMap::new();
+        for (i, span) in layout.spans.iter().enumerate() {
+            let ids = owner_spans.entry(span.owner.clone()).or_default();
+            if ids.is_empty() {
                 owners.push(span.owner.clone());
             }
+            ids.push(i);
         }
 
         // Spans already present in the store (e.g. loaded from disk via
@@ -212,13 +260,7 @@ impl PromptCache {
         let owners: Vec<ModulePath> = owners
             .into_iter()
             .filter(|owner| {
-                let span_ids: Vec<usize> = layout
-                    .spans
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| &s.owner == owner)
-                    .map(|(i, _)| i)
-                    .collect();
+                let span_ids = &owner_spans[owner];
                 // Reuse only states that demonstrably belong to *this*
                 // schema revision: the token count and position layout of
                 // every span must match what the current layout expects —
@@ -236,7 +278,7 @@ impl PromptCache {
                             })
                     });
                 if all_valid {
-                    for &i in &span_ids {
+                    for &i in span_ids {
                         preloaded_tokens += tokens[i].tokens.len();
                         preloaded_spans += 1;
                     }
@@ -246,16 +288,10 @@ impl PromptCache {
             .collect();
 
         let encode_owner = |owner: &ModulePath| -> Result<Vec<(usize, KvCache)>> {
-            let span_ids: Vec<usize> = layout
-                .spans
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| &s.owner == owner)
-                .map(|(i, _)| i)
-                .collect();
+            let span_ids = &owner_spans[owner];
             let mut all_tokens = Vec::new();
             let mut all_positions = Vec::new();
-            for &i in &span_ids {
+            for &i in span_ids {
                 all_tokens.extend_from_slice(&tokens[i].tokens);
                 all_positions.extend_from_slice(&tokens[i].positions);
             }
@@ -266,7 +302,7 @@ impl PromptCache {
             // Slice the jointly-encoded states back into per-span stores.
             let mut out = Vec::new();
             let mut offset = 0;
-            for &i in &span_ids {
+            for &i in span_ids {
                 let n = tokens[i].tokens.len();
                 let part = encoded.slice(offset, offset + n)?;
                 offset += n;
@@ -330,6 +366,7 @@ impl PromptCache {
                 layout,
                 span_tokens: tokens,
                 scaffolds: Vec::new(),
+                owner_spans,
             },
         );
         let counter = |t: &str| self.count(t);
@@ -519,8 +556,10 @@ impl PromptCache {
     }
 
     /// [`PromptCache::serve_streaming`], additionally returning the
-    /// session KV cache so the caller can continue the session (the
-    /// building block of [`crate::Conversation`]).
+    /// session KV view so the caller can continue the session (the
+    /// building block of [`crate::Conversation`]). The view's shared
+    /// segments alias store-owned module states; everything computed for
+    /// this request lives in its private tail.
     ///
     /// # Errors
     ///
@@ -530,7 +569,7 @@ impl PromptCache {
         prompt_pml: &str,
         options: &ServeOptions,
         on_token: &mut dyn FnMut(TokenId, usize),
-    ) -> Result<(Response, KvCache)> {
+    ) -> Result<(Response, KvView)> {
         // One clock, cumulative checkpoints: each TTFT phase is the delta
         // between consecutive checkpoints, so the TtftBreakdown phases sum
         // to `Timings.ttft` exactly.
@@ -555,10 +594,15 @@ impl PromptCache {
         drop(tokenize_span);
         let tokenize_end = started.elapsed();
 
-        // --- step ②: fetch cached states and concatenate ---
+        // --- step ②: fetch cached states and assemble the session view ---
+        // With `zero_copy` on (the default) this is pure pointer
+        // arithmetic: each cached span becomes an `Arc`-shared segment of
+        // the session [`KvView`]; the copying path survives only behind
+        // the flag for A/B measurement.
         let fetch_span = telemetry.span("cache-fetch");
         let tier = options.tier.or(self.config.tier).unwrap_or(Tier::Host);
-        let mut arena = ConcatArena::with_shape(
+        let zero_copy = self.config.zero_copy;
+        let mut view = KvView::with_shape(
             self.model.config().num_layers,
             self.model.config().kv_dim(),
         );
@@ -567,25 +611,30 @@ impl PromptCache {
         let mut row_tokens: Vec<TokenId> = Vec::new();
         let mut cached_rows = 0usize;
         let mut bytes_reused = 0usize;
+        let mut bytes_shared = 0usize;
+        let mut bytes_copied = 0usize;
         let mut used_scaffold = false;
 
-        // Which params were filled, per span: (span_index, offset, len).
+        // Which params were filled, per span: span_index → (offset, len),
+        // via the registration-time owner → spans map. Each span's ranges
+        // are sorted once here, not per cached span below.
         let mut filled: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
         for part in &resolved.parts {
             if let ResolvedPart::Argument { module, param, .. } = part {
                 // Locate the placeholder inside the owning span.
-                for (i, span) in entry.layout.spans.iter().enumerate() {
-                    if &span.owner == module {
-                        if let Some((_, off, len)) = entry.span_tokens[i]
-                            .params
-                            .iter()
-                            .find(|(name, _, _)| name == param)
-                        {
-                            filled.entry(i).or_default().push((*off, *len));
-                        }
+                for &i in entry.owner_spans.get(module).into_iter().flatten() {
+                    if let Some((_, off, len)) = entry.span_tokens[i]
+                        .params
+                        .iter()
+                        .find(|(name, _, _)| name == param)
+                    {
+                        filled.entry(i).or_default().push((*off, *len));
                     }
                 }
             }
+        }
+        for ranges in filled.values_mut() {
+            ranges.sort_unstable();
         }
 
         // Scaffold substitution: pick scaffolds fully covered by imports.
@@ -615,7 +664,6 @@ impl PromptCache {
             }
         }
 
-        let session = arena.cache_mut();
         for key in &scaffold_keys {
             let states = self
                 .store
@@ -623,11 +671,19 @@ impl PromptCache {
                 .ok_or_else(|| EngineError::MissingModuleStates {
                     key: format!("{key:?}"),
                 })?;
-            session.append(&states)?;
+            let rows = states.len();
+            let bytes = states.size_bytes();
+            if zero_copy {
+                view.push_cache(Arc::clone(&states))?;
+                bytes_shared += bytes;
+            } else {
+                view.append_range_copy(&states, 0, rows)?;
+                bytes_copied += bytes;
+            }
             // Scaffold members have no params, so the mirror can take the
             // span tokens directly.
-            cached_rows += states.len();
-            bytes_reused += states.size_bytes();
+            cached_rows += rows;
+            bytes_reused += bytes;
             used_scaffold = true;
         }
         if used_scaffold {
@@ -655,15 +711,15 @@ impl PromptCache {
                     .ok_or_else(|| EngineError::MissingModuleStates {
                         key: format!("{}.span{}", prompt.schema, span_index),
                     })?;
-            // Copy the span, skipping filled placeholder rows (their
-            // states are recomputed from the real argument below).
-            let skip = filled.get(span_index).cloned().unwrap_or_default();
+            // Take the span, skipping filled placeholder rows (their
+            // states are recomputed from the real argument below) — the
+            // skip list splits the span into shared segments.
+            let skip: &[(usize, usize)] =
+                filled.get(span_index).map_or(&[], Vec::as_slice);
             let mut cursor = 0usize;
             let toks = &entry.span_tokens[*span_index].tokens;
             let mut ranges: Vec<(usize, usize)> = Vec::new();
-            let mut sorted = skip.clone();
-            sorted.sort_unstable();
-            for (off, len) in sorted {
+            for &(off, len) in skip {
                 if cursor < off {
                     ranges.push((cursor, off));
                 }
@@ -673,36 +729,43 @@ impl PromptCache {
                 ranges.push((cursor, states.len()));
             }
             for (s, e) in ranges {
-                session.append_range(&states, s, e)?;
+                if zero_copy {
+                    view.push_segment(Arc::clone(&states), s, e)?;
+                    bytes_shared += states.bytes_for_rows(e - s);
+                } else {
+                    view.append_range_copy(&states, s, e)?;
+                    bytes_copied += states.bytes_for_rows(e - s);
+                }
                 row_tokens.extend_from_slice(&toks[s..e]);
                 cached_rows += e - s;
-                bytes_reused +=
-                    2 * states.num_layers() * (e - s) * states.kv_dim() * 4;
+                bytes_reused += states.bytes_for_rows(e - s);
             }
         }
-        arena.record_occupancy(telemetry);
+        self.metrics.kv_bytes_shared.add(bytes_shared as u64);
+        self.metrics.kv_bytes_copied.add(bytes_copied as u64);
         drop(fetch_span);
         let fetch_end = started.elapsed();
 
         // --- steps ③/④: compute uncached tokens at their positions ---
+        // Prefill and decode append into the view's private tail; the
+        // shared segments stay frozen.
         let prefill_span = telemetry.span("prefill");
         let eos = self.tokenizer.special(SpecialToken::Eos);
-        let session = arena.cache_mut();
 
         let last_logits = if !chunk.tokens.is_empty() {
             self.model
-                .prefill(&chunk.tokens, &chunk.positions, session)?
+                .prefill(&chunk.tokens, &chunk.positions, &mut view)?
         } else {
             // Module-only prompt: re-derive the final token's logits by
             // recomputing the last cached row.
-            if session.is_empty() {
+            if view.is_empty() {
                 return Err(EngineError::EmptyPrompt);
             }
-            let last_row = session.len() - 1;
+            let last_row = view.len() - 1;
             let last_token = row_tokens[last_row];
-            let last_pos = session.positions()[last_row];
-            session.truncate(last_row);
-            self.model.prefill(&[last_token], &[last_pos], session)?
+            let last_pos = view.positions()[last_row];
+            view.truncate(last_row);
+            self.model.prefill(&[last_token], &[last_pos], &mut view)?
         };
         drop(prefill_span);
         let prefill_end = started.elapsed();
@@ -713,7 +776,7 @@ impl PromptCache {
             None => Box::new(GreedySampler),
         };
         let (tokens, ttft, decode) = self.decode_loop(
-            session,
+            &mut view,
             last_logits,
             options.max_new_tokens,
             eos,
@@ -768,12 +831,14 @@ impl PromptCache {
                 cached_tokens: cached_rows,
                 new_tokens: chunk.tokens.len(),
                 bytes_reused,
+                bytes_shared,
+                bytes_copied,
                 used_scaffold,
             },
             warnings: resolved.warnings,
         };
         drop(serve_span);
-        Ok((response, arena.into_cache()))
+        Ok((response, view))
     }
 
     /// Serves the same prompt through the **baseline KV-cache path**: the
@@ -864,6 +929,8 @@ impl PromptCache {
                 cached_tokens: 0,
                 new_tokens: tokens.len(),
                 bytes_reused: 0,
+                bytes_shared: 0,
+                bytes_copied: 0,
                 used_scaffold: false,
             },
             warnings,
@@ -887,9 +954,9 @@ impl PromptCache {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn decode_loop(
+    fn decode_loop<K: KvSeq>(
         &self,
-        cache: &mut KvCache,
+        cache: &mut K,
         mut logits: Vec<f32>,
         max_new_tokens: usize,
         eos: TokenId,

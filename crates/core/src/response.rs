@@ -66,8 +66,15 @@ pub struct ServeStats {
     pub cached_tokens: usize,
     /// Prompt tokens computed this call (arguments + new text).
     pub new_tokens: usize,
-    /// Bytes of cached states concatenated into the session cache.
+    /// Bytes of cached states assembled into the session cache, however
+    /// they got there (`bytes_shared + bytes_copied`).
     pub bytes_reused: usize,
+    /// Of which: bytes aliased as `Arc`-shared segments — zero memcpy.
+    pub bytes_shared: usize,
+    /// Of which: bytes memcpy'd into the session's private tail. Zero on
+    /// the default zero-copy path; nonzero only with
+    /// `EngineConfig::zero_copy = false` (the A/B baseline).
+    pub bytes_copied: usize,
     /// Whether a scaffold satisfied part of the prompt.
     pub used_scaffold: bool,
 }

@@ -1,0 +1,201 @@
+//! Zero-copy serving guarantees:
+//!
+//! 1. served responses are **byte-identical** with zero-copy on vs off
+//!    (the segmented kernel computes in the same float order as the
+//!    contiguous one);
+//! 2. a fully-cached prompt performs **zero KV memcpy** for cached tokens
+//!    (`bytes_copied == 0`, `pc_kv_bytes_copied_total == 0`);
+//! 3. concurrent sessions of one schema **alias** the store's module
+//!    states by pointer, so physical KV memory stays flat as sessions
+//!    grow while logical bytes scale linearly.
+
+use pc_model::{view, Family, KvSeq, Model, ModelConfig};
+use pc_tokenizer::WordTokenizer;
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions, Telemetry};
+use std::sync::Arc;
+
+const CORPUS: &str = "the miami coast has warm beaches surf and sun all year \
+    tokyo offers temples gardens and remarkable food in every district \
+    plan a detailed trip of days for a traveler who loves the water \
+    you are a helpful travel assistant highlight surf spots please \
+    answer the following question about documents provided above";
+
+const SCHEMA: &str = r#"
+  <schema name="trip">
+    you are a helpful travel assistant
+    <module name="plan">plan a detailed trip of <param name="duration" len="3"/></module>
+    <union>
+      <module name="miami">the miami coast has warm beaches surf and sun</module>
+      <module name="tokyo">tokyo offers temples gardens and remarkable food</module>
+    </union>
+  </schema>"#;
+
+fn engine_with(family: Family, zero_copy: bool, telemetry: Telemetry) -> PromptCache {
+    let cfg = match family {
+        Family::Llama => ModelConfig::llama_tiny(256),
+        Family::Falcon => ModelConfig::falcon_tiny(256),
+        Family::Mpt => ModelConfig::mpt_tiny(256),
+        Family::Gpt2 => ModelConfig::gpt2_tiny(256),
+    };
+    let model = Model::new(cfg, 42);
+    let tokenizer = WordTokenizer::train(&[CORPUS]);
+    let engine = PromptCache::new(
+        model,
+        tokenizer,
+        EngineConfig {
+            zero_copy,
+            telemetry,
+            ..EngineConfig::default()
+        },
+    );
+    engine.register_schema(SCHEMA).unwrap();
+    engine
+}
+
+/// Prompts covering the serve-path shapes: plain import + text, filled
+/// parameter (segment splitting), multi-module, and module-only (the
+/// truncate-into-shared-segment path).
+const PROMPTS: [&str; 4] = [
+    r#"<prompt schema="trip"><miami/>highlight surf spots please</prompt>"#,
+    r#"<prompt schema="trip"><plan duration="days for traveler"/><miami/>highlight surf spots</prompt>"#,
+    r#"<prompt schema="trip"><plan duration="days"/><tokyo/>plan a trip</prompt>"#,
+    r#"<prompt schema="trip"><miami/></prompt>"#,
+];
+
+#[test]
+fn responses_byte_identical_zero_copy_on_vs_off() {
+    for family in [Family::Llama, Family::Falcon, Family::Mpt, Family::Gpt2] {
+        let shared = engine_with(family, true, Telemetry::disabled());
+        let copied = engine_with(family, false, Telemetry::disabled());
+        let opts = ServeOptions {
+            max_new_tokens: 8,
+            ..Default::default()
+        };
+        for prompt in PROMPTS {
+            let a = shared.serve_with(prompt, &opts).unwrap();
+            let b = copied.serve_with(prompt, &opts).unwrap();
+            assert_eq!(a.tokens, b.tokens, "family {family:?}, prompt {prompt}");
+            assert_eq!(a.text, b.text, "family {family:?}, prompt {prompt}");
+            // Identical reuse accounting, opposite transport.
+            assert_eq!(a.stats.bytes_reused, b.stats.bytes_reused);
+            assert_eq!(a.stats.cached_tokens, b.stats.cached_tokens);
+            assert_eq!(a.stats.bytes_copied, 0, "zero-copy path memcpy'd");
+            assert_eq!(b.stats.bytes_shared, 0, "copy path shared");
+            assert_eq!(a.stats.bytes_shared, a.stats.bytes_reused);
+            assert_eq!(b.stats.bytes_copied, b.stats.bytes_reused);
+        }
+    }
+}
+
+#[test]
+fn fully_cached_prompt_performs_zero_kv_memcpy() {
+    let telemetry = Telemetry::new();
+    let engine = engine_with(Family::Llama, true, telemetry.clone());
+    let r = engine
+        .serve(
+            r#"<prompt schema="trip"><miami/>highlight surf spots please</prompt>"#,
+            4,
+        )
+        .unwrap();
+    assert!(r.stats.cached_tokens > 0);
+    assert!(r.stats.bytes_reused > 0);
+    assert_eq!(r.stats.bytes_shared, r.stats.bytes_reused);
+    assert_eq!(r.stats.bytes_copied, 0, "cached tokens were memcpy'd");
+
+    let snap = telemetry.snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("pc_kv_bytes_copied_total"), 0);
+    assert_eq!(
+        counter("pc_kv_bytes_shared_total"),
+        r.stats.bytes_shared as u64
+    );
+}
+
+#[test]
+fn sessions_alias_modules_and_physical_bytes_stay_flat() {
+    let engine = engine_with(Family::Llama, true, Telemetry::disabled());
+    let opts = ServeOptions {
+        max_new_tokens: 4,
+        ..Default::default()
+    };
+    let prompt = r#"<prompt schema="trip"><miami/>highlight surf spots please</prompt>"#;
+
+    let sessions: Vec<_> = (0..6)
+        .map(|_| {
+            let (_, view) = engine
+                .serve_session(prompt, &opts, &mut |_, _| {})
+                .unwrap();
+            view
+        })
+        .collect();
+
+    // Every session's shared segments point at the *same* store-owned
+    // states — pointer identity, not equal copies.
+    let store_states: Vec<_> = engine
+        .schema_span_states("trip")
+        .into_iter()
+        .flatten()
+        .collect();
+    for view in &sessions {
+        assert!(!view.segments().is_empty());
+        for seg in view.segments() {
+            assert!(
+                store_states.iter().any(|s| Arc::ptr_eq(seg.cache(), s)),
+                "session segment does not alias the store"
+            );
+        }
+    }
+
+    // Physical bytes = one copy of the shared modules + per-session
+    // tails; adding sessions adds only tail bytes.
+    let tail_bytes: usize = sessions.iter().map(|v| v.tail().size_bytes()).sum();
+    let shared_once = view::physical_bytes(&sessions) - tail_bytes;
+    assert_eq!(shared_once, sessions[0].shared_bytes());
+    assert_eq!(
+        view::physical_bytes(sessions.iter().take(3)),
+        shared_once
+            + sessions
+                .iter()
+                .take(3)
+                .map(|v| v.tail().size_bytes())
+                .sum::<usize>()
+    );
+    // The duplicating baseline scales with the session count.
+    assert_eq!(
+        view::logical_bytes(&sessions),
+        6 * sessions[0].logical_bytes()
+    );
+    assert!(view::logical_bytes(&sessions) > view::physical_bytes(&sessions));
+}
+
+#[test]
+fn session_views_continue_decoding_into_private_tails() {
+    // Continuing one session must not disturb another sharing the same
+    // modules: tails are private, segments are frozen.
+    let engine = engine_with(Family::Llama, true, Telemetry::disabled());
+    let opts = ServeOptions {
+        max_new_tokens: 3,
+        ..Default::default()
+    };
+    let prompt = r#"<prompt schema="trip"><miami/>highlight surf spots please</prompt>"#;
+    let (ra, mut a) = engine.serve_session(prompt, &opts, &mut |_, _| {}).unwrap();
+    let (rb, b) = engine.serve_session(prompt, &opts, &mut |_, _| {}).unwrap();
+    assert_eq!(ra.tokens, rb.tokens);
+    let b_before = b.materialize();
+
+    // Drive session A a few more tokens.
+    let model = engine.model();
+    let next = a.positions().iter().max().unwrap() + 1;
+    model
+        .prefill(&[ra.tokens[ra.tokens.len() - 1]], &[next], &mut a)
+        .unwrap();
+    assert!(a.len() > b.len());
+    // Session B's logical content is untouched.
+    assert_eq!(b.materialize(), b_before);
+}

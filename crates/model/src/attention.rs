@@ -10,9 +10,10 @@
 
 use crate::pos::AlibiTable;
 use crate::ModelConfig;
-use pc_tensor::par::run_tasks;
+use pc_tensor::par::parallel_output_chunks;
 
-/// Computes attention outputs for a chunk of `n` new tokens.
+/// Computes attention outputs for a chunk of `n` new tokens over a
+/// contiguous KV cache.
 ///
 /// * `q` — rotated/raw query rows, `[n × hidden]`.
 /// * `q_positions` — position id of each chunk token (ALiBi bias lookup).
@@ -25,6 +26,11 @@ use pc_tensor::par::run_tasks;
 ///
 /// Grouped-query attention falls out of `cfg.kv_group_size()`: query head
 /// `h` reads kv head `h / group_size`.
+///
+/// This is the single-segment special case of
+/// [`attention_chunk_segments`]; both entry points execute the exact same
+/// per-element float operations in the exact same order, so the results
+/// are bit-identical regardless of how the cache is physically split.
 #[allow(clippy::too_many_arguments)]
 pub fn attention_chunk(
     cfg: &ModelConfig,
@@ -37,6 +43,43 @@ pub fn attention_chunk(
     alibi: Option<&AlibiTable>,
     out: &mut [f32],
 ) {
+    attention_chunk_segments(
+        cfg,
+        q,
+        q_positions,
+        &[(keys, values)],
+        key_positions,
+        base,
+        alibi,
+        out,
+    );
+}
+
+/// Computes attention outputs for a chunk of `n` new tokens over a KV
+/// cache stored as an ordered list of physical segments.
+///
+/// Each `(keys, values)` segment holds a contiguous run of token rows,
+/// `[rows × kv_dim]`; logically the cache is their concatenation, and
+/// `key_positions` spans the full logical length. This is the kernel that
+/// lets the serve path consume `Arc`-shared module blocks in place: no
+/// materialisation into a flat buffer is ever needed (paper §3.4 —
+/// attention states are reused by pointer, not by copy).
+///
+/// The per-row math walks segments with a single global key index `j`, so
+/// the float operation sequence is identical to the contiguous kernel's —
+/// segmentation is invisible in the output bits, which the equality tests
+/// assert exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_chunk_segments(
+    cfg: &ModelConfig,
+    q: &[f32],
+    q_positions: &[usize],
+    segments: &[(&[f32], &[f32])],
+    key_positions: &[usize],
+    base: usize,
+    alibi: Option<&AlibiTable>,
+    out: &mut [f32],
+) {
     let n = q_positions.len();
     let d = cfg.hidden_size;
     let kv_dim = cfg.kv_dim();
@@ -44,8 +87,17 @@ pub fn attention_chunk(
     let total = key_positions.len();
     debug_assert_eq!(q.len(), n * d);
     debug_assert_eq!(out.len(), n * d);
-    debug_assert_eq!(keys.len(), total * kv_dim);
+    debug_assert_eq!(
+        segments.iter().map(|(k, _)| k.len()).sum::<usize>(),
+        total * kv_dim
+    );
+    debug_assert!(segments
+        .iter()
+        .all(|(k, v)| k.len() == v.len() && k.len() % kv_dim.max(1) == 0));
     debug_assert!(base + n <= total);
+    if n == 0 {
+        return;
+    }
 
     // One query row is independent of every other, so rows parallelise
     // with bit-identical results (no cross-row reductions): serial and
@@ -54,46 +106,20 @@ pub fn attention_chunk(
     // via the `min_work` threshold.
     let work = n * total * d;
     let threads = cfg.parallelism.threads_for(work).min(n.max(1)).max(1);
-    if threads > 1 {
-        let rows_per_task = n.div_ceil(threads);
-        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
-            .chunks_mut(rows_per_task * d)
-            .enumerate()
-            .map(|(chunk_idx, out_chunk)| {
-                let first_row = chunk_idx * rows_per_task;
-                Box::new(move || {
-                    attention_rows(
-                        cfg,
-                        q,
-                        q_positions,
-                        keys,
-                        values,
-                        key_positions,
-                        base,
-                        alibi,
-                        scale,
-                        first_row,
-                        out_chunk,
-                    );
-                }) as Box<dyn FnOnce() + Send + '_>
-            })
-            .collect();
-        run_tasks(tasks, threads);
-    } else {
+    parallel_output_chunks(out, d, threads, |first_row, out_chunk| {
         attention_rows(
             cfg,
             q,
             q_positions,
-            keys,
-            values,
+            segments,
             key_positions,
             base,
             alibi,
             scale,
-            0,
-            out,
+            first_row,
+            out_chunk,
         );
-    }
+    });
 }
 
 /// Attention for the contiguous query rows `first_row ..` backing
@@ -105,8 +131,7 @@ fn attention_rows(
     cfg: &ModelConfig,
     q: &[f32],
     q_positions: &[usize],
-    keys: &[f32],
-    values: &[f32],
+    segments: &[(&[f32], &[f32])],
     key_positions: &[usize],
     base: usize,
     alibi: Option<&AlibiTable>,
@@ -124,8 +149,7 @@ fn attention_rows(
             cfg,
             &q[i * d..(i + 1) * d],
             q_positions[i],
-            keys,
-            values,
+            segments,
             key_positions,
             base + i + 1,
             alibi,
@@ -137,13 +161,17 @@ fn attention_rows(
 }
 
 /// Attention for one query row over the first `visible` cached tokens.
+///
+/// The score and value passes both advance one global key index `j`
+/// across the segment list, touching exactly the rows a flat cache would
+/// in exactly the same order — segment boundaries only change which slice
+/// a row is read from, never the arithmetic.
 #[allow(clippy::too_many_arguments)]
 fn attention_row(
     cfg: &ModelConfig,
     q_row: &[f32],
     q_pos: usize,
-    keys: &[f32],
-    values: &[f32],
+    segments: &[(&[f32], &[f32])],
     key_positions: &[usize],
     visible: usize,
     alibi: Option<&AlibiTable>,
@@ -158,23 +186,41 @@ fn attention_row(
         let q_head = &q_row[h * hd..(h + 1) * hd];
         let kv_h = h / group;
         let scores = &mut scores[..visible];
-        for (j, s) in scores.iter_mut().enumerate() {
-            let k_head = &keys[j * kv_dim + kv_h * hd..j * kv_dim + (kv_h + 1) * hd];
-            let mut dot = 0.0;
-            for (a, b) in q_head.iter().zip(k_head) {
-                dot += a * b;
+        let mut j = 0usize;
+        for &(keys, _) in segments {
+            if j >= visible {
+                break;
             }
-            *s = dot * scale;
-            if let Some(alibi) = alibi {
-                *s += alibi.bias(h, q_pos, key_positions[j]);
+            let rows = (keys.len() / kv_dim).min(visible - j);
+            for r in 0..rows {
+                let k_head = &keys[r * kv_dim + kv_h * hd..r * kv_dim + (kv_h + 1) * hd];
+                let mut dot = 0.0;
+                for (a, b) in q_head.iter().zip(k_head) {
+                    dot += a * b;
+                }
+                let s = &mut scores[j];
+                *s = dot * scale;
+                if let Some(alibi) = alibi {
+                    *s += alibi.bias(h, q_pos, key_positions[j]);
+                }
+                j += 1;
             }
         }
         pc_tensor::ops::softmax_slice(scores);
         let o_head = &mut o_row[h * hd..(h + 1) * hd];
-        for (j, &p) in scores.iter().enumerate() {
-            let v_head = &values[j * kv_dim + kv_h * hd..j * kv_dim + (kv_h + 1) * hd];
-            for (o, &v) in o_head.iter_mut().zip(v_head) {
-                *o += p * v;
+        let mut j = 0usize;
+        for &(_, values) in segments {
+            if j >= visible {
+                break;
+            }
+            let rows = (values.len() / kv_dim).min(visible - j);
+            for r in 0..rows {
+                let p = scores[j];
+                let v_head = &values[r * kv_dim + kv_h * hd..r * kv_dim + (kv_h + 1) * hd];
+                for (o, &v) in o_head.iter_mut().zip(v_head) {
+                    *o += p * v;
+                }
+                j += 1;
             }
         }
     }
@@ -302,6 +348,48 @@ mod tests {
         let cfg = tiny_cfg();
         let mut out: [f32; 0] = [];
         attention_chunk(&cfg, &[], &[], &[], &[], &[], 0, None, &mut out);
+    }
+
+    #[test]
+    fn segmented_kernel_matches_contiguous_exactly() {
+        // Any segmentation of the KV rows — including degenerate 1-row and
+        // empty segments — must reproduce the contiguous kernel bit for bit.
+        let cfg = ModelConfig {
+            hidden_size: 8,
+            num_heads: 2,
+            num_kv_heads: 1,
+            ..ModelConfig::llama_tiny(8)
+        };
+        let kv_dim = cfg.kv_dim();
+        let total = 7usize;
+        let n = 3usize;
+        let base = total - n;
+        let keys: Vec<f32> = (0..total * kv_dim).map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.13).collect();
+        let values: Vec<f32> = (0..total * kv_dim).map(|i| ((i * 53 % 23) as f32 - 11.0) * 0.07).collect();
+        let q: Vec<f32> = (0..n * cfg.hidden_size).map(|i| ((i * 41 % 17) as f32 - 8.0) * 0.11).collect();
+        let q_positions: Vec<usize> = (base..total).collect();
+        let key_positions: Vec<usize> = (0..total).collect();
+
+        let mut expect = vec![0.0f32; n * cfg.hidden_size];
+        attention_chunk(&cfg, &q, &q_positions, &keys, &values, &key_positions, base, None, &mut expect);
+
+        for splits in [vec![1, 3, 3], vec![2, 0, 5], vec![7], vec![1; 7], vec![4, 3]] {
+            assert_eq!(splits.iter().sum::<usize>(), total);
+            let mut segs: Vec<(&[f32], &[f32])> = Vec::new();
+            let mut row = 0;
+            for len in splits {
+                segs.push((
+                    &keys[row * kv_dim..(row + len) * kv_dim],
+                    &values[row * kv_dim..(row + len) * kv_dim],
+                ));
+                row += len;
+            }
+            let mut got = vec![0.0f32; n * cfg.hidden_size];
+            attention_chunk_segments(
+                &cfg, &q, &q_positions, &segs, &key_positions, base, None, &mut got,
+            );
+            assert_eq!(got, expect);
+        }
     }
 
     #[test]

@@ -226,7 +226,15 @@ impl KvCache {
     /// format) — Table 2 reports the f16 equivalent, computed in
     /// `pc-cache`.
     pub fn size_bytes(&self) -> usize {
-        2 * self.num_layers() * self.len() * self.kv_dim * std::mem::size_of::<f32>()
+        self.bytes_for_rows(self.len())
+    }
+
+    /// Bytes occupied by `n` token rows of this cache's shape: k + v across
+    /// every layer at f32 width. The single source of truth for KV byte
+    /// accounting — `size_bytes()` and the engine's reuse/copy counters all
+    /// delegate here so they cannot drift from the layout.
+    pub fn bytes_for_rows(&self, n: usize) -> usize {
+        2 * self.num_layers() * n * self.kv_dim * std::mem::size_of::<f32>()
     }
 
     fn check_compatible(&self, other: &KvCache) -> Result<()> {

@@ -38,7 +38,7 @@
 
 #![warn(missing_docs)]
 
-mod attention;
+pub mod attention;
 mod config;
 mod error;
 pub mod fidelity;
@@ -47,6 +47,7 @@ mod kv;
 mod model;
 mod pos;
 mod sampler;
+pub mod view;
 mod weights;
 
 pub use config::{Family, ModelConfig};
@@ -54,6 +55,7 @@ pub use pc_tensor::Parallelism;
 pub use error::ModelError;
 pub use kv::{KvCache, LayerKv};
 pub use model::Model;
+pub use view::{KvSegment, KvSeq, KvView};
 pub use pos::{is_shift_invariant, AlibiTable, PositionEncoding, RopeTable};
 pub use sampler::{GreedySampler, NucleusSampler, Sampler, TemperatureSampler, TopKSampler};
 pub use weights::{LayerWeights, ModelWeights};

@@ -1,8 +1,9 @@
 //! The transformer model: embedding, blocks, logits, decoding.
 
-use crate::attention::attention_chunk;
+use crate::attention::attention_chunk_segments;
 use crate::pos::{AlibiTable, RopeTable};
 use crate::sampler::Sampler;
+use crate::view::KvSeq;
 use crate::{Family, KvCache, ModelConfig, ModelError, ModelWeights, Result, TokenId};
 use pc_telemetry::Telemetry;
 use pc_tensor::ops;
@@ -82,11 +83,14 @@ impl Model {
     ///
     /// Rejects mismatched slice lengths, out-of-vocab tokens, positions at
     /// or beyond `max_position`, and caches shaped for another model.
-    pub fn forward(
+    ///
+    /// Generic over [`KvSeq`]: pass a flat [`KvCache`] or a segmented
+    /// [`crate::KvView`] — results are bit-identical either way.
+    pub fn forward<K: KvSeq>(
         &self,
         tokens: &[TokenId],
         positions: &[usize],
-        cache: &mut KvCache,
+        cache: &mut K,
     ) -> Result<Tensor> {
         let hidden = self.run_hidden(tokens, positions, cache)?;
         let n = tokens.len();
@@ -115,11 +119,11 @@ impl Model {
     ///
     /// Same contract as [`Model::forward`], plus [`ModelError::EmptyInput`]
     /// for an empty chunk.
-    pub fn prefill(
+    pub fn prefill<K: KvSeq>(
         &self,
         tokens: &[TokenId],
         positions: &[usize],
-        cache: &mut KvCache,
+        cache: &mut K,
     ) -> Result<Vec<f32>> {
         if tokens.is_empty() {
             return Err(ModelError::EmptyInput);
@@ -147,11 +151,11 @@ impl Model {
     /// # Errors
     ///
     /// Same contract as [`Model::forward`].
-    pub fn encode(
+    pub fn encode<K: KvSeq>(
         &self,
         tokens: &[TokenId],
         positions: &[usize],
-        cache: &mut KvCache,
+        cache: &mut K,
     ) -> Result<()> {
         self.run_hidden(tokens, positions, cache).map(|_| ())
     }
@@ -178,9 +182,9 @@ impl Model {
     ///
     /// Propagates forward-pass errors (e.g. positions exhausting
     /// `max_position`).
-    pub fn generate(
+    pub fn generate<K: KvSeq>(
         &self,
-        cache: &mut KvCache,
+        cache: &mut K,
         last_logits: &[f32],
         max_new_tokens: usize,
         eos: Option<TokenId>,
@@ -202,11 +206,11 @@ impl Model {
 
     /// The shared transformer body. Returns final-norm hidden states,
     /// `[tokens × hidden]` flattened.
-    fn run_hidden(
+    fn run_hidden<K: KvSeq>(
         &self,
         tokens: &[TokenId],
         positions: &[usize],
-        cache: &mut KvCache,
+        cache: &mut K,
     ) -> Result<Vec<f32>> {
         self.validate(tokens, positions, cache)?;
         let cfg = &self.cfg;
@@ -281,12 +285,14 @@ impl Model {
                 );
             }
 
-            attention_chunk(
+            // The kernel reads the cache as physical segments in place —
+            // shared module blocks in a `KvView` are never copied here.
+            let kv_segments = cache.layer_segments(layer_idx);
+            attention_chunk_segments(
                 cfg,
                 &q,
                 positions,
-                cache.keys(layer_idx),
-                cache.values(layer_idx),
+                &kv_segments,
                 cache.positions(),
                 base,
                 self.alibi.as_ref(),
@@ -369,7 +375,7 @@ impl Model {
         ops::matmul_transb_slices_par(up, lw.w_down.data(), down, n, ff, d, par);
     }
 
-    fn validate(&self, tokens: &[TokenId], positions: &[usize], cache: &KvCache) -> Result<()> {
+    fn validate<K: KvSeq>(&self, tokens: &[TokenId], positions: &[usize], cache: &K) -> Result<()> {
         if tokens.len() != positions.len() {
             return Err(ModelError::LengthMismatch {
                 tokens: tokens.len(),

@@ -1,0 +1,522 @@
+//! Segmented, zero-copy views over shared KV caches.
+//!
+//! A [`KvView`] is the serving-path replacement for a per-request flat
+//! [`KvCache`]: an ordered list of `Arc`-shared **immutable segments**
+//! (module blocks handed out by the store, paper §3.4) followed by one
+//! private mutable **tail** that owns everything computed for this request
+//! — filled parameters, uncached prompt text, and decoded tokens. The
+//! attention kernel consumes the segments in place via
+//! [`KvSeq::layer_segments`], so assembling a session cache from cached
+//! modules is pure pointer arithmetic: no KV bytes are copied and N
+//! concurrent sessions of one schema share a single physical copy of each
+//! module.
+//!
+//! [`KvSeq`] abstracts the cache shape the transformer needs ([`Model`]
+//! methods are generic over it), with two implementations: [`KvCache`]
+//! (one contiguous segment) and [`KvView`]. Both drive the exact same
+//! segmented kernel, which is why segmentation is invisible in the output
+//! bits.
+//!
+//! [`Model`]: crate::Model
+
+use crate::{KvCache, ModelError, Result};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The cache interface the transformer forward pass needs: append-only
+/// growth (positions + per-layer k/v rows) and read access to the cached
+/// rows as an ordered list of contiguous physical segments.
+///
+/// Causality and position handling are unchanged from the flat cache:
+/// cache *order* defines visibility, the position ids carry the layout.
+pub trait KvSeq {
+    /// Number of cached tokens (logical length).
+    fn len(&self) -> usize;
+
+    /// Whether no tokens are cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of layers.
+    fn num_layers(&self) -> usize;
+
+    /// Width of one token's key (or value) row.
+    fn kv_dim(&self) -> usize;
+
+    /// Position ids of all cached tokens, in cache order.
+    fn positions(&self) -> &[usize];
+
+    /// Records the position id of the token whose rows were just pushed.
+    fn push_position(&mut self, pos: usize);
+
+    /// Appends one token's k/v rows for layer `layer` (into the mutable
+    /// tail for views).
+    fn push_token_layer(&mut self, layer: usize, k_row: &[f32], v_row: &[f32]);
+
+    /// The layer's cached rows as ordered `(keys, values)` segments whose
+    /// concatenation is the logical `[len × kv_dim]` buffer.
+    fn layer_segments(&self, layer: usize) -> Vec<(&[f32], &[f32])>;
+}
+
+impl KvSeq for KvCache {
+    fn len(&self) -> usize {
+        KvCache::len(self)
+    }
+
+    fn num_layers(&self) -> usize {
+        KvCache::num_layers(self)
+    }
+
+    fn kv_dim(&self) -> usize {
+        KvCache::kv_dim(self)
+    }
+
+    fn positions(&self) -> &[usize] {
+        KvCache::positions(self)
+    }
+
+    fn push_position(&mut self, pos: usize) {
+        KvCache::push_position(self, pos);
+    }
+
+    fn push_token_layer(&mut self, layer: usize, k_row: &[f32], v_row: &[f32]) {
+        KvCache::push_token_layer(self, layer, k_row, v_row);
+    }
+
+    fn layer_segments(&self, layer: usize) -> Vec<(&[f32], &[f32])> {
+        vec![(self.keys(layer), self.values(layer))]
+    }
+}
+
+/// One shared, immutable run of token rows: the range `start..end` of an
+/// `Arc`-shared [`KvCache`] (typically a module block). Cloning a segment
+/// clones the `Arc`, never the states.
+#[derive(Debug, Clone)]
+pub struct KvSegment {
+    cache: Arc<KvCache>,
+    start: usize,
+    end: usize,
+}
+
+impl KvSegment {
+    /// The shared backing cache.
+    pub fn cache(&self) -> &Arc<KvCache> {
+        &self.cache
+    }
+
+    /// First backing row of this segment.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last backing row of this segment.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Number of token rows this segment contributes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the segment contributes no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A session KV cache assembled without copying: shared immutable
+/// segments up front, one private mutable tail behind them.
+///
+/// Ownership rules: segments are frozen the moment they are pushed (they
+/// alias store-owned module blocks), and every row appended afterwards —
+/// filled parameters at gap positions, uncached prompt text, decoded
+/// tokens — lands in the tail, which this view exclusively owns. Segments
+/// can only be pushed while the tail is empty, so the shared prefix /
+/// private tail split is an invariant, not a convention.
+#[derive(Debug, Clone)]
+pub struct KvView {
+    segments: Vec<KvSegment>,
+    seg_rows: usize,
+    tail: KvCache,
+    /// Flat positions across segments + tail, kept locally so position
+    /// lookup (ALiBi, decode start) needs no segment walk.
+    positions: Vec<usize>,
+}
+
+impl KvView {
+    /// An empty view with explicit layer count and kv width.
+    pub fn with_shape(num_layers: usize, kv_dim: usize) -> Self {
+        KvView {
+            segments: Vec::new(),
+            seg_rows: 0,
+            tail: KvCache::with_shape(num_layers, kv_dim),
+            positions: Vec::new(),
+        }
+    }
+
+    /// Wraps an owned cache as a view with no shared segments — the whole
+    /// cache becomes the private tail.
+    pub fn from_cache(cache: KvCache) -> Self {
+        KvView {
+            segments: Vec::new(),
+            seg_rows: 0,
+            positions: cache.positions().to_vec(),
+            tail: cache,
+        }
+    }
+
+    /// Shares the row range `start..end` of `cache` as the next segment —
+    /// O(1) in KV bytes. Empty ranges are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CacheShapeMismatch`] for incompatible shapes,
+    /// an invalid range, or when the tail already holds rows (shared
+    /// segments must precede all private rows).
+    pub fn push_segment(&mut self, cache: Arc<KvCache>, start: usize, end: usize) -> Result<()> {
+        if cache.num_layers() != self.tail.num_layers() || cache.kv_dim() != self.tail.kv_dim() {
+            return Err(ModelError::CacheShapeMismatch {
+                detail: format!(
+                    "segment {} layers × kv_dim {} vs view {} layers × kv_dim {}",
+                    cache.num_layers(),
+                    cache.kv_dim(),
+                    self.tail.num_layers(),
+                    self.tail.kv_dim()
+                ),
+            });
+        }
+        if start > end || end > cache.len() {
+            return Err(ModelError::CacheShapeMismatch {
+                detail: format!(
+                    "segment range {start}..{end} invalid for length {}",
+                    cache.len()
+                ),
+            });
+        }
+        if !self.tail.is_empty() {
+            return Err(ModelError::CacheShapeMismatch {
+                detail: format!(
+                    "cannot share a segment behind {} private tail rows",
+                    self.tail.len()
+                ),
+            });
+        }
+        if start == end {
+            return Ok(());
+        }
+        self.positions.extend_from_slice(&cache.positions()[start..end]);
+        self.seg_rows += end - start;
+        self.segments.push(KvSegment { cache, start, end });
+        Ok(())
+    }
+
+    /// Shares an entire cache as the next segment (see
+    /// [`KvView::push_segment`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`KvView::push_segment`].
+    pub fn push_cache(&mut self, cache: Arc<KvCache>) -> Result<()> {
+        let end = cache.len();
+        self.push_segment(cache, 0, end)
+    }
+
+    /// Copies the row range `start..end` of `other` into the private tail
+    /// — the pre-zero-copy behaviour, kept for A/B comparison and for
+    /// callers that need an owned flat cache.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`KvCache::append_range`].
+    pub fn append_range_copy(&mut self, other: &KvCache, start: usize, end: usize) -> Result<()> {
+        self.tail.append_range(other, start, end)?;
+        self.positions.extend_from_slice(&other.positions()[start..end]);
+        Ok(())
+    }
+
+    /// The shared segments, in cache order.
+    pub fn segments(&self) -> &[KvSegment] {
+        &self.segments
+    }
+
+    /// The private tail (read-only).
+    pub fn tail(&self) -> &KvCache {
+        &self.tail
+    }
+
+    /// Number of rows aliased from shared segments.
+    pub fn shared_rows(&self) -> usize {
+        self.seg_rows
+    }
+
+    /// Bytes aliased from shared segments (not owned by this view).
+    pub fn shared_bytes(&self) -> usize {
+        self.tail.bytes_for_rows(self.seg_rows)
+    }
+
+    /// Bytes the full logical cache would occupy if it were flat.
+    pub fn logical_bytes(&self) -> usize {
+        self.tail.bytes_for_rows(self.len())
+    }
+
+    /// Removes trailing tokens, keeping the first `len`. Tail rows are
+    /// dropped first; if the cut reaches into the shared prefix, segment
+    /// ranges shrink (the backing caches are untouched — only this view's
+    /// aliasing narrows).
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len() {
+            return;
+        }
+        if len >= self.seg_rows {
+            self.tail.truncate(len - self.seg_rows);
+        } else {
+            self.tail.truncate(0);
+            let mut keep = len;
+            self.segments.retain_mut(|seg| {
+                let take = seg.len().min(keep);
+                seg.end = seg.start + take;
+                keep -= take;
+                take > 0
+            });
+            self.seg_rows = len;
+        }
+        self.positions.truncate(len);
+    }
+
+    /// Copies segments + tail into one owned contiguous [`KvCache`] — the
+    /// escape hatch for persistence, codecs, and any consumer that needs
+    /// flat buffers. The hot serve path never calls this.
+    pub fn materialize(&self) -> KvCache {
+        let mut flat = KvCache::with_shape(self.tail.num_layers(), self.tail.kv_dim());
+        for seg in &self.segments {
+            flat.append_range(&seg.cache, seg.start, seg.end)
+                .expect("segment shape was validated at push");
+        }
+        flat.append(&self.tail).expect("tail shares the view's shape");
+        flat
+    }
+}
+
+impl KvSeq for KvView {
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn num_layers(&self) -> usize {
+        self.tail.num_layers()
+    }
+
+    fn kv_dim(&self) -> usize {
+        self.tail.kv_dim()
+    }
+
+    fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    fn push_position(&mut self, pos: usize) {
+        self.tail.push_position(pos);
+        self.positions.push(pos);
+    }
+
+    fn push_token_layer(&mut self, layer: usize, k_row: &[f32], v_row: &[f32]) {
+        self.tail.push_token_layer(layer, k_row, v_row);
+    }
+
+    fn layer_segments(&self, layer: usize) -> Vec<(&[f32], &[f32])> {
+        let d = self.tail.kv_dim();
+        let mut segs = Vec::with_capacity(self.segments.len() + 1);
+        for seg in &self.segments {
+            segs.push((
+                &seg.cache.keys(layer)[seg.start * d..seg.end * d],
+                &seg.cache.values(layer)[seg.start * d..seg.end * d],
+            ));
+        }
+        segs.push((self.tail.keys(layer), self.tail.values(layer)));
+        segs
+    }
+}
+
+/// Physical KV bytes behind a set of views: each distinct backing cache
+/// is counted once at its full allocated size (however many views alias
+/// it, and however small their windows), plus every view's private tail.
+/// This is the number that stays flat as same-schema sessions multiply.
+pub fn physical_bytes<'a, I>(views: I) -> usize
+where
+    I: IntoIterator<Item = &'a KvView>,
+{
+    let mut seen: HashSet<*const KvCache> = HashSet::new();
+    let mut bytes = 0usize;
+    for view in views {
+        for seg in &view.segments {
+            if seen.insert(Arc::as_ptr(seg.cache())) {
+                bytes += seg.cache().size_bytes();
+            }
+        }
+        bytes += view.tail.size_bytes();
+    }
+    bytes
+}
+
+/// Logical KV bytes across a set of views: what the same sessions would
+/// occupy with flat per-session caches. The gap to [`physical_bytes`] is
+/// exactly the sharing win.
+pub fn logical_bytes<'a, I>(views: I) -> usize
+where
+    I: IntoIterator<Item = &'a KvView>,
+{
+    views.into_iter().map(KvView::logical_bytes).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_with(tokens: &[(usize, f32)]) -> KvCache {
+        let mut c = KvCache::with_shape(2, 3);
+        for &(pos, val) in tokens {
+            for layer in 0..2 {
+                let row = [val + layer as f32 * 100.0; 3];
+                c.push_token_layer(layer, &row, &row.map(|x| -x));
+            }
+            c.push_position(pos);
+        }
+        c
+    }
+
+    #[test]
+    fn push_segment_aliases_without_copy() {
+        let block = Arc::new(cache_with(&[(0, 1.0), (1, 2.0), (2, 3.0)]));
+        let mut view = KvView::with_shape(2, 3);
+        view.push_segment(Arc::clone(&block), 1, 3).unwrap();
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.positions(), &[1, 2]);
+        assert_eq!(view.shared_rows(), 2);
+        assert!(Arc::ptr_eq(view.segments()[0].cache(), &block));
+        let segs = view.layer_segments(0);
+        // Two segments: the shared window plus the (empty) tail.
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].0, &block.keys(0)[3..9]);
+        assert!(segs[1].0.is_empty());
+    }
+
+    #[test]
+    fn segment_after_tail_rows_rejected() {
+        let block = Arc::new(cache_with(&[(0, 1.0)]));
+        let mut view = KvView::with_shape(2, 3);
+        view.push_token_layer(0, &[9.0; 3], &[9.0; 3]);
+        view.push_token_layer(1, &[9.0; 3], &[9.0; 3]);
+        view.push_position(7);
+        assert!(view.push_cache(block).is_err());
+    }
+
+    #[test]
+    fn shape_and_range_validation() {
+        let mut view = KvView::with_shape(2, 3);
+        let wrong_layers = Arc::new(cache_with(&[(0, 1.0)]).slice(0, 1).unwrap());
+        assert!(view.push_segment(Arc::new(KvCache::with_shape(3, 3)), 0, 0).is_err());
+        assert!(view.push_segment(Arc::new(KvCache::with_shape(2, 4)), 0, 0).is_err());
+        assert!(view.push_segment(Arc::clone(&wrong_layers), 0, 2).is_err());
+        assert!(view.push_segment(wrong_layers, 1, 0).is_err());
+    }
+
+    #[test]
+    fn materialize_equals_copy_assembly() {
+        let a = Arc::new(cache_with(&[(0, 1.0), (1, 2.0)]));
+        let b = Arc::new(cache_with(&[(5, 9.0), (6, 10.0), (7, 11.0)]));
+
+        let mut view = KvView::with_shape(2, 3);
+        view.push_cache(Arc::clone(&a)).unwrap();
+        view.push_segment(Arc::clone(&b), 1, 3).unwrap();
+        view.push_token_layer(0, &[4.0; 3], &[-4.0; 3]);
+        view.push_token_layer(1, &[104.0; 3], &[-104.0; 3]);
+        view.push_position(9);
+
+        let mut flat = KvCache::with_shape(2, 3);
+        flat.append(&a).unwrap();
+        flat.append_range(&b, 1, 3).unwrap();
+        flat.push_token_layer(0, &[4.0; 3], &[-4.0; 3]);
+        flat.push_token_layer(1, &[104.0; 3], &[-104.0; 3]);
+        flat.push_position(9);
+
+        assert_eq!(view.materialize(), flat);
+        assert_eq!(view.positions(), flat.positions());
+        assert_eq!(view.len(), 5);
+        assert_eq!(view.shared_rows(), 4);
+    }
+
+    #[test]
+    fn copy_path_fills_tail() {
+        let b = Arc::new(cache_with(&[(5, 9.0), (6, 10.0)]));
+        let mut view = KvView::with_shape(2, 3);
+        view.append_range_copy(&b, 0, 2).unwrap();
+        assert_eq!(view.shared_rows(), 0);
+        assert_eq!(view.tail().len(), 2);
+        assert_eq!(view.positions(), &[5, 6]);
+        assert_eq!(view.materialize().keys(0), b.keys(0));
+    }
+
+    #[test]
+    fn truncate_shrinks_tail_then_segments() {
+        let a = Arc::new(cache_with(&[(0, 1.0), (1, 2.0)]));
+        let b = Arc::new(cache_with(&[(5, 9.0), (6, 10.0)]));
+        let mut view = KvView::with_shape(2, 3);
+        view.push_cache(Arc::clone(&a)).unwrap();
+        view.push_cache(Arc::clone(&b)).unwrap();
+        view.push_token_layer(0, &[4.0; 3], &[4.0; 3]);
+        view.push_token_layer(1, &[4.0; 3], &[4.0; 3]);
+        view.push_position(9);
+
+        view.truncate(5); // drops the tail row only
+        assert_eq!(view.len(), 5);
+        assert_eq!(view.tail().len(), 1);
+        view.truncate(3); // cuts into segment b
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.tail().len(), 0);
+        assert_eq!(view.shared_rows(), 3);
+        assert_eq!(view.segments().len(), 2);
+        assert_eq!(view.positions(), &[0, 1, 5]);
+        view.truncate(0);
+        assert!(view.is_empty());
+        assert!(view.segments().is_empty());
+        // Backing caches are untouched throughout.
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn physical_bytes_dedups_shared_blocks() {
+        let block = Arc::new(cache_with(&[(0, 1.0), (1, 2.0), (2, 3.0)]));
+        let views: Vec<KvView> = (0..4)
+            .map(|i| {
+                let mut v = KvView::with_shape(2, 3);
+                v.push_cache(Arc::clone(&block)).unwrap();
+                v.push_token_layer(0, &[i as f32; 3], &[0.0; 3]);
+                v.push_token_layer(1, &[i as f32; 3], &[0.0; 3]);
+                v.push_position(10 + i);
+                v
+            })
+            .collect();
+        let one_tail = views[0].tail().size_bytes();
+        assert_eq!(
+            physical_bytes(&views),
+            block.size_bytes() + 4 * one_tail
+        );
+        assert_eq!(logical_bytes(&views), 4 * (block.size_bytes() + one_tail));
+        // Physical stays flat as sessions grow; logical scales linearly.
+        assert_eq!(
+            physical_bytes(views.iter().take(2)),
+            block.size_bytes() + 2 * one_tail
+        );
+    }
+
+    #[test]
+    fn from_cache_owns_everything() {
+        let view = KvView::from_cache(cache_with(&[(0, 1.0), (1, 2.0)]));
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.shared_rows(), 0);
+        assert_eq!(view.positions(), &[0, 1]);
+    }
+}

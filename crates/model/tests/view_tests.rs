@@ -1,0 +1,137 @@
+//! Segmented-vs-contiguous equality: running the transformer over a
+//! [`KvView`] assembled from `Arc`-shared blocks must be **bit-identical**
+//! to running it over one flat [`KvCache`] — across every model family
+//! (RoPE, ALiBi, GPT-2 learned positions) and across segment boundaries
+//! at degenerate block sizes (1, odd, whole-cache, larger-than-cache).
+
+use pc_model::{GreedySampler, KvCache, KvView, Model, ModelConfig};
+use std::sync::Arc;
+
+fn all_families() -> Vec<ModelConfig> {
+    vec![
+        ModelConfig::llama_tiny(64),
+        ModelConfig::falcon_tiny(64),
+        ModelConfig::mpt_tiny(64),
+        ModelConfig::gpt2_tiny(64),
+    ]
+}
+
+/// Splits `cache` into Arc-shared blocks of `block` rows and assembles a
+/// view over them.
+fn view_of_blocks(cache: &KvCache, block: usize) -> KvView {
+    let mut view = KvView::with_shape(cache.num_layers(), cache.kv_dim());
+    let mut start = 0;
+    while start < cache.len() {
+        let end = (start + block).min(cache.len());
+        let slice = Arc::new(cache.slice(start, end).unwrap());
+        view.push_cache(slice).unwrap();
+        start = end;
+    }
+    view
+}
+
+#[test]
+fn segmented_prefill_is_bit_identical_across_families_and_block_sizes() {
+    for cfg in all_families() {
+        let model = Model::new(cfg.clone(), 17);
+        let prefix_tokens: Vec<u32> = vec![5, 9, 13, 21, 2, 33, 7];
+        let prefix_positions: Vec<usize> = (0..prefix_tokens.len()).collect();
+        let suffix_tokens: Vec<u32> = vec![11, 4, 58];
+        let suffix_positions: Vec<usize> = (7..10).collect();
+
+        // "Cached" prefix states, exactly as the store would hold them.
+        let prefix = model
+            .encode_segment(&prefix_tokens, &prefix_positions)
+            .unwrap();
+
+        // Contiguous reference: flat cache, prefill the suffix.
+        let mut flat = prefix.clone();
+        let flat_logits = model
+            .prefill(&suffix_tokens, &suffix_positions, &mut flat)
+            .unwrap();
+
+        // Block sizes: per-token, odd, exactly the cache, larger than it.
+        let n = prefix.len();
+        for block in [1usize, 3, n, n + 5] {
+            let mut view = view_of_blocks(&prefix, block);
+            let view_logits = model
+                .prefill(&suffix_tokens, &suffix_positions, &mut view)
+                .unwrap();
+            assert_eq!(
+                view_logits, flat_logits,
+                "family {:?}, block {block}: prefill logits diverged",
+                cfg.family
+            );
+            // The tail holds exactly the suffix states the flat path
+            // appended, and the whole view materialises to the flat cache.
+            assert_eq!(view.tail().len(), suffix_tokens.len());
+            assert_eq!(
+                view.materialize(),
+                flat,
+                "family {:?}, block {block}: states diverged",
+                cfg.family
+            );
+        }
+    }
+}
+
+#[test]
+fn segmented_decode_is_bit_identical() {
+    // Greedy decoding over a segmented view must emit the same token ids
+    // as over a flat cache — the decode loop appends into the tail only.
+    for cfg in all_families() {
+        let model = Model::new(cfg.clone(), 29);
+        let prefix = model
+            .encode_segment(&[3, 1, 4, 1, 5, 9], &[0, 1, 2, 3, 4, 5])
+            .unwrap();
+
+        let mut flat = prefix.clone();
+        let flat_logits = model.prefill(&[26, 53], &[6, 7], &mut flat).unwrap();
+        let flat_out = model
+            .generate(&mut flat, &flat_logits, 6, None, &mut GreedySampler)
+            .unwrap();
+
+        let mut view = view_of_blocks(&prefix, 1);
+        let view_logits = model.prefill(&[26, 53], &[6, 7], &mut view).unwrap();
+        assert_eq!(view_logits, flat_logits, "family {:?}", cfg.family);
+        let view_out = model
+            .generate(&mut view, &view_logits, 6, None, &mut GreedySampler)
+            .unwrap();
+        assert_eq!(view_out, flat_out, "family {:?}", cfg.family);
+        assert_eq!(view.materialize(), flat, "family {:?}", cfg.family);
+    }
+}
+
+#[test]
+fn shared_blocks_are_aliased_not_copied() {
+    // Many views over one block: pointer identity holds and physical
+    // bytes stay flat while logical bytes scale with the session count.
+    let cfg = ModelConfig::llama_tiny(64);
+    let model = Model::new(cfg.clone(), 3);
+    let block = Arc::new(model.encode_segment(&[7, 8, 9, 10], &[0, 1, 2, 3]).unwrap());
+
+    let views: Vec<KvView> = (0..8)
+        .map(|i| {
+            let mut view = KvView::with_shape(cfg.num_layers, cfg.kv_dim());
+            view.push_cache(Arc::clone(&block)).unwrap();
+            model
+                .prefill(&[11 + i as u32], &[4], &mut view)
+                .unwrap();
+            view
+        })
+        .collect();
+
+    for view in &views {
+        assert!(Arc::ptr_eq(view.segments()[0].cache(), &block));
+        assert_eq!(view.shared_bytes(), block.size_bytes());
+    }
+    let tails: usize = views.iter().map(|v| v.tail().size_bytes()).sum();
+    assert_eq!(
+        pc_model::view::physical_bytes(&views),
+        block.size_bytes() + tails
+    );
+    assert_eq!(
+        pc_model::view::logical_bytes(&views),
+        8 * block.size_bytes() + tails
+    );
+}

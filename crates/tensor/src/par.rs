@@ -242,6 +242,40 @@ pub fn run_tasks<'scope>(tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>, threads:
     }
 }
 
+/// Splits a row-major output buffer of `row_width`-element rows into at
+/// most `threads` contiguous chunks and runs `f(first_row, chunk)` on each
+/// in parallel. Disjointness is structural (`chunks_mut`), so `f` can
+/// write its chunk freely; `first_row` tells it which global rows the
+/// chunk backs. The row-partitioned attention kernels funnel through this
+/// so serial and parallel execution share one code path.
+pub fn parallel_output_chunks<T, F>(out: &mut [T], row_width: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if out.is_empty() {
+        return;
+    }
+    debug_assert!(row_width > 0 && out.len().is_multiple_of(row_width));
+    let rows = out.len() / row_width;
+    let threads = threads.max(1).min(rows);
+    if threads <= 1 {
+        f(0, out);
+        return;
+    }
+    let rows_per_task = rows.div_ceil(threads);
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(rows_per_task * row_width)
+        .enumerate()
+        .map(|(chunk_idx, chunk)| {
+            let first_row = chunk_idx * rows_per_task;
+            Box::new(move || f(first_row, chunk)) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_tasks(tasks, threads);
+}
+
 /// Splits `0..m` into at most `threads` contiguous row ranges and runs `f`
 /// on each range in parallel. `f` is responsible for writing disjoint
 /// output per range (typically via interior indexing of shared storage or
