@@ -16,4 +16,13 @@ cargo test -q -p prompt-cache --test telemetry_tests
 # with zero KV memcpy on the default path.
 cargo test -q -p pc-model --test view_tests
 cargo test -q -p prompt-cache --test zero_copy_tests
+# Resilience gate: deadline/cancellation edge cases at engine and server
+# level, plus the deterministic chaos suite (injected cache misses,
+# corruption, and worker stalls must degrade gracefully with
+# byte-identical output, never break the serve path).
+cargo test -q -p prompt-cache --test resilience_tests
+cargo test -q -p pc-server --test resilience
+cargo test -q -p pc-faults
+# Docs gate: rustdoc must stay warning-clean.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 cargo clippy --all-targets -- -D warnings

@@ -47,6 +47,7 @@ fn store_access(c: &mut Criterion) {
         let store = ModuleStore::new(StoreConfig {
             device_capacity_bytes: 8 * one,
             policy,
+            ..Default::default()
         });
         for m in 0..32 {
             store.insert(

@@ -129,6 +129,7 @@ fn eviction_ablation(quick: bool) -> (String, serde_json::Value) {
         let store = ModuleStore::new(StoreConfig {
             device_capacity_bytes: 8 * one,
             policy,
+            ..Default::default()
         });
         for m in 0..num_modules {
             // Vary size a little so size-aware policies differentiate.

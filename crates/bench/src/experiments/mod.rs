@@ -3,6 +3,7 @@
 
 mod ablations;
 mod real_figs;
+mod resilience_exp;
 mod serving_exp;
 mod sim_figs;
 mod threads_exp;
@@ -10,6 +11,7 @@ mod ttft_exp;
 mod zero_copy_exp;
 
 pub use ablations::ablations;
+pub use resilience_exp::resilience;
 pub use serving_exp::{rag, throughput};
 pub use threads_exp::threads;
 pub use ttft_exp::ttft_breakdown;
@@ -35,10 +37,10 @@ pub struct Report {
 }
 
 /// Every experiment id the `figures` binary accepts, in run order.
-pub const ALL_IDS: [&str; 18] = [
+pub const ALL_IDS: [&str; 19] = [
     "fig3", "fig4", "fig5", "table1", "table2", "memcpy", "modelsize", "e2e", "fig6", "fig7",
     "fig8", "appendix", "ablations", "throughput", "rag", "threads", "ttft_breakdown",
-    "zero_copy",
+    "zero_copy", "resilience",
 ];
 
 /// Runs an experiment by id. `quick` shrinks sample counts for smoke
@@ -63,6 +65,7 @@ pub fn run(id: &str, quick: bool) -> Option<Report> {
         "threads" => Some(threads(quick)),
         "ttft_breakdown" => Some(ttft_breakdown(quick)),
         "zero_copy" => Some(zero_copy(quick)),
+        "resilience" => Some(resilience(quick)),
         _ => None,
     }
 }

@@ -33,4 +33,6 @@ mod store;
 
 pub use arena::ConcatArena;
 pub use eviction::{EvictionPolicy, ModuleStats};
-pub use store::{ModuleKey, ModuleStore, StoreConfig, StoreStats, Tier};
+pub use store::{
+    FetchFault, FetchFaultInjector, ModuleKey, ModuleStore, StoreConfig, StoreStats, Tier,
+};

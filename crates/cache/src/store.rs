@@ -51,6 +51,13 @@ pub struct StoreConfig {
     pub device_capacity_bytes: usize,
     /// Eviction policy for the device tier.
     pub policy: EvictionPolicy,
+    /// Verify each module's content checksum on every [`ModuleStore::get`].
+    /// A mismatch (bit rot, a buggy writer, injected corruption) is
+    /// **detected instead of served**: the entry is dropped, the lookup
+    /// reports a miss, and `corruptions_detected` is counted — the engine
+    /// then recomputes the span (graceful degradation). Off by default:
+    /// verification is O(module bytes) per fetch.
+    pub verify_checksums: bool,
 }
 
 impl Default for StoreConfig {
@@ -58,8 +65,35 @@ impl Default for StoreConfig {
         StoreConfig {
             device_capacity_bytes: 0,
             policy: EvictionPolicy::Lru,
+            verify_checksums: false,
         }
     }
+}
+
+/// A fault decision for one module fetch, produced by a
+/// [`FetchFaultInjector`]. Used only by fault-injection harnesses (the
+/// `pc-faults` crate); production stores carry no injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchFault {
+    /// No fault: the fetch proceeds normally.
+    None,
+    /// The fetch behaves as if the module was never stored (counted as a
+    /// miss); the entry itself is untouched.
+    Miss,
+    /// The stored states are corrupted in place (one flipped bit) before
+    /// the fetch proceeds. With [`StoreConfig::verify_checksums`] on, the
+    /// corruption is detected and surfaces as a miss; with it off, the
+    /// corrupt states are served silently — exactly the failure mode the
+    /// checksum exists to catch.
+    Corrupt,
+}
+
+/// Deterministic fault source consulted on every [`ModuleStore::get`].
+/// Implementations must be pure functions of the key (plus their own
+/// seed) so replays are reproducible across runs and thread schedules.
+pub trait FetchFaultInjector: Send + Sync + std::fmt::Debug {
+    /// The fault to apply to this lookup, if any.
+    fn fault(&self, key: &ModuleKey) -> FetchFault;
 }
 
 /// Aggregate counters, retrievable with [`ModuleStore::stats`].
@@ -76,6 +110,10 @@ pub struct StoreStats {
     /// Lookups served without a copy because the module was already
     /// resident on the device.
     pub device_hits: u64,
+    /// Checksum mismatches caught by [`StoreConfig::verify_checksums`].
+    /// Each one also counts as a miss (the corrupt entry is dropped and
+    /// the caller recomputes).
+    pub corruptions_detected: u64,
 }
 
 /// Pre-resolved telemetry handles, so the store's hot paths never take the
@@ -87,6 +125,7 @@ struct StoreMetrics {
     misses: Counter,
     device_hits: Counter,
     evictions: Counter,
+    corruptions: Counter,
     bytes_copied_h2d: Counter,
     host_bytes: Gauge,
     device_bytes: Gauge,
@@ -100,6 +139,7 @@ impl StoreMetrics {
             misses: telemetry.counter("pc_cache_misses_total"),
             device_hits: telemetry.counter("pc_cache_device_hits_total"),
             evictions: telemetry.counter("pc_cache_evictions_total"),
+            corruptions: telemetry.counter("pc_cache_corruptions_total"),
             bytes_copied_h2d: telemetry.counter("pc_cache_bytes_copied_h2d_total"),
             host_bytes: telemetry.gauge("pc_cache_host_bytes"),
             device_bytes: telemetry.gauge("pc_cache_device_bytes"),
@@ -113,6 +153,9 @@ struct Entry {
     cache: Arc<KvCache>,
     stats: ModuleStats,
     on_device: bool,
+    /// Content checksum taken at insert; re-verified on fetch when
+    /// [`StoreConfig::verify_checksums`] is set.
+    checksum: u64,
 }
 
 #[derive(Debug, Default)]
@@ -121,6 +164,30 @@ struct Inner {
     device_used: usize,
     clock: u64,
     stats: StoreStats,
+    /// Fault-injection hook (test harnesses only); `None` in production.
+    faults: Option<Arc<dyn FetchFaultInjector>>,
+}
+
+/// FNV-1a over the cache's key/value bit patterns and positions — cheap,
+/// deterministic, and sensitive to any single flipped bit.
+fn content_checksum(cache: &KvCache) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |word: u64| {
+        h ^= word;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for layer in 0..cache.num_layers() {
+        for v in cache.keys(layer) {
+            eat(u64::from(v.to_bits()));
+        }
+        for v in cache.values(layer) {
+            eat(u64::from(v.to_bits()));
+        }
+    }
+    for &p in cache.positions() {
+        eat(p as u64);
+    }
+    h
 }
 
 /// Thread-safe encoded-module storage with host + bounded device tiers.
@@ -185,6 +252,7 @@ impl ModuleStore {
             inner.device_used -= old_size;
         }
         let old_size = old.map(|(size, _)| size);
+        let checksum = content_checksum(&cache);
         inner.entries.insert(
             key,
             Entry {
@@ -196,6 +264,7 @@ impl ModuleStore {
                     recompute_cost,
                 },
                 on_device: false,
+                checksum,
             },
         );
         self.metrics
@@ -221,10 +290,47 @@ impl ModuleStore {
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let clock = inner.clock;
+        // Fault injection (harnesses only): an injected miss hides the
+        // entry; injected corruption damages it in place so the checksum
+        // verification below exercises the real detection path.
+        if let Some(faults) = inner.faults.clone() {
+            match faults.fault(key) {
+                FetchFault::None => {}
+                FetchFault::Miss => {
+                    inner.stats.misses += 1;
+                    self.metrics.misses.inc();
+                    return None;
+                }
+                FetchFault::Corrupt => {
+                    Self::corrupt_entry(&mut inner, key);
+                }
+            }
+        }
         if !inner.entries.contains_key(key) {
             inner.stats.misses += 1;
             self.metrics.misses.inc();
             return None;
+        }
+        if self.config.verify_checksums {
+            let entry = &inner.entries[key];
+            if content_checksum(&entry.cache) != entry.checksum {
+                // Detected corruption: drop the poisoned entry and report
+                // a miss so the caller recomputes instead of serving it.
+                let size = entry.stats.size_bytes;
+                let was_on_device = entry.on_device;
+                inner.entries.remove(key);
+                if was_on_device {
+                    inner.device_used -= size;
+                }
+                inner.stats.corruptions_detected += 1;
+                inner.stats.misses += 1;
+                self.metrics.corruptions.inc();
+                self.metrics.misses.inc();
+                self.metrics.host_bytes.add(-(size as i64));
+                self.metrics.modules.set(inner.entries.len() as i64);
+                self.metrics.device_bytes.set(inner.device_used as i64);
+                return None;
+            }
         }
         inner.stats.hits += 1;
         self.metrics.hits.inc();
@@ -303,6 +409,52 @@ impl ModuleStore {
             }
         }
         promoted
+    }
+
+    /// Installs a [`FetchFaultInjector`] consulted on every `get` (or
+    /// removes it with `None`). Fault injection is for resilience
+    /// harnesses and tests; a store without an injector pays one `Option`
+    /// check per fetch.
+    pub fn set_fault_injector(&self, injector: Option<Arc<dyn FetchFaultInjector>>) {
+        self.inner.lock().faults = injector;
+    }
+
+    /// Flips one bit in a stored module's states **without updating its
+    /// checksum** — the deterministic corruption primitive behind fault
+    /// injection. Returns `false` for unknown keys and empty modules.
+    /// With [`StoreConfig::verify_checksums`] on, the next fetch detects
+    /// the damage; with it off, the corrupt states are served as-is.
+    pub fn corrupt_module(&self, key: &ModuleKey) -> bool {
+        let mut inner = self.inner.lock();
+        Self::corrupt_entry(&mut inner, key)
+    }
+
+    fn corrupt_entry(inner: &mut Inner, key: &ModuleKey) -> bool {
+        let Some(entry) = inner.entries.get_mut(key) else {
+            return false;
+        };
+        let src = &entry.cache;
+        if src.is_empty() || src.num_layers() == 0 || src.kv_dim() == 0 {
+            return false;
+        }
+        // Rebuild the cache with the first key value's low bit flipped —
+        // `KvCache` exposes no interior mutability, which is exactly why
+        // real code can't do this by accident.
+        let d = src.kv_dim();
+        let mut bad = KvCache::with_shape(src.num_layers(), d);
+        for row in 0..src.len() {
+            for layer in 0..src.num_layers() {
+                let mut k = src.keys(layer)[row * d..(row + 1) * d].to_vec();
+                let v = &src.values(layer)[row * d..(row + 1) * d];
+                if row == 0 && layer == 0 {
+                    k[0] = f32::from_bits(k[0].to_bits() ^ 1);
+                }
+                bad.push_token_layer(layer, &k, v);
+            }
+            bad.push_position(src.positions()[row]);
+        }
+        entry.cache = Arc::new(bad);
+        true
     }
 
     /// Whether a module is currently resident in the device tier.
@@ -513,6 +665,7 @@ mod tests {
         let store = ModuleStore::new(StoreConfig {
             device_capacity_bytes: 2 * one,
             policy: EvictionPolicy::Lru,
+            ..Default::default()
         });
         for name in ["a", "b", "c"] {
             store.insert(key(name), module(4), 1.0);
@@ -670,6 +823,88 @@ mod tests {
         assert_eq!(gauge("pc_cache_modules"), 0);
         assert_eq!(gauge("pc_cache_host_bytes"), 0);
         assert_eq!(gauge("pc_cache_device_bytes"), 0);
+    }
+
+    #[test]
+    fn corruption_is_detected_and_dropped_when_verifying() {
+        let store = ModuleStore::new(StoreConfig {
+            verify_checksums: true,
+            ..Default::default()
+        });
+        store.insert(key("a"), module(3), 1.0);
+        assert!(store.corrupt_module(&key("a")));
+        assert!(store.get(&key("a"), Tier::Host).is_none(), "corrupt entry must not serve");
+        let s = store.stats();
+        assert_eq!(s.corruptions_detected, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 0);
+        assert!(store.is_empty(), "poisoned entry dropped");
+        assert_eq!(store.host_bytes(), 0);
+    }
+
+    #[test]
+    fn corruption_serves_silently_without_verification() {
+        // Documents the failure mode verify_checksums exists to prevent.
+        let store = ModuleStore::new(StoreConfig::default());
+        store.insert(key("a"), module(3), 1.0);
+        let clean = store.get(&key("a"), Tier::Host).unwrap();
+        store.corrupt_module(&key("a"));
+        let dirty = store.get(&key("a"), Tier::Host).unwrap();
+        assert_ne!(clean.keys(0), dirty.keys(0));
+        assert_eq!(store.stats().corruptions_detected, 0);
+    }
+
+    #[test]
+    fn corrupt_unknown_or_empty_module_is_noop() {
+        let store = ModuleStore::new(StoreConfig::default());
+        assert!(!store.corrupt_module(&key("missing")));
+        store.insert(key("empty"), KvCache::with_shape(2, 4), 1.0);
+        assert!(!store.corrupt_module(&key("empty")));
+    }
+
+    #[test]
+    fn verified_clean_reads_still_hit() {
+        let store = ModuleStore::new(StoreConfig {
+            verify_checksums: true,
+            device_capacity_bytes: 1 << 20,
+            ..Default::default()
+        });
+        store.insert(key("a"), module(4), 1.0);
+        assert!(store.get(&key("a"), Tier::Host).is_some());
+        assert!(store.get(&key("a"), Tier::Device).is_some());
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.corruptions_detected), (2, 0, 0));
+    }
+
+    #[derive(Debug)]
+    struct AlwaysFault(FetchFault);
+    impl FetchFaultInjector for AlwaysFault {
+        fn fault(&self, _key: &ModuleKey) -> FetchFault {
+            self.0
+        }
+    }
+
+    #[test]
+    fn injected_miss_hides_entry_without_damage() {
+        let store = ModuleStore::new(StoreConfig::default());
+        store.insert(key("a"), module(2), 1.0);
+        store.set_fault_injector(Some(Arc::new(AlwaysFault(FetchFault::Miss))));
+        assert!(store.get(&key("a"), Tier::Host).is_none());
+        assert_eq!(store.stats().misses, 1);
+        store.set_fault_injector(None);
+        assert!(store.get(&key("a"), Tier::Host).is_some(), "entry intact");
+    }
+
+    #[test]
+    fn injected_corruption_is_caught_by_verification() {
+        let store = ModuleStore::new(StoreConfig {
+            verify_checksums: true,
+            ..Default::default()
+        });
+        store.insert(key("a"), module(2), 1.0);
+        store.set_fault_injector(Some(Arc::new(AlwaysFault(FetchFault::Corrupt))));
+        assert!(store.get(&key("a"), Tier::Host).is_none());
+        assert_eq!(store.stats().corruptions_detected, 1);
     }
 
     #[test]

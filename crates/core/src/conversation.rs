@@ -146,7 +146,9 @@ impl Conversation<'_> {
                 bytes_shared: 0,
                 bytes_copied: 0,
                 used_scaffold: false,
+                degraded_spans: 0,
             },
+            outcome: crate::ServeOutcome::Complete,
             warnings: Vec::new(),
         })
     }

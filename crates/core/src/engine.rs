@@ -1,12 +1,13 @@
 //! The Prompt Cache engine: schema registration, cached inference, and the
 //! baseline KV-cache path.
 
+use crate::cancel::CancelToken;
 use crate::render::{render_plain, span_tokens, uncached_chunk, SpanTokens};
-use crate::response::{Response, ServeStats, Timings, TtftBreakdown};
+use crate::response::{Response, ServeOutcome, ServeStats, Timings, TtftBreakdown};
 use crate::scaffold::Scaffold;
 use crate::{EngineError, Result};
 use parking_lot::RwLock;
-use pc_cache::{ModuleKey, ModuleStore, StoreConfig, StoreStats, Tier};
+use pc_cache::{FetchFaultInjector, ModuleKey, ModuleStore, StoreConfig, StoreStats, Tier};
 use pc_model::{GreedySampler, KvCache, KvSeq, KvView, Model, Sampler, TemperatureSampler, TokenId};
 use pc_pml::layout::{ModulePath, SchemaLayout};
 use pc_pml::resolve::{resolve_prompt, ResolvedPart, ResolvedPrompt};
@@ -55,6 +56,15 @@ pub struct EngineConfig {
     /// way — the copying path is kept purely for A/B measurement
     /// (`bytes_copied` vs `bytes_shared` in [`ServeStats`]).
     pub zero_copy: bool,
+    /// When a cached span is missing at serve time (evicted, never
+    /// persisted, or dropped by checksum verification), **recompute it
+    /// from its tokens** instead of failing the request. The recompute
+    /// re-encodes the span's whole owner module exactly as registration
+    /// did, so the degraded serve's output is byte-identical to the
+    /// healthy path; the fresh states are re-inserted (self-healing) and
+    /// the serve is counted in `pc_degraded_serves_total`. Disable to get
+    /// the old hard-error ([`EngineError::MissingModuleStates`]) instead.
+    pub degrade_on_miss: bool,
 }
 
 impl Default for EngineConfig {
@@ -67,6 +77,7 @@ impl Default for EngineConfig {
             prefetch_union_siblings: false,
             telemetry: Telemetry::disabled(),
             zero_copy: true,
+            degrade_on_miss: true,
         }
     }
 }
@@ -83,6 +94,19 @@ pub struct ServeOptions {
     /// Sampling temperature; `None` selects deterministic greedy decoding
     /// (the paper's accuracy-evaluation setting).
     pub temperature: Option<(f32, u64)>,
+    /// Serve-time budget. When set, the engine stops cooperatively once
+    /// the budget elapses — measured from serve entry when calling the
+    /// engine directly, or from **submission** when going through
+    /// `pc-server` (which converts it to an absolute deadline so queue
+    /// wait counts against it). The partial output is returned with
+    /// [`ServeOutcome::DeadlineExceeded`]; a zero budget yields an empty
+    /// response immediately.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation handle. Keep a clone and call
+    /// [`CancelToken::cancel`] to abort mid-generation; the serve returns
+    /// its partial output with [`ServeOutcome::Cancelled`] within one
+    /// decode step. `None` means not cancellable.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ServeOptions {
@@ -92,6 +116,8 @@ impl Default for ServeOptions {
             tier: None,
             use_scaffolds: true,
             temperature: None,
+            deadline: None,
+            cancel: None,
         }
     }
 }
@@ -127,6 +153,8 @@ struct RegisteredSchema {
 struct EngineMetrics {
     kv_bytes_shared: pc_telemetry::Counter,
     kv_bytes_copied: pc_telemetry::Counter,
+    degraded_serves: pc_telemetry::Counter,
+    degraded_spans: pc_telemetry::Counter,
 }
 
 impl EngineMetrics {
@@ -134,6 +162,8 @@ impl EngineMetrics {
         EngineMetrics {
             kv_bytes_shared: telemetry.counter("pc_kv_bytes_shared_total"),
             kv_bytes_copied: telemetry.counter("pc_kv_bytes_copied_total"),
+            degraded_serves: telemetry.counter("pc_degraded_serves_total"),
+            degraded_spans: telemetry.counter("pc_degraded_spans_total"),
         }
     }
 }
@@ -190,6 +220,21 @@ impl PromptCache {
     /// Module-store counters (hits, copies, evictions).
     pub fn store_stats(&self) -> StoreStats {
         self.store.stats()
+    }
+
+    /// Direct access to the engine's module store — used by the fault
+    /// harness (corrupting entries, injecting fetch faults) and by tools
+    /// that inspect cache contents.
+    pub fn store(&self) -> &ModuleStore {
+        &self.store
+    }
+
+    /// Installs (or clears, with `None`) a deterministic fetch-fault
+    /// injector on the module store. See
+    /// [`pc_cache::FetchFaultInjector`]; injected misses and corruptions
+    /// exercise the engine's graceful-degradation path.
+    pub fn set_fetch_fault_injector(&self, injector: Option<Arc<dyn FetchFaultInjector>>) {
+        self.store.set_fault_injector(injector);
     }
 
     /// Total bytes of encoded modules held in host memory.
@@ -577,6 +622,24 @@ impl PromptCache {
         let serve_span = telemetry.span("serve");
         let started = Instant::now();
 
+        // Effective interruption token: the caller's token (if any) plus
+        // the per-call budget, earliest deadline winning. Polled at phase
+        // boundaries and between decode steps.
+        let cancel = Self::effective_cancel(options);
+        if let Some(outcome) = cancel.interruption() {
+            // Dead on arrival (zero/elapsed budget, or cancelled before
+            // the serve started): return an empty partial response
+            // without touching the model.
+            let view = KvView::with_shape(
+                self.model.config().num_layers,
+                self.model.config().kv_dim(),
+            );
+            return Ok((
+                Self::partial_response(outcome, TtftBreakdown::default(), ServeStats::default(), Vec::new()),
+                view,
+            ));
+        }
+
         // --- step ①: parse, resolve, and tokenise uncached text ---
         let resolve_span = telemetry.span("schema-resolve");
         let prompt = parse_prompt(prompt_pml)?;
@@ -649,7 +712,7 @@ impl PromptCache {
             })
             .collect();
         let mut scaffolded_spans: Vec<usize> = Vec::new();
-        let mut scaffold_keys: Vec<ModuleKey> = Vec::new();
+        let mut selected_scaffolds: Vec<&Scaffold> = Vec::new();
         if options.use_scaffolds {
             for scaffold in &entry.scaffolds {
                 if scaffold.members.iter().all(|m| imported.contains(m))
@@ -659,18 +722,34 @@ impl PromptCache {
                         .any(|i| scaffolded_spans.contains(i))
                 {
                     scaffolded_spans.extend_from_slice(&scaffold.span_indices);
-                    scaffold_keys.push(scaffold.key.clone());
+                    selected_scaffolds.push(scaffold);
                 }
             }
         }
 
-        for key in &scaffold_keys {
-            let states = self
-                .store
-                .get(key, tier)
-                .ok_or_else(|| EngineError::MissingModuleStates {
-                    key: format!("{key:?}"),
-                })?;
+        // Spans (or whole scaffolds) whose states are missing or were
+        // dropped as corrupt are recomputed from their tokens instead of
+        // failing the request — graceful degradation, counted per span.
+        let mut degraded = 0usize;
+        // Per-serve memo of owner recomputes, so a persistently-injected
+        // miss (fault harness) re-encodes each owner at most once per
+        // serve even when the store refuses to return the healed entry.
+        let mut recomputed: HashMap<usize, Arc<KvCache>> = HashMap::new();
+
+        for scaffold in &selected_scaffolds {
+            let states = match self.store.get(&scaffold.key, tier) {
+                Some(states) => states,
+                None if self.config.degrade_on_miss => {
+                    let _degrade_span = telemetry.span("degrade");
+                    degraded += 1;
+                    Arc::new(self.reencode_scaffold(entry, scaffold)?)
+                }
+                None => {
+                    return Err(EngineError::MissingModuleStates {
+                        key: format!("{:?}", scaffold.key),
+                    })
+                }
+            };
             let rows = states.len();
             let bytes = states.size_bytes();
             if zero_copy {
@@ -688,11 +767,9 @@ impl PromptCache {
         }
         if used_scaffold {
             // Rebuild the row mirror from scaffold span tokens.
-            for scaffold in &entry.scaffolds {
-                if scaffold_keys.contains(&scaffold.key) {
-                    for &i in &scaffold.span_indices {
-                        row_tokens.extend_from_slice(&entry.span_tokens[i].tokens);
-                    }
+            for scaffold in &selected_scaffolds {
+                for &i in &scaffold.span_indices {
+                    row_tokens.extend_from_slice(&entry.span_tokens[i].tokens);
                 }
             }
         }
@@ -705,12 +782,19 @@ impl PromptCache {
                 continue;
             }
             let key = self.span_key(&prompt.schema, *span_index);
-            let states =
-                self.store
-                    .get(&key, tier)
-                    .ok_or_else(|| EngineError::MissingModuleStates {
+            let states = match self.store.get(&key, tier) {
+                Some(states) => states,
+                None if self.config.degrade_on_miss => {
+                    let _degrade_span = telemetry.span("degrade");
+                    degraded += 1;
+                    self.recompute_owner(&prompt.schema, entry, *span_index, &mut recomputed)?
+                }
+                None => {
+                    return Err(EngineError::MissingModuleStates {
                         key: format!("{}.span{}", prompt.schema, span_index),
-                    })?;
+                    })
+                }
+            };
             // Take the span, skipping filled placeholder rows (their
             // states are recomputed from the real argument below) — the
             // skip list splits the span into shared segments.
@@ -743,8 +827,36 @@ impl PromptCache {
         }
         self.metrics.kv_bytes_shared.add(bytes_shared as u64);
         self.metrics.kv_bytes_copied.add(bytes_copied as u64);
+        if degraded > 0 {
+            self.metrics.degraded_serves.add(1);
+            self.metrics.degraded_spans.add(degraded as u64);
+        }
         drop(fetch_span);
         let fetch_end = started.elapsed();
+
+        if let Some(outcome) = cancel.interruption() {
+            // Interrupted before prefill: return what we know (tokenise +
+            // fetch accounting) with zero generated tokens.
+            let breakdown = TtftBreakdown {
+                tokenize: tokenize_end,
+                fetch: fetch_end - tokenize_end,
+                prefill: Duration::ZERO,
+                sample: Duration::ZERO,
+            };
+            let stats = ServeStats {
+                cached_tokens: cached_rows,
+                new_tokens: 0,
+                bytes_reused,
+                bytes_shared,
+                bytes_copied,
+                used_scaffold,
+                degraded_spans: degraded,
+            };
+            return Ok((
+                Self::partial_response(outcome, breakdown, stats, resolved.warnings),
+                view,
+            ));
+        }
 
         // --- steps ③/④: compute uncached tokens at their positions ---
         // Prefill and decode append into the view's private tail; the
@@ -775,7 +887,7 @@ impl PromptCache {
             Some((t, seed)) => Box::new(TemperatureSampler::new(t, seed)),
             None => Box::new(GreedySampler),
         };
-        let (tokens, ttft, decode) = self.decode_loop(
+        let (tokens, ttft, decode, outcome) = self.decode_loop(
             &mut view,
             last_logits,
             options.max_new_tokens,
@@ -783,8 +895,17 @@ impl PromptCache {
             sampler.as_mut(),
             started,
             on_token,
+            &cancel,
             telemetry,
         )?;
+        // An interruption before the first sample leaves no first token:
+        // pin TTFT to the prefill checkpoint (and decode to zero) so the
+        // breakdown phases still sum exactly to `timings.ttft`.
+        let (ttft, decode) = if tokens.is_empty() {
+            (prefill_end, Duration::ZERO)
+        } else {
+            (ttft, decode)
+        };
         let breakdown = TtftBreakdown {
             tokenize: tokenize_end,
             fetch: fetch_end - tokenize_end,
@@ -834,7 +955,9 @@ impl PromptCache {
                 bytes_shared,
                 bytes_copied,
                 used_scaffold,
+                degraded_spans: degraded,
             },
+            outcome,
             warnings: resolved.warnings,
         };
         drop(serve_span);
@@ -880,6 +1003,15 @@ impl PromptCache {
         let telemetry = &self.config.telemetry;
         let serve_span = telemetry.span("serve-baseline");
         let started = Instant::now();
+        let cancel = Self::effective_cancel(options);
+        if let Some(outcome) = cancel.interruption() {
+            return Ok(Self::partial_response(
+                outcome,
+                TtftBreakdown::default(),
+                ServeStats::default(),
+                warnings,
+            ));
+        }
         let tokenize_span = telemetry.span("tokenize");
         let tokens = self.tokenizer.encode(text);
         drop(tokenize_span);
@@ -898,7 +1030,7 @@ impl PromptCache {
             Some((t, seed)) => Box::new(TemperatureSampler::new(t, seed)),
             None => Box::new(GreedySampler),
         };
-        let (out, ttft, decode) = self.decode_loop(
+        let (out, ttft, decode, outcome) = self.decode_loop(
             &mut cache,
             last_logits,
             options.max_new_tokens,
@@ -906,8 +1038,14 @@ impl PromptCache {
             sampler.as_mut(),
             started,
             &mut |_, _| {},
+            &cancel,
             telemetry,
         )?;
+        let (ttft, decode) = if out.is_empty() {
+            (prefill_end, Duration::ZERO)
+        } else {
+            (ttft, decode)
+        };
         let breakdown = TtftBreakdown {
             tokenize: tokenize_end,
             fetch: Duration::ZERO,
@@ -932,7 +1070,9 @@ impl PromptCache {
                 bytes_shared: 0,
                 bytes_copied: 0,
                 used_scaffold: false,
+                degraded_spans: 0,
             },
+            outcome,
             warnings,
         })
     }
@@ -953,6 +1093,113 @@ impl PromptCache {
         Ok(resolve_prompt(&entry.layout, prompt, &counter)?)
     }
 
+    /// Builds the effective interruption token for one serve call: the
+    /// caller's token (or an inert one) narrowed by the per-call budget.
+    fn effective_cancel(options: &ServeOptions) -> CancelToken {
+        let base = options.cancel.clone().unwrap_or_default();
+        match options.deadline {
+            Some(budget) => base.with_budget(budget),
+            None => base,
+        }
+    }
+
+    /// An empty partial [`Response`] for serves interrupted before the
+    /// first token. TTFT is pinned to the work actually done so the
+    /// breakdown phases still sum to `timings.ttft`.
+    fn partial_response(
+        outcome: ServeOutcome,
+        breakdown: TtftBreakdown,
+        stats: ServeStats,
+        warnings: Vec<String>,
+    ) -> Response {
+        Response {
+            text: String::new(),
+            tokens: Vec::new(),
+            timings: Timings {
+                ttft: breakdown.total(),
+                fetch: breakdown.fetch,
+                prefill: breakdown.prefill,
+                decode: Duration::ZERO,
+            },
+            breakdown,
+            stats,
+            outcome,
+            warnings,
+        }
+    }
+
+    /// Graceful-degradation recompute for one missing/corrupt span: all
+    /// spans of the owning module are **jointly re-encoded from their
+    /// tokens**, exactly as registration encodes an owner, so the result
+    /// is byte-identical to the lost states. The fresh states are
+    /// re-inserted into the store (self-healing) and memoised in
+    /// `recomputed` for the rest of this serve.
+    fn recompute_owner(
+        &self,
+        schema: &str,
+        entry: &RegisteredSchema,
+        span_index: usize,
+        recomputed: &mut HashMap<usize, Arc<KvCache>>,
+    ) -> Result<Arc<KvCache>> {
+        if let Some(states) = recomputed.get(&span_index) {
+            return Ok(Arc::clone(states));
+        }
+        let owner = &entry.layout.spans[span_index].owner;
+        let span_ids: &[usize] = entry
+            .owner_spans
+            .get(owner)
+            .map_or(&[], Vec::as_slice);
+        let mut all_tokens = Vec::new();
+        let mut all_positions = Vec::new();
+        for &i in span_ids {
+            all_tokens.extend_from_slice(&entry.span_tokens[i].tokens);
+            all_positions.extend_from_slice(&entry.span_tokens[i].positions);
+        }
+        if all_tokens.is_empty() {
+            return Err(EngineError::MissingModuleStates {
+                key: format!("{schema}.span{span_index}"),
+            });
+        }
+        let encoded = self.model.encode_segment(&all_tokens, &all_positions)?;
+        let mut offset = 0;
+        let mut requested = None;
+        for &i in span_ids {
+            let n = entry.span_tokens[i].tokens.len();
+            let part = encoded.slice(offset, offset + n)?;
+            offset += n;
+            let cost =
+                pc_model::flops::model_prefill_flops(self.model.config(), part.len());
+            self.store
+                .insert(self.span_key(schema, i), part.clone(), cost as f64);
+            let part = Arc::new(part);
+            if i == span_index {
+                requested = Some(Arc::clone(&part));
+            }
+            recomputed.insert(i, part);
+        }
+        requested.ok_or_else(|| EngineError::MissingModuleStates {
+            key: format!("{schema}.span{span_index}"),
+        })
+    }
+
+    /// Graceful-degradation recompute for a missing/corrupt scaffold: its
+    /// member spans are jointly re-encoded (the same computation as
+    /// [`PromptCache::add_scaffold`]) and re-inserted under the scaffold
+    /// key.
+    fn reencode_scaffold(&self, entry: &RegisteredSchema, scaffold: &Scaffold) -> Result<KvCache> {
+        let mut all_tokens = Vec::new();
+        let mut all_positions = Vec::new();
+        for &i in &scaffold.span_indices {
+            all_tokens.extend_from_slice(&entry.span_tokens[i].tokens);
+            all_positions.extend_from_slice(&entry.span_tokens[i].positions);
+        }
+        let encoded = self.model.encode_segment(&all_tokens, &all_positions)?;
+        let cost = pc_model::flops::model_prefill_flops(self.model.config(), encoded.len());
+        self.store
+            .insert(scaffold.key.clone(), encoded.clone(), cost as f64);
+        Ok(encoded)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn decode_loop<K: KvSeq>(
         &self,
@@ -963,12 +1210,21 @@ impl PromptCache {
         sampler: &mut dyn Sampler,
         started: Instant,
         on_token: &mut dyn FnMut(TokenId, usize),
+        cancel: &CancelToken,
         telemetry: &Telemetry,
-    ) -> Result<(Vec<TokenId>, Duration, Duration)> {
+    ) -> Result<(Vec<TokenId>, Duration, Duration, ServeOutcome)> {
         let mut tokens = Vec::new();
         let mut ttft = Duration::ZERO;
+        let mut outcome = ServeOutcome::Complete;
         let mut next_pos = cache.positions().iter().max().map_or(0, |p| p + 1);
         while tokens.len() < max_new_tokens {
+            // Cooperative interruption point: polled before every sample,
+            // so a cancel fired from `on_token` (or an elapsed deadline)
+            // stops the generation before the next forward pass.
+            if let Some(o) = cancel.interruption() {
+                outcome = o;
+                break;
+            }
             let token = if tokens.is_empty() {
                 // The first sample closes the TTFT window.
                 let _sample_span = telemetry.span("sample");
@@ -987,8 +1243,8 @@ impl PromptCache {
             logits = self.model.prefill(&[token], &[next_pos], cache)?;
             next_pos += 1;
         }
-        let decode = started.elapsed() - ttft;
-        Ok((tokens, ttft, decode))
+        let decode = started.elapsed().saturating_sub(ttft);
+        Ok((tokens, ttft, decode, outcome))
     }
 
     /// Persists every encoded module to `dir` (binary codec + manifest),

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod cancel;
 mod conversation;
 mod engine;
 mod error;
@@ -41,12 +42,13 @@ mod response;
 mod scaffold;
 
 pub use batch::{BatchReport, BatchSharing};
+pub use cancel::CancelToken;
 pub use conversation::{Conversation, Turn};
 pub use engine::{EngineConfig, PromptCache, ServeOptions};
 pub use pc_tensor::Parallelism;
 pub use pc_telemetry::Telemetry;
 pub use error::EngineError;
-pub use response::{Response, ServeStats, Timings, TtftBreakdown};
+pub use response::{Response, ServeOutcome, ServeStats, Timings, TtftBreakdown};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, EngineError>;

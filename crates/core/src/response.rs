@@ -59,6 +59,37 @@ impl TtftBreakdown {
     }
 }
 
+/// How a serve call ended: to completion, or interrupted cooperatively.
+///
+/// Interrupted serves still return `Ok(Response)` — with whatever tokens
+/// were produced before the interruption landed — so callers always get a
+/// typed, partial result instead of an error or a hang. Check this field
+/// before treating `tokens` as a finished generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeOutcome {
+    /// The generation ran to its natural end (EOS or the token budget).
+    #[default]
+    Complete,
+    /// The caller fired the request's [`crate::CancelToken`]; `tokens`
+    /// holds everything produced before the cancel was observed.
+    Cancelled,
+    /// The request's deadline passed mid-serve; `tokens` holds the
+    /// partial output produced within the budget.
+    DeadlineExceeded,
+}
+
+impl ServeOutcome {
+    /// Whether the serve ran to completion.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, ServeOutcome::Complete)
+    }
+
+    /// Whether the serve was cut short (cancelled or past deadline).
+    pub fn is_interrupted(&self) -> bool {
+        !self.is_complete()
+    }
+}
+
 /// Cache-effectiveness counters for one serve call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServeStats {
@@ -77,6 +108,11 @@ pub struct ServeStats {
     pub bytes_copied: usize,
     /// Whether a scaffold satisfied part of the prompt.
     pub used_scaffold: bool,
+    /// Cached spans that were missing or corrupt at fetch time and were
+    /// **recomputed from their tokens** instead (graceful degradation).
+    /// Zero on the healthy path; a nonzero value means this serve paid
+    /// extra prefill FLOPs but produced byte-identical output.
+    pub degraded_spans: usize,
 }
 
 impl ServeStats {
@@ -104,6 +140,9 @@ pub struct Response {
     pub breakdown: TtftBreakdown,
     /// Cache counters.
     pub stats: ServeStats,
+    /// How the serve ended: [`ServeOutcome::Complete`], or an
+    /// interruption that made this a partial response.
+    pub outcome: ServeOutcome,
     /// Non-fatal issues from prompt resolution.
     pub warnings: Vec<String>,
 }

@@ -69,6 +69,7 @@ fn union_sibling_prefetch_warms_device_tier() {
         store: StoreConfig {
             device_capacity_bytes: 1 << 22,
             policy: EvictionPolicy::Lru,
+            ..Default::default()
         },
         tier: Some(Tier::Device),
         prefetch_union_siblings: true,
@@ -99,6 +100,7 @@ fn without_prefetch_siblings_pay_their_own_copy() {
         store: StoreConfig {
             device_capacity_bytes: 1 << 22,
             policy: EvictionPolicy::Lru,
+            ..Default::default()
         },
         tier: Some(Tier::Device),
         prefetch_union_siblings: false,

@@ -1,0 +1,162 @@
+//! Engine-level resilience edge cases: deadlines and cooperative
+//! cancellation through `serve_with` / `serve_streaming`, and the
+//! partial-response invariants (TTFT breakdown still sums exactly,
+//! partials are prefixes of the complete output).
+
+use pc_model::{Model, ModelConfig};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{CancelToken, EngineConfig, PromptCache, ServeOptions, ServeOutcome};
+use std::time::Duration;
+
+const CORPUS: &str = "alpha beta gamma delta epsilon zeta eta theta answer the question now";
+const SCHEMA: &str =
+    r#"<schema name="r"><module name="ctx">alpha beta gamma delta epsilon zeta eta theta</module></schema>"#;
+const PROMPT: &str = r#"<prompt schema="r"><ctx/>answer the question now</prompt>"#;
+
+fn engine() -> PromptCache {
+    let tokenizer = WordTokenizer::train(&[CORPUS]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_tiny(vocab), 13),
+        tokenizer,
+        EngineConfig::default(),
+    );
+    engine.register_schema(SCHEMA).unwrap();
+    engine
+}
+
+fn opts(max_new_tokens: usize) -> ServeOptions {
+    ServeOptions {
+        max_new_tokens,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn zero_deadline_returns_empty_partial_immediately() {
+    let engine = engine();
+    let r = engine
+        .serve_with(
+            PROMPT,
+            &ServeOptions {
+                deadline: Some(Duration::ZERO),
+                ..opts(8)
+            },
+        )
+        .unwrap();
+    assert_eq!(r.outcome, ServeOutcome::DeadlineExceeded);
+    assert!(r.tokens.is_empty());
+    assert!(r.text.is_empty());
+    // The TTFT invariant survives the early exit: phases still sum to
+    // the reported TTFT, and decode time is zero.
+    assert_eq!(r.breakdown.total(), r.timings.ttft);
+    assert_eq!(r.timings.decode, Duration::ZERO);
+}
+
+#[test]
+fn precancelled_token_short_circuits_before_any_work() {
+    let engine = engine();
+    let token = CancelToken::new();
+    token.cancel();
+    let mut streamed = 0usize;
+    let r = engine
+        .serve_streaming(
+            PROMPT,
+            &ServeOptions {
+                cancel: Some(token),
+                ..opts(8)
+            },
+            &mut |_, _| streamed += 1,
+        )
+        .unwrap();
+    assert_eq!(r.outcome, ServeOutcome::Cancelled);
+    assert!(r.tokens.is_empty());
+    assert_eq!(streamed, 0, "no tokens may be produced after cancellation");
+    assert_eq!(r.breakdown.total(), r.timings.ttft);
+}
+
+#[test]
+fn cancel_mid_decode_returns_exact_partial_prefix() {
+    let engine = engine();
+    let complete = engine.serve_with(PROMPT, &opts(8)).unwrap();
+    assert_eq!(complete.outcome, ServeOutcome::Complete);
+    assert!(complete.tokens.len() > 3, "need enough output to truncate");
+
+    // Cancel from the streaming callback after the third token: the
+    // decode loop notices at the top of the next iteration, so exactly
+    // three tokens come back.
+    let token = CancelToken::new();
+    let observer = token.clone();
+    let r = engine
+        .serve_streaming(
+            PROMPT,
+            &ServeOptions {
+                cancel: Some(token),
+                ..opts(8)
+            },
+            &mut |_, n| {
+                if n == 3 {
+                    observer.cancel();
+                }
+            },
+        )
+        .unwrap();
+    assert_eq!(r.outcome, ServeOutcome::Cancelled);
+    assert_eq!(r.tokens.len(), 3, "one decode step of abort latency, no more");
+    assert_eq!(r.tokens[..], complete.tokens[..3], "partial is a prefix");
+}
+
+#[test]
+fn cancellation_wins_over_an_expired_deadline() {
+    // Both interruptions apply; the explicit cancel is reported because
+    // it names the caller's intent.
+    let engine = engine();
+    let token = CancelToken::new();
+    token.cancel();
+    let r = engine
+        .serve_with(
+            PROMPT,
+            &ServeOptions {
+                deadline: Some(Duration::ZERO),
+                cancel: Some(token),
+                ..opts(4)
+            },
+        )
+        .unwrap();
+    assert_eq!(r.outcome, ServeOutcome::Cancelled);
+}
+
+#[test]
+fn generous_deadline_does_not_perturb_the_serve() {
+    let engine = engine();
+    let plain = engine.serve_with(PROMPT, &opts(6)).unwrap();
+    let bounded = engine
+        .serve_with(
+            PROMPT,
+            &ServeOptions {
+                deadline: Some(Duration::from_secs(3600)),
+                cancel: Some(CancelToken::new()),
+                ..opts(6)
+            },
+        )
+        .unwrap();
+    assert_eq!(bounded.outcome, ServeOutcome::Complete);
+    assert_eq!(bounded.tokens, plain.tokens);
+    assert_eq!(bounded.text, plain.text);
+}
+
+#[test]
+fn baseline_serve_honours_deadlines_too() {
+    let engine = engine();
+    let r = engine
+        .serve_baseline(
+            PROMPT,
+            &ServeOptions {
+                deadline: Some(Duration::ZERO),
+                ..opts(8)
+            },
+        )
+        .unwrap();
+    assert_eq!(r.outcome, ServeOutcome::DeadlineExceeded);
+    assert!(r.tokens.is_empty());
+}

@@ -1,0 +1,287 @@
+//! Deterministic, seeded fault injection for the Prompt Cache stack.
+//!
+//! Production serving systems are validated by injecting the failures
+//! they must survive: slow workers, lost cache entries, corrupted bytes.
+//! This crate provides one [`FaultPlan`] that implements both fault
+//! hooks the stack exposes —
+//! [`pc_cache::FetchFaultInjector`] (module-store fetch misses and
+//! corruptions, exercising the engine's recompute-and-reinsert
+//! degradation path) and [`pc_server::WorkerFaults`] (pre-serve stalls,
+//! exercising deadline shedding and cancellation) — with every decision
+//! derived **purely from the seed and the event's identity**, never from
+//! wall-clock time or a shared RNG stream. Two runs with the same seed
+//! inject the same faults even when thread scheduling differs:
+//!
+//! * a fetch decision depends on `(seed, module key, per-key occurrence
+//!   index)` — the *n*-th fetch of a given key always gets the same
+//!   verdict, so faults can be transient (fault the first fetch, let the
+//!   self-healed reinsert succeed later) without becoming
+//!   schedule-dependent;
+//! * a stall decision depends on `(seed, request id)` only.
+//!
+//! ```
+//! use pc_faults::{FaultConfig, FaultPlan};
+//! use pc_cache::{FetchFault, FetchFaultInjector, ModuleKey};
+//!
+//! let plan = FaultPlan::new(FaultConfig { fetch_miss_rate: 1.0, ..Default::default() });
+//! let key = ModuleKey::new("schema", &["<span>".to_owned(), "0".to_owned()]);
+//! assert_eq!(plan.fault(&key), FetchFault::Miss);
+//! ```
+
+#![warn(missing_docs)]
+
+use pc_cache::{FetchFault, FetchFaultInjector, ModuleKey};
+use pc_server::WorkerFaults;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Fault rates and magnitudes. All rates are probabilities in `[0, 1]`;
+/// the default plan is entirely healthy (all rates zero).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for every fault decision. Same seed → same faults.
+    pub seed: u64,
+    /// Probability that a module-store fetch reports the entry missing
+    /// (models eviction races, lost host memory, failed transfers).
+    pub fetch_miss_rate: f64,
+    /// Probability that a module-store fetch returns bit-flipped states
+    /// (models DMA/storage corruption; only *observable* when the store
+    /// verifies checksums — see `pc_cache::StoreConfig::verify_checksums`).
+    pub fetch_corrupt_rate: f64,
+    /// Probability that a worker stalls before serving a request
+    /// (models CPU contention, page faults, stuck I/O).
+    pub stall_rate: f64,
+    /// Stall duration applied when a stall fires.
+    pub stall: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0x9E37_79B9,
+            fetch_miss_rate: 0.0,
+            fetch_corrupt_rate: 0.0,
+            stall_rate: 0.0,
+            stall: Duration::from_millis(5),
+        }
+    }
+}
+
+/// A deterministic fault plan — implements both
+/// [`FetchFaultInjector`] and [`WorkerFaults`]. Wrap in an `Arc` and
+/// hand clones to `PromptCache::set_fetch_fault_injector` and
+/// `Server::set_worker_faults`.
+#[derive(Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    /// Per-key fetch occurrence counters, keyed by the key's hash. The
+    /// counter makes the *n*-th fetch of a key a distinct, stable event.
+    fetch_counts: Mutex<HashMap<u64, u64>>,
+}
+
+/// Domain separators so the same `(seed, id)` pair never reuses a
+/// decision across fault kinds.
+const DOMAIN_FETCH: u64 = 0xF47C;
+const DOMAIN_STALL: u64 = 0x57A1;
+
+/// splitmix64 — a full-avalanche mixer; every output bit depends on
+/// every input bit, so structured inputs (small counters, similar keys)
+/// still produce uniform decisions.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a module key's schema and path.
+fn key_hash(key: &ModuleKey) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= 0xFF;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    eat(key.schema.as_bytes());
+    for part in &key.path {
+        eat(part.as_bytes());
+    }
+    h
+}
+
+impl FaultPlan {
+    /// Builds a plan from `config`.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultPlan {
+            config,
+            fetch_counts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// A uniform sample in `[0, 1)` derived purely from
+    /// `(seed, domain, a, b)`.
+    fn unit(&self, domain: u64, a: u64, b: u64) -> f64 {
+        let mixed = splitmix64(
+            splitmix64(self.config.seed ^ domain)
+                .wrapping_add(splitmix64(a))
+                .wrapping_add(splitmix64(b).rotate_left(17)),
+        );
+        (mixed >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl FetchFaultInjector for FaultPlan {
+    fn fault(&self, key: &ModuleKey) -> FetchFault {
+        let miss = self.config.fetch_miss_rate;
+        let corrupt = self.config.fetch_corrupt_rate;
+        if miss <= 0.0 && corrupt <= 0.0 {
+            return FetchFault::None;
+        }
+        let hash = key_hash(key);
+        let occurrence = {
+            let mut counts = self.fetch_counts.lock().unwrap();
+            let slot = counts.entry(hash).or_insert(0);
+            let n = *slot;
+            *slot += 1;
+            n
+        };
+        let u = self.unit(DOMAIN_FETCH, hash, occurrence);
+        if u < miss {
+            FetchFault::Miss
+        } else if u < miss + corrupt {
+            FetchFault::Corrupt
+        } else {
+            FetchFault::None
+        }
+    }
+}
+
+impl WorkerFaults for FaultPlan {
+    fn pre_serve_delay(&self, id: u64) -> Duration {
+        if self.config.stall_rate > 0.0 && self.unit(DOMAIN_STALL, id, 0) < self.config.stall_rate
+        {
+            self.config.stall
+        } else {
+            Duration::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: usize) -> ModuleKey {
+        ModuleKey::new("s", &["<span>".to_owned(), i.to_string()])
+    }
+
+    #[test]
+    fn default_plan_is_healthy() {
+        let plan = FaultPlan::new(FaultConfig::default());
+        for i in 0..64 {
+            assert_eq!(plan.fault(&key(i)), FetchFault::None);
+            assert_eq!(plan.pre_serve_delay(i as u64), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let config = FaultConfig {
+            seed: 42,
+            fetch_miss_rate: 0.3,
+            fetch_corrupt_rate: 0.2,
+            stall_rate: 0.5,
+            ..Default::default()
+        };
+        let a = FaultPlan::new(config);
+        let b = FaultPlan::new(config);
+        for i in 0..256 {
+            // Repeated fetches of the same key advance its occurrence
+            // counter identically on both plans.
+            assert_eq!(a.fault(&key(i % 16)), b.fault(&key(i % 16)), "fetch {i}");
+            assert_eq!(
+                a.pre_serve_delay(i as u64),
+                b.pre_serve_delay(i as u64),
+                "stall {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mk = |seed| {
+            FaultPlan::new(FaultConfig {
+                seed,
+                fetch_miss_rate: 0.5,
+                ..Default::default()
+            })
+        };
+        let (a, b) = (mk(1), mk(2));
+        let decisions_a: Vec<_> = (0..64).map(|i| a.fault(&key(i))).collect();
+        let decisions_b: Vec<_> = (0..64).map(|i| b.fault(&key(i))).collect();
+        assert_ne!(decisions_a, decisions_b);
+    }
+
+    #[test]
+    fn rates_are_respected_in_aggregate() {
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 7,
+            fetch_miss_rate: 0.25,
+            fetch_corrupt_rate: 0.25,
+            ..Default::default()
+        });
+        let n = 4000;
+        let mut misses = 0;
+        let mut corruptions = 0;
+        for i in 0..n {
+            match plan.fault(&key(i)) {
+                FetchFault::Miss => misses += 1,
+                FetchFault::Corrupt => corruptions += 1,
+                FetchFault::None => {}
+            }
+        }
+        let miss_rate = f64::from(misses) / f64::from(n as u32);
+        let corrupt_rate = f64::from(corruptions) / f64::from(n as u32);
+        assert!((miss_rate - 0.25).abs() < 0.03, "{miss_rate}");
+        assert!((corrupt_rate - 0.25).abs() < 0.03, "{corrupt_rate}");
+    }
+
+    #[test]
+    fn occurrence_counter_makes_faults_transient() {
+        // With a mid-range rate, a single key's fetch sequence mixes
+        // faulty and healthy verdicts — the counter, not the key alone,
+        // drives the decision.
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 3,
+            fetch_miss_rate: 0.5,
+            ..Default::default()
+        });
+        let verdicts: Vec<_> = (0..64).map(|_| plan.fault(&key(0))).collect();
+        assert!(verdicts.contains(&FetchFault::Miss));
+        assert!(verdicts.contains(&FetchFault::None));
+    }
+
+    #[test]
+    fn full_rate_always_faults() {
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 9,
+            fetch_miss_rate: 1.0,
+            stall_rate: 1.0,
+            stall: Duration::from_millis(7),
+            ..Default::default()
+        });
+        for i in 0..32 {
+            assert_eq!(plan.fault(&key(i)), FetchFault::Miss);
+            assert_eq!(plan.pre_serve_delay(i as u64), Duration::from_millis(7));
+        }
+    }
+}

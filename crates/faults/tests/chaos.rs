@@ -1,0 +1,250 @@
+//! Chaos integration tests: injected faults against the real engine and
+//! server, proving graceful degradation (byte-identical output under
+//! cache loss/corruption) and deadline shedding (no wasted workers).
+
+use pc_cache::{ModuleKey, StoreConfig};
+use pc_faults::{FaultConfig, FaultPlan};
+use pc_model::{Model, ModelConfig};
+use pc_server::{RequestOutcome, Server, ServerConfig, ShedReason};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions, ServeOutcome};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CORPUS: &str =
+    "alpha beta gamma delta epsilon zeta eta theta question one two three four";
+const SCHEMA: &str = r#"<schema name="s">
+    <module name="ctx">alpha beta gamma delta epsilon zeta eta theta</module>
+    <module name="extra">one two three four</module>
+  </schema>"#;
+const PROMPT: &str = r#"<prompt schema="s"><ctx/><extra/>question</prompt>"#;
+
+fn engine_with(config: EngineConfig) -> PromptCache {
+    let tokenizer = WordTokenizer::train(&[CORPUS]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(Model::new(ModelConfig::llama_tiny(vocab), 5), tokenizer, config);
+    engine.register_schema(SCHEMA).unwrap();
+    engine
+}
+
+fn opts() -> ServeOptions {
+    ServeOptions {
+        max_new_tokens: 4,
+        ..Default::default()
+    }
+}
+
+fn span_key(i: usize) -> ModuleKey {
+    ModuleKey::new("s", &["<span>".to_owned(), i.to_string()])
+}
+
+#[test]
+fn injected_misses_degrade_with_byte_identical_output() {
+    let engine = engine_with(EngineConfig::default());
+    let healthy = engine.serve_with(PROMPT, &opts()).unwrap();
+    assert_eq!(healthy.stats.degraded_spans, 0);
+    assert!(healthy.stats.cached_tokens > 0);
+
+    // Every fetch now reports the entry missing.
+    engine.set_fetch_fault_injector(Some(Arc::new(FaultPlan::new(FaultConfig {
+        fetch_miss_rate: 1.0,
+        ..Default::default()
+    }))));
+    let degraded = engine.serve_with(PROMPT, &opts()).unwrap();
+    assert!(degraded.stats.degraded_spans > 0, "spans were recomputed");
+    assert_eq!(degraded.outcome, ServeOutcome::Complete);
+    // The headline resilience guarantee: degradation is invisible in the
+    // output — recomputing the owner reproduces the lost states exactly.
+    assert_eq!(degraded.tokens, healthy.tokens);
+    assert_eq!(degraded.text, healthy.text);
+
+    // Clearing the injector restores the healthy path.
+    engine.set_fetch_fault_injector(None);
+    let healed = engine.serve_with(PROMPT, &opts()).unwrap();
+    assert_eq!(healed.stats.degraded_spans, 0);
+    assert_eq!(healed.tokens, healthy.tokens);
+}
+
+#[test]
+fn checksum_corruption_is_detected_degraded_and_self_healed() {
+    let engine = engine_with(EngineConfig {
+        store: StoreConfig {
+            verify_checksums: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let healthy = engine.serve_with(PROMPT, &opts()).unwrap();
+
+    // Flip a bit in span 0's stored states, leaving its checksum stale.
+    assert!(engine.store().corrupt_module(&span_key(0)));
+    let degraded = engine.serve_with(PROMPT, &opts()).unwrap();
+    assert!(degraded.stats.degraded_spans > 0, "corruption forced a recompute");
+    assert_eq!(degraded.tokens, healthy.tokens, "degraded serve is byte-identical");
+    assert!(engine.store_stats().corruptions_detected >= 1);
+
+    // The recompute re-inserted fresh states: the next serve is healthy
+    // again without any intervention.
+    let healed = engine.serve_with(PROMPT, &opts()).unwrap();
+    assert_eq!(healed.stats.degraded_spans, 0, "store self-healed");
+    assert_eq!(healed.tokens, healthy.tokens);
+}
+
+#[test]
+fn degradation_matches_the_uncached_baseline() {
+    // Transitivity check straight against the paper's baseline: a fully
+    // degraded serve (every span recomputed) still equals full prefill.
+    let engine = engine_with(EngineConfig::default());
+    let baseline = engine.serve_baseline(PROMPT, &opts()).unwrap();
+    engine.set_fetch_fault_injector(Some(Arc::new(FaultPlan::new(FaultConfig {
+        fetch_miss_rate: 1.0,
+        ..Default::default()
+    }))));
+    let degraded = engine.serve_with(PROMPT, &opts()).unwrap();
+    assert!(degraded.stats.degraded_spans > 0);
+    assert_eq!(degraded.tokens, baseline.tokens);
+}
+
+#[test]
+fn degrade_disabled_surfaces_the_miss_as_an_error() {
+    let engine = engine_with(EngineConfig {
+        degrade_on_miss: false,
+        ..Default::default()
+    });
+    engine.set_fetch_fault_injector(Some(Arc::new(FaultPlan::new(FaultConfig {
+        fetch_miss_rate: 1.0,
+        ..Default::default()
+    }))));
+    let err = engine.serve_with(PROMPT, &opts()).unwrap_err();
+    assert!(
+        err.to_string().contains("span"),
+        "expected MissingModuleStates, got: {err}"
+    );
+}
+
+#[test]
+fn transient_faults_heal_over_repeated_serves() {
+    // A mid-range miss rate faults some fetches; every serve still
+    // completes with identical output, and the run is reproducible.
+    let run = |seed: u64| -> (Vec<Vec<u32>>, Vec<usize>) {
+        let engine = engine_with(EngineConfig::default());
+        engine.set_fetch_fault_injector(Some(Arc::new(FaultPlan::new(FaultConfig {
+            seed,
+            fetch_miss_rate: 0.5,
+            ..Default::default()
+        }))));
+        let mut outputs = Vec::new();
+        let mut degraded = Vec::new();
+        for _ in 0..8 {
+            let r = engine.serve_with(PROMPT, &opts()).unwrap();
+            outputs.push(r.tokens);
+            degraded.push(r.stats.degraded_spans);
+        }
+        (outputs, degraded)
+    };
+    let (outputs_a, degraded_a) = run(11);
+    let (outputs_b, degraded_b) = run(11);
+    assert_eq!(degraded_a, degraded_b, "same seed, same degradations");
+    assert_eq!(outputs_a, outputs_b);
+    assert!(outputs_a.windows(2).all(|w| w[0] == w[1]), "output never changes");
+}
+
+#[test]
+fn stalled_worker_triggers_deadline_shedding() {
+    let engine = engine_with(EngineConfig::default());
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 16,
+        },
+    );
+    // Every pickup stalls well past the request deadline.
+    server.set_worker_faults(Some(Arc::new(FaultPlan::new(FaultConfig {
+        stall_rate: 1.0,
+        stall: Duration::from_millis(80),
+        ..Default::default()
+    }))));
+    let deadline_opts = ServeOptions {
+        deadline: Some(Duration::from_millis(20)),
+        ..opts()
+    };
+    let handles: Vec<_> = (0..4)
+        .map(|_| server.submit(PROMPT.into(), deadline_opts.clone()))
+        .collect();
+    let mut served_past_deadline = 0;
+    let mut shed = 0;
+    for handle in handles {
+        match handle.wait().unwrap().outcome {
+            RequestOutcome::Ok(response) => {
+                assert_eq!(response.outcome, ServeOutcome::DeadlineExceeded);
+                served_past_deadline += 1;
+            }
+            RequestOutcome::Shed(reason) => {
+                assert_eq!(reason, ShedReason::DeadlineBeforeStart);
+                shed += 1;
+            }
+            RequestOutcome::Err(e) => panic!("unexpected engine error: {e}"),
+        }
+    }
+    // The first pickup stalls through its own deadline and returns a
+    // partial response; everything queued behind it is already dead at
+    // pickup and gets shed without touching the engine.
+    assert!(served_past_deadline >= 1);
+    assert!(shed >= 1, "stall must back up the queue into sheds");
+    let m = server.metrics();
+    assert_eq!(m.shed, shed);
+    server.shutdown();
+}
+
+#[test]
+fn chaos_run_is_deterministic_end_to_end() {
+    // Same seed, same prompts → the same set of degraded serves and the
+    // same outputs, through the whole server stack. Checksums are on so
+    // injected corruption is *detected* (silent corruption is a separate
+    // store mode); one worker keeps the per-key fault occurrences paired
+    // with the same serves on every run.
+    let run = |seed: u64| -> (u64, Vec<u32>) {
+        let engine = engine_with(EngineConfig {
+            store: StoreConfig {
+                verify_checksums: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        engine.set_fetch_fault_injector(Some(Arc::new(FaultPlan::new(FaultConfig {
+            seed,
+            fetch_miss_rate: 0.4,
+            fetch_corrupt_rate: 0.2,
+            ..Default::default()
+        }))));
+        let server = Server::start(
+            engine,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 32,
+            },
+        );
+        let handles: Vec<_> = (0..12)
+            .map(|_| server.submit(PROMPT.into(), opts()))
+            .collect();
+        let mut tokens = None;
+        for handle in handles {
+            let response = handle.wait().unwrap().outcome.unwrap();
+            let t = tokens.get_or_insert_with(|| response.tokens.clone());
+            assert_eq!(&response.tokens, t, "every serve byte-identical");
+        }
+        let text = server.metrics_text();
+        let degraded = text
+            .lines()
+            .find_map(|l| l.strip_prefix("pc_degraded_serves_total "))
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap();
+        server.shutdown();
+        (degraded, tokens.unwrap())
+    };
+    let (degraded_a, tokens_a) = run(21);
+    let (degraded_b, tokens_b) = run(21);
+    assert_eq!(tokens_a, tokens_b);
+    assert_eq!(degraded_a, degraded_b, "same seed, same degraded-serve count");
+}

@@ -17,6 +17,32 @@
 //! * [`trace`] — deterministic Poisson arrival traces and open-loop
 //!   replay, the load methodology for serving experiments.
 //!
+//! # Resilience
+//!
+//! The server is built not to melt under overload or caller aborts
+//! (DESIGN.md §8, docs/ARCHITECTURE.md for the full decision map):
+//!
+//! * **Deadlines.** [`prompt_cache::ServeOptions::deadline`] is converted
+//!   to an absolute deadline *at submission*, so queue wait counts
+//!   against the budget. Requests whose deadline passes in the queue are
+//!   shed at pickup ([`ShedReason::DeadlineBeforeStart`]) without
+//!   touching the engine; a serve that overruns mid-flight returns its
+//!   partial output with `ServeOutcome::DeadlineExceeded`.
+//! * **Bounded admission.** [`Server::submit`] blocks while the queue is
+//!   full — fine for closed-loop benchmarks, a footgun for services.
+//!   [`Server::try_submit`] rejects instead ([`SubmitError::QueueFull`],
+//!   or [`SubmitError::PredictedDeadlineExceeded`] when queue depth ×
+//!   EWMA service time already exceeds the request's deadline).
+//! * **Cancellation.** Every [`RequestHandle`] can
+//!   [`cancel`](RequestHandle::cancel): in queue the request is shed
+//!   ([`ShedReason::CancelledInQueue`]); mid-serve the engine stops
+//!   within one decode step and returns the partial response.
+//! * **Shutdown.** [`Server::shutdown`] drains; `shutdown_within`
+//!   sheds queued work, cancels in-flight serves through a linked
+//!   shutdown token, and bounds the wait by a grace period.
+//! * **Chaos hooks.** [`WorkerFaults`] injects pre-serve stalls (see
+//!   `pc-faults` for the deterministic seeded implementation).
+//!
 //! # Example
 //!
 //! ```
@@ -48,4 +74,7 @@ pub mod metrics;
 mod server;
 pub mod trace;
 
-pub use server::{RequestHandle, RequestResult, Server, ServerConfig};
+pub use server::{
+    RequestHandle, RequestOutcome, RequestResult, Server, ServerConfig, ShedReason, SubmitError,
+    WorkerFaults,
+};

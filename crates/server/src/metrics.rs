@@ -63,6 +63,12 @@ pub struct MetricsSnapshot {
     pub served: u64,
     /// Requests that returned an error.
     pub failed: u64,
+    /// Requests shed without being served (admission rejection, deadline
+    /// passed before pickup, cancelled in queue, or shutdown drain).
+    pub shed: u64,
+    /// Requests cancelled by their caller — whether shed in queue or
+    /// stopped mid-serve with a partial response.
+    pub cancelled: u64,
     /// Median time-to-first-token.
     pub ttft_p50: Option<Duration>,
     /// 95th-percentile time-to-first-token.

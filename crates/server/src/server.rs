@@ -1,11 +1,12 @@
-//! The worker-pool server.
+//! The worker-pool server: bounded admission, deadline-aware shedding,
+//! cooperative cancellation, and drain-or-cancel shutdown.
 
 use crate::metrics::MetricsSnapshot;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use pc_telemetry::{Counter, Gauge, Histogram, Telemetry};
-use prompt_cache::{EngineError, PromptCache, Response, ServeOptions};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use prompt_cache::{CancelToken, EngineError, PromptCache, Response, ServeOptions, ServeOutcome};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -14,8 +15,9 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Worker threads draining the queue.
     pub workers: usize,
-    /// Maximum queued (not yet picked up) requests; submits beyond this
-    /// block the caller — simple admission control.
+    /// Maximum queued (not yet picked up) requests. [`Server::submit`]
+    /// blocks the caller beyond this; [`Server::try_submit`] sheds
+    /// instead — non-blocking admission control.
     pub queue_capacity: usize,
 }
 
@@ -31,16 +33,143 @@ impl Default for ServerConfig {
     }
 }
 
+/// Why the server refused or abandoned a request without serving it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The request's deadline had already passed when a worker picked it
+    /// up — serving it would only waste the worker.
+    DeadlineBeforeStart,
+    /// The request's [`CancelToken`] fired while it was still queued.
+    CancelledInQueue,
+    /// The server was shutting down with a bounded grace
+    /// ([`Server::shutdown_within`]); queued work is shed, not served.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::DeadlineBeforeStart => write!(f, "deadline passed before pickup"),
+            ShedReason::CancelledInQueue => write!(f, "cancelled while queued"),
+            ShedReason::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+/// Rejection returned by [`Server::try_submit`] — the request never
+/// entered the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity.
+    QueueFull,
+    /// The predicted queue wait (queue depth × EWMA service time ÷
+    /// workers) already exceeds the request's deadline, so admitting it
+    /// could only produce a dead-on-pickup shed later.
+    PredictedDeadlineExceeded {
+        /// The wait estimate that tripped the rejection.
+        estimated_wait: Duration,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "request queue is full"),
+            SubmitError::PredictedDeadlineExceeded { estimated_wait } => write!(
+                f,
+                "estimated queue wait {:.3}s exceeds the request deadline",
+                estimated_wait.as_secs_f64()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// How one request ended: a response, an engine error, or shed without
+/// ever reaching the engine.
+///
+/// `Ok` covers *partial* responses too — check
+/// [`Response::outcome`](prompt_cache::Response) for
+/// [`ServeOutcome::Cancelled`] / [`ServeOutcome::DeadlineExceeded`]
+/// before treating the tokens as a finished generation.
+#[derive(Debug)]
+pub enum RequestOutcome {
+    /// The engine produced a response (possibly partial).
+    Ok(Response),
+    /// The engine failed.
+    Err(EngineError),
+    /// The request was shed before the engine saw it.
+    Shed(ShedReason),
+}
+
+impl RequestOutcome {
+    /// The response, panicking on `Err`/`Shed` — mirrors `Result::unwrap`
+    /// so straightforward callers read the same as before shedding
+    /// existed.
+    #[track_caller]
+    pub fn unwrap(self) -> Response {
+        match self {
+            RequestOutcome::Ok(response) => response,
+            RequestOutcome::Err(e) => panic!("request failed: {e}"),
+            RequestOutcome::Shed(reason) => panic!("request shed: {reason}"),
+        }
+    }
+
+    /// The response, panicking with `msg` on `Err`/`Shed`.
+    #[track_caller]
+    pub fn expect(self, msg: &str) -> Response {
+        match self {
+            RequestOutcome::Ok(response) => response,
+            RequestOutcome::Err(e) => panic!("{msg}: {e}"),
+            RequestOutcome::Shed(reason) => panic!("{msg}: shed ({reason})"),
+        }
+    }
+
+    /// The response, if the request was served.
+    pub fn ok(self) -> Option<Response> {
+        match self {
+            RequestOutcome::Ok(response) => Some(response),
+            _ => None,
+        }
+    }
+
+    /// Whether the engine produced a response.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RequestOutcome::Ok(_))
+    }
+
+    /// Whether the engine returned an error (shed requests are *not*
+    /// errors — test [`RequestOutcome::is_shed`]).
+    pub fn is_err(&self) -> bool {
+        matches!(self, RequestOutcome::Err(_))
+    }
+
+    /// Whether the request was shed before reaching the engine.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, RequestOutcome::Shed(_))
+    }
+
+    /// The shed reason, if the request was shed.
+    pub fn shed_reason(&self) -> Option<ShedReason> {
+        match self {
+            RequestOutcome::Shed(reason) => Some(*reason),
+            _ => None,
+        }
+    }
+}
+
 /// The completed result of one request.
 #[derive(Debug)]
 pub struct RequestResult {
     /// The id assigned at submission.
     pub id: u64,
-    /// The engine outcome.
-    pub outcome: Result<Response, EngineError>,
-    /// Time spent queued before a worker started serving.
+    /// How the request ended.
+    pub outcome: RequestOutcome,
+    /// Time spent queued before a worker started serving (for shed
+    /// requests: time queued before the shed decision).
     pub queue_time: Duration,
-    /// Time the worker spent serving.
+    /// Time the worker spent serving (zero for shed requests).
     pub service_time: Duration,
 }
 
@@ -48,6 +177,7 @@ pub struct RequestResult {
 #[derive(Debug)]
 pub struct RequestHandle {
     id: u64,
+    cancel: CancelToken,
     rx: Receiver<RequestResult>,
 }
 
@@ -55,6 +185,13 @@ impl RequestHandle {
     /// The request's id.
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Fires the request's [`CancelToken`]: queued, it is shed at pickup;
+    /// in flight, the serve stops within one decode step and returns its
+    /// partial response. Idempotent.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
     }
 
     /// Blocks until the request completes. Returns `None` only if the
@@ -74,22 +211,49 @@ struct Job {
     prompt: String,
     options: ServeOptions,
     baseline: bool,
+    /// The effective request token (caller's token, linked to server
+    /// shutdown, narrowed by the submission-relative deadline) — also
+    /// stored in `options.cancel`; kept here so pickup-time shed checks
+    /// don't dig through options.
+    cancel: CancelToken,
     submitted: Instant,
     reply: Sender<RequestResult>,
 }
 
+/// Injected worker-side stalls for chaos testing: the fault harness
+/// (`pc-faults`) implements this to simulate slow or stuck workers. The
+/// stall applies after pickup, before the engine serve, so a stalled
+/// worker both delays its own request past its deadline *and* backs up
+/// the queue behind it — exactly the failure mode load-shedding exists
+/// for.
+pub trait WorkerFaults: Send + Sync + std::fmt::Debug {
+    /// Stall to apply before serving request `id`; `Duration::ZERO` for
+    /// a healthy pickup.
+    fn pre_serve_delay(&self, id: u64) -> Duration;
+}
+
 /// Per-server metric state: an always-on [`Telemetry`] registry with
-/// pre-resolved handles, replacing the bespoke sample-vector aggregation
-/// this crate used to carry. Recording is atomics-only on the worker
-/// path; the registry lock is touched exactly once per handle, here.
+/// pre-resolved handles. Recording is atomics-only on the worker path;
+/// the registry lock is touched exactly once per handle, here.
 struct Shared {
     telemetry: Telemetry,
     served: Counter,
     failed: Counter,
+    shed: Counter,
+    cancelled: Counter,
+    deadline_exceeded: Counter,
+    degraded: Counter,
     ttft: Histogram,
     service: Histogram,
     queue: Histogram,
     queue_depth: Gauge,
+    /// EWMA of worker service time in nanoseconds (α = 1/8), feeding the
+    /// admission-control wait estimate. Zero until the first completion.
+    ewma_service_ns: AtomicU64,
+    /// Set by [`Server::shutdown_within`]: queued jobs are shed instead
+    /// of served.
+    draining: AtomicBool,
+    faults: Mutex<Option<Arc<dyn WorkerFaults>>>,
 }
 
 impl Default for Shared {
@@ -98,21 +262,49 @@ impl Default for Shared {
         Shared {
             served: telemetry.counter("pc_requests_served_total"),
             failed: telemetry.counter("pc_requests_failed_total"),
+            shed: telemetry.counter("pc_requests_shed_total"),
+            cancelled: telemetry.counter("pc_requests_cancelled_total"),
+            deadline_exceeded: telemetry.counter("pc_requests_deadline_exceeded_total"),
+            degraded: telemetry.counter("pc_degraded_serves_total"),
             ttft: telemetry.latency_histogram("pc_ttft_seconds"),
             service: telemetry.latency_histogram("pc_service_seconds"),
             queue: telemetry.latency_histogram("pc_queue_wait_seconds"),
             queue_depth: telemetry.gauge("pc_queue_depth"),
+            ewma_service_ns: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            faults: Mutex::new(None),
             telemetry,
         }
+    }
+}
+
+impl Shared {
+    fn record_service_sample(&self, service: Duration) {
+        let sample = u64::try_from(service.as_nanos()).unwrap_or(u64::MAX);
+        let old = self.ewma_service_ns.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            // α = 1/8: old * 7/8 + sample/8, computed in u128 to avoid
+            // overflow on pathological samples.
+            ((old as u128 * 7 + sample as u128) / 8) as u64
+        };
+        self.ewma_service_ns.store(new, Ordering::Relaxed);
     }
 }
 
 /// A multi-threaded Prompt Cache server. See the [crate docs](crate).
 pub struct Server {
     tx: Option<Sender<Job>>,
+    /// Kept for queue-depth reads in the admission-control wait estimate
+    /// (never `recv`'d from here).
+    queue_rx: Receiver<Job>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
     next_id: AtomicU64,
+    /// Parent of every request token: fired by
+    /// [`Server::shutdown_within`] to cancel in-flight serves.
+    shutdown_token: CancelToken,
     engine: Arc<PromptCache>,
 }
 
@@ -132,9 +324,11 @@ impl Server {
             .collect();
         Server {
             tx: Some(tx),
+            queue_rx: rx,
             workers,
             shared,
             next_id: AtomicU64::new(0),
+            shutdown_token: CancelToken::new(),
             engine,
         }
     }
@@ -144,35 +338,120 @@ impl Server {
         &self.engine
     }
 
-    /// Submits a cached-inference request. Blocks when the queue is full.
+    /// Submits a cached-inference request.
+    ///
+    /// **Blocks the calling thread while the queue is full** — fine for
+    /// closed-loop benchmarks, a footgun for anything latency-sensitive:
+    /// under overload every submitter stalls here with no error and no
+    /// timeout. Services should use [`Server::try_submit`], which sheds
+    /// instead of blocking.
     pub fn submit(&self, prompt_pml: String, options: ServeOptions) -> RequestHandle {
         self.submit_inner(prompt_pml, options, false)
     }
 
     /// Submits a baseline (full-prefill) request — lets load experiments
-    /// mix both paths through the same queue.
+    /// mix both paths through the same queue. Blocks when the queue is
+    /// full, like [`Server::submit`].
     pub fn submit_baseline(&self, prompt_pml: String, options: ServeOptions) -> RequestHandle {
         self.submit_inner(prompt_pml, options, true)
     }
 
-    fn submit_inner(&self, prompt: String, options: ServeOptions, baseline: bool) -> RequestHandle {
+    /// Non-blocking admission: rejects immediately when the queue is at
+    /// capacity, or when the predicted queue wait (queue depth × EWMA
+    /// service time ÷ workers) already exceeds the request's
+    /// [`ServeOptions::deadline`]. Rejections count toward
+    /// `pc_requests_shed_total`; the request never enters the queue.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] or
+    /// [`SubmitError::PredictedDeadlineExceeded`].
+    pub fn try_submit(
+        &self,
+        prompt_pml: String,
+        options: ServeOptions,
+    ) -> Result<RequestHandle, SubmitError> {
+        if let Some(deadline) = options.deadline {
+            let estimated_wait = self.estimated_queue_wait();
+            if estimated_wait > deadline {
+                let _shed_span = self.shared.telemetry.span("shed");
+                self.shared.shed.inc();
+                return Err(SubmitError::PredictedDeadlineExceeded { estimated_wait });
+            }
+        }
+        let (job, handle) = self.make_job(prompt_pml, options, false);
+        match self
+            .tx
+            .as_ref()
+            .expect("server not shut down")
+            .try_send(job)
+        {
+            Ok(()) => {
+                self.shared.queue_depth.add(1);
+                Ok(handle)
+            }
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                let _shed_span = self.shared.telemetry.span("shed");
+                self.shared.shed.inc();
+                Err(SubmitError::QueueFull)
+            }
+        }
+    }
+
+    /// The admission-control wait estimate: queued requests × EWMA
+    /// service time ÷ workers. Zero until the first request completes.
+    pub fn estimated_queue_wait(&self) -> Duration {
+        let ewma = self.shared.ewma_service_ns.load(Ordering::Relaxed);
+        let depth = self.queue_rx.len() as u64;
+        let workers = self.workers.len().max(1) as u64;
+        Duration::from_nanos(depth.saturating_mul(ewma) / workers)
+    }
+
+    fn make_job(
+        &self,
+        prompt: String,
+        mut options: ServeOptions,
+        baseline: bool,
+    ) -> (Job, RequestHandle) {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (reply, rx) = bounded(1);
+        // Build the effective request token *at submission*: the caller's
+        // token (cancelling their clone still works — the flag is shared)
+        // linked to server shutdown, with the relative deadline converted
+        // to an absolute one so queue wait counts against the budget.
+        let base = options.cancel.take().unwrap_or_default();
+        let mut token = base.linked_to(&self.shutdown_token);
+        if let Some(budget) = options.deadline.take() {
+            token = token.with_budget(budget);
+        }
+        options.cancel = Some(token.clone());
         let job = Job {
             id,
             prompt,
             options,
             baseline,
+            cancel: token.clone(),
             submitted: Instant::now(),
             reply,
         };
+        (job, RequestHandle { id, cancel: token, rx })
+    }
+
+    fn submit_inner(&self, prompt: String, options: ServeOptions, baseline: bool) -> RequestHandle {
+        let (job, handle) = self.make_job(prompt, options, baseline);
         self.shared.queue_depth.add(1);
         self.tx
             .as_ref()
             .expect("server not shut down")
             .send(job)
             .expect("workers alive while server exists");
-        RequestHandle { id, rx }
+        handle
+    }
+
+    /// Installs (or clears, with `None`) a worker-fault injector — see
+    /// [`WorkerFaults`]. Takes effect from the next pickup.
+    pub fn set_worker_faults(&self, faults: Option<Arc<dyn WorkerFaults>>) {
+        *self.shared.faults.lock().unwrap() = faults;
     }
 
     /// Current metrics.
@@ -181,6 +460,8 @@ impl Server {
         MetricsSnapshot {
             served: self.shared.served.get(),
             failed: self.shared.failed.get(),
+            shed: self.shared.shed.get(),
+            cancelled: self.shared.cancelled.get(),
             ttft_p50: dur(self.shared.ttft.percentile(50.0)),
             ttft_p95: dur(self.shared.ttft.percentile(95.0)),
             ttft_p99: dur(self.shared.ttft.percentile(99.0)),
@@ -191,17 +472,27 @@ impl Server {
 
     /// All server and cache metrics in Prometheus text exposition format
     /// — the payload a `/metrics` HTTP endpoint would return. Contains
-    /// the server's own registry (`pc_requests_*_total`, the
+    /// the server's own registry (`pc_requests_*_total` including the
+    /// shed/cancelled/deadline counters, `pc_degraded_serves_total`, the
     /// `pc_ttft_seconds` / `pc_service_seconds` / `pc_queue_wait_seconds`
     /// histograms, the `pc_queue_depth` gauge), everything the engine's
     /// telemetry recorded (when enabled), and the module-store counters
     /// (`pc_cache_*_total`), which are synthesised from the always-on
     /// [`prompt_cache::PromptCache::store_stats`] if the engine registry
-    /// did not already provide them.
+    /// did not already provide them. Names the engine registry shares
+    /// with the server registry (e.g. `pc_degraded_serves_total`) keep
+    /// the server's series — no duplicates.
     pub fn metrics_text(&self) -> String {
         let mut snap = self.shared.telemetry.snapshot();
         let engine_snap = self.engine.telemetry().snapshot();
-        snap.counters.extend(engine_snap.counters);
+        let have: std::collections::HashSet<String> =
+            snap.counters.iter().map(|(n, _)| n.clone()).collect();
+        snap.counters.extend(
+            engine_snap
+                .counters
+                .into_iter()
+                .filter(|(n, _)| !have.contains(n)),
+        );
         snap.gauges.extend(engine_snap.gauges);
         snap.histograms.extend(engine_snap.histograms);
         let stats = self.engine.store_stats();
@@ -211,6 +502,7 @@ impl Server {
             ("pc_cache_device_hits_total", stats.device_hits),
             ("pc_cache_evictions_total", stats.evictions),
             ("pc_cache_bytes_copied_h2d_total", stats.bytes_copied_h2d),
+            ("pc_cache_corruptions_total", stats.corruptions_detected),
         ] {
             if !snap.counters.iter().any(|(n, _)| n == name) {
                 snap.counters.push((name.to_owned(), value));
@@ -228,13 +520,51 @@ impl Server {
         &self.shared.telemetry
     }
 
-    /// Drains the queue and joins the workers. Pending requests complete
-    /// first; new submissions are impossible afterwards.
+    /// Graceful shutdown: drains the queue and joins the workers. Every
+    /// pending request completes first; new submissions are impossible
+    /// afterwards. Unbounded — a deep queue takes as long as it takes;
+    /// use [`Server::shutdown_within`] for a bounded exit.
     pub fn shutdown(mut self) {
         self.tx.take(); // close the channel; workers exit on disconnect
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+    }
+
+    /// Drain-or-cancel shutdown with a bounded grace period:
+    ///
+    /// 1. queued (not yet picked up) requests are shed with
+    ///    [`ShedReason::ShuttingDown`];
+    /// 2. in-flight serves are cancelled via the server's shutdown token
+    ///    — each returns its partial response within one decode step;
+    /// 3. workers are joined for up to `grace`.
+    ///
+    /// Returns `true` if every worker exited within the grace period;
+    /// `false` means stragglers were detached (they still hold their
+    /// engine `Arc` and finish in the background, but nothing waits for
+    /// them).
+    pub fn shutdown_within(mut self, grace: Duration) -> bool {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shutdown_token.cancel();
+        self.tx.take();
+        let deadline = Instant::now() + grace;
+        loop {
+            if self.workers.iter().all(JoinHandle::is_finished) {
+                break;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let all_done = self.workers.iter().all(JoinHandle::is_finished);
+        for handle in self.workers.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+            // Unfinished handles are detached by the drop.
+        }
+        all_done
     }
 }
 
@@ -260,6 +590,46 @@ fn worker_loop(rx: &Receiver<Job>, engine: &PromptCache, shared: &Shared) {
     while let Ok(job) = rx.recv() {
         shared.queue_depth.add(-1);
         let queue_time = job.submitted.elapsed();
+
+        // Pickup-time shedding: don't burn a worker on a request that is
+        // already dead (drained, cancelled, or past its deadline).
+        let shed_reason = if shared.draining.load(Ordering::Acquire) {
+            Some(ShedReason::ShuttingDown)
+        } else if job.cancel.is_cancelled() {
+            Some(ShedReason::CancelledInQueue)
+        } else if job.cancel.interruption() == Some(ServeOutcome::DeadlineExceeded) {
+            Some(ShedReason::DeadlineBeforeStart)
+        } else {
+            None
+        };
+        if let Some(reason) = shed_reason {
+            let _shed_span = shared.telemetry.span("shed");
+            shared.shed.inc();
+            if reason == ShedReason::CancelledInQueue {
+                shared.cancelled.inc();
+            }
+            shared.queue.observe(queue_time.as_secs_f64());
+            let _ = job.reply.send(RequestResult {
+                id: job.id,
+                outcome: RequestOutcome::Shed(reason),
+                queue_time,
+                service_time: Duration::ZERO,
+            });
+            continue;
+        }
+
+        // Chaos hook: a stalled worker delays this request *and* backs up
+        // the queue behind it.
+        let stall = shared
+            .faults
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(Duration::ZERO, |f| f.pre_serve_delay(job.id));
+        if !stall.is_zero() {
+            std::thread::sleep(stall);
+        }
+
         let start = Instant::now();
         let outcome = if job.baseline {
             engine.serve_baseline(&job.prompt, &job.options)
@@ -270,18 +640,38 @@ fn worker_loop(rx: &Receiver<Job>, engine: &PromptCache, shared: &Shared) {
         match &outcome {
             Ok(response) => {
                 shared.served.inc();
-                shared.ttft.observe(response.timings.ttft.as_secs_f64());
+                match response.outcome {
+                    ServeOutcome::Complete => {}
+                    ServeOutcome::Cancelled => {
+                        let _cancel_span = shared.telemetry.span("cancel");
+                        shared.cancelled.inc();
+                    }
+                    ServeOutcome::DeadlineExceeded => {
+                        shared.deadline_exceeded.inc();
+                    }
+                }
+                // TTFT is only meaningful when a first token exists.
+                if !response.tokens.is_empty() {
+                    shared.ttft.observe(response.timings.ttft.as_secs_f64());
+                }
+                if response.stats.degraded_spans > 0 {
+                    shared.degraded.inc();
+                }
             }
             Err(_) => {
                 shared.failed.inc();
             }
         }
+        shared.record_service_sample(service_time);
         shared.service.observe(service_time.as_secs_f64());
         shared.queue.observe(queue_time.as_secs_f64());
         // Receiver may have been dropped (caller gave up) — fine.
         let _ = job.reply.send(RequestResult {
             id: job.id,
-            outcome,
+            outcome: match outcome {
+                Ok(response) => RequestOutcome::Ok(response),
+                Err(e) => RequestOutcome::Err(e),
+            },
             queue_time,
             service_time,
         });
@@ -436,6 +826,10 @@ mod tests {
         assert!(text.contains("pc_ttft_seconds_bucket{le=\""), "{text}");
         assert!(text.contains("# TYPE pc_queue_depth gauge"), "{text}");
         assert!(text.contains("pc_requests_served_total 1"), "{text}");
+        assert!(text.contains("pc_requests_shed_total 0"), "{text}");
+        assert!(text.contains("pc_requests_cancelled_total 0"), "{text}");
+        assert!(text.contains("pc_degraded_serves_total 0"), "{text}");
+        assert!(text.contains("pc_cache_corruptions_total 0"), "{text}");
         // Every line parses as `# TYPE …` or `name[{labels}] value`.
         for line in text.lines() {
             if line.starts_with('#') {
@@ -481,6 +875,13 @@ mod tests {
             .filter(|l| l.starts_with("pc_cache_hits_total "))
             .count();
         assert_eq!(hits_lines, 1, "{text}");
+        // Engine and server registries both define
+        // pc_degraded_serves_total; the merge must keep exactly one.
+        let degraded_lines = text
+            .lines()
+            .filter(|l| l.starts_with("pc_degraded_serves_total "))
+            .count();
+        assert_eq!(degraded_lines, 1, "{text}");
         // Engine-side metrics (sampled model timing) show up too.
         assert!(text.contains("pc_model_attention_seconds"), "{text}");
         server.shutdown();

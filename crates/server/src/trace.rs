@@ -67,8 +67,18 @@ pub struct ReplayReport {
     /// down before serving them) — distinct from `failed`, which saw an
     /// engine error.
     pub dropped: u64,
+    /// Requests shed by the server (load-shedding, deadline passed in
+    /// queue, cancelled, or shutdown drain) — see
+    /// [`crate::RequestOutcome::Shed`].
+    pub shed: u64,
+    /// Of the completed requests: how many returned a *partial* response
+    /// ([`prompt_cache::ServeOutcome`] cancelled/deadline-exceeded).
+    pub interrupted: u64,
     /// End-to-end latency (submission → completion) distribution.
     pub e2e: LatencyRecorder,
+    /// Queue-wait distribution across all requests that produced a
+    /// result (served or shed).
+    pub queue: LatencyRecorder,
     /// TTFT distribution across completed requests.
     pub ttft: LatencyRecorder,
     /// Per-phase TTFT breakdown distributions (from each completed
@@ -90,10 +100,12 @@ impl ReplayReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "replay: {} completed, {} failed, {} dropped in {:.3}s ({:.1} req/s)",
+            "replay: {} completed, {} failed, {} dropped, {} shed, {} interrupted in {:.3}s ({:.1} req/s)",
             self.completed,
             self.failed,
             self.dropped,
+            self.shed,
+            self.interrupted,
             self.wall.as_secs_f64(),
             self.goodput_rps(),
         );
@@ -111,6 +123,7 @@ impl ReplayReport {
             );
         };
         line(&mut out, "e2e", &self.e2e);
+        line(&mut out, "queue", &self.queue);
         line(&mut out, "ttft", &self.ttft);
         for (name, rec) in &self.phases {
             line(&mut out, name, rec);
@@ -138,6 +151,7 @@ pub fn replay(
         pending.push((Instant::now(), handle));
     }
     let e2e = LatencyRecorder::new();
+    let queue = LatencyRecorder::new();
     let ttft = LatencyRecorder::new();
     let phases = [
         ("tokenize", LatencyRecorder::new()),
@@ -148,21 +162,30 @@ pub fn replay(
     let mut completed = 0;
     let mut failed = 0;
     let mut dropped = 0;
+    let mut shed = 0;
+    let mut interrupted = 0;
     for (submitted, handle) in pending {
         match handle.wait() {
-            Some(result) => match result.outcome {
-                Ok(response) => {
-                    completed += 1;
-                    e2e.record(submitted.elapsed());
-                    ttft.record(response.timings.ttft);
-                    for ((_, rec), (_, dur)) in
-                        phases.iter().zip(response.breakdown.phases())
-                    {
-                        rec.record(dur);
+            Some(result) => {
+                queue.record(result.queue_time);
+                match result.outcome {
+                    crate::RequestOutcome::Ok(response) => {
+                        completed += 1;
+                        if response.outcome.is_interrupted() {
+                            interrupted += 1;
+                        }
+                        e2e.record(submitted.elapsed());
+                        ttft.record(response.timings.ttft);
+                        for ((_, rec), (_, dur)) in
+                            phases.iter().zip(response.breakdown.phases())
+                        {
+                            rec.record(dur);
+                        }
                     }
+                    crate::RequestOutcome::Err(_) => failed += 1,
+                    crate::RequestOutcome::Shed(_) => shed += 1,
                 }
-                Err(_) => failed += 1,
-            },
+            }
             None => dropped += 1,
         }
     }
@@ -171,7 +194,10 @@ pub fn replay(
         completed,
         failed,
         dropped,
+        shed,
+        interrupted,
         e2e,
+        queue,
         ttft,
         phases,
     }

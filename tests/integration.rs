@@ -119,6 +119,7 @@ fn device_tier_eviction_with_real_modules() {
             store: StoreConfig {
                 device_capacity_bytes: 9000,
                 policy: EvictionPolicy::Lru,
+                ..Default::default()
             },
             tier: Some(Tier::Device),
             ..Default::default()

@@ -75,6 +75,53 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error for `try_send`; carries the unsent message like the real
+    /// crossbeam type.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// Whether the failure was a full channel (backpressure) rather
+        /// than a disconnect.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> std::error::Error for TrySendError<T> {}
+
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             write!(f, "sending on a disconnected channel")
@@ -142,6 +189,25 @@ pub mod channel {
                         state = self.0.not_full.wait(state).unwrap();
                     }
                     _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: fails immediately with `Full` at capacity
+        /// instead of waiting — the primitive behind the server's
+        /// load-shedding admission control.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.0.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.0.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
                 }
             }
             state.queue.push_back(value);
@@ -367,6 +433,28 @@ mod tests {
         let (tx, rx) = unbounded::<u32>();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_send_full_and_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        match tx.try_send(2) {
+            Err(e @ TrySendError::Full(_)) => {
+                assert!(e.is_full());
+                assert_eq!(e.into_inner(), 2);
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 3);
+        drop(rx);
+        match tx.try_send(4) {
+            Err(TrySendError::Disconnected(v)) => assert_eq!(v, 4),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
     }
 
     #[test]
