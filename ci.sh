@@ -23,6 +23,18 @@ cargo test -q -p prompt-cache --test zero_copy_tests
 cargo test -q -p prompt-cache --test resilience_tests
 cargo test -q -p pc-server --test resilience
 cargo test -q -p pc-faults
+# Batching gate: batched greedy decoding must be byte-identical to solo
+# serving across batch sizes, cache states, staggered joins, and
+# cancellations — at the scheduler level and through the batched server.
+cargo test -q -p prompt-cache --test batching_tests
+cargo test -q -p pc-server batched
+# API migration gate: the deprecated serve_* shims must keep compiling
+# (zero warnings — clippy/rustdoc below run with -D warnings) and keep
+# agreeing with the unified ServeRequest API.
+cargo test -q -p prompt-cache --test deprecated_shims
+# Batching experiment smoke (quick mode: no BENCH artifact, asserts the
+# batched-vs-solo identity and a complete load sweep).
+cargo run --release -q -p pc-bench --bin figures -- --quick batching > /dev/null
 # Docs gate: rustdoc must stay warning-clean.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 cargo clippy --all-targets -- -D warnings

@@ -7,6 +7,7 @@ use pc_model::{Model, ModelConfig};
 use pc_tokenizer::WordTokenizer;
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
 use std::time::Duration;
+use prompt_cache::{ServeRequest, Served};
 
 fn cache_advantage(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_advantage");
@@ -27,17 +28,14 @@ fn cache_advantage(c: &mut Criterion) {
         let schema = format!(r#"<schema name="s"><module name="doc">{doc}</module></schema>"#);
         engine.register_schema(&schema).unwrap();
         let prompt = r#"<prompt schema="s"><doc/>go</prompt>"#;
-        let opts = ServeOptions {
-            max_new_tokens: 1,
-            ..Default::default()
-        };
+        let opts = ServeOptions::default().max_new_tokens(1);
 
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, _| {
-            b.iter(|| engine.serve_baseline(prompt, &opts).unwrap())
+            b.iter(|| engine.serve(&ServeRequest::new(prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("prompt_cache", n), &n, |b, _| {
-            b.iter(|| engine.serve_with(prompt, &opts).unwrap())
+            b.iter(|| engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).unwrap())
         });
     }
     group.finish();

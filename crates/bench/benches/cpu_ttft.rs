@@ -7,6 +7,7 @@ use pc_longbench::{DatasetSpec, Workload};
 use pc_model::Family;
 use prompt_cache::ServeOptions;
 use std::time::Duration;
+use prompt_cache::{ServeRequest, Served};
 
 fn cpu_ttft(c: &mut Criterion) {
     // A QA dataset (tiny uncached tail) and the few-shot outlier (large
@@ -17,10 +18,7 @@ fn cpu_ttft(c: &mut Criterion) {
         let engine = pc_bench::measured::engine_for_sample(&sample, Family::Llama, 7);
         engine.register_schema(&sample.schema_pml("lb")).unwrap();
         let prompt = sample.prompt_pml("lb");
-        let opts = ServeOptions {
-            max_new_tokens: 1,
-            ..Default::default()
-        };
+        let opts = ServeOptions::default().max_new_tokens(1);
 
         let mut group = c.benchmark_group(format!("cpu_ttft/{name}"));
         group
@@ -28,10 +26,10 @@ fn cpu_ttft(c: &mut Criterion) {
             .warm_up_time(Duration::from_millis(500))
             .measurement_time(Duration::from_secs(3));
         group.bench_function("baseline", |b| {
-            b.iter(|| engine.serve_baseline(&prompt, &opts).unwrap())
+            b.iter(|| engine.serve(&ServeRequest::new(&prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap())
         });
         group.bench_function("prompt_cache", |b| {
-            b.iter(|| engine.serve_with(&prompt, &opts).unwrap())
+            b.iter(|| engine.serve(&ServeRequest::new(&prompt).options(opts.clone())).map(Served::into_response).unwrap())
         });
         group.finish();
     }

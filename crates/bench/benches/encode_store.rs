@@ -44,11 +44,7 @@ fn store_access(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
     for policy in EvictionPolicy::ALL {
-        let store = ModuleStore::new(StoreConfig {
-            device_capacity_bytes: 8 * one,
-            policy,
-            ..Default::default()
-        });
+        let store = ModuleStore::new(StoreConfig::default().device_capacity_bytes(8 * one).policy(policy));
         for m in 0..32 {
             store.insert(
                 ModuleKey::new("b", &[format!("m{m}")]),

@@ -27,19 +27,13 @@ fn build_server() -> Server {
         .unwrap();
     Server::start(
         engine,
-        ServerConfig {
-            workers: 4,
-            queue_capacity: 64,
-        },
+        ServerConfig::default().workers(4).queue_capacity(64),
     )
 }
 
 fn server_throughput(c: &mut Criterion) {
     let server = build_server();
-    let opts = ServeOptions {
-        max_new_tokens: 1,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(1);
     let mut group = c.benchmark_group("server_burst16");
     group
         .sample_size(10)

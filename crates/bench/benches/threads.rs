@@ -88,10 +88,7 @@ fn register_schema(c: &mut Criterion) {
         let engine = PromptCache::new(
             Model::new(ModelConfig::llama_tiny(vocab), 11),
             tokenizer,
-            EngineConfig {
-                parallelism: Parallelism::with_threads(t),
-                ..Default::default()
-            },
+            EngineConfig::default().parallelism(Parallelism::with_threads(t)),
         );
         group.bench_with_input(BenchmarkId::from_parameter(t), &engine, |bch, engine| {
             bch.iter(|| {

@@ -10,6 +10,7 @@ use pc_model::KvCache;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::json;
+use prompt_cache::{ServeRequest, Served};
 
 /// Runs all four ablations and combines them into one report.
 pub fn ablations(quick: bool) -> Report {
@@ -61,22 +62,19 @@ fn scaffold_ablation() -> (String, serde_json::Value) {
         engine
     };
     let prompt = r#"<prompt schema="sc"><a/><b/>summarize the two documents above now</prompt>"#;
-    let opts = ServeOptions {
-        max_new_tokens: 12,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(12);
 
     // Without scaffolds: the masking approximation is in play.
     let engine = build();
     let bytes_without = engine.cached_bytes();
-    let masked = engine.serve_with(prompt, &opts).expect("masked serve");
-    let baseline = engine.serve_baseline(prompt, &opts).expect("baseline");
+    let masked = engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).expect("masked serve");
+    let baseline = engine.serve(&ServeRequest::new(prompt).options(opts.clone()).baseline(true)).map(Served::into_response).expect("baseline");
     let masked_agrees = masked.tokens == baseline.tokens;
 
     // With a scaffold: extra memory, exact agreement.
     engine.add_scaffold("sc", &["a", "b"]).expect("scaffold");
     let bytes_with = engine.cached_bytes();
-    let scaffolded = engine.serve_with(prompt, &opts).expect("scaffolded serve");
+    let scaffolded = engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).expect("scaffolded serve");
     let scaffold_agrees = scaffolded.tokens == baseline.tokens;
 
     let mut table = Table::new(&["Configuration", "Store bytes", "Greedy output == baseline"]);
@@ -126,11 +124,7 @@ fn eviction_ablation(quick: bool) -> (String, serde_json::Value) {
     let mut table = Table::new(&["Policy", "Device hit rate", "Evictions", "H2D bytes"]);
     let mut rows = Vec::new();
     for policy in EvictionPolicy::ALL {
-        let store = ModuleStore::new(StoreConfig {
-            device_capacity_bytes: 8 * one,
-            policy,
-            ..Default::default()
-        });
+        let store = ModuleStore::new(StoreConfig::default().device_capacity_bytes(8 * one).policy(policy));
         for m in 0..num_modules {
             // Vary size a little so size-aware policies differentiate.
             let tokens = module_tokens + (m % 5) * 16;

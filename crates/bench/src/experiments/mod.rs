@@ -2,6 +2,7 @@
 //! human-readable markdown and machine-readable JSON.
 
 mod ablations;
+mod batching_exp;
 mod real_figs;
 mod resilience_exp;
 mod serving_exp;
@@ -11,6 +12,7 @@ mod ttft_exp;
 mod zero_copy_exp;
 
 pub use ablations::ablations;
+pub use batching_exp::batching;
 pub use resilience_exp::resilience;
 pub use serving_exp::{rag, throughput};
 pub use threads_exp::threads;
@@ -37,10 +39,10 @@ pub struct Report {
 }
 
 /// Every experiment id the `figures` binary accepts, in run order.
-pub const ALL_IDS: [&str; 19] = [
+pub const ALL_IDS: [&str; 20] = [
     "fig3", "fig4", "fig5", "table1", "table2", "memcpy", "modelsize", "e2e", "fig6", "fig7",
     "fig8", "appendix", "ablations", "throughput", "rag", "threads", "ttft_breakdown",
-    "zero_copy", "resilience",
+    "zero_copy", "resilience", "batching",
 ];
 
 /// Runs an experiment by id. `quick` shrinks sample counts for smoke
@@ -66,6 +68,7 @@ pub fn run(id: &str, quick: bool) -> Option<Report> {
         "ttft_breakdown" => Some(ttft_breakdown(quick)),
         "zero_copy" => Some(zero_copy(quick)),
         "resilience" => Some(resilience(quick)),
+        "batching" => Some(batching(quick)),
         _ => None,
     }
 }

@@ -9,6 +9,7 @@ use pc_model::{Family, Model, ModelConfig};
 use pc_tokenizer::WordTokenizer;
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
 use serde_json::json;
+use prompt_cache::{ServeRequest, Served};
 
 /// Table 1: output fidelity of cached inference vs baseline across model
 /// families on the figure datasets. The paper reports task scores; with
@@ -76,21 +77,18 @@ fn usecase(
         EngineConfig::default(),
     );
     engine.register_schema(schema).unwrap();
-    let opts = ServeOptions {
-        max_new_tokens: 8,
-        ..Default::default()
-    };
-    engine.serve_with(prompt, &opts).unwrap();
-    engine.serve_baseline(prompt, &opts).unwrap();
+    let opts = ServeOptions::default().max_new_tokens(8);
+    engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).unwrap();
+    engine.serve(&ServeRequest::new(prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap();
     let mut best_cached = f64::MAX;
     let mut best_base = f64::MAX;
     let mut cached = None;
     let mut baseline = None;
     for _ in 0..3 {
-        let c = engine.serve_with(prompt, &opts).unwrap();
+        let c = engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).unwrap();
         best_cached = best_cached.min(c.timings.ttft.as_secs_f64());
         cached = Some(c);
-        let b = engine.serve_baseline(prompt, &opts).unwrap();
+        let b = engine.serve(&ServeRequest::new(prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap();
         best_base = best_base.min(b.timings.ttft.as_secs_f64());
         baseline = Some(b);
     }

@@ -21,6 +21,7 @@ use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
 use serde_json::json;
 use std::sync::Arc;
 use std::time::Duration;
+use prompt_cache::{ServeRequest, Served};
 
 const DOC_WORDS: usize = 120;
 
@@ -36,15 +37,9 @@ fn build_engine() -> PromptCache {
     let engine = PromptCache::new(
         Model::new(ModelConfig::llama_tiny(vocab), 6),
         tokenizer,
-        EngineConfig {
-            // Checksums on so injected corruption is *detected* and
+        EngineConfig::default().// Checksums on so injected corruption is *detected* and
             // repaired rather than silently served.
-            store: StoreConfig {
-                verify_checksums: true,
-                ..Default::default()
-            },
-            ..Default::default()
-        },
+            store(StoreConfig::default().verify_checksums(true)),
     );
     engine
         .register_schema(&format!(
@@ -97,24 +92,16 @@ fn run_mode(
     }
     let server = Server::start(
         engine,
-        ServerConfig {
-            workers: 2,
-            queue_capacity: 256,
-        },
+        ServerConfig::default().workers(2).queue_capacity(256),
     );
     if let Some(plan) = &plan {
         server.set_worker_faults(Some(plan.clone()));
     }
-    let report = replay(
-        &server,
-        prompts,
-        trace,
-        &ServeOptions {
-            max_new_tokens: 1,
-            deadline,
-            ..Default::default()
-        },
-    );
+    let mut options = ServeOptions::default().max_new_tokens(1);
+    if let Some(deadline) = deadline {
+        options = options.deadline(deadline);
+    }
+    let report = replay(&server, prompts, trace, &options);
     let degraded_serves = server
         .metrics_text()
         .lines()
@@ -172,15 +159,12 @@ pub fn resilience(quick: bool) -> Report {
         fetch_miss_rate: 1.0,
         ..Default::default()
     }))));
-    let opts = ServeOptions {
-        max_new_tokens: 4,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(4);
     let mut identical = 0usize;
     let mut degraded_spans = 0usize;
     for prompt in &prompts {
-        let healthy_serve = reference.serve_with(prompt, &opts).expect("healthy serve");
-        let degraded_serve = lossy.serve_with(prompt, &opts).expect("degraded serve");
+        let healthy_serve = reference.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).expect("healthy serve");
+        let degraded_serve = lossy.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).expect("degraded serve");
         assert_eq!(
             degraded_serve.tokens, healthy_serve.tokens,
             "degraded output diverged: {prompt}"

@@ -32,15 +32,9 @@ fn run_load(baseline: bool, requests: usize, workers: usize) -> (f64, f64) {
     let doc: String = (0..300).map(|i| format!("w{} ", i % 89)).collect();
     let server = Server::start(
         service_engine(&doc),
-        ServerConfig {
-            workers,
-            queue_capacity: 256,
-        },
+        ServerConfig::default().workers(workers).queue_capacity(256),
     );
-    let opts = ServeOptions {
-        max_new_tokens: 2,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(2);
     let start = std::time::Instant::now();
     let handles: Vec<_> = (0..requests)
         .map(|i| {
@@ -126,10 +120,7 @@ pub fn throughput(quick: bool) -> Report {
         let doc: String = (0..300).map(|i| format!("w{} ", i % 89)).collect();
         let server = Server::start(
             service_engine(&doc),
-            ServerConfig {
-                workers: 4,
-                queue_capacity: 1024,
-            },
+            ServerConfig::default().workers(4).queue_capacity(1024),
         );
         let prompts: Vec<String> = (0..5)
             .map(|i| format!(r#"<prompt schema="svc"><doc/>answer briefly q{i}</prompt>"#))
@@ -141,10 +132,7 @@ pub fn throughput(quick: bool) -> Report {
                 &server,
                 &prompts,
                 &trace,
-                &ServeOptions {
-                    max_new_tokens: 1,
-                    ..Default::default()
-                },
+                &ServeOptions::default().max_new_tokens(1),
             );
             let p50 = report.e2e.percentile(50.0).unwrap_or_default();
             let p99 = report.e2e.percentile(99.0).unwrap_or_default();
@@ -211,10 +199,7 @@ pub fn rag(quick: bool) -> Report {
     );
     let pipeline = RagPipeline::build(engine, &docs, RagConfig::default()).expect("build");
 
-    let opts = ServeOptions {
-        max_new_tokens: 1,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(1);
     let mut cached_total = 0.0;
     let mut baseline_total = 0.0;
     let queries = entities.len().min(if quick { 2 } else { 6 });

@@ -9,6 +9,7 @@ use pc_simulator::devices::{CPUS, GPUS, INTEL_I9_13900K, RTX_4090};
 use pc_simulator::models::{LLAMA_13B, LLAMA_7B, TABLE2_MODELS};
 use pc_simulator::{baseline_ttft, prompt_cache_ttft, ModuleLocation};
 use serde_json::json;
+use prompt_cache::{ServeRequest, Served};
 
 /// Figure 3: GPU TTFT for the eight figure datasets on three GPUs, with
 /// modules in CPU memory (yellow bars) and GPU memory (blue bars).
@@ -204,18 +205,15 @@ pub fn measured_fully_cached(n: usize) -> (f64, f64) {
     let schema = format!(r#"<schema name="sweep"><module name="doc">{doc}</module></schema>"#);
     engine.register_schema(&schema).unwrap();
     let prompt = r#"<prompt schema="sweep"><doc/>go</prompt>"#;
-    let opts = ServeOptions {
-        max_new_tokens: 1,
-        ..Default::default()
-    };
-    engine.serve_with(prompt, &opts).unwrap();
-    engine.serve_baseline(prompt, &opts).unwrap();
+    let opts = ServeOptions::default().max_new_tokens(1);
+    engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).unwrap();
+    engine.serve(&ServeRequest::new(prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap();
     let mut best_b = f64::MAX;
     let mut best_p = f64::MAX;
     for _ in 0..3 {
         best_p = best_p.min(
             engine
-                .serve_with(prompt, &opts)
+                .serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response)
                 .unwrap()
                 .timings
                 .ttft
@@ -223,7 +221,7 @@ pub fn measured_fully_cached(n: usize) -> (f64, f64) {
         );
         best_b = best_b.min(
             engine
-                .serve_baseline(prompt, &opts)
+                .serve(&ServeRequest::new(prompt).options(opts.clone()).baseline(true)).map(Served::into_response)
                 .unwrap()
                 .timings
                 .ttft

@@ -58,10 +58,7 @@ fn eight_module_engine(par: Parallelism) -> (PromptCache, String) {
     let engine = PromptCache::new(
         Model::new(ModelConfig::llama_tiny(vocab), 11),
         tokenizer,
-        EngineConfig {
-            parallelism: par,
-            ..Default::default()
-        },
+        EngineConfig::default().parallelism(par),
     );
     (engine, schema)
 }

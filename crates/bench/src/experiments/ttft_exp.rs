@@ -32,10 +32,7 @@ pub fn ttft_breakdown(quick: bool) -> Report {
     let engine = PromptCache::new(
         Model::new(ModelConfig::llama_small(vocab), 10),
         tokenizer,
-        EngineConfig {
-            telemetry: telemetry.clone(),
-            ..Default::default()
-        },
+        EngineConfig::default().telemetry(telemetry.clone()),
     );
     engine
         .register_schema(&format!(
@@ -44,10 +41,7 @@ pub fn ttft_breakdown(quick: bool) -> Report {
         .expect("register");
     let server = Server::start(
         engine,
-        ServerConfig {
-            workers: 2,
-            queue_capacity: 256,
-        },
+        ServerConfig::default().workers(2).queue_capacity(256),
     );
     let prompts: Vec<String> = (0..5)
         .map(|i| format!(r#"<prompt schema="svc"><doc/>answer briefly q{i}</prompt>"#))
@@ -58,10 +52,7 @@ pub fn ttft_breakdown(quick: bool) -> Report {
         &server,
         &prompts,
         &trace,
-        &ServeOptions {
-            max_new_tokens: 1,
-            ..Default::default()
-        },
+        &ServeOptions::default().max_new_tokens(1),
     );
 
     let secs = |d: Option<Duration>| d.unwrap_or_default().as_secs_f64();

@@ -18,6 +18,7 @@ use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
 use serde_json::json;
 use std::time::Duration;
+use prompt_cache::{ServeRequest, Served};
 
 const SCHEMA_DOC_WORDS: usize = 300;
 
@@ -29,11 +30,7 @@ fn build_engine(zero_copy: bool, telemetry: Telemetry) -> PromptCache {
     let engine = PromptCache::new(
         Model::new(ModelConfig::llama_small(vocab), 10),
         tokenizer,
-        EngineConfig {
-            zero_copy,
-            telemetry,
-            ..Default::default()
-        },
+        EngineConfig::default().zero_copy(zero_copy).telemetry(telemetry),
     );
     engine
         .register_schema(&format!(
@@ -65,19 +62,13 @@ fn run_mode(zero_copy: bool, prompts: &[String], trace: &[TraceEvent]) -> ModeRe
     let engine = build_engine(zero_copy, telemetry.clone());
     let server = Server::start(
         engine,
-        ServerConfig {
-            workers: 2,
-            queue_capacity: 256,
-        },
+        ServerConfig::default().workers(2).queue_capacity(256),
     );
     let report = replay(
         &server,
         prompts,
         trace,
-        &ServeOptions {
-            max_new_tokens: 1,
-            ..Default::default()
-        },
+        &ServeOptions::default().max_new_tokens(1),
     );
     server.shutdown();
 
@@ -123,14 +114,11 @@ pub fn zero_copy(quick: bool) -> Report {
     // directly on fresh engines serving the same prompt mix.
     let a = build_engine(true, Telemetry::disabled());
     let b = build_engine(false, Telemetry::disabled());
-    let opts = ServeOptions {
-        max_new_tokens: 4,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(4);
     let mut identical = 0usize;
     for prompt in &prompts {
-        let ra = a.serve_with(prompt, &opts).expect("serve zero-copy");
-        let rb = b.serve_with(prompt, &opts).expect("serve memcpy");
+        let ra = a.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).expect("serve zero-copy");
+        let rb = b.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).expect("serve memcpy");
         assert_eq!(ra.tokens, rb.tokens, "outputs diverged: {prompt}");
         assert_eq!(ra.text, rb.text, "outputs diverged: {prompt}");
         identical += 1;

@@ -5,6 +5,7 @@ use pc_model::{Family, Model, ModelConfig};
 use pc_tokenizer::WordTokenizer;
 use prompt_cache::{EngineConfig, PromptCache, Response, ServeOptions};
 use serde::Serialize;
+use prompt_cache::{ServeRequest, Served};
 
 /// Scale factor mapping paper-size prompts (4–10K tokens) onto sizes the
 /// tiny CPU engine sweeps quickly (a few hundred tokens).
@@ -61,15 +62,12 @@ pub fn measure_dataset(spec: &'static DatasetSpec, scale: f64, seed: u64) -> Mea
     let engine = engine_for_sample(&sample, Family::Llama, seed);
     engine.register_schema(&sample.schema_pml("lb")).unwrap();
     let prompt = sample.prompt_pml("lb");
-    let opts = ServeOptions {
-        max_new_tokens: 1,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(1);
     // Warm-up (allocator, page faults), then measure best-of-3.
-    engine.serve_with(&prompt, &opts).unwrap();
-    engine.serve_baseline(&prompt, &opts).unwrap();
-    let cached = best_of(3, || engine.serve_with(&prompt, &opts).unwrap());
-    let baseline = best_of(3, || engine.serve_baseline(&prompt, &opts).unwrap());
+    engine.serve(&ServeRequest::new(&prompt).options(opts.clone())).map(Served::into_response).unwrap();
+    engine.serve(&ServeRequest::new(&prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap();
+    let cached = best_of(3, || engine.serve(&ServeRequest::new(&prompt).options(opts.clone())).map(Served::into_response).unwrap());
+    let baseline = best_of(3, || engine.serve(&ServeRequest::new(&prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap());
     MeasuredTtft {
         dataset: spec.name.to_owned(),
         cached_tokens: cached.0.stats.cached_tokens,
@@ -135,12 +133,9 @@ pub fn measure_accuracy(
         let engine = engine_for_sample(&sample, family, 31 + i);
         engine.register_schema(&sample.schema_pml("lb")).unwrap();
         let prompt = sample.prompt_pml("lb");
-        let opts = ServeOptions {
-            max_new_tokens: 12,
-            ..Default::default()
-        };
-        let cached = engine.serve_with(&prompt, &opts).unwrap();
-        let baseline = engine.serve_baseline(&prompt, &opts).unwrap();
+        let opts = ServeOptions::default().max_new_tokens(12);
+        let cached = engine.serve(&ServeRequest::new(&prompt).options(opts.clone())).map(Served::into_response).unwrap();
+        let baseline = engine.serve(&ServeRequest::new(&prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap();
         baseline_scores
             .push(pc_longbench::metrics::score(spec.metric, &baseline.text, &sample.answer));
         cached_scores

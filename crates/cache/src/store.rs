@@ -45,7 +45,20 @@ pub enum Tier {
 }
 
 /// Store configuration.
+///
+/// Build with [`Default`] plus the chainable setters:
+///
+/// ```
+/// use pc_cache::{EvictionPolicy, StoreConfig};
+///
+/// let config = StoreConfig::default()
+///     .device_capacity_bytes(1 << 20)
+///     .policy(EvictionPolicy::Gdsf)
+///     .verify_checksums(true);
+/// assert_eq!(config.device_capacity_bytes, 1 << 20);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct StoreConfig {
     /// Device-tier capacity in bytes (0 disables the device tier).
     pub device_capacity_bytes: usize,
@@ -67,6 +80,29 @@ impl Default for StoreConfig {
             policy: EvictionPolicy::Lru,
             verify_checksums: false,
         }
+    }
+}
+
+impl StoreConfig {
+    /// Sets the device-tier capacity in bytes (0 disables the tier).
+    #[must_use]
+    pub fn device_capacity_bytes(mut self, bytes: usize) -> Self {
+        self.device_capacity_bytes = bytes;
+        self
+    }
+
+    /// Sets the device-tier eviction policy.
+    #[must_use]
+    pub fn policy(mut self, policy: EvictionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables/disables per-fetch checksum verification.
+    #[must_use]
+    pub fn verify_checksums(mut self, on: bool) -> Self {
+        self.verify_checksums = on;
+        self
     }
 }
 

@@ -86,7 +86,12 @@ impl PromptCache {
                     }
                 }
             }
-            responses.push(self.serve_with(prompt_pml, options)?);
+            responses.push(
+                self.serve(
+                    &crate::ServeRequest::new(*prompt_pml).options(options.clone()),
+                )?
+                .into_response(),
+            );
         }
         Ok(BatchReport { responses, sharing })
     }

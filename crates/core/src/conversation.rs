@@ -46,7 +46,13 @@ impl PromptCache {
         prompt_pml: &str,
         options: &ServeOptions,
     ) -> Result<(Conversation<'_>, Response)> {
-        let (response, mut cache) = self.serve_session(prompt_pml, options, &mut |_, _| {})?;
+        let served = self.serve(
+            &crate::ServeRequest::new(prompt_pml)
+                .options(options.clone())
+                .session(true),
+        )?;
+        let mut cache = served.session.expect("session requested");
+        let response = served.response;
         // The serve decode loop leaves the final sampled token un-fed (a
         // one-shot response never needs its states); a conversation does —
         // the next turn must attend to the complete reply.

@@ -3,6 +3,7 @@
 
 use crate::cancel::CancelToken;
 use crate::render::{render_plain, span_tokens, uncached_chunk, SpanTokens};
+use crate::request::{ServeRequest, Served};
 use crate::response::{Response, ServeOutcome, ServeStats, Timings, TtftBreakdown};
 use crate::scaffold::Scaffold;
 use crate::{EngineError, Result};
@@ -22,7 +23,16 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine configuration.
+///
+/// Construct with [`EngineConfig::default`] and chain setters — the
+/// struct is `#[non_exhaustive]`, so new knobs are non-breaking:
+///
+/// ```
+/// use prompt_cache::EngineConfig;
+/// let config = EngineConfig::default().zero_copy(false).prefetch_union_siblings(true);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Module-store configuration (device-tier capacity, eviction policy).
     pub store: StoreConfig,
@@ -82,8 +92,79 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Sets the module-store configuration.
+    #[must_use]
+    pub fn store(mut self, store: StoreConfig) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Sets the chat template.
+    #[must_use]
+    pub fn template(mut self, template: ChatTemplate) -> Self {
+        self.template = template;
+        self
+    }
+
+    /// Sets the default serve-time memory tier.
+    #[must_use]
+    pub fn tier(mut self, tier: Tier) -> Self {
+        self.tier = Some(tier);
+        self
+    }
+
+    /// Sets the parallelism configuration.
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Enables or disables union-sibling prefetching (§3.2.3).
+    #[must_use]
+    pub fn prefetch_union_siblings(mut self, on: bool) -> Self {
+        self.prefetch_union_siblings = on;
+        self
+    }
+
+    /// Attaches a telemetry collector.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Enables or disables zero-copy session views.
+    #[must_use]
+    pub fn zero_copy(mut self, on: bool) -> Self {
+        self.zero_copy = on;
+        self
+    }
+
+    /// Enables or disables graceful degradation on missing module states.
+    #[must_use]
+    pub fn degrade_on_miss(mut self, on: bool) -> Self {
+        self.degrade_on_miss = on;
+        self
+    }
+}
+
 /// Per-call serving options.
+///
+/// Construct with [`ServeOptions::default`] and chain setters — the
+/// struct is `#[non_exhaustive]`, so new knobs are non-breaking:
+///
+/// ```
+/// use prompt_cache::ServeOptions;
+/// let options = ServeOptions::default().max_new_tokens(8).use_scaffolds(false);
+/// ```
+///
+/// Most callers never touch `ServeOptions` directly: the
+/// [`crate::ServeRequest`] builder exposes the same setters and carries
+/// the options into [`PromptCache::serve`].
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ServeOptions {
     /// Maximum tokens to generate.
     pub max_new_tokens: usize,
@@ -122,6 +203,50 @@ impl Default for ServeOptions {
     }
 }
 
+impl ServeOptions {
+    /// Sets the maximum number of tokens to generate.
+    #[must_use]
+    pub fn max_new_tokens(mut self, n: usize) -> Self {
+        self.max_new_tokens = n;
+        self
+    }
+
+    /// Sets the memory-tier override for this call.
+    #[must_use]
+    pub fn tier(mut self, tier: Tier) -> Self {
+        self.tier = Some(tier);
+        self
+    }
+
+    /// Enables or disables scaffold substitution (§3.3).
+    #[must_use]
+    pub fn use_scaffolds(mut self, on: bool) -> Self {
+        self.use_scaffolds = on;
+        self
+    }
+
+    /// Selects seeded temperature sampling instead of greedy decoding.
+    #[must_use]
+    pub fn temperature(mut self, temperature: f32, seed: u64) -> Self {
+        self.temperature = Some((temperature, seed));
+        self
+    }
+
+    /// Sets the serve-time budget.
+    #[must_use]
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Attaches a cooperative cancellation handle.
+    #[must_use]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
 /// Summary returned by [`PromptCache::register_schema`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SchemaInfo {
@@ -134,6 +259,57 @@ pub struct SchemaInfo {
     /// Advisory lints (`pc_pml::lint`): structural anti-patterns that
     /// will cache poorly. Never fatal.
     pub lints: Vec<String>,
+}
+
+/// Outcome of [`PromptCache::begin_serve`]: either the serve finished
+/// before decode could start (interrupted), or it is positioned at its
+/// first sample and ready to decode — solo or inside a batch.
+pub(crate) enum Prepared {
+    /// Finished without decoding (interrupted before the first sample).
+    Done(Box<Response>, Box<KvView>),
+    /// Prefilled and ready for decode.
+    Ready(Box<PendingDecode>),
+}
+
+/// A serve that has completed prefill and is waiting to decode: the unit
+/// the batch scheduler admits. Owns everything the decode loop and
+/// [`PromptCache::finalize_serve`] need — the session view, the first
+/// logits, the sampler, interruption state, and the accounting captured
+/// during prepare.
+pub(crate) struct PendingDecode {
+    /// Session view: shared cached segments plus a private tail that
+    /// prefill/decode append into.
+    pub(crate) view: KvView,
+    /// Logits from the last prefill step (consumed by the first sample).
+    pub(crate) logits: Vec<f32>,
+    /// Serve start, for TTFT/decode timing.
+    pub(crate) started: Instant,
+    tokenize_end: Duration,
+    fetch_end: Duration,
+    /// Checkpoint after prefill — also the pinned TTFT when no token is
+    /// ever sampled.
+    pub(crate) prefill_end: Duration,
+    /// Effective interruption token (caller's token ∩ per-call budget).
+    pub(crate) cancel: CancelToken,
+    /// End-of-sequence token id.
+    pub(crate) eos: TokenId,
+    /// Sampler seeded from the request options.
+    pub(crate) sampler: Box<dyn Sampler + Send>,
+    /// Decode budget.
+    pub(crate) max_new_tokens: usize,
+    /// Position for the next generated token.
+    pub(crate) next_pos: usize,
+    cached_rows: usize,
+    new_tokens: usize,
+    bytes_reused: usize,
+    bytes_shared: usize,
+    bytes_copied: usize,
+    used_scaffold: bool,
+    degraded: usize,
+    warnings: Vec<String>,
+    /// Union-sibling span keys to prefetch at finalize (outside the
+    /// timed region).
+    prefetch_keys: Vec<ModuleKey>,
 }
 
 struct RegisteredSchema {
@@ -557,20 +733,52 @@ impl PromptCache {
         Ok(())
     }
 
-    /// Serves a PML prompt with cached inference (§3.4) and default
-    /// options except the token budget.
+    /// Serves one [`ServeRequest`] — the single entry point behind every
+    /// serving mode (paper §3.4).
+    ///
+    /// The request builder selects the path: plain cached inference by
+    /// default, the baseline KV-cache path with
+    /// [`ServeRequest::baseline`], per-token streaming with
+    /// [`ServeRequest::streaming`], and session continuation with
+    /// [`ServeRequest::session`] (the returned [`Served`] then carries
+    /// the session [`KvView`]).
+    ///
+    /// ```no_run
+    /// # use prompt_cache::{PromptCache, ServeRequest};
+    /// # fn demo(engine: &PromptCache) -> prompt_cache::Result<()> {
+    /// let served = engine.serve(
+    ///     &ServeRequest::new(r#"<prompt schema="s"><m/>question</prompt>"#)
+    ///         .max_new_tokens(8)
+    ///         .session(true),
+    /// )?;
+    /// println!("{}", served.text); // Served derefs to Response
+    /// let view = served.session.expect("requested");
+    /// # Ok(()) }
+    /// ```
     ///
     /// # Errors
     ///
     /// PML/resolution errors, unknown schemas, or model failures.
-    pub fn serve(&self, prompt_pml: &str, max_new_tokens: usize) -> Result<Response> {
-        self.serve_with(
-            prompt_pml,
-            &ServeOptions {
-                max_new_tokens,
-                ..ServeOptions::default()
-            },
-        )
+    pub fn serve(&self, request: &ServeRequest<'_>) -> Result<Served> {
+        if request.is_baseline() {
+            let response = self.baseline_response(request.prompt(), request.options_ref())?;
+            return Ok(Served {
+                response,
+                session: None,
+            });
+        }
+        let sink = request.sink();
+        let mut adapter = move |token: TokenId, count: usize| {
+            if let Some(sink) = sink {
+                sink(token, count);
+            }
+        };
+        let (response, view) =
+            self.serve_cached(request.prompt(), request.options_ref(), &mut adapter)?;
+        Ok(Served {
+            response,
+            session: request.wants_session().then_some(view),
+        })
     }
 
     /// Serves a PML prompt with explicit options.
@@ -578,48 +786,109 @@ impl PromptCache {
     /// # Errors
     ///
     /// Same contract as [`PromptCache::serve`].
+    #[deprecated(note = "build a `ServeRequest` and call `PromptCache::serve`")]
     pub fn serve_with(&self, prompt_pml: &str, options: &ServeOptions) -> Result<Response> {
-        self.serve_streaming(prompt_pml, options, &mut |_, _| {})
+        self.serve(&ServeRequest::new(prompt_pml).options(options.clone()))
+            .map(Served::into_response)
     }
 
     /// Serves a prompt, invoking `on_token(token_id, decoded_so_far_len)`
-    /// as each output token is produced — the streaming interface a
-    /// serving front-end wires to its response channel. The callback's
-    /// second argument is the number of tokens emitted so far (1-based).
+    /// as each output token is produced.
     ///
     /// # Errors
     ///
     /// Same contract as [`PromptCache::serve`].
+    #[deprecated(note = "build a `ServeRequest` with `.streaming(sink)` and call `PromptCache::serve`")]
     pub fn serve_streaming(
         &self,
         prompt_pml: &str,
         options: &ServeOptions,
         on_token: &mut dyn FnMut(TokenId, usize),
     ) -> Result<Response> {
-        self.serve_session(prompt_pml, options, on_token)
-            .map(|(response, _)| response)
+        let cell = std::cell::RefCell::new(on_token);
+        let sink = move |token: TokenId, count: usize| (*cell.borrow_mut())(token, count);
+        self.serve(
+            &ServeRequest::new(prompt_pml)
+                .options(options.clone())
+                .streaming(&sink),
+        )
+        .map(Served::into_response)
     }
 
-    /// [`PromptCache::serve_streaming`], additionally returning the
-    /// session KV view so the caller can continue the session (the
-    /// building block of [`crate::Conversation`]). The view's shared
-    /// segments alias store-owned module states; everything computed for
-    /// this request lives in its private tail.
+    /// Serves a prompt and returns the session KV view alongside the
+    /// response.
     ///
     /// # Errors
     ///
     /// Same contract as [`PromptCache::serve`].
+    #[deprecated(note = "build a `ServeRequest` with `.session(true)` and call `PromptCache::serve`")]
     pub fn serve_session(
         &self,
         prompt_pml: &str,
         options: &ServeOptions,
         on_token: &mut dyn FnMut(TokenId, usize),
     ) -> Result<(Response, KvView)> {
+        let cell = std::cell::RefCell::new(on_token);
+        let sink = move |token: TokenId, count: usize| (*cell.borrow_mut())(token, count);
+        let served = self.serve(
+            &ServeRequest::new(prompt_pml)
+                .options(options.clone())
+                .session(true)
+                .streaming(&sink),
+        )?;
+        let session = served.session.expect("session requested");
+        Ok((served.response, session))
+    }
+
+    /// The cached serving pipeline: prepare (resolve → fetch → prefill),
+    /// decode on the calling thread, finalize. The batched scheduler runs
+    /// the same [`PromptCache::begin_serve`] / [`PromptCache::finalize_serve`]
+    /// halves around its own interleaved decode loop, which is why solo
+    /// and batched serves share every phase except token-by-token decode.
+    fn serve_cached(
+        &self,
+        prompt_pml: &str,
+        options: &ServeOptions,
+        on_token: &mut dyn FnMut(TokenId, usize),
+    ) -> Result<(Response, KvView)> {
+        let telemetry = &self.config.telemetry;
+        let serve_span = telemetry.span("serve");
+        let result = match self.begin_serve(prompt_pml, options)? {
+            Prepared::Done(response, view) => (*response, *view),
+            Prepared::Ready(mut p) => {
+                let logits = std::mem::take(&mut p.logits);
+                let (tokens, ttft, decode, outcome) = self.decode_loop(
+                    &mut p.view,
+                    logits,
+                    p.max_new_tokens,
+                    p.eos,
+                    p.sampler.as_mut(),
+                    p.started,
+                    on_token,
+                    &p.cancel,
+                    telemetry,
+                )?;
+                self.finalize_serve(*p, tokens, ttft, decode, outcome)
+            }
+        };
+        drop(serve_span);
+        Ok(result)
+    }
+
+    /// The serve pipeline up to (and including) prefill: parse, resolve,
+    /// fetch cached states into a session view, prefill uncached tokens.
+    /// Returns either a finished response (interrupted before decode) or
+    /// a [`PendingDecode`] positioned at its first sample — the unit the
+    /// batch scheduler admits.
+    pub(crate) fn begin_serve(
+        &self,
+        prompt_pml: &str,
+        options: &ServeOptions,
+    ) -> Result<Prepared> {
         // One clock, cumulative checkpoints: each TTFT phase is the delta
         // between consecutive checkpoints, so the TtftBreakdown phases sum
         // to `Timings.ttft` exactly.
         let telemetry = &self.config.telemetry;
-        let serve_span = telemetry.span("serve");
         let started = Instant::now();
 
         // Effective interruption token: the caller's token (if any) plus
@@ -634,9 +903,9 @@ impl PromptCache {
                 self.model.config().num_layers,
                 self.model.config().kv_dim(),
             );
-            return Ok((
-                Self::partial_response(outcome, TtftBreakdown::default(), ServeStats::default(), Vec::new()),
-                view,
+            return Ok(Prepared::Done(
+                Box::new(Self::partial_response(outcome, TtftBreakdown::default(), ServeStats::default(), Vec::new())),
+                Box::new(view),
             ));
         }
 
@@ -852,9 +1121,9 @@ impl PromptCache {
                 used_scaffold,
                 degraded_spans: degraded,
             };
-            return Ok((
-                Self::partial_response(outcome, breakdown, stats, resolved.warnings),
-                view,
+            return Ok(Prepared::Done(
+                Box::new(Self::partial_response(outcome, breakdown, stats, resolved.warnings)),
+                Box::new(view),
             ));
         }
 
@@ -882,42 +1151,18 @@ impl PromptCache {
         drop(prefill_span);
         let prefill_end = started.elapsed();
 
-        // --- decode ---
-        let mut sampler: Box<dyn Sampler> = match options.temperature {
+        let sampler: Box<dyn Sampler + Send> = match options.temperature {
             Some((t, seed)) => Box::new(TemperatureSampler::new(t, seed)),
             None => Box::new(GreedySampler),
         };
-        let (tokens, ttft, decode, outcome) = self.decode_loop(
-            &mut view,
-            last_logits,
-            options.max_new_tokens,
-            eos,
-            sampler.as_mut(),
-            started,
-            on_token,
-            &cancel,
-            telemetry,
-        )?;
-        // An interruption before the first sample leaves no first token:
-        // pin TTFT to the prefill checkpoint (and decode to zero) so the
-        // breakdown phases still sum exactly to `timings.ttft`.
-        let (ttft, decode) = if tokens.is_empty() {
-            (prefill_end, Duration::ZERO)
-        } else {
-            (ttft, decode)
-        };
-        let breakdown = TtftBreakdown {
-            tokenize: tokenize_end,
-            fetch: fetch_end - tokenize_end,
-            prefill: prefill_end - fetch_end,
-            sample: ttft.saturating_sub(prefill_end),
-        };
+        let next_pos = view.positions().iter().max().map_or(0, |p| p + 1);
 
-        // Union prefetching (§3.2.3): warm the device tier with the
-        // siblings of every imported union member, outside the timed
-        // region — the next request likely swaps one member.
+        // Union prefetching (§3.2.3): collect the sibling span keys of
+        // every imported union member now, while the schema read lock is
+        // held; the store prefetch itself runs at finalize time, outside
+        // the timed region — the next request likely swaps one member.
+        let mut prefetch_keys = Vec::new();
         if self.config.prefetch_union_siblings && tier == Tier::Device {
-            let mut keys = Vec::new();
             for path in &imported {
                 let Some(info) = entry.layout.module(path) else {
                     continue;
@@ -929,13 +1174,68 @@ impl PromptCache {
                     if sibling.union_group == Some(group) && sibling.path != *path {
                         for (i, span) in entry.layout.spans.iter().enumerate() {
                             if span.owner == sibling.path {
-                                keys.push(self.span_key(&prompt.schema, i));
+                                prefetch_keys.push(self.span_key(&prompt.schema, i));
                             }
                         }
                     }
                 }
             }
-            self.store.prefetch(&keys);
+        }
+
+        Ok(Prepared::Ready(Box::new(PendingDecode {
+            view,
+            logits: last_logits,
+            started,
+            tokenize_end,
+            fetch_end,
+            prefill_end,
+            cancel,
+            eos,
+            sampler,
+            max_new_tokens: options.max_new_tokens,
+            next_pos,
+            cached_rows,
+            new_tokens: chunk.tokens.len(),
+            bytes_reused,
+            bytes_shared,
+            bytes_copied,
+            used_scaffold,
+            degraded,
+            warnings: resolved.warnings,
+            prefetch_keys,
+        })))
+    }
+
+    /// The serve pipeline after decode: assemble the TTFT breakdown,
+    /// run deferred union prefetching, and build the [`Response`].
+    /// `tokens`/`ttft`/`decode`/`outcome` come from whichever decode loop
+    /// ran — the solo [`PromptCache::decode_loop`] or the batch
+    /// scheduler's interleaved steps.
+    pub(crate) fn finalize_serve(
+        &self,
+        p: PendingDecode,
+        tokens: Vec<TokenId>,
+        ttft: Duration,
+        decode: Duration,
+        outcome: ServeOutcome,
+    ) -> (Response, KvView) {
+        // An interruption before the first sample leaves no first token:
+        // pin TTFT to the prefill checkpoint (and decode to zero) so the
+        // breakdown phases still sum exactly to `timings.ttft`.
+        let (ttft, decode) = if tokens.is_empty() {
+            (p.prefill_end, Duration::ZERO)
+        } else {
+            (ttft, decode)
+        };
+        let breakdown = TtftBreakdown {
+            tokenize: p.tokenize_end,
+            fetch: p.fetch_end - p.tokenize_end,
+            prefill: p.prefill_end - p.fetch_end,
+            sample: ttft.saturating_sub(p.prefill_end),
+        };
+
+        if !p.prefetch_keys.is_empty() {
+            self.store.prefetch(&p.prefetch_keys);
         }
 
         let response = Response {
@@ -949,31 +1249,41 @@ impl PromptCache {
             },
             breakdown,
             stats: ServeStats {
-                cached_tokens: cached_rows,
-                new_tokens: chunk.tokens.len(),
-                bytes_reused,
-                bytes_shared,
-                bytes_copied,
-                used_scaffold,
-                degraded_spans: degraded,
+                cached_tokens: p.cached_rows,
+                new_tokens: p.new_tokens,
+                bytes_reused: p.bytes_reused,
+                bytes_shared: p.bytes_shared,
+                bytes_copied: p.bytes_copied,
+                used_scaffold: p.used_scaffold,
+                degraded_spans: p.degraded,
             },
             outcome,
-            warnings: resolved.warnings,
+            warnings: p.warnings,
         };
-        drop(serve_span);
-        Ok((response, view))
+        (response, p.view)
     }
 
-    /// Serves the same prompt through the **baseline KV-cache path**: the
-    /// prompt is rendered to plain text (modules inlined, arguments
-    /// substituted), tokenised, and prefilled from position 0 with no
-    /// reuse — the paper's comparison baseline, sharing every other stage
-    /// of the pipeline.
+    /// Serves the same prompt through the **baseline KV-cache path**.
     ///
     /// # Errors
     ///
     /// Same contract as [`PromptCache::serve`].
+    #[deprecated(note = "build a `ServeRequest` with `.baseline(true)` and call `PromptCache::serve`")]
     pub fn serve_baseline(&self, prompt_pml: &str, options: &ServeOptions) -> Result<Response> {
+        self.serve(
+            &ServeRequest::new(prompt_pml)
+                .options(options.clone())
+                .baseline(true),
+        )
+        .map(Served::into_response)
+    }
+
+    /// The **baseline KV-cache path** behind [`ServeRequest::baseline`]:
+    /// the prompt is rendered to plain text (modules inlined, arguments
+    /// substituted), tokenised, and prefilled from position 0 with no
+    /// reuse — the paper's comparison baseline, sharing every other stage
+    /// of the pipeline.
+    fn baseline_response(&self, prompt_pml: &str, options: &ServeOptions) -> Result<Response> {
         let prompt = parse_prompt(prompt_pml)?;
         let schemas = self.schemas.read();
         let entry = schemas

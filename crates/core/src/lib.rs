@@ -24,10 +24,14 @@
 //!     <module name="miami">Miami: beaches, surf, sun.</module>
 //!   </schema>"#).unwrap();
 //!
-//! let response = engine
-//!     .serve(r#"<prompt schema="cities"><miami/>Where should I surf?</prompt>"#, 4)
+//! use prompt_cache::ServeRequest;
+//! let served = engine
+//!     .serve(
+//!         &ServeRequest::new(r#"<prompt schema="cities"><miami/>Where should I surf?</prompt>"#)
+//!             .max_new_tokens(4),
+//!     )
 //!     .unwrap();
-//! assert!(response.stats.cached_tokens > 0);
+//! assert!(served.stats.cached_tokens > 0);
 //! ```
 
 #![warn(missing_docs)]
@@ -38,13 +42,17 @@ mod conversation;
 mod engine;
 mod error;
 mod render;
+mod request;
 mod response;
 mod scaffold;
+mod sched;
 
 pub use batch::{BatchReport, BatchSharing};
 pub use cancel::CancelToken;
 pub use conversation::{Conversation, Turn};
 pub use engine::{EngineConfig, PromptCache, ServeOptions};
+pub use request::{ServeRequest, Served};
+pub use sched::{BatchConfig, BatchScheduler};
 pub use pc_tensor::Parallelism;
 pub use pc_telemetry::Telemetry;
 pub use error::EngineError;

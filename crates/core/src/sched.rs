@@ -1,0 +1,300 @@
+//! Continuous batching: a scheduler that interleaves many in-flight
+//! serves through one batched decode step per tick.
+//!
+//! [`BatchScheduler`] admits requests at any decode step (they join the
+//! in-flight batch as soon as their prefill finishes) and retires them
+//! independently (EOS, token budget, deadline, or cancellation). Each
+//! tick of [`BatchScheduler::step`] samples one token per sequence, then
+//! runs **one** batched forward pass over all survivors
+//! ([`pc_model::Model::decode_step_batch`]), so the weight-matrix
+//! traversal is shared across the batch while every sequence keeps its
+//! own segmented [`pc_model::KvView`] over the shared module blocks.
+//!
+//! **Identity invariant.** The scheduler mirrors the solo decode loop
+//! exactly — same cancellation poll point, same sample-then-check order,
+//! same position bookkeeping — and the batched kernels are bit-identical
+//! to their solo counterparts, so a greedy serve produces byte-identical
+//! output whether it runs alone or joins a batch of any size and any
+//! membership history.
+
+use crate::engine::{Prepared, PromptCache, ServeOptions};
+use crate::response::{Response, ServeOutcome};
+use crate::Result;
+use pc_model::TokenId;
+use pc_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use std::time::Duration;
+
+/// Configuration for a [`BatchScheduler`].
+///
+/// ```
+/// use prompt_cache::BatchConfig;
+///
+/// let config = BatchConfig::default().max_batch_size(4);
+/// assert_eq!(config.max_batch_size, 4);
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct BatchConfig {
+    /// Upper bound on concurrently decoding sequences. Admission beyond
+    /// the bound is the caller's to gate (the server's batch loop stops
+    /// pulling from the queue when the batch is full).
+    pub max_batch_size: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { max_batch_size: 8 }
+    }
+}
+
+impl BatchConfig {
+    /// Sets the maximum number of concurrently decoding sequences.
+    #[must_use]
+    pub fn max_batch_size(mut self, n: usize) -> Self {
+        self.max_batch_size = n.max(1);
+        self
+    }
+}
+
+/// Pre-resolved batching telemetry handles.
+struct BatchMetrics {
+    /// Current in-flight batch size.
+    batch_size: Gauge,
+    /// Batch occupancy observed at each step.
+    occupancy: Histogram,
+    /// Tokens generated across all batched sequences.
+    tokens: Counter,
+    /// Batched decode steps executed.
+    steps: Counter,
+}
+
+impl BatchMetrics {
+    fn resolve(telemetry: &Telemetry) -> Self {
+        BatchMetrics {
+            batch_size: telemetry.gauge("pc_batch_size"),
+            occupancy: telemetry
+                .histogram("pc_batch_occupancy", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]),
+            tokens: telemetry.counter("pc_tokens_generated_total"),
+            steps: telemetry.counter("pc_batch_steps_total"),
+        }
+    }
+}
+
+/// One in-flight sequence: a prepared serve plus its decode progress.
+struct Seq {
+    id: u64,
+    p: Box<crate::engine::PendingDecode>,
+    tokens: Vec<TokenId>,
+    ttft: Duration,
+}
+
+/// A continuous-batching scheduler over one engine.
+///
+/// Drive it by alternating [`BatchScheduler::admit`] (join — any time,
+/// including mid-decode of the existing batch) and
+/// [`BatchScheduler::step`] (one token for every in-flight sequence;
+/// finished sequences leave and are returned). Single-threaded by
+/// design: the caller owns the loop, the scheduler owns the batch.
+pub struct BatchScheduler<'e> {
+    engine: &'e PromptCache,
+    config: BatchConfig,
+    seqs: Vec<Seq>,
+    /// Serves that completed during `admit` (interrupted before decode,
+    /// or zero-budget), delivered at the next `step`.
+    done: Vec<(u64, Response)>,
+    metrics: BatchMetrics,
+}
+
+impl<'e> BatchScheduler<'e> {
+    /// A scheduler over `engine`, reporting through the engine's
+    /// telemetry.
+    pub fn new(engine: &'e PromptCache, config: BatchConfig) -> Self {
+        let metrics = BatchMetrics::resolve(engine.telemetry());
+        BatchScheduler {
+            engine,
+            config,
+            seqs: Vec::new(),
+            done: Vec::new(),
+            metrics,
+        }
+    }
+
+    /// Re-resolves the batching metrics (`pc_batch_size`,
+    /// `pc_batch_occupancy`, `pc_tokens_generated_total`,
+    /// `pc_batch_steps_total`) against `telemetry` instead of the
+    /// engine's registry — the server uses this to record into its
+    /// always-on registry even when engine telemetry is disabled.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.metrics = BatchMetrics::resolve(telemetry);
+        self
+    }
+
+    /// Number of sequences currently decoding.
+    pub fn in_flight(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether the batch has room for another admission.
+    pub fn has_capacity(&self) -> bool {
+        self.seqs.len() < self.config.max_batch_size
+    }
+
+    /// Whether nothing is in flight and nothing is waiting to be
+    /// delivered.
+    pub fn is_idle(&self) -> bool {
+        self.seqs.is_empty() && self.done.is_empty()
+    }
+
+    /// Admits a request: runs the prepare half of the serve pipeline
+    /// (resolve → fetch → prefill) and joins the in-flight batch at the
+    /// current decode step. Requests that finish without decoding
+    /// (interrupted, zero token budget) are delivered by the next
+    /// [`BatchScheduler::step`].
+    ///
+    /// # Errors
+    ///
+    /// PML/resolution errors, unknown schemas, or model failures during
+    /// prefill — the request never joins the batch.
+    pub fn admit(&mut self, id: u64, prompt_pml: &str, options: &ServeOptions) -> Result<()> {
+        match self.engine.begin_serve(prompt_pml, options)? {
+            Prepared::Done(response, _view) => {
+                self.done.push((id, *response));
+            }
+            Prepared::Ready(p) => {
+                if p.max_new_tokens == 0 {
+                    // Mirror the solo loop: a zero budget produces an
+                    // empty completion without a single decode step.
+                    let (response, _view) = self.engine.finalize_serve(
+                        *p,
+                        Vec::new(),
+                        Duration::ZERO,
+                        Duration::ZERO,
+                        ServeOutcome::Complete,
+                    );
+                    self.done.push((id, response));
+                } else {
+                    self.seqs.push(Seq {
+                        id,
+                        p,
+                        tokens: Vec::new(),
+                        ttft: Duration::ZERO,
+                    });
+                }
+            }
+        }
+        self.metrics.batch_size.set(self.seqs.len() as i64);
+        Ok(())
+    }
+
+    /// One scheduler tick: sample a token for every in-flight sequence,
+    /// retire the finished ones (EOS / budget / interruption), and run a
+    /// single batched forward pass over the survivors. Returns every
+    /// serve that completed this tick (including those finished at
+    /// admission), in no particular order.
+    pub fn step(&mut self) -> Vec<(u64, Result<Response>)> {
+        let mut out: Vec<(u64, Result<Response>)> = self
+            .done
+            .drain(..)
+            .map(|(id, response)| (id, Ok(response)))
+            .collect();
+        if self.seqs.is_empty() {
+            self.metrics.batch_size.set(0);
+            return out;
+        }
+        self.metrics.occupancy.observe(self.seqs.len() as f64);
+        self.metrics.steps.inc();
+
+        // Phase A — per-sequence sampling, mirroring the solo decode
+        // loop: poll interruption, sample, record TTFT on the first
+        // token, retire on EOS or budget exhaustion.
+        let seqs = std::mem::take(&mut self.seqs);
+        let mut still: Vec<Seq> = Vec::with_capacity(seqs.len());
+        for mut seq in seqs {
+            if let Some(outcome) = seq.p.cancel.interruption() {
+                out.push(self.finish(seq, outcome));
+                continue;
+            }
+            let token = seq.p.sampler.sample(&seq.p.logits);
+            seq.tokens.push(token);
+            if seq.tokens.len() == 1 {
+                seq.ttft = seq.p.started.elapsed();
+            }
+            self.metrics.tokens.inc();
+            if token == seq.p.eos || seq.tokens.len() == seq.p.max_new_tokens {
+                out.push(self.finish(seq, ServeOutcome::Complete));
+            } else {
+                still.push(seq);
+            }
+        }
+
+        // Phase B — one batched forward pass over every survivor: each
+        // sequence contributes its last sampled token at its own next
+        // position, against its own segmented cache view.
+        if !still.is_empty() {
+            let tokens: Vec<TokenId> = still.iter().map(|s| *s.tokens.last().expect("sampled")).collect();
+            let positions: Vec<usize> = still.iter().map(|s| s.p.next_pos).collect();
+            let batch = {
+                let mut views: Vec<&mut pc_model::KvView> =
+                    still.iter_mut().map(|s| &mut s.p.view).collect();
+                self.engine
+                    .model()
+                    .decode_step_batch(&tokens, &positions, &mut views)
+            };
+            match batch {
+                Ok(rows) => {
+                    for (seq, row) in still.iter_mut().zip(rows) {
+                        seq.p.logits = row;
+                        seq.p.next_pos += 1;
+                    }
+                    self.seqs = still;
+                }
+                Err(_) => {
+                    // A malformed member would poison the whole batched
+                    // step; fall back to per-sequence solo passes so the
+                    // failure is attributed to the sequence that caused
+                    // it and the rest of the batch survives.
+                    for (i, mut seq) in still.into_iter().enumerate() {
+                        match self.engine.model().prefill(
+                            &tokens[i..=i],
+                            &positions[i..=i],
+                            &mut seq.p.view,
+                        ) {
+                            Ok(logits) => {
+                                seq.p.logits = logits;
+                                seq.p.next_pos += 1;
+                                self.seqs.push(seq);
+                            }
+                            Err(e) => out.push((seq.id, Err(e.into()))),
+                        }
+                    }
+                }
+            }
+        }
+        self.metrics.batch_size.set(self.seqs.len() as i64);
+        out
+    }
+
+    /// Retires one sequence through the shared finalize half of the
+    /// serve pipeline.
+    fn finish(&self, seq: Seq, outcome: ServeOutcome) -> (u64, Result<Response>) {
+        let Seq { id, p, tokens, ttft } = seq;
+        let decode = if tokens.is_empty() {
+            Duration::ZERO
+        } else {
+            p.started.elapsed().saturating_sub(ttft)
+        };
+        let (response, _view) = self.engine.finalize_serve(*p, tokens, ttft, decode, outcome);
+        (id, Ok(response))
+    }
+}
+
+impl std::fmt::Debug for BatchScheduler<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchScheduler")
+            .field("max_batch_size", &self.config.max_batch_size)
+            .field("in_flight", &self.seqs.len())
+            .field("pending_done", &self.done.len())
+            .finish()
+    }
+}

@@ -1,0 +1,299 @@
+//! Continuous-batching identity guarantees: a greedy serve produces
+//! **byte-identical** output whether it runs alone through
+//! [`PromptCache::serve`] or joins an in-flight batch of any size and
+//! any membership history — mixed cache states, staggered joins,
+//! cancellations, deadlines, and seeded temperature sampling included.
+
+use prompt_cache::{
+    BatchConfig, BatchScheduler, CancelToken, EngineConfig, PromptCache, Response, ServeOptions,
+    ServeOutcome, ServeRequest, Served, Telemetry,
+};
+use pc_model::{Model, ModelConfig};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use std::time::Duration;
+
+const CORPUS: &str = "the miami coast has warm beaches surf and sun all year \
+    tokyo offers temples gardens and remarkable food in every district \
+    plan a detailed trip of days for a traveler who loves the water \
+    you are a helpful travel assistant highlight surf spots please \
+    answer the following question about documents provided above \
+    what should i pack for the journey tell me more about it";
+
+const SCHEMA: &str = r#"
+  <schema name="trip">
+    you are a helpful travel assistant
+    <module name="plan">plan a detailed trip of <param name="duration" len="3"/></module>
+    <union>
+      <module name="miami">the miami coast has warm beaches surf and sun</module>
+      <module name="tokyo">tokyo offers temples gardens and remarkable food</module>
+    </union>
+  </schema>"#;
+
+/// Prompts with distinct cache states: fully cached (module only),
+/// partially cached (module + novel suffix), parameterised, and fully
+/// uncached (no module import at all).
+const PROMPTS: [&str; 7] = [
+    r#"<prompt schema="trip"><miami/>highlight surf spots please</prompt>"#,
+    r#"<prompt schema="trip"><tokyo/>what should i pack</prompt>"#,
+    r#"<prompt schema="trip"><plan duration="days for traveler"/><miami/>tell me more</prompt>"#,
+    r#"<prompt schema="trip"><miami/></prompt>"#,
+    r#"<prompt schema="trip">answer the following question</prompt>"#,
+    r#"<prompt schema="trip"><plan duration="days"/><tokyo/>plan a trip</prompt>"#,
+    r#"<prompt schema="trip"><plan duration="days"/>tell me more about it</prompt>"#,
+];
+
+fn engine() -> PromptCache {
+    let tokenizer = WordTokenizer::train(&[CORPUS]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_tiny(vocab), 42),
+        tokenizer,
+        EngineConfig::default(),
+    );
+    engine.register_schema(SCHEMA).unwrap();
+    engine
+}
+
+fn solo(engine: &PromptCache, prompt: &str, options: &ServeOptions) -> Response {
+    engine
+        .serve(&ServeRequest::new(prompt).options(options.clone()))
+        .map(Served::into_response)
+        .unwrap()
+}
+
+/// Drives the scheduler until every admitted sequence retires.
+fn drain(sched: &mut BatchScheduler<'_>) -> Vec<(u64, Response)> {
+    let mut out = Vec::new();
+    while !sched.is_idle() {
+        for (id, result) in sched.step() {
+            out.push((id, result.unwrap()));
+        }
+    }
+    out.sort_by_key(|(id, _)| *id);
+    out
+}
+
+#[test]
+fn batches_of_every_size_match_solo_byte_for_byte() {
+    let engine = engine();
+    let options = ServeOptions::default().max_new_tokens(8);
+    let references: Vec<Response> = PROMPTS.iter().map(|p| solo(&engine, p, &options)).collect();
+    for batch_size in [1usize, 2, 4, 7] {
+        let mut sched =
+            BatchScheduler::new(&engine, BatchConfig::default().max_batch_size(batch_size));
+        for (i, prompt) in PROMPTS.iter().take(batch_size).enumerate() {
+            sched.admit(i as u64, prompt, &options).unwrap();
+        }
+        assert_eq!(sched.in_flight(), batch_size);
+        let results = drain(&mut sched);
+        assert_eq!(results.len(), batch_size);
+        for (id, response) in results {
+            let reference = &references[id as usize];
+            assert_eq!(response.tokens, reference.tokens, "batch={batch_size} id={id}");
+            assert_eq!(response.text, reference.text, "batch={batch_size} id={id}");
+            assert_eq!(response.outcome, ServeOutcome::Complete);
+            // Cache accounting is per-sequence, unchanged by batching.
+            assert_eq!(response.stats.cached_tokens, reference.stats.cached_tokens);
+            assert_eq!(response.stats.bytes_reused, reference.stats.bytes_reused);
+        }
+    }
+}
+
+#[test]
+fn staggered_joins_and_leaves_preserve_identity() {
+    let engine = engine();
+    // Different budgets force sequences to leave at different steps
+    // while others keep decoding.
+    let budgets = [3usize, 9, 5, 12, 7];
+    let references: Vec<Response> = PROMPTS
+        .iter()
+        .zip(budgets)
+        .map(|(p, n)| solo(&engine, p, &ServeOptions::default().max_new_tokens(n)))
+        .collect();
+
+    let mut sched = BatchScheduler::new(&engine, BatchConfig::default().max_batch_size(8));
+    let mut results = Vec::new();
+    // Two join immediately; the rest join one by one mid-decode of the
+    // existing batch.
+    sched
+        .admit(0, PROMPTS[0], &ServeOptions::default().max_new_tokens(budgets[0]))
+        .unwrap();
+    sched
+        .admit(1, PROMPTS[1], &ServeOptions::default().max_new_tokens(budgets[1]))
+        .unwrap();
+    for late in 2..budgets.len() {
+        for (id, result) in sched.step() {
+            results.push((id, result.unwrap()));
+        }
+        sched
+            .admit(
+                late as u64,
+                PROMPTS[late],
+                &ServeOptions::default().max_new_tokens(budgets[late]),
+            )
+            .unwrap();
+    }
+    results.extend(drain(&mut sched));
+    results.sort_by_key(|(id, _)| *id);
+
+    assert_eq!(results.len(), budgets.len());
+    for (id, response) in results {
+        let reference = &references[id as usize];
+        assert_eq!(response.tokens, reference.tokens, "id={id}");
+        assert_eq!(response.tokens.len(), budgets[id as usize].min(reference.tokens.len()));
+    }
+}
+
+#[test]
+fn cancel_mid_batch_returns_prefix_and_spares_the_rest() {
+    let engine = engine();
+    let options = ServeOptions::default().max_new_tokens(10);
+    let references: Vec<Response> = PROMPTS
+        .iter()
+        .take(4)
+        .map(|p| solo(&engine, p, &options))
+        .collect();
+
+    let token = CancelToken::new();
+    let mut sched = BatchScheduler::new(&engine, BatchConfig::default().max_batch_size(4));
+    for (i, prompt) in PROMPTS.iter().take(4).enumerate() {
+        let mut opts = options.clone();
+        if i == 2 {
+            opts = opts.cancel(token.clone());
+        }
+        sched.admit(i as u64, prompt, &opts).unwrap();
+    }
+    // Three decode ticks, then fire the cancel: sequence 2 retires with
+    // a 3-token prefix while the other three run to completion.
+    let mut results = Vec::new();
+    for _ in 0..3 {
+        for (id, result) in sched.step() {
+            results.push((id, result.unwrap()));
+        }
+    }
+    token.cancel();
+    results.extend(drain(&mut sched));
+    results.sort_by_key(|(id, _)| *id);
+
+    for (id, response) in results {
+        let reference = &references[id as usize];
+        if id == 2 {
+            assert_eq!(response.outcome, ServeOutcome::Cancelled);
+            assert_eq!(response.tokens.len(), 3, "one step of abort latency, no more");
+            assert_eq!(response.tokens[..], reference.tokens[..3], "partial is a prefix");
+        } else {
+            assert_eq!(response.outcome, ServeOutcome::Complete);
+            assert_eq!(response.tokens, reference.tokens, "survivor id={id} perturbed");
+        }
+    }
+}
+
+#[test]
+fn expired_deadline_leaves_the_batch_without_decoding() {
+    let engine = engine();
+    let mut sched = BatchScheduler::new(&engine, BatchConfig::default().max_batch_size(4));
+    let healthy = ServeOptions::default().max_new_tokens(4);
+    let dead = ServeOptions::default().max_new_tokens(4).deadline(Duration::ZERO);
+    sched.admit(0, PROMPTS[0], &healthy).unwrap();
+    sched.admit(1, PROMPTS[1], &dead).unwrap();
+    let results = drain(&mut sched);
+    let reference = solo(&engine, PROMPTS[0], &healthy);
+    for (id, response) in results {
+        match id {
+            0 => {
+                assert_eq!(response.outcome, ServeOutcome::Complete);
+                assert_eq!(response.tokens, reference.tokens);
+            }
+            1 => {
+                assert_eq!(response.outcome, ServeOutcome::DeadlineExceeded);
+                assert!(response.tokens.is_empty());
+                // The TTFT invariant survives the early exit.
+                assert_eq!(response.breakdown.total(), response.timings.ttft);
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[test]
+fn seeded_temperature_sampling_is_deterministic_in_a_batch() {
+    let engine = engine();
+    let options = ServeOptions::default().max_new_tokens(8).temperature(0.7, 123);
+    let references: Vec<Response> = PROMPTS
+        .iter()
+        .take(3)
+        .map(|p| solo(&engine, p, &options))
+        .collect();
+    let mut sched = BatchScheduler::new(&engine, BatchConfig::default().max_batch_size(3));
+    for (i, prompt) in PROMPTS.iter().take(3).enumerate() {
+        sched.admit(i as u64, prompt, &options).unwrap();
+    }
+    for (id, response) in drain(&mut sched) {
+        assert_eq!(response.tokens, references[id as usize].tokens, "id={id}");
+    }
+}
+
+#[test]
+fn zero_budget_and_admission_errors_resolve_without_decoding() {
+    let engine = engine();
+    let mut sched = BatchScheduler::new(&engine, BatchConfig::default().max_batch_size(4));
+    sched
+        .admit(0, PROMPTS[0], &ServeOptions::default().max_new_tokens(0))
+        .unwrap();
+    assert_eq!(sched.in_flight(), 0, "zero budget never joins the batch");
+    assert!(!sched.is_idle(), "completion is pending delivery");
+    let results = sched.step();
+    assert_eq!(results.len(), 1);
+    let response = results.into_iter().next().unwrap().1.unwrap();
+    assert!(response.tokens.is_empty());
+    assert_eq!(response.outcome, ServeOutcome::Complete);
+
+    // Unknown schema: the admission itself fails, the batch is untouched.
+    let err = sched.admit(1, r#"<prompt schema="ghost">x</prompt>"#, &ServeOptions::default());
+    assert!(err.is_err());
+    assert!(sched.is_idle());
+}
+
+#[test]
+fn batch_telemetry_records_occupancy_and_tokens() {
+    let telemetry = Telemetry::new();
+    let tokenizer = WordTokenizer::train(&[CORPUS]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_tiny(vocab), 42),
+        tokenizer,
+        EngineConfig::default().telemetry(telemetry.clone()),
+    );
+    engine.register_schema(SCHEMA).unwrap();
+
+    let options = ServeOptions::default().max_new_tokens(4);
+    let mut sched = BatchScheduler::new(&engine, BatchConfig::default().max_batch_size(2));
+    sched.admit(0, PROMPTS[0], &options).unwrap();
+    sched.admit(1, PROMPTS[1], &options).unwrap();
+    let results = drain(&mut sched);
+    let produced: u64 = results.iter().map(|(_, r)| r.tokens.len() as u64).sum();
+
+    let snap = telemetry.snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("pc_tokens_generated_total"), produced);
+    assert!(counter("pc_batch_steps_total") > 0);
+    let occupancy = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "pc_batch_occupancy")
+        .expect("occupancy histogram registered");
+    assert_eq!(occupancy.count, counter("pc_batch_steps_total"));
+    let gauge = snap
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "pc_batch_size")
+        .map(|(_, v)| *v)
+        .unwrap();
+    assert_eq!(gauge, 0, "batch drained, gauge back to zero");
+}

@@ -26,10 +26,7 @@ fn engine() -> PromptCache {
 }
 
 fn opts(n: usize) -> ServeOptions {
-    ServeOptions {
-        max_new_tokens: n,
-        ..Default::default()
-    }
+    ServeOptions::default().max_new_tokens(n)
 }
 
 #[test]

@@ -1,0 +1,88 @@
+//! The deprecated `serve_*` shims must keep compiling and keep
+//! producing exactly what the unified [`PromptCache::serve`] produces —
+//! this file is the compile-and-equivalence gate for the migration
+//! window.
+
+#![allow(deprecated)]
+
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions, ServeRequest, Served};
+use pc_model::{KvSeq, Model, ModelConfig};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+
+const CORPUS: &str = "alpha beta gamma delta epsilon zeta eta theta answer the question now";
+const SCHEMA: &str =
+    r#"<schema name="r"><module name="ctx">alpha beta gamma delta epsilon zeta eta theta</module></schema>"#;
+const PROMPT: &str = r#"<prompt schema="r"><ctx/>answer the question now</prompt>"#;
+
+fn engine() -> PromptCache {
+    let tokenizer = WordTokenizer::train(&[CORPUS]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_tiny(vocab), 13),
+        tokenizer,
+        EngineConfig::default(),
+    );
+    engine.register_schema(SCHEMA).unwrap();
+    engine
+}
+
+#[test]
+fn serve_with_matches_serve() {
+    let engine = engine();
+    let options = ServeOptions::default().max_new_tokens(6);
+    let old = engine.serve_with(PROMPT, &options).unwrap();
+    let new = engine
+        .serve(&ServeRequest::new(PROMPT).options(options.clone()))
+        .map(Served::into_response)
+        .unwrap();
+    assert_eq!(old.tokens, new.tokens);
+    assert_eq!(old.text, new.text);
+}
+
+#[test]
+fn serve_streaming_matches_streaming_request() {
+    let engine = engine();
+    let options = ServeOptions::default().max_new_tokens(6);
+    let mut old_stream = Vec::new();
+    let old = engine
+        .serve_streaming(PROMPT, &options, &mut |t, n| old_stream.push((t, n)))
+        .unwrap();
+    let new_stream = std::cell::RefCell::new(Vec::new());
+    let sink = |t, n| new_stream.borrow_mut().push((t, n));
+    let new = engine
+        .serve(&ServeRequest::new(PROMPT).options(options.clone()).streaming(&sink))
+        .map(Served::into_response)
+        .unwrap();
+    assert_eq!(old.tokens, new.tokens);
+    assert_eq!(old_stream, new_stream.into_inner());
+}
+
+#[test]
+fn serve_session_matches_session_request() {
+    let engine = engine();
+    let options = ServeOptions::default().max_new_tokens(4);
+    let (old, old_view) = engine
+        .serve_session(PROMPT, &options, &mut |_, _| {})
+        .unwrap();
+    let served = engine
+        .serve(&ServeRequest::new(PROMPT).options(options.clone()).session(true))
+        .unwrap();
+    let new_view = served.session.expect("session requested");
+    assert_eq!(old.tokens, served.response.tokens);
+    assert_eq!(old_view.len(), new_view.len());
+    assert_eq!(old_view.materialize(), new_view.materialize());
+}
+
+#[test]
+fn serve_baseline_matches_baseline_request() {
+    let engine = engine();
+    let options = ServeOptions::default().max_new_tokens(6);
+    let old = engine.serve_baseline(PROMPT, &options).unwrap();
+    let new = engine
+        .serve(&ServeRequest::new(PROMPT).options(options.clone()).baseline(true))
+        .map(Served::into_response)
+        .unwrap();
+    assert_eq!(old.tokens, new.tokens);
+    assert_eq!(old.stats.cached_tokens, 0);
+    assert_eq!(new.stats.cached_tokens, 0);
+}

@@ -10,6 +10,7 @@
 use pc_model::{Family, Model, ModelConfig};
 use pc_tokenizer::WordTokenizer;
 use prompt_cache::{EngineConfig, EngineError, PromptCache, ServeOptions};
+use prompt_cache::{ServeRequest, Served};
 
 const CORPUS: &str = "the miami coast has warm beaches surf and sun all year \
     tokyo offers temples gardens and remarkable food in every district \
@@ -54,12 +55,9 @@ fn single_module_cached_equals_baseline_exactly() {
         let engine = engine(family);
         engine.register_schema(SINGLE_MODULE).unwrap();
         let prompt = r#"<prompt schema="doc"><beach/>highlight surf spots please</prompt>"#;
-        let opts = ServeOptions {
-            max_new_tokens: 8,
-            ..Default::default()
-        };
-        let cached = engine.serve_with(prompt, &opts).unwrap();
-        let baseline = engine.serve_baseline(prompt, &opts).unwrap();
+        let opts = ServeOptions::default().max_new_tokens(8);
+        let cached = engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).unwrap();
+        let baseline = engine.serve(&ServeRequest::new(prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap();
         assert_eq!(
             cached.tokens, baseline.tokens,
             "family {family:?}: cached {:?} vs baseline {:?}",
@@ -75,10 +73,7 @@ fn serve_reports_cache_split() {
     let engine = engine(Family::Llama);
     engine.register_schema(SINGLE_MODULE).unwrap();
     let r = engine
-        .serve(
-            r#"<prompt schema="doc"><beach/>highlight surf spots please</prompt>"#,
-            4,
-        )
+        .serve(&ServeRequest::new(r#"<prompt schema="doc"><beach/>highlight surf spots please</prompt>"#).max_new_tokens(4)).map(Served::into_response)
         .unwrap();
     assert_eq!(r.stats.cached_tokens, 11); // module tokens
     assert_eq!(r.stats.new_tokens, 4);
@@ -101,12 +96,9 @@ fn parameters_substitute_and_match_baseline_when_full_width() {
         .unwrap();
     let prompt =
         r#"<prompt schema="p"><plan duration="days for traveler"/>highlight surf spots</prompt>"#;
-    let opts = ServeOptions {
-        max_new_tokens: 6,
-        ..Default::default()
-    };
-    let cached = engine.serve_with(prompt, &opts).unwrap();
-    let baseline = engine.serve_baseline(prompt, &opts).unwrap();
+    let opts = ServeOptions::default().max_new_tokens(6);
+    let cached = engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).unwrap();
+    let baseline = engine.serve(&ServeRequest::new(prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap();
     assert_eq!(cached.tokens, baseline.tokens);
     // 5 module text tokens cached; 3 argument + 3 text computed.
     assert_eq!(cached.stats.cached_tokens, 5);
@@ -118,10 +110,7 @@ fn short_arguments_leave_trailing_gap() {
     let engine = engine(Family::Llama);
     engine.register_schema(MULTI_MODULE).unwrap();
     let r = engine
-        .serve(
-            r#"<prompt schema="trip"><plan duration="days"/><miami/>highlight surf spots</prompt>"#,
-            4,
-        )
+        .serve(&ServeRequest::new(r#"<prompt schema="trip"><plan duration="days"/><miami/>highlight surf spots</prompt>"#).max_new_tokens(4)).map(Served::into_response)
         .unwrap();
     // plan text (5) + miami (8) + anonymous (6) cached; 1 arg + 3 text new.
     assert_eq!(r.stats.new_tokens, 4);
@@ -132,29 +121,17 @@ fn short_arguments_leave_trailing_gap() {
 fn union_members_are_mutually_exclusive_but_both_usable() {
     let engine = engine(Family::Llama);
     engine.register_schema(MULTI_MODULE).unwrap();
-    let opts = ServeOptions {
-        max_new_tokens: 4,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(4);
     let miami = engine
-        .serve_with(
-            r#"<prompt schema="trip"><miami/>highlight surf spots</prompt>"#,
-            &opts,
-        )
+        .serve(&ServeRequest::new(r#"<prompt schema="trip"><miami/>highlight surf spots</prompt>"#).options(opts.clone())).map(Served::into_response)
         .unwrap();
     let tokyo = engine
-        .serve_with(
-            r#"<prompt schema="trip"><tokyo/>highlight surf spots</prompt>"#,
-            &opts,
-        )
+        .serve(&ServeRequest::new(r#"<prompt schema="trip"><tokyo/>highlight surf spots</prompt>"#).options(opts.clone())).map(Served::into_response)
         .unwrap();
     // Different selected context should generally steer generation apart —
     // at minimum both must serve from cache successfully.
     assert!(miami.stats.cached_tokens > 0 && tokyo.stats.cached_tokens > 0);
-    let both = engine.serve_with(
-        r#"<prompt schema="trip"><miami/><tokyo/>x</prompt>"#,
-        &opts,
-    );
+    let both = engine.serve(&ServeRequest::new(r#"<prompt schema="trip"><miami/><tokyo/>x</prompt>"#).options(opts.clone())).map(Served::into_response);
     assert!(matches!(
         both,
         Err(EngineError::Pml(pc_pml::PmlError::UnionConflict { .. }))
@@ -171,30 +148,21 @@ fn scaffold_restores_baseline_equivalence() {
         <module name="b">tokyo offers temples gardens and remarkable food</module>
       </schema>"#;
     let prompt = r#"<prompt schema="two"><a/><b/>answer the following question</prompt>"#;
-    let opts = ServeOptions {
-        max_new_tokens: 8,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(8);
 
     let engine = engine(Family::Llama);
     engine.register_schema(schema).unwrap();
     engine.add_scaffold("two", &["a", "b"]).unwrap();
 
-    let scaffolded = engine.serve_with(prompt, &opts).unwrap();
+    let scaffolded = engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).unwrap();
     assert!(scaffolded.stats.used_scaffold);
-    let baseline = engine.serve_baseline(prompt, &opts).unwrap();
+    let baseline = engine.serve(&ServeRequest::new(prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap();
     assert_eq!(scaffolded.tokens, baseline.tokens);
 
     // Without scaffolds, the masking approximation is in play (states are
     // genuinely different even if greedy tokens may coincide).
     let masked = engine
-        .serve_with(
-            prompt,
-            &ServeOptions {
-                use_scaffolds: false,
-                ..opts
-            },
-        )
+        .serve(&ServeRequest::new(prompt).options(opts.clone().use_scaffolds(false).clone())).map(Served::into_response)
         .unwrap();
     assert!(!masked.stats.used_scaffold);
 }
@@ -222,7 +190,7 @@ fn module_only_prompt_still_generates() {
     let engine = engine(Family::Llama);
     engine.register_schema(SINGLE_MODULE).unwrap();
     let r = engine
-        .serve(r#"<prompt schema="doc"><beach/></prompt>"#, 4)
+        .serve(&ServeRequest::new(r#"<prompt schema="doc"><beach/></prompt>"#).max_new_tokens(4)).map(Served::into_response)
         .unwrap();
     assert_eq!(r.tokens.len(), 4);
     // The re-derived final token costs one row of cache reuse.
@@ -235,12 +203,9 @@ fn module_only_prompt_matches_baseline() {
     let engine = engine(Family::Llama);
     engine.register_schema(SINGLE_MODULE).unwrap();
     let prompt = r#"<prompt schema="doc"><beach/></prompt>"#;
-    let opts = ServeOptions {
-        max_new_tokens: 6,
-        ..Default::default()
-    };
-    let cached = engine.serve_with(prompt, &opts).unwrap();
-    let baseline = engine.serve_baseline(prompt, &opts).unwrap();
+    let opts = ServeOptions::default().max_new_tokens(6);
+    let cached = engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).unwrap();
+    let baseline = engine.serve(&ServeRequest::new(prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap();
     assert_eq!(cached.tokens, baseline.tokens);
 }
 
@@ -248,7 +213,7 @@ fn module_only_prompt_matches_baseline() {
 fn unknown_schema_and_duplicate_registration() {
     let engine = engine(Family::Llama);
     assert!(matches!(
-        engine.serve(r#"<prompt schema="ghost">x</prompt>"#, 1),
+        engine.serve(&ServeRequest::new(r#"<prompt schema="ghost">x</prompt>"#).max_new_tokens(1)).map(Served::into_response),
         Err(EngineError::UnknownSchema { .. })
     ));
     engine.register_schema(SINGLE_MODULE).unwrap();
@@ -267,7 +232,7 @@ fn empty_prompt_rejected() {
         .register_schema(r#"<schema name="empty"><module name="m"></module></schema>"#)
         .unwrap();
     assert!(matches!(
-        engine.serve(r#"<prompt schema="empty"></prompt>"#, 1),
+        engine.serve(&ServeRequest::new(r#"<prompt schema="empty"></prompt>"#).max_new_tokens(1)).map(Served::into_response),
         Err(EngineError::EmptyPrompt)
     ));
 }
@@ -277,8 +242,8 @@ fn decode_is_deterministic_across_serves() {
     let engine = engine(Family::Llama);
     engine.register_schema(SINGLE_MODULE).unwrap();
     let prompt = r#"<prompt schema="doc"><beach/>highlight surf spots</prompt>"#;
-    let a = engine.serve(prompt, 8).unwrap();
-    let b = engine.serve(prompt, 8).unwrap();
+    let a = engine.serve(&ServeRequest::new(prompt).max_new_tokens(8)).map(Served::into_response).unwrap();
+    let b = engine.serve(&ServeRequest::new(prompt).max_new_tokens(8)).map(Served::into_response).unwrap();
     assert_eq!(a.tokens, b.tokens);
 }
 
@@ -287,13 +252,9 @@ fn temperature_sampling_is_seeded() {
     let engine = engine(Family::Llama);
     engine.register_schema(SINGLE_MODULE).unwrap();
     let prompt = r#"<prompt schema="doc"><beach/>highlight surf spots</prompt>"#;
-    let opts = |seed| ServeOptions {
-        max_new_tokens: 8,
-        temperature: Some((0.8, seed)),
-        ..Default::default()
-    };
-    let a = engine.serve_with(prompt, &opts(7)).unwrap();
-    let b = engine.serve_with(prompt, &opts(7)).unwrap();
+    let opts = |seed| ServeOptions::default().max_new_tokens(8).temperature(0.8, seed);
+    let a = engine.serve(&ServeRequest::new(prompt).options(opts(7).clone())).map(Served::into_response).unwrap();
+    let b = engine.serve(&ServeRequest::new(prompt).options(opts(7).clone())).map(Served::into_response).unwrap();
     assert_eq!(a.tokens, b.tokens);
 }
 
@@ -307,10 +268,7 @@ fn batch_sharing_accounts_shared_modules() {
         r#"<prompt schema="doc"><beach/>plan a trip</prompt>"#,
     ];
     let report = engine
-        .serve_batch(&prompts, &ServeOptions {
-            max_new_tokens: 2,
-            ..Default::default()
-        })
+        .serve_batch(&prompts, &ServeOptions::default().max_new_tokens(2))
         .unwrap();
     assert_eq!(report.responses.len(), 3);
     // The 11-token module is held once instead of three times.
@@ -328,14 +286,11 @@ fn ttft_improves_over_baseline_for_long_modules() {
     let engine = PromptCache::new(model, tokenizer, EngineConfig::default());
     engine.register_schema(&schema).unwrap();
     let prompt = r#"<prompt schema="big"><doc/>what is the answer</prompt>"#;
-    let opts = ServeOptions {
-        max_new_tokens: 1,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(1);
     // Warm up once, then compare.
-    engine.serve_with(prompt, &opts).unwrap();
-    let cached = engine.serve_with(prompt, &opts).unwrap();
-    let baseline = engine.serve_baseline(prompt, &opts).unwrap();
+    engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).unwrap();
+    let cached = engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).unwrap();
+    let baseline = engine.serve(&ServeRequest::new(prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap();
     assert!(
         cached.timings.ttft < baseline.timings.ttft,
         "cached {:?} >= baseline {:?}",
@@ -350,7 +305,7 @@ fn store_stats_reflect_serving() {
     engine.register_schema(SINGLE_MODULE).unwrap();
     let before = engine.store_stats();
     engine
-        .serve(r#"<prompt schema="doc"><beach/>question</prompt>"#, 1)
+        .serve(&ServeRequest::new(r#"<prompt schema="doc"><beach/>question</prompt>"#).max_new_tokens(1)).map(Served::into_response)
         .unwrap();
     let after = engine.store_stats();
     assert!(after.hits > before.hits);
@@ -367,7 +322,7 @@ fn prompt_program_schema_serves() {
     let engine = engine(Family::Llama);
     engine.register_schema_ast(&schema).unwrap();
     let r = engine
-        .serve(r#"<prompt schema="prog"><surf/>plan a trip</prompt>"#, 3)
+        .serve(&ServeRequest::new(r#"<prompt schema="prog"><surf/>plan a trip</prompt>"#).max_new_tokens(3)).map(Served::into_response)
         .unwrap();
     assert!(r.stats.cached_tokens > 0);
 }
@@ -396,10 +351,7 @@ fn bpe_tokenizer_serves_with_documented_boundary_caveat() {
         ))
         .unwrap();
     let r = engine
-        .serve(
-            &format!(r#"<prompt schema="bpe"><m/>{question}</prompt>"#),
-            4,
-        )
+        .serve(&ServeRequest::new(&format!(r#"<prompt schema="bpe"><m/>{question}</prompt>"#)).max_new_tokens(4)).map(Served::into_response)
         .unwrap();
     assert_eq!(r.stats.cached_tokens, module_tokens);
     assert_eq!(r.stats.new_tokens, question_tokens);
@@ -407,13 +359,7 @@ fn bpe_tokenizer_serves_with_documented_boundary_caveat() {
     // Baseline path also serves; token streams may differ only through
     // the boundary-whitespace encoding, never through reuse itself.
     let baseline = engine
-        .serve_baseline(
-            &format!(r#"<prompt schema="bpe"><m/>{question}</prompt>"#),
-            &ServeOptions {
-                max_new_tokens: 4,
-                ..Default::default()
-            },
-        )
+        .serve(&ServeRequest::new(&format!(r#"<prompt schema="bpe"><m/>{question}</prompt>"#)).options(ServeOptions::default().max_new_tokens(4)).baseline(true)).map(Served::into_response)
         .unwrap();
     assert_eq!(baseline.tokens.len(), 4);
 }

@@ -5,6 +5,7 @@ use pc_cache::{EvictionPolicy, StoreConfig, Tier};
 use pc_model::{Model, ModelConfig};
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+use prompt_cache::{ServeRequest, Served};
 
 const CORPUS: &str = "alpha beta gamma delta epsilon zeta eta theta iota kappa \
     lambda mu nu xi omicron pi rho sigma tau upsilon answer the question now";
@@ -28,23 +29,22 @@ const UNION_SCHEMA: &str = r#"
 fn streaming_tokens_match_response() {
     let engine = engine_with(EngineConfig::default());
     engine.register_schema(UNION_SCHEMA).unwrap();
-    let mut streamed = Vec::new();
-    let mut counts = Vec::new();
+    let streamed = std::cell::RefCell::new(Vec::new());
+    let counts = std::cell::RefCell::new(Vec::new());
+    let sink = |tok, n| {
+        streamed.borrow_mut().push(tok);
+        counts.borrow_mut().push(n);
+    };
     let r = engine
-        .serve_streaming(
-            r#"<prompt schema="u"><a/>answer the question now</prompt>"#,
-            &ServeOptions {
-                max_new_tokens: 6,
-                ..Default::default()
-            },
-            &mut |tok, n| {
-                streamed.push(tok);
-                counts.push(n);
-            },
+        .serve(
+            &ServeRequest::new(r#"<prompt schema="u"><a/>answer the question now</prompt>"#)
+                .max_new_tokens(6)
+                .streaming(&sink),
         )
+        .map(Served::into_response)
         .unwrap();
-    assert_eq!(streamed, r.tokens);
-    assert_eq!(counts, (1..=r.tokens.len()).collect::<Vec<_>>());
+    assert_eq!(streamed.into_inner(), r.tokens);
+    assert_eq!(counts.into_inner(), (1..=r.tokens.len()).collect::<Vec<_>>());
 }
 
 #[test]
@@ -52,42 +52,33 @@ fn streaming_baseline_equivalence_preserved() {
     let engine = engine_with(EngineConfig::default());
     engine.register_schema(UNION_SCHEMA).unwrap();
     let prompt = r#"<prompt schema="u"><b/>answer the question now</prompt>"#;
-    let opts = ServeOptions {
-        max_new_tokens: 6,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(6);
+    let sink = |_, _| {};
     let streamed = engine
-        .serve_streaming(prompt, &opts, &mut |_, _| {})
+        .serve(
+            &ServeRequest::new(prompt)
+                .options(opts.clone())
+                .streaming(&sink),
+        )
+        .map(Served::into_response)
         .unwrap();
-    let plain = engine.serve_with(prompt, &opts).unwrap();
+    let plain = engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).unwrap();
     assert_eq!(streamed.tokens, plain.tokens);
 }
 
 #[test]
 fn union_sibling_prefetch_warms_device_tier() {
-    let engine = engine_with(EngineConfig {
-        store: StoreConfig {
-            device_capacity_bytes: 1 << 22,
-            policy: EvictionPolicy::Lru,
-            ..Default::default()
-        },
-        tier: Some(Tier::Device),
-        prefetch_union_siblings: true,
-        ..Default::default()
-    });
+    let engine = engine_with(EngineConfig::default().store(StoreConfig::default().device_capacity_bytes(1 << 22).policy(EvictionPolicy::Lru)).tier(Tier::Device).prefetch_union_siblings(true));
     engine.register_schema(UNION_SCHEMA).unwrap();
-    let opts = ServeOptions {
-        max_new_tokens: 1,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(1);
     // Serving member `a` should prefetch b and c.
     engine
-        .serve_with(r#"<prompt schema="u"><a/>answer</prompt>"#, &opts)
+        .serve(&ServeRequest::new(r#"<prompt schema="u"><a/>answer</prompt>"#).options(opts.clone())).map(Served::into_response)
         .unwrap();
     let copied_after_first = engine.store_stats().bytes_copied_h2d;
     // Serving member `b` now finds it resident: no further copies.
     engine
-        .serve_with(r#"<prompt schema="u"><b/>answer</prompt>"#, &opts)
+        .serve(&ServeRequest::new(r#"<prompt schema="u"><b/>answer</prompt>"#).options(opts.clone())).map(Served::into_response)
         .unwrap();
     let stats = engine.store_stats();
     assert_eq!(stats.bytes_copied_h2d, copied_after_first);
@@ -96,27 +87,15 @@ fn union_sibling_prefetch_warms_device_tier() {
 
 #[test]
 fn without_prefetch_siblings_pay_their_own_copy() {
-    let engine = engine_with(EngineConfig {
-        store: StoreConfig {
-            device_capacity_bytes: 1 << 22,
-            policy: EvictionPolicy::Lru,
-            ..Default::default()
-        },
-        tier: Some(Tier::Device),
-        prefetch_union_siblings: false,
-        ..Default::default()
-    });
+    let engine = engine_with(EngineConfig::default().store(StoreConfig::default().device_capacity_bytes(1 << 22).policy(EvictionPolicy::Lru)).tier(Tier::Device).prefetch_union_siblings(false));
     engine.register_schema(UNION_SCHEMA).unwrap();
-    let opts = ServeOptions {
-        max_new_tokens: 1,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(1);
     engine
-        .serve_with(r#"<prompt schema="u"><a/>answer</prompt>"#, &opts)
+        .serve(&ServeRequest::new(r#"<prompt schema="u"><a/>answer</prompt>"#).options(opts.clone())).map(Served::into_response)
         .unwrap();
     let after_first = engine.store_stats().bytes_copied_h2d;
     engine
-        .serve_with(r#"<prompt schema="u"><b/>answer</prompt>"#, &opts)
+        .serve(&ServeRequest::new(r#"<prompt schema="u"><b/>answer</prompt>"#).options(opts.clone())).map(Served::into_response)
         .unwrap();
     assert!(engine.store_stats().bytes_copied_h2d > after_first);
 }
@@ -135,7 +114,7 @@ fn persistence_round_trip_skips_re_encoding() {
         let saved = engine.save_modules(&dir).unwrap();
         assert_eq!(saved, 3);
         engine
-            .serve(r#"<prompt schema="u"><c/>answer the question now</prompt>"#, 6)
+            .serve(&ServeRequest::new(r#"<prompt schema="u"><c/>answer the question now</prompt>"#).max_new_tokens(6)).map(Served::into_response)
             .unwrap()
             .tokens
     };
@@ -148,7 +127,7 @@ fn persistence_round_trip_skips_re_encoding() {
     let info = engine.register_schema(UNION_SCHEMA).unwrap();
     assert_eq!(info.spans, 3, "preloaded spans counted");
     let r = engine
-        .serve(r#"<prompt schema="u"><c/>answer the question now</prompt>"#, 6)
+        .serve(&ServeRequest::new(r#"<prompt schema="u"><c/>answer the question now</prompt>"#).max_new_tokens(6)).map(Served::into_response)
         .unwrap();
     assert_eq!(r.tokens, reference);
 
@@ -181,14 +160,14 @@ fn stale_persisted_states_are_re_encoded_not_reused() {
     engine.register_schema(edited).unwrap();
     // Serving module `a` must reflect the edited 7-token content.
     let r = engine
-        .serve(r#"<prompt schema="u"><a/>answer the question now</prompt>"#, 2)
+        .serve(&ServeRequest::new(r#"<prompt schema="u"><a/>answer the question now</prompt>"#).max_new_tokens(2)).map(Served::into_response)
         .unwrap();
     assert_eq!(r.stats.cached_tokens, 7);
     // And the output must equal a fresh engine's (no stale states leaked).
     let fresh = engine_with(EngineConfig::default());
     fresh.register_schema(edited).unwrap();
     let f = fresh
-        .serve(r#"<prompt schema="u"><a/>answer the question now</prompt>"#, 2)
+        .serve(&ServeRequest::new(r#"<prompt schema="u"><a/>answer the question now</prompt>"#).max_new_tokens(2)).map(Served::into_response)
         .unwrap();
     assert_eq!(r.tokens, f.tokens);
     std::fs::remove_dir_all(&dir).unwrap();
@@ -229,7 +208,7 @@ fn concurrent_registration_and_serving_is_safe() {
     let engine = std::sync::Arc::new(engine_with(EngineConfig::default()));
     engine.register_schema(UNION_SCHEMA).unwrap();
     let reference = engine
-        .serve(r#"<prompt schema="u"><a/>answer the question now</prompt>"#, 3)
+        .serve(&ServeRequest::new(r#"<prompt schema="u"><a/>answer the question now</prompt>"#).max_new_tokens(3)).map(Served::into_response)
         .unwrap()
         .tokens;
     std::thread::scope(|s| {
@@ -239,7 +218,7 @@ fn concurrent_registration_and_serving_is_safe() {
             s.spawn(move || {
                 for _ in 0..20 {
                     let r = engine
-                        .serve(r#"<prompt schema="u"><a/>answer the question now</prompt>"#, 3)
+                        .serve(&ServeRequest::new(r#"<prompt schema="u"><a/>answer the question now</prompt>"#).max_new_tokens(3)).map(Served::into_response)
                         .unwrap();
                     assert_eq!(r.tokens, reference);
                 }
@@ -267,7 +246,7 @@ fn replace_schema_reencodes_only_changed_modules() {
     engine.register_schema(UNION_SCHEMA).unwrap();
     let bytes_before = engine.cached_bytes();
     let reference = engine
-        .serve(r#"<prompt schema="u"><b/>answer the question now</prompt>"#, 4)
+        .serve(&ServeRequest::new(r#"<prompt schema="u"><b/>answer the question now</prompt>"#).max_new_tokens(4)).map(Served::into_response)
         .unwrap()
         .tokens;
 
@@ -287,12 +266,12 @@ fn replace_schema_reencodes_only_changed_modules() {
     assert!(engine.cached_bytes() > bytes_before);
     // Unchanged module serves identically to the pre-replace engine.
     let after = engine
-        .serve(r#"<prompt schema="u"><b/>answer the question now</prompt>"#, 4)
+        .serve(&ServeRequest::new(r#"<prompt schema="u"><b/>answer the question now</prompt>"#).max_new_tokens(4)).map(Served::into_response)
         .unwrap();
     assert_eq!(after.tokens, reference);
     // The new module serves too.
     let extra = engine
-        .serve(r#"<prompt schema="u"><extra/>answer</prompt>"#, 2)
+        .serve(&ServeRequest::new(r#"<prompt schema="u"><extra/>answer</prompt>"#).max_new_tokens(2)).map(Served::into_response)
         .unwrap();
     assert_eq!(extra.stats.cached_tokens, 5);
 }
@@ -316,7 +295,7 @@ fn replace_schema_drops_stale_spans_and_scaffolds() {
         .unwrap();
     assert!(engine.cached_bytes() < bytes_with_two);
     let r = engine
-        .serve(r#"<prompt schema="r"><a/>answer</prompt>"#, 1)
+        .serve(&ServeRequest::new(r#"<prompt schema="r"><a/>answer</prompt>"#).max_new_tokens(1)).map(Served::into_response)
         .unwrap();
     assert_eq!(r.stats.cached_tokens, 3);
     assert!(!r.stats.used_scaffold);

@@ -5,6 +5,7 @@ use pc_model::{Model, ModelConfig};
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
 use proptest::prelude::*;
+use prompt_cache::{ServeRequest, Served};
 
 /// Lowercase word strategy (PML-safe, tokenizer-friendly).
 fn words(range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<String>> {
@@ -41,9 +42,9 @@ proptest! {
             ))
             .unwrap();
         let prompt = format!(r#"<prompt schema="p"><m/>{question}</prompt>"#);
-        let opts = ServeOptions { max_new_tokens: 4, ..Default::default() };
-        let cached = engine.serve_with(&prompt, &opts).unwrap();
-        let baseline = engine.serve_baseline(&prompt, &opts).unwrap();
+        let opts = ServeOptions::default().max_new_tokens(4);
+        let cached = engine.serve(&ServeRequest::new(&prompt).options(opts.clone())).map(Served::into_response).unwrap();
+        let baseline = engine.serve(&ServeRequest::new(&prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap();
         prop_assert_eq!(cached.tokens, baseline.tokens);
         prop_assert_eq!(cached.stats.cached_tokens, module_words.len());
         prop_assert_eq!(cached.stats.new_tokens, question_words.len());
@@ -71,7 +72,7 @@ proptest! {
             .unwrap();
         let imports = if import_b { "<a/><b/>" } else { "<a/>" };
         let prompt = format!(r#"<prompt schema="p">{imports}{q}</prompt>"#);
-        let r = engine.serve(&prompt, 1).unwrap();
+        let r = engine.serve(&ServeRequest::new(&prompt).max_new_tokens(1)).map(Served::into_response).unwrap();
         let expected_cached =
             module_a.len() + if import_b { module_b.len() } else { 0 };
         prop_assert_eq!(r.stats.cached_tokens, expected_cached);
@@ -99,7 +100,7 @@ proptest! {
             ))
             .unwrap();
         let prompt = format!(r#"<prompt schema="p"><m x="{arg_text}"/>go</prompt>"#);
-        let r = engine.serve(&prompt, 1).unwrap();
+        let r = engine.serve(&ServeRequest::new(&prompt).max_new_tokens(1)).map(Served::into_response).unwrap();
         // A supplied argument displaces the *entire* placeholder range:
         // its rows are recomputed from the argument and trailing unused
         // slots become a position gap (§3.3's "trailing white spaces do
@@ -124,8 +125,8 @@ proptest! {
             ))
             .unwrap();
         let prompt = r#"<prompt schema="p"><m/>q</prompt>"#;
-        let a = engine.serve(prompt, 5).unwrap();
-        let b = engine.serve(prompt, 5).unwrap();
+        let a = engine.serve(&ServeRequest::new(prompt).max_new_tokens(5)).map(Served::into_response).unwrap();
+        let b = engine.serve(&ServeRequest::new(prompt).max_new_tokens(5)).map(Served::into_response).unwrap();
         prop_assert_eq!(a.tokens, b.tokens);
         prop_assert_eq!(a.stats, b.stats);
     }

@@ -1,12 +1,13 @@
 //! Engine-level resilience edge cases: deadlines and cooperative
-//! cancellation through `serve_with` / `serve_streaming`, and the
-//! partial-response invariants (TTFT breakdown still sums exactly,
-//! partials are prefixes of the complete output).
+//! cancellation through `ServeRequest`, and the partial-response
+//! invariants (TTFT breakdown still sums exactly, partials are prefixes
+//! of the complete output).
 
 use pc_model::{Model, ModelConfig};
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{CancelToken, EngineConfig, PromptCache, ServeOptions, ServeOutcome};
 use std::time::Duration;
+use prompt_cache::{ServeRequest, Served};
 
 const CORPUS: &str = "alpha beta gamma delta epsilon zeta eta theta answer the question now";
 const SCHEMA: &str =
@@ -26,23 +27,14 @@ fn engine() -> PromptCache {
 }
 
 fn opts(max_new_tokens: usize) -> ServeOptions {
-    ServeOptions {
-        max_new_tokens,
-        ..Default::default()
-    }
+    ServeOptions::default().max_new_tokens(max_new_tokens)
 }
 
 #[test]
 fn zero_deadline_returns_empty_partial_immediately() {
     let engine = engine();
     let r = engine
-        .serve_with(
-            PROMPT,
-            &ServeOptions {
-                deadline: Some(Duration::ZERO),
-                ..opts(8)
-            },
-        )
+        .serve(&ServeRequest::new(PROMPT).options(opts(8).clone().deadline(Duration::ZERO).clone())).map(Served::into_response)
         .unwrap();
     assert_eq!(r.outcome, ServeOutcome::DeadlineExceeded);
     assert!(r.tokens.is_empty());
@@ -58,17 +50,18 @@ fn precancelled_token_short_circuits_before_any_work() {
     let engine = engine();
     let token = CancelToken::new();
     token.cancel();
-    let mut streamed = 0usize;
+    let streamed = std::cell::Cell::new(0usize);
+    let sink = |_, _| streamed.set(streamed.get() + 1);
     let r = engine
-        .serve_streaming(
-            PROMPT,
-            &ServeOptions {
-                cancel: Some(token),
-                ..opts(8)
-            },
-            &mut |_, _| streamed += 1,
+        .serve(
+            &ServeRequest::new(PROMPT)
+                .options(opts(8))
+                .cancel(token)
+                .streaming(&sink),
         )
+        .map(Served::into_response)
         .unwrap();
+    let streamed = streamed.get();
     assert_eq!(r.outcome, ServeOutcome::Cancelled);
     assert!(r.tokens.is_empty());
     assert_eq!(streamed, 0, "no tokens may be produced after cancellation");
@@ -78,7 +71,7 @@ fn precancelled_token_short_circuits_before_any_work() {
 #[test]
 fn cancel_mid_decode_returns_exact_partial_prefix() {
     let engine = engine();
-    let complete = engine.serve_with(PROMPT, &opts(8)).unwrap();
+    let complete = engine.serve(&ServeRequest::new(PROMPT).options(opts(8).clone())).map(Served::into_response).unwrap();
     assert_eq!(complete.outcome, ServeOutcome::Complete);
     assert!(complete.tokens.len() > 3, "need enough output to truncate");
 
@@ -87,19 +80,19 @@ fn cancel_mid_decode_returns_exact_partial_prefix() {
     // three tokens come back.
     let token = CancelToken::new();
     let observer = token.clone();
+    let sink = |_, n| {
+        if n == 3 {
+            observer.cancel();
+        }
+    };
     let r = engine
-        .serve_streaming(
-            PROMPT,
-            &ServeOptions {
-                cancel: Some(token),
-                ..opts(8)
-            },
-            &mut |_, n| {
-                if n == 3 {
-                    observer.cancel();
-                }
-            },
+        .serve(
+            &ServeRequest::new(PROMPT)
+                .options(opts(8))
+                .cancel(token)
+                .streaming(&sink),
         )
+        .map(Served::into_response)
         .unwrap();
     assert_eq!(r.outcome, ServeOutcome::Cancelled);
     assert_eq!(r.tokens.len(), 3, "one decode step of abort latency, no more");
@@ -114,14 +107,7 @@ fn cancellation_wins_over_an_expired_deadline() {
     let token = CancelToken::new();
     token.cancel();
     let r = engine
-        .serve_with(
-            PROMPT,
-            &ServeOptions {
-                deadline: Some(Duration::ZERO),
-                cancel: Some(token),
-                ..opts(4)
-            },
-        )
+        .serve(&ServeRequest::new(PROMPT).options(opts(4).clone().deadline(Duration::ZERO).cancel(token).clone())).map(Served::into_response)
         .unwrap();
     assert_eq!(r.outcome, ServeOutcome::Cancelled);
 }
@@ -129,16 +115,9 @@ fn cancellation_wins_over_an_expired_deadline() {
 #[test]
 fn generous_deadline_does_not_perturb_the_serve() {
     let engine = engine();
-    let plain = engine.serve_with(PROMPT, &opts(6)).unwrap();
+    let plain = engine.serve(&ServeRequest::new(PROMPT).options(opts(6).clone())).map(Served::into_response).unwrap();
     let bounded = engine
-        .serve_with(
-            PROMPT,
-            &ServeOptions {
-                deadline: Some(Duration::from_secs(3600)),
-                cancel: Some(CancelToken::new()),
-                ..opts(6)
-            },
-        )
+        .serve(&ServeRequest::new(PROMPT).options(opts(6).clone().deadline(Duration::from_secs(3600)).cancel(CancelToken::new()).clone())).map(Served::into_response)
         .unwrap();
     assert_eq!(bounded.outcome, ServeOutcome::Complete);
     assert_eq!(bounded.tokens, plain.tokens);
@@ -149,13 +128,7 @@ fn generous_deadline_does_not_perturb_the_serve() {
 fn baseline_serve_honours_deadlines_too() {
     let engine = engine();
     let r = engine
-        .serve_baseline(
-            PROMPT,
-            &ServeOptions {
-                deadline: Some(Duration::ZERO),
-                ..opts(8)
-            },
-        )
+        .serve(&ServeRequest::new(PROMPT).options(opts(8).clone().deadline(Duration::ZERO).clone()).baseline(true)).map(Served::into_response)
         .unwrap();
     assert_eq!(r.outcome, ServeOutcome::DeadlineExceeded);
     assert!(r.tokens.is_empty());

@@ -6,6 +6,7 @@
 use pc_model::{Model, ModelConfig};
 use pc_tokenizer::WordTokenizer;
 use prompt_cache::{EngineConfig, PromptCache, Response, ServeOptions, Telemetry};
+use prompt_cache::{ServeRequest, Served};
 
 const CORPUS: &str = "the miami coast has warm beaches surf and sun all year \
     you are a helpful travel assistant highlight surf spots please";
@@ -25,20 +26,14 @@ fn engine(telemetry: Telemetry) -> PromptCache {
     let engine = PromptCache::new(
         model,
         tokenizer,
-        EngineConfig {
-            telemetry,
-            ..Default::default()
-        },
+        EngineConfig::default().telemetry(telemetry),
     );
     engine.register_schema(SCHEMA).unwrap();
     engine
 }
 
 fn opts() -> ServeOptions {
-    ServeOptions {
-        max_new_tokens: 4,
-        ..Default::default()
-    }
+    ServeOptions::default().max_new_tokens(4)
 }
 
 fn assert_breakdown_accounts_for_ttft(response: &Response) {
@@ -58,10 +53,10 @@ fn assert_breakdown_accounts_for_ttft(response: &Response) {
 fn breakdown_accounts_for_ttft_cached_and_uncached() {
     let engine = engine(Telemetry::new());
     // Cold serve: the module encodes on first use (uncached fetch path).
-    let cold = engine.serve_with(PROMPT, &opts()).unwrap();
+    let cold = engine.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
     assert_breakdown_accounts_for_ttft(&cold);
     // Warm serve: the module is now cached; fetch is a state copy.
-    let warm = engine.serve_with(PROMPT, &opts()).unwrap();
+    let warm = engine.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
     assert_breakdown_accounts_for_ttft(&warm);
     assert!(warm.stats.cached_tokens > 0, "second serve must hit cache");
     // Fully uncached baseline path.
@@ -76,7 +71,7 @@ fn breakdown_accounts_for_ttft_cached_and_uncached() {
 fn serve_emits_expected_spans_and_no_spans_when_disabled() {
     let telemetry = Telemetry::new();
     let engine = engine(telemetry.clone());
-    engine.serve_with(PROMPT, &opts()).unwrap();
+    engine.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
     let names: Vec<&str> = telemetry.spans().iter().map(|s| s.name).collect();
     for expected in ["serve", "schema-resolve", "tokenize", "cache-fetch", "prefill", "sample"] {
         assert!(names.contains(&expected), "missing span {expected} in {names:?}");
@@ -84,7 +79,7 @@ fn serve_emits_expected_spans_and_no_spans_when_disabled() {
 
     let disabled = Telemetry::disabled();
     let engine = self::engine(disabled.clone());
-    engine.serve_with(PROMPT, &opts()).unwrap();
+    engine.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
     assert!(disabled.spans().is_empty(), "disabled telemetry must record nothing");
     assert!(disabled.snapshot().counters.is_empty());
 }
@@ -95,10 +90,10 @@ fn telemetry_does_not_change_serve_results() {
     let without = engine(Telemetry::disabled());
     for e in [&with, &without] {
         // Warm both engines identically so cache state matches.
-        e.serve_with(PROMPT, &opts()).unwrap();
+        e.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
     }
-    let a = with.serve_with(PROMPT, &opts()).unwrap();
-    let b = without.serve_with(PROMPT, &opts()).unwrap();
+    let a = with.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
+    let b = without.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
     assert_eq!(a.tokens, b.tokens, "telemetry must not perturb sampling");
     assert_eq!(a.text, b.text);
     assert_eq!(a.stats, b.stats);

@@ -13,6 +13,7 @@ use pc_model::{view, Family, KvSeq, Model, ModelConfig};
 use pc_tokenizer::WordTokenizer;
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions, Telemetry};
 use std::sync::Arc;
+use prompt_cache::{ServeRequest, Served};
 
 const CORPUS: &str = "the miami coast has warm beaches surf and sun all year \
     tokyo offers temples gardens and remarkable food in every district \
@@ -42,11 +43,7 @@ fn engine_with(family: Family, zero_copy: bool, telemetry: Telemetry) -> PromptC
     let engine = PromptCache::new(
         model,
         tokenizer,
-        EngineConfig {
-            zero_copy,
-            telemetry,
-            ..EngineConfig::default()
-        },
+        EngineConfig::default().clone().zero_copy(zero_copy).telemetry(telemetry),
     );
     engine.register_schema(SCHEMA).unwrap();
     engine
@@ -67,13 +64,10 @@ fn responses_byte_identical_zero_copy_on_vs_off() {
     for family in [Family::Llama, Family::Falcon, Family::Mpt, Family::Gpt2] {
         let shared = engine_with(family, true, Telemetry::disabled());
         let copied = engine_with(family, false, Telemetry::disabled());
-        let opts = ServeOptions {
-            max_new_tokens: 8,
-            ..Default::default()
-        };
+        let opts = ServeOptions::default().max_new_tokens(8);
         for prompt in PROMPTS {
-            let a = shared.serve_with(prompt, &opts).unwrap();
-            let b = copied.serve_with(prompt, &opts).unwrap();
+            let a = shared.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).unwrap();
+            let b = copied.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).unwrap();
             assert_eq!(a.tokens, b.tokens, "family {family:?}, prompt {prompt}");
             assert_eq!(a.text, b.text, "family {family:?}, prompt {prompt}");
             // Identical reuse accounting, opposite transport.
@@ -92,10 +86,7 @@ fn fully_cached_prompt_performs_zero_kv_memcpy() {
     let telemetry = Telemetry::new();
     let engine = engine_with(Family::Llama, true, telemetry.clone());
     let r = engine
-        .serve(
-            r#"<prompt schema="trip"><miami/>highlight surf spots please</prompt>"#,
-            4,
-        )
+        .serve(&ServeRequest::new(r#"<prompt schema="trip"><miami/>highlight surf spots please</prompt>"#).max_new_tokens(4)).map(Served::into_response)
         .unwrap();
     assert!(r.stats.cached_tokens > 0);
     assert!(r.stats.bytes_reused > 0);
@@ -120,18 +111,16 @@ fn fully_cached_prompt_performs_zero_kv_memcpy() {
 #[test]
 fn sessions_alias_modules_and_physical_bytes_stay_flat() {
     let engine = engine_with(Family::Llama, true, Telemetry::disabled());
-    let opts = ServeOptions {
-        max_new_tokens: 4,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(4);
     let prompt = r#"<prompt schema="trip"><miami/>highlight surf spots please</prompt>"#;
 
     let sessions: Vec<_> = (0..6)
         .map(|_| {
-            let (_, view) = engine
-                .serve_session(prompt, &opts, &mut |_, _| {})
-                .unwrap();
-            view
+            engine
+                .serve(&ServeRequest::new(prompt).options(opts.clone()).session(true))
+                .unwrap()
+                .session
+                .expect("session requested")
         })
         .collect();
 
@@ -179,13 +168,13 @@ fn session_views_continue_decoding_into_private_tails() {
     // Continuing one session must not disturb another sharing the same
     // modules: tails are private, segments are frozen.
     let engine = engine_with(Family::Llama, true, Telemetry::disabled());
-    let opts = ServeOptions {
-        max_new_tokens: 3,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(3);
     let prompt = r#"<prompt schema="trip"><miami/>highlight surf spots please</prompt>"#;
-    let (ra, mut a) = engine.serve_session(prompt, &opts, &mut |_, _| {}).unwrap();
-    let (rb, b) = engine.serve_session(prompt, &opts, &mut |_, _| {}).unwrap();
+    let request = ServeRequest::new(prompt).options(opts.clone()).session(true);
+    let served_a = engine.serve(&request).unwrap();
+    let served_b = engine.serve(&request).unwrap();
+    let (ra, mut a) = (served_a.response, served_a.session.expect("session"));
+    let (rb, b) = (served_b.response, served_b.session.expect("session"));
     assert_eq!(ra.tokens, rb.tokens);
     let b_before = b.materialize();
 

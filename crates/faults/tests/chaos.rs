@@ -10,6 +10,7 @@ use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions, ServeOutcome};
 use std::sync::Arc;
 use std::time::Duration;
+use prompt_cache::{ServeRequest, Served};
 
 const CORPUS: &str =
     "alpha beta gamma delta epsilon zeta eta theta question one two three four";
@@ -28,10 +29,7 @@ fn engine_with(config: EngineConfig) -> PromptCache {
 }
 
 fn opts() -> ServeOptions {
-    ServeOptions {
-        max_new_tokens: 4,
-        ..Default::default()
-    }
+    ServeOptions::default().max_new_tokens(4)
 }
 
 fn span_key(i: usize) -> ModuleKey {
@@ -41,7 +39,7 @@ fn span_key(i: usize) -> ModuleKey {
 #[test]
 fn injected_misses_degrade_with_byte_identical_output() {
     let engine = engine_with(EngineConfig::default());
-    let healthy = engine.serve_with(PROMPT, &opts()).unwrap();
+    let healthy = engine.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
     assert_eq!(healthy.stats.degraded_spans, 0);
     assert!(healthy.stats.cached_tokens > 0);
 
@@ -50,7 +48,7 @@ fn injected_misses_degrade_with_byte_identical_output() {
         fetch_miss_rate: 1.0,
         ..Default::default()
     }))));
-    let degraded = engine.serve_with(PROMPT, &opts()).unwrap();
+    let degraded = engine.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
     assert!(degraded.stats.degraded_spans > 0, "spans were recomputed");
     assert_eq!(degraded.outcome, ServeOutcome::Complete);
     // The headline resilience guarantee: degradation is invisible in the
@@ -60,32 +58,26 @@ fn injected_misses_degrade_with_byte_identical_output() {
 
     // Clearing the injector restores the healthy path.
     engine.set_fetch_fault_injector(None);
-    let healed = engine.serve_with(PROMPT, &opts()).unwrap();
+    let healed = engine.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
     assert_eq!(healed.stats.degraded_spans, 0);
     assert_eq!(healed.tokens, healthy.tokens);
 }
 
 #[test]
 fn checksum_corruption_is_detected_degraded_and_self_healed() {
-    let engine = engine_with(EngineConfig {
-        store: StoreConfig {
-            verify_checksums: true,
-            ..Default::default()
-        },
-        ..Default::default()
-    });
-    let healthy = engine.serve_with(PROMPT, &opts()).unwrap();
+    let engine = engine_with(EngineConfig::default().store(StoreConfig::default().verify_checksums(true)));
+    let healthy = engine.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
 
     // Flip a bit in span 0's stored states, leaving its checksum stale.
     assert!(engine.store().corrupt_module(&span_key(0)));
-    let degraded = engine.serve_with(PROMPT, &opts()).unwrap();
+    let degraded = engine.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
     assert!(degraded.stats.degraded_spans > 0, "corruption forced a recompute");
     assert_eq!(degraded.tokens, healthy.tokens, "degraded serve is byte-identical");
     assert!(engine.store_stats().corruptions_detected >= 1);
 
     // The recompute re-inserted fresh states: the next serve is healthy
     // again without any intervention.
-    let healed = engine.serve_with(PROMPT, &opts()).unwrap();
+    let healed = engine.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
     assert_eq!(healed.stats.degraded_spans, 0, "store self-healed");
     assert_eq!(healed.tokens, healthy.tokens);
 }
@@ -95,27 +87,24 @@ fn degradation_matches_the_uncached_baseline() {
     // Transitivity check straight against the paper's baseline: a fully
     // degraded serve (every span recomputed) still equals full prefill.
     let engine = engine_with(EngineConfig::default());
-    let baseline = engine.serve_baseline(PROMPT, &opts()).unwrap();
+    let baseline = engine.serve(&ServeRequest::new(PROMPT).options(opts().clone()).baseline(true)).map(Served::into_response).unwrap();
     engine.set_fetch_fault_injector(Some(Arc::new(FaultPlan::new(FaultConfig {
         fetch_miss_rate: 1.0,
         ..Default::default()
     }))));
-    let degraded = engine.serve_with(PROMPT, &opts()).unwrap();
+    let degraded = engine.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
     assert!(degraded.stats.degraded_spans > 0);
     assert_eq!(degraded.tokens, baseline.tokens);
 }
 
 #[test]
 fn degrade_disabled_surfaces_the_miss_as_an_error() {
-    let engine = engine_with(EngineConfig {
-        degrade_on_miss: false,
-        ..Default::default()
-    });
+    let engine = engine_with(EngineConfig::default().degrade_on_miss(false));
     engine.set_fetch_fault_injector(Some(Arc::new(FaultPlan::new(FaultConfig {
         fetch_miss_rate: 1.0,
         ..Default::default()
     }))));
-    let err = engine.serve_with(PROMPT, &opts()).unwrap_err();
+    let err = engine.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap_err();
     assert!(
         err.to_string().contains("span"),
         "expected MissingModuleStates, got: {err}"
@@ -136,7 +125,7 @@ fn transient_faults_heal_over_repeated_serves() {
         let mut outputs = Vec::new();
         let mut degraded = Vec::new();
         for _ in 0..8 {
-            let r = engine.serve_with(PROMPT, &opts()).unwrap();
+            let r = engine.serve(&ServeRequest::new(PROMPT).options(opts().clone())).map(Served::into_response).unwrap();
             outputs.push(r.tokens);
             degraded.push(r.stats.degraded_spans);
         }
@@ -154,10 +143,7 @@ fn stalled_worker_triggers_deadline_shedding() {
     let engine = engine_with(EngineConfig::default());
     let server = Server::start(
         engine,
-        ServerConfig {
-            workers: 1,
-            queue_capacity: 16,
-        },
+        ServerConfig::default().workers(1).queue_capacity(16),
     );
     // Every pickup stalls well past the request deadline.
     server.set_worker_faults(Some(Arc::new(FaultPlan::new(FaultConfig {
@@ -165,10 +151,7 @@ fn stalled_worker_triggers_deadline_shedding() {
         stall: Duration::from_millis(80),
         ..Default::default()
     }))));
-    let deadline_opts = ServeOptions {
-        deadline: Some(Duration::from_millis(20)),
-        ..opts()
-    };
+    let deadline_opts = opts().clone().deadline(Duration::from_millis(20));
     let handles: Vec<_> = (0..4)
         .map(|_| server.submit(PROMPT.into(), deadline_opts.clone()))
         .collect();
@@ -205,13 +188,7 @@ fn chaos_run_is_deterministic_end_to_end() {
     // store mode); one worker keeps the per-key fault occurrences paired
     // with the same serves on every run.
     let run = |seed: u64| -> (u64, Vec<u32>) {
-        let engine = engine_with(EngineConfig {
-            store: StoreConfig {
-                verify_checksums: true,
-                ..Default::default()
-            },
-            ..Default::default()
-        });
+        let engine = engine_with(EngineConfig::default().store(StoreConfig::default().verify_checksums(true)));
         engine.set_fetch_fault_injector(Some(Arc::new(FaultPlan::new(FaultConfig {
             seed,
             fetch_miss_rate: 0.4,
@@ -220,10 +197,7 @@ fn chaos_run_is_deterministic_end_to_end() {
         }))));
         let server = Server::start(
             engine,
-            ServerConfig {
-                workers: 1,
-                queue_capacity: 32,
-            },
+            ServerConfig::default().workers(1).queue_capacity(32),
         );
         let handles: Vec<_> = (0..12)
             .map(|_| server.submit(PROMPT.into(), opts()))

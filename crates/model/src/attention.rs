@@ -122,6 +122,78 @@ pub fn attention_chunk_segments(
     });
 }
 
+/// Batched decode attention: one query row **per sequence**, each over
+/// its *own* segmented KV cache.
+///
+/// This is the attention kernel behind continuous batching: `nseqs`
+/// in-flight requests each contribute one new token, and sequence `s`'s
+/// query attends to exactly the rows of its own cache (which already
+/// holds the new token's k/v) — never to another sequence's. Because each
+/// output row is produced by the same [`attention_row`] call the solo
+/// decode path uses, with the same `visible = cache length` horizon, the
+/// batched results are bit-identical to serving each sequence alone;
+/// shared module blocks referenced by several caches are read in place
+/// through their segment slices, so batching adds no copies.
+///
+/// * `q` — query rows, `[nseqs × hidden]` (row `s` = sequence `s`).
+/// * `q_positions` — position id of each sequence's new token.
+/// * `seq_segments` — per sequence, its cache's physical `(keys, values)`
+///   segments for this layer.
+/// * `seq_key_positions` — per sequence, the position ids of every cached
+///   token (length = that cache's logical length).
+/// * `out` — output rows, `[nseqs × hidden]`, overwritten.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_decode_batch(
+    cfg: &ModelConfig,
+    q: &[f32],
+    q_positions: &[usize],
+    seq_segments: &[Vec<(&[f32], &[f32])>],
+    seq_key_positions: &[&[usize]],
+    alibi: Option<&AlibiTable>,
+    out: &mut [f32],
+) {
+    let nseqs = q_positions.len();
+    let d = cfg.hidden_size;
+    debug_assert_eq!(q.len(), nseqs * d);
+    debug_assert_eq!(out.len(), nseqs * d);
+    debug_assert_eq!(seq_segments.len(), nseqs);
+    debug_assert_eq!(seq_key_positions.len(), nseqs);
+    if nseqs == 0 {
+        return;
+    }
+    let scale = 1.0 / (cfg.head_dim() as f32).sqrt();
+
+    // Sequences are mutually independent (each attends only to its own
+    // cache), so the batch parallelises across sequences with bit-identical
+    // results — the same property row-parallelism has in the chunk kernel.
+    let work: usize = seq_key_positions.iter().map(|kp| kp.len() * d).sum();
+    let threads = cfg.parallelism.threads_for(work).min(nseqs).max(1);
+    parallel_output_chunks(out, d, threads, |first_seq, out_chunk| {
+        let mut scores = Vec::new();
+        for (local, o_row) in out_chunk.chunks_exact_mut(d).enumerate() {
+            let s = first_seq + local;
+            let key_positions = seq_key_positions[s];
+            let visible = key_positions.len();
+            if scores.len() < visible {
+                scores.resize(visible, 0.0);
+            }
+            o_row.fill(0.0);
+            attention_row(
+                cfg,
+                &q[s * d..(s + 1) * d],
+                q_positions[s],
+                &seq_segments[s],
+                key_positions,
+                visible,
+                alibi,
+                scale,
+                &mut scores,
+                o_row,
+            );
+        }
+    });
+}
+
 /// Attention for the contiguous query rows `first_row ..` backing
 /// `out_chunk`. Both the serial and the parallel entry points run exactly
 /// this code, which is what makes thread count invisible in the output

@@ -1,6 +1,6 @@
 //! The transformer model: embedding, blocks, logits, decoding.
 
-use crate::attention::attention_chunk_segments;
+use crate::attention::{attention_chunk_segments, attention_decode_batch};
 use crate::pos::{AlibiTable, RopeTable};
 use crate::sampler::Sampler;
 use crate::view::KvSeq;
@@ -204,6 +204,157 @@ impl Model {
         Ok(produced)
     }
 
+    /// One batched decode step: advances `n` independent sequences by one
+    /// token each in a single forward pass.
+    ///
+    /// Sequence `i` contributes `tokens[i]` at `positions[i]`, its k/v
+    /// states append to `caches[i]`, and entry `i` of the returned vector
+    /// holds its next-token logits (length = vocab). Activations for the
+    /// whole batch stack into `[n × hidden]` blocks so every weight
+    /// matrix is traversed **once per step** instead of once per sequence
+    /// ([`pc_tensor::ops::matmul_transb_batched_par`]); attention runs
+    /// per sequence over its own segmented cache
+    /// ([`attention_decode_batch`]), so shared module blocks stay
+    /// zero-copy across batch members.
+    ///
+    /// **Bit-identity.** Every per-sequence output is computed by the
+    /// identical scalar code the solo [`Model::prefill`] decode step runs
+    /// (same dot kernel, same per-row norms/rope, same attention horizon),
+    /// so a batched step is byte-identical to `n` solo steps — the
+    /// invariant the engine's batching tests assert exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same per-sequence contract as [`Model::forward`]; also rejects
+    /// mismatched `tokens`/`positions`/`caches` lengths. An empty batch
+    /// returns an empty vector.
+    pub fn decode_step_batch<K: KvSeq>(
+        &self,
+        tokens: &[TokenId],
+        positions: &[usize],
+        caches: &mut [&mut K],
+    ) -> Result<Vec<Vec<f32>>> {
+        let n = tokens.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        if positions.len() != n {
+            return Err(ModelError::LengthMismatch {
+                tokens: n,
+                positions: positions.len(),
+            });
+        }
+        if caches.len() != n {
+            return Err(ModelError::CacheShapeMismatch {
+                detail: format!("{} caches for a batch of {} sequences", caches.len(), n),
+            });
+        }
+        for i in 0..n {
+            self.validate(&tokens[i..i + 1], &positions[i..i + 1], &*caches[i])?;
+        }
+        let cfg = &self.cfg;
+        let d = cfg.hidden_size;
+        let kv_dim = cfg.kv_dim();
+        let hd = cfg.head_dim();
+        let ff = cfg.intermediate_size;
+        let par = &cfg.parallelism;
+
+        // Token embeddings (+ learned positions for GPT-2-style models),
+        // one row per sequence.
+        let mut x = vec![0.0f32; n * d];
+        for (i, &t) in tokens.iter().enumerate() {
+            let row = &self.weights.embedding.data()[t as usize * d..(t as usize + 1) * d];
+            x[i * d..(i + 1) * d].copy_from_slice(row);
+        }
+        if let Some(pe) = &self.weights.pos_embedding {
+            for (i, &p) in positions.iter().enumerate() {
+                let row = &pe.data()[p * d..(p + 1) * d];
+                ops::add_assign_slice(&mut x[i * d..(i + 1) * d], row);
+            }
+        }
+        for (i, cache) in caches.iter_mut().enumerate() {
+            cache.push_position(positions[i]);
+        }
+
+        let mut normed = vec![0.0f32; n * d];
+        let mut q = vec![0.0f32; n * d];
+        let mut k = vec![0.0f32; n * kv_dim];
+        let mut v = vec![0.0f32; n * kv_dim];
+        let mut attn = vec![0.0f32; n * d];
+        let mut proj = vec![0.0f32; n * d];
+        let mut up = vec![0.0f32; n * ff];
+        let mut gate = vec![0.0f32; n * ff];
+        let mut down = vec![0.0f32; n * d];
+
+        for (layer_idx, lw) in self.weights.layers.iter().enumerate() {
+            // --- attention path ---
+            normed.copy_from_slice(&x);
+            self.apply_norm(&mut normed, &lw.norm1_w, &lw.norm1_b);
+
+            ops::matmul_transb_batched_par(&normed, lw.wq.data(), &mut q, n, d, d, par);
+            ops::matmul_transb_batched_par(&normed, lw.wk.data(), &mut k, n, d, kv_dim, par);
+            ops::matmul_transb_batched_par(&normed, lw.wv.data(), &mut v, n, d, kv_dim, par);
+
+            if let Some(rope) = &self.rope {
+                for i in 0..n {
+                    let pos = positions[i];
+                    for h in 0..cfg.num_heads {
+                        rope.apply(&mut q[i * d + h * hd..i * d + (h + 1) * hd], pos);
+                    }
+                    for h in 0..cfg.num_kv_heads {
+                        rope.apply(&mut k[i * kv_dim + h * hd..i * kv_dim + (h + 1) * hd], pos);
+                    }
+                }
+            }
+
+            for (i, cache) in caches.iter_mut().enumerate() {
+                cache.push_token_layer(
+                    layer_idx,
+                    &k[i * kv_dim..(i + 1) * kv_dim],
+                    &v[i * kv_dim..(i + 1) * kv_dim],
+                );
+            }
+
+            // Each sequence's cache is read as physical segments in place;
+            // module blocks shared between batch members are never copied.
+            let seq_segments: Vec<Vec<(&[f32], &[f32])>> =
+                caches.iter().map(|c| c.layer_segments(layer_idx)).collect();
+            let seq_key_positions: Vec<&[usize]> =
+                caches.iter().map(|c| c.positions()).collect();
+            attention_decode_batch(
+                cfg,
+                &q,
+                positions,
+                &seq_segments,
+                &seq_key_positions,
+                self.alibi.as_ref(),
+                &mut attn,
+            );
+            ops::matmul_transb_batched_par(&attn, lw.wo.data(), &mut proj, n, d, d, par);
+
+            if matches!(cfg.family, Family::Falcon) {
+                self.mlp_batched(lw, &normed, &mut up, &mut gate, &mut down, n);
+                ops::add_assign_slice(&mut x, &proj);
+                ops::add_assign_slice(&mut x, &down);
+            } else {
+                ops::add_assign_slice(&mut x, &proj);
+                normed.copy_from_slice(&x);
+                self.apply_norm(&mut normed, &lw.norm2_w, &lw.norm2_b);
+                self.mlp_batched(lw, &normed, &mut up, &mut gate, &mut down, n);
+                ops::add_assign_slice(&mut x, &down);
+            }
+        }
+
+        self.apply_norm(&mut x, &self.weights.final_norm_w, &self.weights.final_norm_b);
+
+        // Logits for every sequence in one traversal of the (large)
+        // embedding matrix.
+        let vocab = cfg.vocab_size;
+        let mut logits = vec![0.0f32; n * vocab];
+        ops::matmul_transb_batched_par(&x, self.weights.embedding.data(), &mut logits, n, d, vocab, par);
+        Ok(logits.chunks_exact(vocab).map(<[f32]>::to_vec).collect())
+    }
+
     /// The shared transformer body. Returns final-norm hidden states,
     /// `[tokens × hidden]` flattened.
     fn run_hidden<K: KvSeq>(
@@ -373,6 +524,34 @@ impl Model {
             ops::gelu_slice(up);
         }
         ops::matmul_transb_slices_par(up, lw.w_down.data(), down, n, ff, d, par);
+    }
+
+    /// [`Model::mlp`] with the batched (weight-row-outer) kernels — used
+    /// by [`Model::decode_step_batch`], where the `n` rows are one token
+    /// from each of `n` sequences. Bit-identical to `mlp` per row.
+    fn mlp_batched(
+        &self,
+        lw: &crate::LayerWeights,
+        input: &[f32],
+        up: &mut [f32],
+        gate: &mut [f32],
+        down: &mut [f32],
+        n: usize,
+    ) {
+        let d = self.cfg.hidden_size;
+        let ff = self.cfg.intermediate_size;
+        let par = &self.cfg.parallelism;
+        ops::matmul_transb_batched_par(input, lw.w_up.data(), up, n, d, ff, par);
+        if matches!(self.cfg.family, Family::Llama) {
+            ops::matmul_transb_batched_par(input, lw.w_gate.data(), gate, n, d, ff, par);
+            ops::silu_slice(gate);
+            for (u, &g) in up.iter_mut().zip(gate.iter()) {
+                *u *= g;
+            }
+        } else {
+            ops::gelu_slice(up);
+        }
+        ops::matmul_transb_batched_par(up, lw.w_down.data(), down, n, ff, d, par);
     }
 
     fn validate<K: KvSeq>(&self, tokens: &[TokenId], positions: &[usize], cache: &K) -> Result<()> {
@@ -639,6 +818,82 @@ mod tests {
         for h in &snap.histograms {
             assert_eq!(h.count, 1);
         }
+    }
+
+    #[test]
+    fn batched_decode_step_matches_solo_prefill_bitwise() {
+        // N sequences with different prompts (hence different cache
+        // lengths) advanced by one batched step must produce exactly the
+        // logits and cache states N solo single-token prefills produce.
+        for cfg in all_families() {
+            let model = Model::new(cfg.clone(), 17);
+            let prompts: [&[u32]; 4] = [&[5, 9], &[13, 21, 2], &[7], &[3, 1, 4, 1]];
+
+            // Solo reference: prefill each prompt, then one more token.
+            let mut solo_caches = Vec::new();
+            let mut next_tokens = Vec::new();
+            for prompt in prompts {
+                let positions: Vec<usize> = (0..prompt.len()).collect();
+                let mut cache = KvCache::new(&cfg);
+                let logits = model.prefill(prompt, &positions, &mut cache).unwrap();
+                next_tokens.push(GreedySampler.sample(&logits));
+                solo_caches.push(cache);
+            }
+            let mut batch_caches = solo_caches.clone();
+            let positions: Vec<usize> = prompts.iter().map(|p| p.len()).collect();
+
+            let mut solo_logits = Vec::new();
+            for (i, cache) in solo_caches.iter_mut().enumerate() {
+                solo_logits
+                    .push(model.prefill(&[next_tokens[i]], &[positions[i]], cache).unwrap());
+            }
+
+            let mut refs: Vec<&mut KvCache> = batch_caches.iter_mut().collect();
+            let batch_logits = model
+                .decode_step_batch(&next_tokens, &positions, &mut refs)
+                .unwrap();
+
+            assert_eq!(batch_logits, solo_logits, "family {:?}", cfg.family);
+            assert_eq!(batch_caches, solo_caches, "family {:?}", cfg.family);
+        }
+    }
+
+    #[test]
+    fn batched_decode_step_size_one_matches_solo() {
+        let cfg = ModelConfig::llama_tiny(64);
+        let model = Model::new(cfg.clone(), 23);
+        let mut solo = KvCache::new(&cfg);
+        model.prefill(&[7, 8], &[0, 1], &mut solo).unwrap();
+        let mut batched = solo.clone();
+        let expect = model.prefill(&[9], &[2], &mut solo).unwrap();
+        let mut refs: Vec<&mut KvCache> = vec![&mut batched];
+        let got = model.decode_step_batch(&[9], &[2], &mut refs).unwrap();
+        assert_eq!(got, vec![expect]);
+        assert_eq!(batched, solo);
+    }
+
+    #[test]
+    fn batched_decode_step_validates_shapes() {
+        let cfg = ModelConfig::llama_tiny(16);
+        let model = Model::new(cfg.clone(), 0);
+        let mut a = KvCache::new(&cfg);
+        let mut b = KvCache::new(&cfg);
+        let empty: Vec<Vec<f32>> = model
+            .decode_step_batch::<KvCache>(&[], &[], &mut [])
+            .unwrap();
+        assert!(empty.is_empty());
+        assert!(matches!(
+            model.decode_step_batch(&[1, 2], &[0], &mut [&mut a, &mut b]),
+            Err(ModelError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            model.decode_step_batch(&[1, 2], &[0, 0], &mut [&mut a]),
+            Err(ModelError::CacheShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            model.decode_step_batch(&[99], &[0], &mut [&mut a]),
+            Err(ModelError::TokenOutOfVocab { .. })
+        ));
     }
 
     #[test]

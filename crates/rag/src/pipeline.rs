@@ -2,7 +2,7 @@
 
 use crate::chunker::chunk_words as chunk_words_helper;
 use crate::index::Bm25Index;
-use prompt_cache::{PromptCache, Response, Result, ServeOptions};
+use prompt_cache::{PromptCache, Response, Result, ServeOptions, ServeRequest, Served};
 
 /// RAG pipeline configuration.
 #[derive(Debug, Clone)]
@@ -139,10 +139,7 @@ impl RagPipeline {
         self.query_with(
             question,
             k,
-            &ServeOptions {
-                max_new_tokens,
-                ..Default::default()
-            },
+            &ServeOptions::default().max_new_tokens(max_new_tokens),
         )
     }
 
@@ -169,7 +166,7 @@ impl RagPipeline {
         }
         prompt.push_str(&escape(question));
         prompt.push_str("</prompt>");
-        let response = self.engine.serve_with(&prompt, options)?;
+        let response = self.engine.serve(&ServeRequest::new(&prompt).options(options.clone())).map(Served::into_response)?;
         Ok(RagResult {
             retrieved,
             response,
@@ -263,10 +260,7 @@ mod tests {
     #[test]
     fn query_beats_baseline_ttft() {
         let rag = pipeline();
-        let opts = ServeOptions {
-            max_new_tokens: 1,
-            ..Default::default()
-        };
+        let opts = ServeOptions::default().max_new_tokens(1);
         // Warm up both paths.
         rag.query_with("where is mount fuji", 2, &opts).unwrap();
         rag.query_baseline("where is mount fuji", 2, &opts).unwrap();

@@ -8,7 +8,11 @@
 //!   worker serving prompts through one shared [`prompt_cache::PromptCache`]
 //!   (the module store is internally synchronised, so workers share every
 //!   cached module by `Arc` — the §3.4 batch-sharing optimisation falls
-//!   out of the architecture);
+//!   out of the architecture); with [`ServerConfig::batching`] the pool
+//!   is replaced by one continuous-batching scheduler thread
+//!   (a [`prompt_cache::BatchScheduler`]): requests join the in-flight
+//!   decode batch at any step and leave independently, with greedy
+//!   outputs byte-identical to solo serving;
 //! * [`metrics`] — latency recording with percentile queries, the numbers
 //!   a serving dashboard reads (p50/p95/p99 TTFT, throughput);
 //! * [`capacity`] — the memory-budgeted batch-capacity model behind the
@@ -31,8 +35,9 @@
 //! * **Bounded admission.** [`Server::submit`] blocks while the queue is
 //!   full — fine for closed-loop benchmarks, a footgun for services.
 //!   [`Server::try_submit`] rejects instead ([`SubmitError::QueueFull`],
-//!   or [`SubmitError::PredictedDeadlineExceeded`] when queue depth ×
-//!   EWMA service time already exceeds the request's deadline).
+//!   or [`SubmitError::PredictedDeadlineExceeded`] when (queue depth +
+//!   in-flight occupancy) × EWMA service time ÷ service slots already
+//!   exceeds the request's deadline).
 //! * **Cancellation.** Every [`RequestHandle`] can
 //!   [`cancel`](RequestHandle::cancel): in queue the request is shed
 //!   ([`ShedReason::CancelledInQueue`]); mid-serve the engine stops
@@ -61,7 +66,7 @@
 //! let server = Server::start(engine, ServerConfig::default());
 //! let handle = server.submit(
 //!     r#"<prompt schema="s"><m/>question</prompt>"#.into(),
-//!     ServeOptions { max_new_tokens: 2, ..Default::default() });
+//!     ServeOptions::default().max_new_tokens(2));
 //! let result = handle.wait().unwrap();
 //! assert!(result.outcome.is_ok());
 //! server.shutdown();

@@ -4,21 +4,45 @@
 use crate::metrics::MetricsSnapshot;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use pc_telemetry::{Counter, Gauge, Histogram, Telemetry};
-use prompt_cache::{CancelToken, EngineError, PromptCache, Response, ServeOptions, ServeOutcome};
+use prompt_cache::{
+    BatchConfig, BatchScheduler, CancelToken, EngineError, PromptCache, Response, ServeOptions,
+    ServeOutcome, ServeRequest, Served,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Server configuration.
+///
+/// Build with [`Default`] plus the chainable setters:
+///
+/// ```
+/// use pc_server::ServerConfig;
+/// use prompt_cache::BatchConfig;
+///
+/// let config = ServerConfig::default()
+///     .workers(2)
+///     .queue_capacity(128)
+///     .batching(BatchConfig::default().max_batch_size(4));
+/// assert_eq!(config.workers, 2);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ServerConfig {
-    /// Worker threads draining the queue.
+    /// Worker threads draining the queue (ignored when `batching` is
+    /// set — continuous batching uses one scheduler thread).
     pub workers: usize,
     /// Maximum queued (not yet picked up) requests. [`Server::submit`]
     /// blocks the caller beyond this; [`Server::try_submit`] sheds
     /// instead — non-blocking admission control.
     pub queue_capacity: usize,
+    /// Continuous batching: when set, requests are served by a single
+    /// [`prompt_cache::BatchScheduler`] loop that admits queued requests
+    /// into an in-flight decode batch (joining at any step, leaving on
+    /// EOS/deadline/cancel) instead of a pool of one-request-at-a-time
+    /// workers. Greedy outputs are byte-identical either way.
+    pub batching: Option<BatchConfig>,
 }
 
 impl Default for ServerConfig {
@@ -29,7 +53,31 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: prompt_cache::Parallelism::from_env().num_threads.max(2),
             queue_capacity: 64,
+            batching: None,
         }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the worker-thread count (one-request-at-a-time mode).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Sets the admission-queue capacity.
+    #[must_use]
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Enables continuous batching with the given batch configuration.
+    #[must_use]
+    pub fn batching(mut self, config: BatchConfig) -> Self {
+        self.batching = Some(config);
+        self
     }
 }
 
@@ -62,9 +110,10 @@ impl std::fmt::Display for ShedReason {
 pub enum SubmitError {
     /// The queue is at capacity.
     QueueFull,
-    /// The predicted queue wait (queue depth × EWMA service time ÷
-    /// workers) already exceeds the request's deadline, so admitting it
-    /// could only produce a dead-on-pickup shed later.
+    /// The predicted queue wait ((queue depth + in-flight) × EWMA
+    /// service time ÷ service slots) already exceeds the request's
+    /// deadline, so admitting it could only produce a dead-on-pickup
+    /// shed later.
     PredictedDeadlineExceeded {
         /// The wait estimate that tripped the rejection.
         estimated_wait: Duration,
@@ -247,6 +296,10 @@ struct Shared {
     service: Histogram,
     queue: Histogram,
     queue_depth: Gauge,
+    /// Requests picked up but not yet completed (a worker serving, or a
+    /// sequence in the in-flight batch). Feeds the admission-control
+    /// wait estimate alongside the queue depth.
+    in_flight: Gauge,
     /// EWMA of worker service time in nanoseconds (α = 1/8), feeding the
     /// admission-control wait estimate. Zero until the first completion.
     ewma_service_ns: AtomicU64,
@@ -270,6 +323,7 @@ impl Default for Shared {
             service: telemetry.latency_histogram("pc_service_seconds"),
             queue: telemetry.latency_histogram("pc_queue_wait_seconds"),
             queue_depth: telemetry.gauge("pc_queue_depth"),
+            in_flight: telemetry.gauge("pc_requests_in_flight"),
             ewma_service_ns: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             faults: Mutex::new(None),
@@ -300,6 +354,9 @@ pub struct Server {
     /// (never `recv`'d from here).
     queue_rx: Receiver<Job>,
     workers: Vec<JoinHandle<()>>,
+    /// Effective service parallelism for the wait estimate: worker count
+    /// in pool mode, `max_batch_size` in batched mode.
+    slots: usize,
     shared: Arc<Shared>,
     next_id: AtomicU64,
     /// Parent of every request token: fired by
@@ -309,23 +366,39 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts the worker pool over `engine`.
+    /// Starts the server over `engine`: a worker pool by default, or —
+    /// when [`ServerConfig::batching`] is set — a single continuous-
+    /// batching scheduler thread that admits queued requests into an
+    /// in-flight decode batch.
     pub fn start(engine: PromptCache, config: ServerConfig) -> Self {
         let engine = Arc::new(engine);
         let shared = Arc::new(Shared::default());
         let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
-                let rx = rx.clone();
-                let engine = Arc::clone(&engine);
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&rx, &engine, &shared))
-            })
-            .collect();
+        let (workers, slots) = if let Some(batch_config) = config.batching {
+            let slots = batch_config.max_batch_size;
+            let rx2 = rx.clone();
+            let engine2 = Arc::clone(&engine);
+            let shared2 = Arc::clone(&shared);
+            let handle =
+                std::thread::spawn(move || batch_loop(&rx2, &engine2, &shared2, batch_config));
+            (vec![handle], slots)
+        } else {
+            let n = config.workers.max(1);
+            let workers = (0..n)
+                .map(|_| {
+                    let rx = rx.clone();
+                    let engine = Arc::clone(&engine);
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || worker_loop(&rx, &engine, &shared))
+                })
+                .collect();
+            (workers, n)
+        };
         Server {
             tx: Some(tx),
             queue_rx: rx,
             workers,
+            slots,
             shared,
             next_id: AtomicU64::new(0),
             shutdown_token: CancelToken::new(),
@@ -357,8 +430,8 @@ impl Server {
     }
 
     /// Non-blocking admission: rejects immediately when the queue is at
-    /// capacity, or when the predicted queue wait (queue depth × EWMA
-    /// service time ÷ workers) already exceeds the request's
+    /// capacity, or when the predicted queue wait ((queue depth +
+    /// in-flight) × EWMA service time ÷ slots) already exceeds the request's
     /// [`ServeOptions::deadline`]. Rejections count toward
     /// `pc_requests_shed_total`; the request never enters the queue.
     ///
@@ -380,17 +453,19 @@ impl Server {
             }
         }
         let (job, handle) = self.make_job(prompt_pml, options, false);
+        // The gauge moves *before* the send so a worker (or the batch
+        // loop) picking the job up immediately can never decrement past
+        // zero; on rejection the increment is rolled back.
+        self.shared.queue_depth.add(1);
         match self
             .tx
             .as_ref()
             .expect("server not shut down")
             .try_send(job)
         {
-            Ok(()) => {
-                self.shared.queue_depth.add(1);
-                Ok(handle)
-            }
+            Ok(()) => Ok(handle),
             Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.shared.queue_depth.add(-1);
                 let _shed_span = self.shared.telemetry.span("shed");
                 self.shared.shed.inc();
                 Err(SubmitError::QueueFull)
@@ -398,13 +473,18 @@ impl Server {
         }
     }
 
-    /// The admission-control wait estimate: queued requests × EWMA
-    /// service time ÷ workers. Zero until the first request completes.
+    /// The admission-control wait estimate: (queued + in-flight)
+    /// requests × EWMA service time ÷ service slots (workers, or the
+    /// maximum batch size in batched mode). Zero until the first request
+    /// completes. Counting in-flight occupancy matters under batching:
+    /// the queue can be empty while the batch is full, and a new request
+    /// still waits a full service time for a slot.
     pub fn estimated_queue_wait(&self) -> Duration {
         let ewma = self.shared.ewma_service_ns.load(Ordering::Relaxed);
-        let depth = self.queue_rx.len() as u64;
-        let workers = self.workers.len().max(1) as u64;
-        Duration::from_nanos(depth.saturating_mul(ewma) / workers)
+        let in_flight = self.shared.in_flight.get().max(0) as u64;
+        let depth = self.queue_rx.len() as u64 + in_flight;
+        let slots = self.slots.max(1) as u64;
+        Duration::from_nanos(depth.saturating_mul(ewma) / slots)
     }
 
     fn make_job(
@@ -586,6 +666,101 @@ impl std::fmt::Debug for Server {
     }
 }
 
+/// Pickup-time shed check shared by both serving modes: `Some(reason)`
+/// if the job is already dead (drained, cancelled, or past its
+/// deadline) and serving it would only waste the slot.
+fn pickup_shed_reason(shared: &Shared, job: &Job) -> Option<ShedReason> {
+    if shared.draining.load(Ordering::Acquire) {
+        Some(ShedReason::ShuttingDown)
+    } else if job.cancel.is_cancelled() {
+        Some(ShedReason::CancelledInQueue)
+    } else if job.cancel.interruption() == Some(ServeOutcome::DeadlineExceeded) {
+        Some(ShedReason::DeadlineBeforeStart)
+    } else {
+        None
+    }
+}
+
+/// Records a pickup-time shed and replies — never reaches the engine.
+fn shed_at_pickup(shared: &Shared, job: &Job, reason: ShedReason, queue_time: Duration) {
+    let _shed_span = shared.telemetry.span("shed");
+    shared.shed.inc();
+    if reason == ShedReason::CancelledInQueue {
+        shared.cancelled.inc();
+    }
+    shared.queue.observe(queue_time.as_secs_f64());
+    let _ = job.reply.send(RequestResult {
+        id: job.id,
+        outcome: RequestOutcome::Shed(reason),
+        queue_time,
+        service_time: Duration::ZERO,
+    });
+}
+
+/// Chaos hook: a stalled pickup delays this request *and* backs up the
+/// queue behind it.
+fn apply_fault_stall(shared: &Shared, id: u64) {
+    let stall = shared
+        .faults
+        .lock()
+        .unwrap()
+        .as_ref()
+        .map_or(Duration::ZERO, |f| f.pre_serve_delay(id));
+    if !stall.is_zero() {
+        std::thread::sleep(stall);
+    }
+}
+
+/// Records completion metrics and replies — shared by the worker pool
+/// and the batch loop so both modes produce identical series.
+fn complete_request(
+    shared: &Shared,
+    reply: &Sender<RequestResult>,
+    id: u64,
+    outcome: Result<Response, EngineError>,
+    queue_time: Duration,
+    service_time: Duration,
+) {
+    match &outcome {
+        Ok(response) => {
+            shared.served.inc();
+            match response.outcome {
+                ServeOutcome::Complete => {}
+                ServeOutcome::Cancelled => {
+                    let _cancel_span = shared.telemetry.span("cancel");
+                    shared.cancelled.inc();
+                }
+                ServeOutcome::DeadlineExceeded => {
+                    shared.deadline_exceeded.inc();
+                }
+            }
+            // TTFT is only meaningful when a first token exists.
+            if !response.tokens.is_empty() {
+                shared.ttft.observe(response.timings.ttft.as_secs_f64());
+            }
+            if response.stats.degraded_spans > 0 {
+                shared.degraded.inc();
+            }
+        }
+        Err(_) => {
+            shared.failed.inc();
+        }
+    }
+    shared.record_service_sample(service_time);
+    shared.service.observe(service_time.as_secs_f64());
+    shared.queue.observe(queue_time.as_secs_f64());
+    // Receiver may have been dropped (caller gave up) — fine.
+    let _ = reply.send(RequestResult {
+        id,
+        outcome: match outcome {
+            Ok(response) => RequestOutcome::Ok(response),
+            Err(e) => RequestOutcome::Err(e),
+        },
+        queue_time,
+        service_time,
+    });
+}
+
 fn worker_loop(rx: &Receiver<Job>, engine: &PromptCache, shared: &Shared) {
     while let Ok(job) = rx.recv() {
         shared.queue_depth.add(-1);
@@ -593,88 +768,116 @@ fn worker_loop(rx: &Receiver<Job>, engine: &PromptCache, shared: &Shared) {
 
         // Pickup-time shedding: don't burn a worker on a request that is
         // already dead (drained, cancelled, or past its deadline).
-        let shed_reason = if shared.draining.load(Ordering::Acquire) {
-            Some(ShedReason::ShuttingDown)
-        } else if job.cancel.is_cancelled() {
-            Some(ShedReason::CancelledInQueue)
-        } else if job.cancel.interruption() == Some(ServeOutcome::DeadlineExceeded) {
-            Some(ShedReason::DeadlineBeforeStart)
-        } else {
-            None
-        };
-        if let Some(reason) = shed_reason {
-            let _shed_span = shared.telemetry.span("shed");
-            shared.shed.inc();
-            if reason == ShedReason::CancelledInQueue {
-                shared.cancelled.inc();
-            }
-            shared.queue.observe(queue_time.as_secs_f64());
-            let _ = job.reply.send(RequestResult {
-                id: job.id,
-                outcome: RequestOutcome::Shed(reason),
-                queue_time,
-                service_time: Duration::ZERO,
-            });
+        if let Some(reason) = pickup_shed_reason(shared, &job) {
+            shed_at_pickup(shared, &job, reason, queue_time);
             continue;
         }
+        apply_fault_stall(shared, job.id);
 
-        // Chaos hook: a stalled worker delays this request *and* backs up
-        // the queue behind it.
-        let stall = shared
-            .faults
-            .lock()
-            .unwrap()
-            .as_ref()
-            .map_or(Duration::ZERO, |f| f.pre_serve_delay(job.id));
-        if !stall.is_zero() {
-            std::thread::sleep(stall);
-        }
-
+        shared.in_flight.add(1);
         let start = Instant::now();
         let outcome = if job.baseline {
-            engine.serve_baseline(&job.prompt, &job.options)
+            engine.serve(&ServeRequest::new(&job.prompt).options(job.options.clone()).baseline(true)).map(Served::into_response)
         } else {
-            engine.serve_with(&job.prompt, &job.options)
+            engine.serve(&ServeRequest::new(&job.prompt).options(job.options.clone())).map(Served::into_response)
         };
         let service_time = start.elapsed();
-        match &outcome {
-            Ok(response) => {
-                shared.served.inc();
-                match response.outcome {
-                    ServeOutcome::Complete => {}
-                    ServeOutcome::Cancelled => {
-                        let _cancel_span = shared.telemetry.span("cancel");
-                        shared.cancelled.inc();
-                    }
-                    ServeOutcome::DeadlineExceeded => {
-                        shared.deadline_exceeded.inc();
-                    }
+        shared.in_flight.add(-1);
+        complete_request(shared, &job.reply, job.id, outcome, queue_time, service_time);
+    }
+}
+
+/// What the batch loop keeps per admitted sequence, so the request can
+/// be completed when the scheduler retires it.
+struct InFlightEntry {
+    reply: Sender<RequestResult>,
+    queue_time: Duration,
+    picked: Instant,
+}
+
+/// The continuous-batching serve loop: one thread drives a
+/// [`BatchScheduler`], admitting queued requests into the in-flight
+/// batch whenever it has room (each joins at the batch's current decode
+/// step) and completing them as they retire (EOS, budget, deadline,
+/// cancel). Blocks on the queue only when the batch is empty; while
+/// sequences are decoding, admission is a non-blocking drain so decode
+/// ticks never stall behind an idle queue.
+fn batch_loop(rx: &Receiver<Job>, engine: &PromptCache, shared: &Shared, config: BatchConfig) {
+    let mut sched = BatchScheduler::new(engine, config).with_telemetry(&shared.telemetry);
+    let mut inflight: std::collections::HashMap<u64, InFlightEntry> =
+        std::collections::HashMap::new();
+    let mut open = true;
+    while open || !sched.is_idle() {
+        if open && sched.is_idle() {
+            // Nothing decoding: block for work like a pooled worker.
+            match rx.recv() {
+                Ok(job) => admit_job(&mut sched, &mut inflight, engine, shared, job),
+                Err(_) => {
+                    open = false;
+                    continue;
                 }
-                // TTFT is only meaningful when a first token exists.
-                if !response.tokens.is_empty() {
-                    shared.ttft.observe(response.timings.ttft.as_secs_f64());
-                }
-                if response.stats.degraded_spans > 0 {
-                    shared.degraded.inc();
-                }
-            }
-            Err(_) => {
-                shared.failed.inc();
             }
         }
-        shared.record_service_sample(service_time);
-        shared.service.observe(service_time.as_secs_f64());
-        shared.queue.observe(queue_time.as_secs_f64());
-        // Receiver may have been dropped (caller gave up) — fine.
-        let _ = job.reply.send(RequestResult {
-            id: job.id,
-            outcome: match outcome {
-                Ok(response) => RequestOutcome::Ok(response),
-                Err(e) => RequestOutcome::Err(e),
-            },
-            queue_time,
-            service_time,
-        });
+        // Fill the batch from the queue without blocking the decode tick.
+        while open && sched.has_capacity() {
+            match rx.try_recv() {
+                Ok(job) => admit_job(&mut sched, &mut inflight, engine, shared, job),
+                Err(crossbeam::channel::TryRecvError::Empty) => break,
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    open = false;
+                    break;
+                }
+            }
+        }
+        for (id, result) in sched.step() {
+            let Some(entry) = inflight.remove(&id) else {
+                continue;
+            };
+            shared.in_flight.add(-1);
+            let service_time = entry.picked.elapsed();
+            complete_request(shared, &entry.reply, id, result, entry.queue_time, service_time);
+        }
+    }
+}
+
+/// Moves one queued job into the batch (or completes it on the spot:
+/// shed at pickup, inline baseline serve, or admission error).
+fn admit_job(
+    sched: &mut BatchScheduler<'_>,
+    inflight: &mut std::collections::HashMap<u64, InFlightEntry>,
+    engine: &PromptCache,
+    shared: &Shared,
+    job: Job,
+) {
+    shared.queue_depth.add(-1);
+    let queue_time = job.submitted.elapsed();
+    if let Some(reason) = pickup_shed_reason(shared, &job) {
+        shed_at_pickup(shared, &job, reason, queue_time);
+        return;
+    }
+    apply_fault_stall(shared, job.id);
+
+    let picked = Instant::now();
+    if job.baseline {
+        // A baseline request is a full prefill with nothing to share —
+        // serve it inline on the scheduler thread rather than batching.
+        let outcome = engine
+            .serve(&ServeRequest::new(&job.prompt).options(job.options.clone()).baseline(true))
+            .map(Served::into_response);
+        complete_request(shared, &job.reply, job.id, outcome, queue_time, picked.elapsed());
+        return;
+    }
+    match sched.admit(job.id, &job.prompt, &job.options) {
+        Ok(()) => {
+            shared.in_flight.add(1);
+            inflight.insert(
+                job.id,
+                InFlightEntry { reply: job.reply, queue_time, picked },
+            );
+        }
+        Err(e) => {
+            complete_request(shared, &job.reply, job.id, Err(e), queue_time, picked.elapsed());
+        }
     }
 }
 
@@ -707,10 +910,7 @@ mod tests {
     }
 
     fn opts() -> ServeOptions {
-        ServeOptions {
-            max_new_tokens: 2,
-            ..Default::default()
-        }
+        ServeOptions::default().max_new_tokens(2)
     }
 
     #[test]
@@ -729,16 +929,10 @@ mod tests {
     #[test]
     fn concurrent_results_match_direct_serving() {
         let reference = engine()
-            .serve_with(r#"<prompt schema="s"><ctx/>question</prompt>"#, &opts())
+            .serve(&ServeRequest::new(r#"<prompt schema="s"><ctx/>question</prompt>"#).options(opts().clone())).map(Served::into_response)
             .unwrap()
             .tokens;
-        let server = Server::start(
-            engine(),
-            ServerConfig {
-                workers: 4,
-                queue_capacity: 64,
-            },
-        );
+        let server = Server::start(engine(), ServerConfig::default().workers(4).queue_capacity(64));
         let handles: Vec<_> = (0..32)
             .map(|_| {
                 server.submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
@@ -850,10 +1044,7 @@ mod tests {
         let engine = PromptCache::new(
             Model::new(ModelConfig::llama_tiny(vocab), 5),
             tokenizer,
-            EngineConfig {
-                telemetry: pc_telemetry::Telemetry::new(),
-                ..Default::default()
-            },
+            EngineConfig::default().telemetry(pc_telemetry::Telemetry::new()),
         );
         engine
             .register_schema(
@@ -888,14 +1079,133 @@ mod tests {
     }
 
     #[test]
-    fn queue_time_is_recorded() {
+    fn batched_server_matches_worker_pool_byte_for_byte() {
+        let prompt = r#"<prompt schema="s"><ctx/>question</prompt>"#;
+        let reference = engine()
+            .serve(&ServeRequest::new(prompt).options(opts()))
+            .map(Served::into_response)
+            .unwrap()
+            .tokens;
         let server = Server::start(
             engine(),
-            ServerConfig {
-                workers: 1,
-                queue_capacity: 64,
-            },
+            ServerConfig::default()
+                .queue_capacity(64)
+                .batching(BatchConfig::default().max_batch_size(4)),
         );
+        let handles: Vec<_> = (0..16).map(|_| server.submit(prompt.into(), opts())).collect();
+        for handle in handles {
+            let result = handle.wait().unwrap();
+            assert_eq!(result.outcome.unwrap().tokens, reference);
+        }
+        let m = server.metrics();
+        assert_eq!((m.served, m.failed), (16, 0));
+        // Batch telemetry lands in the server's always-on registry.
+        let text = server.metrics_text();
+        assert!(text.contains("pc_batch_occupancy"), "{text}");
+        assert!(text.contains("pc_tokens_generated_total"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_server_reports_errors_and_serves_baselines_inline() {
+        let server = Server::start(
+            engine(),
+            ServerConfig::default().batching(BatchConfig::default().max_batch_size(2)),
+        );
+        let bad = server
+            .submit(r#"<prompt schema="ghost">x</prompt>"#.into(), opts())
+            .wait()
+            .unwrap();
+        assert!(bad.outcome.is_err());
+        let cached = server
+            .submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+            .wait()
+            .unwrap()
+            .outcome
+            .unwrap();
+        let baseline = server
+            .submit_baseline(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+            .wait()
+            .unwrap()
+            .outcome
+            .unwrap();
+        assert_eq!(cached.tokens, baseline.tokens);
+        assert_eq!(baseline.stats.cached_tokens, 0);
+        let m = server.metrics();
+        assert_eq!((m.served, m.failed), (2, 1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_server_cancels_in_flight_requests() {
+        let server = Server::start(
+            engine(),
+            ServerConfig::default().batching(BatchConfig::default().max_batch_size(4)),
+        );
+        let prompt = r#"<prompt schema="s"><ctx/>question</prompt>"#;
+        let handle = server.submit(prompt.into(), ServeOptions::default().max_new_tokens(10_000));
+        handle.cancel();
+        let result = handle.wait().unwrap();
+        match result.outcome {
+            RequestOutcome::Ok(r) => assert_eq!(r.outcome, ServeOutcome::Cancelled),
+            RequestOutcome::Shed(reason) => assert_eq!(reason, ShedReason::CancelledInQueue),
+            RequestOutcome::Err(e) => panic!("unexpected error: {e}"),
+        }
+        assert!(server.metrics().cancelled >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_shutdown_within_bounds_the_exit() {
+        let server = Server::start(
+            engine(),
+            ServerConfig::default().batching(BatchConfig::default().max_batch_size(2)),
+        );
+        let prompt = r#"<prompt schema="s"><ctx/>question</prompt>"#;
+        let handles: Vec<_> = (0..4)
+            .map(|_| server.submit(prompt.into(), ServeOptions::default().max_new_tokens(100_000)))
+            .collect();
+        assert!(server.shutdown_within(Duration::from_secs(30)));
+        for handle in handles {
+            if let Some(result) = handle.wait() {
+                match result.outcome {
+                    RequestOutcome::Ok(r) => assert_eq!(r.outcome, ServeOutcome::Cancelled),
+                    RequestOutcome::Shed(_) => {}
+                    RequestOutcome::Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queue_depth_gauge_never_reads_negative() {
+        let server = Server::start(
+            engine(),
+            ServerConfig::default()
+                .queue_capacity(2)
+                .batching(BatchConfig::default().max_batch_size(2)),
+        );
+        let prompt = r#"<prompt schema="s"><ctx/>question</prompt>"#;
+        let depth = server.telemetry().gauge("pc_queue_depth");
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            assert!(depth.get() >= 0, "queue depth dipped below zero");
+            match server.try_submit(prompt.into(), opts()) {
+                Ok(handle) => handles.push(handle),
+                Err(SubmitError::QueueFull) => {}
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
+        }
+        for handle in handles {
+            handle.wait().unwrap();
+        }
+        assert!(depth.get() >= 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn queue_time_is_recorded() {
+        let server = Server::start(engine(), ServerConfig::default().workers(1).queue_capacity(64));
         // Pile up work on a single worker so later requests queue.
         let handles: Vec<_> = (0..8)
             .map(|_| server.submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts()))

@@ -254,10 +254,7 @@ mod tests {
             .unwrap();
         let server = Server::start(
             engine,
-            ServerConfig {
-                workers: 2,
-                queue_capacity: 64,
-            },
+            ServerConfig::default().workers(2).queue_capacity(64),
         );
         let prompts = vec![
             r#"<prompt schema="t"><m/>question one</prompt>"#.to_owned(),
@@ -268,10 +265,7 @@ mod tests {
             &server,
             &prompts,
             &trace,
-            &ServeOptions {
-                max_new_tokens: 1,
-                ..Default::default()
-            },
+            &ServeOptions::default().max_new_tokens(1),
         );
         assert_eq!(report.completed, 20);
         assert_eq!(report.failed, 0);
@@ -327,10 +321,7 @@ mod overload_tests {
             .unwrap();
         let server = Server::start(
             engine,
-            ServerConfig {
-                workers: 1,
-                queue_capacity: 8,
-            },
+            ServerConfig::default().workers(1).queue_capacity(8),
         );
         let prompts = vec![r#"<prompt schema="o"><doc/>q</prompt>"#.to_owned()];
         // 40 arrivals at a nominal 10 kHz — far beyond one worker.
@@ -339,10 +330,7 @@ mod overload_tests {
             &server,
             &prompts,
             &trace,
-            &ServeOptions {
-                max_new_tokens: 1,
-                ..Default::default()
-            },
+            &ServeOptions::default().max_new_tokens(1),
         );
         assert_eq!(report.completed, 40);
         assert_eq!(report.failed, 0);

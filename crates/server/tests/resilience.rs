@@ -26,14 +26,11 @@ fn engine() -> PromptCache {
 }
 
 fn server(workers: usize, queue_capacity: usize) -> Server {
-    Server::start(engine(), ServerConfig { workers, queue_capacity })
+    Server::start(engine(), ServerConfig::default().workers(workers).queue_capacity(queue_capacity))
 }
 
 fn opts() -> ServeOptions {
-    ServeOptions {
-        max_new_tokens: 2,
-        ..Default::default()
-    }
+    ServeOptions::default().max_new_tokens(2)
 }
 
 /// Stalls every pickup by a fixed duration — pins a worker so requests
@@ -116,10 +113,7 @@ fn try_submit_sheds_on_predicted_deadline_overrun() {
     let rejection = server
         .try_submit(
             PROMPT.into(),
-            ServeOptions {
-                deadline: Some(Duration::from_nanos(1)),
-                ..opts()
-            },
+            opts().clone().deadline(Duration::from_nanos(1)),
         )
         .unwrap_err();
     assert!(
@@ -140,10 +134,7 @@ fn deadline_dead_requests_never_reach_a_worker() {
         .map(|_| {
             server.submit(
                 PROMPT.into(),
-                ServeOptions {
-                    deadline: Some(Duration::ZERO),
-                    ..opts()
-                },
+                opts().clone().deadline(Duration::ZERO),
             )
         })
         .collect();

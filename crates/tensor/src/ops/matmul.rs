@@ -153,9 +153,11 @@ fn matmul_transb_rows(
 }
 
 /// Dot product with 8-way manual unrolling (helps on dot-heavy attention:
-/// eight independent accumulators keep the FMA pipeline full).
+/// eight independent accumulators keep the FMA pipeline full). Shared with
+/// the batched decode kernels (`ops::batched`) so every output element —
+/// solo or batched — is produced by this one scalar routine.
 #[inline]
-fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+pub(crate) fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
     let mut acc = [0.0f32; 8];
     let chunks = a.len() / 8;
     for c in 0..chunks {

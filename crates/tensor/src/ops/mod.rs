@@ -6,6 +6,7 @@
 //! without copies).
 
 mod activation;
+mod batched;
 mod elementwise;
 mod matmul;
 mod norm;
@@ -13,6 +14,7 @@ mod reduce;
 mod softmax;
 
 pub use activation::{gelu, gelu_scalar, gelu_slice, silu, silu_scalar, silu_slice};
+pub use batched::{matmul_transb_batched, matmul_transb_batched_par};
 pub use elementwise::{add, add_assign_slice, mul, scale, scale_slice};
 pub use matmul::{
     matmul, matmul_slices, matmul_slices_par, matmul_transb, matmul_transb_slices,

@@ -33,10 +33,7 @@ fn main() {
         ))
         .expect("register");
 
-    let opts = ServeOptions {
-        max_new_tokens: 6,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(6);
     let (mut convo, first) = engine
         .conversation(
             r#"<prompt schema="guide"><area/>tell me about the area</prompt>"#,

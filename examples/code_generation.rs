@@ -11,6 +11,7 @@ use pc_longbench::corpus::Corpus;
 use pc_model::{Model, ModelConfig};
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+use prompt_cache::{ServeRequest, Served};
 
 fn main() {
     // Four synthetic source files — the Unit/Map/Game/Player split of the
@@ -45,17 +46,14 @@ fn main() {
         info.cached_tokens
     );
 
-    let opts = ServeOptions {
-        max_new_tokens: 12,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(12);
 
     // Request 1: the full repository context.
     let full = format!(
         r#"<prompt schema="repo"><unit/><map/><game/><player/>{instruction}</prompt>"#
     );
-    let cached = engine.serve_with(&full, &opts).expect("serve");
-    let baseline = engine.serve_baseline(&full, &opts).expect("baseline");
+    let cached = engine.serve(&ServeRequest::new(&full).options(opts.clone())).map(Served::into_response).expect("serve");
+    let baseline = engine.serve(&ServeRequest::new(&full).options(opts.clone()).baseline(true)).map(Served::into_response).expect("baseline");
     println!(
         "\nall four files: TTFT {:?} cached vs {:?} baseline ({:.1}x), identical output: {}",
         cached.timings.ttft,
@@ -66,7 +64,7 @@ fn main() {
 
     // Request 2: a different file subset — modules compose freely.
     let subset = format!(r#"<prompt schema="repo"><unit/><player/>{instruction}</prompt>"#);
-    let r = engine.serve_with(&subset, &opts).expect("serve subset");
+    let r = engine.serve(&ServeRequest::new(&subset).options(opts.clone())).map(Served::into_response).expect("serve subset");
     println!(
         "unit+player only: {} cached / {} new tokens, TTFT {:?}",
         r.stats.cached_tokens, r.stats.new_tokens, r.timings.ttft

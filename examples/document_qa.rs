@@ -10,6 +10,7 @@
 use pc_longbench::{metrics, DatasetSpec, Workload};
 use pc_model::Family;
 use prompt_cache::ServeOptions;
+use prompt_cache::{ServeRequest, Served};
 
 fn main() {
     let spec = DatasetSpec::by_name("2WikiMultihopQA").expect("dataset exists");
@@ -40,13 +41,10 @@ fn main() {
         engine.cached_bytes()
     );
 
-    let opts = ServeOptions {
-        max_new_tokens: 10,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(10);
     let prompt = sample.prompt_pml("wiki");
-    let cached = engine.serve_with(&prompt, &opts).expect("serve");
-    let baseline = engine.serve_baseline(&prompt, &opts).expect("baseline");
+    let cached = engine.serve(&ServeRequest::new(&prompt).options(opts.clone())).map(Served::into_response).expect("serve");
+    let baseline = engine.serve(&ServeRequest::new(&prompt).options(opts.clone()).baseline(true)).map(Served::into_response).expect("baseline");
 
     println!("\nquestion: {}", &sample.question);
     println!("reference answer: {}", &sample.answer);
@@ -71,7 +69,7 @@ fn main() {
 
     // A second question against the same documents reuses everything.
     let prompt2 = prompt.replace(&sample.question, "what is the secret code mentioned above");
-    let again = engine.serve_with(&prompt2, &opts).expect("serve again");
+    let again = engine.serve(&ServeRequest::new(&prompt2).options(opts.clone())).map(Served::into_response).expect("serve again");
     println!(
         "second question on same docs: TTFT {:?} ({} cached / {} new tokens)",
         again.timings.ttft, again.stats.cached_tokens, again.stats.new_tokens

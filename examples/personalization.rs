@@ -11,6 +11,7 @@
 use pc_model::{Model, ModelConfig};
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+use prompt_cache::{ServeRequest, Served};
 
 const CATEGORIES: [(&str, &str); 6] = [
     ("grade", "the learner is in grade level"),
@@ -52,10 +53,7 @@ fn main() {
         TRAITS.len().pow(CATEGORIES.len() as u32),
     );
 
-    let opts = ServeOptions {
-        max_new_tokens: 8,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(8);
 
     // Two very different personas, both fully cache-served.
     for persona in [
@@ -67,8 +65,8 @@ fn main() {
             prompt.push_str(&format!("<{cat}-{t}/>"));
         }
         prompt.push_str("recommend the next lesson</prompt>");
-        let r = engine.serve_with(&prompt, &opts).expect("serve persona");
-        let b = engine.serve_baseline(&prompt, &opts).expect("baseline");
+        let r = engine.serve(&ServeRequest::new(&prompt).options(opts.clone())).map(Served::into_response).expect("serve persona");
+        let b = engine.serve(&ServeRequest::new(&prompt).options(opts.clone()).baseline(true)).map(Served::into_response).expect("baseline");
         println!(
             "persona {persona:?}: {:.0}% cache hit, TTFT {:?} vs baseline {:?}, output {:?}",
             r.stats.hit_ratio() * 100.0,
@@ -79,10 +77,7 @@ fn main() {
     }
 
     // Union exclusivity is enforced.
-    let conflict = engine.serve_with(
-        r#"<prompt schema="persona"><grade-alpha/><grade-beta/>x</prompt>"#,
-        &opts,
-    );
+    let conflict = engine.serve(&ServeRequest::new(r#"<prompt schema="persona"><grade-alpha/><grade-beta/>x</prompt>"#).options(opts.clone())).map(Served::into_response);
     println!(
         "importing two traits of one category is rejected: {}",
         conflict.is_err()

@@ -8,6 +8,7 @@
 use pc_model::{Model, ModelConfig};
 use pc_tokenizer::WordTokenizer;
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+use prompt_cache::{ServeRequest, Served};
 
 fn main() {
     // 1. A model and tokenizer. The reproduction uses seeded random
@@ -33,12 +34,9 @@ fn main() {
     // 3. Serve a prompt derived from the schema. The module's attention
     //    states come from the cache; only the question is computed.
     let prompt = r#"<prompt schema="cities"><miami/>what should i do there on a weekend</prompt>"#;
-    let opts = ServeOptions {
-        max_new_tokens: 8,
-        ..Default::default()
-    };
-    let cached = engine.serve_with(prompt, &opts).expect("serve");
-    let baseline = engine.serve_baseline(prompt, &opts).expect("serve baseline");
+    let opts = ServeOptions::default().max_new_tokens(8);
+    let cached = engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).expect("serve");
+    let baseline = engine.serve(&ServeRequest::new(prompt).options(opts.clone()).baseline(true)).map(Served::into_response).expect("serve baseline");
 
     println!("generated (cached):   {:?}", cached.text);
     println!("generated (baseline): {:?}", baseline.text);

@@ -53,10 +53,7 @@ fn main() {
     );
 
     // Query: retrieval picks the right chunks; context costs a memcpy.
-    let opts = ServeOptions {
-        max_new_tokens: 4,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(4);
     for (entity, answer) in facts.iter().take(3) {
         let question = format!("what is the secret code for {entity}");
         let cached = rag.query_with(&question, 2, &opts).expect("query");

@@ -33,15 +33,9 @@ fn main() {
 
     let server = Server::start(
         engine,
-        ServerConfig {
-            workers: 4,
-            queue_capacity: 128,
-        },
+        ServerConfig::default().workers(4).queue_capacity(128),
     );
-    let opts = ServeOptions {
-        max_new_tokens: 4,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(4);
 
     // 40 cached requests + 8 baseline requests through the same queue.
     let started = std::time::Instant::now();

@@ -12,6 +12,7 @@ use pc_model::{Model, ModelConfig};
 use pc_pml::program::PromptProgram;
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+use prompt_cache::{ServeRequest, Served};
 
 fn main() {
     // Build the schema as a prompt program (§3.2.4): function call →
@@ -52,10 +53,7 @@ fn main() {
     engine.register_schema_ast(&schema).expect("register");
     println!("schema as PML:\n{}\n", schema);
 
-    let opts = ServeOptions {
-        max_new_tokens: 8,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(8);
 
     // The same cached template, reconfigured three ways at runtime.
     let requests = [
@@ -67,7 +65,7 @@ fn main() {
         let prompt = format!(
             r#"<prompt schema="travel"><trip-plan duration="{duration}"/><{city}/><{lodging}/>make the itinerary now</prompt>"#
         );
-        let r = engine.serve_with(&prompt, &opts).expect("serve");
+        let r = engine.serve(&ServeRequest::new(&prompt).options(opts.clone())).map(Served::into_response).expect("serve");
         println!(
             "{duration:>10} / {city:>7} / {lodging:>6}: {:.0}% cached, TTFT {:?}, output {:?}",
             r.stats.hit_ratio() * 100.0,
@@ -77,9 +75,6 @@ fn main() {
     }
 
     // Overlong arguments are rejected against the declared budget.
-    let overlong = engine.serve_with(
-        r#"<prompt schema="travel"><trip-plan duration="a very long argument of many words"/><miami/><hotel/>go</prompt>"#,
-        &opts,
-    );
+    let overlong = engine.serve(&ServeRequest::new(r#"<prompt schema="travel"><trip-plan duration="a very long argument of many words"/><miami/><hotel/>go</prompt>"#).options(opts.clone())).map(Served::into_response);
     println!("\noverlong argument rejected: {}", overlong.is_err());
 }

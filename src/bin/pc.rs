@@ -21,6 +21,7 @@ use pc_pml::template::ChatTemplate;
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
 use std::process::exit;
+use prompt_cache::{ServeRequest, Served};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,12 +77,9 @@ fn demo() -> i32 {
     let prompt = r#"<prompt schema="demo"><context/>what does the fox do</prompt>"#;
     let engine = build_engine(&[schema, "what does the fox do"], 42);
     engine.register_schema(schema).expect("demo schema is valid");
-    let opts = ServeOptions {
-        max_new_tokens: 6,
-        ..Default::default()
-    };
-    let cached = engine.serve_with(prompt, &opts).expect("serve");
-    let baseline = engine.serve_baseline(prompt, &opts).expect("baseline");
+    let opts = ServeOptions::default().max_new_tokens(6);
+    let cached = engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).expect("serve");
+    let baseline = engine.serve(&ServeRequest::new(prompt).options(opts.clone()).baseline(true)).map(Served::into_response).expect("baseline");
     println!("cached output:   {:?}", cached.text);
     println!("baseline output: {:?}", baseline.text);
     println!("identical: {}", cached.tokens == baseline.tokens);
@@ -185,10 +183,7 @@ fn chat(args: &[String]) -> i32 {
         eprintln!("schema error: {e}");
         return 1;
     }
-    let opts = ServeOptions {
-        max_new_tokens: 12,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(12);
     let (mut convo, first) = match engine.conversation(&prompt_src, &opts) {
         Ok(x) => x,
         Err(e) => {
@@ -269,18 +264,22 @@ fn serve(args: &[String]) -> i32 {
         eprintln!("schema error: {e}");
         return 1;
     }
-    let opts = ServeOptions {
-        max_new_tokens: max_new,
-        ..Default::default()
-    };
+    let opts = ServeOptions::default().max_new_tokens(max_new);
     let result = if baseline {
-        engine.serve_baseline(&prompt_src, &opts)
+        engine.serve(&ServeRequest::new(&prompt_src).options(opts.clone()).baseline(true)).map(Served::into_response)
     } else if stream {
-        engine.serve_streaming(&prompt_src, &opts, &mut |tok, n| {
+        let sink = |tok, n| {
             println!("token {n}: {tok}");
-        })
+        };
+        engine
+            .serve(
+                &ServeRequest::new(&prompt_src)
+                    .options(opts.clone())
+                    .streaming(&sink),
+            )
+            .map(Served::into_response)
     } else {
-        engine.serve_with(&prompt_src, &opts)
+        engine.serve(&ServeRequest::new(&prompt_src).options(opts.clone())).map(Served::into_response)
     };
     match result {
         Ok(r) => {

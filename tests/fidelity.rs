@@ -5,6 +5,7 @@ use pc_model::fidelity::{logit_distance, token_agreement};
 use pc_model::{KvCache, Model, ModelConfig};
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+use prompt_cache::{ServeRequest, Served};
 
 /// Computes next-token logits for `question` after `modules`, three ways:
 /// baseline (monolithic prefill), masked (modules encoded independently),
@@ -126,11 +127,8 @@ fn engine_level_token_agreement_tracks_logit_distance() {
         ))
         .unwrap();
     let prompt = r#"<prompt schema="f"><m/>compare the destinations now</prompt>"#;
-    let opts = ServeOptions {
-        max_new_tokens: 10,
-        ..Default::default()
-    };
-    let cached = engine.serve_with(prompt, &opts).unwrap();
-    let baseline = engine.serve_baseline(prompt, &opts).unwrap();
+    let opts = ServeOptions::default().max_new_tokens(10);
+    let cached = engine.serve(&ServeRequest::new(prompt).options(opts.clone())).map(Served::into_response).unwrap();
+    let baseline = engine.serve(&ServeRequest::new(prompt).options(opts.clone()).baseline(true)).map(Served::into_response).unwrap();
     assert_eq!(token_agreement(&cached.tokens, &baseline.tokens), 1.0);
 }

@@ -5,12 +5,10 @@ use pc_longbench::{metrics, DatasetSpec, Workload};
 use pc_model::{Family, Model, ModelConfig};
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+use prompt_cache::{ServeRequest, Served};
 
 fn small_opts(n: usize) -> ServeOptions {
-    ServeOptions {
-        max_new_tokens: n,
-        ..Default::default()
-    }
+    ServeOptions::default().max_new_tokens(n)
 }
 
 #[test]
@@ -30,7 +28,7 @@ fn longbench_pipeline_end_to_end() {
         let engine = pc_bench::measured::engine_for_sample(&sample, Family::Llama, 3);
         engine.register_schema(&sample.schema_pml("it")).unwrap();
         let r = engine
-            .serve_with(&sample.prompt_pml("it"), &small_opts(4))
+            .serve(&ServeRequest::new(sample.prompt_pml("it")).options(small_opts(4).clone())).map(Served::into_response)
             .unwrap();
         assert!(r.stats.cached_tokens > 0, "{name}");
         let score = metrics::score(spec.metric, &r.text, &sample.answer);
@@ -45,7 +43,7 @@ fn all_21_datasets_serve_from_cache() {
         let engine = pc_bench::measured::engine_for_sample(&sample, Family::Llama, 1);
         engine.register_schema(&sample.schema_pml("all")).unwrap();
         let r = engine
-            .serve_with(&sample.prompt_pml("all"), &small_opts(1))
+            .serve(&ServeRequest::new(sample.prompt_pml("all")).options(small_opts(1).clone())).map(Served::into_response)
             .unwrap();
         assert_eq!(
             r.stats.cached_tokens,
@@ -115,15 +113,7 @@ fn device_tier_eviction_with_real_modules() {
     let engine = PromptCache::new(
         Model::new(cfg, 2),
         tokenizer,
-        EngineConfig {
-            store: StoreConfig {
-                device_capacity_bytes: 9000,
-                policy: EvictionPolicy::Lru,
-                ..Default::default()
-            },
-            tier: Some(Tier::Device),
-            ..Default::default()
-        },
+        EngineConfig::default().store(StoreConfig::default().device_capacity_bytes(9000).policy(EvictionPolicy::Lru)).tier(Tier::Device),
     );
     engine
         .register_schema(&format!(
@@ -132,10 +122,10 @@ fn device_tier_eviction_with_real_modules() {
         .unwrap();
     for _ in 0..3 {
         engine
-            .serve_with(r#"<prompt schema="ev"><a/>question</prompt>"#, &small_opts(1))
+            .serve(&ServeRequest::new(r#"<prompt schema="ev"><a/>question</prompt>"#).options(small_opts(1).clone())).map(Served::into_response)
             .unwrap();
         engine
-            .serve_with(r#"<prompt schema="ev"><b/>question</prompt>"#, &small_opts(1))
+            .serve(&ServeRequest::new(r#"<prompt schema="ev"><b/>question</prompt>"#).options(small_opts(1).clone())).map(Served::into_response)
             .unwrap();
     }
     let stats = engine.store_stats();
@@ -153,10 +143,7 @@ fn chat_template_compiles_into_cached_text() {
     let engine = PromptCache::new(
         Model::new(ModelConfig::llama_tiny(vocab), 4),
         tokenizer,
-        EngineConfig {
-            template: pc_pml::template::ChatTemplate::Llama2,
-            ..Default::default()
-        },
+        EngineConfig::default().template(pc_pml::template::ChatTemplate::Llama2),
     );
     engine
         .register_schema(
@@ -164,10 +151,7 @@ fn chat_template_compiles_into_cached_text() {
         )
         .unwrap();
     let r = engine
-        .serve(
-            r#"<prompt schema="chat">answer the question now</prompt>"#,
-            1,
-        )
+        .serve(&ServeRequest::new(r#"<prompt schema="chat">answer the question now</prompt>"#).max_new_tokens(1)).map(Served::into_response)
         .unwrap();
     // [INST] <<SYS>> markers + system text are anonymous cached tokens.
     assert!(r.stats.cached_tokens > 4, "{:?}", r.stats);
@@ -187,10 +171,7 @@ fn parallel_encode_matches_serial() {
         let engine = PromptCache::new(
             Model::new(ModelConfig::llama_tiny(vocab), 12),
             tokenizer,
-            EngineConfig {
-                parallelism: prompt_cache::Parallelism::with_threads(threads),
-                ..Default::default()
-            },
+            EngineConfig::default().parallelism(prompt_cache::Parallelism::with_threads(threads)),
         );
         engine.register_schema(schema).unwrap();
         engine
@@ -231,7 +212,7 @@ fn parallel_encode_matches_serial() {
     // And the end-to-end generation must agree too.
     let serve = |engine: &prompt_cache::PromptCache| {
         engine
-            .serve(r#"<prompt schema="par"><a/><b/><c/>go</prompt>"#, 6)
+            .serve(&ServeRequest::new(r#"<prompt schema="par"><a/><b/><c/>go</prompt>"#).max_new_tokens(6)).map(Served::into_response)
             .unwrap()
             .tokens
     };
