@@ -28,6 +28,14 @@ cargo test -q -p pc-faults
 # cancellations — at the scheduler level and through the batched server.
 cargo test -q -p prompt-cache --test batching_tests
 cargo test -q -p pc-server batched
+# Prefix-sharing gate: the grouped two-phase attention kernel must be
+# byte-identical to the per-sequence kernel and to solo decoding across
+# group shapes, model families, and scheduler histories, with exact
+# shared/private row accounting (kernel level, scheduler level, and the
+# paged-block grouping in pc-cache).
+cargo test -q -p pc-model --test prefix_tests
+cargo test -q -p prompt-cache --test prefix_sharing_tests
+cargo test -q -p pc-cache paged
 # API migration gate: the deprecated serve_* shims must keep compiling
 # (zero warnings — clippy/rustdoc below run with -D warnings) and keep
 # agreeing with the unified ServeRequest API.
@@ -35,6 +43,11 @@ cargo test -q -p prompt-cache --test deprecated_shims
 # Batching experiment smoke (quick mode: no BENCH artifact, asserts the
 # batched-vs-solo identity and a complete load sweep).
 cargo run --release -q -p pc-bench --bin figures -- --quick batching > /dev/null
+# Prefix-sharing experiment smoke (quick mode: asserts grouped-vs-
+# per-sequence identity and that shared-row traffic appears at batch > 1),
+# plus a compile/run check of the criterion A/B bench.
+cargo run --release -q -p pc-bench --bin figures -- --quick prefix_sharing > /dev/null
+cargo bench -q -p pc-bench --bench prefix_sharing -- --test > /dev/null
 # Docs gate: rustdoc must stay warning-clean.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 cargo clippy --all-targets -- -D warnings

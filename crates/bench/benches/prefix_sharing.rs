@@ -1,0 +1,80 @@
+//! Batched decode A/B: the prefix-aware grouped attention kernel vs the
+//! per-sequence kernel, batch of 8 sequences sharing one prompt module.
+//! The grouped kernel streams the module's K/V rows once per tick
+//! instead of once per member, so its advantage grows with the shared
+//! prefix length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_model::{BatchScratch, KvCache, KvSeq, KvView, Model, ModelConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const BATCH: usize = 8;
+
+fn shared_module(model: &Model, tokens: usize) -> Arc<KvCache> {
+    let mut cache = KvCache::new(model.config());
+    let ids: Vec<u32> = (0..tokens).map(|t| (t % 60) as u32).collect();
+    let positions: Vec<usize> = (0..tokens).collect();
+    model.prefill(&ids, &positions, &mut cache).unwrap();
+    Arc::new(cache)
+}
+
+fn prefix_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_decode");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let model = Model::new(ModelConfig::llama_tiny(64), 7);
+    for &prefix_tokens in &[64usize, 256] {
+        let module = shared_module(&model, prefix_tokens);
+        let mut views: Vec<KvView> = (0..BATCH)
+            .map(|i| {
+                let mut v =
+                    KvView::with_shape(model.config().num_layers, model.config().kv_dim());
+                v.push_cache(Arc::clone(&module)).unwrap();
+                model
+                    .prefill(&[(i % 60) as u32], &[prefix_tokens], &mut v)
+                    .unwrap();
+                v
+            })
+            .collect();
+        let base_len = views[0].len();
+        let tokens = vec![1u32; BATCH];
+        let positions = vec![prefix_tokens + 1; BATCH];
+
+        for sharing in [true, false] {
+            let name = if sharing { "grouped" } else { "per-sequence" };
+            let mut scratch = BatchScratch::new();
+            group.bench_with_input(
+                BenchmarkId::new(name, prefix_tokens),
+                &prefix_tokens,
+                |b, _| {
+                    b.iter(|| {
+                        let mut refs: Vec<&mut KvView> = views.iter_mut().collect();
+                        let logits = model
+                            .decode_step_batch_with(
+                                &tokens,
+                                &positions,
+                                &mut refs,
+                                &mut scratch,
+                                sharing,
+                            )
+                            .unwrap();
+                        // Rewind the tick so every iteration decodes at
+                        // the same context length.
+                        for v in &mut views {
+                            v.truncate(base_len);
+                        }
+                        std::hint::black_box(logits)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, prefix_sharing);
+criterion_main!(benches);

@@ -3,6 +3,7 @@
 
 mod ablations;
 mod batching_exp;
+mod prefix_sharing_exp;
 mod real_figs;
 mod resilience_exp;
 mod serving_exp;
@@ -13,6 +14,7 @@ mod zero_copy_exp;
 
 pub use ablations::ablations;
 pub use batching_exp::batching;
+pub use prefix_sharing_exp::prefix_sharing;
 pub use resilience_exp::resilience;
 pub use serving_exp::{rag, throughput};
 pub use threads_exp::threads;
@@ -39,10 +41,10 @@ pub struct Report {
 }
 
 /// Every experiment id the `figures` binary accepts, in run order.
-pub const ALL_IDS: [&str; 20] = [
+pub const ALL_IDS: [&str; 21] = [
     "fig3", "fig4", "fig5", "table1", "table2", "memcpy", "modelsize", "e2e", "fig6", "fig7",
     "fig8", "appendix", "ablations", "throughput", "rag", "threads", "ttft_breakdown",
-    "zero_copy", "resilience", "batching",
+    "zero_copy", "resilience", "batching", "prefix_sharing",
 ];
 
 /// Runs an experiment by id. `quick` shrinks sample counts for smoke
@@ -69,6 +71,7 @@ pub fn run(id: &str, quick: bool) -> Option<Report> {
         "zero_copy" => Some(zero_copy(quick)),
         "resilience" => Some(resilience(quick)),
         "batching" => Some(batching(quick)),
+        "prefix_sharing" => Some(prefix_sharing(quick)),
         _ => None,
     }
 }

@@ -1,0 +1,212 @@
+//! Prefix-aware batched attention A/B: replays batches of sequences that
+//! all import the same document module, with the grouped two-phase kernel
+//! on vs off, sweeping the shared-prefix length and the batch size.
+//!
+//! The quantity under test is KV **row traffic**: with prefix sharing on,
+//! each tick streams the shared module rows once per *group*
+//! (O(unique KV)), not once per *member* (O(batch × KV)) — while greedy
+//! outputs stay byte-identical (asserted against the sharing-off run).
+
+use super::Report;
+use crate::emit::{fmt_time_s, Table};
+use pc_model::{Model, ModelConfig};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{
+    BatchConfig, BatchScheduler, EngineConfig, PromptCache, Response, ServeOptions, Telemetry,
+};
+use serde_json::json;
+
+const MAX_NEW_TOKENS: usize = 8;
+
+fn build_engine(doc_words: usize, telemetry: Telemetry) -> PromptCache {
+    let doc: String = (0..doc_words).map(|i| format!("w{} ", i % 89)).collect();
+    let corpus = format!("{doc} you are a helpful assistant answer briefly q0 q1 q2");
+    let tokenizer = WordTokenizer::train(&[corpus.as_str()]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_tiny(vocab), 10),
+        tokenizer,
+        EngineConfig::default().telemetry(telemetry),
+    );
+    engine
+        .register_schema(&format!(
+            r#"<schema name="svc">you are a helpful assistant<module name="doc">{doc}</module></schema>"#
+        ))
+        .expect("register");
+    engine
+}
+
+struct ModeResult {
+    rows_shared: u64,
+    rows_private: u64,
+    tick_mean_s: f64,
+    ticks: u64,
+    responses: Vec<(u64, Response)>,
+}
+
+/// Serves `batch_size` sequences (same `<doc/>` module, distinct
+/// suffixes) to completion, timing each scheduler tick and reading the
+/// row-traffic counters afterwards.
+fn run_mode(doc_words: usize, batch_size: usize, sharing: bool) -> ModeResult {
+    let telemetry = Telemetry::new();
+    let engine = build_engine(doc_words, telemetry.clone());
+    let options = ServeOptions::default().max_new_tokens(MAX_NEW_TOKENS);
+    let mut sched = BatchScheduler::new(
+        &engine,
+        BatchConfig::default().max_batch_size(batch_size).prefix_sharing(sharing),
+    );
+    for i in 0..batch_size {
+        let prompt = format!(r#"<prompt schema="svc"><doc/>answer briefly q{}</prompt>"#, i % 3);
+        sched.admit(i as u64, &prompt, &options).expect("admit");
+    }
+    let mut responses = Vec::new();
+    let mut ticks = 0u64;
+    let start = std::time::Instant::now();
+    while !sched.is_idle() {
+        for (id, result) in sched.step() {
+            responses.push((id, result.expect("serve")));
+        }
+        ticks += 1;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    responses.sort_by_key(|(id, _)| *id);
+
+    let snap = telemetry.snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    ModeResult {
+        rows_shared: counter("pc_kv_rows_shared_read_total"),
+        rows_private: counter("pc_kv_rows_private_read_total"),
+        tick_mean_s: wall / ticks.max(1) as f64,
+        ticks,
+        responses,
+    }
+}
+
+/// Shared-KV row traffic and per-tick latency vs batch size and
+/// shared-prefix length, grouped kernel on vs off. Full runs write
+/// `BENCH_prefix_sharing.json` at the working directory root.
+pub fn prefix_sharing(quick: bool) -> Report {
+    let doc_lengths: &[usize] = if quick { &[40] } else { &[40, 160] };
+    let batch_sizes: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+
+    let mut table = Table::new(&[
+        "Prefix",
+        "Batch",
+        "Shared rows (on)",
+        "Private rows (on)",
+        "Rows off/on",
+        "Tick mean (on)",
+        "Tick mean (off)",
+    ]);
+    let mut sweep = Vec::new();
+    let mut identical = 0usize;
+    let mut total = 0usize;
+    for &doc_words in doc_lengths {
+        let mut batches = Vec::new();
+        for &batch_size in batch_sizes {
+            let on = run_mode(doc_words, batch_size, true);
+            let off = run_mode(doc_words, batch_size, false);
+            // Byte-identity is part of the contract being benchmarked.
+            assert_eq!(on.responses.len(), off.responses.len());
+            for ((_, a), (_, b)) in on.responses.iter().zip(&off.responses) {
+                assert_eq!(a.tokens, b.tokens, "grouped kernel diverged from per-sequence");
+                assert_eq!(a.text, b.text, "grouped kernel diverged from per-sequence");
+                identical += 1;
+                total += 1;
+            }
+            let rows_on = (on.rows_shared + on.rows_private).max(1);
+            let rows_off = off.rows_shared + off.rows_private;
+            table.row(&[
+                format!("{doc_words} words"),
+                format!("{batch_size}"),
+                format!("{}", on.rows_shared),
+                format!("{}", on.rows_private),
+                format!("{:.2}x", rows_off as f64 / rows_on as f64),
+                fmt_time_s(on.tick_mean_s),
+                fmt_time_s(off.tick_mean_s),
+            ]);
+            let mode_json = |m: &ModeResult| {
+                json!({
+                    "kv_rows_shared_read": m.rows_shared,
+                    "kv_rows_private_read": m.rows_private,
+                    "tick_mean_s": m.tick_mean_s,
+                    "ticks": m.ticks,
+                })
+            };
+            batches.push(json!({
+                "batch_size": batch_size,
+                "sharing_on": mode_json(&on),
+                "sharing_off": mode_json(&off),
+                "row_traffic_ratio_off_over_on": rows_off as f64 / rows_on as f64,
+            }));
+        }
+        sweep.push(json!({
+            "prefix_words": doc_words,
+            "batches": batches,
+        }));
+    }
+
+    let json = json!({
+        "max_new_tokens": MAX_NEW_TOKENS,
+        "identical_outputs": identical,
+        "sweep": sweep,
+    });
+
+    // Perf-trajectory artifact: full runs only (quick doubles as the test
+    // path and must stay side-effect free).
+    let mut bench_path = None;
+    if !quick {
+        let path = "BENCH_prefix_sharing.json";
+        std::fs::write(path, serde_json::to_string_pretty(&json).expect("serialise"))
+            .expect("write BENCH_prefix_sharing.json");
+        bench_path = Some(path.to_owned());
+    }
+
+    Report {
+        id: "prefix_sharing",
+        title: "Prefix-aware batched attention: KV row traffic and tick latency, grouped kernel on vs off (measured)",
+        markdown: format!(
+            "{}\n{identical}/{total} responses byte-identical grouped vs per-sequence{}\n",
+            table.to_markdown(),
+            bench_path
+                .as_deref()
+                .map(|p| format!("; trajectory at `{p}`"))
+                .unwrap_or_default()
+        ),
+        json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sharing_ab_holds() {
+        let r = prefix_sharing(true);
+        let sweep = r.json["sweep"].as_array().unwrap();
+        assert_eq!(sweep.len(), 1);
+        let batches = sweep[0]["batches"].as_array().unwrap();
+        assert_eq!(batches.len(), 2);
+        for b in batches {
+            let size = b["batch_size"].as_u64().unwrap();
+            let on = &b["sharing_on"];
+            let off = &b["sharing_off"];
+            assert_eq!(off["kv_rows_shared_read"].as_u64().unwrap(), 0);
+            if size > 1 {
+                // The grouped kernel streams the module once per tick;
+                // off-mode re-reads it per member.
+                assert!(on["kv_rows_shared_read"].as_u64().unwrap() > 0);
+                assert!(b["row_traffic_ratio_off_over_on"].as_f64().unwrap() > 1.0);
+            }
+        }
+        // Quick mode writes no artifact.
+        assert!(!std::path::Path::new("BENCH_prefix_sharing.json").exists());
+    }
+}

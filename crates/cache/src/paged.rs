@@ -329,4 +329,36 @@ mod tests {
             a_blocks[0].size_bytes() + b_blocks[0].size_bytes()
         );
     }
+
+    #[test]
+    fn views_over_shared_blocks_form_a_batchable_prefix() {
+        use pc_model::{group_adjacent_prefixes, shared_prefix, KvSeq};
+        // Two sessions paging the same 10-token module (3 blocks) with
+        // different private tails: their views must expose the blocks as
+        // a pointer-shared prefix the batched kernel can stream once.
+        let blocks = split_into_blocks(&module(10, 3.0), 4);
+        let mut a = PagedKv::new(2, 4);
+        let mut b = PagedKv::new(2, 4);
+        a.append_blocks(&blocks).unwrap();
+        b.append_blocks(&blocks).unwrap();
+        a.set_tail(module(2, 7.0)).unwrap();
+        b.set_tail(module(5, 8.0)).unwrap();
+        let (va, vb) = (a.view(), b.view());
+        assert_eq!(shared_prefix(&[&va, &vb]), (3, 10));
+
+        let views = [&va, &vb];
+        let mut groups = Vec::new();
+        group_adjacent_prefixes(2, |s, i| views[s].shared_segment_id(i), &mut groups);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].prefix_segments, 3);
+        assert_eq!(groups[0].prefix_rows, 10);
+        assert!(groups[0].is_shared());
+
+        // A session over a *different* module never groups with them.
+        let other = split_into_blocks(&module(10, 4.0), 4);
+        let mut c = PagedKv::new(2, 4);
+        c.append_blocks(&other).unwrap();
+        let vc = c.view();
+        assert_eq!(shared_prefix(&[&va, &vb, &vc]), (0, 0));
+    }
 }

@@ -20,7 +20,7 @@
 use crate::engine::{Prepared, PromptCache, ServeOptions};
 use crate::response::{Response, ServeOutcome};
 use crate::Result;
-use pc_model::TokenId;
+use pc_model::{BatchScratch, KvSeq, TokenId};
 use pc_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use std::time::Duration;
 
@@ -39,11 +39,21 @@ pub struct BatchConfig {
     /// the bound is the caller's to gate (the server's batch loop stops
     /// pulling from the queue when the batch is full).
     pub max_batch_size: usize,
+    /// Whether the batched decode step groups sequences by shared
+    /// leading KV segments and streams each shared row once per group
+    /// (the prefix-aware two-phase kernel). Off routes every sequence
+    /// through the per-sequence kernel. Output is byte-identical either
+    /// way — the switch is the A/B oracle and a row-traffic comparison
+    /// knob, on by default.
+    pub prefix_sharing: bool,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
-        BatchConfig { max_batch_size: 8 }
+        BatchConfig {
+            max_batch_size: 8,
+            prefix_sharing: true,
+        }
     }
 }
 
@@ -52,6 +62,14 @@ impl BatchConfig {
     #[must_use]
     pub fn max_batch_size(mut self, n: usize) -> Self {
         self.max_batch_size = n.max(1);
+        self
+    }
+
+    /// Enables or disables the prefix-aware batched attention kernel
+    /// (see [`BatchConfig::prefix_sharing`]).
+    #[must_use]
+    pub fn prefix_sharing(mut self, on: bool) -> Self {
+        self.prefix_sharing = on;
         self
     }
 }
@@ -66,6 +84,13 @@ struct BatchMetrics {
     tokens: Counter,
     /// Batched decode steps executed.
     steps: Counter,
+    /// KV rows streamed once per prefix group by the two-phase kernel.
+    shared_rows: Counter,
+    /// KV rows streamed for a single sequence (tails, unshared caches,
+    /// or everything when prefix sharing is off).
+    private_rows: Counter,
+    /// Shared fraction of the last tick's KV row reads, in percent.
+    share_ratio: Gauge,
 }
 
 impl BatchMetrics {
@@ -76,6 +101,9 @@ impl BatchMetrics {
                 .histogram("pc_batch_occupancy", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]),
             tokens: telemetry.counter("pc_tokens_generated_total"),
             steps: telemetry.counter("pc_batch_steps_total"),
+            shared_rows: telemetry.counter("pc_kv_rows_shared_read_total"),
+            private_rows: telemetry.counter("pc_kv_rows_private_read_total"),
+            share_ratio: telemetry.gauge("pc_batch_share_ratio"),
         }
     }
 }
@@ -103,6 +131,9 @@ pub struct BatchScheduler<'e> {
     /// or zero-budget), delivered at the next `step`.
     done: Vec<(u64, Response)>,
     metrics: BatchMetrics,
+    /// Model-owned buffers (activations, scores, CSR segment lists,
+    /// prefix groups) reused across every tick of this scheduler.
+    scratch: BatchScratch,
 }
 
 impl<'e> BatchScheduler<'e> {
@@ -116,14 +147,17 @@ impl<'e> BatchScheduler<'e> {
             seqs: Vec::new(),
             done: Vec::new(),
             metrics,
+            scratch: BatchScratch::new(),
         }
     }
 
     /// Re-resolves the batching metrics (`pc_batch_size`,
     /// `pc_batch_occupancy`, `pc_tokens_generated_total`,
-    /// `pc_batch_steps_total`) against `telemetry` instead of the
-    /// engine's registry — the server uses this to record into its
-    /// always-on registry even when engine telemetry is disabled.
+    /// `pc_batch_steps_total`, `pc_kv_rows_shared_read_total`,
+    /// `pc_kv_rows_private_read_total`, `pc_batch_share_ratio`) against
+    /// `telemetry` instead of the engine's registry — the server uses
+    /// this to record into its always-on registry even when engine
+    /// telemetry is disabled.
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
         self.metrics = BatchMetrics::resolve(telemetry);
@@ -152,6 +186,14 @@ impl<'e> BatchScheduler<'e> {
     /// (interrupted, zero token budget) are delivered by the next
     /// [`BatchScheduler::step`].
     ///
+    /// To keep same-prefix sequences in **contiguous** batch runs — the
+    /// shape the prefix-aware kernel groups on — a new sequence is
+    /// inserted directly after the last in-flight sequence whose cache
+    /// leads with the same shared segment; unrelated sequences append at
+    /// the end. Batch position never affects any sequence's output (each
+    /// attends only to its own cache), so this reordering is invisible
+    /// in results.
+    ///
     /// # Errors
     ///
     /// PML/resolution errors, unknown schemas, or model failures during
@@ -174,12 +216,23 @@ impl<'e> BatchScheduler<'e> {
                     );
                     self.done.push((id, response));
                 } else {
-                    self.seqs.push(Seq {
+                    let seq = Seq {
                         id,
                         p,
                         tokens: Vec::new(),
                         ttft: Duration::ZERO,
-                    });
+                    };
+                    let at = seq
+                        .p
+                        .view
+                        .shared_segment_id(0)
+                        .and_then(|lead| {
+                            self.seqs
+                                .iter()
+                                .rposition(|s| s.p.view.shared_segment_id(0) == Some(lead))
+                        })
+                        .map_or(self.seqs.len(), |last| last + 1);
+                    self.seqs.insert(at, seq);
                 }
             }
         }
@@ -237,10 +290,20 @@ impl<'e> BatchScheduler<'e> {
             let batch = {
                 let mut views: Vec<&mut pc_model::KvView> =
                     still.iter_mut().map(|s| &mut s.p.view).collect();
-                self.engine
-                    .model()
-                    .decode_step_batch(&tokens, &positions, &mut views)
+                self.engine.model().decode_step_batch_with(
+                    &tokens,
+                    &positions,
+                    &mut views,
+                    &mut self.scratch,
+                    self.config.prefix_sharing,
+                )
             };
+            let stats = self.scratch.stats();
+            self.metrics.shared_rows.add(stats.shared_rows_read);
+            self.metrics.private_rows.add(stats.private_rows_read);
+            if stats.total_rows_read() > 0 {
+                self.metrics.share_ratio.set(stats.share_percent());
+            }
             match batch {
                 Ok(rows) => {
                     for (seq, row) in still.iter_mut().zip(rows) {

@@ -9,8 +9,10 @@
 //! Prompt Cache serve discontinuous, out-of-order position layouts.
 
 use crate::pos::AlibiTable;
+use crate::view::PrefixGroup;
 use crate::ModelConfig;
-use pc_tensor::par::parallel_output_chunks;
+use pc_tensor::ops::{axpy_seq, dot_seq};
+use pc_tensor::par::{parallel_output_chunks, run_tasks};
 
 /// Computes attention outputs for a chunk of `n` new tokens over a
 /// contiguous KV cache.
@@ -135,28 +137,35 @@ pub fn attention_chunk_segments(
 /// shared module blocks referenced by several caches are read in place
 /// through their segment slices, so batching adds no copies.
 ///
+/// The per-sequence segment lists arrive in CSR form to keep the hot
+/// loop allocation-free: `segs` is every sequence's `(keys, values)`
+/// segments back to back, and sequence `s` owns
+/// `segs[seg_bounds[s]..seg_bounds[s + 1]]`.
+///
 /// * `q` — query rows, `[nseqs × hidden]` (row `s` = sequence `s`).
 /// * `q_positions` — position id of each sequence's new token.
-/// * `seq_segments` — per sequence, its cache's physical `(keys, values)`
-///   segments for this layer.
 /// * `seq_key_positions` — per sequence, the position ids of every cached
 ///   token (length = that cache's logical length).
+/// * `scores` — caller-owned score scratch, grown to fit and reused
+///   across layers/ticks (contents are meaningless on entry and exit).
 /// * `out` — output rows, `[nseqs × hidden]`, overwritten.
 #[allow(clippy::too_many_arguments)]
 pub fn attention_decode_batch(
     cfg: &ModelConfig,
     q: &[f32],
     q_positions: &[usize],
-    seq_segments: &[Vec<(&[f32], &[f32])>],
+    segs: &[(&[f32], &[f32])],
+    seg_bounds: &[usize],
     seq_key_positions: &[&[usize]],
     alibi: Option<&AlibiTable>,
+    scores: &mut Vec<f32>,
     out: &mut [f32],
 ) {
     let nseqs = q_positions.len();
     let d = cfg.hidden_size;
     debug_assert_eq!(q.len(), nseqs * d);
     debug_assert_eq!(out.len(), nseqs * d);
-    debug_assert_eq!(seq_segments.len(), nseqs);
+    debug_assert_eq!(seg_bounds.len(), nseqs + 1);
     debug_assert_eq!(seq_key_positions.len(), nseqs);
     if nseqs == 0 {
         return;
@@ -166,32 +175,311 @@ pub fn attention_decode_batch(
     // Sequences are mutually independent (each attends only to its own
     // cache), so the batch parallelises across sequences with bit-identical
     // results — the same property row-parallelism has in the chunk kernel.
+    // Each worker gets one `max_visible`-sized slice of the shared score
+    // scratch instead of growing a private Vec per tick.
     let work: usize = seq_key_positions.iter().map(|kp| kp.len() * d).sum();
     let threads = cfg.parallelism.threads_for(work).min(nseqs).max(1);
-    parallel_output_chunks(out, d, threads, |first_seq, out_chunk| {
-        let mut scores = Vec::new();
-        for (local, o_row) in out_chunk.chunks_exact_mut(d).enumerate() {
-            let s = first_seq + local;
+    let max_visible = seq_key_positions.iter().map(|kp| kp.len()).max().unwrap_or(0).max(1);
+    let rows_per = nseqs.div_ceil(threads);
+    let n_chunks = nseqs.div_ceil(rows_per);
+    if scores.len() < n_chunks * max_visible {
+        scores.resize(n_chunks * max_visible, 0.0);
+    }
+    if threads <= 1 {
+        attention_seq_rows(
+            cfg, q, q_positions, segs, seg_bounds, seq_key_positions, alibi, scale, 0, out,
+            scores,
+        );
+        return;
+    }
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(rows_per * d)
+        .zip(scores.chunks_mut(max_visible))
+        .enumerate()
+        .map(|(chunk_idx, (out_chunk, score_chunk))| {
+            let first_seq = chunk_idx * rows_per;
+            Box::new(move || {
+                attention_seq_rows(
+                    cfg, q, q_positions, segs, seg_bounds, seq_key_positions, alibi, scale,
+                    first_seq, out_chunk, score_chunk,
+                );
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_tasks(tasks, threads);
+}
+
+/// Per-sequence worker body shared by the serial and parallel paths of
+/// [`attention_decode_batch`]: sequence rows `first_seq ..` backing
+/// `out_chunk`, each through the same [`attention_row`] the solo decode
+/// path uses.
+#[allow(clippy::too_many_arguments)]
+fn attention_seq_rows(
+    cfg: &ModelConfig,
+    q: &[f32],
+    q_positions: &[usize],
+    segs: &[(&[f32], &[f32])],
+    seg_bounds: &[usize],
+    seq_key_positions: &[&[usize]],
+    alibi: Option<&AlibiTable>,
+    scale: f32,
+    first_seq: usize,
+    out_chunk: &mut [f32],
+    scores: &mut [f32],
+) {
+    let d = cfg.hidden_size;
+    for (local, o_row) in out_chunk.chunks_exact_mut(d).enumerate() {
+        let s = first_seq + local;
+        let key_positions = seq_key_positions[s];
+        let visible = key_positions.len();
+        o_row.fill(0.0);
+        attention_row(
+            cfg,
+            &q[s * d..(s + 1) * d],
+            q_positions[s],
+            &segs[seg_bounds[s]..seg_bounds[s + 1]],
+            key_positions,
+            visible,
+            alibi,
+            scale,
+            scores,
+            o_row,
+        );
+    }
+}
+
+/// Prefix-aware batched decode attention: the two-phase kernel that
+/// streams each **shared** K/V row once per group instead of once per
+/// sequence.
+///
+/// `groups` partitions the batch rows into contiguous runs (see
+/// [`crate::view::group_adjacent_prefixes`]); within a run, the first
+/// `prefix_rows` cached rows of every member are pointer-identical. For
+/// those rows the loop nest is interchanged — key/value row outer, group
+/// member inner — so the shared rows make one trip through the cache
+/// hierarchy while every member's query is applied to them. Private
+/// tails then run per sequence, and groups that share nothing fall back
+/// to exactly the per-sequence path of [`attention_decode_batch`].
+///
+/// **Why the outputs stay byte-identical.** Per (sequence, head) the
+/// kernel keeps a private score row and output accumulator, and both
+/// phases advance the same global key index `j` a flat walk would:
+/// phase 1 covers `j < prefix_rows` in ascending order, phase 2 continues
+/// `j = prefix_rows..visible`. Every score is produced by the same
+/// [`dot_seq`]`* scale (+ bias)` operations, softmax sees the same values
+/// in the same slots, and every accumulation is the same [`axpy_seq`] in
+/// ascending `j` — the interchange only reorders *independent* writes
+/// across sequences, never the float sequence within one accumulator.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_decode_batch_grouped(
+    cfg: &ModelConfig,
+    q: &[f32],
+    q_positions: &[usize],
+    segs: &[(&[f32], &[f32])],
+    seg_bounds: &[usize],
+    seq_key_positions: &[&[usize]],
+    groups: &[PrefixGroup],
+    alibi: Option<&AlibiTable>,
+    scores: &mut Vec<f32>,
+    out: &mut [f32],
+) {
+    let nseqs = q_positions.len();
+    let d = cfg.hidden_size;
+    debug_assert_eq!(q.len(), nseqs * d);
+    debug_assert_eq!(out.len(), nseqs * d);
+    debug_assert_eq!(seg_bounds.len(), nseqs + 1);
+    debug_assert_eq!(seq_key_positions.len(), nseqs);
+    debug_assert_eq!(groups.iter().map(|g| g.len).sum::<usize>(), nseqs);
+    if nseqs == 0 {
+        return;
+    }
+    let scale = 1.0 / (cfg.head_dim() as f32).sqrt();
+
+    // A shared group keeps one score row per member live at once; a
+    // non-shared group reuses a single row across its members.
+    let need = |g: &PrefixGroup| {
+        let stride = group_stride(seq_key_positions, g).max(1);
+        if g.is_shared() {
+            g.len * stride
+        } else {
+            stride
+        }
+    };
+    let total: usize = groups.iter().map(need).sum();
+    if scores.len() < total {
+        scores.resize(total, 0.0);
+    }
+
+    // Groups touch disjoint output/score ranges (runs are contiguous), so
+    // they parallelise by plain slice splitting — same bit-identity
+    // argument as per-sequence parallelism.
+    let work: usize = seq_key_positions.iter().map(|kp| kp.len() * d).sum();
+    let threads = cfg.parallelism.threads_for(work).min(groups.len()).max(1);
+    if threads <= 1 {
+        let mut out_rest: &mut [f32] = out;
+        let mut off = 0usize;
+        for g in groups {
+            let (out_chunk, rest) = out_rest.split_at_mut(g.len * d);
+            out_rest = rest;
+            let len = need(g);
+            attention_group(
+                cfg, q, q_positions, segs, seg_bounds, seq_key_positions, g, alibi, scale,
+                &mut scores[off..off + len], out_chunk,
+            );
+            off += len;
+        }
+        return;
+    }
+    let mut out_rest: &mut [f32] = out;
+    let mut scores_rest: &mut [f32] = scores;
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(groups.len());
+    for g in groups {
+        let (out_chunk, rest) = out_rest.split_at_mut(g.len * d);
+        out_rest = rest;
+        let (score_chunk, rest) = scores_rest.split_at_mut(need(g));
+        scores_rest = rest;
+        tasks.push(Box::new(move || {
+            attention_group(
+                cfg, q, q_positions, segs, seg_bounds, seq_key_positions, g, alibi, scale,
+                score_chunk, out_chunk,
+            );
+        }) as Box<dyn FnOnce() + Send + '_>);
+    }
+    run_tasks(tasks, threads);
+}
+
+/// Longest cache (visible rows) among a group's members — the score-row
+/// stride of the grouped kernel.
+fn group_stride(seq_key_positions: &[&[usize]], g: &PrefixGroup) -> usize {
+    seq_key_positions[g.start..g.start + g.len]
+        .iter()
+        .map(|kp| kp.len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// The two-phase kernel body for one prefix group. `out_chunk` holds the
+/// group's output rows (member `mi` = batch row `g.start + mi`);
+/// `scores` holds `len × stride` score rows for a shared group.
+#[allow(clippy::too_many_arguments)]
+fn attention_group(
+    cfg: &ModelConfig,
+    q: &[f32],
+    q_positions: &[usize],
+    segs: &[(&[f32], &[f32])],
+    seg_bounds: &[usize],
+    seq_key_positions: &[&[usize]],
+    g: &PrefixGroup,
+    alibi: Option<&AlibiTable>,
+    scale: f32,
+    scores: &mut [f32],
+    out_chunk: &mut [f32],
+) {
+    let d = cfg.hidden_size;
+    if !g.is_shared() {
+        // Nothing to hoist: run the members through the per-sequence path
+        // (this is also what keeps a batch of singletons — including batch
+        // size 1 — on exactly the legacy code).
+        attention_seq_rows(
+            cfg, q, q_positions, segs, seg_bounds, seq_key_positions, alibi, scale, g.start,
+            out_chunk, scores,
+        );
+        return;
+    }
+
+    let hd = cfg.head_dim();
+    let kv_dim = cfg.kv_dim();
+    let kv_group = cfg.kv_group_size();
+    let stride = group_stride(seq_key_positions, g);
+    let m0 = g.start;
+    let shared = &segs[seg_bounds[m0]..seg_bounds[m0] + g.prefix_segments];
+    for o_row in out_chunk.chunks_exact_mut(d) {
+        o_row.fill(0.0);
+    }
+    for h in 0..cfg.num_heads {
+        let kv_h = h / kv_group;
+
+        // Score phase 1 — shared prefix, loop-interchanged: each key row
+        // is read once and dotted against every member's query.
+        let mut j = 0usize;
+        for &(keys, _) in shared {
+            for k_row in keys.chunks_exact(kv_dim) {
+                let k_head = &k_row[kv_h * hd..(kv_h + 1) * hd];
+                for mi in 0..g.len {
+                    let s = m0 + mi;
+                    let q_head = &q[s * d + h * hd..s * d + (h + 1) * hd];
+                    let score = &mut scores[mi * stride + j];
+                    *score = dot_seq(q_head, k_head) * scale;
+                    if let Some(alibi) = alibi {
+                        *score += alibi.bias(h, q_positions[s], seq_key_positions[s][j]);
+                    }
+                }
+                j += 1;
+            }
+        }
+        debug_assert_eq!(j, g.prefix_rows);
+
+        // Score phase 2 — private remainder per member, then softmax over
+        // the member's full score row (identical values in identical slots
+        // to the per-sequence walk).
+        for mi in 0..g.len {
+            let s = m0 + mi;
             let key_positions = seq_key_positions[s];
             let visible = key_positions.len();
-            if scores.len() < visible {
-                scores.resize(visible, 0.0);
+            let q_head = &q[s * d + h * hd..s * d + (h + 1) * hd];
+            let row_scores = &mut scores[mi * stride..mi * stride + visible];
+            let mut j = g.prefix_rows;
+            for &(keys, _) in &segs[seg_bounds[s] + g.prefix_segments..seg_bounds[s + 1]] {
+                if j >= visible {
+                    break;
+                }
+                let rows = (keys.len() / kv_dim).min(visible - j);
+                for r in 0..rows {
+                    let k_head = &keys[r * kv_dim + kv_h * hd..r * kv_dim + (kv_h + 1) * hd];
+                    let score = &mut row_scores[j];
+                    *score = dot_seq(q_head, k_head) * scale;
+                    if let Some(alibi) = alibi {
+                        *score += alibi.bias(h, q_positions[s], key_positions[j]);
+                    }
+                    j += 1;
+                }
             }
-            o_row.fill(0.0);
-            attention_row(
-                cfg,
-                &q[s * d..(s + 1) * d],
-                q_positions[s],
-                &seq_segments[s],
-                key_positions,
-                visible,
-                alibi,
-                scale,
-                &mut scores,
-                o_row,
-            );
+            debug_assert_eq!(j, visible);
+            pc_tensor::ops::softmax_slice(row_scores);
         }
-    });
+
+        // Value phase 1 — shared prefix, loop-interchanged: each value row
+        // is read once and accumulated into every member's output.
+        let mut j = 0usize;
+        for &(_, values) in shared {
+            for v_row in values.chunks_exact(kv_dim) {
+                let v_head = &v_row[kv_h * hd..(kv_h + 1) * hd];
+                for (mi, o_row) in out_chunk.chunks_exact_mut(d).enumerate() {
+                    axpy_seq(&mut o_row[h * hd..(h + 1) * hd], scores[mi * stride + j], v_head);
+                }
+                j += 1;
+            }
+        }
+
+        // Value phase 2 — private remainder per member.
+        for (mi, o_row) in out_chunk.chunks_exact_mut(d).enumerate() {
+            let s = m0 + mi;
+            let visible = seq_key_positions[s].len();
+            let o_head = &mut o_row[h * hd..(h + 1) * hd];
+            let mut j = g.prefix_rows;
+            for &(_, values) in &segs[seg_bounds[s] + g.prefix_segments..seg_bounds[s + 1]] {
+                if j >= visible {
+                    break;
+                }
+                let rows = (values.len() / kv_dim).min(visible - j);
+                for r in 0..rows {
+                    let v_head = &values[r * kv_dim + kv_h * hd..r * kv_dim + (kv_h + 1) * hd];
+                    axpy_seq(o_head, scores[mi * stride + j], v_head);
+                    j += 1;
+                }
+            }
+        }
+    }
 }
 
 /// Attention for the contiguous query rows `first_row ..` backing
@@ -266,12 +554,8 @@ fn attention_row(
             let rows = (keys.len() / kv_dim).min(visible - j);
             for r in 0..rows {
                 let k_head = &keys[r * kv_dim + kv_h * hd..r * kv_dim + (kv_h + 1) * hd];
-                let mut dot = 0.0;
-                for (a, b) in q_head.iter().zip(k_head) {
-                    dot += a * b;
-                }
                 let s = &mut scores[j];
-                *s = dot * scale;
+                *s = dot_seq(q_head, k_head) * scale;
                 if let Some(alibi) = alibi {
                     *s += alibi.bias(h, q_pos, key_positions[j]);
                 }
@@ -287,11 +571,8 @@ fn attention_row(
             }
             let rows = (values.len() / kv_dim).min(visible - j);
             for r in 0..rows {
-                let p = scores[j];
                 let v_head = &values[r * kv_dim + kv_h * hd..r * kv_dim + (kv_h + 1) * hd];
-                for (o, &v) in o_head.iter_mut().zip(v_head) {
-                    *o += p * v;
-                }
+                axpy_seq(o_head, scores[j], v_head);
                 j += 1;
             }
         }

@@ -54,8 +54,10 @@ pub use config::{Family, ModelConfig};
 pub use pc_tensor::Parallelism;
 pub use error::ModelError;
 pub use kv::{KvCache, LayerKv};
-pub use model::Model;
-pub use view::{KvSegment, KvSeq, KvView};
+pub use model::{BatchScratch, BatchStepStats, Model};
+pub use view::{
+    group_adjacent_prefixes, shared_prefix, KvSegment, KvSeq, KvView, PrefixGroup, SegmentId,
+};
 pub use pos::{is_shift_invariant, AlibiTable, PositionEncoding, RopeTable};
 pub use sampler::{GreedySampler, NucleusSampler, Sampler, TemperatureSampler, TopKSampler};
 pub use weights::{LayerWeights, ModelWeights};

@@ -1,9 +1,11 @@
 //! The transformer model: embedding, blocks, logits, decoding.
 
-use crate::attention::{attention_chunk_segments, attention_decode_batch};
+use crate::attention::{
+    attention_chunk_segments, attention_decode_batch, attention_decode_batch_grouped,
+};
 use crate::pos::{AlibiTable, RopeTable};
 use crate::sampler::Sampler;
-use crate::view::KvSeq;
+use crate::view::{group_adjacent_prefixes, KvSeq, PrefixGroup};
 use crate::{Family, KvCache, ModelConfig, ModelError, ModelWeights, Result, TokenId};
 use pc_telemetry::Telemetry;
 use pc_tensor::ops;
@@ -14,6 +16,140 @@ use std::time::{Duration, Instant};
 /// (per [`Telemetry::should_sample`]) so the hot loop stays free of clock
 /// reads in the common case.
 const LAYER_TIMING_SAMPLE_EVERY: u64 = 16;
+
+/// Recyclable allocation for the per-layer CSR segment list. The `Vec`
+/// is stored with `'static` slice lifetimes **only while empty** and
+/// re-branded to the caller's borrow lifetime on loan, so one heap
+/// allocation serves every layer of every tick instead of being rebuilt
+/// per layer.
+#[derive(Debug, Default)]
+struct SegListPool(Vec<(&'static [f32], &'static [f32])>);
+
+impl SegListPool {
+    fn take<'s>(&mut self) -> Vec<(&'s [f32], &'s [f32])> {
+        let empty = std::mem::take(&mut self.0);
+        debug_assert!(empty.is_empty());
+        // SAFETY: the vector is empty, so it holds no references — only
+        // its allocation transfers. The element types differ solely in
+        // slice lifetime, which never affects layout.
+        unsafe {
+            std::mem::transmute::<Vec<(&'static [f32], &'static [f32])>, Vec<(&'s [f32], &'s [f32])>>(
+                empty,
+            )
+        }
+    }
+
+    fn put<'s>(&mut self, mut v: Vec<(&'s [f32], &'s [f32])>) {
+        v.clear();
+        // SAFETY: cleared above — no references remain; see `take`.
+        self.0 = unsafe {
+            std::mem::transmute::<Vec<(&'s [f32], &'s [f32])>, Vec<(&'static [f32], &'static [f32])>>(
+                v,
+            )
+        };
+    }
+}
+
+/// [`SegListPool`]'s twin for the per-sequence key-position slices.
+#[derive(Debug, Default)]
+struct PosListPool(Vec<&'static [usize]>);
+
+impl PosListPool {
+    fn take<'s>(&mut self) -> Vec<&'s [usize]> {
+        let empty = std::mem::take(&mut self.0);
+        debug_assert!(empty.is_empty());
+        // SAFETY: empty — no references held; lifetime-only re-brand.
+        unsafe { std::mem::transmute::<Vec<&'static [usize]>, Vec<&'s [usize]>>(empty) }
+    }
+
+    fn put<'s>(&mut self, mut v: Vec<&'s [usize]>) {
+        v.clear();
+        // SAFETY: cleared above — no references remain; see `take`.
+        self.0 = unsafe { std::mem::transmute::<Vec<&'s [usize]>, Vec<&'static [usize]>>(v) };
+    }
+}
+
+/// KV row-traffic accounting for one batched decode step, summed across
+/// layers. "Shared" rows were streamed once per prefix group by the
+/// two-phase kernel (each read served every group member); "private"
+/// rows were read for exactly one sequence. With prefix sharing off,
+/// every read is private — the A/B the telemetry counters expose.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStepStats {
+    /// Rows read once per group over shared prefixes.
+    pub shared_rows_read: u64,
+    /// Rows read for a single sequence (tails + unshared caches).
+    pub private_rows_read: u64,
+}
+
+impl BatchStepStats {
+    /// Total KV rows the step streamed.
+    pub fn total_rows_read(&self) -> u64 {
+        self.shared_rows_read + self.private_rows_read
+    }
+
+    /// Shared fraction of all row reads, in whole percent (0 if nothing
+    /// was read).
+    pub fn share_percent(&self) -> i64 {
+        (self.shared_rows_read * 100)
+            .checked_div(self.total_rows_read())
+            .unwrap_or(0) as i64
+    }
+}
+
+/// Reusable state for [`Model::decode_step_batch_with`]: activation
+/// buffers, the attention score scratch, the CSR segment list and its
+/// bounds, and the per-tick prefix grouping. Owned by the caller (the
+/// batch scheduler keeps one for its lifetime), so a steady-state decode
+/// tick allocates nothing on the hot path but the returned logits.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    x: Vec<f32>,
+    normed: Vec<f32>,
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    attn: Vec<f32>,
+    proj: Vec<f32>,
+    up: Vec<f32>,
+    gate: Vec<f32>,
+    down: Vec<f32>,
+    logits: Vec<f32>,
+    scores: Vec<f32>,
+    seg_bounds: Vec<usize>,
+    groups: Vec<PrefixGroup>,
+    seg_pool: SegListPool,
+    pos_pool: PosListPool,
+    stats: BatchStepStats,
+}
+
+impl BatchScratch {
+    /// Fresh, empty scratch; buffers grow to fit on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Row-traffic stats of the most recent step run with this scratch.
+    pub fn stats(&self) -> BatchStepStats {
+        self.stats
+    }
+
+    /// The prefix groups computed for the most recent step (empty when
+    /// prefix sharing was off or the batch was empty).
+    pub fn groups(&self) -> &[PrefixGroup] {
+        &self.groups
+    }
+}
+
+/// Grows `buf` to at least `len` and returns the `len`-prefix. Contents
+/// beyond what the caller overwrites are stale by design — every user
+/// below fully writes its window before reading.
+fn sized(buf: &mut Vec<f32>, len: usize) -> &mut [f32] {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    &mut buf[..len]
+}
 
 /// A decoder-only transformer with seeded random weights.
 ///
@@ -234,7 +370,40 @@ impl Model {
         positions: &[usize],
         caches: &mut [&mut K],
     ) -> Result<Vec<Vec<f32>>> {
+        self.decode_step_batch_with(tokens, positions, caches, &mut BatchScratch::new(), true)
+    }
+
+    /// [`Model::decode_step_batch`] with caller-owned scratch and an
+    /// explicit prefix-sharing switch — the entry point the batch
+    /// scheduler drives every tick.
+    ///
+    /// With `prefix_sharing` on, adjacent batch rows whose caches share a
+    /// leading run of pointer-identical segments (see
+    /// [`group_adjacent_prefixes`]) are grouped once per tick — the
+    /// shared segments are frozen for the tick's duration, decode rows
+    /// only ever land in private tails — and attention runs through the
+    /// two-phase [`attention_decode_batch_grouped`] kernel, which streams
+    /// each shared K/V row **once per group** instead of once per
+    /// sequence. With it off, every sequence walks its own cache
+    /// ([`attention_decode_batch`]). Both paths execute identical float
+    /// operations per output element, so they are bit-identical to each
+    /// other and to solo decoding; the switch exists as the A/B oracle
+    /// and for row-traffic comparison ([`BatchScratch::stats`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Model::decode_step_batch`].
+    pub fn decode_step_batch_with<K: KvSeq>(
+        &self,
+        tokens: &[TokenId],
+        positions: &[usize],
+        caches: &mut [&mut K],
+        scratch: &mut BatchScratch,
+        prefix_sharing: bool,
+    ) -> Result<Vec<Vec<f32>>> {
         let n = tokens.len();
+        scratch.stats = BatchStepStats::default();
+        scratch.groups.clear();
         if n == 0 {
             return Ok(Vec::new());
         }
@@ -261,7 +430,7 @@ impl Model {
 
         // Token embeddings (+ learned positions for GPT-2-style models),
         // one row per sequence.
-        let mut x = vec![0.0f32; n * d];
+        let x = sized(&mut scratch.x, n * d);
         for (i, &t) in tokens.iter().enumerate() {
             let row = &self.weights.embedding.data()[t as usize * d..(t as usize + 1) * d];
             x[i * d..(i + 1) * d].copy_from_slice(row);
@@ -276,24 +445,54 @@ impl Model {
             cache.push_position(positions[i]);
         }
 
-        let mut normed = vec![0.0f32; n * d];
-        let mut q = vec![0.0f32; n * d];
-        let mut k = vec![0.0f32; n * kv_dim];
-        let mut v = vec![0.0f32; n * kv_dim];
-        let mut attn = vec![0.0f32; n * d];
-        let mut proj = vec![0.0f32; n * d];
-        let mut up = vec![0.0f32; n * ff];
-        let mut gate = vec![0.0f32; n * ff];
-        let mut down = vec![0.0f32; n * d];
+        // Prefix grouping happens once per tick, not per layer: shared
+        // segments are immutable while the tick runs (every row pushed
+        // above and below lands in a private tail), so the grouping —
+        // pure pointer identity — holds for all layers.
+        if prefix_sharing {
+            group_adjacent_prefixes(n, |s, i| caches[s].shared_segment_id(i), &mut scratch.groups);
+        }
+        let layers = self.weights.layers.len() as u64;
+        let mut shared_rows = 0u64;
+        let mut private_rows = 0u64;
+        if prefix_sharing {
+            for g in &scratch.groups {
+                let members = caches[g.start..g.start + g.len].iter();
+                if g.is_shared() {
+                    shared_rows += g.prefix_rows as u64;
+                    for c in members {
+                        private_rows += (c.len() - g.prefix_rows) as u64;
+                    }
+                } else {
+                    private_rows += members.map(|c| c.len() as u64).sum::<u64>();
+                }
+            }
+        } else {
+            private_rows = caches.iter().map(|c| c.len() as u64).sum();
+        }
+        scratch.stats = BatchStepStats {
+            shared_rows_read: shared_rows * layers,
+            private_rows_read: private_rows * layers,
+        };
+
+        let normed = sized(&mut scratch.normed, n * d);
+        let q = sized(&mut scratch.q, n * d);
+        let k = sized(&mut scratch.k, n * kv_dim);
+        let v = sized(&mut scratch.v, n * kv_dim);
+        let attn = sized(&mut scratch.attn, n * d);
+        let proj = sized(&mut scratch.proj, n * d);
+        let up = sized(&mut scratch.up, n * ff);
+        let gate = sized(&mut scratch.gate, n * ff);
+        let down = sized(&mut scratch.down, n * d);
 
         for (layer_idx, lw) in self.weights.layers.iter().enumerate() {
             // --- attention path ---
-            normed.copy_from_slice(&x);
-            self.apply_norm(&mut normed, &lw.norm1_w, &lw.norm1_b);
+            normed.copy_from_slice(x);
+            self.apply_norm(normed, &lw.norm1_w, &lw.norm1_b);
 
-            ops::matmul_transb_batched_par(&normed, lw.wq.data(), &mut q, n, d, d, par);
-            ops::matmul_transb_batched_par(&normed, lw.wk.data(), &mut k, n, d, kv_dim, par);
-            ops::matmul_transb_batched_par(&normed, lw.wv.data(), &mut v, n, d, kv_dim, par);
+            ops::matmul_transb_batched_par(normed, lw.wq.data(), q, n, d, d, par);
+            ops::matmul_transb_batched_par(normed, lw.wk.data(), k, n, d, kv_dim, par);
+            ops::matmul_transb_batched_par(normed, lw.wv.data(), v, n, d, kv_dim, par);
 
             if let Some(rope) = &self.rope {
                 for i in 0..n {
@@ -315,43 +514,70 @@ impl Model {
                 );
             }
 
-            // Each sequence's cache is read as physical segments in place;
-            // module blocks shared between batch members are never copied.
-            let seq_segments: Vec<Vec<(&[f32], &[f32])>> =
-                caches.iter().map(|c| c.layer_segments(layer_idx)).collect();
-            let seq_key_positions: Vec<&[usize]> =
-                caches.iter().map(|c| c.positions()).collect();
-            attention_decode_batch(
-                cfg,
-                &q,
-                positions,
-                &seq_segments,
-                &seq_key_positions,
-                self.alibi.as_ref(),
-                &mut attn,
-            );
-            ops::matmul_transb_batched_par(&attn, lw.wo.data(), &mut proj, n, d, d, par);
+            // Each sequence's cache is read as physical segments in place
+            // (module blocks shared between batch members are never
+            // copied), gathered into one pooled CSR list: sequence `s`
+            // owns `segs[seg_bounds[s]..seg_bounds[s + 1]]`. The pools
+            // recycle the allocations across layers and ticks.
+            let mut segs = scratch.seg_pool.take();
+            let mut key_pos = scratch.pos_pool.take();
+            scratch.seg_bounds.clear();
+            for cache in caches.iter() {
+                scratch.seg_bounds.push(segs.len());
+                cache.layer_segments_into(layer_idx, &mut segs);
+                key_pos.push(cache.positions());
+            }
+            scratch.seg_bounds.push(segs.len());
+            if prefix_sharing {
+                attention_decode_batch_grouped(
+                    cfg,
+                    q,
+                    positions,
+                    &segs,
+                    &scratch.seg_bounds,
+                    &key_pos,
+                    &scratch.groups,
+                    self.alibi.as_ref(),
+                    &mut scratch.scores,
+                    attn,
+                );
+            } else {
+                attention_decode_batch(
+                    cfg,
+                    q,
+                    positions,
+                    &segs,
+                    &scratch.seg_bounds,
+                    &key_pos,
+                    self.alibi.as_ref(),
+                    &mut scratch.scores,
+                    attn,
+                );
+            }
+            scratch.seg_pool.put(segs);
+            scratch.pos_pool.put(key_pos);
+            ops::matmul_transb_batched_par(attn, lw.wo.data(), proj, n, d, d, par);
 
             if matches!(cfg.family, Family::Falcon) {
-                self.mlp_batched(lw, &normed, &mut up, &mut gate, &mut down, n);
-                ops::add_assign_slice(&mut x, &proj);
-                ops::add_assign_slice(&mut x, &down);
+                self.mlp_batched(lw, normed, up, gate, down, n);
+                ops::add_assign_slice(x, proj);
+                ops::add_assign_slice(x, down);
             } else {
-                ops::add_assign_slice(&mut x, &proj);
-                normed.copy_from_slice(&x);
-                self.apply_norm(&mut normed, &lw.norm2_w, &lw.norm2_b);
-                self.mlp_batched(lw, &normed, &mut up, &mut gate, &mut down, n);
-                ops::add_assign_slice(&mut x, &down);
+                ops::add_assign_slice(x, proj);
+                normed.copy_from_slice(x);
+                self.apply_norm(normed, &lw.norm2_w, &lw.norm2_b);
+                self.mlp_batched(lw, normed, up, gate, down, n);
+                ops::add_assign_slice(x, down);
             }
         }
 
-        self.apply_norm(&mut x, &self.weights.final_norm_w, &self.weights.final_norm_b);
+        self.apply_norm(x, &self.weights.final_norm_w, &self.weights.final_norm_b);
 
         // Logits for every sequence in one traversal of the (large)
         // embedding matrix.
         let vocab = cfg.vocab_size;
-        let mut logits = vec![0.0f32; n * vocab];
-        ops::matmul_transb_batched_par(&x, self.weights.embedding.data(), &mut logits, n, d, vocab, par);
+        let logits = sized(&mut scratch.logits, n * vocab);
+        ops::matmul_transb_batched_par(x, self.weights.embedding.data(), logits, n, d, vocab, par);
         Ok(logits.chunks_exact(vocab).map(<[f32]>::to_vec).collect())
     }
 

@@ -57,6 +57,23 @@ pub trait KvSeq {
     /// The layer's cached rows as ordered `(keys, values)` segments whose
     /// concatenation is the logical `[len × kv_dim]` buffer.
     fn layer_segments(&self, layer: usize) -> Vec<(&[f32], &[f32])>;
+
+    /// Appends the layer's `(keys, values)` segments to `out` instead of
+    /// allocating a fresh list — the hot-loop variant of
+    /// [`KvSeq::layer_segments`] used by the batched decode path, which
+    /// reuses one flat segment buffer across layers and ticks.
+    fn layer_segments_into<'s>(&'s self, layer: usize, out: &mut Vec<(&'s [f32], &'s [f32])>) {
+        out.extend(self.layer_segments(layer));
+    }
+
+    /// Pointer identity of shared (frozen) segment `i`, or `None` past the
+    /// last shared segment. Flat caches own all their rows, so they report
+    /// no shared segments. The batched scheduler uses this to detect
+    /// physical cross-sequence sharing without touching KV bytes.
+    fn shared_segment_id(&self, i: usize) -> Option<SegmentId> {
+        let _ = i;
+        None
+    }
 }
 
 impl KvSeq for KvCache {
@@ -86,6 +103,40 @@ impl KvSeq for KvCache {
 
     fn layer_segments(&self, layer: usize) -> Vec<(&[f32], &[f32])> {
         vec![(self.keys(layer), self.values(layer))]
+    }
+
+    fn layer_segments_into<'s>(&'s self, layer: usize, out: &mut Vec<(&'s [f32], &'s [f32])>) {
+        out.push((self.keys(layer), self.values(layer)));
+    }
+}
+
+/// Pointer identity of one shared, immutable KV segment: the backing
+/// cache's allocation address plus the aliased row window. Two segments
+/// with equal `SegmentId`s read exactly the same physical rows, so
+/// equality here is the "free via `Arc::ptr_eq`" sharing test the
+/// prefix-aware batched kernel groups on — content is never inspected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentId {
+    ptr: usize,
+    start: usize,
+    end: usize,
+}
+
+impl SegmentId {
+    /// Number of token rows the identified segment contributes.
+    pub fn rows(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+impl KvSegment {
+    /// The segment's pointer identity (see [`SegmentId`]).
+    pub fn id(&self) -> SegmentId {
+        SegmentId {
+            ptr: Arc::as_ptr(&self.cache) as usize,
+            start: self.start,
+            end: self.end,
+        }
     }
 }
 
@@ -326,16 +377,126 @@ impl KvSeq for KvView {
     }
 
     fn layer_segments(&self, layer: usize) -> Vec<(&[f32], &[f32])> {
-        let d = self.tail.kv_dim();
         let mut segs = Vec::with_capacity(self.segments.len() + 1);
+        self.layer_segments_into(layer, &mut segs);
+        segs
+    }
+
+    fn layer_segments_into<'s>(&'s self, layer: usize, out: &mut Vec<(&'s [f32], &'s [f32])>) {
+        let d = self.tail.kv_dim();
+        out.reserve(self.segments.len() + 1);
         for seg in &self.segments {
-            segs.push((
+            out.push((
                 &seg.cache.keys(layer)[seg.start * d..seg.end * d],
                 &seg.cache.values(layer)[seg.start * d..seg.end * d],
             ));
         }
-        segs.push((self.tail.keys(layer), self.tail.values(layer)));
-        segs
+        out.push((self.tail.keys(layer), self.tail.values(layer)));
+    }
+
+    fn shared_segment_id(&self, i: usize) -> Option<SegmentId> {
+        self.segments.get(i).map(KvSegment::id)
+    }
+}
+
+/// The longest leading run of segments shared — same backing `Arc`
+/// allocation, same row window — by **every** view in the set. Returns
+/// `(segments, rows)`. Sharing is pointer identity ([`Arc::ptr_eq`] plus
+/// equal windows), never content comparison, so two content-equal caches
+/// encoded separately do not count as shared. A single view trivially
+/// shares its whole segment list with itself; an empty set shares
+/// nothing.
+pub fn shared_prefix(views: &[&KvView]) -> (usize, usize) {
+    let Some(first) = views.first() else {
+        return (0, 0);
+    };
+    let mut segs = 0usize;
+    let mut rows = 0usize;
+    'prefix: for (i, seg) in first.segments.iter().enumerate() {
+        for other in &views[1..] {
+            match other.segments.get(i) {
+                Some(o)
+                    if Arc::ptr_eq(&o.cache, &seg.cache)
+                        && o.start == seg.start
+                        && o.end == seg.end => {}
+                _ => break 'prefix,
+            }
+        }
+        segs += 1;
+        rows += seg.len();
+    }
+    (segs, rows)
+}
+
+/// One contiguous run of batch rows whose caches share a leading run of
+/// pointer-identical segments — the unit the prefix-aware batched
+/// attention kernel streams shared K/V rows once for. Runs are contiguous
+/// by construction (the scheduler keeps same-prefix sequences adjacent),
+/// which lets the kernel split its output and score buffers per group
+/// with no row scatter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixGroup {
+    /// First batch row of the run.
+    pub start: usize,
+    /// Number of sequences in the run.
+    pub len: usize,
+    /// Leading segments every member shares (pointer-equal).
+    pub prefix_segments: usize,
+    /// Token rows those segments contribute.
+    pub prefix_rows: usize,
+}
+
+impl PrefixGroup {
+    /// Whether the group actually shares KV rows worth hoisting: at least
+    /// two members over a non-empty common prefix.
+    pub fn is_shared(&self) -> bool {
+        self.len >= 2 && self.prefix_rows > 0
+    }
+}
+
+/// Partitions batch rows `0..n` into maximal **adjacent** runs that share
+/// a leading segment, then shrinks each run's prefix to the longest
+/// pointer-equal segment run common to all members. `seg_id(row, i)`
+/// reports row `row`'s `i`-th shared segment (see
+/// [`KvSeq::shared_segment_id`]). Rows with no shared segments — flat
+/// caches, views with only private tails — become singleton groups with
+/// an empty prefix. Deterministic: depends only on batch order and
+/// segment identity, never on timing.
+pub fn group_adjacent_prefixes(
+    n: usize,
+    seg_id: impl Fn(usize, usize) -> Option<SegmentId>,
+    out: &mut Vec<PrefixGroup>,
+) {
+    out.clear();
+    let mut start = 0usize;
+    while start < n {
+        let lead = seg_id(start, 0);
+        let mut len = 1usize;
+        if lead.is_some() {
+            while start + len < n && seg_id(start + len, 0) == lead {
+                len += 1;
+            }
+        }
+        let (mut prefix_segments, mut prefix_rows) = (0usize, 0usize);
+        if len >= 2 {
+            // Extend past the grouping segment to the full common run.
+            'deepen: while let Some(id) = seg_id(start, prefix_segments) {
+                for member in start + 1..start + len {
+                    if seg_id(member, prefix_segments) != Some(id) {
+                        break 'deepen;
+                    }
+                }
+                prefix_segments += 1;
+                prefix_rows += id.rows();
+            }
+        }
+        out.push(PrefixGroup {
+            start,
+            len,
+            prefix_segments,
+            prefix_rows,
+        });
+        start += len;
     }
 }
 
@@ -518,5 +679,107 @@ mod tests {
         assert_eq!(view.len(), 2);
         assert_eq!(view.shared_rows(), 0);
         assert_eq!(view.positions(), &[0, 1]);
+    }
+
+    #[test]
+    fn shared_prefix_is_pointer_identity_not_content() {
+        let a = Arc::new(cache_with(&[(0, 1.0), (1, 2.0), (2, 3.0)]));
+        let a_twin = Arc::new(cache_with(&[(0, 1.0), (1, 2.0), (2, 3.0)])); // equal bytes, distinct alloc
+        let b = Arc::new(cache_with(&[(5, 9.0), (6, 10.0)]));
+
+        let mut v1 = KvView::with_shape(2, 3);
+        v1.push_cache(Arc::clone(&a)).unwrap();
+        v1.push_cache(Arc::clone(&b)).unwrap();
+        let mut v2 = KvView::with_shape(2, 3);
+        v2.push_cache(Arc::clone(&a)).unwrap();
+        v2.push_cache(Arc::clone(&b)).unwrap();
+        let mut v3 = KvView::with_shape(2, 3);
+        v3.push_cache(Arc::clone(&a)).unwrap();
+        let mut v_twin = KvView::with_shape(2, 3);
+        v_twin.push_cache(Arc::clone(&a_twin)).unwrap();
+
+        // Full two-segment prefix shared; tails never count.
+        v1.push_token_layer(0, &[4.0; 3], &[4.0; 3]);
+        v1.push_token_layer(1, &[4.0; 3], &[4.0; 3]);
+        v1.push_position(9);
+        assert_eq!(shared_prefix(&[&v1, &v2]), (2, 5));
+        // v3 stops after one segment; the run shrinks to it.
+        assert_eq!(shared_prefix(&[&v1, &v2, &v3]), (1, 3));
+        // Content-equal but pointer-distinct caches do not share.
+        assert_eq!(shared_prefix(&[&v3, &v_twin]), (0, 0));
+        // A singleton shares its whole segment list with itself.
+        assert_eq!(shared_prefix(&[&v1]), (2, 5));
+        assert_eq!(shared_prefix(&[]), (0, 0));
+    }
+
+    #[test]
+    fn shared_prefix_requires_matching_windows() {
+        let a = Arc::new(cache_with(&[(0, 1.0), (1, 2.0), (2, 3.0)]));
+        let mut whole = KvView::with_shape(2, 3);
+        whole.push_cache(Arc::clone(&a)).unwrap();
+        let mut window = KvView::with_shape(2, 3);
+        window.push_segment(Arc::clone(&a), 1, 3).unwrap();
+        // Same Arc, different row windows — not the same physical rows.
+        assert_eq!(shared_prefix(&[&whole, &window]), (0, 0));
+        let mut same_window = KvView::with_shape(2, 3);
+        same_window.push_segment(Arc::clone(&a), 1, 3).unwrap();
+        assert_eq!(shared_prefix(&[&window, &same_window]), (1, 2));
+    }
+
+    #[test]
+    fn grouping_splits_adjacent_runs_and_deepens_prefixes() {
+        let a = Arc::new(cache_with(&[(0, 1.0), (1, 2.0)]));
+        let b = Arc::new(cache_with(&[(5, 9.0), (6, 10.0), (7, 11.0)]));
+        let make = |blocks: &[&Arc<KvCache>]| {
+            let mut v = KvView::with_shape(2, 3);
+            for block in blocks {
+                v.push_cache(Arc::clone(block)).unwrap();
+            }
+            v
+        };
+        // Batch order: [a+b, a+b, a, b, none, b] — adjacency decides runs.
+        let views = [
+            make(&[&a, &b]),
+            make(&[&a, &b]),
+            make(&[&a]),
+            make(&[&b]),
+            make(&[]),
+            make(&[&b]),
+        ];
+        let mut groups = Vec::new();
+        group_adjacent_prefixes(
+            views.len(),
+            |s, i| views[s].shared_segment_id(i),
+            &mut groups,
+        );
+        assert_eq!(
+            groups,
+            vec![
+                // Rows 0-2 all lead with `a`; only two also share `b`, so
+                // the common run is the one-segment prefix.
+                PrefixGroup { start: 0, len: 3, prefix_segments: 1, prefix_rows: 2 },
+                PrefixGroup { start: 3, len: 1, prefix_segments: 0, prefix_rows: 0 },
+                PrefixGroup { start: 4, len: 1, prefix_segments: 0, prefix_rows: 0 },
+                // Row 4 (no segments) breaks adjacency between the `b` rows.
+                PrefixGroup { start: 5, len: 1, prefix_segments: 0, prefix_rows: 0 },
+            ]
+        );
+        assert!(groups[0].is_shared());
+        assert!(!groups[1].is_shared());
+
+        // The deep pair alone shares both segments.
+        let mut pair = Vec::new();
+        group_adjacent_prefixes(2, |s, i| views[s].shared_segment_id(i), &mut pair);
+        assert_eq!(
+            pair,
+            vec![PrefixGroup { start: 0, len: 2, prefix_segments: 2, prefix_rows: 5 }]
+        );
+        assert_eq!(shared_prefix(&[&views[0], &views[1]]), (2, 5));
+
+        // Flat caches report no shared segments → singletons.
+        let mut flat = Vec::new();
+        group_adjacent_prefixes(3, |_, _| None, &mut flat);
+        assert_eq!(flat.len(), 3);
+        assert!(flat.iter().all(|g| g.len == 1 && g.prefix_rows == 0));
     }
 }

@@ -21,6 +21,33 @@ use super::matmul::dot_unrolled;
 use crate::par::{run_tasks, Parallelism};
 use std::ops::Range;
 
+/// Strictly sequential dot product — one accumulator, ascending index,
+/// no unrolling. This is the float-operation order of the attention
+/// score pass, factored out so the per-sequence and the prefix-shared
+/// batched kernels execute *the same function* on each (query, key) pair
+/// and bit-identity between them holds by construction rather than by
+/// parallel maintenance of two loops.
+#[inline]
+pub fn dot_seq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+    }
+    dot
+}
+
+/// Strictly sequential `acc[i] += p * row[i]` — the attention value
+/// accumulation step, shared between the kernels for the same reason as
+/// [`dot_seq`].
+#[inline]
+pub fn axpy_seq(acc: &mut [f32], p: f32, row: &[f32]) {
+    debug_assert_eq!(acc.len(), row.len());
+    for (o, &v) in acc.iter_mut().zip(row) {
+        *o += p * v;
+    }
+}
+
 /// `C[m,n] = A[m,k] · B[n,k]ᵀ` with the weight traversal shared across
 /// the batch: each of `B`'s `n` rows is loaded once and dotted against
 /// every one of the `m` batch rows before moving to the next weight row.
@@ -137,6 +164,25 @@ mod tests {
             matmul_transb_batched_par(&a, &b, &mut parallel, m, k, n, &par);
             assert_eq!(serial, parallel, "threads {threads}");
         }
+    }
+
+    #[test]
+    fn seq_primitives_match_naive_loops_bitwise() {
+        let a = wave(37, 0.17);
+        let b = wave(37, 0.43);
+        let mut naive = 0.0f32;
+        for i in 0..a.len() {
+            naive += a[i] * b[i];
+        }
+        assert_eq!(dot_seq(&a, &b), naive);
+
+        let mut acc = wave(37, 0.61);
+        let mut expect = acc.clone();
+        for i in 0..expect.len() {
+            expect[i] += 0.37 * b[i];
+        }
+        axpy_seq(&mut acc, 0.37, &b);
+        assert_eq!(acc, expect);
     }
 
     #[test]
