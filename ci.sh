@@ -36,6 +36,15 @@ cargo test -q -p pc-server batched
 cargo test -q -p pc-model --test prefix_tests
 cargo test -q -p prompt-cache --test prefix_sharing_tests
 cargo test -q -p pc-cache paged
+# Ops-plane gate: the HTTP endpoint smoke (server on an ephemeral port,
+# all four endpoints fetched over a raw TcpStream, Prometheus lines and
+# flight JSONL validated against docs/OBSERVABILITY.md), the per-module
+# analytics counters, the zero-overhead-when-disabled byte-identity, and
+# the seeded-chaos flight-replay byte-identity (runs under pc-faults
+# above). Batched-serving telemetry (tick spans, exact TTFT breakdowns)
+# rides in telemetry_tests, already gated above.
+cargo test -q -p pc-server --test ops
+cargo test -q -p pc-cache analytics
 # API migration gate: the deprecated serve_* shims must keep compiling
 # (zero warnings — clippy/rustdoc below run with -D warnings) and keep
 # agreeing with the unified ServeRequest API.

@@ -20,9 +20,14 @@
 //! * [`codec`] — a compact binary serialisation of encoded modules, so
 //!   precomputed attention states can be shipped between processes.
 //! * [`memory`] — Table 2's per-token memory accounting.
+//! * [`analytics`] — opt-in per-module heat analytics
+//!   ([`CacheAnalytics`]): hits, misses, degrades, evictions, bytes
+//!   served zero-copy vs copied, and batched shared-row attribution,
+//!   exported as labeled Prometheus series and a heat ranking.
 
 #![warn(missing_docs)]
 
+pub mod analytics;
 pub mod arena;
 pub mod codec;
 mod eviction;
@@ -31,8 +36,10 @@ pub mod paged;
 pub mod quant;
 mod store;
 
+pub use analytics::{CacheAnalytics, ModuleHeat};
 pub use arena::ConcatArena;
 pub use eviction::{EvictionPolicy, ModuleStats};
 pub use store::{
-    FetchFault, FetchFaultInjector, ModuleKey, ModuleStore, StoreConfig, StoreStats, Tier,
+    FetchFault, FetchFaultInjector, ModuleKey, ModuleSnapshot, ModuleStore, StoreConfig,
+    StoreStats, Tier,
 };

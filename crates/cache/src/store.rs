@@ -6,6 +6,7 @@
 //! time and evicting colder modules when capacity runs out. Reading for
 //! host inference never copies.
 
+use crate::analytics::{module_label, CacheAnalytics};
 use crate::eviction::{EvictionPolicy, ModuleStats};
 use parking_lot::Mutex;
 use pc_model::KvCache;
@@ -71,6 +72,11 @@ pub struct StoreConfig {
     /// then recomputes the span (graceful degradation). Off by default:
     /// verification is O(module bytes) per fetch.
     pub verify_checksums: bool,
+    /// Maintain a per-module [`CacheAnalytics`] table (hits, misses,
+    /// degrades, evictions, bytes shared vs copied, last-access tick,
+    /// batched shared-row attribution). Off by default: a store without
+    /// a table pays one `Option` check per would-be recording site.
+    pub module_analytics: bool,
 }
 
 impl Default for StoreConfig {
@@ -79,6 +85,7 @@ impl Default for StoreConfig {
             device_capacity_bytes: 0,
             policy: EvictionPolicy::Lru,
             verify_checksums: false,
+            module_analytics: false,
         }
     }
 }
@@ -102,6 +109,13 @@ impl StoreConfig {
     #[must_use]
     pub fn verify_checksums(mut self, on: bool) -> Self {
         self.verify_checksums = on;
+        self
+    }
+
+    /// Enables/disables the per-module analytics table.
+    #[must_use]
+    pub fn module_analytics(mut self, on: bool) -> Self {
+        self.module_analytics = on;
         self
     }
 }
@@ -226,6 +240,26 @@ fn content_checksum(cache: &KvCache) -> u64 {
     h
 }
 
+/// One stored entry as reported by [`ModuleStore::snapshot`] — the
+/// `/debug/cache` inventory row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleSnapshot {
+    /// Canonical module id label (`schema:path/segments`).
+    pub module: String,
+    /// The full key.
+    pub key: ModuleKey,
+    /// Encoded size in bytes.
+    pub size_bytes: usize,
+    /// Whether the entry is resident in the device tier.
+    pub on_device: bool,
+    /// Lookups served since insert.
+    pub access_count: u64,
+    /// Store logical clock at the most recent access.
+    pub last_access: u64,
+    /// Recompute cost supplied at insert (eviction input).
+    pub recompute_cost: f64,
+}
+
 /// Thread-safe encoded-module storage with host + bounded device tiers.
 ///
 /// # Example
@@ -244,16 +278,20 @@ pub struct ModuleStore {
     config: StoreConfig,
     inner: Mutex<Inner>,
     metrics: StoreMetrics,
+    /// Per-module analytics, present iff [`StoreConfig::module_analytics`].
+    analytics: Option<Arc<CacheAnalytics>>,
 }
 
 impl ModuleStore {
     /// Creates an empty store with telemetry disabled (the [`StoreStats`]
     /// counters are always on regardless).
     pub fn new(config: StoreConfig) -> Self {
+        let analytics = config.module_analytics.then(CacheAnalytics::new).map(Arc::new);
         ModuleStore {
             config,
             inner: Mutex::new(Inner::default()),
             metrics: StoreMetrics::default(),
+            analytics,
         }
     }
 
@@ -264,11 +302,21 @@ impl ModuleStore {
     /// gauges. Handles are resolved once here, so recording never takes
     /// the registry lock.
     pub fn with_telemetry(config: StoreConfig, telemetry: &Telemetry) -> Self {
+        let analytics = config.module_analytics.then(CacheAnalytics::new).map(Arc::new);
         ModuleStore {
             config,
             inner: Mutex::new(Inner::default()),
             metrics: StoreMetrics::resolve(telemetry),
+            analytics,
         }
+    }
+
+    /// The per-module analytics table, if enabled via
+    /// [`StoreConfig::module_analytics`]. The engine and scheduler use
+    /// this to attribute zero-copy bytes, degrades, and batched
+    /// shared-row reads back to modules.
+    pub fn analytics(&self) -> Option<&Arc<CacheAnalytics>> {
+        self.analytics.as_ref()
     }
 
     /// Inserts (or replaces) a module's encoded states.
@@ -335,6 +383,9 @@ impl ModuleStore {
                 FetchFault::Miss => {
                     inner.stats.misses += 1;
                     self.metrics.misses.inc();
+                    if let Some(a) = &self.analytics {
+                        a.record_miss(key, clock);
+                    }
                     return None;
                 }
                 FetchFault::Corrupt => {
@@ -345,6 +396,9 @@ impl ModuleStore {
         if !inner.entries.contains_key(key) {
             inner.stats.misses += 1;
             self.metrics.misses.inc();
+            if let Some(a) = &self.analytics {
+                a.record_miss(key, clock);
+            }
             return None;
         }
         if self.config.verify_checksums {
@@ -365,11 +419,17 @@ impl ModuleStore {
                 self.metrics.host_bytes.add(-(size as i64));
                 self.metrics.modules.set(inner.entries.len() as i64);
                 self.metrics.device_bytes.set(inner.device_used as i64);
+                if let Some(a) = &self.analytics {
+                    a.record_miss(key, clock);
+                }
                 return None;
             }
         }
         inner.stats.hits += 1;
         self.metrics.hits.inc();
+        if let Some(a) = &self.analytics {
+            a.record_hit(key, clock);
+        }
         if tier == Tier::Device {
             self.promote(&mut inner, key, true);
         }
@@ -412,6 +472,9 @@ impl ModuleStore {
             inner.device_used -= vs.size_bytes;
             inner.stats.evictions += 1;
             self.metrics.evictions.inc();
+            if let Some(a) = &self.analytics {
+                a.record_eviction(vk);
+            }
         }
         if inner.device_used + size <= self.config.device_capacity_bytes {
             inner.entries.get_mut(key).expect("present").on_device = true;
@@ -567,6 +630,28 @@ impl ModuleStore {
     /// Snapshot of the aggregate counters.
     pub fn stats(&self) -> StoreStats {
         self.inner.lock().stats
+    }
+
+    /// Point-in-time snapshot of every stored entry, sorted by module
+    /// label — the `/debug/cache` inventory. Cheap relative to the
+    /// entries it describes (clones keys, not KV states).
+    pub fn snapshot(&self) -> Vec<ModuleSnapshot> {
+        let inner = self.inner.lock();
+        let mut rows: Vec<ModuleSnapshot> = inner
+            .entries
+            .iter()
+            .map(|(key, e)| ModuleSnapshot {
+                module: module_label(key),
+                key: key.clone(),
+                size_bytes: e.stats.size_bytes,
+                on_device: e.on_device,
+                access_count: e.stats.access_count,
+                last_access: e.stats.last_access,
+                recompute_cost: e.stats.recompute_cost,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.module.cmp(&b.module));
+        rows
     }
 
     /// All stored keys (used by persistence and diagnostics).
@@ -979,6 +1064,62 @@ mod tests {
         let mut names: Vec<String> = store.keys().iter().map(|k| k.path[0].clone()).collect();
         names.sort();
         assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn analytics_table_tracks_per_module_activity() {
+        let one = module(4).size_bytes();
+        let store = ModuleStore::new(
+            StoreConfig::default()
+                .device_capacity_bytes(2 * one)
+                .module_analytics(true),
+        );
+        for name in ["a", "b", "c"] {
+            store.insert(key(name), module(4), 1.0);
+        }
+        store.get(&key("a"), Tier::Device);
+        store.get(&key("b"), Tier::Device);
+        store.get(&key("a"), Tier::Device); // a is MRU, b is LRU
+        store.get(&key("c"), Tier::Device); // evicts b
+        store.get(&key("missing"), Tier::Host);
+
+        let analytics = store.analytics().expect("enabled");
+        let snap = analytics.snapshot();
+        let row = |m: &str| snap.iter().find(|r| r.module == m).unwrap();
+        assert_eq!(row("s:a").hits, 2);
+        assert_eq!(row("s:b").evictions, 1);
+        assert_eq!(row("s:missing").misses, 1);
+        assert_eq!(snap[0].module, "s:a", "heat ranking leads with hottest");
+        assert!(row("s:a").last_access_tick > 0);
+        let text = analytics.prometheus_text();
+        assert!(text.contains("pc_module_hits_total{module=\"s:a\"} 2"), "{text}");
+        assert!(
+            text.contains("pc_module_evictions_total{module=\"s:b\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn analytics_disabled_by_default() {
+        let store = ModuleStore::new(StoreConfig::default());
+        assert!(store.analytics().is_none());
+    }
+
+    #[test]
+    fn snapshot_lists_entries_sorted() {
+        let store = ModuleStore::new(StoreConfig::default().device_capacity_bytes(1 << 20));
+        store.insert(key("b"), module(2), 3.0);
+        store.insert(key("a"), module(4), 1.0);
+        store.get(&key("a"), Tier::Device);
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].module, "s:a");
+        assert!(snap[0].on_device);
+        assert_eq!(snap[0].access_count, 1);
+        assert_eq!(snap[0].size_bytes, module(4).size_bytes());
+        assert_eq!(snap[1].module, "s:b");
+        assert!(!snap[1].on_device);
+        assert_eq!(snap[1].recompute_cost, 3.0);
     }
 
     #[test]

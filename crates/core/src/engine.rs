@@ -934,6 +934,11 @@ impl PromptCache {
         let fetch_span = telemetry.span("cache-fetch");
         let tier = options.tier.or(self.config.tier).unwrap_or(Tier::Host);
         let zero_copy = self.config.zero_copy;
+        // Per-module attribution (opt-in): degrades and zero-copy vs
+        // copied bytes land on the module that caused them, and each
+        // shared segment is tagged so the batched scheduler can route
+        // its per-group shared-row accounting back to modules.
+        let analytics = self.store.analytics();
         let mut view = KvView::with_shape(
             self.model.config().num_layers,
             self.model.config().kv_dim(),
@@ -1011,6 +1016,9 @@ impl PromptCache {
                 None if self.config.degrade_on_miss => {
                     let _degrade_span = telemetry.span("degrade");
                     degraded += 1;
+                    if let Some(a) = analytics {
+                        a.record_degrade(&scaffold.key);
+                    }
                     Arc::new(self.reencode_scaffold(entry, scaffold)?)
                 }
                 None => {
@@ -1024,9 +1032,18 @@ impl PromptCache {
             if zero_copy {
                 view.push_cache(Arc::clone(&states))?;
                 bytes_shared += bytes;
+                if let Some(a) = analytics {
+                    if let Some(seg) = view.segments().last() {
+                        a.tag_segment(seg.id(), &scaffold.key);
+                    }
+                    a.record_bytes_shared(&scaffold.key, bytes as u64);
+                }
             } else {
                 view.append_range_copy(&states, 0, rows)?;
                 bytes_copied += bytes;
+                if let Some(a) = analytics {
+                    a.record_bytes_copied(&scaffold.key, bytes as u64);
+                }
             }
             // Scaffold members have no params, so the mirror can take the
             // span tokens directly.
@@ -1056,6 +1073,9 @@ impl PromptCache {
                 None if self.config.degrade_on_miss => {
                     let _degrade_span = telemetry.span("degrade");
                     degraded += 1;
+                    if let Some(a) = analytics {
+                        a.record_degrade(&key);
+                    }
                     self.recompute_owner(&prompt.schema, entry, *span_index, &mut recomputed)?
                 }
                 None => {
@@ -1085,9 +1105,18 @@ impl PromptCache {
                 if zero_copy {
                     view.push_segment(Arc::clone(&states), s, e)?;
                     bytes_shared += states.bytes_for_rows(e - s);
+                    if let Some(a) = analytics {
+                        if let Some(seg) = view.segments().last() {
+                            a.tag_segment(seg.id(), &key);
+                        }
+                        a.record_bytes_shared(&key, states.bytes_for_rows(e - s) as u64);
+                    }
                 } else {
                     view.append_range_copy(&states, s, e)?;
                     bytes_copied += states.bytes_for_rows(e - s);
+                    if let Some(a) = analytics {
+                        a.record_bytes_copied(&key, states.bytes_for_rows(e - s) as u64);
+                    }
                 }
                 row_tokens.extend_from_slice(&toks[s..e]);
                 cached_rows += e - s;

@@ -20,7 +20,8 @@
 use crate::engine::{Prepared, PromptCache, ServeOptions};
 use crate::response::{Response, ServeOutcome};
 use crate::Result;
-use pc_model::{BatchScratch, KvSeq, TokenId};
+use pc_model::{BatchScratch, KvSeq, PrefixGroup, TokenId};
+use pc_telemetry::export::SCHEDULER_TICK_SPAN;
 use pc_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use std::time::Duration;
 
@@ -108,6 +109,46 @@ impl BatchMetrics {
     }
 }
 
+/// Point-in-time batch state reported by
+/// [`BatchScheduler::debug_snapshot`] — the `/debug/batch` payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSnapshot {
+    /// Configured batch-size ceiling.
+    pub max_batch_size: usize,
+    /// Whether the prefix-aware kernel is enabled.
+    pub prefix_sharing: bool,
+    /// Every in-flight sequence, in batch order.
+    pub sequences: Vec<BatchSeqInfo>,
+    /// The prefix groups the next prefix-aware tick would form.
+    pub groups: Vec<BatchGroupInfo>,
+}
+
+/// One in-flight sequence in a [`BatchSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSeqInfo {
+    /// Caller-assigned request id.
+    pub id: u64,
+    /// Tokens sampled so far.
+    pub tokens_generated: usize,
+    /// Next decode position.
+    pub next_pos: usize,
+    /// KV rows this sequence aliases zero-copy from shared modules.
+    pub shared_rows: usize,
+}
+
+/// One prefix group in a [`BatchSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchGroupInfo {
+    /// Request ids of the group's members (contiguous batch run).
+    pub members: Vec<u64>,
+    /// Leading segments every member shares.
+    pub prefix_segments: usize,
+    /// KV rows those segments contribute.
+    pub prefix_rows: usize,
+    /// Whether the group shares rows worth hoisting (len ≥ 2 and rows > 0).
+    pub shared: bool,
+}
+
 /// One in-flight sequence: a prepared serve plus its decode progress.
 struct Seq {
     id: u64,
@@ -131,6 +172,9 @@ pub struct BatchScheduler<'e> {
     /// or zero-budget), delivered at the next `step`.
     done: Vec<(u64, Response)>,
     metrics: BatchMetrics,
+    /// Where tick spans are recorded (defaults to the engine's handle;
+    /// [`BatchScheduler::with_telemetry`] re-targets it).
+    telemetry: Telemetry,
     /// Model-owned buffers (activations, scores, CSR segment lists,
     /// prefix groups) reused across every tick of this scheduler.
     scratch: BatchScratch,
@@ -147,6 +191,7 @@ impl<'e> BatchScheduler<'e> {
             seqs: Vec::new(),
             done: Vec::new(),
             metrics,
+            telemetry: engine.telemetry().clone(),
             scratch: BatchScratch::new(),
         }
     }
@@ -161,6 +206,7 @@ impl<'e> BatchScheduler<'e> {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
         self.metrics = BatchMetrics::resolve(telemetry);
+        self.telemetry = telemetry.clone();
         self
     }
 
@@ -257,6 +303,10 @@ impl<'e> BatchScheduler<'e> {
         }
         self.metrics.occupancy.observe(self.seqs.len() as f64);
         self.metrics.steps.inc();
+        // The tick span wraps phase A + B; the Chrome-trace exporter
+        // routes spans with this name to a dedicated logical lane so
+        // scheduler ticks don't interleave with worker spans.
+        let _tick_span = self.telemetry.span(SCHEDULER_TICK_SPAN);
 
         // Phase A — per-sequence sampling, mirroring the solo decode
         // loop: poll interruption, sample, record TTFT on the first
@@ -304,6 +354,28 @@ impl<'e> BatchScheduler<'e> {
             if stats.total_rows_read() > 0 {
                 self.metrics.share_ratio.set(stats.share_percent());
             }
+            // Per-module shared-row attribution (opt-in via the store's
+            // analytics table): each shared group's prefix segments were
+            // streamed once for the whole group this tick; credit those
+            // row reads (in the same row × layer units as the counters
+            // above) to the modules the segments alias.
+            if stats.shared_rows_read > 0 {
+                if let Some(analytics) = self.engine.store().analytics() {
+                    let layers = self.engine.model().config().num_layers as u64;
+                    for g in self.scratch.groups() {
+                        if !g.is_shared() {
+                            continue;
+                        }
+                        let view = &still[g.start].p.view;
+                        for i in 0..g.prefix_segments {
+                            if let Some(id) = view.shared_segment_id(i) {
+                                analytics
+                                    .record_shared_rows_for_segment(id, id.rows() as u64 * layers);
+                            }
+                        }
+                    }
+                }
+            }
             match batch {
                 Ok(rows) => {
                     for (seq, row) in still.iter_mut().zip(rows) {
@@ -336,6 +408,45 @@ impl<'e> BatchScheduler<'e> {
         }
         self.metrics.batch_size.set(self.seqs.len() as i64);
         out
+    }
+
+    /// Point-in-time view of the batch for `/debug/batch`: every
+    /// in-flight sequence plus the prefix groups the next prefix-aware
+    /// tick would form, recomputed fresh over the current membership so
+    /// admissions since the last tick are included.
+    pub fn debug_snapshot(&self) -> BatchSnapshot {
+        let mut groups: Vec<PrefixGroup> = Vec::new();
+        pc_model::group_adjacent_prefixes(
+            self.seqs.len(),
+            |s, i| self.seqs[s].p.view.shared_segment_id(i),
+            &mut groups,
+        );
+        BatchSnapshot {
+            max_batch_size: self.config.max_batch_size,
+            prefix_sharing: self.config.prefix_sharing,
+            sequences: self
+                .seqs
+                .iter()
+                .map(|s| BatchSeqInfo {
+                    id: s.id,
+                    tokens_generated: s.tokens.len(),
+                    next_pos: s.p.next_pos,
+                    shared_rows: s.p.view.shared_rows(),
+                })
+                .collect(),
+            groups: groups
+                .iter()
+                .map(|g| BatchGroupInfo {
+                    members: self.seqs[g.start..g.start + g.len]
+                        .iter()
+                        .map(|s| s.id)
+                        .collect(),
+                    prefix_segments: g.prefix_segments,
+                    prefix_rows: g.prefix_rows,
+                    shared: g.is_shared(),
+                })
+                .collect(),
+        }
     }
 
     /// Retires one sequence through the shared finalize half of the

@@ -195,3 +195,56 @@ fn telemetry_splits_row_traffic_into_shared_and_private() {
          {shared_on} shared + {private_on} private"
     );
 }
+
+#[test]
+fn analytics_attributes_shared_rows_and_bytes_to_modules() {
+    use pc_cache::StoreConfig;
+
+    let tokenizer = WordTokenizer::train(&[CORPUS]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let config =
+        EngineConfig::default().store(StoreConfig::default().module_analytics(true));
+    let engine =
+        PromptCache::new(Model::new(ModelConfig::llama_tiny(vocab), 42), tokenizer, config);
+    engine.register_schema(SCHEMA).unwrap();
+
+    // Two sequences importing the same miami module form one shared
+    // prefix group; the batched kernel streams the module's rows once
+    // per tick, and the analytics table must attribute those reads (and
+    // the zero-copy bytes from assembly) back to the miami module.
+    let options = ServeOptions::default().max_new_tokens(6);
+    let mut sched = BatchScheduler::new(&engine, BatchConfig::default().max_batch_size(2));
+    sched.admit(0, PROMPTS[0], &options).unwrap();
+    sched.admit(1, PROMPTS[3], &options).unwrap();
+
+    let snapshot = sched.debug_snapshot();
+    assert_eq!(snapshot.sequences.len(), 2);
+    assert_eq!(snapshot.groups.len(), 1, "{snapshot:?}");
+    assert!(snapshot.groups[0].shared);
+    assert_eq!(snapshot.groups[0].members, vec![0, 1]);
+    assert!(snapshot.groups[0].prefix_rows > 0);
+
+    drain(&mut sched);
+
+    // The engine stores spans under `schema:<span>/index` keys; both
+    // admissions import the same miami span, so exactly those modules
+    // should lead the heat ranking with shared-row and byte attribution.
+    let analytics = engine.store().analytics().expect("enabled");
+    let heat = analytics.snapshot();
+    assert!(!heat.is_empty());
+    assert!(heat.iter().all(|m| m.module.starts_with("trip:<span>/")), "{heat:?}");
+    let hot = &heat[0];
+    assert!(hot.hits >= 2, "both admissions fetched it: {hot:?}");
+    assert!(hot.bytes_shared > 0, "zero-copy bytes attributed: {hot:?}");
+    assert!(
+        hot.shared_rows > 0,
+        "batched prefix-group reads attributed: {hot:?}"
+    );
+    assert!(
+        heat.iter().map(|m| m.shared_rows).sum::<u64>() > 0
+            && heat.iter().map(|m| m.bytes_copied).sum::<u64>() == 0,
+        "zero-copy assembly never copies: {heat:?}"
+    );
+    let text = analytics.prometheus_text();
+    assert!(text.contains("pc_module_shared_rows_total{module="), "{text}");
+}

@@ -181,6 +181,51 @@ fn stalled_worker_triggers_deadline_shedding() {
 }
 
 #[test]
+fn flight_recorder_chaos_replay_is_byte_identical() {
+    // The flight recorder's determinism contract: under seeded faults
+    // and sequential submission, the deterministic JSONL dump (wall-
+    // clock timings stripped) is byte-identical across two same-seed
+    // runs — a failing replay can be diffed event-for-event against a
+    // healthy one.
+    let run = |seed: u64| -> String {
+        let engine = engine_with(
+            EngineConfig::default().store(StoreConfig::default().verify_checksums(true)),
+        );
+        engine.set_fetch_fault_injector(Some(Arc::new(FaultPlan::new(FaultConfig {
+            seed,
+            fetch_miss_rate: 0.4,
+            fetch_corrupt_rate: 0.2,
+            ..Default::default()
+        }))));
+        let server = Server::start(
+            engine,
+            ServerConfig::default()
+                .workers(1)
+                .queue_capacity(32)
+                .flight_recorder(1024),
+        );
+        // One request at a time, so event order is schedule-independent.
+        for _ in 0..8 {
+            assert!(server.submit(PROMPT.into(), opts()).wait().unwrap().outcome.is_ok());
+        }
+        let dump = server.flight_json_deterministic();
+        server.shutdown();
+        dump
+    };
+    let a = run(33);
+    assert!(
+        a.lines().count() >= 8 * 4,
+        "submit/pickup/fetch/finish per request: {a}"
+    );
+    assert!(a.contains("\"kind\":\"degrade\""), "chaos must surface degrades: {a}");
+    assert!(!a.contains("\"t\":"), "deterministic dump carries no wall-clock timings");
+    let b = run(33);
+    assert_eq!(a, b, "same seed → byte-identical flight dump");
+    let c = run(99);
+    assert_ne!(a, c, "different seed → different fault trail");
+}
+
+#[test]
 fn chaos_run_is_deterministic_end_to_end() {
     // Same seed, same prompts → the same set of degraded serves and the
     // same outputs, through the whole server stack. Checksums are on so

@@ -48,6 +48,18 @@
 //! * **Chaos hooks.** [`WorkerFaults`] injects pre-serve stalls (see
 //!   `pc-faults` for the deterministic seeded implementation).
 //!
+//! # Ops plane
+//!
+//! [`ServerConfig::ops_addr`] starts one std-only HTTP listener thread
+//! serving `GET /metrics` (Prometheus), `/healthz` (admission + SLO
+//! rollup), `/debug/cache` (store snapshot + per-module heat),
+//! `/debug/batch` (live batch membership), and `/debug/flight` (the
+//! flight recorder as JSON Lines). [`ServerConfig::flight_recorder`]
+//! enables the fixed-capacity per-request event ring behind
+//! `/debug/flight` and [`Server::flight_json`]. Both are off by default
+//! and cost one `Option` check per request when disabled — see
+//! `docs/OBSERVABILITY.md` for the full endpoint and event reference.
+//!
 //! # Example
 //!
 //! ```
@@ -76,6 +88,7 @@
 
 pub mod capacity;
 pub mod metrics;
+mod ops;
 mod server;
 pub mod trace;
 

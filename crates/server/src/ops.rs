@@ -1,0 +1,145 @@
+//! The ops plane: a std-only HTTP/1.1 endpoint thread.
+//!
+//! Enabled by [`crate::ServerConfig::ops_addr`], one listener thread
+//! serves four read-only endpoints over plain TCP — no HTTP library,
+//! just [`std::net::TcpListener`] and a minimal request-line parser —
+//! so operators can scrape and debug a running server without linking
+//! against it:
+//!
+//! | Path            | Payload                                               |
+//! |-----------------|-------------------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition (0.0.4) with HELP metadata |
+//! | `/healthz`      | JSON admission/queue/SLO rollup                       |
+//! | `/debug/cache`  | JSON store snapshot + per-module heat ranking         |
+//! | `/debug/batch`  | JSON live batch membership + prefix groups            |
+//! | `/debug/flight` | Flight-recorder events as JSON Lines                  |
+//!
+//! The thread blocks in `accept`; shutdown sets a flag and self-connects
+//! once to wake it. Requests are served one at a time with short I/O
+//! timeouts — this is an operator plane, not a data plane. A server
+//! without `ops_addr` spawns no thread and binds no socket.
+
+use crate::server::{
+    render_debug_batch, render_debug_cache, render_flight, render_healthz, render_metrics, Shared,
+};
+use prompt_cache::PromptCache;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running ops listener: its bound address (useful with
+/// port 0) plus the shutdown hook.
+pub(crate) struct OpsHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl OpsHandle {
+    /// The actually-bound address (resolves an ephemeral port 0).
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener: sets the flag, self-connects to wake the
+    /// blocking `accept`, and joins the thread.
+    pub(crate) fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Binds `addr` and spawns the listener thread.
+pub(crate) fn spawn(
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    engine: Arc<PromptCache>,
+) -> std::io::Result<OpsHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::spawn(move || serve_loop(&listener, &stop_flag, &shared, &engine));
+    Ok(OpsHandle {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn serve_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    shared: &Shared,
+    engine: &PromptCache,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // One connection at a time: an operator plane never needs more,
+        // and serial handling keeps the thread trivially robust.
+        let _ = handle_conn(stream, shared, engine);
+    }
+}
+
+fn handle_conn(
+    mut stream: TcpStream,
+    shared: &Shared,
+    engine: &PromptCache,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers to the blank line; their contents don't matter.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    const TEXT: &str = "text/plain; charset=utf-8";
+    const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+    const JSON: &str = "application/json";
+    const NDJSON: &str = "application/x-ndjson";
+    let (status, content_type, body) = if method != "GET" {
+        ("405 Method Not Allowed", TEXT, "method not allowed\n".to_owned())
+    } else {
+        match path {
+            "/metrics" => ("200 OK", PROM, render_metrics(shared, engine)),
+            "/healthz" => ("200 OK", JSON, render_healthz(shared)),
+            "/debug/cache" => ("200 OK", JSON, render_debug_cache(engine)),
+            "/debug/batch" => ("200 OK", JSON, render_debug_batch(shared)),
+            "/debug/flight" => match render_flight(shared) {
+                Some(body) => ("200 OK", NDJSON, body),
+                None => (
+                    "404 Not Found",
+                    TEXT,
+                    "flight recorder disabled (set ServerConfig::flight_recorder)\n".to_owned(),
+                ),
+            },
+            _ => ("404 Not Found", TEXT, "not found\n".to_owned()),
+        }
+    };
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

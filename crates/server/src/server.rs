@@ -2,12 +2,15 @@
 //! cooperative cancellation, and drain-or-cancel shutdown.
 
 use crate::metrics::MetricsSnapshot;
+use crate::ops::OpsHandle;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use pc_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use pc_telemetry::flight::BATCH_SCOPE;
+use pc_telemetry::{Counter, FlightEvent, FlightRecorder, Gauge, Histogram, Telemetry};
 use prompt_cache::{
-    BatchConfig, BatchScheduler, CancelToken, EngineError, PromptCache, Response, ServeOptions,
-    ServeOutcome, ServeRequest, Served,
+    BatchConfig, BatchScheduler, BatchSnapshot, CancelToken, EngineError, PromptCache, Response,
+    ServeOptions, ServeOutcome, ServeRequest, Served,
 };
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -43,6 +46,20 @@ pub struct ServerConfig {
     /// EOS/deadline/cancel) instead of a pool of one-request-at-a-time
     /// workers. Greedy outputs are byte-identical either way.
     pub batching: Option<BatchConfig>,
+    /// Ops-plane HTTP address: when set, [`Server::start`] binds a plain
+    /// [`std::net::TcpListener`] here and serves `GET /metrics`,
+    /// `/healthz`, `/debug/cache`, `/debug/batch`, and `/debug/flight`
+    /// from one listener thread (no HTTP library). Use port 0 for an
+    /// ephemeral port and read it back with [`Server::ops_local_addr`].
+    /// `None` (the default) binds nothing and spawns nothing.
+    pub ops_addr: Option<SocketAddr>,
+    /// Flight-recorder capacity in events: when nonzero, every request
+    /// leaves a structured event trail (submit, shed, pickup, batch
+    /// join/leave, per-tick membership, fetch, degrade, finish) in a
+    /// fixed-size ring, dumpable via [`Server::flight_json`] and
+    /// `/debug/flight`. Zero (the default) allocates no ring; recording
+    /// sites cost one `Option` check.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +71,8 @@ impl Default for ServerConfig {
             workers: prompt_cache::Parallelism::from_env().num_threads.max(2),
             queue_capacity: 64,
             batching: None,
+            ops_addr: None,
+            flight_capacity: 0,
         }
     }
 }
@@ -77,6 +96,22 @@ impl ServerConfig {
     #[must_use]
     pub fn batching(mut self, config: BatchConfig) -> Self {
         self.batching = Some(config);
+        self
+    }
+
+    /// Enables the ops-plane HTTP endpoint on `addr` (see
+    /// [`ServerConfig::ops_addr`]).
+    #[must_use]
+    pub fn ops_addr(mut self, addr: SocketAddr) -> Self {
+        self.ops_addr = Some(addr);
+        self
+    }
+
+    /// Enables the request flight recorder with room for `capacity`
+    /// events (see [`ServerConfig::flight_capacity`]).
+    #[must_use]
+    pub fn flight_recorder(mut self, capacity: usize) -> Self {
+        self.flight_capacity = capacity;
         self
     }
 }
@@ -265,6 +300,10 @@ struct Job {
     /// stored in `options.cancel`; kept here so pickup-time shed checks
     /// don't dig through options.
     cancel: CancelToken,
+    /// The submission-relative latency budget the caller set via
+    /// [`ServeOptions::deadline`] (consumed into the token's absolute
+    /// deadline by `make_job`) — kept for SLO burn accounting.
+    budget: Option<Duration>,
     submitted: Instant,
     reply: Sender<RequestResult>,
 }
@@ -281,10 +320,15 @@ pub trait WorkerFaults: Send + Sync + std::fmt::Debug {
     fn pre_serve_delay(&self, id: u64) -> Duration;
 }
 
+/// SLO budget-burn histogram buckets: fractions of the latency budget
+/// consumed (1.0 = the request used exactly its budget; above = a
+/// violation).
+const SLO_BURN_BUCKETS: &[f64] = &[0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.25, 1.5, 2.0, 5.0, 10.0];
+
 /// Per-server metric state: an always-on [`Telemetry`] registry with
 /// pre-resolved handles. Recording is atomics-only on the worker path;
 /// the registry lock is touched exactly once per handle, here.
-struct Shared {
+pub(crate) struct Shared {
     telemetry: Telemetry,
     served: Counter,
     failed: Counter,
@@ -300,6 +344,14 @@ struct Shared {
     /// sequence in the in-flight batch). Feeds the admission-control
     /// wait estimate alongside the queue depth.
     in_flight: Gauge,
+    /// Deadline-carrying requests completed (the SLO denominator).
+    slo_requests: Counter,
+    /// Deadline-carrying requests that blew their budget — overran
+    /// in flight, or were shed dead-on-pickup.
+    slo_violations: Counter,
+    /// Budget burn: (queue + service) ÷ deadline, per completed
+    /// deadline-carrying request.
+    slo_burn: Histogram,
     /// EWMA of worker service time in nanoseconds (α = 1/8), feeding the
     /// admission-control wait estimate. Zero until the first completion.
     ewma_service_ns: AtomicU64,
@@ -307,10 +359,24 @@ struct Shared {
     /// of served.
     draining: AtomicBool,
     faults: Mutex<Option<Arc<dyn WorkerFaults>>>,
+    /// When the server started — `pc_uptime_seconds` and `/healthz`.
+    started: Instant,
+    /// Queue capacity, echoed by `/healthz` next to the live depth.
+    queue_capacity: usize,
+    /// The flight recorder; `None` (the default) means every recording
+    /// site is a single `Option` check and no ring exists.
+    flight: Option<Arc<FlightRecorder>>,
+    /// Latest batch-membership snapshot, published once per scheduler
+    /// tick for `/debug/batch` — only when `publish_batch_debug` is set.
+    batch_debug: Mutex<Option<BatchSnapshot>>,
+    /// Set when the ops endpoint is up: tells the batch loop to publish
+    /// `batch_debug`. Off by default so unobserved servers skip the
+    /// snapshot entirely.
+    publish_batch_debug: AtomicBool,
 }
 
-impl Default for Shared {
-    fn default() -> Self {
+impl Shared {
+    fn new(queue_capacity: usize, flight: Option<Arc<FlightRecorder>>) -> Self {
         let telemetry = Telemetry::new();
         Shared {
             served: telemetry.counter("pc_requests_served_total"),
@@ -324,15 +390,42 @@ impl Default for Shared {
             queue: telemetry.latency_histogram("pc_queue_wait_seconds"),
             queue_depth: telemetry.gauge("pc_queue_depth"),
             in_flight: telemetry.gauge("pc_requests_in_flight"),
+            slo_requests: telemetry.counter("pc_slo_requests_total"),
+            slo_violations: telemetry.counter("pc_slo_violations_total"),
+            slo_burn: telemetry.histogram("pc_slo_budget_burn_ratio", SLO_BURN_BUCKETS),
             ewma_service_ns: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             faults: Mutex::new(None),
+            started: Instant::now(),
+            queue_capacity,
+            flight,
+            batch_debug: Mutex::new(None),
+            publish_batch_debug: AtomicBool::new(false),
             telemetry,
         }
     }
-}
 
-impl Shared {
+    /// Records a flight event — the closure only runs when the recorder
+    /// exists, so the disabled path is exactly one `Option` check and
+    /// never builds the event.
+    fn record_flight(&self, make: impl FnOnce() -> FlightEvent) {
+        if let Some(flight) = &self.flight {
+            flight.record(make());
+        }
+    }
+
+    /// SLO accounting for one completed deadline-carrying request:
+    /// observes the budget burn and counts a violation when the request
+    /// overran its budget (or the engine reported a deadline overrun).
+    fn record_slo(&self, budget: Duration, elapsed: Duration, overran: bool) {
+        self.slo_requests.inc();
+        let burn = elapsed.as_secs_f64() / budget.as_secs_f64().max(1e-9);
+        self.slo_burn.observe(burn);
+        if burn > 1.0 || overran {
+            self.slo_violations.inc();
+        }
+    }
+
     fn record_service_sample(&self, service: Duration) {
         let sample = u64::try_from(service.as_nanos()).unwrap_or(u64::MAX);
         let old = self.ewma_service_ns.load(Ordering::Relaxed);
@@ -363,6 +456,9 @@ pub struct Server {
     /// [`Server::shutdown_within`] to cancel in-flight serves.
     shutdown_token: CancelToken,
     engine: Arc<PromptCache>,
+    /// The ops-plane HTTP listener, when [`ServerConfig::ops_addr`] set
+    /// one; stopped on shutdown/drop.
+    ops: Option<OpsHandle>,
 }
 
 impl Server {
@@ -370,9 +466,17 @@ impl Server {
     /// when [`ServerConfig::batching`] is set — a single continuous-
     /// batching scheduler thread that admits queued requests into an
     /// in-flight decode batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`ServerConfig::ops_addr`] is set and the address
+    /// cannot be bound — an unreachable ops plane that was explicitly
+    /// asked for is a deployment error, not something to limp past.
     pub fn start(engine: PromptCache, config: ServerConfig) -> Self {
         let engine = Arc::new(engine);
-        let shared = Arc::new(Shared::default());
+        let flight = (config.flight_capacity > 0)
+            .then(|| Arc::new(FlightRecorder::new(config.flight_capacity)));
+        let shared = Arc::new(Shared::new(config.queue_capacity.max(1), flight));
         let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
         let (workers, slots) = if let Some(batch_config) = config.batching {
             let slots = batch_config.max_batch_size;
@@ -394,6 +498,11 @@ impl Server {
                 .collect();
             (workers, n)
         };
+        let ops = config.ops_addr.map(|addr| {
+            shared.publish_batch_debug.store(true, Ordering::Release);
+            crate::ops::spawn(addr, Arc::clone(&shared), Arc::clone(&engine))
+                .unwrap_or_else(|e| panic!("ops endpoint bind failed on {addr}: {e}"))
+        });
         Server {
             tx: Some(tx),
             queue_rx: rx,
@@ -403,6 +512,7 @@ impl Server {
             next_id: AtomicU64::new(0),
             shutdown_token: CancelToken::new(),
             engine,
+            ops,
         }
     }
 
@@ -444,15 +554,24 @@ impl Server {
         prompt_pml: String,
         options: ServeOptions,
     ) -> Result<RequestHandle, SubmitError> {
-        if let Some(deadline) = options.deadline {
+        // Build the job first so even admission-time sheds carry a
+        // request id in the flight recorder (ids stay unique and
+        // monotone; a rejected id is simply never served).
+        let (job, handle) = self.make_job(prompt_pml, options, false);
+        self.shared.record_flight(|| submit_event(&job));
+        if let Some(deadline) = job.budget {
             let estimated_wait = self.estimated_queue_wait();
             if estimated_wait > deadline {
                 let _shed_span = self.shared.telemetry.span("shed");
                 self.shared.shed.inc();
+                self.shared.record_flight(|| {
+                    FlightEvent::new(job.id, "shed")
+                        .field("reason", "predicted_deadline")
+                        .timing_us("estimated_wait", micros(estimated_wait))
+                });
                 return Err(SubmitError::PredictedDeadlineExceeded { estimated_wait });
             }
         }
-        let (job, handle) = self.make_job(prompt_pml, options, false);
         // The gauge moves *before* the send so a worker (or the batch
         // loop) picking the job up immediately can never decrement past
         // zero; on rejection the increment is rolled back.
@@ -464,10 +583,13 @@ impl Server {
             .try_send(job)
         {
             Ok(()) => Ok(handle),
-            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+            Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => {
                 self.shared.queue_depth.add(-1);
                 let _shed_span = self.shared.telemetry.span("shed");
                 self.shared.shed.inc();
+                self.shared.record_flight(|| {
+                    FlightEvent::new(job.id, "shed").field("reason", "queue_full")
+                });
                 Err(SubmitError::QueueFull)
             }
         }
@@ -501,7 +623,8 @@ impl Server {
         // to an absolute one so queue wait counts against the budget.
         let base = options.cancel.take().unwrap_or_default();
         let mut token = base.linked_to(&self.shutdown_token);
-        if let Some(budget) = options.deadline.take() {
+        let budget = options.deadline.take();
+        if let Some(budget) = budget {
             token = token.with_budget(budget);
         }
         options.cancel = Some(token.clone());
@@ -511,6 +634,7 @@ impl Server {
             options,
             baseline,
             cancel: token.clone(),
+            budget,
             submitted: Instant::now(),
             reply,
         };
@@ -519,6 +643,7 @@ impl Server {
 
     fn submit_inner(&self, prompt: String, options: ServeOptions, baseline: bool) -> RequestHandle {
         let (job, handle) = self.make_job(prompt, options, baseline);
+        self.shared.record_flight(|| submit_event(&job));
         self.shared.queue_depth.add(1);
         self.tx
             .as_ref()
@@ -561,37 +686,43 @@ impl Server {
     /// [`prompt_cache::PromptCache::store_stats`] if the engine registry
     /// did not already provide them. Names the engine registry shares
     /// with the server registry (e.g. `pc_degraded_serves_total`) keep
-    /// the server's series — no duplicates.
+    /// the server's series — no duplicates. Appends the per-module cache
+    /// analytics series (`pc_module_*`, when
+    /// [`pc_cache::StoreConfig::module_analytics`] is on), the
+    /// `pc_build_info` info-gauge, and `pc_uptime_seconds`. Identical to
+    /// what `GET /metrics` on the ops endpoint returns.
     pub fn metrics_text(&self) -> String {
-        let mut snap = self.shared.telemetry.snapshot();
-        let engine_snap = self.engine.telemetry().snapshot();
-        let have: std::collections::HashSet<String> =
-            snap.counters.iter().map(|(n, _)| n.clone()).collect();
-        snap.counters.extend(
-            engine_snap
-                .counters
-                .into_iter()
-                .filter(|(n, _)| !have.contains(n)),
-        );
-        snap.gauges.extend(engine_snap.gauges);
-        snap.histograms.extend(engine_snap.histograms);
-        let stats = self.engine.store_stats();
-        for (name, value) in [
-            ("pc_cache_hits_total", stats.hits),
-            ("pc_cache_misses_total", stats.misses),
-            ("pc_cache_device_hits_total", stats.device_hits),
-            ("pc_cache_evictions_total", stats.evictions),
-            ("pc_cache_bytes_copied_h2d_total", stats.bytes_copied_h2d),
-            ("pc_cache_corruptions_total", stats.corruptions_detected),
-        ] {
-            if !snap.counters.iter().any(|(n, _)| n == name) {
-                snap.counters.push((name.to_owned(), value));
-            }
-        }
-        snap.counters.sort();
-        snap.gauges.sort();
-        snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
-        pc_telemetry::export::prometheus_text(&snap)
+        render_metrics(&self.shared, &self.engine)
+    }
+
+    /// The bound address of the ops-plane HTTP endpoint, when
+    /// [`ServerConfig::ops_addr`] enabled one — resolves port 0 to the
+    /// actual ephemeral port.
+    pub fn ops_local_addr(&self) -> Option<SocketAddr> {
+        self.ops.as_ref().map(OpsHandle::local_addr)
+    }
+
+    /// The flight recorder's events as JSON Lines (one event per line,
+    /// oldest first), including wall-clock timings. Empty when the
+    /// recorder is disabled — same payload as `GET /debug/flight`.
+    pub fn flight_json(&self) -> String {
+        self.shared
+            .flight
+            .as_ref()
+            .map(|f| f.jsonl())
+            .unwrap_or_default()
+    }
+
+    /// Like [`Server::flight_json`] but without the wall-clock
+    /// `timings_us` payload: for a deterministic workload (seeded
+    /// faults, sequential submission), two same-seed runs produce
+    /// byte-identical dumps.
+    pub fn flight_json_deterministic(&self) -> String {
+        self.shared
+            .flight
+            .as_ref()
+            .map(|f| f.deterministic_jsonl())
+            .unwrap_or_default()
     }
 
     /// The server's own telemetry registry (always enabled; distinct from
@@ -608,6 +739,9 @@ impl Server {
         self.tx.take(); // close the channel; workers exit on disconnect
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(ops) = self.ops.take() {
+            ops.stop();
         }
     }
 
@@ -644,6 +778,9 @@ impl Server {
             }
             // Unfinished handles are detached by the drop.
         }
+        if let Some(ops) = self.ops.take() {
+            ops.stop();
+        }
         all_done
     }
 }
@@ -653,6 +790,9 @@ impl Drop for Server {
         self.tx.take();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(ops) = self.ops.take() {
+            ops.stop();
         }
     }
 }
@@ -681,12 +821,49 @@ fn pickup_shed_reason(shared: &Shared, job: &Job) -> Option<ShedReason> {
     }
 }
 
+/// The flight-recorder label for a pickup-time shed.
+fn shed_reason_label(reason: ShedReason) -> &'static str {
+    match reason {
+        ShedReason::DeadlineBeforeStart => "deadline_before_start",
+        ShedReason::CancelledInQueue => "cancelled_in_queue",
+        ShedReason::ShuttingDown => "shutting_down",
+    }
+}
+
+/// Saturating microseconds, for flight-event timings.
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The flight-recorder "submit" event for a freshly built job.
+fn submit_event(job: &Job) -> FlightEvent {
+    let mut event = FlightEvent::new(job.id, "submit")
+        .field("prompt_chars", job.prompt.len())
+        .field("baseline", job.baseline);
+    if let Some(budget) = job.budget {
+        event = event.field("budget_ms", u64::try_from(budget.as_millis()).unwrap_or(u64::MAX));
+    }
+    event
+}
+
 /// Records a pickup-time shed and replies — never reaches the engine.
 fn shed_at_pickup(shared: &Shared, job: &Job, reason: ShedReason, queue_time: Duration) {
     let _shed_span = shared.telemetry.span("shed");
     shared.shed.inc();
     if reason == ShedReason::CancelledInQueue {
         shared.cancelled.inc();
+    }
+    shared.record_flight(|| {
+        FlightEvent::new(job.id, "shed")
+            .field("reason", shed_reason_label(reason))
+            .timing_us("queue", micros(queue_time))
+    });
+    // A request that died in the queue past its own deadline burned its
+    // whole budget without being served: an SLO violation.
+    if reason == ShedReason::DeadlineBeforeStart {
+        if let Some(budget) = job.budget {
+            shared.record_slo(budget, queue_time, true);
+        }
     }
     shared.queue.observe(queue_time.as_secs_f64());
     let _ = job.reply.send(RequestResult {
@@ -711,8 +888,18 @@ fn apply_fault_stall(shared: &Shared, id: u64) {
     }
 }
 
-/// Records completion metrics and replies — shared by the worker pool
-/// and the batch loop so both modes produce identical series.
+/// Stringifies a [`ServeOutcome`] for flight events.
+fn outcome_label(outcome: ServeOutcome) -> &'static str {
+    match outcome {
+        ServeOutcome::Complete => "complete",
+        ServeOutcome::Cancelled => "cancelled",
+        ServeOutcome::DeadlineExceeded => "deadline_exceeded",
+    }
+}
+
+/// Records completion metrics, flight events, and SLO burn, then
+/// replies — shared by the worker pool and the batch loop so both modes
+/// produce identical series and event trails.
 fn complete_request(
     shared: &Shared,
     reply: &Sender<RequestResult>,
@@ -720,6 +907,7 @@ fn complete_request(
     outcome: Result<Response, EngineError>,
     queue_time: Duration,
     service_time: Duration,
+    budget: Option<Duration>,
 ) {
     match &outcome {
         Ok(response) => {
@@ -741,9 +929,48 @@ fn complete_request(
             if response.stats.degraded_spans > 0 {
                 shared.degraded.inc();
             }
+            shared.record_flight(|| {
+                FlightEvent::new(id, "fetch")
+                    .field("cached_tokens", response.stats.cached_tokens)
+                    .field("new_tokens", response.stats.new_tokens)
+                    .field("bytes_shared", response.stats.bytes_shared)
+                    .field("bytes_copied", response.stats.bytes_copied)
+                    .field("used_scaffold", response.stats.used_scaffold)
+            });
+            if response.stats.degraded_spans > 0 {
+                shared.record_flight(|| {
+                    FlightEvent::new(id, "degrade")
+                        .field("spans", response.stats.degraded_spans)
+                });
+            }
+            shared.record_flight(|| {
+                FlightEvent::new(id, "finish")
+                    .field("outcome", outcome_label(response.outcome))
+                    .field("tokens", response.tokens.len())
+                    .timing_us("queue", micros(queue_time))
+                    .timing_us("service", micros(service_time))
+                    .timing_us("ttft", micros(response.timings.ttft))
+                    .timing_us("tokenize", micros(response.breakdown.tokenize))
+                    .timing_us("fetch", micros(response.breakdown.fetch))
+                    .timing_us("prefill", micros(response.breakdown.prefill))
+                    .timing_us("sample", micros(response.breakdown.sample))
+            });
+            if let Some(budget) = budget {
+                shared.record_slo(
+                    budget,
+                    queue_time + service_time,
+                    response.outcome == ServeOutcome::DeadlineExceeded,
+                );
+            }
         }
         Err(_) => {
             shared.failed.inc();
+            shared.record_flight(|| {
+                FlightEvent::new(id, "finish")
+                    .field("outcome", "error")
+                    .timing_us("queue", micros(queue_time))
+                    .timing_us("service", micros(service_time))
+            });
         }
     }
     shared.record_service_sample(service_time);
@@ -773,6 +1000,9 @@ fn worker_loop(rx: &Receiver<Job>, engine: &PromptCache, shared: &Shared) {
             continue;
         }
         apply_fault_stall(shared, job.id);
+        shared.record_flight(|| {
+            FlightEvent::new(job.id, "pickup").timing_us("queue", micros(queue_time))
+        });
 
         shared.in_flight.add(1);
         let start = Instant::now();
@@ -783,7 +1013,15 @@ fn worker_loop(rx: &Receiver<Job>, engine: &PromptCache, shared: &Shared) {
         };
         let service_time = start.elapsed();
         shared.in_flight.add(-1);
-        complete_request(shared, &job.reply, job.id, outcome, queue_time, service_time);
+        complete_request(
+            shared,
+            &job.reply,
+            job.id,
+            outcome,
+            queue_time,
+            service_time,
+            job.budget,
+        );
     }
 }
 
@@ -793,6 +1031,34 @@ struct InFlightEntry {
     reply: Sender<RequestResult>,
     queue_time: Duration,
     picked: Instant,
+    budget: Option<Duration>,
+}
+
+/// The batch-scoped per-tick flight event: live membership plus prefix
+/// grouping, e.g. `members: "0,1,2"`, `groups: "0+1|2"` (`+` joins
+/// members sharing a prefix group, `|` separates groups).
+fn tick_event(snapshot: &BatchSnapshot) -> FlightEvent {
+    let members = snapshot
+        .sequences
+        .iter()
+        .map(|s| s.id.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let groups = snapshot
+        .groups
+        .iter()
+        .map(|g| {
+            g.members
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join("+")
+        })
+        .collect::<Vec<_>>()
+        .join("|");
+    FlightEvent::new(BATCH_SCOPE, "tick")
+        .field("members", members)
+        .field("groups", groups)
 }
 
 /// The continuous-batching serve loop: one thread drives a
@@ -829,13 +1095,32 @@ fn batch_loop(rx: &Receiver<Job>, engine: &PromptCache, shared: &Shared, config:
                 }
             }
         }
+        // Publish batch membership for the ops plane and the flight
+        // recorder before the tick mutates it. Both are off by default:
+        // an unobserved server skips the snapshot entirely.
+        if shared.publish_batch_debug.load(Ordering::Acquire) || shared.flight.is_some() {
+            let snapshot = sched.debug_snapshot();
+            if !snapshot.sequences.is_empty() {
+                shared.record_flight(|| tick_event(&snapshot));
+            }
+            *shared.batch_debug.lock().unwrap() = Some(snapshot);
+        }
         for (id, result) in sched.step() {
             let Some(entry) = inflight.remove(&id) else {
                 continue;
             };
             shared.in_flight.add(-1);
+            shared.record_flight(|| FlightEvent::new(id, "batch_leave"));
             let service_time = entry.picked.elapsed();
-            complete_request(shared, &entry.reply, id, result, entry.queue_time, service_time);
+            complete_request(
+                shared,
+                &entry.reply,
+                id,
+                result,
+                entry.queue_time,
+                service_time,
+                entry.budget,
+            );
         }
     }
 }
@@ -856,6 +1141,9 @@ fn admit_job(
         return;
     }
     apply_fault_stall(shared, job.id);
+    shared.record_flight(|| {
+        FlightEvent::new(job.id, "pickup").timing_us("queue", micros(queue_time))
+    });
 
     let picked = Instant::now();
     if job.baseline {
@@ -864,21 +1152,259 @@ fn admit_job(
         let outcome = engine
             .serve(&ServeRequest::new(&job.prompt).options(job.options.clone()).baseline(true))
             .map(Served::into_response);
-        complete_request(shared, &job.reply, job.id, outcome, queue_time, picked.elapsed());
+        complete_request(
+            shared,
+            &job.reply,
+            job.id,
+            outcome,
+            queue_time,
+            picked.elapsed(),
+            job.budget,
+        );
         return;
     }
     match sched.admit(job.id, &job.prompt, &job.options) {
         Ok(()) => {
             shared.in_flight.add(1);
+            shared.record_flight(|| {
+                FlightEvent::new(job.id, "batch_join").field("in_flight", sched.in_flight())
+            });
             inflight.insert(
                 job.id,
-                InFlightEntry { reply: job.reply, queue_time, picked },
+                InFlightEntry { reply: job.reply, queue_time, picked, budget: job.budget },
             );
         }
         Err(e) => {
-            complete_request(shared, &job.reply, job.id, Err(e), queue_time, picked.elapsed());
+            complete_request(
+                shared,
+                &job.reply,
+                job.id,
+                Err(e),
+                queue_time,
+                picked.elapsed(),
+                job.budget,
+            );
         }
     }
+}
+
+/// Feature inventory baked into `pc_build_info` — compile-time, so the
+/// series is constant for a given binary.
+const BUILD_FEATURES: &str = "serve,batching,prefix-sharing,ops,flight-recorder";
+
+/// Minimal JSON string escaping for the debug endpoints (module labels,
+/// status strings).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON number-or-null for optional percentiles.
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_owned(), |v| format!("{v:.6}"))
+}
+
+/// The full Prometheus payload: server registry + engine registry
+/// (deduplicated) + `StoreStats` fallback counters + per-module
+/// analytics series + build info + uptime. Shared by
+/// [`Server::metrics_text`] and the ops endpoint's `GET /metrics`.
+pub(crate) fn render_metrics(shared: &Shared, engine: &PromptCache) -> String {
+    let mut snap = shared.telemetry.snapshot();
+    let engine_snap = engine.telemetry().snapshot();
+    let have: std::collections::HashSet<String> =
+        snap.counters.iter().map(|(n, _)| n.clone()).collect();
+    snap.counters.extend(
+        engine_snap
+            .counters
+            .into_iter()
+            .filter(|(n, _)| !have.contains(n)),
+    );
+    snap.gauges.extend(engine_snap.gauges);
+    snap.histograms.extend(engine_snap.histograms);
+    let stats = engine.store_stats();
+    for (name, value) in [
+        ("pc_cache_hits_total", stats.hits),
+        ("pc_cache_misses_total", stats.misses),
+        ("pc_cache_device_hits_total", stats.device_hits),
+        ("pc_cache_evictions_total", stats.evictions),
+        ("pc_cache_bytes_copied_h2d_total", stats.bytes_copied_h2d),
+        ("pc_cache_corruptions_total", stats.corruptions_detected),
+    ] {
+        if !snap.counters.iter().any(|(n, _)| n == name) {
+            snap.counters.push((name.to_owned(), value));
+        }
+    }
+    snap.counters.sort();
+    snap.gauges.sort();
+    snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut text = pc_telemetry::export::prometheus_text(&snap);
+    if let Some(analytics) = engine.store().analytics() {
+        text.push_str(&analytics.prometheus_text());
+    }
+    use std::fmt::Write as _;
+    let help = pc_telemetry::export::help_for;
+    let _ = writeln!(
+        text,
+        "# HELP pc_build_info {}\n# TYPE pc_build_info gauge\n\
+         pc_build_info{{version=\"{}\",features=\"{}\"}} 1",
+        help("pc_build_info"),
+        env!("CARGO_PKG_VERSION"),
+        BUILD_FEATURES,
+    );
+    let _ = writeln!(
+        text,
+        "# HELP pc_uptime_seconds {}\n# TYPE pc_uptime_seconds gauge\n\
+         pc_uptime_seconds {:.3}",
+        help("pc_uptime_seconds"),
+        shared.started.elapsed().as_secs_f64(),
+    );
+    text
+}
+
+/// The `/healthz` JSON: liveness, admission/queue state, and the SLO
+/// rollup (tracked deadline requests, violations, burn percentiles).
+pub(crate) fn render_healthz(shared: &Shared) -> String {
+    let draining = shared.draining.load(Ordering::Acquire);
+    format!(
+        "{{\"status\":\"{}\",\"uptime_seconds\":{:.3},\
+         \"queue_depth\":{},\"queue_capacity\":{},\"in_flight\":{},\
+         \"served\":{},\"failed\":{},\"shed\":{},\"cancelled\":{},\
+         \"slo\":{{\"tracked\":{},\"violations\":{},\
+         \"burn_p50\":{},\"burn_p99\":{}}}}}",
+        if draining { "draining" } else { "ok" },
+        shared.started.elapsed().as_secs_f64(),
+        shared.queue_depth.get().max(0),
+        shared.queue_capacity,
+        shared.in_flight.get().max(0),
+        shared.served.get(),
+        shared.failed.get(),
+        shared.shed.get(),
+        shared.cancelled.get(),
+        shared.slo_requests.get(),
+        shared.slo_violations.get(),
+        json_opt(shared.slo_burn.percentile(50.0)),
+        json_opt(shared.slo_burn.percentile(99.0)),
+    )
+}
+
+/// The `/debug/cache` JSON: aggregate store stats, the per-entry
+/// snapshot, and (when module analytics are on) the heat ranking.
+pub(crate) fn render_debug_cache(engine: &PromptCache) -> String {
+    use std::fmt::Write as _;
+    let stats = engine.store_stats();
+    let mut out = format!(
+        "{{\"stats\":{{\"hits\":{},\"misses\":{},\"device_hits\":{},\
+         \"evictions\":{},\"bytes_copied_h2d\":{},\"corruptions\":{}}},\
+         \"modules\":[",
+        stats.hits,
+        stats.misses,
+        stats.device_hits,
+        stats.evictions,
+        stats.bytes_copied_h2d,
+        stats.corruptions_detected,
+    );
+    for (i, m) in engine.store().snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"module\":\"{}\",\"size_bytes\":{},\"on_device\":{},\
+             \"access_count\":{},\"last_access\":{},\"recompute_cost\":{:.3}}}",
+            json_escape(&m.module),
+            m.size_bytes,
+            m.on_device,
+            m.access_count,
+            m.last_access,
+            m.recompute_cost,
+        );
+    }
+    out.push_str("],\"heat\":[");
+    if let Some(analytics) = engine.store().analytics() {
+        for (i, h) in analytics.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"module\":\"{}\",\"hits\":{},\"misses\":{},\"degrades\":{},\
+                 \"evictions\":{},\"bytes_shared\":{},\"bytes_copied\":{},\
+                 \"shared_rows\":{},\"last_access_tick\":{}}}",
+                json_escape(&h.module),
+                h.hits,
+                h.misses,
+                h.degrades,
+                h.evictions,
+                h.bytes_shared,
+                h.bytes_copied,
+                h.shared_rows,
+                h.last_access_tick,
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The `/debug/batch` JSON: the latest published batch-membership
+/// snapshot, or `{"enabled":false}` when the server is not batching (or
+/// no tick has run yet).
+pub(crate) fn render_debug_batch(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let snapshot = shared.batch_debug.lock().unwrap().clone();
+    let Some(snapshot) = snapshot else {
+        return "{\"enabled\":false}".to_owned();
+    };
+    let mut out = format!(
+        "{{\"enabled\":true,\"max_batch_size\":{},\"prefix_sharing\":{},\"sequences\":[",
+        snapshot.max_batch_size, snapshot.prefix_sharing,
+    );
+    for (i, s) in snapshot.sequences.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"tokens_generated\":{},\"next_pos\":{},\"shared_rows\":{}}}",
+            s.id, s.tokens_generated, s.next_pos, s.shared_rows,
+        );
+    }
+    out.push_str("],\"groups\":[");
+    for (i, g) in snapshot.groups.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let members = g
+            .members
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = write!(
+            out,
+            "{{\"members\":[{members}],\"prefix_segments\":{},\"prefix_rows\":{},\"shared\":{}}}",
+            g.prefix_segments, g.prefix_rows, g.shared,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The `/debug/flight` payload: JSON Lines, or `None` when the flight
+/// recorder is disabled (the endpoint answers 404).
+pub(crate) fn render_flight(shared: &Shared) -> Option<String> {
+    shared.flight.as_ref().map(|f| f.jsonl())
 }
 
 #[cfg(test)]
@@ -1024,16 +1550,46 @@ mod tests {
         assert!(text.contains("pc_requests_cancelled_total 0"), "{text}");
         assert!(text.contains("pc_degraded_serves_total 0"), "{text}");
         assert!(text.contains("pc_cache_corruptions_total 0"), "{text}");
-        // Every line parses as `# TYPE …` or `name[{labels}] value`.
+        // Build metadata rides along: an info-gauge labeled with version
+        // and feature inventory, plus process uptime.
+        assert!(
+            text.contains(&format!(
+                "pc_build_info{{version=\"{}\",features=\"",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE pc_build_info gauge"), "{text}");
+        assert!(text.contains("# TYPE pc_uptime_seconds gauge"), "{text}");
+        assert!(text.contains("pc_uptime_seconds "), "{text}");
+        // Every line parses as `# HELP …`, `# TYPE …`, or
+        // `name[{labels}] value` — and every `# TYPE` is preceded by a
+        // `# HELP` for the same series.
+        let mut last_help: Option<&str> = None;
+        let mut typed_series = 0;
         for line in text.lines() {
-            if line.starts_with('#') {
-                assert!(line.starts_with("# TYPE "), "{line}");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP name text");
+                assert!(!help.trim().is_empty(), "empty HELP for {name}");
+                last_help = Some(name);
                 continue;
             }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let name = rest.split(' ').next().unwrap();
+                assert_eq!(
+                    last_help,
+                    Some(name),
+                    "series {name} must carry a HELP line immediately before its TYPE"
+                );
+                typed_series += 1;
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unexpected comment: {line}");
             let (name, value) = line.rsplit_once(' ').expect("name value");
             assert!(!name.is_empty());
             assert!(value.parse::<f64>().is_ok(), "unparsable value: {line}");
         }
+        assert!(typed_series > 10, "expected many typed series, got {typed_series}");
         server.shutdown();
     }
 

@@ -1,0 +1,355 @@
+//! The request **flight recorder**: a fixed-capacity ring of structured
+//! per-request events, the "black box" an operator dumps after a bad
+//! request or a failed chaos replay.
+//!
+//! Recording claims a slot with one atomic `fetch_add` (lock-free slot
+//! assignment; the ring never grows), then writes the event under that
+//! slot's own micro-mutex — writers to *different* slots never contend,
+//! and the recorder as a whole has no global lock. When the ring wraps,
+//! the oldest events are overwritten; [`FlightRecorder::overwritten`]
+//! reports how many were lost.
+//!
+//! Events split their payload into two parts:
+//!
+//! * [`FlightEvent::fields`] — **deterministic** facts (request id, shed
+//!   reason, token counts, cache accounting, batch membership). Under
+//!   seeded fault injection these depend only on the seed and submission
+//!   order, so [`FlightRecorder::deterministic_jsonl`] is byte-identical
+//!   across two same-seed runs and a failing replay can be diffed
+//!   event-for-event against a healthy one.
+//! * [`FlightEvent::timings_us`] — wall-clock measurements (TTFT phases,
+//!   queue wait). Included by [`FlightRecorder::jsonl`] under a `"t"`
+//!   object, excluded from the deterministic dump.
+//!
+//! The recorder is opt-in: nothing in the stack allocates one unless the
+//! server is configured with a flight capacity, preserving the
+//! zero-overhead-when-disabled guarantee (disabled = one `Option` check
+//! at each would-be recording site).
+
+use crate::export::escape_json;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One structured field value on a [`FlightEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlightValue {
+    /// An unsigned integer (counts, byte totals, ids).
+    U64(u64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A short string (reasons, outcomes, module labels).
+    Str(String),
+}
+
+impl From<u64> for FlightValue {
+    fn from(v: u64) -> Self {
+        FlightValue::U64(v)
+    }
+}
+
+impl From<usize> for FlightValue {
+    fn from(v: usize) -> Self {
+        FlightValue::U64(v as u64)
+    }
+}
+
+impl From<bool> for FlightValue {
+    fn from(v: bool) -> Self {
+        FlightValue::Bool(v)
+    }
+}
+
+impl From<&str> for FlightValue {
+    fn from(v: &str) -> Self {
+        FlightValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FlightValue {
+    fn from(v: String) -> Self {
+        FlightValue::Str(v)
+    }
+}
+
+impl FlightValue {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            FlightValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FlightValue::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FlightValue::Str(v) => {
+                let _ = write!(out, "\"{}\"", escape_json(v));
+            }
+        }
+    }
+}
+
+/// One recorded per-request event. Build with [`FlightEvent::new`] plus
+/// the chainable [`field`](FlightEvent::field) /
+/// [`timing_us`](FlightEvent::timing_us) setters; the recorder assigns
+/// `seq` at [`FlightRecorder::record`] time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// Monotone sequence number (recorder-assigned, 0-based).
+    pub seq: u64,
+    /// The request id the event belongs to. Events that describe the
+    /// whole batch rather than one request (per-tick membership) use the
+    /// id of no request: `u64::MAX` renders as `"batch"` scope.
+    pub request: u64,
+    /// Event kind: `submit`, `shed`, `pickup`, `fetch`, `degrade`,
+    /// `batch_join`, `batch_leave`, `tick`, `finish`.
+    pub kind: &'static str,
+    /// Deterministic structured payload, in insertion order.
+    pub fields: Vec<(&'static str, FlightValue)>,
+    /// Wall-clock measurements in microseconds — excluded from
+    /// [`FlightRecorder::deterministic_jsonl`].
+    pub timings_us: Vec<(&'static str, u64)>,
+}
+
+/// Request id used for batch-scoped events (per-tick membership) that
+/// belong to no single request.
+pub const BATCH_SCOPE: u64 = u64::MAX;
+
+impl FlightEvent {
+    /// A new event for `request` of the given kind, with no payload yet.
+    pub fn new(request: u64, kind: &'static str) -> Self {
+        FlightEvent {
+            seq: 0,
+            request,
+            kind,
+            fields: Vec::new(),
+            timings_us: Vec::new(),
+        }
+    }
+
+    /// Appends a deterministic field.
+    #[must_use]
+    pub fn field(mut self, name: &'static str, value: impl Into<FlightValue>) -> Self {
+        self.fields.push((name, value.into()));
+        self
+    }
+
+    /// Appends a wall-clock measurement in microseconds.
+    #[must_use]
+    pub fn timing_us(mut self, name: &'static str, micros: u64) -> Self {
+        self.timings_us.push((name, micros));
+        self
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    /// `include_timings` controls whether the non-deterministic `"t"`
+    /// object is emitted.
+    pub fn to_json(&self, include_timings: bool) -> String {
+        let mut out = String::with_capacity(64);
+        let _ = write!(out, "{{\"seq\":{},", self.seq);
+        if self.request == BATCH_SCOPE {
+            out.push_str("\"request\":\"batch\",");
+        } else {
+            let _ = write!(out, "\"request\":{},", self.request);
+        }
+        let _ = write!(out, "\"kind\":\"{}\"", escape_json(self.kind));
+        for (name, value) in &self.fields {
+            let _ = write!(out, ",\"{}\":", escape_json(name));
+            value.write_json(&mut out);
+        }
+        if include_timings && !self.timings_us.is_empty() {
+            out.push_str(",\"t\":{");
+            for (i, (name, micros)) in self.timings_us.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{micros}", escape_json(name));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A fixed-capacity ring of [`FlightEvent`]s. See the [module
+/// docs](self) for the recording discipline and determinism contract.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<FlightEvent>>>,
+    head: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (clamped to ≥ 1);
+    /// older events are overwritten once the ring wraps.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || Mutex::new(None));
+        FlightRecorder {
+            slots,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to ring wrap-around.
+    pub fn overwritten(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Records one event: claims the next sequence number lock-free,
+    /// stamps it onto the event, and writes it into its ring slot.
+    /// Returns the assigned sequence number.
+    pub fn record(&self, mut event: FlightEvent) -> u64 {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        event.seq = seq;
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(event);
+        seq
+    }
+
+    /// Snapshot of every retained event, ordered by sequence number.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let mut events: Vec<FlightEvent> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Every retained event as JSON Lines (one object per line,
+    /// including wall-clock timings) — the `/debug/flight` payload.
+    pub fn jsonl(&self) -> String {
+        self.render(true)
+    }
+
+    /// The deterministic dump: JSON Lines without wall-clock timings.
+    /// Under seeded fault injection this is byte-identical across two
+    /// same-seed runs with the same submission order.
+    pub fn deterministic_jsonl(&self) -> String {
+        self.render(false)
+    }
+
+    fn render(&self, include_timings: bool) -> String {
+        let mut out = String::new();
+        for event in self.events() {
+            out.push_str(&event.to_json(include_timings));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drops every retained event (sequence numbering continues).
+    pub fn clear(&self) {
+        for slot in &self.slots {
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_orders_by_seq() {
+        let r = FlightRecorder::new(8);
+        r.record(FlightEvent::new(1, "submit").field("prompt_chars", 42u64));
+        r.record(FlightEvent::new(1, "pickup"));
+        r.record(
+            FlightEvent::new(1, "finish")
+                .field("outcome", "complete")
+                .timing_us("ttft", 1234),
+        );
+        let events = r.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(events[0].kind, "submit");
+        assert_eq!(r.recorded(), 3);
+        assert_eq!(r.overwritten(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let r = FlightRecorder::new(2);
+        for i in 0..5u64 {
+            r.record(FlightEvent::new(i, "tick"));
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 3);
+        assert_eq!(events[1].seq, 4);
+        assert_eq!(r.overwritten(), 3);
+    }
+
+    #[test]
+    fn jsonl_shapes() {
+        let r = FlightRecorder::new(4);
+        r.record(
+            FlightEvent::new(7, "shed")
+                .field("reason", "queue \"full\"")
+                .field("queued", true)
+                .timing_us("queue", 55),
+        );
+        r.record(FlightEvent::new(BATCH_SCOPE, "tick").field("members", "1,2"));
+        let full = r.jsonl();
+        assert_eq!(
+            full,
+            "{\"seq\":0,\"request\":7,\"kind\":\"shed\",\
+             \"reason\":\"queue \\\"full\\\"\",\"queued\":true,\"t\":{\"queue\":55}}\n\
+             {\"seq\":1,\"request\":\"batch\",\"kind\":\"tick\",\"members\":\"1,2\"}\n"
+        );
+        let det = r.deterministic_jsonl();
+        assert!(!det.contains("\"t\""), "{det}");
+        assert!(det.contains("\"reason\":\"queue \\\"full\\\"\""));
+        // Every line parses as JSON.
+        for line in full.lines().chain(det.lines()) {
+            serde_json::from_str::<serde_json::Value>(line).expect("valid JSON line");
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_every_seq_unique() {
+        let r = std::sync::Arc::new(FlightRecorder::new(1024));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        r.record(FlightEvent::new(t, "tick").field("i", i as u64));
+                    }
+                });
+            }
+        });
+        let events = r.events();
+        assert_eq!(events.len(), 400);
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 400, "sequence numbers are unique and sorted");
+    }
+
+    #[test]
+    fn clear_drops_events_but_not_numbering() {
+        let r = FlightRecorder::new(4);
+        r.record(FlightEvent::new(0, "submit"));
+        r.clear();
+        assert!(r.events().is_empty());
+        let seq = r.record(FlightEvent::new(0, "pickup"));
+        assert_eq!(seq, 1);
+    }
+}

@@ -18,8 +18,12 @@
 //!   handles); the registry lock is only taken when a handle is first
 //!   resolved, and for point-in-time snapshots.
 //! * [`export`] — two exporters over snapshots: Prometheus text
-//!   exposition format, and Chrome trace-event JSON loadable in
+//!   exposition format (with `# HELP`/`# TYPE` metadata on every
+//!   series), and Chrome trace-event JSON loadable in
 //!   `chrome://tracing` / Perfetto.
+//! * [`flight`] — a fixed-capacity, lock-free ring of structured
+//!   per-request events (the serving "black box"), dumpable as JSONL
+//!   with a deterministic variant for seeded chaos replay diffing.
 //!
 //! # Example
 //!
@@ -42,10 +46,12 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
 pub mod metrics;
 mod span;
 mod telemetry;
 
+pub use flight::{FlightEvent, FlightRecorder, FlightValue};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, RegistrySnapshot, LATENCY_BUCKETS,
 };

@@ -1,0 +1,112 @@
+//! The ops plane end to end: an instrumented server on an ephemeral
+//! port, scraped over plain TCP exactly as Prometheus or an operator's
+//! `curl` would — see docs/OBSERVABILITY.md for the payload reference.
+//!
+//! ```text
+//! cargo run --release --example ops_plane
+//! ```
+
+use pc_cache::StoreConfig;
+use pc_model::{Model, ModelConfig};
+use pc_server::{Server, ServerConfig};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{BatchConfig, EngineConfig, PromptCache, ServeOptions, Telemetry};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One HTTP/1.1 GET over a raw socket; returns (status line, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect ops endpoint");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: ops\r\nConnection: close\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or_default().to_owned();
+    (status, body.to_owned())
+}
+
+fn main() {
+    let doc: String = (0..200).map(|i| format!("w{} ", i % 67)).collect();
+    let corpus = format!("{doc} you are a helpful assistant answer briefly q0 q1 q2 q3");
+    let tokenizer = WordTokenizer::train(&[corpus.as_str()]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_tiny(vocab), 10),
+        tokenizer,
+        EngineConfig::default()
+            .telemetry(Telemetry::new())
+            .store(StoreConfig::default().module_analytics(true)),
+    );
+    engine
+        .register_schema(&format!(
+            r#"<schema name="svc">
+                 you are a helpful assistant
+                 <module name="doc">{doc}</module>
+               </schema>"#
+        ))
+        .expect("register");
+
+    // Batched serving with the full ops plane: HTTP endpoint on an
+    // ephemeral port, a flight recorder, per-module analytics.
+    let server = Server::start(
+        engine,
+        ServerConfig::default()
+            .batching(BatchConfig::default().max_batch_size(4))
+            .queue_capacity(64)
+            .ops_addr("127.0.0.1:0".parse().unwrap())
+            .flight_recorder(1024),
+    );
+    let addr = server.ops_local_addr().expect("ops endpoint bound");
+    println!("ops plane listening on http://{addr}");
+
+    let opts = ServeOptions::default().max_new_tokens(4);
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let o = if i % 4 == 0 {
+                opts.clone().deadline(Duration::from_secs(5))
+            } else {
+                opts.clone()
+            };
+            server.submit(
+                format!(r#"<prompt schema="svc"><doc/>answer briefly q{}</prompt>"#, i % 4),
+                o,
+            )
+        })
+        .collect();
+    for handle in handles {
+        handle.wait().expect("server alive").outcome.expect("served");
+    }
+
+    let (status, metrics) = http_get(addr, "/metrics");
+    let series = metrics.lines().filter(|l| l.starts_with("# TYPE")).count();
+    let served = metrics
+        .lines()
+        .find(|l| l.starts_with("pc_requests_served_total "))
+        .expect("served counter");
+    let module_samples = metrics.lines().filter(|l| l.starts_with("pc_module_")).count();
+    println!("GET /metrics      → {status}: {series} series, {served}, {module_samples} pc_module_* lines");
+
+    let (status, health) = http_get(addr, "/healthz");
+    println!("GET /healthz      → {status}: {health}");
+
+    let (status, cache) = http_get(addr, "/debug/cache");
+    let heat_entries = cache.matches("\"hits\":").count();
+    println!("GET /debug/cache  → {status}: {} bytes, {heat_entries} heat entries", cache.len());
+
+    let (status, batch) = http_get(addr, "/debug/batch");
+    println!("GET /debug/batch  → {status}: {batch}");
+
+    let (status, flight) = http_get(addr, "/debug/flight");
+    let finishes = flight.lines().filter(|l| l.contains("\"kind\":\"finish\"")).count();
+    println!(
+        "GET /debug/flight → {status}: {} events, {finishes} finishes",
+        flight.lines().count()
+    );
+
+    server.shutdown();
+    assert!(series > 10, "metrics payload must carry the full inventory");
+    assert!(module_samples > 0, "per-module analytics must be populated");
+    assert_eq!(finishes, 8, "every request leaves a finish event");
+    println!("ops plane OK");
+}
