@@ -57,6 +57,19 @@ cargo run --release -q -p pc-bench --bin figures -- --quick batching > /dev/null
 # plus a compile/run check of the criterion A/B bench.
 cargo run --release -q -p pc-bench --bin figures -- --quick prefix_sharing > /dev/null
 cargo bench -q -p pc-bench --bench prefix_sharing -- --test > /dev/null
+# Deferred-RoPE gate: RoPE shift-composition properties, the canonical-
+# entry-vs-full-prefill fidelity oracles (byte-identical at shift 0,
+# within the logit-divergence bound when relocated), the packed prompt
+# resolver, and the relocated corrupt-then-degrade chaos case (runs under
+# pc-faults above).
+cargo test -q -p pc-model --test proptests
+cargo test -q -p prompt-cache --test deferred_rope_tests
+cargo test -q -p pc-pml
+# Position-reuse experiment smoke (quick mode: shuffled-position RAG
+# replay A/B asserting deferred hit rate >= 2x baked, one store entry per
+# chunk, and both fidelity oracles; the full run writes
+# BENCH_position_reuse.json).
+cargo run --release -q -p pc-bench --bin figures -- --quick position_reuse > /dev/null
 # Docs gate: rustdoc must stay warning-clean.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 cargo clippy --all-targets -- -D warnings

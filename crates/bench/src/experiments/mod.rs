@@ -3,6 +3,7 @@
 
 mod ablations;
 mod batching_exp;
+mod position_reuse_exp;
 mod prefix_sharing_exp;
 mod real_figs;
 mod resilience_exp;
@@ -14,6 +15,7 @@ mod zero_copy_exp;
 
 pub use ablations::ablations;
 pub use batching_exp::batching;
+pub use position_reuse_exp::position_reuse;
 pub use prefix_sharing_exp::prefix_sharing;
 pub use resilience_exp::resilience;
 pub use serving_exp::{rag, throughput};
@@ -41,10 +43,10 @@ pub struct Report {
 }
 
 /// Every experiment id the `figures` binary accepts, in run order.
-pub const ALL_IDS: [&str; 21] = [
+pub const ALL_IDS: [&str; 22] = [
     "fig3", "fig4", "fig5", "table1", "table2", "memcpy", "modelsize", "e2e", "fig6", "fig7",
     "fig8", "appendix", "ablations", "throughput", "rag", "threads", "ttft_breakdown",
-    "zero_copy", "resilience", "batching", "prefix_sharing",
+    "zero_copy", "resilience", "batching", "prefix_sharing", "position_reuse",
 ];
 
 /// Runs an experiment by id. `quick` shrinks sample counts for smoke
@@ -72,6 +74,7 @@ pub fn run(id: &str, quick: bool) -> Option<Report> {
         "resilience" => Some(resilience(quick)),
         "batching" => Some(batching(quick)),
         "prefix_sharing" => Some(prefix_sharing(quick)),
+        "position_reuse" => Some(position_reuse(quick)),
         _ => None,
     }
 }

@@ -1,0 +1,401 @@
+//! Position-reuse A/B: a shuffled-position RAG replay served with
+//! deferred RoPE (one canonical entry per chunk, rotated to its placement
+//! at read time) vs the baked-position baseline (an entry is only valid
+//! at the exact offset it was encoded at, so shuffled retrieval orders
+//! miss and re-encode per-position duplicates).
+//!
+//! The replay imports `IMPORTS_PER_QUERY` chunks per query in a
+//! deterministically shuffled order. The deferred arm serves every
+//! placement from the one canonical entry; the baked arm hits only when
+//! a (chunk, offset) pair recurs, paying fresh prefill — and a duplicate
+//! store entry — for every new offset. Reported per arm: placement hit
+//! rate, store entries, and mean TTFT; plus the correctness oracles
+//! (shift-0 byte-identity across the A/B knob, shifted-placement logits
+//! within the fidelity bound of a full prefill).
+
+use super::Report;
+use crate::emit::{fmt_time_s, Table};
+use pc_cache::StoreConfig;
+use pc_model::{fidelity, KvView, Model, ModelConfig};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions, ServeRequest, Served};
+use serde_json::json;
+use std::collections::HashSet;
+
+const CHUNK_WORDS: usize = 12;
+const IMPORTS_PER_QUERY: usize = 3;
+const QUESTION: &str = "answer the question now";
+const MAX_NEW_TOKENS: usize = 4;
+
+/// Deterministic LCG so the replay (and the artifact) is reproducible.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Chunk lengths vary (as retrieved passages do), so a chunk's placement
+/// offset depends on which chunks precede it — the combinatorial spread
+/// that starves an exact-position cache.
+fn chunk_len(i: usize) -> usize {
+    CHUNK_WORDS + (i % 5)
+}
+
+fn chunk_text(i: usize) -> String {
+    (0..chunk_len(i))
+        .map(|w| format!("c{i}w{w}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn build_engine(num_chunks: usize, config: EngineConfig) -> PromptCache {
+    let corpus: String = (0..num_chunks)
+        .map(chunk_text)
+        .collect::<Vec<_>>()
+        .join(" ")
+        + " "
+        + QUESTION;
+    let tokenizer = WordTokenizer::train(&[corpus.as_str()]);
+    let vocab = tokenizer.vocab_size().max(64);
+    let engine = PromptCache::new(
+        Model::new(ModelConfig::llama_tiny(vocab), 11),
+        tokenizer,
+        config,
+    );
+    let mut schema = String::from(r#"<schema name="corpus">"#);
+    for i in 0..num_chunks {
+        schema.push_str(&format!(
+            r#"<module name="chunk-{i}">{}</module>"#,
+            chunk_text(i)
+        ));
+    }
+    schema.push_str("</schema>");
+    engine.register_schema(&schema).expect("register");
+    engine
+}
+
+/// The shuffled retrieval orders: `queries` draws of `IMPORTS_PER_QUERY`
+/// distinct chunks each, Fisher–Yates-shuffled with the seeded LCG.
+fn retrieval_orders(num_chunks: usize, queries: usize) -> Vec<Vec<usize>> {
+    let mut state = 0x5eed_cafe_u64;
+    (0..queries)
+        .map(|_| {
+            let mut ids: Vec<usize> = (0..num_chunks).collect();
+            for i in (1..ids.len()).rev() {
+                let j = (lcg(&mut state) as usize) % (i + 1);
+                ids.swap(i, j);
+            }
+            ids.truncate(IMPORTS_PER_QUERY);
+            ids
+        })
+        .collect()
+}
+
+struct ArmResult {
+    hits: u64,
+    placements: u64,
+    store_entries: usize,
+    ttft_mean_s: f64,
+    relocations: u64,
+}
+
+impl ArmResult {
+    fn hit_rate(&self) -> f64 {
+        self.hits as f64 / self.placements.max(1) as f64
+    }
+}
+
+/// Deferred arm: every chunk is imported wherever retrieval ranked it;
+/// the engine relocates the canonical entry at read time.
+fn run_deferred(num_chunks: usize, orders: &[Vec<usize>]) -> ArmResult {
+    let engine = build_engine(
+        num_chunks,
+        EngineConfig::default().store(StoreConfig::default().module_analytics(true)),
+    );
+    assert!(engine.deferred_rope_effective());
+    let opts = ServeOptions::default().max_new_tokens(MAX_NEW_TOKENS);
+    let (mut hits, mut placements, mut ttft) = (0u64, 0u64, 0.0f64);
+    for order in orders {
+        let mut prompt = String::from(r#"<prompt schema="corpus">"#);
+        for id in order {
+            prompt.push_str(&format!("<chunk-{id}/>"));
+        }
+        prompt.push_str(QUESTION);
+        prompt.push_str("</prompt>");
+        let r = engine
+            .serve(&ServeRequest::new(&prompt).options(opts.clone()))
+            .map(Served::into_response)
+            .expect("serve");
+        assert_eq!(
+            r.stats.cached_tokens,
+            order.iter().map(|&id| chunk_len(id)).sum::<usize>(),
+            "a shuffled placement missed the canonical entry"
+        );
+        hits += order.len() as u64;
+        placements += order.len() as u64;
+        ttft += r.timings.ttft.as_secs_f64();
+    }
+    let relocations = engine
+        .store()
+        .analytics()
+        .map(|a| a.snapshot().iter().map(|m| m.relocations).sum())
+        .unwrap_or(0);
+    ArmResult {
+        hits,
+        placements,
+        store_entries: engine.store().len(),
+        ttft_mean_s: ttft / orders.len().max(1) as f64,
+        relocations,
+    }
+}
+
+/// Baked-position arm: an entry only serves at the offset it was encoded
+/// at. A placement hits iff that (chunk, offset) pair was encoded before
+/// (at registration, chunk `i` sits at offset `i × CHUNK_WORDS`); every
+/// other placement pays fresh prefill — modelled by inlining the chunk
+/// text — and stores a per-position duplicate.
+fn run_baked(num_chunks: usize, orders: &[Vec<usize>]) -> ArmResult {
+    let engine = build_engine(num_chunks, EngineConfig::default());
+    let opts = ServeOptions::default().max_new_tokens(MAX_NEW_TOKENS);
+    // At registration every chunk was encoded at its schema layout
+    // offset — the cumulative length of the chunks before it.
+    let mut encoded: HashSet<(usize, usize)> = HashSet::new();
+    let mut layout = 0usize;
+    for i in 0..num_chunks {
+        encoded.insert((i, layout));
+        layout += chunk_len(i);
+    }
+    let (mut hits, mut placements, mut ttft) = (0u64, 0u64, 0.0f64);
+    for order in orders {
+        let mut prompt = String::from(r#"<prompt schema="corpus">"#);
+        let mut cursor = 0usize;
+        for id in order.iter() {
+            let offset = cursor;
+            cursor += chunk_len(*id);
+            if encoded.contains(&(*id, offset)) {
+                // Exact-position hit: serve the stored entry. The import
+                // lands at `offset` because every slot is chunk-sized.
+                prompt.push_str(&format!("<chunk-{id}/>"));
+                hits += 1;
+            } else {
+                // Miss: the baked world re-encodes at the new offset.
+                prompt.push_str(&chunk_text(*id));
+                prompt.push(' ');
+                encoded.insert((*id, offset));
+            }
+            placements += 1;
+        }
+        prompt.push_str(QUESTION);
+        prompt.push_str("</prompt>");
+        let r = engine
+            .serve(&ServeRequest::new(&prompt).options(opts.clone()))
+            .map(Served::into_response)
+            .expect("serve");
+        ttft += r.timings.ttft.as_secs_f64();
+    }
+    ArmResult {
+        hits,
+        placements,
+        // The simulated store: one entry per (chunk, offset) ever encoded.
+        store_entries: encoded.len(),
+        ttft_mean_s: ttft / orders.len().max(1) as f64,
+        relocations: 0,
+    }
+}
+
+/// Shift-0 oracle: with the module at its canonical offset, the deferred
+/// engine's output is byte-identical to the legacy (`deferred_rope(false)`)
+/// engine's.
+fn shift0_byte_identical(num_chunks: usize) -> bool {
+    let deferred = build_engine(num_chunks, EngineConfig::default());
+    let legacy = build_engine(num_chunks, EngineConfig::default().deferred_rope(false));
+    let prompt = format!(r#"<prompt schema="corpus"><chunk-0/>{QUESTION}</prompt>"#);
+    let opts = ServeOptions::default().max_new_tokens(MAX_NEW_TOKENS);
+    let a = deferred
+        .serve(&ServeRequest::new(&prompt).options(opts.clone()))
+        .map(Served::into_response)
+        .expect("serve");
+    let b = legacy
+        .serve(&ServeRequest::new(&prompt).options(opts))
+        .map(Served::into_response)
+        .expect("serve");
+    a.tokens == b.tokens && a.text == b.text
+}
+
+/// Shifted oracle: the canonical entry relocated by a non-zero offset
+/// yields logits within the fidelity bound of a fresh full prefill at the
+/// placed positions.
+fn shifted_fidelity(num_chunks: usize, offset: usize) -> fidelity::LogitDistance {
+    let engine = build_engine(num_chunks, EngineConfig::default());
+    let states = engine
+        .schema_span_states("corpus")
+        .into_iter()
+        .next()
+        .flatten()
+        .expect("chunk 0 encoded");
+    let model = engine.model();
+    let module_tokens = engine.tokenizer().encode(&chunk_text(0));
+    let question_tokens = engine.tokenizer().encode(QUESTION);
+
+    let mut full_tokens = module_tokens.clone();
+    full_tokens.extend(&question_tokens);
+    let positions: Vec<usize> = (offset..offset + full_tokens.len()).collect();
+    let mut fresh = KvView::with_shape(states.num_layers(), states.kv_dim());
+    let reference = model
+        .prefill(&full_tokens, &positions, &mut fresh)
+        .expect("prefill");
+
+    let mut view = KvView::with_shape(states.num_layers(), states.kv_dim());
+    view.push_segment_shifted(states.clone(), 0, states.len(), offset as isize)
+        .expect("relocate");
+    let q_positions: Vec<usize> =
+        (offset + module_tokens.len()..offset + full_tokens.len()).collect();
+    let reused = model
+        .prefill(&question_tokens, &q_positions, &mut view)
+        .expect("prefill");
+    fidelity::logit_distance(&reference, &reused)
+}
+
+/// Shuffled-position RAG replay: hit rate, store entries, and TTFT with
+/// deferred RoPE on vs the baked-position baseline. Full runs write
+/// `BENCH_position_reuse.json` at the working directory root.
+pub fn position_reuse(quick: bool) -> Report {
+    let num_chunks = if quick { 6 } else { 12 };
+    let queries = if quick { 12 } else { 48 };
+    let orders = retrieval_orders(num_chunks, queries);
+
+    let on = run_deferred(num_chunks, &orders);
+    let off = run_baked(num_chunks, &orders);
+    let shift0_identical = shift0_byte_identical(num_chunks);
+    let shifted = shifted_fidelity(num_chunks, 2 * CHUNK_WORDS);
+
+    // The acceptance bar: deferred reuse at least doubles the baked hit
+    // rate, stores exactly one entry per unique chunk, and both
+    // correctness oracles hold.
+    let hit_ratio = on.hit_rate() / off.hit_rate().max(1e-9);
+    assert!(
+        hit_ratio >= 2.0,
+        "deferred hit rate {:.3} is not 2x the baked {:.3}",
+        on.hit_rate(),
+        off.hit_rate()
+    );
+    assert_eq!(on.store_entries, num_chunks, "per-position duplicates appeared");
+    assert!(off.store_entries > num_chunks, "baked arm never duplicated");
+    assert!(shift0_identical, "shift-0 output diverged from the legacy path");
+    assert!(shifted.argmax_agrees, "shifted placement changed the argmax");
+    assert!(
+        shifted.kl_divergence < 1e-3,
+        "shifted placement KL {} above bound",
+        shifted.kl_divergence
+    );
+
+    let mut table = Table::new(&[
+        "Arm",
+        "Hit rate",
+        "Store entries",
+        "TTFT mean",
+        "Relocations",
+    ]);
+    table.row(&[
+        "deferred RoPE".to_owned(),
+        format!("{:.3}", on.hit_rate()),
+        format!("{}", on.store_entries),
+        fmt_time_s(on.ttft_mean_s),
+        format!("{}", on.relocations),
+    ]);
+    table.row(&[
+        "baked positions".to_owned(),
+        format!("{:.3}", off.hit_rate()),
+        format!("{}", off.store_entries),
+        fmt_time_s(off.ttft_mean_s),
+        "-".to_owned(),
+    ]);
+
+    let arm_json = |m: &ArmResult| {
+        json!({
+            "hits": m.hits,
+            "placements": m.placements,
+            "hit_rate": m.hit_rate(),
+            "store_entries": m.store_entries,
+            "ttft_mean_s": m.ttft_mean_s,
+        })
+    };
+    let deferred_json = json!({
+        "hits": on.hits,
+        "placements": on.placements,
+        "hit_rate": on.hit_rate(),
+        "store_entries": on.store_entries,
+        "ttft_mean_s": on.ttft_mean_s,
+        "relocations": on.relocations,
+    });
+    let oracles = json!({
+        "shift0_byte_identical": shift0_identical,
+        "shifted_argmax_agrees": shifted.argmax_agrees,
+        "shifted_max_abs_diff": shifted.max_abs_diff,
+        "shifted_kl_divergence": shifted.kl_divergence,
+    });
+    let json = json!({
+        "chunks": num_chunks,
+        "chunk_tokens": CHUNK_WORDS,
+        "imports_per_query": IMPORTS_PER_QUERY,
+        "queries": queries,
+        "max_new_tokens": MAX_NEW_TOKENS,
+        "deferred_on": deferred_json,
+        "baked_off": arm_json(&off),
+        "hit_rate_ratio_on_over_off": hit_ratio,
+        "oracles": oracles,
+    });
+
+    // Perf-trajectory artifact: full runs only (quick doubles as the test
+    // path and must stay side-effect free).
+    let mut bench_path = None;
+    if !quick {
+        let path = "BENCH_position_reuse.json";
+        std::fs::write(path, serde_json::to_string_pretty(&json).expect("serialise"))
+            .expect("write BENCH_position_reuse.json");
+        bench_path = Some(path.to_owned());
+    }
+
+    Report {
+        id: "position_reuse",
+        title: "Position-independent modules: shuffled-position RAG replay, deferred RoPE vs baked positions (measured)",
+        markdown: format!(
+            "{}\nhit-rate ratio on/off {hit_ratio:.2}x; shift-0 byte-identical: {shift0_identical}; \
+             shifted KL {:.2e}{}\n",
+            table.to_markdown(),
+            shifted.kl_divergence,
+            bench_path
+                .as_deref()
+                .map(|p| format!("; trajectory at `{p}`"))
+                .unwrap_or_default()
+        ),
+        json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_reuse_ab_holds() {
+        let r = position_reuse(true);
+        let on = &r.json["deferred_on"];
+        let off = &r.json["baked_off"];
+        // Deferred serves every shuffled placement from one entry per
+        // chunk; the baked baseline misses and duplicates.
+        assert_eq!(on["hit_rate"].as_f64().unwrap(), 1.0);
+        assert_eq!(
+            on["store_entries"].as_u64().unwrap(),
+            r.json["chunks"].as_u64().unwrap()
+        );
+        assert!(off["hit_rate"].as_f64().unwrap() < 0.5);
+        assert!(off["store_entries"].as_u64().unwrap() > r.json["chunks"].as_u64().unwrap());
+        assert!(r.json["hit_rate_ratio_on_over_off"].as_f64().unwrap() >= 2.0);
+        assert!(on["relocations"].as_u64().unwrap() > 0);
+        assert!(r.json["oracles"]["shift0_byte_identical"].as_bool().unwrap());
+        // Quick mode writes no artifact.
+        assert!(!std::path::Path::new("BENCH_position_reuse.json").exists());
+    }
+}

@@ -39,6 +39,7 @@ struct ModuleCounters {
     misses: AtomicU64,
     degrades: AtomicU64,
     evictions: AtomicU64,
+    relocations: AtomicU64,
     bytes_shared: AtomicU64,
     bytes_copied: AtomicU64,
     shared_rows: AtomicU64,
@@ -59,6 +60,10 @@ pub struct ModuleHeat {
     pub degrades: u64,
     /// Device-tier evictions of this module.
     pub evictions: u64,
+    /// Hits served at a non-zero placement shift: the canonical entry was
+    /// reused at an offset other than the one it was encoded at, via
+    /// deferred-RoPE rotate-on-read. A subset of `hits`.
+    pub relocations: u64,
     /// Bytes served zero-copy (`Arc`-aliased into session views).
     pub bytes_shared: u64,
     /// Bytes memcpy'd into session views (zero-copy off).
@@ -73,10 +78,12 @@ pub struct ModuleHeat {
 
 impl ModuleHeat {
     /// The promotion score the heat ranking sorts by: accesses plus
-    /// batched reuse. A module that is fetched often *or* anchors many
-    /// prefix groups is hot; one with neither is a demotion candidate.
+    /// batched reuse, with relocated hits counted again on top. A module
+    /// that is fetched often, anchors many prefix groups, *or* earns its
+    /// keep across many different placements is hot; one with none of
+    /// those is a demotion candidate.
     pub fn heat(&self) -> u64 {
-        self.hits + self.shared_rows
+        self.hits + self.shared_rows + self.relocations
     }
 }
 
@@ -140,6 +147,13 @@ impl CacheAnalytics {
         self.counters(key).evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a hit served at a non-zero placement shift (the engine
+    /// relocated the canonical entry via deferred-RoPE rotate-on-read).
+    /// Call alongside — not instead of — the hit recorded by the store.
+    pub fn record_relocation(&self, key: &ModuleKey) {
+        self.counters(key).relocations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records `bytes` of the module served zero-copy into a session
     /// view.
     pub fn record_bytes_shared(&self, key: &ModuleKey, bytes: u64) {
@@ -195,6 +209,7 @@ impl CacheAnalytics {
                 misses: c.misses.load(Ordering::Relaxed),
                 degrades: c.degrades.load(Ordering::Relaxed),
                 evictions: c.evictions.load(Ordering::Relaxed),
+                relocations: c.relocations.load(Ordering::Relaxed),
                 bytes_shared: c.bytes_shared.load(Ordering::Relaxed),
                 bytes_copied: c.bytes_copied.load(Ordering::Relaxed),
                 shared_rows: c.shared_rows.load(Ordering::Relaxed),
@@ -223,11 +238,12 @@ impl CacheAnalytics {
         }
         let mut out = String::new();
         type SeriesRow = (&'static str, &'static str, fn(&ModuleHeat) -> u64);
-        let series: [SeriesRow; 7] = [
+        let series: [SeriesRow; 8] = [
             ("pc_module_hits_total", "counter", |m| m.hits),
             ("pc_module_misses_total", "counter", |m| m.misses),
             ("pc_module_degrades_total", "counter", |m| m.degrades),
             ("pc_module_evictions_total", "counter", |m| m.evictions),
+            ("pc_module_relocations_total", "counter", |m| m.relocations),
             ("pc_module_kv_bytes_shared_total", "counter", |m| {
                 m.bytes_shared
             }),
@@ -323,6 +339,28 @@ mod tests {
         assert!(a.record_shared_rows_for_segment(id, 5));
         let snap = a.snapshot();
         assert_eq!(snap[0].shared_rows, 5);
+    }
+
+    #[test]
+    fn relocations_count_and_raise_heat() {
+        let a = CacheAnalytics::new();
+        // Both modules have one hit; only "moved" was served at a shift.
+        a.record_hit(&key("moved"), 1);
+        a.record_relocation(&key("moved"));
+        a.record_hit(&key("pinned"), 2);
+        let snap = a.snapshot();
+        assert_eq!(snap[0].module, "s:moved");
+        assert_eq!(snap[0].relocations, 1);
+        assert!(snap[0].heat() > snap[1].heat());
+        let text = a.prometheus_text();
+        assert!(
+            text.contains("pc_module_relocations_total{module=\"s:moved\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pc_module_relocations_total{module=\"s:pinned\"} 0"),
+            "{text}"
+        );
     }
 
     #[test]

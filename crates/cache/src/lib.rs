@@ -21,9 +21,13 @@
 //!   precomputed attention states can be shipped between processes.
 //! * [`memory`] — Table 2's per-token memory accounting.
 //! * [`analytics`] — opt-in per-module heat analytics
-//!   ([`CacheAnalytics`]): hits, misses, degrades, evictions, bytes
-//!   served zero-copy vs copied, and batched shared-row attribution,
-//!   exported as labeled Prometheus series and a heat ranking.
+//!   ([`CacheAnalytics`]): hits, misses, degrades, evictions,
+//!   relocations, bytes served zero-copy vs copied, and batched
+//!   shared-row attribution, exported as labeled Prometheus series and a
+//!   heat ranking.
+//! * [`rotated`] — a bounded LRU of materialised rotated module views
+//!   ([`RotatedViewCache`]), serving hot deferred-RoPE placements without
+//!   re-rotating keys on every read.
 
 #![warn(missing_docs)]
 
@@ -34,11 +38,13 @@ mod eviction;
 pub mod memory;
 pub mod paged;
 pub mod quant;
+pub mod rotated;
 mod store;
 
 pub use analytics::{CacheAnalytics, ModuleHeat};
 pub use arena::ConcatArena;
 pub use eviction::{EvictionPolicy, ModuleStats};
+pub use rotated::{rotate_range, RotatedKey, RotatedViewCache};
 pub use store::{
     FetchFault, FetchFaultInjector, ModuleKey, ModuleSnapshot, ModuleStore, StoreConfig,
     StoreStats, Tier,

@@ -48,14 +48,18 @@ impl QuantizedKv {
         }
     }
 
-    /// Reconstructs an f32 module (lossy).
+    /// Reconstructs an f32 module (lossy). One pair of row buffers is
+    /// reused across every (token, layer) row, so a whole-module
+    /// dequantize does two allocations total instead of two per row.
     pub fn dequantize(&self) -> KvCache {
         let mut out = KvCache::with_shape(self.layers.len(), self.kv_dim);
         let tokens = self.positions.len();
+        let mut k = vec![0.0f32; self.kv_dim];
+        let mut v = vec![0.0f32; self.kv_dim];
         for t in 0..tokens {
             for (l, layer) in self.layers.iter().enumerate() {
-                let k = dequantize_row(&layer.k, &layer.k_scales, t, self.kv_dim);
-                let v = dequantize_row(&layer.v, &layer.v_scales, t, self.kv_dim);
+                dequantize_row(&layer.k, &layer.k_scales, t, self.kv_dim, &mut k);
+                dequantize_row(&layer.v, &layer.v_scales, t, self.kv_dim, &mut v);
                 out.push_token_layer(l, &k, &v);
             }
             out.push_position(self.positions[t]);
@@ -99,12 +103,12 @@ fn quantize_rows(data: &[f32], kv_dim: usize) -> (Vec<i8>, Vec<f32>) {
     (quantized, scales)
 }
 
-fn dequantize_row(data: &[i8], scales: &[f32], token: usize, kv_dim: usize) -> Vec<f32> {
+fn dequantize_row(data: &[i8], scales: &[f32], token: usize, kv_dim: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), kv_dim);
     let scale = scales[token];
-    data[token * kv_dim..(token + 1) * kv_dim]
-        .iter()
-        .map(|&q| q as f32 * scale)
-        .collect()
+    for (o, &q) in out.iter_mut().zip(&data[token * kv_dim..(token + 1) * kv_dim]) {
+        *o = q as f32 * scale;
+    }
 }
 
 /// Maximum elementwise absolute error of quantize → dequantize over all

@@ -1,0 +1,283 @@
+//! Bounded cache of materialised rotated module views.
+//!
+//! With deferred RoPE, the store holds one canonical entry per module
+//! (keys rotated for canonical positions starting at 0) and the attention
+//! kernels rotate each key row on the fly at read time. The fused
+//! rotation is cheap, but a *hot placement* — the same module served at
+//! the same shift tick after tick — pays it on every score pass. This
+//! cache trades bounded memory for that recurring work: once a
+//! `(module, range, shift)` placement proves hot, the engine materialises
+//! the rotated keys once and serves the copy at shift 0 from then on.
+//!
+//! Because `pc_tensor::ops::dot_rotated` is bit-identical to
+//! "materialise with `RopeTable::apply_shift`, then `dot_seq`" by
+//! construction, serving the materialised copy produces exactly the same
+//! output bits as the fused rotate-on-read path — the cache is purely a
+//! time/space trade, never a fidelity one.
+
+use crate::store::ModuleKey;
+use parking_lot::Mutex;
+use pc_model::{KvCache, RopeTable};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identity of one rotated placement: a module's canonical entry, the
+/// row range served, and the placement shift applied to it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RotatedKey {
+    /// The canonical store entry the placement aliases.
+    pub module: ModuleKey,
+    /// First canonical row of the served range.
+    pub start: usize,
+    /// One past the last canonical row.
+    pub end: usize,
+    /// Placement shift (never 0 — shift-0 placements are the canonical
+    /// entry itself).
+    pub shift: isize,
+}
+
+#[derive(Debug)]
+struct RotatedEntry {
+    cache: Arc<KvCache>,
+    last_use: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<RotatedKey, RotatedEntry>,
+    /// Access counts for placements not yet materialised; a placement is
+    /// promoted once it crosses the hot threshold.
+    pending: HashMap<RotatedKey, u32>,
+    tick: u64,
+}
+
+/// Bounded LRU of rotated module views. See the [module docs](self).
+#[derive(Debug)]
+pub struct RotatedViewCache {
+    max_entries: usize,
+    hot_after: u32,
+    inner: Mutex<Inner>,
+}
+
+impl RotatedViewCache {
+    /// A cache holding at most `max_entries` rotated views, promoting a
+    /// placement after `hot_after` uses (0 and 1 both mean "materialise
+    /// on first use").
+    pub fn new(max_entries: usize, hot_after: u32) -> Self {
+        RotatedViewCache {
+            max_entries,
+            hot_after: hot_after.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Fetches the materialised view for a placement, if present.
+    pub fn get(&self, key: &RotatedKey) -> Option<Arc<KvCache>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.get_mut(key).map(|e| {
+            e.last_use = tick;
+            Arc::clone(&e.cache)
+        })
+    }
+
+    /// Records one fused-path use of a not-yet-materialised placement.
+    /// Returns `true` when the placement just crossed the hot threshold —
+    /// the caller should materialise and [`RotatedViewCache::insert`] it.
+    pub fn note_use(&self, key: &RotatedKey) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.entries.contains_key(key) {
+            return false;
+        }
+        // The pending map is pruned with the same bound as the entries so
+        // a stream of unique placements cannot grow it without limit.
+        if inner.pending.len() >= self.max_entries.max(64) * 4
+            && !inner.pending.contains_key(key)
+        {
+            inner.pending.clear();
+        }
+        let count = inner.pending.entry(key.clone()).or_insert(0);
+        *count += 1;
+        *count == self.hot_after
+    }
+
+    /// Inserts a materialised rotated view, evicting the least recently
+    /// used entry if the cache is full.
+    pub fn insert(&self, key: RotatedKey, cache: Arc<KvCache>) {
+        if self.max_entries == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.pending.remove(&key);
+        inner.entries.insert(
+            key,
+            RotatedEntry {
+                cache,
+                last_use: tick,
+            },
+        );
+        while inner.entries.len() > self.max_entries {
+            let coldest = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| k.clone());
+            match coldest {
+                Some(k) => inner.entries.remove(&k),
+                None => break,
+            };
+        }
+    }
+
+    /// Drops every entry and pending count whose module matches `key` —
+    /// called when the canonical entry is replaced (re-encode, schema
+    /// swap) so stale rotations can never be served.
+    pub fn invalidate_module(&self, key: &ModuleKey) {
+        let mut inner = self.inner.lock();
+        inner.entries.retain(|k, _| &k.module != key);
+        inner.pending.retain(|k, _| &k.module != key);
+    }
+
+    /// Number of materialised views currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether no views are materialised.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Materialises rows `start..end` of a canonical module at shift `shift`:
+/// every key head is rotated by `R(shift)` via [`RopeTable::apply_shift`]
+/// and every position is moved to its placed value. Values are copied
+/// untouched (position-free). The result is exactly what the fused
+/// rotate-on-read path computes per score — same expressions, same order
+/// — so serving it at shift 0 is bit-identical to the fused path.
+pub fn rotate_range(
+    cache: &KvCache,
+    start: usize,
+    end: usize,
+    shift: isize,
+    rope: &RopeTable,
+) -> KvCache {
+    let kv_dim = cache.kv_dim();
+    let head_dim = rope.head_dim();
+    let mut out = KvCache::with_shape(cache.num_layers(), kv_dim);
+    let mut k_row = vec![0.0f32; kv_dim];
+    for row in start..end {
+        for layer in 0..cache.num_layers() {
+            k_row.copy_from_slice(&cache.keys(layer)[row * kv_dim..(row + 1) * kv_dim]);
+            for head in k_row.chunks_exact_mut(head_dim) {
+                rope.apply_shift(head, shift);
+            }
+            out.push_token_layer(
+                layer,
+                &k_row,
+                &cache.values(layer)[row * kv_dim..(row + 1) * kv_dim],
+            );
+        }
+        let placed = (cache.positions()[row] as isize + shift) as usize;
+        out.push_position(placed);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(tokens: usize, kv_dim: usize) -> KvCache {
+        let mut c = KvCache::with_shape(2, kv_dim);
+        for t in 0..tokens {
+            for l in 0..2 {
+                let base = t as f32 * 0.37 + l as f32 * 1.1;
+                let k: Vec<f32> =
+                    (0..kv_dim).map(|i| (base + i as f32).sin() * 3.0).collect();
+                let v: Vec<f32> =
+                    (0..kv_dim).map(|i| (base - i as f32).cos() * 0.5).collect();
+                c.push_token_layer(l, &k, &v);
+            }
+            c.push_position(t);
+        }
+        c
+    }
+
+    fn rkey(name: &str, shift: isize) -> RotatedKey {
+        RotatedKey {
+            module: ModuleKey::new("s", &[name.to_owned()]),
+            start: 0,
+            end: 4,
+            shift,
+        }
+    }
+
+    #[test]
+    fn promotes_after_threshold_and_serves_hits() {
+        let cache = RotatedViewCache::new(4, 2);
+        let key = rkey("a", 7);
+        assert!(cache.get(&key).is_none());
+        assert!(!cache.note_use(&key), "first use stays fused");
+        assert!(cache.note_use(&key), "second use crosses the threshold");
+        assert!(!cache.note_use(&key), "threshold fires once");
+        let view = Arc::new(module(4, 4));
+        cache.insert(key.clone(), Arc::clone(&view));
+        assert!(Arc::ptr_eq(&cache.get(&key).unwrap(), &view));
+    }
+
+    #[test]
+    fn lru_evicts_coldest_at_capacity() {
+        let cache = RotatedViewCache::new(2, 1);
+        let (a, b, c) = (rkey("a", 1), rkey("b", 2), rkey("c", 3));
+        cache.insert(a.clone(), Arc::new(module(1, 4)));
+        cache.insert(b.clone(), Arc::new(module(1, 4)));
+        cache.get(&a); // b is now coldest
+        cache.insert(c.clone(), Arc::new(module(1, 4)));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&b).is_none(), "coldest entry evicted");
+        assert!(cache.get(&c).is_some());
+    }
+
+    #[test]
+    fn invalidate_drops_all_shifts_of_a_module() {
+        let cache = RotatedViewCache::new(8, 1);
+        cache.insert(rkey("a", 1), Arc::new(module(1, 4)));
+        cache.insert(rkey("a", 2), Arc::new(module(1, 4)));
+        cache.insert(rkey("b", 1), Arc::new(module(1, 4)));
+        cache.invalidate_module(&ModuleKey::new("s", &["a".to_owned()]));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&rkey("b", 1)).is_some());
+    }
+
+    #[test]
+    fn rotate_range_matches_apply_shift_bitwise() {
+        let rope = RopeTable::new(4, 64, 10_000.0);
+        let m = module(5, 8); // 2 heads of dim 4 per row
+        let shift = 9isize;
+        let rotated = rotate_range(&m, 1, 4, shift, &rope);
+        assert_eq!(rotated.len(), 3);
+        assert_eq!(rotated.positions(), &[10, 11, 12]);
+        for l in 0..2 {
+            // Values untouched.
+            assert_eq!(rotated.values(l), &m.values(l)[8..32]);
+            // Keys: every head rotated by R(shift).
+            let mut expect = m.keys(l)[8..32].to_vec();
+            for head in expect.chunks_exact_mut(4) {
+                rope.apply_shift(head, shift);
+            }
+            assert_eq!(rotated.keys(l), &expect[..]);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let cache = RotatedViewCache::new(0, 1);
+        cache.insert(rkey("a", 1), Arc::new(module(1, 4)));
+        assert!(cache.is_empty());
+    }
+}

@@ -8,10 +8,16 @@ use crate::response::{Response, ServeOutcome, ServeStats, Timings, TtftBreakdown
 use crate::scaffold::Scaffold;
 use crate::{EngineError, Result};
 use parking_lot::RwLock;
-use pc_cache::{FetchFaultInjector, ModuleKey, ModuleStore, StoreConfig, StoreStats, Tier};
-use pc_model::{GreedySampler, KvCache, KvSeq, KvView, Model, Sampler, TemperatureSampler, TokenId};
+use pc_cache::{
+    rotate_range, FetchFaultInjector, ModuleKey, ModuleStore, RotatedKey, RotatedViewCache,
+    StoreConfig, StoreStats, Tier,
+};
+use pc_model::{
+    is_shift_invariant, GreedySampler, KvCache, KvSeq, KvView, Model, Sampler, TemperatureSampler,
+    TokenId,
+};
 use pc_pml::layout::{ModulePath, SchemaLayout};
-use pc_pml::resolve::{resolve_prompt, ResolvedPart, ResolvedPrompt};
+use pc_pml::resolve::{resolve_prompt, resolve_prompt_packed, ResolvedPart, ResolvedPrompt};
 use pc_pml::template::ChatTemplate;
 use pc_pml::{parse_prompt, parse_schema, Schema};
 use pc_telemetry::Telemetry;
@@ -75,6 +81,20 @@ pub struct EngineConfig {
     /// the serve is counted in `pc_degraded_serves_total`. Disable to get
     /// the old hard-error ([`EngineError::MissingModuleStates`]) instead.
     pub degrade_on_miss: bool,
+    /// Store modules **position-independently** (default on): each module
+    /// is encoded once at canonical positions starting from 0 and the
+    /// placement-dependent RoPE rotation is applied at read time, so one
+    /// store entry serves every placement of the module. Prompts resolve
+    /// with *packed* placement (union members drop the group's max-length
+    /// padding, RAG chunks land in retrieval order). Placements that match
+    /// the canonical positions take the exact legacy read path; shifted
+    /// placements rotate keys on read and count as `relocations` in the
+    /// cache analytics. Only effective for shift-invariant position
+    /// schemes (RoPE, ALiBi); learned-position models fall back to
+    /// baked-position storage automatically. Turn off for the A/B
+    /// baseline, where each module's states are only valid at the exact
+    /// positions they were encoded at.
+    pub deferred_rope: bool,
 }
 
 impl Default for EngineConfig {
@@ -88,6 +108,7 @@ impl Default for EngineConfig {
             telemetry: Telemetry::disabled(),
             zero_copy: true,
             degrade_on_miss: true,
+            deferred_rope: true,
         }
     }
 }
@@ -146,6 +167,14 @@ impl EngineConfig {
     #[must_use]
     pub fn degrade_on_miss(mut self, on: bool) -> Self {
         self.degrade_on_miss = on;
+        self
+    }
+
+    /// Enables or disables position-independent module storage (deferred
+    /// RoPE with rotate-on-read).
+    #[must_use]
+    pub fn deferred_rope(mut self, on: bool) -> Self {
+        self.deferred_rope = on;
         self
     }
 }
@@ -315,13 +344,25 @@ pub(crate) struct PendingDecode {
 struct RegisteredSchema {
     layout: SchemaLayout,
     /// Precomputed token views of every span (index-aligned with
-    /// `layout.spans`), so serving never re-tokenises cached text.
+    /// `layout.spans`), so serving never re-tokenises cached text. With
+    /// deferred RoPE in effect the positions are **canonical** (normalised
+    /// so each owner's first span starts at 0), which is what the owner
+    /// encodes — and re-encodes, on degrade — at.
     span_tokens: Vec<SpanTokens>,
     scaffolds: Vec<Scaffold>,
     /// `module → indices of the spans it owns`, prebuilt at registration
     /// so argument resolution at serve time is a map lookup instead of an
     /// O(spans) scan per argument.
     owner_spans: HashMap<ModulePath, Vec<usize>>,
+    /// Canonical start position of every span (index-aligned with
+    /// `layout.spans`): the position its first stored row was encoded at.
+    /// A serve-time placement at `p` reads the span's keys through a
+    /// rotation shift of `p − canonical_starts[i]`. Equal to the layout
+    /// start when deferred RoPE is not in effect (shift always 0).
+    canonical_starts: Vec<usize>,
+    /// Whether this schema's spans were encoded position-independently
+    /// (engine knob on *and* the model's position scheme shift-invariant).
+    deferred: bool,
 }
 
 /// Pre-resolved engine telemetry handles (the `StoreMetrics` pattern):
@@ -355,6 +396,10 @@ pub struct PromptCache {
     store: ModuleStore,
     schemas: RwLock<HashMap<String, RegisteredSchema>>,
     metrics: EngineMetrics,
+    /// Materialised rotated views of hot deferred-RoPE placements (see
+    /// [`pc_cache::RotatedViewCache`]): bounded, invalidated whenever a
+    /// module's canonical entry is replaced.
+    rotated: RotatedViewCache,
 }
 
 impl PromptCache {
@@ -374,7 +419,22 @@ impl PromptCache {
             store,
             schemas: RwLock::new(HashMap::new()),
             metrics,
+            rotated: RotatedViewCache::new(64, 2),
         }
+    }
+
+    /// Whether modules of this engine are stored position-independently:
+    /// the [`EngineConfig::deferred_rope`] knob is on **and** the model's
+    /// position scheme is shift-invariant (RoPE/ALiBi — learned positions
+    /// cannot be relocated and fall back to baked-position storage).
+    pub fn deferred_rope_effective(&self) -> bool {
+        self.config.deferred_rope
+            && is_shift_invariant(self.model.config().position_scheme())
+    }
+
+    /// Number of materialised rotated placement views currently cached.
+    pub fn rotated_views(&self) -> usize {
+        self.rotated.len()
     }
 
     /// The underlying model.
@@ -452,7 +512,7 @@ impl PromptCache {
         let layout = SchemaLayout::build(schema, self.config.template, &counter);
 
         // Tokenise every span once.
-        let tokens: Vec<SpanTokens> = layout
+        let mut tokens: Vec<SpanTokens> = layout
             .spans
             .iter()
             .map(|s| span_tokens(s, self.tokenizer.as_ref()))
@@ -471,6 +531,31 @@ impl PromptCache {
                 owners.push(span.owner.clone());
             }
             ids.push(i);
+        }
+
+        // Position-independent storage (deferred RoPE): normalise each
+        // owner's positions so its first span starts at 0 — the canonical
+        // placement every serve-time shift is computed against. Gaps
+        // *between* an owner's spans (parameter slots, nested children)
+        // are preserved, so the owner still encodes as one attention unit
+        // with its internal offsets intact. One store entry per unique
+        // module content, wherever prompts later place it.
+        let deferred = self.deferred_rope_effective();
+        let mut canonical_starts: Vec<usize> =
+            layout.spans.iter().map(|s| s.start).collect();
+        if deferred {
+            for ids in owner_spans.values() {
+                let base = ids
+                    .iter()
+                    .map(|&i| layout.spans[i].start)
+                    .min()
+                    .unwrap_or(0);
+                for &i in ids {
+                    let c0 = layout.spans[i].start - base;
+                    canonical_starts[i] = c0;
+                    tokens[i].positions = (c0..c0 + tokens[i].tokens.len()).collect();
+                }
+            }
         }
 
         // Spans already present in the store (e.g. loaded from disk via
@@ -577,8 +662,9 @@ impl PromptCache {
             cached_tokens += cache.len();
             spans += 1;
             let cost = pc_model::flops::model_prefill_flops(self.model.config(), cache.len());
-            self.store
-                .insert(self.span_key(&schema.name, i), cache, cost as f64);
+            let key = self.span_key(&schema.name, i);
+            self.rotated.invalidate_module(&key);
+            self.store.insert(key, cache, cost as f64);
         }
 
         self.schemas.write().insert(
@@ -588,6 +674,8 @@ impl PromptCache {
                 span_tokens: tokens,
                 scaffolds: Vec::new(),
                 owner_spans,
+                canonical_starts,
+                deferred,
             },
         );
         let counter = |t: &str| self.count(t);
@@ -640,6 +728,7 @@ impl PromptCache {
                         .and_then(|s| s.parse::<usize>().ok())
                         .is_some_and(|i| i >= span_count);
                     if stale {
+                        self.rotated.invalidate_module(&key);
                         self.store.remove(&key);
                     }
                 }
@@ -677,6 +766,9 @@ impl PromptCache {
     /// Drops a schema and all of its cached states.
     pub fn unregister_schema(&self, name: &str) {
         self.schemas.write().remove(name);
+        for key in self.store_keys_for(name) {
+            self.rotated.invalidate_module(&key);
+        }
         self.store.remove_schema(name);
     }
 
@@ -720,12 +812,7 @@ impl PromptCache {
                 name: schema.to_owned(),
             })?;
         let scaffold = Scaffold::build(schema, modules, &entry.layout, &entry.span_tokens)?;
-        let mut all_tokens = Vec::new();
-        let mut all_positions = Vec::new();
-        for &i in &scaffold.span_indices {
-            all_tokens.extend_from_slice(&entry.span_tokens[i].tokens);
-            all_positions.extend_from_slice(&entry.span_tokens[i].positions);
-        }
+        let (all_tokens, all_positions) = Self::scaffold_tokens(entry, &scaffold);
         let encoded = self.model.encode_segment(&all_tokens, &all_positions)?;
         let cost = pc_model::flops::model_prefill_flops(self.model.config(), encoded.len());
         self.store.insert(scaffold.key.clone(), encoded, cost as f64);
@@ -919,7 +1006,16 @@ impl PromptCache {
                 name: prompt.schema.clone(),
             })?;
         let counter = |t: &str| self.count(t);
-        let resolved = resolve_prompt(&entry.layout, &prompt, &counter)?;
+        // Packed placement goes with position-independent storage: parts
+        // land at a running cursor in prompt order and each cached span's
+        // placement shift (placed − canonical start) is absorbed by the
+        // rotate-on-read kernels. Without it, placements must equal the
+        // layout positions modules were encoded at.
+        let resolved = if entry.deferred {
+            resolve_prompt_packed(&entry.layout, &prompt, &counter)?
+        } else {
+            resolve_prompt(&entry.layout, &prompt, &counter)?
+        };
         drop(resolve_span);
         let tokenize_span = telemetry.span("tokenize");
         let chunk = uncached_chunk(&resolved, self.tokenizer.as_ref());
@@ -985,19 +1081,54 @@ impl PromptCache {
                 _ => None,
             })
             .collect();
+        // Placed start of every cached span in this prompt — the scaffold
+        // selection below needs it to check that packed placement moved
+        // all of a scaffold's members rigidly.
+        let placed_starts: HashMap<usize, usize> = resolved
+            .parts
+            .iter()
+            .filter_map(|p| match p {
+                ResolvedPart::Cached {
+                    span_index, start, ..
+                } => Some((*span_index, *start)),
+                _ => None,
+            })
+            .collect();
         let mut scaffolded_spans: Vec<usize> = Vec::new();
-        let mut selected_scaffolds: Vec<&Scaffold> = Vec::new();
+        let mut selected_scaffolds: Vec<(&Scaffold, isize)> = Vec::new();
         if options.use_scaffolds {
             for scaffold in &entry.scaffolds {
-                if scaffold.members.iter().all(|m| imported.contains(m))
-                    && !scaffold
+                if !scaffold.members.iter().all(|m| imported.contains(m))
+                    || scaffold
                         .span_indices
                         .iter()
                         .any(|i| scaffolded_spans.contains(i))
                 {
-                    scaffolded_spans.extend_from_slice(&scaffold.span_indices);
-                    selected_scaffolds.push(scaffold);
+                    continue;
                 }
+                // A scaffold's joint states encode its members at their
+                // layout positions; the states relocate as one rigid block
+                // or not at all. Packed placement preserves a subtree's
+                // internal offsets, so members imported consecutively in
+                // layout order share one shift — anything else (content
+                // interleaved between members) deforms the block, and the
+                // scaffold steps aside for the per-span path.
+                let shifts: Vec<isize> = scaffold
+                    .span_indices
+                    .iter()
+                    .filter_map(|&i| {
+                        placed_starts
+                            .get(&i)
+                            .map(|&p| p as isize - entry.layout.spans[i].start as isize)
+                    })
+                    .collect();
+                let rigid = shifts.len() == scaffold.span_indices.len()
+                    && shifts.windows(2).all(|w| w[0] == w[1]);
+                if !rigid {
+                    continue;
+                }
+                scaffolded_spans.extend_from_slice(&scaffold.span_indices);
+                selected_scaffolds.push((scaffold, shifts.first().copied().unwrap_or(0)));
             }
         }
 
@@ -1010,7 +1141,7 @@ impl PromptCache {
         // serve even when the store refuses to return the healed entry.
         let mut recomputed: HashMap<usize, Arc<KvCache>> = HashMap::new();
 
-        for scaffold in &selected_scaffolds {
+        for &(scaffold, shift) in &selected_scaffolds {
             let states = match self.store.get(&scaffold.key, tier) {
                 Some(states) => states,
                 None if self.config.degrade_on_miss => {
@@ -1029,8 +1160,13 @@ impl PromptCache {
             };
             let rows = states.len();
             let bytes = states.size_bytes();
+            if shift != 0 {
+                if let Some(a) = analytics {
+                    a.record_relocation(&scaffold.key);
+                }
+            }
             if zero_copy {
-                view.push_cache(Arc::clone(&states))?;
+                view.push_segment_shifted(Arc::clone(&states), 0, rows, shift)?;
                 bytes_shared += bytes;
                 if let Some(a) = analytics {
                     if let Some(seg) = view.segments().last() {
@@ -1039,7 +1175,7 @@ impl PromptCache {
                     a.record_bytes_shared(&scaffold.key, bytes as u64);
                 }
             } else {
-                view.append_range_copy(&states, 0, rows)?;
+                view.append_range_copy_shifted(&states, 0, rows, shift, self.model.rope())?;
                 bytes_copied += bytes;
                 if let Some(a) = analytics {
                     a.record_bytes_copied(&scaffold.key, bytes as u64);
@@ -1053,7 +1189,7 @@ impl PromptCache {
         }
         if used_scaffold {
             // Rebuild the row mirror from scaffold span tokens.
-            for scaffold in &selected_scaffolds {
+            for &(scaffold, _) in &selected_scaffolds {
                 for &i in &scaffold.span_indices {
                     row_tokens.extend_from_slice(&entry.span_tokens[i].tokens);
                 }
@@ -1061,12 +1197,21 @@ impl PromptCache {
         }
 
         for part in &resolved.parts {
-            let ResolvedPart::Cached { span_index, .. } = part else {
+            let ResolvedPart::Cached {
+                span_index, start, ..
+            } = part
+            else {
                 continue;
             };
             if scaffolded_spans.contains(span_index) {
                 continue;
             }
+            // Placement shift of this span: where the prompt placed it
+            // minus where its canonical entry was encoded. Zero without
+            // deferred RoPE (placements equal encode positions) and for
+            // packed placements that happen to coincide with the canonical
+            // layout — those take the exact legacy read path.
+            let shift = *start as isize - entry.canonical_starts[*span_index] as isize;
             let key = self.span_key(&prompt.schema, *span_index);
             let states = match self.store.get(&key, tier) {
                 Some(states) => states,
@@ -1084,6 +1229,11 @@ impl PromptCache {
                     })
                 }
             };
+            if shift != 0 {
+                if let Some(a) = analytics {
+                    a.record_relocation(&key);
+                }
+            }
             // Take the span, skipping filled placeholder rows (their
             // states are recomputed from the real argument below) — the
             // skip list splits the span into shared segments.
@@ -1103,7 +1253,16 @@ impl PromptCache {
             }
             for (s, e) in ranges {
                 if zero_copy {
-                    view.push_segment(Arc::clone(&states), s, e)?;
+                    if shift == 0 {
+                        view.push_segment(Arc::clone(&states), s, e)?;
+                    } else if let Some(rot) = self.rotated_view(&key, s, e, shift, &states) {
+                        // Hot placement: serve the materialised rotation
+                        // at shift 0 — bit-identical to the fused path,
+                        // no per-score rotation work.
+                        view.push_segment(rot, 0, e - s)?;
+                    } else {
+                        view.push_segment_shifted(Arc::clone(&states), s, e, shift)?;
+                    }
                     bytes_shared += states.bytes_for_rows(e - s);
                     if let Some(a) = analytics {
                         if let Some(seg) = view.segments().last() {
@@ -1112,7 +1271,7 @@ impl PromptCache {
                         a.record_bytes_shared(&key, states.bytes_for_rows(e - s) as u64);
                     }
                 } else {
-                    view.append_range_copy(&states, s, e)?;
+                    view.append_range_copy_shifted(&states, s, e, shift, self.model.rope())?;
                     bytes_copied += states.bytes_for_rows(e - s);
                     if let Some(a) = analytics {
                         a.record_bytes_copied(&key, states.bytes_for_rows(e - s) as u64);
@@ -1417,7 +1576,7 @@ impl PromptCache {
     }
 
     /// Resolves a parsed prompt against its registered schema — shared by
-    /// batch accounting.
+    /// batch accounting. Uses the same placement mode as the serve path.
     pub(crate) fn resolve_for(
         &self,
         prompt: &pc_pml::Prompt,
@@ -1429,7 +1588,45 @@ impl PromptCache {
                 name: prompt.schema.clone(),
             })?;
         let counter = |t: &str| self.count(t);
-        Ok(resolve_prompt(&entry.layout, prompt, &counter)?)
+        Ok(if entry.deferred {
+            resolve_prompt_packed(&entry.layout, prompt, &counter)?
+        } else {
+            resolve_prompt(&entry.layout, prompt, &counter)?
+        })
+    }
+
+    /// Consults the rotated-view cache for a shifted placement of rows
+    /// `start..end` of module `key`. A hit returns the materialised view
+    /// (rows rotated by `R(shift)`, positions placed) to serve at shift 0;
+    /// a miss counts the fused-path use and, once the placement crosses
+    /// the hot threshold, materialises and caches the view — returning it
+    /// immediately so the promoting serve already benefits. `None` means
+    /// keep the fused rotate-on-read path. Position-free families (no
+    /// RoPE table) never materialise: their fused path does no extra work.
+    fn rotated_view(
+        &self,
+        key: &ModuleKey,
+        start: usize,
+        end: usize,
+        shift: isize,
+        states: &Arc<KvCache>,
+    ) -> Option<Arc<KvCache>> {
+        let rope = self.model.rope()?;
+        let rkey = RotatedKey {
+            module: key.clone(),
+            start,
+            end,
+            shift,
+        };
+        if let Some(rot) = self.rotated.get(&rkey) {
+            return Some(rot);
+        }
+        if self.rotated.note_use(&rkey) {
+            let rot = Arc::new(rotate_range(states, start, end, shift, rope));
+            self.rotated.insert(rkey, Arc::clone(&rot));
+            return Some(rot);
+        }
+        None
     }
 
     /// Builds the effective interruption token for one serve call: the
@@ -1508,8 +1705,11 @@ impl PromptCache {
             offset += n;
             let cost =
                 pc_model::flops::model_prefill_flops(self.model.config(), part.len());
-            self.store
-                .insert(self.span_key(schema, i), part.clone(), cost as f64);
+            let key = self.span_key(schema, i);
+            // The canonical entry is being replaced: any materialised
+            // rotated views of it are stale by pointer identity.
+            self.rotated.invalidate_module(&key);
+            self.store.insert(key, part.clone(), cost as f64);
             let part = Arc::new(part);
             if i == span_index {
                 requested = Some(Arc::clone(&part));
@@ -1521,17 +1721,33 @@ impl PromptCache {
         })
     }
 
+    /// Token/position streams for a scaffold's joint encoding. Scaffolds
+    /// always encode at the **layout** positions of their member spans —
+    /// never the canonical (normalised) per-owner positions — because a
+    /// scaffold spans several owners whose canonical ranges would
+    /// otherwise collide at 0. At serve time the whole scaffold relocates
+    /// rigidly: one shift, computed from the members' placed positions.
+    fn scaffold_tokens(
+        entry: &RegisteredSchema,
+        scaffold: &Scaffold,
+    ) -> (Vec<TokenId>, Vec<usize>) {
+        let mut all_tokens = Vec::new();
+        let mut all_positions = Vec::new();
+        for &i in &scaffold.span_indices {
+            let toks = &entry.span_tokens[i].tokens;
+            let start = entry.layout.spans[i].start;
+            all_tokens.extend_from_slice(toks);
+            all_positions.extend(start..start + toks.len());
+        }
+        (all_tokens, all_positions)
+    }
+
     /// Graceful-degradation recompute for a missing/corrupt scaffold: its
     /// member spans are jointly re-encoded (the same computation as
     /// [`PromptCache::add_scaffold`]) and re-inserted under the scaffold
     /// key.
     fn reencode_scaffold(&self, entry: &RegisteredSchema, scaffold: &Scaffold) -> Result<KvCache> {
-        let mut all_tokens = Vec::new();
-        let mut all_positions = Vec::new();
-        for &i in &scaffold.span_indices {
-            all_tokens.extend_from_slice(&entry.span_tokens[i].tokens);
-            all_positions.extend_from_slice(&entry.span_tokens[i].positions);
-        }
+        let (all_tokens, all_positions) = Self::scaffold_tokens(entry, scaffold);
         let encoded = self.model.encode_segment(&all_tokens, &all_positions)?;
         let cost = pc_model::flops::model_prefill_flops(self.model.config(), encoded.len());
         self.store

@@ -83,6 +83,46 @@ fn checksum_corruption_is_detected_degraded_and_self_healed() {
 }
 
 #[test]
+fn relocated_module_corruption_degrades_byte_identically() {
+    // A module imported after prompt text serves at a shift ≠ 0 from its
+    // canonical entry (deferred RoPE relocates it at read time).
+    // Corrupting that entry must still degrade-and-recompute to output
+    // byte-identical with the healthy serve: the re-encode path rebuilds
+    // the canonical states, and the same rotation relocates them again.
+    let engine = engine_with(
+        EngineConfig::default().store(StoreConfig::default().verify_checksums(true)),
+    );
+    assert!(engine.deferred_rope_effective());
+    let prompt = r#"<prompt schema="s">one two three <ctx/>question</prompt>"#;
+    let healthy = engine
+        .serve(&ServeRequest::new(prompt).options(opts().clone()))
+        .map(Served::into_response)
+        .unwrap();
+    assert_eq!(healthy.stats.degraded_spans, 0);
+    assert!(healthy.stats.cached_tokens > 0, "relocated span must still hit");
+
+    // Flip a bit in the relocated module's canonical states.
+    assert!(engine.store().corrupt_module(&span_key(0)));
+    let degraded = engine
+        .serve(&ServeRequest::new(prompt).options(opts().clone()))
+        .map(Served::into_response)
+        .unwrap();
+    assert!(degraded.stats.degraded_spans > 0, "corruption forced a recompute");
+    assert_eq!(degraded.tokens, healthy.tokens, "degraded serve is byte-identical");
+    assert_eq!(degraded.text, healthy.text);
+    assert!(engine.store_stats().corruptions_detected >= 1);
+
+    // The recompute reinserted canonical states: the next serve of the
+    // same relocated placement is healthy and still byte-identical.
+    let healed = engine
+        .serve(&ServeRequest::new(prompt).options(opts().clone()))
+        .map(Served::into_response)
+        .unwrap();
+    assert_eq!(healed.stats.degraded_spans, 0, "store self-healed");
+    assert_eq!(healed.tokens, healthy.tokens);
+}
+
+#[test]
 fn degradation_matches_the_uncached_baseline() {
     // Transitivity check straight against the paper's baseline: a fully
     // degraded serve (every span recomputed) still equals full prefill.

@@ -8,11 +8,43 @@
 //! **position IDs** riding on the cache — exactly the separation that lets
 //! Prompt Cache serve discontinuous, out-of-order position layouts.
 
-use crate::pos::AlibiTable;
+use crate::pos::{AlibiTable, RopeTable};
 use crate::view::PrefixGroup;
 use crate::ModelConfig;
-use pc_tensor::ops::{axpy_seq, dot_seq};
+use pc_tensor::ops::{axpy_seq, dot_rotated, dot_seq};
 use pc_tensor::par::{parallel_output_chunks, run_tasks};
+
+/// A physical KV segment as seen by the kernels: `(keys, values, shift)`.
+/// `shift` is the deferred-RoPE placement shift for the segment's key rows
+/// — `0` means the keys are already rotated for their placed positions
+/// (the legacy path), non-zero means every key row must be rotated by
+/// `R(shift)` on the fly during the score pass. Value rows are
+/// position-free and are never touched by the shift.
+pub type KvSegmentSlices<'a> = (&'a [f32], &'a [f32], isize);
+
+/// Resolves a segment's rotation row once: `None` for shift 0 (use the
+/// plain [`dot_seq`] path — bit-identical to the legacy kernel), else the
+/// `(cos, sin, sign)` row feeding [`dot_rotated`]. With no RoPE table
+/// (ALiBi / learned families) the key rows are position-free, so a shifted
+/// placement needs no rotation — the position remap carried by the view's
+/// flat position list is the whole relocation.
+#[inline]
+fn segment_rotation(rope: Option<&RopeTable>, shift: isize) -> Option<(&[f32], &[f32], f32)> {
+    match (rope, shift) {
+        (_, 0) | (None, _) => None,
+        (Some(rope), shift) => Some(rope.shift_row(shift)),
+    }
+}
+
+/// One score: `q · R(shift)k`, dispatching between the legacy sequential
+/// dot and the fused rotate-on-read dot.
+#[inline]
+fn score_dot(q_head: &[f32], k_head: &[f32], rot: Option<(&[f32], &[f32], f32)>) -> f32 {
+    match rot {
+        None => dot_seq(q_head, k_head),
+        Some((cos, sin, sign)) => dot_rotated(q_head, k_head, cos, sin, sign),
+    }
+}
 
 /// Computes attention outputs for a chunk of `n` new tokens over a
 /// contiguous KV cache.
@@ -49,9 +81,10 @@ pub fn attention_chunk(
         cfg,
         q,
         q_positions,
-        &[(keys, values)],
+        &[(keys, values, 0)],
         key_positions,
         base,
+        None,
         alibi,
         out,
     );
@@ -76,9 +109,10 @@ pub fn attention_chunk_segments(
     cfg: &ModelConfig,
     q: &[f32],
     q_positions: &[usize],
-    segments: &[(&[f32], &[f32])],
+    segments: &[KvSegmentSlices<'_>],
     key_positions: &[usize],
     base: usize,
+    rope: Option<&RopeTable>,
     alibi: Option<&AlibiTable>,
     out: &mut [f32],
 ) {
@@ -90,12 +124,12 @@ pub fn attention_chunk_segments(
     debug_assert_eq!(q.len(), n * d);
     debug_assert_eq!(out.len(), n * d);
     debug_assert_eq!(
-        segments.iter().map(|(k, _)| k.len()).sum::<usize>(),
+        segments.iter().map(|(k, _, _)| k.len()).sum::<usize>(),
         total * kv_dim
     );
     debug_assert!(segments
         .iter()
-        .all(|(k, v)| k.len() == v.len() && k.len() % kv_dim.max(1) == 0));
+        .all(|(k, v, _)| k.len() == v.len() && k.len() % kv_dim.max(1) == 0));
     debug_assert!(base + n <= total);
     if n == 0 {
         return;
@@ -116,6 +150,7 @@ pub fn attention_chunk_segments(
             segments,
             key_positions,
             base,
+            rope,
             alibi,
             scale,
             first_row,
@@ -154,9 +189,10 @@ pub fn attention_decode_batch(
     cfg: &ModelConfig,
     q: &[f32],
     q_positions: &[usize],
-    segs: &[(&[f32], &[f32])],
+    segs: &[KvSegmentSlices<'_>],
     seg_bounds: &[usize],
     seq_key_positions: &[&[usize]],
+    rope: Option<&RopeTable>,
     alibi: Option<&AlibiTable>,
     scores: &mut Vec<f32>,
     out: &mut [f32],
@@ -187,8 +223,8 @@ pub fn attention_decode_batch(
     }
     if threads <= 1 {
         attention_seq_rows(
-            cfg, q, q_positions, segs, seg_bounds, seq_key_positions, alibi, scale, 0, out,
-            scores,
+            cfg, q, q_positions, segs, seg_bounds, seq_key_positions, rope, alibi, scale, 0,
+            out, scores,
         );
         return;
     }
@@ -200,8 +236,8 @@ pub fn attention_decode_batch(
             let first_seq = chunk_idx * rows_per;
             Box::new(move || {
                 attention_seq_rows(
-                    cfg, q, q_positions, segs, seg_bounds, seq_key_positions, alibi, scale,
-                    first_seq, out_chunk, score_chunk,
+                    cfg, q, q_positions, segs, seg_bounds, seq_key_positions, rope, alibi,
+                    scale, first_seq, out_chunk, score_chunk,
                 );
             }) as Box<dyn FnOnce() + Send + '_>
         })
@@ -218,9 +254,10 @@ fn attention_seq_rows(
     cfg: &ModelConfig,
     q: &[f32],
     q_positions: &[usize],
-    segs: &[(&[f32], &[f32])],
+    segs: &[KvSegmentSlices<'_>],
     seg_bounds: &[usize],
     seq_key_positions: &[&[usize]],
+    rope: Option<&RopeTable>,
     alibi: Option<&AlibiTable>,
     scale: f32,
     first_seq: usize,
@@ -240,6 +277,7 @@ fn attention_seq_rows(
             &segs[seg_bounds[s]..seg_bounds[s + 1]],
             key_positions,
             visible,
+            rope,
             alibi,
             scale,
             scores,
@@ -275,10 +313,11 @@ pub fn attention_decode_batch_grouped(
     cfg: &ModelConfig,
     q: &[f32],
     q_positions: &[usize],
-    segs: &[(&[f32], &[f32])],
+    segs: &[KvSegmentSlices<'_>],
     seg_bounds: &[usize],
     seq_key_positions: &[&[usize]],
     groups: &[PrefixGroup],
+    rope: Option<&RopeTable>,
     alibi: Option<&AlibiTable>,
     scores: &mut Vec<f32>,
     out: &mut [f32],
@@ -323,8 +362,8 @@ pub fn attention_decode_batch_grouped(
             out_rest = rest;
             let len = need(g);
             attention_group(
-                cfg, q, q_positions, segs, seg_bounds, seq_key_positions, g, alibi, scale,
-                &mut scores[off..off + len], out_chunk,
+                cfg, q, q_positions, segs, seg_bounds, seq_key_positions, g, rope, alibi,
+                scale, &mut scores[off..off + len], out_chunk,
             );
             off += len;
         }
@@ -340,8 +379,8 @@ pub fn attention_decode_batch_grouped(
         scores_rest = rest;
         tasks.push(Box::new(move || {
             attention_group(
-                cfg, q, q_positions, segs, seg_bounds, seq_key_positions, g, alibi, scale,
-                score_chunk, out_chunk,
+                cfg, q, q_positions, segs, seg_bounds, seq_key_positions, g, rope, alibi,
+                scale, score_chunk, out_chunk,
             );
         }) as Box<dyn FnOnce() + Send + '_>);
     }
@@ -366,10 +405,11 @@ fn attention_group(
     cfg: &ModelConfig,
     q: &[f32],
     q_positions: &[usize],
-    segs: &[(&[f32], &[f32])],
+    segs: &[KvSegmentSlices<'_>],
     seg_bounds: &[usize],
     seq_key_positions: &[&[usize]],
     g: &PrefixGroup,
+    rope: Option<&RopeTable>,
     alibi: Option<&AlibiTable>,
     scale: f32,
     scores: &mut [f32],
@@ -381,8 +421,8 @@ fn attention_group(
         // (this is also what keeps a batch of singletons — including batch
         // size 1 — on exactly the legacy code).
         attention_seq_rows(
-            cfg, q, q_positions, segs, seg_bounds, seq_key_positions, alibi, scale, g.start,
-            out_chunk, scores,
+            cfg, q, q_positions, segs, seg_bounds, seq_key_positions, rope, alibi, scale,
+            g.start, out_chunk, scores,
         );
         return;
     }
@@ -400,16 +440,19 @@ fn attention_group(
         let kv_h = h / kv_group;
 
         // Score phase 1 — shared prefix, loop-interchanged: each key row
-        // is read once and dotted against every member's query.
+        // is read once and dotted against every member's query. A shifted
+        // segment's rotation row is resolved once and applied inside the
+        // fused dot, so the interchange still reads each key row once.
         let mut j = 0usize;
-        for &(keys, _) in shared {
+        for &(keys, _, shift) in shared {
+            let rot = segment_rotation(rope, shift);
             for k_row in keys.chunks_exact(kv_dim) {
                 let k_head = &k_row[kv_h * hd..(kv_h + 1) * hd];
                 for mi in 0..g.len {
                     let s = m0 + mi;
                     let q_head = &q[s * d + h * hd..s * d + (h + 1) * hd];
                     let score = &mut scores[mi * stride + j];
-                    *score = dot_seq(q_head, k_head) * scale;
+                    *score = score_dot(q_head, k_head, rot) * scale;
                     if let Some(alibi) = alibi {
                         *score += alibi.bias(h, q_positions[s], seq_key_positions[s][j]);
                     }
@@ -429,15 +472,16 @@ fn attention_group(
             let q_head = &q[s * d + h * hd..s * d + (h + 1) * hd];
             let row_scores = &mut scores[mi * stride..mi * stride + visible];
             let mut j = g.prefix_rows;
-            for &(keys, _) in &segs[seg_bounds[s] + g.prefix_segments..seg_bounds[s + 1]] {
+            for &(keys, _, shift) in &segs[seg_bounds[s] + g.prefix_segments..seg_bounds[s + 1]] {
                 if j >= visible {
                     break;
                 }
+                let rot = segment_rotation(rope, shift);
                 let rows = (keys.len() / kv_dim).min(visible - j);
                 for r in 0..rows {
                     let k_head = &keys[r * kv_dim + kv_h * hd..r * kv_dim + (kv_h + 1) * hd];
                     let score = &mut row_scores[j];
-                    *score = dot_seq(q_head, k_head) * scale;
+                    *score = score_dot(q_head, k_head, rot) * scale;
                     if let Some(alibi) = alibi {
                         *score += alibi.bias(h, q_positions[s], key_positions[j]);
                     }
@@ -449,9 +493,10 @@ fn attention_group(
         }
 
         // Value phase 1 — shared prefix, loop-interchanged: each value row
-        // is read once and accumulated into every member's output.
+        // is read once and accumulated into every member's output. Value
+        // rows are position-free, so the shift never enters this phase.
         let mut j = 0usize;
-        for &(_, values) in shared {
+        for &(_, values, _) in shared {
             for v_row in values.chunks_exact(kv_dim) {
                 let v_head = &v_row[kv_h * hd..(kv_h + 1) * hd];
                 for (mi, o_row) in out_chunk.chunks_exact_mut(d).enumerate() {
@@ -467,7 +512,7 @@ fn attention_group(
             let visible = seq_key_positions[s].len();
             let o_head = &mut o_row[h * hd..(h + 1) * hd];
             let mut j = g.prefix_rows;
-            for &(_, values) in &segs[seg_bounds[s] + g.prefix_segments..seg_bounds[s + 1]] {
+            for &(_, values, _) in &segs[seg_bounds[s] + g.prefix_segments..seg_bounds[s + 1]] {
                 if j >= visible {
                     break;
                 }
@@ -491,9 +536,10 @@ fn attention_rows(
     cfg: &ModelConfig,
     q: &[f32],
     q_positions: &[usize],
-    segments: &[(&[f32], &[f32])],
+    segments: &[KvSegmentSlices<'_>],
     key_positions: &[usize],
     base: usize,
+    rope: Option<&RopeTable>,
     alibi: Option<&AlibiTable>,
     scale: f32,
     first_row: usize,
@@ -512,6 +558,7 @@ fn attention_rows(
             segments,
             key_positions,
             base + i + 1,
+            rope,
             alibi,
             scale,
             &mut scores,
@@ -531,9 +578,10 @@ fn attention_row(
     cfg: &ModelConfig,
     q_row: &[f32],
     q_pos: usize,
-    segments: &[(&[f32], &[f32])],
+    segments: &[KvSegmentSlices<'_>],
     key_positions: &[usize],
     visible: usize,
+    rope: Option<&RopeTable>,
     alibi: Option<&AlibiTable>,
     scale: f32,
     scores: &mut [f32],
@@ -547,15 +595,16 @@ fn attention_row(
         let kv_h = h / group;
         let scores = &mut scores[..visible];
         let mut j = 0usize;
-        for &(keys, _) in segments {
+        for &(keys, _, shift) in segments {
             if j >= visible {
                 break;
             }
+            let rot = segment_rotation(rope, shift);
             let rows = (keys.len() / kv_dim).min(visible - j);
             for r in 0..rows {
                 let k_head = &keys[r * kv_dim + kv_h * hd..r * kv_dim + (kv_h + 1) * hd];
                 let s = &mut scores[j];
-                *s = dot_seq(q_head, k_head) * scale;
+                *s = score_dot(q_head, k_head, rot) * scale;
                 if let Some(alibi) = alibi {
                     *s += alibi.bias(h, q_pos, key_positions[j]);
                 }
@@ -565,7 +614,7 @@ fn attention_row(
         pc_tensor::ops::softmax_slice(scores);
         let o_head = &mut o_row[h * hd..(h + 1) * hd];
         let mut j = 0usize;
-        for &(_, values) in segments {
+        for &(_, values, _) in segments {
             if j >= visible {
                 break;
             }
@@ -728,20 +777,89 @@ mod tests {
 
         for splits in [vec![1, 3, 3], vec![2, 0, 5], vec![7], vec![1; 7], vec![4, 3]] {
             assert_eq!(splits.iter().sum::<usize>(), total);
-            let mut segs: Vec<(&[f32], &[f32])> = Vec::new();
+            let mut segs: Vec<KvSegmentSlices<'_>> = Vec::new();
             let mut row = 0;
             for len in splits {
                 segs.push((
                     &keys[row * kv_dim..(row + len) * kv_dim],
                     &values[row * kv_dim..(row + len) * kv_dim],
+                    0,
                 ));
                 row += len;
             }
             let mut got = vec![0.0f32; n * cfg.hidden_size];
             attention_chunk_segments(
-                &cfg, &q, &q_positions, &segs, &key_positions, base, None, &mut got,
+                &cfg, &q, &q_positions, &segs, &key_positions, base, None, None, &mut got,
             );
             assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn shifted_segment_matches_materialised_rotation_bitwise() {
+        // A segment carrying shift Δ must produce the same bits as first
+        // rotating every key head by R(Δ) into a flat buffer and running
+        // the legacy shift-0 kernel over it.
+        let cfg = ModelConfig {
+            hidden_size: 8,
+            num_heads: 2,
+            num_kv_heads: 1,
+            ..ModelConfig::llama_tiny(8)
+        };
+        let rope = crate::pos::RopeTable::new(cfg.head_dim(), 512, 10_000.0);
+        let kv_dim = cfg.kv_dim();
+        let total = 6usize;
+        let n = 2usize;
+        let base = total - n;
+        let keys: Vec<f32> =
+            (0..total * kv_dim).map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.13).collect();
+        let values: Vec<f32> =
+            (0..total * kv_dim).map(|i| ((i * 53 % 23) as f32 - 11.0) * 0.07).collect();
+        let q: Vec<f32> =
+            (0..n * cfg.hidden_size).map(|i| ((i * 41 % 17) as f32 - 8.0) * 0.11).collect();
+        let q_positions: Vec<usize> = (base..total).collect();
+        let key_positions: Vec<usize> = (0..total).collect();
+        // First 4 rows are a "module" whose keys are canonical (shift Δ
+        // pending); last 2 rows are the fresh tail at shift 0.
+        let split = 4 * kv_dim;
+        for shift in [5isize, 120, -3] {
+            let mut rotated = keys.clone();
+            for row in rotated[..split].chunks_exact_mut(kv_dim) {
+                for head in row.chunks_exact_mut(cfg.head_dim()) {
+                    rope.apply_shift(head, shift);
+                }
+            }
+            let mut expect = vec![0.0f32; n * cfg.hidden_size];
+            attention_chunk_segments(
+                &cfg,
+                &q,
+                &q_positions,
+                &[(&rotated, &values, 0)],
+                &key_positions,
+                base,
+                None,
+                None,
+                &mut expect,
+            );
+            let segs: Vec<KvSegmentSlices<'_>> = vec![
+                (&keys[..split], &values[..split], shift),
+                (&keys[split..], &values[split..], 0),
+            ];
+            let mut got = vec![0.0f32; n * cfg.hidden_size];
+            attention_chunk_segments(
+                &cfg,
+                &q,
+                &q_positions,
+                &segs,
+                &key_positions,
+                base,
+                Some(&rope),
+                None,
+                &mut got,
+            );
+            let expect_bits: Vec<u32> = expect.iter().map(|f| f.to_bits()).collect();
+            let got_bits: Vec<u32> = got.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(got_bits, expect_bits, "shift {shift}");
         }
     }
 

@@ -23,29 +23,31 @@ const LAYER_TIMING_SAMPLE_EVERY: u64 = 16;
 /// allocation serves every layer of every tick instead of being rebuilt
 /// per layer.
 #[derive(Debug, Default)]
-struct SegListPool(Vec<(&'static [f32], &'static [f32])>);
+struct SegListPool(Vec<(&'static [f32], &'static [f32], isize)>);
 
 impl SegListPool {
-    fn take<'s>(&mut self) -> Vec<(&'s [f32], &'s [f32])> {
+    fn take<'s>(&mut self) -> Vec<(&'s [f32], &'s [f32], isize)> {
         let empty = std::mem::take(&mut self.0);
         debug_assert!(empty.is_empty());
         // SAFETY: the vector is empty, so it holds no references — only
         // its allocation transfers. The element types differ solely in
         // slice lifetime, which never affects layout.
         unsafe {
-            std::mem::transmute::<Vec<(&'static [f32], &'static [f32])>, Vec<(&'s [f32], &'s [f32])>>(
-                empty,
-            )
+            std::mem::transmute::<
+                Vec<(&'static [f32], &'static [f32], isize)>,
+                Vec<(&'s [f32], &'s [f32], isize)>,
+            >(empty)
         }
     }
 
-    fn put<'s>(&mut self, mut v: Vec<(&'s [f32], &'s [f32])>) {
+    fn put<'s>(&mut self, mut v: Vec<(&'s [f32], &'s [f32], isize)>) {
         v.clear();
         // SAFETY: cleared above — no references remain; see `take`.
         self.0 = unsafe {
-            std::mem::transmute::<Vec<(&'s [f32], &'s [f32])>, Vec<(&'static [f32], &'static [f32])>>(
-                v,
-            )
+            std::mem::transmute::<
+                Vec<(&'s [f32], &'s [f32], isize)>,
+                Vec<(&'static [f32], &'static [f32], isize)>,
+            >(v)
         };
     }
 }
@@ -209,6 +211,14 @@ impl Model {
     /// The model's weights (read-only; used by fidelity tests).
     pub fn weights(&self) -> &ModelWeights {
         &self.weights
+    }
+
+    /// The model's RoPE table, if the family uses rotary positions —
+    /// `None` for ALiBi/learned families. The engine hands this to the
+    /// deferred-RoPE read path (shifted [`crate::KvView`] segments and
+    /// copy-mode placement rotation).
+    pub fn rope(&self) -> Option<&RopeTable> {
+        self.rope.as_ref()
     }
 
     /// Runs the transformer over `tokens` at `positions`, appending their
@@ -537,6 +547,7 @@ impl Model {
                     &scratch.seg_bounds,
                     &key_pos,
                     &scratch.groups,
+                    self.rope.as_ref(),
                     self.alibi.as_ref(),
                     &mut scratch.scores,
                     attn,
@@ -549,6 +560,7 @@ impl Model {
                     &segs,
                     &scratch.seg_bounds,
                     &key_pos,
+                    self.rope.as_ref(),
                     self.alibi.as_ref(),
                     &mut scratch.scores,
                     attn,
@@ -672,6 +684,7 @@ impl Model {
                 &kv_segments,
                 cache.positions(),
                 base,
+                self.rope.as_ref(),
                 self.alibi.as_ref(),
                 &mut attn,
             );

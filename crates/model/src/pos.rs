@@ -52,6 +52,11 @@ impl RopeTable {
         self.max_position
     }
 
+    /// Head dimension the table was built for (`2 × half_dim`).
+    pub fn head_dim(&self) -> usize {
+        self.half_dim * 2
+    }
+
     /// Rotates one head vector (`2 × half_dim` values, pair layout
     /// `[x0, x1, …, x_{h-1}, y0, …, y_{h-1}]` — the "rotate-half" layout
     /// Llama uses) in place, at position `pos`.
@@ -71,6 +76,46 @@ impl RopeTable {
             xs[i] = x * c - y * s;
             ys[i] = x * s + y * c;
         }
+    }
+
+    /// Rotates one head vector by a relative `shift`, composing with
+    /// whatever rotation the vector already carries: rotation matrices at
+    /// a fixed frequency commute and add angles, so
+    /// `R(p + Δ) = R(Δ) · R(p)` and a key encoded at canonical position
+    /// `p` becomes the key at placed position `p + Δ` with one extra
+    /// rotation. Negative shifts rotate backwards (same magnitude row,
+    /// sine negated — `R(-Δ) = R(Δ)ᵀ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|shift| >= max_position`.
+    pub fn apply_shift(&self, head: &mut [f32], shift: isize) {
+        debug_assert_eq!(head.len(), self.half_dim * 2);
+        let (cos, sin, sign) = self.shift_row(shift);
+        let (xs, ys) = head.split_at_mut(self.half_dim);
+        for i in 0..self.half_dim {
+            let (c, s) = (cos[i], sign * sin[i]);
+            let (x, y) = (xs[i], ys[i]);
+            xs[i] = x * c - y * s;
+            ys[i] = x * s + y * c;
+        }
+    }
+
+    /// The table row for a relative `shift`: the `|Δ|` cos/sin rows plus
+    /// the sine sign (`-1.0` for backward shifts). Attention kernels feed
+    /// these straight into `pc_tensor::ops::dot_rotated` so every key row
+    /// of a shifted segment reuses one row lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|shift| >= max_position`.
+    pub fn shift_row(&self, shift: isize) -> (&[f32], &[f32], f32) {
+        let magnitude = shift.unsigned_abs();
+        assert!(magnitude < self.max_position, "shift {shift} out of table range");
+        let base = magnitude * self.half_dim;
+        let row = base..base + self.half_dim;
+        let sign = if shift < 0 { -1.0 } else { 1.0 };
+        (&self.cos[row.clone()], &self.sin[row], sign)
     }
 }
 
@@ -197,6 +242,62 @@ mod tests {
         table.apply(&mut q2, 10);
         table.apply(&mut k2, 2);
         assert!((dot(&q1, &k1) - dot(&q2, &k2)).abs() > 1e-4);
+    }
+
+    #[test]
+    fn rope_shift_composes_with_apply() {
+        // apply(p + Δ) ≡ apply_shift(Δ) ∘ apply(p) — the identity the
+        // deferred-RoPE read path rests on.
+        let table = RopeTable::new(8, 512, 10_000.0);
+        let base = [0.3, -1.0, 0.7, 2.0, -0.5, 0.1, 1.5, -2.0];
+        for (p, delta) in [(0usize, 7usize), (13, 100), (200, 0), (50, 300)] {
+            let mut direct = base;
+            table.apply(&mut direct, p + delta);
+            let mut composed = base;
+            table.apply(&mut composed, p);
+            table.apply_shift(&mut composed, delta as isize);
+            for (a, b) in direct.iter().zip(&composed) {
+                assert!((a - b).abs() < 1e-4, "p {p} Δ {delta}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn rope_negative_shift_undoes_positive() {
+        let table = RopeTable::new(8, 256, 10_000.0);
+        let base = [1.0, 0.5, -0.7, 0.2, 0.9, -1.1, 0.4, 0.8];
+        let mut v = base;
+        table.apply_shift(&mut v, 37);
+        table.apply_shift(&mut v, -37);
+        for (a, b) in v.iter().zip(&base) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rope_shift_zero_is_identity() {
+        let table = RopeTable::new(8, 16, 10_000.0);
+        let mut head = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let orig = head;
+        table.apply_shift(&mut head, 0);
+        assert_eq!(head, orig);
+    }
+
+    #[test]
+    fn shift_row_feeds_dot_rotated_bit_identically() {
+        // The fused score primitive on un-shifted keys must equal the
+        // materialise-then-dot path bit for bit.
+        let table = RopeTable::new(8, 128, 10_000.0);
+        let q = [0.3, -1.0, 0.7, 2.0, -0.5, 0.1, 1.5, -2.0];
+        let k = [1.0, 0.5, -0.7, 0.2, 0.9, -1.1, 0.4, 0.8];
+        for shift in [3isize, 90, -17] {
+            let (cos, sin, sign) = table.shift_row(shift);
+            let fused = pc_tensor::ops::dot_rotated(&q, &k, cos, sin, sign);
+            let mut rotated = k;
+            table.apply_shift(&mut rotated, shift);
+            let materialised = pc_tensor::ops::dot_seq(&q, &rotated);
+            assert_eq!(fused.to_bits(), materialised.to_bits(), "shift {shift}");
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //!
 //! [`Model`]: crate::Model
 
+use crate::pos::RopeTable;
 use crate::{KvCache, ModelError, Result};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -54,15 +55,19 @@ pub trait KvSeq {
     /// tail for views).
     fn push_token_layer(&mut self, layer: usize, k_row: &[f32], v_row: &[f32]);
 
-    /// The layer's cached rows as ordered `(keys, values)` segments whose
-    /// concatenation is the logical `[len × kv_dim]` buffer.
-    fn layer_segments(&self, layer: usize) -> Vec<(&[f32], &[f32])>;
+    /// The layer's cached rows as ordered `(keys, values, position_shift)`
+    /// segments whose concatenation is the logical `[len × kv_dim]`
+    /// buffer. A non-zero shift marks a deferred-RoPE segment: its key
+    /// rows are stored rotated at canonical (normalised) positions and the
+    /// attention kernel must compose the extra `R(shift)` rotation on
+    /// read. Value rows are position-free and never shift.
+    fn layer_segments(&self, layer: usize) -> Vec<(&[f32], &[f32], isize)>;
 
-    /// Appends the layer's `(keys, values)` segments to `out` instead of
-    /// allocating a fresh list — the hot-loop variant of
+    /// Appends the layer's `(keys, values, position_shift)` segments to
+    /// `out` instead of allocating a fresh list — the hot-loop variant of
     /// [`KvSeq::layer_segments`] used by the batched decode path, which
     /// reuses one flat segment buffer across layers and ticks.
-    fn layer_segments_into<'s>(&'s self, layer: usize, out: &mut Vec<(&'s [f32], &'s [f32])>) {
+    fn layer_segments_into<'s>(&'s self, layer: usize, out: &mut Vec<(&'s [f32], &'s [f32], isize)>) {
         out.extend(self.layer_segments(layer));
     }
 
@@ -101,12 +106,12 @@ impl KvSeq for KvCache {
         KvCache::push_token_layer(self, layer, k_row, v_row);
     }
 
-    fn layer_segments(&self, layer: usize) -> Vec<(&[f32], &[f32])> {
-        vec![(self.keys(layer), self.values(layer))]
+    fn layer_segments(&self, layer: usize) -> Vec<(&[f32], &[f32], isize)> {
+        vec![(self.keys(layer), self.values(layer), 0)]
     }
 
-    fn layer_segments_into<'s>(&'s self, layer: usize, out: &mut Vec<(&'s [f32], &'s [f32])>) {
-        out.push((self.keys(layer), self.values(layer)));
+    fn layer_segments_into<'s>(&'s self, layer: usize, out: &mut Vec<(&'s [f32], &'s [f32], isize)>) {
+        out.push((self.keys(layer), self.values(layer), 0));
     }
 }
 
@@ -120,6 +125,10 @@ pub struct SegmentId {
     ptr: usize,
     start: usize,
     end: usize,
+    /// Deferred-RoPE placement shift. Two windows over the same physical
+    /// rows placed at different offsets read *different* effective keys,
+    /// so the shift is part of the identity the batched kernel groups on.
+    shift: isize,
 }
 
 impl SegmentId {
@@ -136,18 +145,21 @@ impl KvSegment {
             ptr: Arc::as_ptr(&self.cache) as usize,
             start: self.start,
             end: self.end,
+            shift: self.shift,
         }
     }
 }
 
 /// One shared, immutable run of token rows: the range `start..end` of an
-/// `Arc`-shared [`KvCache`] (typically a module block). Cloning a segment
-/// clones the `Arc`, never the states.
+/// `Arc`-shared [`KvCache`] (typically a module block), placed at a
+/// position shift relative to the rows' stored (canonical) positions.
+/// Cloning a segment clones the `Arc`, never the states.
 #[derive(Debug, Clone)]
 pub struct KvSegment {
     cache: Arc<KvCache>,
     start: usize,
     end: usize,
+    shift: isize,
 }
 
 impl KvSegment {
@@ -174,6 +186,13 @@ impl KvSegment {
     /// Whether the segment contributes no rows.
     pub fn is_empty(&self) -> bool {
         self.start == self.end
+    }
+
+    /// Placement shift: placed position = stored position + shift. Zero
+    /// for segments baked at their placed positions; non-zero for
+    /// deferred-RoPE segments whose keys the kernel rotates on read.
+    pub fn shift(&self) -> isize {
+        self.shift
     }
 }
 
@@ -227,6 +246,29 @@ impl KvView {
     /// an invalid range, or when the tail already holds rows (shared
     /// segments must precede all private rows).
     pub fn push_segment(&mut self, cache: Arc<KvCache>, start: usize, end: usize) -> Result<()> {
+        self.push_segment_shifted(cache, start, end, 0)
+    }
+
+    /// Shares the row range `start..end` of `cache` as the next segment,
+    /// placed `shift` positions away from where its rows were encoded —
+    /// the deferred-RoPE read path. The view's flat position list carries
+    /// the *placed* positions (stored + shift), so ALiBi bias, decode
+    /// start, and causality all see the placement layout; the stored key
+    /// bytes stay canonical and the attention kernel composes the
+    /// `R(shift)` rotation on read. O(1) in KV bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CacheShapeMismatch`] for incompatible shapes,
+    /// an invalid range, a shift that would place any row at a negative
+    /// position, or when the tail already holds rows.
+    pub fn push_segment_shifted(
+        &mut self,
+        cache: Arc<KvCache>,
+        start: usize,
+        end: usize,
+        shift: isize,
+    ) -> Result<()> {
         if cache.num_layers() != self.tail.num_layers() || cache.kv_dim() != self.tail.kv_dim() {
             return Err(ModelError::CacheShapeMismatch {
                 detail: format!(
@@ -257,9 +299,17 @@ impl KvView {
         if start == end {
             return Ok(());
         }
-        self.positions.extend_from_slice(&cache.positions()[start..end]);
+        if shift < 0 {
+            if let Some(&p) = cache.positions()[start..end].iter().find(|&&p| (p as isize) + shift < 0) {
+                return Err(ModelError::CacheShapeMismatch {
+                    detail: format!("shift {shift} places stored position {p} below zero"),
+                });
+            }
+        }
+        self.positions
+            .extend(cache.positions()[start..end].iter().map(|&p| (p as isize + shift) as usize));
         self.seg_rows += end - start;
-        self.segments.push(KvSegment { cache, start, end });
+        self.segments.push(KvSegment { cache, start, end, shift });
         Ok(())
     }
 
@@ -284,6 +334,71 @@ impl KvView {
     pub fn append_range_copy(&mut self, other: &KvCache, start: usize, end: usize) -> Result<()> {
         self.tail.append_range(other, start, end)?;
         self.positions.extend_from_slice(&other.positions()[start..end]);
+        Ok(())
+    }
+
+    /// Copies the row range `start..end` of `other` into the private tail
+    /// at a placement `shift`, baking the deferred rotation into the
+    /// copied key rows (`rope` is `None` for position-free families, whose
+    /// rows copy unchanged). This is the copy-mode (`zero_copy` off)
+    /// counterpart of [`KvView::push_segment_shifted`]: the materialised
+    /// rotation uses the same `R(shift)` composition the fused read-path
+    /// kernel applies, so both modes produce identical attention scores.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`KvView::push_segment_shifted`], minus the
+    /// tail-empty requirement (copies always extend the tail).
+    pub fn append_range_copy_shifted(
+        &mut self,
+        other: &KvCache,
+        start: usize,
+        end: usize,
+        shift: isize,
+        rope: Option<&RopeTable>,
+    ) -> Result<()> {
+        if shift == 0 {
+            return self.append_range_copy(other, start, end);
+        }
+        if other.num_layers() != self.tail.num_layers() || other.kv_dim() != self.tail.kv_dim() {
+            return Err(ModelError::CacheShapeMismatch {
+                detail: format!(
+                    "copy source {} layers × kv_dim {} vs view {} layers × kv_dim {}",
+                    other.num_layers(),
+                    other.kv_dim(),
+                    self.tail.num_layers(),
+                    self.tail.kv_dim()
+                ),
+            });
+        }
+        if start > end || end > other.len() {
+            return Err(ModelError::CacheShapeMismatch {
+                detail: format!("copy range {start}..{end} invalid for length {}", other.len()),
+            });
+        }
+        if let Some(&p) = other.positions()[start..end].iter().find(|&&p| (p as isize) + shift < 0)
+        {
+            return Err(ModelError::CacheShapeMismatch {
+                detail: format!("shift {shift} places stored position {p} below zero"),
+            });
+        }
+        let d = other.kv_dim();
+        let mut k_row = vec![0.0f32; d];
+        for row in start..end {
+            for layer in 0..other.num_layers() {
+                k_row.copy_from_slice(&other.keys(layer)[row * d..(row + 1) * d]);
+                if let Some(rope) = rope {
+                    for head in k_row.chunks_exact_mut(rope.head_dim()) {
+                        rope.apply_shift(head, shift);
+                    }
+                }
+                let v_row = &other.values(layer)[row * d..(row + 1) * d];
+                self.tail.push_token_layer(layer, &k_row, v_row);
+            }
+            let placed = (other.positions()[row] as isize + shift) as usize;
+            self.tail.push_position(placed);
+            self.positions.push(placed);
+        }
         Ok(())
     }
 
@@ -338,12 +453,43 @@ impl KvView {
 
     /// Copies segments + tail into one owned contiguous [`KvCache`] — the
     /// escape hatch for persistence, codecs, and any consumer that needs
-    /// flat buffers. The hot serve path never calls this.
+    /// flat buffers. The hot serve path never calls this. Shifted
+    /// (deferred-RoPE) segments copy their *raw* backing rows with placed
+    /// positions; use [`KvView::materialize_with`] to also bake the
+    /// placement rotation into the key bytes.
     pub fn materialize(&self) -> KvCache {
+        self.materialize_with(None)
+    }
+
+    /// [`KvView::materialize`] with the placement rotation applied:
+    /// shifted segments' key rows are rotated by `R(shift)` via `rope`
+    /// during the copy, so the result equals what encoding the same
+    /// content directly at the placed positions would have produced.
+    /// With `rope` `None` (ALiBi/learned families, or raw dumps) key
+    /// bytes copy unchanged.
+    pub fn materialize_with(&self, rope: Option<&RopeTable>) -> KvCache {
         let mut flat = KvCache::with_shape(self.tail.num_layers(), self.tail.kv_dim());
+        let d = self.tail.kv_dim();
+        let mut k_row = vec![0.0f32; d];
         for seg in &self.segments {
-            flat.append_range(&seg.cache, seg.start, seg.end)
-                .expect("segment shape was validated at push");
+            if seg.shift == 0 {
+                flat.append_range(&seg.cache, seg.start, seg.end)
+                    .expect("segment shape was validated at push");
+                continue;
+            }
+            for row in seg.start..seg.end {
+                for layer in 0..flat.num_layers() {
+                    k_row.copy_from_slice(&seg.cache.keys(layer)[row * d..(row + 1) * d]);
+                    if let Some(rope) = rope {
+                        for head in k_row.chunks_exact_mut(rope.head_dim()) {
+                            rope.apply_shift(head, seg.shift);
+                        }
+                    }
+                    let v_row = &seg.cache.values(layer)[row * d..(row + 1) * d];
+                    flat.push_token_layer(layer, &k_row, v_row);
+                }
+                flat.push_position((seg.cache.positions()[row] as isize + seg.shift) as usize);
+            }
         }
         flat.append(&self.tail).expect("tail shares the view's shape");
         flat
@@ -376,22 +522,23 @@ impl KvSeq for KvView {
         self.tail.push_token_layer(layer, k_row, v_row);
     }
 
-    fn layer_segments(&self, layer: usize) -> Vec<(&[f32], &[f32])> {
+    fn layer_segments(&self, layer: usize) -> Vec<(&[f32], &[f32], isize)> {
         let mut segs = Vec::with_capacity(self.segments.len() + 1);
         self.layer_segments_into(layer, &mut segs);
         segs
     }
 
-    fn layer_segments_into<'s>(&'s self, layer: usize, out: &mut Vec<(&'s [f32], &'s [f32])>) {
+    fn layer_segments_into<'s>(&'s self, layer: usize, out: &mut Vec<(&'s [f32], &'s [f32], isize)>) {
         let d = self.tail.kv_dim();
         out.reserve(self.segments.len() + 1);
         for seg in &self.segments {
             out.push((
                 &seg.cache.keys(layer)[seg.start * d..seg.end * d],
                 &seg.cache.values(layer)[seg.start * d..seg.end * d],
+                seg.shift,
             ));
         }
-        out.push((self.tail.keys(layer), self.tail.values(layer)));
+        out.push((self.tail.keys(layer), self.tail.values(layer), 0));
     }
 
     fn shared_segment_id(&self, i: usize) -> Option<SegmentId> {

@@ -4,7 +4,7 @@
 //! prefill ≡ monolithic prefill, relative positional encodings are
 //! shift-invariant, and KV caches compose (slice ∘ append = identity).
 
-use pc_model::{Family, KvCache, Model, ModelConfig};
+use pc_model::{Family, KvCache, Model, ModelConfig, RopeTable};
 use proptest::prelude::*;
 
 fn family_cfg(which: u8) -> ModelConfig {
@@ -148,6 +148,57 @@ proptest! {
         let lb = parallel.forward(&tokens, &positions, &mut b).unwrap();
         prop_assert_eq!(la.data(), lb.data());
         prop_assert_eq!(a, b);
+    }
+
+    /// RoPE rotations compose: `apply(p + Δ)` ≡ `apply_shift(Δ) ∘ apply(p)`
+    /// across head dims and theta bases. This is the identity the
+    /// deferred-RoPE cache rests on — keys stored rotated at canonical
+    /// position `p` need only the extra `R(Δ)` at read time.
+    #[test]
+    fn rope_shift_composition(
+        half_dims in 1usize..9,
+        theta in prop_oneof![Just(500.0f32), Just(10_000.0), Just(1_000_000.0)],
+        pos in 0usize..200,
+        shift in 0usize..300,
+        head in proptest::collection::vec(-2.0f32..2.0, 16),
+    ) {
+        let head_dim = half_dims * 2;
+        let rope = RopeTable::new(head_dim, 600, theta);
+        let head = &head[..head_dim];
+
+        let mut direct = head.to_vec();
+        rope.apply(&mut direct, pos + shift);
+
+        let mut composed = head.to_vec();
+        rope.apply(&mut composed, pos);
+        rope.apply_shift(&mut composed, shift as isize);
+
+        for (a, b) in direct.iter().zip(&composed) {
+            prop_assert!((a - b).abs() < 1e-4, "dim {head_dim} theta {theta} pos {pos} shift {shift}: {a} vs {b}");
+        }
+    }
+
+    /// Negative shifts invert positive ones: `apply_shift(-Δ) ∘
+    /// apply_shift(Δ)` is the identity, so a cache entry can relocate
+    /// backwards (packed placements before its canonical offset) too.
+    #[test]
+    fn rope_shift_negation_round_trips(
+        half_dims in 1usize..9,
+        theta in prop_oneof![Just(500.0f32), Just(10_000.0), Just(1_000_000.0)],
+        shift in 1usize..300,
+        head in proptest::collection::vec(-2.0f32..2.0, 16),
+    ) {
+        let head_dim = half_dims * 2;
+        let rope = RopeTable::new(head_dim, 600, theta);
+        let original = head[..head_dim].to_vec();
+
+        let mut spun = original.clone();
+        rope.apply_shift(&mut spun, shift as isize);
+        rope.apply_shift(&mut spun, -(shift as isize));
+
+        for (a, b) in original.iter().zip(&spun) {
+            prop_assert!((a - b).abs() < 1e-5, "dim {head_dim} theta {theta} shift {shift}: {a} vs {b}");
+        }
     }
 
     /// Logits are always finite, whatever the position layout.

@@ -123,6 +123,41 @@ pub fn resolve_prompt(
     prompt: &Prompt,
     count: &dyn Fn(&str) -> usize,
 ) -> Result<ResolvedPrompt> {
+    resolve_with(layout, prompt, count, false)
+}
+
+/// [`resolve_prompt`] with **packed placement**: instead of reusing the
+/// schema layout's absolute positions, every part is placed at a running
+/// cursor in prompt order — anonymous spans first, then each imported
+/// module subtree re-based at the cursor with its internal offsets (own
+/// spans, parameter slots, nested children) preserved.
+///
+/// Packing removes the layout's structural padding: union members no
+/// longer burn the group's max-member length, and modules imported out of
+/// schema order (e.g. retrieval-ranked RAG chunks) land contiguously. The
+/// resulting positions generally differ from the positions modules were
+/// encoded at, which is exactly what the engine's deferred-RoPE read path
+/// absorbs: each `Cached` part's placement shift is applied to its keys at
+/// read time. Validation (unknown modules/parameters, overlong arguments,
+/// union conflicts) is identical to [`resolve_prompt`].
+///
+/// # Errors
+///
+/// Same contract as [`resolve_prompt`].
+pub fn resolve_prompt_packed(
+    layout: &SchemaLayout,
+    prompt: &Prompt,
+    count: &dyn Fn(&str) -> usize,
+) -> Result<ResolvedPrompt> {
+    resolve_with(layout, prompt, count, true)
+}
+
+fn resolve_with(
+    layout: &SchemaLayout,
+    prompt: &Prompt,
+    count: &dyn Fn(&str) -> usize,
+    packed: bool,
+) -> Result<ResolvedPrompt> {
     if prompt.schema != layout.schema_name {
         return Err(PmlError::SchemaMismatch {
             expected: prompt.schema.clone(),
@@ -136,16 +171,23 @@ pub fn resolve_prompt(
     // union group -> first imported member (for conflict reporting)
     let mut union_seen: HashMap<usize, String> = HashMap::new();
 
-    // Anonymous text is always included.
+    // Anonymous text is always included. Packed placement compacts the
+    // anonymous spans end to end; the layout keeps them at their schema
+    // positions (with module content between them).
     for (idx, span) in layout.spans.iter().enumerate() {
         if span.owner.is_empty() {
+            let start = if packed { cursor } else { span.start };
             parts.push(ResolvedPart::Cached {
                 module: Vec::new(),
                 span_index: idx,
-                start: span.start,
+                start,
                 len: span.len,
             });
-            cursor = cursor.max(span.start + span.len);
+            cursor = if packed {
+                cursor + span.len
+            } else {
+                cursor.max(span.start + span.len)
+            };
         }
     }
 
@@ -158,6 +200,8 @@ pub fn resolve_prompt(
         &mut warnings,
         &mut cursor,
         &mut union_seen,
+        packed,
+        None,
     )?;
 
     // Overlap audit: new text colliding with imported positions is legal
@@ -206,6 +250,11 @@ fn resolve_items(
     warnings: &mut Vec<String>,
     cursor: &mut usize,
     union_seen: &mut HashMap<usize, String>,
+    packed: bool,
+    // Packed placement delta inherited from the enclosing imported module:
+    // a nested child stays at its offset inside the parent's subtree
+    // instead of being re-based, so one delta covers the whole import.
+    inherited: Option<isize>,
 ) -> Result<()> {
     for item in items {
         match item {
@@ -239,13 +288,24 @@ fn resolve_items(
                     union_seen.insert(group, path.join("."));
                 }
 
+                // Placement delta for this subtree: 0 in layout mode
+                // (parts stay at schema positions); in packed mode the
+                // subtree is re-based at the cursor, or kept at the
+                // enclosing import's delta for nested children.
+                let delta: isize = match (packed, inherited) {
+                    (false, _) => 0,
+                    (true, Some(d)) => d,
+                    (true, None) => *cursor as isize - info.start as isize,
+                };
+                let place = |layout_pos: usize| (layout_pos as isize + delta) as usize;
+
                 // Cached spans of this module's direct content.
                 for (idx, span) in layout.spans.iter().enumerate() {
                     if span.owner == path {
                         parts.push(ResolvedPart::Cached {
                             module: path.clone(),
                             span_index: idx,
-                            start: span.start,
+                            start: place(span.start),
                             len: span.len,
                         });
                     }
@@ -276,7 +336,7 @@ fn resolve_items(
                         module: path.clone(),
                         param: key.clone(),
                         text: value.clone(),
-                        start: param.start,
+                        start: place(param.start),
                         max_len: param.len,
                         actual_len: actual,
                     });
@@ -292,10 +352,19 @@ fn resolve_items(
                     }
                 }
 
-                *cursor = (*cursor).max(info.end);
+                *cursor = (*cursor).max(place(info.end));
 
                 resolve_items(
-                    layout, children, &path, count, parts, warnings, cursor, union_seen,
+                    layout,
+                    children,
+                    &path,
+                    count,
+                    parts,
+                    warnings,
+                    cursor,
+                    union_seen,
+                    packed,
+                    Some(delta),
                 )?;
             }
         }
@@ -499,6 +568,151 @@ mod tests {
         .unwrap();
         let expected = (4 + 7) as f64 / (4 + 7 + 2) as f64;
         assert!((r.cache_hit_ratio() - expected).abs() < 1e-9);
+    }
+
+    fn resolve_packed(layout: &SchemaLayout, prompt_src: &str) -> Result<ResolvedPrompt> {
+        resolve_prompt_packed(layout, &parse_prompt(prompt_src).unwrap(), &words)
+    }
+
+    fn cached_starts(r: &ResolvedPrompt) -> Vec<(usize, usize)> {
+        r.parts
+            .iter()
+            .filter_map(|p| match p {
+                ResolvedPart::Cached { span_index, start, .. } => Some((*span_index, *start)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_union_member_drops_max_length_padding() {
+        let layout = travel_layout();
+        // tokyo is the short union member (3 tokens vs miami's 7). Layout
+        // placement parks it at the union start (11); packed placement
+        // pulls it right behind the 4 anonymous tokens.
+        let r = resolve_packed(&layout, r#"<prompt schema="travel"><tokyo/>and more words</prompt>"#)
+            .unwrap();
+        let starts = cached_starts(&r);
+        assert!(starts.contains(&(0, 0)), "anonymous span stays at 0: {starts:?}");
+        let tokyo = starts.iter().find(|(i, _)| *i != 0).unwrap();
+        assert_eq!(tokyo.1, 4, "tokyo packs directly after the anonymous text");
+        let Some(ResolvedPart::NewText { start, .. }) = r
+            .parts
+            .iter()
+            .find(|p| matches!(p, ResolvedPart::NewText { .. }))
+        else {
+            panic!()
+        };
+        assert_eq!(*start, 7, "new text follows the packed member, no union padding");
+        assert!(r.warnings.is_empty());
+    }
+
+    #[test]
+    fn packed_imports_are_contiguous_in_prompt_order() {
+        let schema = parse_schema(
+            r#"<schema name="rag">
+                 <module name="c0">alpha beta gamma</module>
+                 <module name="c1">delta epsilon</module>
+               </schema>"#,
+        )
+        .unwrap();
+        let layout = SchemaLayout::build(&schema, ChatTemplate::Plain, &words);
+        // Retrieval order reverses schema order: packed placement follows
+        // the prompt, not the layout.
+        let r = resolve_packed(&layout, r#"<prompt schema="rag"><c1/><c0/>question</prompt>"#)
+            .unwrap();
+        let starts: Vec<usize> = cached_starts(&r).iter().map(|&(_, s)| s).collect();
+        assert_eq!(starts, vec![0, 2], "c1 (2 tokens) then c0, back to back");
+        let Some(ResolvedPart::NewText { start, .. }) = r
+            .parts
+            .iter()
+            .find(|p| matches!(p, ResolvedPart::NewText { .. }))
+        else {
+            panic!()
+        };
+        assert_eq!(*start, 5);
+    }
+
+    #[test]
+    fn packed_param_slots_move_with_their_subtree() {
+        let layout = travel_layout();
+        // One leading text token shifts trip-plan's whole subtree by +1,
+        // parameter slot included (layout start 8 → packed start 9).
+        let r = resolve_packed(
+            &layout,
+            r#"<prompt schema="travel">please <trip-plan duration="two weeks"/></prompt>"#,
+        )
+        .unwrap();
+        let arg = r
+            .parts
+            .iter()
+            .find_map(|p| match p {
+                ResolvedPart::Argument { start, .. } => Some(*start),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(arg, 9);
+    }
+
+    #[test]
+    fn packed_nested_children_keep_subtree_offsets() {
+        let schema = parse_schema(
+            r#"<schema name="n">
+                 <module name="outer">
+                   intro text
+                   <module name="inner">inner content here</module>
+                 </module>
+               </schema>"#,
+        )
+        .unwrap();
+        let layout = SchemaLayout::build(&schema, ChatTemplate::Plain, &words);
+        let legacy = resolve(&layout, r#"<prompt schema="n"><outer><inner/></outer></prompt>"#)
+            .unwrap();
+        let packed = resolve_packed(
+            &layout,
+            r#"<prompt schema="n">x <outer><inner/></outer></prompt>"#,
+        )
+        .unwrap();
+        // Every cached span of the subtree moves by exactly the one-token
+        // lead-in: a single delta covers outer and its nested child.
+        let legacy_starts = cached_starts(&legacy);
+        let packed_starts = cached_starts(&packed);
+        assert_eq!(legacy_starts.len(), packed_starts.len());
+        for ((li, ls), (pi, ps)) in legacy_starts.iter().zip(&packed_starts) {
+            assert_eq!(li, pi);
+            assert_eq!(*ps, ls + 1, "span {li} shifts with the subtree");
+        }
+    }
+
+    #[test]
+    fn packed_equals_layout_for_schema_order_imports() {
+        let layout = travel_layout();
+        // Importing modules in schema order with no extra text reproduces
+        // the layout placement exactly — every packed delta is zero.
+        let src = r#"<prompt schema="travel"><trip-plan duration="two days"/><miami/></prompt>"#;
+        let legacy = resolve(&layout, src).unwrap();
+        let packed = resolve_packed(&layout, src).unwrap();
+        assert_eq!(legacy, packed);
+    }
+
+    #[test]
+    fn packed_validation_matches_layout_mode() {
+        let layout = travel_layout();
+        assert!(matches!(
+            resolve_packed(&layout, r#"<prompt schema="travel"><paris/></prompt>"#),
+            Err(PmlError::UnknownModule { .. })
+        ));
+        assert!(matches!(
+            resolve_packed(&layout, r#"<prompt schema="travel"><miami/><tokyo/></prompt>"#),
+            Err(PmlError::UnionConflict { .. })
+        ));
+        assert!(matches!(
+            resolve_packed(
+                &layout,
+                r#"<prompt schema="travel"><trip-plan duration="three weeks and four days"/></prompt>"#
+            ),
+            Err(PmlError::ArgumentTooLong { max_len: 3, .. })
+        ));
     }
 
     #[test]

@@ -132,6 +132,11 @@ impl RagPipeline {
     /// importing them. With zero retrieval hits the question is served
     /// without context.
     ///
+    /// Chunks are imported in retrieval-rank order, **not** re-sorted
+    /// into their encoded (schema) order: the engine's deferred-RoPE
+    /// path relocates each cached chunk to wherever this prompt places
+    /// it, so best-match-first ordering costs nothing in cache hits.
+    ///
     /// # Errors
     ///
     /// Propagates engine failures.
@@ -272,6 +277,30 @@ mod tests {
             "cached {:?} vs baseline {:?}",
             cached.response.timings.ttft,
             baseline.response.timings.ttft
+        );
+    }
+
+    #[test]
+    fn shuffled_retrieval_order_still_hits_cache() {
+        // A query ranking chunk 1 above chunk 0 imports them in that
+        // order — the reverse of their encoded order in the schema.
+        // Both placements still serve fully from cache: deferred RoPE
+        // relocates the stored states instead of demanding the offsets
+        // they were encoded at.
+        let rag = pipeline();
+        let opts = ServeOptions::default().max_new_tokens(1);
+        let result = rag
+            .query_with("mount fuji rises near tokyo japan snow eiffel", 2, &opts)
+            .unwrap();
+        assert_eq!(result.retrieved, vec![1, 0], "best match first");
+        let expected: usize = result
+            .retrieved
+            .iter()
+            .map(|id| rag.chunk(*id).unwrap().split_whitespace().count())
+            .sum();
+        assert_eq!(
+            result.response.stats.cached_tokens, expected,
+            "out-of-schema-order imports must still hit the cache"
         );
     }
 

@@ -1339,13 +1339,14 @@ pub(crate) fn render_debug_cache(engine: &PromptCache) -> String {
             let _ = write!(
                 out,
                 "{{\"module\":\"{}\",\"hits\":{},\"misses\":{},\"degrades\":{},\
-                 \"evictions\":{},\"bytes_shared\":{},\"bytes_copied\":{},\
-                 \"shared_rows\":{},\"last_access_tick\":{}}}",
+                 \"evictions\":{},\"relocations\":{},\"bytes_shared\":{},\
+                 \"bytes_copied\":{},\"shared_rows\":{},\"last_access_tick\":{}}}",
                 json_escape(&h.module),
                 h.hits,
                 h.misses,
                 h.degrades,
                 h.evictions,
+                h.relocations,
                 h.bytes_shared,
                 h.bytes_copied,
                 h.shared_rows,

@@ -54,6 +54,7 @@ pub fn help_for(name: &str) -> &'static str {
         "pc_module_misses_total" => "Store misses attributed to one module.",
         "pc_module_degrades_total" => "Graceful-degradation recomputes attributed to one module.",
         "pc_module_evictions_total" => "Device-tier evictions of one module.",
+        "pc_module_relocations_total" => "Store hits served at a non-zero placement shift (deferred-RoPE relocation).",
         "pc_module_kv_bytes_shared_total" => "Module KV bytes served zero-copy (Arc-aliased into session views).",
         "pc_module_kv_bytes_copied_total" => "Module KV bytes memcpy'd into session views (zero_copy off).",
         "pc_module_shared_rows_total" => "KV rows of this module streamed once per prefix group by the batched kernel.",

@@ -48,6 +48,35 @@ pub fn axpy_seq(acc: &mut [f32], p: f32, row: &[f32]) {
     }
 }
 
+/// Dot product of `q` against a rotary-rotated key row, fused so no
+/// rotated copy of `k` is ever materialised. `k` uses the rotate-half
+/// layout `[x0…x_{h-1}, y0…y_{h-1}]`; `cos`/`sin` are one position's
+/// table row (`h` values each); `sin_sign` is `±1.0` and selects the
+/// rotation direction (negative shifts rotate backwards).
+///
+/// **Bit-identity contract.** The accumulation order is exactly
+/// "rotate `k` with `x*c - y*s` / `x*s + y*c`, then [`dot_seq`]": one
+/// accumulator, ascending index, each rotated element formed by the same
+/// expression the materialising path uses. A caller that rotates the row
+/// into a scratch buffer and calls [`dot_seq`] gets the same bits.
+#[inline]
+pub fn dot_rotated(q: &[f32], k: &[f32], cos: &[f32], sin: &[f32], sin_sign: f32) -> f32 {
+    let h = cos.len();
+    debug_assert_eq!(sin.len(), h);
+    debug_assert_eq!(q.len(), 2 * h);
+    debug_assert_eq!(k.len(), 2 * h);
+    let mut dot = 0.0;
+    for j in 0..h {
+        let s = sin_sign * sin[j];
+        dot += q[j] * (k[j] * cos[j] - k[j + h] * s);
+    }
+    for j in 0..h {
+        let s = sin_sign * sin[j];
+        dot += q[j + h] * (k[j] * s + k[j + h] * cos[j]);
+    }
+    dot
+}
+
 /// `C[m,n] = A[m,k] · B[n,k]ᵀ` with the weight traversal shared across
 /// the batch: each of `B`'s `n` rows is loaded once and dotted against
 /// every one of the `m` batch rows before moving to the next weight row.
@@ -183,6 +212,42 @@ mod tests {
         }
         axpy_seq(&mut acc, 0.37, &b);
         assert_eq!(acc, expect);
+    }
+
+    #[test]
+    fn dot_rotated_matches_materialised_rotation_bitwise() {
+        for h in [1usize, 2, 4, 8, 32] {
+            let q = wave(2 * h, 0.21);
+            let k = wave(2 * h, 0.47);
+            let cos: Vec<f32> = (0..h).map(|i| (i as f32 * 0.13).cos()).collect();
+            let sin: Vec<f32> = (0..h).map(|i| (i as f32 * 0.13).sin()).collect();
+            for sign in [1.0f32, -1.0] {
+                // Reference: rotate the key row into a scratch buffer with
+                // the canonical expressions, then dot sequentially.
+                let mut kr = vec![0.0f32; 2 * h];
+                for j in 0..h {
+                    let s = sign * sin[j];
+                    let (x, y) = (k[j], k[j + h]);
+                    kr[j] = x * cos[j] - y * s;
+                    kr[j + h] = x * s + y * cos[j];
+                }
+                let expect = dot_seq(&q, &kr);
+                let fused = dot_rotated(&q, &k, &cos, &sin, sign);
+                assert_eq!(fused.to_bits(), expect.to_bits(), "h {h} sign {sign}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_rotated_identity_rotation_matches_dot_seq() {
+        let h = 8;
+        let q = wave(2 * h, 0.33);
+        let k = wave(2 * h, 0.57);
+        let cos = vec![1.0f32; h];
+        let sin = vec![0.0f32; h];
+        let plain = dot_seq(&q, &k);
+        let rotated = dot_rotated(&q, &k, &cos, &sin, 1.0);
+        assert!((plain - rotated).abs() < 1e-6);
     }
 
     #[test]

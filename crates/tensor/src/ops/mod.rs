@@ -14,7 +14,7 @@ mod reduce;
 mod softmax;
 
 pub use activation::{gelu, gelu_scalar, gelu_slice, silu, silu_scalar, silu_slice};
-pub use batched::{axpy_seq, dot_seq, matmul_transb_batched, matmul_transb_batched_par};
+pub use batched::{axpy_seq, dot_rotated, dot_seq, matmul_transb_batched, matmul_transb_batched_par};
 pub use elementwise::{add, add_assign_slice, mul, scale, scale_slice};
 pub use matmul::{
     matmul, matmul_slices, matmul_slices_par, matmul_transb, matmul_transb_slices,
