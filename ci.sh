@@ -70,6 +70,19 @@ cargo test -q -p pc-pml
 # chunk, and both fidelity oracles; the full run writes
 # BENCH_position_reuse.json).
 cargo run --release -q -p pc-bench --bin figures -- --quick position_reuse > /dev/null
+# Persistence gate: the disk-tier format (segment/index round trips,
+# torn-tail and stale-index recovery, quantized encodings), the tiered
+# store's demote/promote/degrade paths, the engine snapshot/restore warm
+# restart, and the persistence chaos suite (plan-driven bit rot and
+# crash-shaped segment damage must recover and serve byte-identically;
+# runs under pc-faults above).
+cargo test -q -p pc-cache disk
+cargo test -q -p pc-cache segment
+cargo test -q -p prompt-cache --test persistence_tests
+# Persistence experiment smoke (quick mode: warm-vs-cold startup, the
+# quantized capacity multipliers, and the int8 drift bound; the full run
+# writes BENCH_persistence.json).
+cargo run --release -q -p pc-bench --bin figures -- --quick persistence > /dev/null
 # Docs gate: rustdoc must stay warning-clean.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 cargo clippy --all-targets -- -D warnings

@@ -3,6 +3,7 @@
 
 mod ablations;
 mod batching_exp;
+mod persistence_exp;
 mod position_reuse_exp;
 mod prefix_sharing_exp;
 mod real_figs;
@@ -15,6 +16,7 @@ mod zero_copy_exp;
 
 pub use ablations::ablations;
 pub use batching_exp::batching;
+pub use persistence_exp::persistence;
 pub use position_reuse_exp::position_reuse;
 pub use prefix_sharing_exp::prefix_sharing;
 pub use resilience_exp::resilience;
@@ -43,10 +45,10 @@ pub struct Report {
 }
 
 /// Every experiment id the `figures` binary accepts, in run order.
-pub const ALL_IDS: [&str; 22] = [
+pub const ALL_IDS: [&str; 23] = [
     "fig3", "fig4", "fig5", "table1", "table2", "memcpy", "modelsize", "e2e", "fig6", "fig7",
     "fig8", "appendix", "ablations", "throughput", "rag", "threads", "ttft_breakdown",
-    "zero_copy", "resilience", "batching", "prefix_sharing", "position_reuse",
+    "zero_copy", "resilience", "batching", "prefix_sharing", "position_reuse", "persistence",
 ];
 
 /// Runs an experiment by id. `quick` shrinks sample counts for smoke
@@ -75,6 +77,7 @@ pub fn run(id: &str, quick: bool) -> Option<Report> {
         "batching" => Some(batching(quick)),
         "prefix_sharing" => Some(prefix_sharing(quick)),
         "position_reuse" => Some(position_reuse(quick)),
+        "persistence" => Some(persistence(quick)),
         _ => None,
     }
 }

@@ -1,0 +1,301 @@
+//! Warm restart and cold-tier economics: what the persistent disk tier
+//! buys. Three measurements against the same module library:
+//!
+//! 1. **Warm vs cold startup** — time from engine construction to the
+//!    first served token, once encoding every module from scratch
+//!    (cold) and once restoring a snapshot from the disk tier (warm).
+//! 2. **Quantized capacity** — live bytes of the same library written
+//!    as f32, fp16, and int8 cold records; the capacity multiplier is
+//!    how many quantized libraries fit where one f32 library did.
+//! 3. **Promote latency and drift** — per-module decode+dequantize time
+//!    per encoding, and the worst int8 element drift against its
+//!    per-row bound (`max|row| / 127`).
+
+use super::Report;
+use crate::emit::{fmt_time_s, Table};
+use pc_cache::{ColdEncoding, DiskConfig, DiskTier, ModuleKey, StoreConfig};
+use pc_model::{KvCache, Model, ModelConfig};
+use pc_tokenizer::{Tokenizer, WordTokenizer};
+use prompt_cache::{EngineConfig, PromptCache, ServeOptions, ServeRequest, Served};
+use serde_json::json;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const DOC_WORDS: usize = 160;
+
+fn doc() -> String {
+    (0..DOC_WORDS).map(|i| format!("w{} ", i % 53)).collect()
+}
+
+fn schema() -> String {
+    let doc = doc();
+    format!(
+        r#"<schema name="persist">preamble text<module name="doc">{doc}</module><module name="tail">closing words</module></schema>"#
+    )
+}
+
+const PROMPT: &str = r#"<prompt schema="persist"><doc/><tail/>answer briefly</prompt>"#;
+
+fn bare_engine(dir: &Path) -> PromptCache {
+    let corpus = format!("{} preamble text closing words answer briefly", doc());
+    let tokenizer = WordTokenizer::train(&[corpus.as_str()]);
+    let vocab = tokenizer.vocab_size().max(64);
+    PromptCache::new(
+        Model::new(ModelConfig::llama_tiny(vocab), 6),
+        tokenizer,
+        EngineConfig::default()
+            .store(StoreConfig::default().disk(DiskConfig::new(dir.to_path_buf()))),
+    )
+}
+
+fn first_token(engine: &PromptCache) {
+    engine
+        .serve(
+            &ServeRequest::new(PROMPT).options(ServeOptions::default().max_new_tokens(1)),
+        )
+        .map(Served::into_response)
+        .expect("serve");
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pc-bench-persist-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Startup-to-first-token, cold (encode everything) and warm (restore
+/// the snapshot left by the previous "process"). Returns seconds.
+fn startup_pair(dir: &Path) -> (f64, f64) {
+    let cold_t = Instant::now();
+    let engine = bare_engine(dir);
+    engine.register_schema(&schema()).expect("register");
+    first_token(&engine);
+    let cold = cold_t.elapsed().as_secs_f64();
+    engine.snapshot().expect("snapshot");
+    drop(engine);
+
+    let warm_t = Instant::now();
+    let engine = bare_engine(dir);
+    engine.restore().expect("restore");
+    engine.register_schema(&schema()).expect("register");
+    first_token(&engine);
+    let warm = warm_t.elapsed().as_secs_f64();
+    assert_eq!(
+        engine.store_stats().misses,
+        0,
+        "a warm restart must not re-encode"
+    );
+    (cold, warm)
+}
+
+struct EncodingRow {
+    label: &'static str,
+    live_bytes: usize,
+    multiplier: f64,
+    promote_mean_s: f64,
+    max_drift: f64,
+    drift_bound: f64,
+}
+
+/// Writes `modules` into a fresh tier under `encoding`, then reads each
+/// back, timing the promote and measuring element drift.
+fn encoding_row(
+    tag: &str,
+    encoding: ColdEncoding,
+    modules: &[(ModuleKey, std::sync::Arc<KvCache>)],
+    f32_bytes: Option<usize>,
+) -> EncodingRow {
+    let dir = temp_dir(tag);
+    let mut tier =
+        DiskTier::open(DiskConfig::new(dir.clone()).encoding(encoding)).expect("open tier");
+    for (key, cache) in modules {
+        tier.put(key, cache, 1.0).expect("put");
+    }
+    let live_bytes = tier.live_bytes();
+
+    let mut promote_total = 0.0f64;
+    let mut max_drift = 0.0f64;
+    let mut drift_bound = 0.0f64;
+    for (key, original) in modules {
+        let t = Instant::now();
+        let got = tier.get(key);
+        promote_total += t.elapsed().as_secs_f64();
+        let pc_cache::DiskGet::Module(back, _) = got else {
+            panic!("module lost on promote");
+        };
+        for layer in 0..original.num_layers() {
+            let rows = [
+                (original.keys(layer), back.keys(layer)),
+                (original.values(layer), back.values(layer)),
+            ];
+            for (a, b) in rows {
+                let bound = a.iter().fold(0.0f32, |m, x| m.max(x.abs())) / 127.0;
+                drift_bound = drift_bound.max(f64::from(bound));
+                for (x, y) in a.iter().zip(b) {
+                    max_drift = max_drift.max(f64::from((x - y).abs()));
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    EncodingRow {
+        label: encoding.label(),
+        live_bytes,
+        multiplier: f32_bytes.map_or(1.0, |f| f as f64 / live_bytes as f64),
+        promote_mean_s: promote_total / modules.len() as f64,
+        max_drift,
+        drift_bound,
+    }
+}
+
+/// Warm-restart and cold-tier figures. Full runs also write
+/// `BENCH_persistence.json` at the working directory root.
+pub fn persistence(quick: bool) -> Report {
+    // 1. Startup-to-first-token, cold vs warm, over a few repetitions.
+    let reps = if quick { 1 } else { 5 };
+    let mut cold_s = 0.0;
+    let mut warm_s = 0.0;
+    for rep in 0..reps {
+        let dir = temp_dir(&format!("startup-{rep}"));
+        let (cold, warm) = startup_pair(&dir);
+        cold_s += cold / reps as f64;
+        warm_s += warm / reps as f64;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // 2 & 3. The encoded library, written under each cold encoding.
+    let dir = temp_dir("library");
+    let engine = bare_engine(&dir);
+    engine.register_schema(&schema()).expect("register");
+    first_token(&engine);
+    let modules: Vec<(ModuleKey, std::sync::Arc<KvCache>)> = engine
+        .store()
+        .snapshot()
+        .into_iter()
+        .map(|row| {
+            let states = engine
+                .store()
+                .get(&row.key, pc_cache::Tier::Host)
+                .expect("resident");
+            (row.key, states)
+        })
+        .collect();
+    let hot_bytes: usize = modules.iter().map(|(_, m)| m.size_bytes()).sum();
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let f32_row = encoding_row("f32", ColdEncoding::F32, &modules, None);
+    let fp16_row = encoding_row("fp16", ColdEncoding::Fp16, &modules, Some(f32_row.live_bytes));
+    let int8_row = encoding_row("int8", ColdEncoding::Int8, &modules, Some(f32_row.live_bytes));
+    assert!(
+        f32_row.max_drift == 0.0,
+        "f32 cold records must round-trip exactly"
+    );
+    assert!(
+        int8_row.max_drift <= int8_row.drift_bound + 1e-6,
+        "int8 drift {} exceeds bound {}",
+        int8_row.max_drift,
+        int8_row.drift_bound
+    );
+
+    let mut table = Table::new(&[
+        "Encoding",
+        "library bytes",
+        "capacity ×",
+        "promote mean",
+        "max drift",
+    ]);
+    let row_json = |r: &EncodingRow| {
+        json!({
+            "encoding": r.label,
+            "live_bytes": r.live_bytes,
+            "capacity_multiplier": r.multiplier,
+            "promote_mean_s": r.promote_mean_s,
+            "max_drift": r.max_drift,
+            "drift_bound": r.drift_bound,
+        })
+    };
+    for r in [&f32_row, &fp16_row, &int8_row] {
+        table.row(&[
+            r.label.into(),
+            format!("{}", r.live_bytes),
+            format!("{:.2}×", r.multiplier),
+            fmt_time_s(r.promote_mean_s),
+            format!("{:.2e}", r.max_drift),
+        ]);
+    }
+
+    let startup = json!({
+        "reps": reps,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": cold_s / warm_s.max(1e-9),
+    });
+    let json = json!({
+        "modules": modules.len(),
+        "hot_bytes": hot_bytes,
+        "startup": startup,
+        "encodings": [row_json(&f32_row), row_json(&fp16_row), row_json(&int8_row)],
+    });
+
+    // The perf-trajectory file: full runs only (quick doubles as the
+    // test path and must stay side-effect free).
+    let mut bench_path = None;
+    if !quick {
+        let path = "BENCH_persistence.json";
+        std::fs::write(path, serde_json::to_string_pretty(&json).expect("serialise"))
+            .expect("write BENCH_persistence.json");
+        bench_path = Some(path.to_owned());
+    }
+
+    Report {
+        id: "persistence",
+        title: "Warm restart and quantized cold-tier capacity",
+        markdown: format!(
+            "{}\nstartup-to-first-token: cold {} vs warm {} ({:.1}× speedup, {} reps); \
+             {} modules, {} hot bytes{}\n",
+            table.to_markdown(),
+            fmt_time_s(cold_s),
+            fmt_time_s(warm_s),
+            cold_s / warm_s.max(1e-9),
+            reps,
+            modules.len(),
+            hot_bytes,
+            bench_path
+                .as_deref()
+                .map(|p| format!("; trajectory at `{p}`"))
+                .unwrap_or_default()
+        ),
+        json,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persistence_invariants_hold() {
+        let r = persistence(true);
+        assert!(r.json["modules"].as_u64().unwrap() >= 2);
+        let startup = &r.json["startup"];
+        assert!(startup["cold_s"].as_f64().unwrap() > 0.0);
+        assert!(startup["warm_s"].as_f64().unwrap() > 0.0);
+        let encodings = r.json["encodings"].as_array().unwrap();
+        assert_eq!(encodings.len(), 3);
+        // f32 is the identity encoding; fp16 halves states, int8
+        // quarters them (amortising the shared header and per-row
+        // scales), so the multipliers are strictly ordered.
+        assert_eq!(encodings[0]["max_drift"].as_f64().unwrap(), 0.0);
+        let fp16_mult = encodings[1]["capacity_multiplier"].as_f64().unwrap();
+        let int8_mult = encodings[2]["capacity_multiplier"].as_f64().unwrap();
+        assert!(fp16_mult > 1.5, "{fp16_mult}");
+        assert!(int8_mult > fp16_mult, "{int8_mult} vs {fp16_mult}");
+        // Quick mode writes no artifact.
+        assert!(!std::path::Path::new("BENCH_persistence.json").exists());
+    }
+}

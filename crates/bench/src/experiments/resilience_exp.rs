@@ -142,6 +142,7 @@ pub fn resilience(quick: bool) -> Report {
             fetch_corrupt_rate: 0.1,
             stall_rate: 0.3,
             stall: Duration::from_millis(15),
+            ..Default::default()
         }),
         // Tight enough that the stall-induced queue tail overruns it —
         // the shed and interrupted paths show up in the report.

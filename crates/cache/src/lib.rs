@@ -2,18 +2,30 @@
 //!
 //! This crate owns everything about *keeping* encoded prompt modules:
 //!
-//! * [`ModuleStore`] — a thread-safe, two-tier store. Every encoded module
-//!   lives in host memory ("CPU memory (host DRAM)"); a bounded device
-//!   tier models GPU HBM. Fetching a module for device inference promotes
-//!   it, evicting colder modules under a configurable [`EvictionPolicy`] —
-//!   the cache-replacement strategy the paper names as future work.
+//! * [`ModuleStore`] — a thread-safe, three-tier store. Every encoded
+//!   module lives in host memory ("CPU memory (host DRAM)") under an
+//!   optional host-capacity bound; a bounded device tier models GPU HBM;
+//!   an optional persistent [`disk`] tier catches demotions so modules
+//!   survive restarts. Fetching a module for device inference promotes
+//!   it, evicting colder modules under a configurable [`EvictionPolicy`]
+//!   — the cache-replacement strategy the paper names as future work —
+//!   and eviction *demotes* (device→host→disk) rather than dropping
+//!   whenever a lower tier exists.
 //! * [`ConcatArena`] — the paper's buffered concatenation operator:
 //!   "PyTorch only supports contiguous tensors, and therefore concatenation
 //!   … always results in a new memory allocation. We implement a buffered
 //!   concatenation operator that reuses memory." The arena reuses one
 //!   session cache's capacity across requests.
-//! * [`quant`] — 8-bit KV quantization, the compression direction the
-//!   paper points at for shrinking module storage (§5.5).
+//! * [`quant`] — reduced-precision KV codecs (symmetric per-row int8 and
+//!   IEEE 754 binary16), the compression direction the paper points at
+//!   for shrinking module storage (§5.5); the cold tiers use them so
+//!   cached capacity grows 2–4× per byte while the hot path stays f32.
+//! * [`segment`] — the on-disk record framing and cold-payload codecs
+//!   (f32 / fp16 / int8), byte-for-byte specified in
+//!   `docs/PERSISTENCE.md`.
+//! * [`disk`] — the persistent tier itself ([`DiskTier`]): append-only
+//!   segment files, a checksummed `INDEX`, scan-rebuild crash recovery,
+//!   and corrupt-entry degradation.
 //! * [`paged`] — paged-attention-style storage: module states split into
 //!   immutable blocks shared by pointer across sessions (§3.4's batch
 //!   memory optimisation), with physical-vs-logical accounting.
@@ -34,18 +46,22 @@
 pub mod analytics;
 pub mod arena;
 pub mod codec;
+pub mod disk;
 mod eviction;
 pub mod memory;
 pub mod paged;
 pub mod quant;
 pub mod rotated;
+pub mod segment;
 mod store;
 
 pub use analytics::{CacheAnalytics, ModuleHeat};
 pub use arena::ConcatArena;
+pub use disk::{DiskConfig, DiskEntryInfo, DiskGet, DiskTier};
 pub use eviction::{EvictionPolicy, ModuleStats};
 pub use rotated::{rotate_range, RotatedKey, RotatedViewCache};
+pub use segment::ColdEncoding;
 pub use store::{
-    FetchFault, FetchFaultInjector, ModuleKey, ModuleSnapshot, ModuleStore, StoreConfig,
-    StoreStats, Tier,
+    FetchFault, FetchFaultInjector, ModuleKey, ModuleSnapshot, ModuleStore, PromotionHook,
+    StoreConfig, StoreStats, Tier,
 };

@@ -1,11 +1,15 @@
-//! 8-bit quantization of stored modules.
+//! Reduced-precision encodings of stored modules.
 //!
 //! §5.5 ends: "compression methods for attention states remain an avenue
 //! for future research in prompt caching techniques." This module
-//! implements the simplest credible member of that family — symmetric
-//! per-row int8 quantization of each token's k/v rows — so the
-//! `quant_ablation` bench can measure the 4× footprint reduction against
-//! the output divergence it introduces.
+//! implements the simplest credible members of that family — symmetric
+//! per-row int8 quantization of each token's k/v rows
+//! ([`quantize_row`]/[`dequantize_row`], the 4× option) and IEEE 754
+//! half-precision conversion ([`f32_to_f16_bits`]/[`f16_bits_to_f32`],
+//! the 2× option) — so the `quant_ablation` bench can measure the
+//! footprint reduction against the output divergence it introduces, and
+//! so the disk tier ([`crate::disk`]) can store cold modules compactly
+//! with dequantize-on-promote keeping the hot path f32.
 
 use pc_model::KvCache;
 
@@ -89,26 +93,117 @@ impl QuantizedKv {
 
 }
 
-fn quantize_rows(data: &[f32], kv_dim: usize) -> (Vec<i8>, Vec<f32>) {
-    let mut quantized = Vec::with_capacity(data.len());
-    let mut scales = Vec::with_capacity(data.len() / kv_dim.max(1));
-    for row in data.chunks_exact(kv_dim.max(1)) {
-        let max_abs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
-        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
-        scales.push(scale);
-        for &x in row {
-            quantized.push((x / scale).round().clamp(-127.0, 127.0) as i8);
-        }
+/// Quantizes one f32 row into `out` with a symmetric per-row scale
+/// (`max_abs / 127`, or 1.0 for an all-zero row so the row survives the
+/// round trip) and returns that scale. This is the out-param counterpart
+/// of [`dequantize_row`]; the disk tier's int8 payload codec
+/// ([`crate::segment`]) is built on this pair.
+///
+/// # Panics
+///
+/// Panics if `out` is shorter than `row`.
+pub fn quantize_row(row: &[f32], out: &mut [i8]) -> f32 {
+    let max_abs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+    for (o, &x) in out.iter_mut().zip(row) {
+        *o = (x / scale).round().clamp(-127.0, 127.0) as i8;
     }
-    (quantized, scales)
+    scale
 }
 
-fn dequantize_row(data: &[i8], scales: &[f32], token: usize, kv_dim: usize, out: &mut [f32]) {
+/// Dequantizes token row `token` of a flat `[tokens × kv_dim]` int8
+/// buffer into `out`, using that row's scale from `scales`. The out-param
+/// lets a whole-module dequantize reuse one row buffer.
+///
+/// # Panics
+///
+/// Panics if `token` is out of range for `data`/`scales` or `out` is
+/// shorter than `kv_dim`.
+pub fn dequantize_row(data: &[i8], scales: &[f32], token: usize, kv_dim: usize, out: &mut [f32]) {
     debug_assert_eq!(out.len(), kv_dim);
     let scale = scales[token];
     for (o, &q) in out.iter_mut().zip(&data[token * kv_dim..(token + 1) * kv_dim]) {
         *o = q as f32 * scale;
     }
+}
+
+fn quantize_rows(data: &[f32], kv_dim: usize) -> (Vec<i8>, Vec<f32>) {
+    let kv_dim = kv_dim.max(1);
+    let mut quantized = vec![0i8; data.len()];
+    let mut scales = Vec::with_capacity(data.len() / kv_dim);
+    for (row, out) in data.chunks_exact(kv_dim).zip(quantized.chunks_exact_mut(kv_dim)) {
+        scales.push(quantize_row(row, out));
+    }
+    (quantized, scales)
+}
+
+/// Converts an `f32` to IEEE 754 binary16 bits with round-to-nearest-even
+/// — the fp16 cold-tier encoding ([`crate::segment`]). Out-of-range
+/// magnitudes become ±inf, NaN stays NaN, and magnitudes below the
+/// smallest half subnormal (2⁻²⁴) flush to ±0.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let man = bits & 0x007F_FFFF;
+    if exp == 0xFF {
+        // Inf / NaN; keep NaN-ness with a quiet mantissa bit.
+        return sign | 0x7C00 | if man != 0 { 0x0200 } else { 0 };
+    }
+    let half_exp = exp - 127 + 15;
+    if half_exp >= 0x1F {
+        return sign | 0x7C00; // overflow → ±inf
+    }
+    if half_exp <= 0 {
+        // Half subnormal (or zero): make the implicit bit explicit and
+        // shift it below the exponent field, rounding the dropped bits.
+        if half_exp < -10 {
+            return sign; // underflow → ±0
+        }
+        let man = man | 0x0080_0000;
+        let shift = (14 - half_exp) as u32;
+        let halfway = 1u32 << (shift - 1);
+        let rem = man & ((1u32 << shift) - 1);
+        let mut out = man >> shift;
+        if rem > halfway || (rem == halfway && out & 1 == 1) {
+            out += 1; // a carry into the exponent field is the smallest normal
+        }
+        return sign | out as u16;
+    }
+    // Normal: drop 13 mantissa bits with round-to-nearest-even. Exponent
+    // and mantissa are packed contiguously, so a mantissa carry bumps the
+    // exponent (and saturates to inf) for free.
+    let mut out = ((half_exp as u32) << 10) | (man >> 13);
+    let rem = man & 0x1FFF;
+    if rem > 0x1000 || (rem == 0x1000 && out & 1 == 1) {
+        out += 1;
+    }
+    sign | out as u16
+}
+
+/// Converts IEEE 754 binary16 bits back to `f32` — exact for every half
+/// value (normals, subnormals as `man × 2⁻²⁴`, infinities, NaN).
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = (u32::from(bits) & 0x8000) << 16;
+    let exp = (u32::from(bits) >> 10) & 0x1F;
+    let man = u32::from(bits) & 0x03FF;
+    let magnitude = if exp == 0x1F {
+        0x7F80_0000 | (man << 13) // inf / NaN
+    } else if exp == 0 {
+        if man == 0 {
+            0 // ±0
+        } else {
+            // Subnormal half (man × 2⁻²⁴): renormalize so the top set bit
+            // becomes the implicit one.
+            let shift = man.leading_zeros() - 21;
+            let man = (man << shift) & 0x03FF;
+            let unbiased = 1 - shift as i32 - 15;
+            (((unbiased + 127) as u32) << 23) | (man << 13)
+        }
+    } else {
+        (((exp as i32 - 15 + 127) as u32) << 23) | (man << 13)
+    };
+    f32::from_bits(sign | magnitude)
 }
 
 /// Maximum elementwise absolute error of quantize → dequantize over all
@@ -211,6 +306,75 @@ mod tests {
         let q = QuantizedKv::quantize(&m);
         assert!(q.is_empty());
         assert_eq!(q.dequantize(), m);
+    }
+
+    #[test]
+    fn quantize_row_round_trips_through_dequantize_row() {
+        let row = [1.5f32, -0.25, 0.0, 127.0];
+        let mut q = [0i8; 4];
+        let scale = quantize_row(&row, &mut q);
+        assert_eq!(scale, 1.0, "max_abs 127 → scale 1");
+        let mut back = [0.0f32; 4];
+        dequantize_row(&q, &[scale], 0, 4, &mut back);
+        for (a, b) in row.iter().zip(&back) {
+            assert!((a - b).abs() <= scale / 2.0 + 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantize_row_zero_row_uses_unit_scale() {
+        let mut q = [1i8; 3];
+        assert_eq!(quantize_row(&[0.0; 3], &mut q), 1.0);
+        assert_eq!(q, [0, 0, 0]);
+    }
+
+    #[test]
+    fn f16_round_trips_every_half_value_exactly() {
+        // f16 → f32 → f16 must be the identity for all 65536 bit
+        // patterns (NaNs compared by NaN-ness, not bits).
+        for bits in 0..=u16::MAX {
+            let f = f16_bits_to_f32(bits);
+            if f.is_nan() {
+                assert!(f16_bits_to_f32(f32_to_f16_bits(f)).is_nan());
+                continue;
+            }
+            assert_eq!(f32_to_f16_bits(f), bits, "bits {bits:#06x} → {f}");
+        }
+    }
+
+    #[test]
+    fn f16_conversion_known_values() {
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(1.0), 0x3C00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xC000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7BFF, "half max");
+        assert_eq!(f32_to_f16_bits(65536.0), 0x7C00, "overflow → inf");
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7C00);
+        assert_eq!(f32_to_f16_bits(2.0f32.powi(-24)), 0x0001, "smallest subnormal");
+        assert_eq!(f32_to_f16_bits(2.0f32.powi(-26)), 0x0000, "below subnormal → 0");
+        assert_eq!(f16_bits_to_f32(0x0001), 2.0f32.powi(-24));
+        assert_eq!(f16_bits_to_f32(0x3555), 1365.0 / 4096.0);
+    }
+
+    #[test]
+    fn f16_rounds_to_nearest_even() {
+        // 1 + 2^-11 sits exactly between 1.0 and the next half value
+        // (1 + 2^-10): ties round to the even mantissa, i.e. 1.0.
+        assert_eq!(f32_to_f16_bits(1.0 + 2.0f32.powi(-11)), 0x3C00);
+        // The next tie up (odd mantissa) rounds away to even.
+        assert_eq!(f32_to_f16_bits(1.0 + 3.0 * 2.0f32.powi(-11)), 0x3C02);
+        // Anything past the tie rounds up.
+        assert_eq!(f32_to_f16_bits(1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-18)), 0x3C01);
+    }
+
+    #[test]
+    fn f16_error_is_bounded_for_unit_range() {
+        for i in 0..1000 {
+            let x = (i as f32 * 0.013).sin() * 4.0;
+            let y = f16_bits_to_f32(f32_to_f16_bits(x));
+            assert!((x - y).abs() <= x.abs() * 0.001 + 1e-7, "{x} vs {y}");
+        }
     }
 
     #[test]

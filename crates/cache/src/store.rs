@@ -1,18 +1,38 @@
-//! The two-tier prompt-module store (paper §4.1).
+//! The tiered prompt-module store (paper §4.1).
 //!
-//! Host memory holds every encoded module (it "can scale up to terabyte
+//! Host memory holds encoded modules (it "can scale up to terabyte
 //! levels"); the bounded device tier models GPU HBM. Reading a module for
 //! device inference promotes it, charging a host-to-device copy the first
 //! time and evicting colder modules when capacity runs out. Reading for
 //! host inference never copies.
+//!
+//! Below both sits an optional persistent [`disk`](crate::disk) tier.
+//! With [`StoreConfig::host_capacity_bytes`] bounded, host eviction
+//! *demotes* modules to disk (optionally quantized — see
+//! [`ColdEncoding`](crate::segment::ColdEncoding)) instead of dropping
+//! them; a lookup that misses
+//! memory falls through to disk and promotes the module back to host
+//! f32, and a corrupt disk record degrades to a miss (the engine
+//! re-encodes) rather than ever serving wrong bytes.
+//! [`ModuleStore::persist_all`] / [`ModuleStore::restore_all`] turn the
+//! disk tier into a warm-restart snapshot.
 
 use crate::analytics::{module_label, CacheAnalytics};
+use crate::disk::{DiskConfig, DiskGet, DiskTier};
 use crate::eviction::{EvictionPolicy, ModuleStats};
 use parking_lot::Mutex;
 use pc_model::KvCache;
-use pc_telemetry::{Counter, Gauge, Telemetry};
+use pc_telemetry::flight::STORE_SCOPE;
+use pc_telemetry::{Counter, FlightEvent, FlightRecorder, Gauge, Telemetry};
 use std::collections::HashMap;
+use std::io;
 use std::sync::Arc;
+
+/// Callback invoked (outside the store lock) whenever a module is
+/// promoted from disk back into memory — the engine uses it to drop
+/// cached rotated views, whose source values may differ after a
+/// quantized round trip.
+pub type PromotionHook = Arc<dyn Fn(&ModuleKey) + Send + Sync>;
 
 /// Identifies one encoded module: schema name + module path. Union
 /// members are distinct keys; parameterised modules are stored with their
@@ -77,6 +97,16 @@ pub struct StoreConfig {
     /// batched shared-row attribution). Off by default: a store without
     /// a table pays one `Option` check per would-be recording site.
     pub module_analytics: bool,
+    /// Host-tier capacity in bytes (0 = unbounded, the default). When an
+    /// insert pushes the host tier over this bound, the eviction policy
+    /// picks victims among non-device-resident entries and **demotes**
+    /// them to the disk tier — or drops them (counted as evictions) when
+    /// no disk tier is configured.
+    pub host_capacity_bytes: usize,
+    /// Optional persistent tier below host memory (see
+    /// [`crate::disk`]). `None` (the default) keeps the store purely
+    /// in-memory.
+    pub disk: Option<DiskConfig>,
 }
 
 impl Default for StoreConfig {
@@ -86,6 +116,8 @@ impl Default for StoreConfig {
             policy: EvictionPolicy::Lru,
             verify_checksums: false,
             module_analytics: false,
+            host_capacity_bytes: 0,
+            disk: None,
         }
     }
 }
@@ -116,6 +148,20 @@ impl StoreConfig {
     #[must_use]
     pub fn module_analytics(mut self, on: bool) -> Self {
         self.module_analytics = on;
+        self
+    }
+
+    /// Sets the host-tier capacity in bytes (0 = unbounded).
+    #[must_use]
+    pub fn host_capacity_bytes(mut self, bytes: usize) -> Self {
+        self.host_capacity_bytes = bytes;
+        self
+    }
+
+    /// Configures the persistent disk tier.
+    #[must_use]
+    pub fn disk(mut self, disk: DiskConfig) -> Self {
+        self.disk = Some(disk);
         self
     }
 }
@@ -164,6 +210,18 @@ pub struct StoreStats {
     /// Each one also counts as a miss (the corrupt entry is dropped and
     /// the caller recomputes).
     pub corruptions_detected: u64,
+    /// Host → disk demotions (each moved one module out of memory).
+    pub demotions: u64,
+    /// Disk → host promotions (each moved one module back into memory,
+    /// dequantizing if the cold record was fp16/int8).
+    pub promotions: u64,
+    /// Lookups that missed memory but were served from the disk tier.
+    /// Each also counts as a hit and a promotion.
+    pub disk_hits: u64,
+    /// Disk records dropped because their checksum failed or their
+    /// payload would not decode. Each also counts as a miss (the caller
+    /// re-encodes — the degrade path).
+    pub disk_corruptions: u64,
 }
 
 /// Pre-resolved telemetry handles, so the store's hot paths never take the
@@ -177,8 +235,13 @@ struct StoreMetrics {
     evictions: Counter,
     corruptions: Counter,
     bytes_copied_h2d: Counter,
+    demotions: Counter,
+    promotions: Counter,
+    disk_hits: Counter,
+    disk_corruptions: Counter,
     host_bytes: Gauge,
     device_bytes: Gauge,
+    disk_bytes: Gauge,
     modules: Gauge,
 }
 
@@ -191,8 +254,13 @@ impl StoreMetrics {
             evictions: telemetry.counter("pc_cache_evictions_total"),
             corruptions: telemetry.counter("pc_cache_corruptions_total"),
             bytes_copied_h2d: telemetry.counter("pc_cache_bytes_copied_h2d_total"),
+            demotions: telemetry.counter("pc_demotions_total"),
+            promotions: telemetry.counter("pc_promotions_total"),
+            disk_hits: telemetry.counter("pc_cache_disk_hits_total"),
+            disk_corruptions: telemetry.counter("pc_cache_disk_corruptions_total"),
             host_bytes: telemetry.gauge("pc_cache_host_bytes"),
             device_bytes: telemetry.gauge("pc_cache_device_bytes"),
+            disk_bytes: telemetry.gauge("pc_cache_disk_bytes"),
             modules: telemetry.gauge("pc_cache_modules"),
         }
     }
@@ -208,14 +276,36 @@ struct Entry {
     checksum: u64,
 }
 
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct Inner {
     entries: HashMap<ModuleKey, Entry>,
     device_used: usize,
+    /// Bytes held by in-memory entries (the host tier occupancy that
+    /// [`StoreConfig::host_capacity_bytes`] bounds).
+    host_used: usize,
     clock: u64,
     stats: StoreStats,
     /// Fault-injection hook (test harnesses only); `None` in production.
     faults: Option<Arc<dyn FetchFaultInjector>>,
+    /// The persistent tier, present iff [`StoreConfig::disk`].
+    disk: Option<DiskTier>,
+    /// Called (after the lock is released) on every disk → host promote.
+    promote_hook: Option<PromotionHook>,
+    /// Store-scoped lifecycle events (demote/restore/disk_corrupt).
+    flight: Option<Arc<FlightRecorder>>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("entries", &self.entries.len())
+            .field("device_used", &self.device_used)
+            .field("host_used", &self.host_used)
+            .field("clock", &self.clock)
+            .field("stats", &self.stats)
+            .field("disk", &self.disk)
+            .finish_non_exhaustive()
+    }
 }
 
 /// FNV-1a over the cache's key/value bit patterns and positions — cheap,
@@ -248,10 +338,14 @@ pub struct ModuleSnapshot {
     pub module: String,
     /// The full key.
     pub key: ModuleKey,
-    /// Encoded size in bytes.
+    /// Encoded size in bytes (for disk rows: the cold payload size,
+    /// after any quantization).
     pub size_bytes: usize,
     /// Whether the entry is resident in the device tier.
     pub on_device: bool,
+    /// The entry's deepest-resident tier: `"device"`, `"host"`, or
+    /// `"disk"`.
+    pub tier: &'static str,
     /// Lookups served since insert.
     pub access_count: u64,
     /// Store logical clock at the most recent access.
@@ -285,30 +379,84 @@ pub struct ModuleStore {
 impl ModuleStore {
     /// Creates an empty store with telemetry disabled (the [`StoreStats`]
     /// counters are always on regardless).
+    ///
+    /// # Panics
+    ///
+    /// When [`StoreConfig::disk`] is set and the tier directory cannot be
+    /// opened — use [`ModuleStore::open`] to handle that as a `Result`.
     pub fn new(config: StoreConfig) -> Self {
-        let analytics = config.module_analytics.then(CacheAnalytics::new).map(Arc::new);
-        ModuleStore {
-            config,
-            inner: Mutex::new(Inner::default()),
-            metrics: StoreMetrics::default(),
-            analytics,
-        }
+        Self::open(config).expect("disk tier open failed")
+    }
+
+    /// Creates an empty store, opening (and crash-recovering) the disk
+    /// tier when one is configured.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from opening the disk tier. Corrupt or torn disk
+    /// *contents* never error — they are recovered past (see
+    /// [`crate::disk`]).
+    pub fn open(config: StoreConfig) -> io::Result<Self> {
+        Self::build(config, StoreMetrics::default())
     }
 
     /// Creates an empty store that mirrors its activity into `telemetry`:
-    /// `pc_cache_{hits,misses,device_hits,evictions}_total` and
-    /// `pc_cache_bytes_copied_h2d_total` counters plus
-    /// `pc_cache_{host,device}_bytes` / `pc_cache_modules` occupancy
+    /// `pc_cache_{hits,misses,device_hits,evictions}_total`,
+    /// `pc_cache_bytes_copied_h2d_total`,
+    /// `pc_{demotions,promotions}_total`, and
+    /// `pc_cache_disk_{hits,corruptions}_total` counters plus
+    /// `pc_cache_{host,device,disk}_bytes` / `pc_cache_modules` occupancy
     /// gauges. Handles are resolved once here, so recording never takes
     /// the registry lock.
+    ///
+    /// # Panics
+    ///
+    /// When [`StoreConfig::disk`] is set and the tier directory cannot be
+    /// opened — use [`ModuleStore::open_with_telemetry`] for a `Result`.
     pub fn with_telemetry(config: StoreConfig, telemetry: &Telemetry) -> Self {
+        Self::open_with_telemetry(config, telemetry).expect("disk tier open failed")
+    }
+
+    /// [`ModuleStore::with_telemetry`] as a `Result` (see
+    /// [`ModuleStore::open`] for the error cases).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from opening the disk tier.
+    pub fn open_with_telemetry(config: StoreConfig, telemetry: &Telemetry) -> io::Result<Self> {
+        Self::build(config, StoreMetrics::resolve(telemetry))
+    }
+
+    fn build(config: StoreConfig, metrics: StoreMetrics) -> io::Result<Self> {
         let analytics = config.module_analytics.then(CacheAnalytics::new).map(Arc::new);
-        ModuleStore {
-            config,
-            inner: Mutex::new(Inner::default()),
-            metrics: StoreMetrics::resolve(telemetry),
-            analytics,
+        let disk = match &config.disk {
+            Some(disk_config) => Some(DiskTier::open(disk_config.clone())?),
+            None => None,
+        };
+        if let Some(disk) = &disk {
+            metrics.disk_bytes.set(disk.live_bytes() as i64);
         }
+        Ok(ModuleStore {
+            config,
+            inner: Mutex::new(Inner {
+                disk,
+                ..Inner::default()
+            }),
+            metrics,
+            analytics,
+        })
+    }
+
+    /// Installs (or clears) the recorder receiving store-scoped flight
+    /// events: `demote`, `restore`, and `disk_corrupt`.
+    pub fn set_flight_recorder(&self, flight: Option<Arc<FlightRecorder>>) {
+        self.inner.lock().flight = flight;
+    }
+
+    /// Installs (or clears) the [`PromotionHook`] called after every
+    /// disk → host promote. Invoked outside the store lock.
+    pub fn set_promotion_hook(&self, hook: Option<PromotionHook>) {
+        self.inner.lock().promote_hook = hook;
     }
 
     /// The per-module analytics table, if enabled via
@@ -322,6 +470,10 @@ impl ModuleStore {
     /// Inserts (or replaces) a module's encoded states.
     /// `recompute_cost` feeds cost-aware eviction; pass the encode time or
     /// FLOPs in any consistent unit.
+    ///
+    /// With [`StoreConfig::host_capacity_bytes`] bounded, an insert that
+    /// pushes the host tier over capacity demotes policy-picked victims
+    /// to the disk tier (or drops them when none is configured).
     pub fn insert(&self, key: ModuleKey, cache: KvCache, recompute_cost: f64) {
         let mut inner = self.inner.lock();
         inner.clock += 1;
@@ -338,7 +490,7 @@ impl ModuleStore {
         let old_size = old.map(|(size, _)| size);
         let checksum = content_checksum(&cache);
         inner.entries.insert(
-            key,
+            key.clone(),
             Entry {
                 cache: Arc::new(cache),
                 stats: ModuleStats {
@@ -351,16 +503,97 @@ impl ModuleStore {
                 checksum,
             },
         );
+        inner.host_used += size;
+        inner.host_used -= old_size.unwrap_or(0);
         self.metrics
             .host_bytes
             .add(size as i64 - old_size.unwrap_or(0) as i64);
+        self.enforce_host_capacity(&mut inner, &key);
         self.metrics.modules.set(inner.entries.len() as i64);
         self.metrics.device_bytes.set(inner.device_used as i64);
     }
 
-    /// Whether the store holds `key`.
+    /// Demotes (or, with no disk tier, drops) non-device-resident host
+    /// entries until `host_used` fits the configured bound. The entry
+    /// named by `keep` is never a victim.
+    fn enforce_host_capacity(&self, inner: &mut Inner, keep: &ModuleKey) {
+        let cap = self.config.host_capacity_bytes;
+        if cap == 0 {
+            return;
+        }
+        while inner.host_used > cap {
+            let candidates: Vec<(ModuleKey, ModuleStats)> = inner
+                .entries
+                .iter()
+                .filter(|(k, e)| !e.on_device && *k != keep)
+                .map(|(k, e)| (k.clone(), e.stats))
+                .collect();
+            let stats: Vec<ModuleStats> = candidates.iter().map(|(_, s)| *s).collect();
+            let Some(victim) = self.config.policy.victim(&stats) else {
+                break; // nothing demotable (everything left is on-device)
+            };
+            let (victim_key, _) = &candidates[victim];
+            if !self.demote(inner, victim_key) {
+                break; // disk write failed: keep the entry resident
+            }
+        }
+    }
+
+    /// Moves one host entry down to the disk tier (or drops it when no
+    /// disk tier is configured, counted as an eviction). Returns `false`
+    /// when the disk write failed and the entry stays resident.
+    fn demote(&self, inner: &mut Inner, key: &ModuleKey) -> bool {
+        let Some(entry) = inner.entries.get(key) else {
+            return false;
+        };
+        let size = entry.stats.size_bytes;
+        let cost = entry.stats.recompute_cost;
+        let cache = Arc::clone(&entry.cache);
+        let to_disk = inner.disk.is_some();
+        if let Some(disk) = inner.disk.as_mut() {
+            if disk.put(key, &cache, cost).is_err() {
+                return false;
+            }
+        }
+        inner.entries.remove(key);
+        inner.host_used -= size;
+        self.metrics.host_bytes.add(-(size as i64));
+        self.metrics.modules.set(inner.entries.len() as i64);
+        if to_disk {
+            inner.stats.demotions += 1;
+            self.metrics.demotions.inc();
+            self.metrics
+                .disk_bytes
+                .set(inner.disk.as_ref().expect("present").live_bytes() as i64);
+            if let Some(flight) = &inner.flight {
+                flight.record(
+                    FlightEvent::new(STORE_SCOPE, "demote")
+                        .field("module", module_label(key))
+                        .field("bytes", size)
+                        .field(
+                            "encoding",
+                            self.config
+                                .disk
+                                .as_ref()
+                                .map_or("f32", |d| d.encoding.label()),
+                        ),
+                );
+            }
+        } else {
+            inner.stats.evictions += 1;
+            self.metrics.evictions.inc();
+            if let Some(a) = &self.analytics {
+                a.record_eviction(key);
+            }
+        }
+        true
+    }
+
+    /// Whether the store holds `key` in any tier (memory or disk).
     pub fn contains(&self, key: &ModuleKey) -> bool {
-        self.inner.lock().entries.contains_key(key)
+        let inner = self.inner.lock();
+        inner.entries.contains_key(key)
+            || inner.disk.as_ref().is_some_and(|d| d.contains(key))
     }
 
     /// Fetches a module's states for inference in `tier`.
@@ -370,10 +603,31 @@ impl ModuleStore {
     /// larger than the whole device tier, in which case the copy is
     /// charged on every access — exactly the "yellow bar" regime of
     /// Figure 3 where modules stream from CPU memory each request.
+    /// A lookup that misses memory falls through to the disk tier (when
+    /// configured): the record is verified, decoded, promoted back into
+    /// host memory (counted as a hit, a disk hit, and a promotion), and
+    /// the promotion hook fires after the lock is released. A corrupt
+    /// disk record is dropped and reported as a miss — the degrade path.
     pub fn get(&self, key: &ModuleKey, tier: Tier) -> Option<Arc<KvCache>> {
-        let mut inner = self.inner.lock();
+        let mut guard = self.inner.lock();
+        let (result, hook) = self.get_locked(&mut guard, key, tier);
+        drop(guard);
+        if let Some(hook) = hook {
+            hook(key);
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn get_locked(
+        &self,
+        inner: &mut Inner,
+        key: &ModuleKey,
+        tier: Tier,
+    ) -> (Option<Arc<KvCache>>, Option<PromotionHook>) {
         inner.clock += 1;
         let clock = inner.clock;
+        let mut hook = None;
         // Fault injection (harnesses only): an injected miss hides the
         // entry; injected corruption damages it in place so the checksum
         // verification below exercises the real detection path.
@@ -386,20 +640,95 @@ impl ModuleStore {
                     if let Some(a) = &self.analytics {
                         a.record_miss(key, clock);
                     }
-                    return None;
+                    return (None, None);
                 }
                 FetchFault::Corrupt => {
-                    Self::corrupt_entry(&mut inner, key);
+                    Self::corrupt_entry(inner, key);
                 }
             }
         }
         if !inner.entries.contains_key(key) {
-            inner.stats.misses += 1;
-            self.metrics.misses.inc();
-            if let Some(a) = &self.analytics {
-                a.record_miss(key, clock);
+            // Memory miss: fall through to the persistent tier.
+            let from_disk = match inner.disk.as_mut() {
+                Some(disk) => disk.get(key),
+                None => DiskGet::Missing,
+            };
+            match from_disk {
+                DiskGet::Module(cache, cost) => {
+                    // Promote disk → host: the disk copy is consumed (a
+                    // module lives in exactly one tier) and the decoded
+                    // states — f32 again after any quantized round trip —
+                    // become a fresh host entry with a fresh checksum.
+                    let disk = inner.disk.as_mut().expect("matched above");
+                    let _ = disk.remove(key);
+                    let cache = *cache;
+                    let size = cache.size_bytes();
+                    let checksum = content_checksum(&cache);
+                    inner.entries.insert(
+                        key.clone(),
+                        Entry {
+                            cache: Arc::new(cache),
+                            stats: ModuleStats {
+                                last_access: clock,
+                                access_count: 0,
+                                size_bytes: size,
+                                recompute_cost: cost,
+                            },
+                            on_device: false,
+                            checksum,
+                        },
+                    );
+                    inner.host_used += size;
+                    inner.stats.disk_hits += 1;
+                    inner.stats.promotions += 1;
+                    self.metrics.disk_hits.inc();
+                    self.metrics.promotions.inc();
+                    self.metrics.host_bytes.add(size as i64);
+                    self.metrics.modules.set(inner.entries.len() as i64);
+                    self.metrics
+                        .disk_bytes
+                        .set(inner.disk.as_ref().expect("present").live_bytes() as i64);
+                    if let Some(flight) = &inner.flight {
+                        flight.record(
+                            FlightEvent::new(STORE_SCOPE, "restore")
+                                .field("module", module_label(key))
+                                .field("bytes", size),
+                        );
+                    }
+                    self.enforce_host_capacity(inner, key);
+                    hook = inner.promote_hook.clone();
+                    // Fall through to the normal hit path below.
+                }
+                DiskGet::Corrupt => {
+                    // Degrade: the poisoned record was dropped by the
+                    // tier; report a miss so the caller re-encodes.
+                    inner.stats.disk_corruptions += 1;
+                    inner.stats.misses += 1;
+                    self.metrics.disk_corruptions.inc();
+                    self.metrics.misses.inc();
+                    self.metrics
+                        .disk_bytes
+                        .set(inner.disk.as_ref().expect("present").live_bytes() as i64);
+                    if let Some(flight) = &inner.flight {
+                        flight.record(
+                            FlightEvent::new(STORE_SCOPE, "disk_corrupt")
+                                .field("module", module_label(key)),
+                        );
+                    }
+                    if let Some(a) = &self.analytics {
+                        a.record_miss(key, clock);
+                    }
+                    return (None, None);
+                }
+                DiskGet::Missing => {
+                    inner.stats.misses += 1;
+                    self.metrics.misses.inc();
+                    if let Some(a) = &self.analytics {
+                        a.record_miss(key, clock);
+                    }
+                    return (None, None);
+                }
             }
-            return None;
         }
         if self.config.verify_checksums {
             let entry = &inner.entries[key];
@@ -412,6 +741,7 @@ impl ModuleStore {
                 if was_on_device {
                     inner.device_used -= size;
                 }
+                inner.host_used -= size;
                 inner.stats.corruptions_detected += 1;
                 inner.stats.misses += 1;
                 self.metrics.corruptions.inc();
@@ -422,7 +752,7 @@ impl ModuleStore {
                 if let Some(a) = &self.analytics {
                     a.record_miss(key, clock);
                 }
-                return None;
+                return (None, None);
             }
         }
         inner.stats.hits += 1;
@@ -431,12 +761,12 @@ impl ModuleStore {
             a.record_hit(key, clock);
         }
         if tier == Tier::Device {
-            self.promote(&mut inner, key, true);
+            self.promote(inner, key, true);
         }
         let entry = inner.entries.get_mut(key).expect("checked above");
         entry.stats.last_access = clock;
         entry.stats.access_count += 1;
-        Some(Arc::clone(&entry.cache))
+        (Some(Arc::clone(&entry.cache)), hook)
     }
 
     /// `count_device_hit` distinguishes real lookups from prefetch, which
@@ -565,23 +895,28 @@ impl ModuleStore {
             .is_some_and(|e| e.on_device)
     }
 
-    /// Removes a module; returns whether it was present.
+    /// Removes a module from every tier; returns whether it was present.
     pub fn remove(&self, key: &ModuleKey) -> bool {
         let mut inner = self.inner.lock();
+        let mut removed = false;
         if let Some(e) = inner.entries.remove(key) {
             if e.on_device {
                 inner.device_used -= e.stats.size_bytes;
             }
+            inner.host_used -= e.stats.size_bytes;
             self.metrics.host_bytes.add(-(e.stats.size_bytes as i64));
             self.metrics.modules.set(inner.entries.len() as i64);
             self.metrics.device_bytes.set(inner.device_used as i64);
-            true
-        } else {
-            false
+            removed = true;
         }
+        if let Some(disk) = inner.disk.as_mut() {
+            removed |= disk.remove(key).unwrap_or(false);
+            self.metrics.disk_bytes.set(disk.live_bytes() as i64);
+        }
+        removed
     }
 
-    /// Drops every module belonging to `schema`.
+    /// Drops every module belonging to `schema`, from every tier.
     pub fn remove_schema(&self, schema: &str) {
         let mut inner = self.inner.lock();
         let removed: Vec<ModuleKey> = inner
@@ -595,31 +930,42 @@ impl ModuleStore {
                 if e.on_device {
                     inner.device_used -= e.stats.size_bytes;
                 }
+                inner.host_used -= e.stats.size_bytes;
                 self.metrics.host_bytes.add(-(e.stats.size_bytes as i64));
             }
+        }
+        if let Some(disk) = inner.disk.as_mut() {
+            for k in disk.keys() {
+                if k.schema == schema {
+                    let _ = disk.remove(&k);
+                }
+            }
+            self.metrics.disk_bytes.set(disk.live_bytes() as i64);
         }
         self.metrics.modules.set(inner.entries.len() as i64);
         self.metrics.device_bytes.set(inner.device_used as i64);
     }
 
-    /// Number of stored modules.
+    /// Number of distinct stored modules across all tiers.
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        let inner = self.inner.lock();
+        let disk_only = inner.disk.as_ref().map_or(0, |d| {
+            d.keys()
+                .iter()
+                .filter(|k| !inner.entries.contains_key(k))
+                .count()
+        });
+        inner.entries.len() + disk_only
     }
 
-    /// Whether the store is empty.
+    /// Whether the store is empty (all tiers).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Total host bytes held.
+    /// Total host bytes held by in-memory entries.
     pub fn host_bytes(&self) -> usize {
-        self.inner
-            .lock()
-            .entries
-            .values()
-            .map(|e| e.stats.size_bytes)
-            .sum()
+        self.inner.lock().host_used
     }
 
     /// Bytes currently resident on the device tier.
@@ -627,14 +973,168 @@ impl ModuleStore {
         self.inner.lock().device_used
     }
 
+    /// Live bytes held by the disk tier (0 without one). Counts encoded
+    /// payloads after any quantization, so with int8 cold storage this is
+    /// roughly a quarter of the f32 bytes the same modules occupy in
+    /// memory.
+    pub fn disk_bytes(&self) -> usize {
+        self.inner.lock().disk.as_ref().map_or(0, DiskTier::live_bytes)
+    }
+
+    /// Number of live disk-tier entries (0 without a disk tier).
+    pub fn disk_len(&self) -> usize {
+        self.inner.lock().disk.as_ref().map_or(0, DiskTier::len)
+    }
+
+    /// Writes every in-memory module down to the disk tier (keeping it in
+    /// memory) and flushes the tier's index — the snapshot half of warm
+    /// restart. Returns how many modules were written.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when no disk tier is configured; otherwise
+    /// filesystem errors from the writes.
+    pub fn persist_all(&self) -> io::Result<usize> {
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let Some(disk) = inner.disk.as_mut() else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "no disk tier configured",
+            ));
+        };
+        let mut written = 0;
+        for (key, entry) in &inner.entries {
+            disk.put(key, &entry.cache, entry.stats.recompute_cost)?;
+            written += 1;
+        }
+        disk.flush()?;
+        self.metrics.disk_bytes.set(disk.live_bytes() as i64);
+        Ok(written)
+    }
+
+    /// Promotes every disk-only module back into host memory (the
+    /// restore half of warm restart), stopping early if the host
+    /// capacity bound would be exceeded. Corrupt records are dropped and
+    /// skipped. Returns how many modules were promoted; the promotion
+    /// hook fires for each after the lock is released.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when no disk tier is configured.
+    pub fn restore_all(&self) -> io::Result<usize> {
+        let mut promoted = Vec::new();
+        let hook;
+        {
+            let mut guard = self.inner.lock();
+            let inner = &mut *guard;
+            let Some(disk) = inner.disk.as_mut() else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "no disk tier configured",
+                ));
+            };
+            inner.clock += 1;
+            let clock = inner.clock;
+            let cap = self.config.host_capacity_bytes;
+            let mut keys: Vec<ModuleKey> = disk
+                .keys()
+                .into_iter()
+                .filter(|k| !inner.entries.contains_key(k))
+                .collect();
+            keys.sort_by(|a, b| (&a.schema, &a.path).cmp(&(&b.schema, &b.path)));
+            for key in keys {
+                let DiskGet::Module(cache, cost) = disk.get(&key) else {
+                    // Missing (raced) or corrupt (dropped by the tier):
+                    // skip; a later lookup degrades to re-encode.
+                    inner.stats.disk_corruptions += 1;
+                    self.metrics.disk_corruptions.inc();
+                    continue;
+                };
+                let cache = *cache;
+                let size = cache.size_bytes();
+                if cap > 0 && inner.host_used + size > cap {
+                    break; // warm what fits; leave the rest on disk
+                }
+                let _ = disk.remove(&key);
+                let checksum = content_checksum(&cache);
+                inner.entries.insert(
+                    key.clone(),
+                    Entry {
+                        cache: Arc::new(cache),
+                        stats: ModuleStats {
+                            last_access: clock,
+                            access_count: 0,
+                            size_bytes: size,
+                            recompute_cost: cost,
+                        },
+                        on_device: false,
+                        checksum,
+                    },
+                );
+                inner.host_used += size;
+                inner.stats.promotions += 1;
+                self.metrics.promotions.inc();
+                self.metrics.host_bytes.add(size as i64);
+                if let Some(flight) = &inner.flight {
+                    flight.record(
+                        FlightEvent::new(STORE_SCOPE, "restore")
+                            .field("module", module_label(&key))
+                            .field("bytes", size),
+                    );
+                }
+                promoted.push(key);
+            }
+            self.metrics.modules.set(inner.entries.len() as i64);
+            self.metrics
+                .disk_bytes
+                .set(inner.disk.as_ref().expect("present").live_bytes() as i64);
+            hook = inner.promote_hook.clone();
+        }
+        if let Some(hook) = hook {
+            for key in &promoted {
+                hook(key);
+            }
+        }
+        Ok(promoted.len())
+    }
+
+    /// Flushes the disk tier's index, if one is configured (no-op
+    /// otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors from the index write.
+    pub fn flush_disk(&self) -> io::Result<()> {
+        match self.inner.lock().disk.as_mut() {
+            Some(disk) => disk.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Flips one bit of `key`'s **on-disk** payload without updating the
+    /// record checksum — the disk-tier corruption primitive behind fault
+    /// injection (`pc-faults`). Returns `false` for keys with no disk
+    /// record or when no disk tier is configured. The next disk read
+    /// detects the damage, drops the record, and degrades to a miss.
+    pub fn corrupt_disk_entry(&self, key: &ModuleKey) -> bool {
+        self.inner
+            .lock()
+            .disk
+            .as_mut()
+            .is_some_and(|d| d.corrupt_record(key).unwrap_or(false))
+    }
+
     /// Snapshot of the aggregate counters.
     pub fn stats(&self) -> StoreStats {
         self.inner.lock().stats
     }
 
-    /// Point-in-time snapshot of every stored entry, sorted by module
-    /// label — the `/debug/cache` inventory. Cheap relative to the
-    /// entries it describes (clones keys, not KV states).
+    /// Point-in-time snapshot of every stored entry across all tiers,
+    /// sorted by module label — the `/debug/cache` inventory. Cheap
+    /// relative to the entries it describes (clones keys, not KV states).
+    /// Disk-only entries report their cold payload size and a zero
+    /// access count.
     pub fn snapshot(&self) -> Vec<ModuleSnapshot> {
         let inner = self.inner.lock();
         let mut rows: Vec<ModuleSnapshot> = inner
@@ -645,18 +1145,46 @@ impl ModuleStore {
                 key: key.clone(),
                 size_bytes: e.stats.size_bytes,
                 on_device: e.on_device,
+                tier: if e.on_device { "device" } else { "host" },
                 access_count: e.stats.access_count,
                 last_access: e.stats.last_access,
                 recompute_cost: e.stats.recompute_cost,
             })
             .collect();
+        if let Some(disk) = &inner.disk {
+            rows.extend(
+                disk.entries()
+                    .into_iter()
+                    .filter(|info| !inner.entries.contains_key(&info.key))
+                    .map(|info| ModuleSnapshot {
+                        module: module_label(&info.key),
+                        key: info.key,
+                        size_bytes: info.payload_bytes,
+                        on_device: false,
+                        tier: "disk",
+                        access_count: 0,
+                        last_access: 0,
+                        recompute_cost: info.cost,
+                    }),
+            );
+        }
         rows.sort_by(|a, b| a.module.cmp(&b.module));
         rows
     }
 
-    /// All stored keys (used by persistence and diagnostics).
+    /// All stored keys across all tiers (used by persistence and
+    /// diagnostics).
     pub fn keys(&self) -> Vec<ModuleKey> {
-        self.inner.lock().entries.keys().cloned().collect()
+        let inner = self.inner.lock();
+        let mut keys: Vec<ModuleKey> = inner.entries.keys().cloned().collect();
+        if let Some(disk) = &inner.disk {
+            keys.extend(
+                disk.keys()
+                    .into_iter()
+                    .filter(|k| !inner.entries.contains_key(k)),
+            );
+        }
+        keys
     }
 
     /// Serialises every stored module into `dir`: one numbered `.pckv`
@@ -724,6 +1252,7 @@ impl ModuleStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::segment::ColdEncoding;
 
     fn module(tokens: usize) -> KvCache {
         // 2 layers, kv_dim 4 → size = 2*2*tokens*4*4 bytes = 64·tokens.
@@ -1120,6 +1649,212 @@ mod tests {
         assert_eq!(snap[1].module, "s:b");
         assert!(!snap[1].on_device);
         assert_eq!(snap[1].recompute_cost, 3.0);
+    }
+
+    fn temp_disk(tag: &str) -> DiskConfig {
+        let dir = std::env::temp_dir().join(format!(
+            "pc-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        DiskConfig::new(dir)
+    }
+
+    #[test]
+    fn host_capacity_demotes_to_disk_and_promotes_back() {
+        let one = module(4).size_bytes();
+        let disk = temp_disk("demote");
+        let dir = disk.dir.clone();
+        let store = ModuleStore::new(
+            StoreConfig::default()
+                .policy(EvictionPolicy::Lru)
+                .host_capacity_bytes(2 * one)
+                .disk(disk),
+        );
+        for name in ["a", "b", "c"] {
+            store.insert(key(name), module(4), 1.0);
+        }
+        // a was LRU: demoted to disk, still visible through the store.
+        assert_eq!(store.stats().demotions, 1);
+        assert_eq!(store.disk_len(), 1);
+        assert_eq!(store.len(), 3);
+        assert!(store.contains(&key("a")));
+        assert!(store.disk_bytes() > 0);
+        // Reading the demoted module falls through and promotes it back
+        // (evicting another victim to stay under the host bound).
+        let got = store.get(&key("a"), Tier::Host).expect("served from disk");
+        assert_eq!(got.len(), 4);
+        let s = store.stats();
+        assert_eq!((s.disk_hits, s.promotions, s.hits), (1, 1, 1));
+        assert_eq!(s.demotions, 2, "promoting a pushed out another victim");
+        assert_eq!(store.host_bytes(), 2 * one);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn host_capacity_without_disk_drops_victims_as_evictions() {
+        let one = module(4).size_bytes();
+        let store = ModuleStore::new(StoreConfig::default().host_capacity_bytes(2 * one));
+        for name in ["a", "b", "c"] {
+            store.insert(key(name), module(4), 1.0);
+        }
+        let s = store.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.demotions, 0);
+        assert_eq!(store.len(), 2);
+        assert!(!store.contains(&key("a")));
+    }
+
+    #[test]
+    fn corrupt_disk_record_degrades_to_miss_and_self_heals() {
+        let one = module(4).size_bytes();
+        let disk = temp_disk("corrupt");
+        let dir = disk.dir.clone();
+        let store = ModuleStore::new(
+            StoreConfig::default().host_capacity_bytes(one).disk(disk),
+        );
+        store.insert(key("a"), module(4), 1.0);
+        store.insert(key("b"), module(4), 1.0); // demotes a
+        assert!(store.corrupt_disk_entry(&key("a")));
+        assert!(
+            store.get(&key("a"), Tier::Host).is_none(),
+            "corrupt disk record must not serve"
+        );
+        let s = store.stats();
+        assert_eq!((s.disk_corruptions, s.misses, s.disk_hits), (1, 1, 0));
+        assert!(!store.contains(&key("a")), "poisoned record dropped");
+        // Self-heal: the caller re-encodes and re-inserts.
+        store.insert(key("a"), module(4), 1.0);
+        assert!(store.get(&key("a"), Tier::Host).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persist_and_restore_round_trip_preserves_content() {
+        let disk = temp_disk("persist");
+        let dir = disk.dir.clone();
+        let checksum_before;
+        {
+            let store = ModuleStore::new(StoreConfig::default().disk(disk.clone()));
+            store.insert(key("a"), module(5), 2.0);
+            store.insert(key("b"), module(3), 1.0);
+            assert_eq!(store.persist_all().unwrap(), 2);
+            checksum_before = content_checksum(&store.get(&key("a"), Tier::Host).unwrap());
+        }
+        // "Restart": a fresh store over the same directory.
+        let store = ModuleStore::new(StoreConfig::default().disk(disk));
+        assert_eq!(store.disk_len(), 2);
+        assert_eq!(store.restore_all().unwrap(), 2);
+        assert_eq!(store.stats().promotions, 2);
+        let restored = store.get(&key("a"), Tier::Host).unwrap();
+        assert_eq!(
+            content_checksum(&restored),
+            checksum_before,
+            "f32 round trip is byte-identical"
+        );
+        assert_eq!(store.get(&key("b"), Tier::Host).unwrap().len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persist_without_disk_tier_errors() {
+        let store = ModuleStore::new(StoreConfig::default());
+        assert_eq!(
+            store.persist_all().unwrap_err().kind(),
+            std::io::ErrorKind::InvalidInput
+        );
+        assert_eq!(
+            store.restore_all().unwrap_err().kind(),
+            std::io::ErrorKind::InvalidInput
+        );
+        store.flush_disk().unwrap(); // no-op without a tier
+    }
+
+    #[test]
+    fn snapshot_reports_disk_tier_rows() {
+        let one = module(4).size_bytes();
+        let disk = temp_disk("snaprows").encoding(ColdEncoding::Int8);
+        let dir = disk.dir.clone();
+        let store = ModuleStore::new(
+            StoreConfig::default().host_capacity_bytes(one).disk(disk),
+        );
+        store.insert(key("a"), module(4), 1.0);
+        store.insert(key("b"), module(4), 1.0); // demotes a
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 2);
+        let row = |m: &str| snap.iter().find(|r| r.module == m).unwrap();
+        assert_eq!(row("s:a").tier, "disk");
+        assert_eq!(row("s:b").tier, "host");
+        assert!(
+            row("s:a").size_bytes < one,
+            "disk row reports the quantized payload size"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn promotion_hook_fires_on_disk_promote() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let one = module(4).size_bytes();
+        let disk = temp_disk("hook");
+        let dir = disk.dir.clone();
+        let store = ModuleStore::new(
+            StoreConfig::default().host_capacity_bytes(one).disk(disk),
+        );
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = Arc::clone(&fired);
+        store.set_promotion_hook(Some(Arc::new(move |_k: &ModuleKey| {
+            fired2.fetch_add(1, Ordering::SeqCst);
+        })));
+        store.insert(key("a"), module(4), 1.0);
+        store.insert(key("b"), module(4), 1.0); // demotes a
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        store.get(&key("a"), Tier::Host); // disk promote
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_flight_events_cover_demote_restore_corrupt() {
+        let one = module(4).size_bytes();
+        let disk = temp_disk("flight");
+        let dir = disk.dir.clone();
+        let store = ModuleStore::new(
+            StoreConfig::default().host_capacity_bytes(one).disk(disk),
+        );
+        let flight = Arc::new(FlightRecorder::new(16));
+        store.set_flight_recorder(Some(Arc::clone(&flight)));
+        store.insert(key("a"), module(4), 1.0);
+        store.insert(key("b"), module(4), 1.0); // demote a
+        store.get(&key("a"), Tier::Host); // restore a (demotes b)
+        store.corrupt_disk_entry(&key("b"));
+        store.get(&key("b"), Tier::Host); // disk_corrupt
+        let kinds: Vec<&str> = flight.events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["demote", "restore", "demote", "disk_corrupt"]);
+        assert!(flight.jsonl().contains("\"request\":\"store\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn quantized_disk_tier_stays_within_fidelity_bound() {
+        let one = module(8).size_bytes();
+        let disk = temp_disk("fidelity").encoding(ColdEncoding::Int8);
+        let dir = disk.dir.clone();
+        let store = ModuleStore::new(
+            StoreConfig::default().host_capacity_bytes(one).disk(disk),
+        );
+        let original = module(8);
+        store.insert(key("a"), original.clone(), 1.0);
+        store.insert(key("b"), module(8), 1.0); // demotes a (int8)
+        let back = store.get(&key("a"), Tier::Host).unwrap();
+        assert_eq!(back.positions(), original.positions(), "positions exact");
+        for layer in 0..original.num_layers() {
+            for (x, y) in original.keys(layer).iter().zip(back.keys(layer)) {
+                assert!((x - y).abs() <= 8.0 / 127.0, "{x} vs {y}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

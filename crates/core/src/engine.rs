@@ -398,8 +398,10 @@ pub struct PromptCache {
     metrics: EngineMetrics,
     /// Materialised rotated views of hot deferred-RoPE placements (see
     /// [`pc_cache::RotatedViewCache`]): bounded, invalidated whenever a
-    /// module's canonical entry is replaced.
-    rotated: RotatedViewCache,
+    /// module's canonical entry is replaced — including disk-tier
+    /// promotions, whose dequantized values may differ from the views'
+    /// sources (hence the `Arc`: the store's promotion hook holds one).
+    rotated: Arc<RotatedViewCache>,
 }
 
 impl PromptCache {
@@ -412,6 +414,14 @@ impl PromptCache {
         let store = ModuleStore::with_telemetry(config.store.clone(), &config.telemetry);
         let model = model.with_telemetry(config.telemetry.clone());
         let metrics = EngineMetrics::resolve(&config.telemetry);
+        let rotated = Arc::new(RotatedViewCache::new(64, 2));
+        // A module promoted from disk was dequantized (fp16/int8 cold
+        // storage) or at minimum re-decoded; any cached rotated views of
+        // its previous in-memory states must not survive the swap.
+        let hook_views = Arc::clone(&rotated);
+        store.set_promotion_hook(Some(Arc::new(move |key| {
+            hook_views.invalidate_module(key);
+        })));
         PromptCache {
             model: Arc::new(model),
             tokenizer: Arc::new(tokenizer),
@@ -419,7 +429,7 @@ impl PromptCache {
             store,
             schemas: RwLock::new(HashMap::new()),
             metrics,
-            rotated: RotatedViewCache::new(64, 2),
+            rotated,
         }
     }
 
@@ -1822,6 +1832,39 @@ impl PromptCache {
     /// Filesystem errors or corrupted payloads.
     pub fn load_modules(&self, dir: &std::path::Path) -> std::io::Result<usize> {
         self.store.load_dir(dir)
+    }
+
+    /// Snapshots the module library to the store's disk tier (see
+    /// `docs/PERSISTENCE.md`): every in-memory module is written down
+    /// and the tier's index is flushed, so the next process over the
+    /// same directory starts warm. Returns how many modules were
+    /// written.
+    ///
+    /// Unlike [`PromptCache::save_modules`] this uses the tiered store's
+    /// own segment format — crash-recoverable, checksummed, and
+    /// optionally quantized ([`pc_cache::ColdEncoding`]).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when the store has no disk tier configured
+    /// ([`pc_cache::StoreConfig::disk`]); otherwise filesystem errors.
+    pub fn snapshot(&self) -> std::io::Result<usize> {
+        self.store.persist_all()
+    }
+
+    /// Promotes every disk-tier module into host memory — the restore
+    /// half of warm restart, after constructing an engine whose store
+    /// points at a previously snapshotted directory. Returns how many
+    /// modules were promoted. Restoring is optional: lookups fall
+    /// through to the disk tier lazily even without it; this just
+    /// front-loads the decode cost. Call before registering schemas so
+    /// registration reuses the restored entries instead of re-encoding.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when the store has no disk tier configured.
+    pub fn restore(&self) -> std::io::Result<usize> {
+        self.store.restore_all()
     }
 }
 

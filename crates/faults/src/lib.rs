@@ -54,6 +54,13 @@ pub struct FaultConfig {
     pub stall_rate: f64,
     /// Stall duration applied when a stall fires.
     pub stall: Duration,
+    /// Probability that a module's **disk-tier record** is bit-flipped
+    /// (models storage bit rot and torn sectors). Consulted via
+    /// [`FaultPlan::should_corrupt_disk`] by harnesses that drive
+    /// `pc_cache::ModuleStore::corrupt_disk_entry`; the store's record
+    /// checksum then catches the damage on the next disk read and
+    /// degrades to re-encode.
+    pub disk_corrupt_rate: f64,
 }
 
 impl Default for FaultConfig {
@@ -64,6 +71,7 @@ impl Default for FaultConfig {
             fetch_corrupt_rate: 0.0,
             stall_rate: 0.0,
             stall: Duration::from_millis(5),
+            disk_corrupt_rate: 0.0,
         }
     }
 }
@@ -84,6 +92,7 @@ pub struct FaultPlan {
 /// decision across fault kinds.
 const DOMAIN_FETCH: u64 = 0xF47C;
 const DOMAIN_STALL: u64 = 0x57A1;
+const DOMAIN_DISK: u64 = 0xD15C;
 
 /// splitmix64 — a full-avalanche mixer; every output bit depends on
 /// every input bit, so structured inputs (small counters, similar keys)
@@ -125,6 +134,17 @@ impl FaultPlan {
     /// The plan's configuration.
     pub fn config(&self) -> &FaultConfig {
         &self.config
+    }
+
+    /// Whether `key`'s disk-tier record should be corrupted, decided
+    /// purely from `(seed, key)` — occurrence-independent, because a
+    /// stored record is damaged (or not) once, no matter how often it is
+    /// read. Harnesses apply the verdict with
+    /// `pc_cache::ModuleStore::corrupt_disk_entry` after demoting or
+    /// persisting modules.
+    pub fn should_corrupt_disk(&self, key: &ModuleKey) -> bool {
+        self.config.disk_corrupt_rate > 0.0
+            && self.unit(DOMAIN_DISK, key_hash(key), 0) < self.config.disk_corrupt_rate
     }
 
     /// A uniform sample in `[0, 1)` derived purely from
@@ -268,6 +288,44 @@ mod tests {
         let verdicts: Vec<_> = (0..64).map(|_| plan.fault(&key(0))).collect();
         assert!(verdicts.contains(&FetchFault::Miss));
         assert!(verdicts.contains(&FetchFault::None));
+    }
+
+    #[test]
+    fn disk_corruption_is_per_key_and_deterministic() {
+        let config = FaultConfig {
+            seed: 11,
+            disk_corrupt_rate: 0.5,
+            ..Default::default()
+        };
+        let (a, b) = (FaultPlan::new(config), FaultPlan::new(config));
+        let verdicts: Vec<_> = (0..64).map(|i| a.should_corrupt_disk(&key(i))).collect();
+        // Occurrence-independent: asking again never changes the answer…
+        for (i, &v) in verdicts.iter().enumerate() {
+            assert_eq!(a.should_corrupt_disk(&key(i)), v, "replay {i}");
+            assert_eq!(b.should_corrupt_disk(&key(i)), v, "twin plan {i}");
+        }
+        // …and a mid-range rate damages some keys but not all.
+        assert!(verdicts.contains(&true));
+        assert!(verdicts.contains(&false));
+    }
+
+    #[test]
+    fn disk_corruption_rate_is_respected_in_aggregate() {
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 13,
+            disk_corrupt_rate: 0.2,
+            ..Default::default()
+        });
+        let n = 4000;
+        let hits = (0..n).filter(|&i| plan.should_corrupt_disk(&key(i))).count();
+        let rate = hits as f64 / f64::from(n as u32);
+        assert!((rate - 0.2).abs() < 0.03, "{rate}");
+    }
+
+    #[test]
+    fn zero_disk_rate_never_corrupts() {
+        let plan = FaultPlan::new(FaultConfig::default());
+        assert!((0..64).all(|i| !plan.should_corrupt_disk(&key(i))));
     }
 
     #[test]

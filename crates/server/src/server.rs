@@ -476,6 +476,10 @@ impl Server {
         let engine = Arc::new(engine);
         let flight = (config.flight_capacity > 0)
             .then(|| Arc::new(FlightRecorder::new(config.flight_capacity)));
+        // The module store shares the server's recorder, so tier
+        // demotions/restores land in the same /debug/flight stream as
+        // request lifecycle events (under the "store" scope).
+        engine.store().set_flight_recorder(flight.clone());
         let shared = Arc::new(Shared::new(config.queue_capacity.max(1), flight));
         let (tx, rx) = bounded::<Job>(config.queue_capacity.max(1));
         let (workers, slots) = if let Some(batch_config) = config.batching {
@@ -1240,6 +1244,10 @@ pub(crate) fn render_metrics(shared: &Shared, engine: &PromptCache) -> String {
         ("pc_cache_evictions_total", stats.evictions),
         ("pc_cache_bytes_copied_h2d_total", stats.bytes_copied_h2d),
         ("pc_cache_corruptions_total", stats.corruptions_detected),
+        ("pc_demotions_total", stats.demotions),
+        ("pc_promotions_total", stats.promotions),
+        ("pc_cache_disk_hits_total", stats.disk_hits),
+        ("pc_cache_disk_corruptions_total", stats.disk_corruptions),
     ] {
         if !snap.counters.iter().any(|(n, _)| n == name) {
             snap.counters.push((name.to_owned(), value));
@@ -1261,6 +1269,17 @@ pub(crate) fn render_metrics(shared: &Shared, engine: &PromptCache) -> String {
         help("pc_build_info"),
         env!("CARGO_PKG_VERSION"),
         BUILD_FEATURES,
+    );
+    let _ = writeln!(
+        text,
+        "# HELP pc_store_tier_bytes {}\n# TYPE pc_store_tier_bytes gauge\n\
+         pc_store_tier_bytes{{tier=\"host\"}} {}\n\
+         pc_store_tier_bytes{{tier=\"device\"}} {}\n\
+         pc_store_tier_bytes{{tier=\"disk\"}} {}",
+        help("pc_store_tier_bytes"),
+        engine.store().host_bytes(),
+        engine.store().device_bytes(),
+        engine.store().disk_bytes(),
     );
     let _ = writeln!(
         text,
@@ -1305,7 +1324,9 @@ pub(crate) fn render_debug_cache(engine: &PromptCache) -> String {
     let stats = engine.store_stats();
     let mut out = format!(
         "{{\"stats\":{{\"hits\":{},\"misses\":{},\"device_hits\":{},\
-         \"evictions\":{},\"bytes_copied_h2d\":{},\"corruptions\":{}}},\
+         \"evictions\":{},\"bytes_copied_h2d\":{},\"corruptions\":{},\
+         \"demotions\":{},\"promotions\":{},\"disk_hits\":{},\
+         \"disk_corruptions\":{},\"disk_bytes\":{}}},\
          \"modules\":[",
         stats.hits,
         stats.misses,
@@ -1313,6 +1334,11 @@ pub(crate) fn render_debug_cache(engine: &PromptCache) -> String {
         stats.evictions,
         stats.bytes_copied_h2d,
         stats.corruptions_detected,
+        stats.demotions,
+        stats.promotions,
+        stats.disk_hits,
+        stats.disk_corruptions,
+        engine.store().disk_bytes(),
     );
     for (i, m) in engine.store().snapshot().iter().enumerate() {
         if i > 0 {
@@ -1320,11 +1346,12 @@ pub(crate) fn render_debug_cache(engine: &PromptCache) -> String {
         }
         let _ = write!(
             out,
-            "{{\"module\":\"{}\",\"size_bytes\":{},\"on_device\":{},\
+            "{{\"module\":\"{}\",\"size_bytes\":{},\"on_device\":{},\"tier\":\"{}\",\
              \"access_count\":{},\"last_access\":{},\"recompute_cost\":{:.3}}}",
             json_escape(&m.module),
             m.size_bytes,
             m.on_device,
+            m.tier,
             m.access_count,
             m.last_access,
             m.recompute_cost,

@@ -119,6 +119,15 @@ fn all_four_endpoints_serve_over_plain_tcp() {
     assert!(metrics.contains("pc_slo_requests_total 1"), "{metrics}");
     assert!(metrics.contains("pc_slo_violations_total 0"), "{metrics}");
     assert!(metrics.contains("pc_slo_budget_burn_ratio_bucket{le=\"1\"}"), "{metrics}");
+    // Tiered-persistence series are always exported (zero without a
+    // disk tier), with per-tier occupancy labeled host/device/disk.
+    assert!(metrics.contains("# HELP pc_demotions_total "), "{metrics}");
+    assert!(metrics.contains("# HELP pc_promotions_total "), "{metrics}");
+    assert!(metrics.contains("pc_cache_disk_hits_total "), "{metrics}");
+    assert!(metrics.contains("pc_cache_disk_corruptions_total "), "{metrics}");
+    assert!(metrics.contains("pc_store_tier_bytes{tier=\"host\"}"), "{metrics}");
+    assert!(metrics.contains("pc_store_tier_bytes{tier=\"device\"}"), "{metrics}");
+    assert!(metrics.contains("pc_store_tier_bytes{tier=\"disk\"}"), "{metrics}");
     // Every non-comment line is `name[{labels}] value`.
     for line in metrics.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
         let (name, value) = line.rsplit_once(' ').expect("name value");
@@ -150,7 +159,12 @@ fn all_four_endpoints_serve_over_plain_tcp() {
     for m in modules {
         assert!(m["module"].as_str().unwrap().starts_with("trip:"));
         assert!(m["size_bytes"].as_u64().unwrap() > 0);
+        let tier = m["tier"].as_str().unwrap();
+        assert!(matches!(tier, "host" | "device" | "disk"), "{tier}");
     }
+    // The tier counters ride in stats (zero here: no disk tier).
+    assert_eq!(cache["stats"]["demotions"].as_u64(), Some(0));
+    assert_eq!(cache["stats"]["disk_bytes"].as_u64(), Some(0));
     let heat = cache["heat"].as_array().unwrap();
     assert!(!heat.is_empty(), "analytics enabled → heat ranking present");
     assert!(heat[0]["hits"].as_u64().unwrap() >= heat[heat.len() - 1]["hits"].as_u64().unwrap());

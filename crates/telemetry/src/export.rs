@@ -48,7 +48,14 @@ pub fn help_for(name: &str) -> &'static str {
         "pc_cache_bytes_copied_h2d_total" => "Bytes copied host-to-device on module promotions and streaming reads.",
         "pc_cache_host_bytes" => "Bytes of encoded module state held in the host tier.",
         "pc_cache_device_bytes" => "Bytes of encoded module state resident in the device tier.",
-        "pc_cache_modules" => "Modules currently stored.",
+        "pc_cache_modules" => "Modules currently stored in memory.",
+        // Tiered persistence (disk tier below host/device).
+        "pc_demotions_total" => "Modules demoted host-to-disk by the host capacity bound.",
+        "pc_promotions_total" => "Modules promoted disk-to-host (lookup fallthrough or restore).",
+        "pc_cache_disk_hits_total" => "Lookups that missed memory and were served from the disk tier.",
+        "pc_cache_disk_corruptions_total" => "Disk records dropped on checksum/decode failure (caller re-encodes).",
+        "pc_cache_disk_bytes" => "Live bytes held by the disk tier (encoded, after any quantization).",
+        "pc_store_tier_bytes" => "Bytes held per store tier; labeled tier=\"host\"|\"device\"|\"disk\".",
         // Per-module analytics (labeled by module id).
         "pc_module_hits_total" => "Store hits attributed to one module.",
         "pc_module_misses_total" => "Store misses attributed to one module.",

@@ -98,10 +98,13 @@ pub struct FlightEvent {
     pub seq: u64,
     /// The request id the event belongs to. Events that describe the
     /// whole batch rather than one request (per-tick membership) use the
-    /// id of no request: `u64::MAX` renders as `"batch"` scope.
+    /// id of no request: `u64::MAX` renders as `"batch"` scope, and
+    /// store-lifecycle events (tier demotions, disk restores) use
+    /// `u64::MAX - 1`, rendered as `"store"`.
     pub request: u64,
     /// Event kind: `submit`, `shed`, `pickup`, `fetch`, `degrade`,
-    /// `batch_join`, `batch_leave`, `tick`, `finish`.
+    /// `batch_join`, `batch_leave`, `tick`, `finish`; store-scoped
+    /// events use `demote`, `restore`, `disk_corrupt`.
     pub kind: &'static str,
     /// Deterministic structured payload, in insertion order.
     pub fields: Vec<(&'static str, FlightValue)>,
@@ -113,6 +116,10 @@ pub struct FlightEvent {
 /// Request id used for batch-scoped events (per-tick membership) that
 /// belong to no single request.
 pub const BATCH_SCOPE: u64 = u64::MAX;
+
+/// Request id used for store-lifecycle events (tier demotions, disk
+/// restores, disk corruption detections) that belong to no request.
+pub const STORE_SCOPE: u64 = u64::MAX - 1;
 
 impl FlightEvent {
     /// A new event for `request` of the given kind, with no payload yet.
@@ -148,6 +155,8 @@ impl FlightEvent {
         let _ = write!(out, "{{\"seq\":{},", self.seq);
         if self.request == BATCH_SCOPE {
             out.push_str("\"request\":\"batch\",");
+        } else if self.request == STORE_SCOPE {
+            out.push_str("\"request\":\"store\",");
         } else {
             let _ = write!(out, "\"request\":{},", self.request);
         }
@@ -307,12 +316,14 @@ mod tests {
                 .timing_us("queue", 55),
         );
         r.record(FlightEvent::new(BATCH_SCOPE, "tick").field("members", "1,2"));
+        r.record(FlightEvent::new(STORE_SCOPE, "demote").field("module", "s:a"));
         let full = r.jsonl();
         assert_eq!(
             full,
             "{\"seq\":0,\"request\":7,\"kind\":\"shed\",\
              \"reason\":\"queue \\\"full\\\"\",\"queued\":true,\"t\":{\"queue\":55}}\n\
-             {\"seq\":1,\"request\":\"batch\",\"kind\":\"tick\",\"members\":\"1,2\"}\n"
+             {\"seq\":1,\"request\":\"batch\",\"kind\":\"tick\",\"members\":\"1,2\"}\n\
+             {\"seq\":2,\"request\":\"store\",\"kind\":\"demote\",\"module\":\"s:a\"}\n"
         );
         let det = r.deterministic_jsonl();
         assert!(!det.contains("\"t\""), "{det}");

@@ -102,6 +102,10 @@ pub trait BufMut {
         self.put_slice(&[v]);
     }
 
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
     }
@@ -148,6 +152,12 @@ pub trait Buf {
         let mut b = [0u8; 1];
         self.copy_to_slice(&mut b);
         b[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
     }
 
     fn get_u32_le(&mut self) -> u32 {
@@ -201,6 +211,7 @@ mod tests {
     fn put_get_round_trip() {
         let mut b = BytesMut::with_capacity(32);
         b.put_slice(b"PCKV");
+        b.put_u16_le(513);
         b.put_u32_le(7);
         b.put_u64_le(u64::MAX - 3);
         b.put_f32_le(-1.5);
@@ -209,6 +220,7 @@ mod tests {
         let mut magic = [0u8; 4];
         buf.copy_to_slice(&mut magic);
         assert_eq!(&magic, b"PCKV");
+        assert_eq!(buf.get_u16_le(), 513);
         assert_eq!(buf.get_u32_le(), 7);
         assert_eq!(buf.get_u64_le(), u64::MAX - 3);
         assert_eq!(buf.get_f32_le(), -1.5);
