@@ -45,10 +45,10 @@ cargo test -q -p pc-cache paged
 # rides in telemetry_tests, already gated above.
 cargo test -q -p pc-server --test ops
 cargo test -q -p pc-cache analytics
-# API migration gate: the deprecated serve_* shims must keep compiling
-# (zero warnings — clippy/rustdoc below run with -D warnings) and keep
-# agreeing with the unified ServeRequest API.
-cargo test -q -p prompt-cache --test deprecated_shims
+# API migration gate: the unified SubmitRequest builder must agree with
+# the deprecated submit/submit_baseline/try_submit signatures it shims
+# (the serve_* engine shims are gone; callers use ServeRequest directly).
+cargo test -q -p pc-server --test submit_api
 # Batching experiment smoke (quick mode: no BENCH artifact, asserts the
 # batched-vs-solo identity and a complete load sweep).
 cargo run --release -q -p pc-bench --bin figures -- --quick batching > /dev/null
@@ -83,6 +83,17 @@ cargo test -q -p prompt-cache --test persistence_tests
 # quantized capacity multipliers, and the int8 drift bound; the full run
 # writes BENCH_persistence.json).
 cargo run --release -q -p pc-bench --bin figures -- --quick persistence > /dev/null
+# Fleet gate: sharded routing must stay byte-identical to a single
+# process across shard counts, replication factors, and mid-run worker
+# kills (thread and OS-process mode), and the worker-kill chaos suite
+# (seeded stalls + scheduled kills under pc-faults) must rebalance
+# without changing a byte.
+cargo test -q -p pc-server --test fleet
+cargo test -q -p pc-faults --test fleet_chaos
+# Sharding experiment smoke (quick mode: affinity on/off hit-rate sweep
+# asserting byte-identity at every shard count; the full run writes
+# BENCH_sharding.json).
+cargo run --release -q -p pc-bench --bin figures -- --quick sharding > /dev/null
 # Docs gate: rustdoc must stay warning-clean.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 cargo clippy --all-targets -- -D warnings

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pc_model::{Model, ModelConfig};
-use pc_server::{Server, ServerConfig};
+use pc_server::{Server, ServerConfig, SubmitRequest};
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
 use std::time::Duration;
@@ -51,11 +51,11 @@ fn server_throughput(c: &mut Criterion) {
                             r#"<prompt schema="svc"><doc/>answer briefly q{}</prompt>"#,
                             i % 4
                         );
-                        if bl {
-                            server.submit_baseline(prompt, opts.clone())
-                        } else {
-                            server.submit(prompt, opts.clone())
-                        }
+                        let request = SubmitRequest::new(prompt)
+                            .options(opts.clone())
+                            .baseline(bl)
+                            .blocking(true);
+                        server.submit_request(&request).expect("blocking submit")
                     })
                     .collect();
                 for h in handles {

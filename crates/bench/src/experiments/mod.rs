@@ -9,6 +9,7 @@ mod prefix_sharing_exp;
 mod real_figs;
 mod resilience_exp;
 mod serving_exp;
+mod sharding_exp;
 mod sim_figs;
 mod threads_exp;
 mod ttft_exp;
@@ -21,6 +22,7 @@ pub use position_reuse_exp::position_reuse;
 pub use prefix_sharing_exp::prefix_sharing;
 pub use resilience_exp::resilience;
 pub use serving_exp::{rag, throughput};
+pub use sharding_exp::sharding;
 pub use threads_exp::threads;
 pub use ttft_exp::ttft_breakdown;
 pub use zero_copy_exp::zero_copy;
@@ -45,10 +47,11 @@ pub struct Report {
 }
 
 /// Every experiment id the `figures` binary accepts, in run order.
-pub const ALL_IDS: [&str; 23] = [
+pub const ALL_IDS: [&str; 24] = [
     "fig3", "fig4", "fig5", "table1", "table2", "memcpy", "modelsize", "e2e", "fig6", "fig7",
     "fig8", "appendix", "ablations", "throughput", "rag", "threads", "ttft_breakdown",
     "zero_copy", "resilience", "batching", "prefix_sharing", "position_reuse", "persistence",
+    "sharding",
 ];
 
 /// Runs an experiment by id. `quick` shrinks sample counts for smoke
@@ -78,6 +81,7 @@ pub fn run(id: &str, quick: bool) -> Option<Report> {
         "prefix_sharing" => Some(prefix_sharing(quick)),
         "position_reuse" => Some(position_reuse(quick)),
         "persistence" => Some(persistence(quick)),
+        "sharding" => Some(sharding(quick)),
         _ => None,
     }
 }

@@ -6,7 +6,7 @@ use super::Report;
 use crate::emit::{fmt_speedup, fmt_time_s, Table};
 use pc_model::{Model, ModelConfig};
 use pc_server::capacity::{analyze, RequestFootprint};
-use pc_server::{Server, ServerConfig};
+use pc_server::{Server, ServerConfig, SubmitRequest};
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
 use serde_json::json;
@@ -40,11 +40,11 @@ fn run_load(baseline: bool, requests: usize, workers: usize) -> (f64, f64) {
         .map(|i| {
             let prompt =
                 format!(r#"<prompt schema="svc"><doc/>answer briefly q{}</prompt>"#, i % 5);
-            if baseline {
-                server.submit_baseline(prompt, opts.clone())
-            } else {
-                server.submit(prompt, opts.clone())
-            }
+            let request = SubmitRequest::new(prompt)
+                .options(opts.clone())
+                .baseline(baseline)
+                .blocking(true);
+            server.submit_request(&request).expect("blocking submit")
         })
         .collect();
     for h in handles {

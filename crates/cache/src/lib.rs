@@ -40,6 +40,9 @@
 //! * [`rotated`] — a bounded LRU of materialised rotated module views
 //!   ([`RotatedViewCache`]), serving hot deferred-RoPE placements without
 //!   re-rotating keys on every read.
+//! * [`shard`] — consistent-hash schema→worker ownership ([`ShardMap`],
+//!   rendezvous hashing) for the sharded serving fleet: deterministic,
+//!   balanced, and stable under worker loss.
 
 #![warn(missing_docs)]
 
@@ -53,6 +56,7 @@ pub mod paged;
 pub mod quant;
 pub mod rotated;
 pub mod segment;
+pub mod shard;
 mod store;
 
 pub use analytics::{CacheAnalytics, ModuleHeat};
@@ -61,6 +65,7 @@ pub use disk::{DiskConfig, DiskEntryInfo, DiskGet, DiskTier};
 pub use eviction::{EvictionPolicy, ModuleStats};
 pub use rotated::{rotate_range, RotatedKey, RotatedViewCache};
 pub use segment::ColdEncoding;
+pub use shard::ShardMap;
 pub use store::{
     FetchFault, FetchFaultInjector, ModuleKey, ModuleSnapshot, ModuleStore, PromotionHook,
     StoreConfig, StoreStats, Tier,

@@ -1,0 +1,242 @@
+//! Consistent-hash shard ownership for a fleet of engine workers.
+//!
+//! The sharded serving fleet (see `pc-server`) places each *schema* —
+//! and therefore every module encoded under it — on a small set of
+//! owner workers. Ownership must be:
+//!
+//! * **deterministic** — router and workers agree without coordination;
+//! * **balanced** — schemas spread evenly across workers;
+//! * **stable under loss** — when a worker dies, only the schemas it
+//!   owned move; everything else keeps its placement (the classic
+//!   consistent-hashing property).
+//!
+//! [`ShardMap`] uses rendezvous (highest-random-weight) hashing: every
+//! `(schema, worker)` pair gets a pseudo-random score, and the owners of
+//! a schema are the `replication` highest-scoring workers. Removing a
+//! worker never reorders the surviving scores, so placements only change
+//! for schemas the dead worker owned.
+
+use std::collections::BTreeMap;
+
+/// Deterministic schema→worker ownership via rendezvous hashing.
+///
+/// Cheap to construct and copy; holds no per-schema state. The same
+/// `(workers, replication)` pair yields the same placement everywhere,
+/// which is what lets the router and each worker agree on ownership
+/// without a coordination protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    workers: usize,
+    replication: usize,
+}
+
+impl ShardMap {
+    /// Builds a map over `workers` shards with `replication` owners per
+    /// schema. `workers` is clamped to at least 1; `replication` is
+    /// clamped to `1..=workers`.
+    #[must_use]
+    pub fn new(workers: usize, replication: usize) -> Self {
+        let workers = workers.max(1);
+        let replication = replication.clamp(1, workers);
+        Self {
+            workers,
+            replication,
+        }
+    }
+
+    /// Number of shards (workers) in the map.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of owner workers per schema.
+    #[must_use]
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The rendezvous score of `schema` on `worker`. Higher wins.
+    fn score(schema: &str, worker: usize) -> u64 {
+        splitmix64(fnv1a(schema.as_bytes()) ^ splitmix64(worker as u64 + 1))
+    }
+
+    /// All workers ranked by descending preference for `schema`. The
+    /// first `replication` entries are the owners; the rest form the
+    /// deterministic failover order.
+    #[must_use]
+    pub fn ranked(&self, schema: &str) -> Vec<usize> {
+        let mut scored: Vec<(u64, usize)> = (0..self.workers)
+            .map(|w| (Self::score(schema, w), w))
+            .collect();
+        // Sort by descending score; the worker index tie-break keeps the
+        // order total (scores are 64-bit so ties are effectively absent).
+        scored.sort_by(|a, b| b.cmp(a));
+        scored.into_iter().map(|(_, w)| w).collect()
+    }
+
+    /// The owner workers of `schema`: the top `replication` entries of
+    /// [`ranked`](Self::ranked).
+    #[must_use]
+    pub fn owners(&self, schema: &str) -> Vec<usize> {
+        let mut r = self.ranked(schema);
+        r.truncate(self.replication);
+        r
+    }
+
+    /// The owners of `schema` restricted to workers still alive
+    /// (`alive[w] == true`). Dead workers are skipped and replaced by
+    /// the next-ranked survivors, so a worker loss moves only the
+    /// schemas it owned. Returns fewer than `replication` entries (or
+    /// none) when not enough workers survive.
+    #[must_use]
+    pub fn owners_alive(&self, schema: &str, alive: &[bool]) -> Vec<usize> {
+        self.ranked(schema)
+            .into_iter()
+            .filter(|&w| alive.get(w).copied().unwrap_or(false))
+            .take(self.replication)
+            .collect()
+    }
+
+    /// Whether `worker` is one of the owners of `schema`.
+    #[must_use]
+    pub fn is_owner(&self, schema: &str, worker: usize) -> bool {
+        self.owners(schema).contains(&worker)
+    }
+
+    /// Placement summary for a set of schemas: schema → owner list.
+    /// Used by the ops plane (`/debug/fleet`) to render the shard table.
+    #[must_use]
+    pub fn placement<'a, I>(&self, schemas: I) -> BTreeMap<String, Vec<usize>>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        schemas
+            .into_iter()
+            .map(|s| (s.to_string(), self.owners(s)))
+            .collect()
+    }
+}
+
+/// FNV-1a over bytes; stable, fast, and good enough as a pre-mix for
+/// splitmix64 (which does the real avalanche work).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finaliser — the same mixer pc-faults uses for its
+/// deterministic fault sampling.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_degenerate_configs() {
+        let m = ShardMap::new(0, 0);
+        assert_eq!(m.workers(), 1);
+        assert_eq!(m.replication(), 1);
+        let m = ShardMap::new(3, 9);
+        assert_eq!(m.replication(), 3);
+    }
+
+    #[test]
+    fn deterministic_and_total() {
+        let m = ShardMap::new(5, 2);
+        for schema in ["chat", "rag", "code", "x"] {
+            let a = m.ranked(schema);
+            let b = m.ranked(schema);
+            assert_eq!(a, b);
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..5).collect::<Vec<_>>(), "ranked is a permutation");
+            assert_eq!(m.owners(schema), a[..2].to_vec());
+        }
+    }
+
+    #[test]
+    fn owners_respect_replication() {
+        let m = ShardMap::new(4, 2);
+        let owners = m.owners("docs");
+        assert_eq!(owners.len(), 2);
+        assert!(m.is_owner("docs", owners[0]));
+        assert!(m.is_owner("docs", owners[1]));
+        let non_owner = (0..4).find(|w| !owners.contains(w)).unwrap();
+        assert!(!m.is_owner("docs", non_owner));
+    }
+
+    #[test]
+    fn reasonably_balanced() {
+        let m = ShardMap::new(4, 1);
+        let mut counts = [0usize; 4];
+        for i in 0..400 {
+            let schema = format!("schema-{i}");
+            counts[m.owners(&schema)[0]] += 1;
+        }
+        for (w, &c) in counts.iter().enumerate() {
+            // Expected 100 per worker; allow a generous band.
+            assert!((40..=180).contains(&c), "worker {w} got {c} of 400");
+        }
+    }
+
+    #[test]
+    fn worker_loss_moves_only_its_schemas() {
+        let m = ShardMap::new(4, 1);
+        let dead = 2usize;
+        let alive: Vec<bool> = (0..4).map(|w| w != dead).collect();
+        for i in 0..200 {
+            let schema = format!("schema-{i}");
+            let before = m.owners(&schema)[0];
+            let after = m.owners_alive(&schema, &alive);
+            assert_eq!(after.len(), 1);
+            if before != dead {
+                assert_eq!(after[0], before, "{schema}: surviving placement moved");
+            } else {
+                assert_ne!(after[0], dead);
+                // The replacement is the next-ranked worker.
+                let ranked = m.ranked(&schema);
+                let next = *ranked.iter().find(|&&w| w != dead).unwrap();
+                assert_eq!(after[0], next);
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_owner_survives_single_loss() {
+        let m = ShardMap::new(4, 2);
+        for i in 0..100 {
+            let schema = format!("s{i}");
+            let owners = m.owners(&schema);
+            // Kill the primary: the secondary must remain an owner.
+            let alive: Vec<bool> = (0..4).map(|w| w != owners[0]).collect();
+            let after = m.owners_alive(&schema, &alive);
+            assert!(after.contains(&owners[1]));
+        }
+    }
+
+    #[test]
+    fn no_survivors_yields_empty() {
+        let m = ShardMap::new(2, 1);
+        assert!(m.owners_alive("s", &[false, false]).is_empty());
+    }
+
+    #[test]
+    fn placement_lists_every_schema() {
+        let m = ShardMap::new(3, 2);
+        let p = m.placement(["a", "b"]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p["a"], m.owners("a"));
+        assert_eq!(p["b"], m.owners("b"));
+    }
+}

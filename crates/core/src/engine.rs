@@ -276,6 +276,45 @@ impl ServeOptions {
     }
 }
 
+/// Options for [`PromptCache::register_schema_with`].
+///
+/// The default (`warm = true`) is full registration: every prompt
+/// module is encoded into the store at registration time (paper §3.3).
+/// A *cold* registration (`warm = false`) records the schema layout and
+/// span tokens but encodes nothing — serving then re-encodes missing
+/// modules on demand through the degrade-on-miss path, byte-identically.
+/// The sharded fleet uses cold registration on non-owner workers so
+/// every worker can serve every schema while only owners pay the
+/// encode + memory cost up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RegisterOptions {
+    /// Encode all modules at registration (`true`, the default) or
+    /// register cold and rely on degrade-on-miss re-encode (`false`).
+    pub warm: bool,
+}
+
+impl Default for RegisterOptions {
+    fn default() -> Self {
+        RegisterOptions { warm: true }
+    }
+}
+
+impl RegisterOptions {
+    /// Default options: warm registration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets whether modules are encoded at registration time.
+    #[must_use]
+    pub fn warm(mut self, warm: bool) -> Self {
+        self.warm = warm;
+        self
+    }
+}
+
 /// Summary returned by [`PromptCache::register_schema`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SchemaInfo {
@@ -506,6 +545,22 @@ impl PromptCache {
         self.register_schema_ast(&schema)
     }
 
+    /// [`PromptCache::register_schema`] with explicit [`RegisterOptions`]
+    /// — in particular `warm(false)` for a cold registration that skips
+    /// module encoding (see [`RegisterOptions`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PromptCache::register_schema`].
+    pub fn register_schema_with(
+        &self,
+        pml: &str,
+        opts: &RegisterOptions,
+    ) -> Result<SchemaInfo> {
+        let schema = parse_schema(pml)?;
+        self.register_schema_ast_with(&schema, opts)
+    }
+
     /// [`PromptCache::register_schema`] for an already-parsed AST (e.g.
     /// one built by `pc_pml::program::PromptProgram`).
     ///
@@ -513,6 +568,20 @@ impl PromptCache {
     ///
     /// Same contract as [`PromptCache::register_schema`].
     pub fn register_schema_ast(&self, schema: &Schema) -> Result<SchemaInfo> {
+        self.register_schema_ast_with(schema, &RegisterOptions::default())
+    }
+
+    /// [`PromptCache::register_schema_ast`] with explicit
+    /// [`RegisterOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PromptCache::register_schema`].
+    pub fn register_schema_ast_with(
+        &self,
+        schema: &Schema,
+        opts: &RegisterOptions,
+    ) -> Result<SchemaInfo> {
         if self.schemas.read().contains_key(&schema.name) {
             return Err(EngineError::SchemaAlreadyRegistered {
                 name: schema.name.clone(),
@@ -570,9 +639,12 @@ impl PromptCache {
 
         // Spans already present in the store (e.g. loaded from disk via
         // [`PromptCache::load_modules`]) are reused instead of re-encoded
-        // — precomputation survives process restarts.
+        // — precomputation survives process restarts. A cold registration
+        // (`warm == false`) encodes no owners at all: serving re-encodes
+        // missing modules on demand via degrade-on-miss.
         let mut preloaded_tokens = 0usize;
         let mut preloaded_spans = 0usize;
+        let owners: Vec<ModulePath> = if opts.warm { owners } else { Vec::new() };
         let owners: Vec<ModulePath> = owners
             .into_iter()
             .filter(|owner| {
@@ -876,65 +948,6 @@ impl PromptCache {
             response,
             session: request.wants_session().then_some(view),
         })
-    }
-
-    /// Serves a PML prompt with explicit options.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`PromptCache::serve`].
-    #[deprecated(note = "build a `ServeRequest` and call `PromptCache::serve`")]
-    pub fn serve_with(&self, prompt_pml: &str, options: &ServeOptions) -> Result<Response> {
-        self.serve(&ServeRequest::new(prompt_pml).options(options.clone()))
-            .map(Served::into_response)
-    }
-
-    /// Serves a prompt, invoking `on_token(token_id, decoded_so_far_len)`
-    /// as each output token is produced.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`PromptCache::serve`].
-    #[deprecated(note = "build a `ServeRequest` with `.streaming(sink)` and call `PromptCache::serve`")]
-    pub fn serve_streaming(
-        &self,
-        prompt_pml: &str,
-        options: &ServeOptions,
-        on_token: &mut dyn FnMut(TokenId, usize),
-    ) -> Result<Response> {
-        let cell = std::cell::RefCell::new(on_token);
-        let sink = move |token: TokenId, count: usize| (*cell.borrow_mut())(token, count);
-        self.serve(
-            &ServeRequest::new(prompt_pml)
-                .options(options.clone())
-                .streaming(&sink),
-        )
-        .map(Served::into_response)
-    }
-
-    /// Serves a prompt and returns the session KV view alongside the
-    /// response.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`PromptCache::serve`].
-    #[deprecated(note = "build a `ServeRequest` with `.session(true)` and call `PromptCache::serve`")]
-    pub fn serve_session(
-        &self,
-        prompt_pml: &str,
-        options: &ServeOptions,
-        on_token: &mut dyn FnMut(TokenId, usize),
-    ) -> Result<(Response, KvView)> {
-        let cell = std::cell::RefCell::new(on_token);
-        let sink = move |token: TokenId, count: usize| (*cell.borrow_mut())(token, count);
-        let served = self.serve(
-            &ServeRequest::new(prompt_pml)
-                .options(options.clone())
-                .session(true)
-                .streaming(&sink),
-        )?;
-        let session = served.session.expect("session requested");
-        Ok((served.response, session))
     }
 
     /// The cached serving pipeline: prepare (resolve → fetch → prefill),
@@ -1459,21 +1472,6 @@ impl PromptCache {
             warnings: p.warnings,
         };
         (response, p.view)
-    }
-
-    /// Serves the same prompt through the **baseline KV-cache path**.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`PromptCache::serve`].
-    #[deprecated(note = "build a `ServeRequest` with `.baseline(true)` and call `PromptCache::serve`")]
-    pub fn serve_baseline(&self, prompt_pml: &str, options: &ServeOptions) -> Result<Response> {
-        self.serve(
-            &ServeRequest::new(prompt_pml)
-                .options(options.clone())
-                .baseline(true),
-        )
-        .map(Served::into_response)
     }
 
     /// The **baseline KV-cache path** behind [`ServeRequest::baseline`]:

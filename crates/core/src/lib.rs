@@ -50,7 +50,7 @@ mod sched;
 pub use batch::{BatchReport, BatchSharing};
 pub use cancel::CancelToken;
 pub use conversation::{Conversation, Turn};
-pub use engine::{EngineConfig, PromptCache, ServeOptions};
+pub use engine::{EngineConfig, PromptCache, RegisterOptions, ServeOptions};
 pub use request::{ServeRequest, Served};
 pub use sched::{BatchConfig, BatchGroupInfo, BatchScheduler, BatchSeqInfo, BatchSnapshot};
 pub use pc_tensor::Parallelism;

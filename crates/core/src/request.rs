@@ -1,7 +1,8 @@
 //! The unified serving request: one builder, one entry point.
 //!
 //! [`ServeRequest`] collapses the historical `serve` / `serve_with` /
-//! `serve_streaming` / `serve_session` / `serve_baseline` family into a
+//! `serve_streaming` / `serve_session` / `serve_baseline` family (shims
+//! deprecated in PR 5 and removed in PR 10) into a
 //! single builder consumed by [`crate::PromptCache::serve`], which
 //! returns a [`Served`] — the [`crate::Response`] plus (when requested)
 //! the session KV view.

@@ -363,3 +363,42 @@ fn bpe_tokenizer_serves_with_documented_boundary_caveat() {
         .unwrap();
     assert_eq!(baseline.tokens.len(), 4);
 }
+
+#[test]
+fn cold_registration_serves_byte_identically() {
+    // A cold registration (RegisterOptions::warm(false)) records the
+    // layout but encodes nothing; serving re-encodes missing modules
+    // through the degrade-on-miss path. The fleet relies on this for
+    // non-owner workers, so the output must match a warm engine exactly.
+    use prompt_cache::RegisterOptions;
+    let warm = engine(Family::Llama);
+    warm.register_schema(MULTI_MODULE).unwrap();
+    let cold = engine(Family::Llama);
+    let info = cold
+        .register_schema_with(MULTI_MODULE, &RegisterOptions::new().warm(false))
+        .unwrap();
+    assert_eq!(info.cached_tokens, 0, "cold registration encodes nothing");
+    assert_eq!(cold.cached_bytes(), 0);
+
+    let prompt = r#"<prompt schema="trip"><plan duration="two"/><miami/>please</prompt>"#;
+    let opts = ServeOptions::default().max_new_tokens(8);
+    let a = warm
+        .serve(&ServeRequest::new(prompt).options(opts.clone()))
+        .map(Served::into_response)
+        .unwrap();
+    let b = cold
+        .serve(&ServeRequest::new(prompt).options(opts.clone()))
+        .map(Served::into_response)
+        .unwrap();
+    assert_eq!(a.tokens, b.tokens);
+    assert_eq!(a.text, b.text);
+    assert!(b.stats.degraded_spans > 0, "cold serve re-encoded spans");
+    // After the first serve the re-encoded modules are hot: a second
+    // serve hits them without degrading.
+    let c = cold
+        .serve(&ServeRequest::new(prompt).options(opts))
+        .map(Served::into_response)
+        .unwrap();
+    assert_eq!(a.tokens, c.tokens);
+    assert_eq!(c.stats.degraded_spans, 0);
+}

@@ -19,6 +19,13 @@
 //!   schedule-dependent;
 //! * a stall decision depends on `(seed, request id)` only.
 //!
+//! The plan also implements [`pc_server::FleetFaults`] for the sharded
+//! fleet: per-worker stalls keyed by `(seed, request id, worker)`, and a
+//! scheduled deterministic worker loss ([`FaultConfig::kill_worker`] /
+//! [`FaultConfig::kill_after_serves`]) that kills one worker after a
+//! fixed number of completed serves — the chaos hook behind the fleet's
+//! byte-identity-through-rebalancing suite.
+//!
 //! ```
 //! use pc_faults::{FaultConfig, FaultPlan};
 //! use pc_cache::{FetchFault, FetchFaultInjector, ModuleKey};
@@ -31,7 +38,7 @@
 #![warn(missing_docs)]
 
 use pc_cache::{FetchFault, FetchFaultInjector, ModuleKey};
-use pc_server::WorkerFaults;
+use pc_server::{FleetFaults, WorkerFaults};
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -54,6 +61,15 @@ pub struct FaultConfig {
     pub stall_rate: f64,
     /// Stall duration applied when a stall fires.
     pub stall: Duration,
+    /// Fleet only: the shard index of a worker scheduled to die. The
+    /// worker kills itself once it has completed
+    /// [`kill_after_serves`](FaultConfig::kill_after_serves) serves —
+    /// a deterministic mid-run worker loss, applied at the next pickup.
+    /// `None` (the default) kills nobody.
+    pub kill_worker: Option<usize>,
+    /// Fleet only: completed-serve count after which
+    /// [`kill_worker`](FaultConfig::kill_worker) dies.
+    pub kill_after_serves: u64,
     /// Probability that a module's **disk-tier record** is bit-flipped
     /// (models storage bit rot and torn sectors). Consulted via
     /// [`FaultPlan::should_corrupt_disk`] by harnesses that drive
@@ -71,6 +87,8 @@ impl Default for FaultConfig {
             fetch_corrupt_rate: 0.0,
             stall_rate: 0.0,
             stall: Duration::from_millis(5),
+            kill_worker: None,
+            kill_after_serves: 0,
             disk_corrupt_rate: 0.0,
         }
     }
@@ -196,6 +214,26 @@ impl WorkerFaults for FaultPlan {
     }
 }
 
+impl FleetFaults for FaultPlan {
+    fn pre_serve_delay(&self, worker: usize, id: u64) -> Duration {
+        // Worker index enters the decision (offset so worker 0 differs
+        // from the single-process domain): the same request stalls on
+        // one worker but not another, exactly the asymmetry a real
+        // contended fleet shows.
+        if self.config.stall_rate > 0.0
+            && self.unit(DOMAIN_STALL, id, worker as u64 + 1) < self.config.stall_rate
+        {
+            self.config.stall
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    fn kill_after(&self, worker: usize) -> Option<u64> {
+        (self.config.kill_worker == Some(worker)).then_some(self.config.kill_after_serves)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,7 +247,7 @@ mod tests {
         let plan = FaultPlan::new(FaultConfig::default());
         for i in 0..64 {
             assert_eq!(plan.fault(&key(i)), FetchFault::None);
-            assert_eq!(plan.pre_serve_delay(i as u64), Duration::ZERO);
+            assert_eq!(WorkerFaults::pre_serve_delay(&plan, i as u64), Duration::ZERO);
         }
     }
 
@@ -229,8 +267,8 @@ mod tests {
             // counter identically on both plans.
             assert_eq!(a.fault(&key(i % 16)), b.fault(&key(i % 16)), "fetch {i}");
             assert_eq!(
-                a.pre_serve_delay(i as u64),
-                b.pre_serve_delay(i as u64),
+                WorkerFaults::pre_serve_delay(&a, i as u64),
+                WorkerFaults::pre_serve_delay(&b, i as u64),
                 "stall {i}"
             );
         }
@@ -339,7 +377,7 @@ mod tests {
         });
         for i in 0..32 {
             assert_eq!(plan.fault(&key(i)), FetchFault::Miss);
-            assert_eq!(plan.pre_serve_delay(i as u64), Duration::from_millis(7));
+            assert_eq!(WorkerFaults::pre_serve_delay(&plan, i as u64), Duration::from_millis(7));
         }
     }
 }

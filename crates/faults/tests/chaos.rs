@@ -5,7 +5,7 @@
 use pc_cache::{ModuleKey, StoreConfig};
 use pc_faults::{FaultConfig, FaultPlan};
 use pc_model::{Model, ModelConfig};
-use pc_server::{RequestOutcome, Server, ServerConfig, ShedReason};
+use pc_server::{RequestHandle, RequestOutcome, Server, ServerConfig, ShedReason, SubmitRequest};
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions, ServeOutcome};
 use std::sync::Arc;
@@ -30,6 +30,12 @@ fn engine_with(config: EngineConfig) -> PromptCache {
 
 fn opts() -> ServeOptions {
     ServeOptions::default().max_new_tokens(4)
+}
+
+fn submit(server: &Server, prompt: String, options: ServeOptions) -> RequestHandle {
+    server
+        .submit_request(&SubmitRequest::new(prompt).options(options).blocking(true))
+        .expect("blocking submit cannot fail")
 }
 
 fn span_key(i: usize) -> ModuleKey {
@@ -193,7 +199,7 @@ fn stalled_worker_triggers_deadline_shedding() {
     }))));
     let deadline_opts = opts().clone().deadline(Duration::from_millis(20));
     let handles: Vec<_> = (0..4)
-        .map(|_| server.submit(PROMPT.into(), deadline_opts.clone()))
+        .map(|_| submit(&server, PROMPT.into(), deadline_opts.clone()))
         .collect();
     let mut served_past_deadline = 0;
     let mut shed = 0;
@@ -246,7 +252,7 @@ fn flight_recorder_chaos_replay_is_byte_identical() {
         );
         // One request at a time, so event order is schedule-independent.
         for _ in 0..8 {
-            assert!(server.submit(PROMPT.into(), opts()).wait().unwrap().outcome.is_ok());
+            assert!(submit(&server, PROMPT.into(), opts()).wait().unwrap().outcome.is_ok());
         }
         let dump = server.flight_json_deterministic();
         server.shutdown();
@@ -285,7 +291,7 @@ fn chaos_run_is_deterministic_end_to_end() {
             ServerConfig::default().workers(1).queue_capacity(32),
         );
         let handles: Vec<_> = (0..12)
-            .map(|_| server.submit(PROMPT.into(), opts()))
+            .map(|_| submit(&server, PROMPT.into(), opts()))
             .collect();
         let mut tokens = None;
         for handle in handles {

@@ -1,0 +1,224 @@
+//! Fleet chaos suite: a seeded [`FaultPlan`] driving per-worker stalls
+//! and a scheduled mid-run worker kill against the sharded router, with
+//! the invariant that matters — every response stays **byte-identical**
+//! to single-process serving while the fleet stalls, dies, and
+//! rebalances underneath.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pc_faults::{FaultConfig, FaultPlan};
+use pc_model::ModelConfig;
+use pc_server::wire::TokenizerSpec;
+use pc_server::{EngineBlueprint, FleetConfig, FleetFaults, Router, SubmitRequest};
+use prompt_cache::ServeRequest;
+
+const CORPUS: &str = "tokyo offers temples gardens and remarkable food \
+    kyoto keeps quiet shrines old wooden lanes \
+    the miami coast has warm beaches surf sun \
+    plan a day trip what should i pack answer briefly please";
+
+const SCHEMA_EAST: &str = r#"<schema name="east">
+    <module name="tokyo">tokyo offers temples gardens and remarkable food</module>
+    <module name="kyoto">kyoto keeps quiet shrines old wooden lanes</module>
+  </schema>"#;
+
+const SCHEMA_WEST: &str = r#"<schema name="west">
+    <module name="miami">the miami coast has warm beaches surf sun</module>
+  </schema>"#;
+
+fn blueprint() -> EngineBlueprint {
+    EngineBlueprint::new(
+        ModelConfig::llama_tiny(64),
+        17,
+        TokenizerSpec::Word {
+            corpus: vec![CORPUS.to_owned()],
+        },
+    )
+}
+
+fn prompts() -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..5 {
+        out.push(format!(
+            r#"<prompt schema="east"><tokyo/>plan a day trip please q{i}</prompt>"#
+        ));
+        out.push(format!(
+            r#"<prompt schema="east"><kyoto/>what should i pack q{i}</prompt>"#
+        ));
+        out.push(format!(
+            r#"<prompt schema="west"><miami/>answer briefly q{i}</prompt>"#
+        ));
+    }
+    out
+}
+
+fn single_engine_outputs(prompts: &[String]) -> Vec<(String, Vec<u32>)> {
+    let engine = blueprint().build();
+    engine.register_schema(SCHEMA_EAST).unwrap();
+    engine.register_schema(SCHEMA_WEST).unwrap();
+    prompts
+        .iter()
+        .map(|p| {
+            let r = engine
+                .serve(&ServeRequest::new(p).max_new_tokens(3))
+                .unwrap()
+                .into_response();
+            (r.text, r.tokens)
+        })
+        .collect()
+}
+
+fn chaos_run(plan: Arc<FaultPlan>, shards: usize, replication: usize) -> Vec<(String, Vec<u32>)> {
+    let router = Router::start(
+        blueprint(),
+        FleetConfig::default()
+            .shards(shards)
+            .replication(replication)
+            .queue_capacity(64),
+    );
+    router.register_schema(SCHEMA_EAST).unwrap();
+    router.register_schema(SCHEMA_WEST).unwrap();
+    router.set_fleet_faults(Some(plan));
+    let handles: Vec<_> = prompts()
+        .iter()
+        .map(|p| {
+            router
+                .submit(&SubmitRequest::new(p.clone()).max_new_tokens(3).blocking(true))
+                .expect("blocking submit cannot fail")
+        })
+        .collect();
+    let out = handles
+        .into_iter()
+        .map(|h| {
+            let r = h.wait().expect("router alive").outcome.unwrap();
+            (r.text, r.tokens)
+        })
+        .collect();
+    router.shutdown();
+    out
+}
+
+#[test]
+fn stalls_and_worker_kill_keep_output_byte_identical() {
+    let expected = single_engine_outputs(&prompts());
+    for seed in [3u64, 71, 2026] {
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            seed,
+            stall_rate: 0.4,
+            stall: Duration::from_millis(8),
+            kill_worker: Some(0),
+            kill_after_serves: 2,
+            ..Default::default()
+        }));
+        let got = chaos_run(plan, 2, 1);
+        assert_eq!(got, expected, "seed {seed}: chaos must not change bytes");
+    }
+}
+
+#[test]
+fn replicated_fleet_survives_chaos_byte_identically() {
+    let expected = single_engine_outputs(&prompts());
+    let plan = Arc::new(FaultPlan::new(FaultConfig {
+        seed: 9,
+        stall_rate: 0.3,
+        stall: Duration::from_millis(6),
+        kill_worker: Some(1),
+        kill_after_serves: 1,
+        ..Default::default()
+    }));
+    let got = chaos_run(plan, 3, 2);
+    assert_eq!(got, expected, "replicated fleet under chaos must match");
+}
+
+#[test]
+fn kill_actually_fires_and_backlog_reroutes() {
+    let router = Router::start(
+        blueprint(),
+        FleetConfig::default().shards(2).queue_capacity(64),
+    );
+    router.register_schema(SCHEMA_EAST).unwrap();
+    router.register_schema(SCHEMA_WEST).unwrap();
+    let victim = router.owners_of("east")[0];
+    router.set_fleet_faults(Some(Arc::new(FaultPlan::new(FaultConfig {
+        seed: 5,
+        kill_worker: Some(victim),
+        kill_after_serves: 1,
+        ..Default::default()
+    }))));
+    let expected = single_engine_outputs(&prompts());
+    let handles: Vec<_> = prompts()
+        .iter()
+        .map(|p| {
+            router
+                .submit(&SubmitRequest::new(p.clone()).max_new_tokens(3).blocking(true))
+                .unwrap()
+        })
+        .collect();
+    let got: Vec<_> = handles
+        .into_iter()
+        .map(|h| {
+            let r = h.wait().unwrap().outcome.unwrap();
+            (r.text, r.tokens)
+        })
+        .collect();
+    assert_eq!(got, expected);
+    assert!(!router.workers()[victim].alive, "scheduled kill must fire");
+    assert!(
+        router.rerouted_total() > 0,
+        "the victim's backlog must re-route to the survivor"
+    );
+    router.shutdown();
+}
+
+#[test]
+fn fleet_fault_decisions_are_seed_deterministic() {
+    let config = FaultConfig {
+        seed: 42,
+        stall_rate: 0.5,
+        stall: Duration::from_millis(9),
+        kill_worker: Some(2),
+        kill_after_serves: 7,
+        ..Default::default()
+    };
+    let a = FaultPlan::new(config);
+    let b = FaultPlan::new(config);
+    let mut stalled = 0;
+    for worker in 0..4usize {
+        assert_eq!(
+            FleetFaults::kill_after(&a, worker),
+            FleetFaults::kill_after(&b, worker)
+        );
+        for id in 0..64u64 {
+            let da = FleetFaults::pre_serve_delay(&a, worker, id);
+            assert_eq!(da, FleetFaults::pre_serve_delay(&b, worker, id));
+            if !da.is_zero() {
+                stalled += 1;
+            }
+        }
+    }
+    assert_eq!(FleetFaults::kill_after(&a, 2), Some(7));
+    assert_eq!(FleetFaults::kill_after(&a, 0), None);
+    assert!(stalled > 0, "a 0.5 stall rate must stall some pickups");
+    assert!(stalled < 256, "…but not all of them");
+}
+
+#[test]
+fn worker_index_enters_the_stall_decision() {
+    let plan = FaultPlan::new(FaultConfig {
+        seed: 8,
+        stall_rate: 0.5,
+        ..Default::default()
+    });
+    let per_worker: Vec<Vec<bool>> = (0..4usize)
+        .map(|w| {
+            (0..64u64)
+                .map(|id| !FleetFaults::pre_serve_delay(&plan, w, id).is_zero())
+                .collect()
+        })
+        .collect();
+    assert!(
+        (1..4).any(|w| per_worker[w] != per_worker[0]),
+        "different workers must see different stall schedules"
+    );
+}

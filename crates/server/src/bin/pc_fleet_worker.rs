@@ -1,0 +1,110 @@
+//! Process-mode fleet worker: one engine in its own OS process.
+//!
+//! Spawned by [`pc_server::Router`] with the router's loopback address as
+//! the sole argument. The worker connects back, receives a `Hello` frame
+//! carrying an [`pc_server::EngineBlueprint`], deterministically builds
+//! its engine, and then serves `Register`/`Serve` frames serially until
+//! `Shutdown` (or the connection drops — which is exactly what a
+//! router-side `kill_worker` looks like from in here).
+
+use std::net::TcpStream;
+use std::process::ExitCode;
+
+use pc_server::wire::{
+    read_frame, write_frame, FromWorker, ToWorker, WireError, WireResult,
+};
+use prompt_cache::{RegisterOptions, ServeOptions, ServeRequest};
+
+fn main() -> ExitCode {
+    let Some(addr) = std::env::args().nth(1) else {
+        eprintln!("usage: pc_fleet_worker <router-addr>");
+        return ExitCode::FAILURE;
+    };
+    let mut stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pc_fleet_worker: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+
+    // First frame must be Hello: build the engine from its blueprint.
+    let engine = match read_frame(&mut stream).and_then(|f| ToWorker::from_frame(&f)) {
+        Ok(ToWorker::Hello { blueprint, .. }) => blueprint.build(),
+        Ok(other) => {
+            eprintln!("pc_fleet_worker: expected Hello, got {other:?}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("pc_fleet_worker: handshake: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if write_frame(&mut stream, &FromWorker::Ready.to_frame()).is_err() {
+        return ExitCode::FAILURE;
+    }
+
+    loop {
+        let msg = match read_frame(&mut stream).and_then(|f| ToWorker::from_frame(&f)) {
+            Ok(msg) => msg,
+            // Router gone (shutdown or kill): nothing left to serve.
+            Err(_) => return ExitCode::SUCCESS,
+        };
+        let reply = match msg {
+            ToWorker::Shutdown => return ExitCode::SUCCESS,
+            ToWorker::Hello { .. } => {
+                eprintln!("pc_fleet_worker: unexpected second Hello");
+                return ExitCode::FAILURE;
+            }
+            ToWorker::Register { pml, warm } => {
+                let error = match engine
+                    .register_schema_with(&pml, &RegisterOptions::new().warm(warm))
+                {
+                    Ok(_) => String::new(),
+                    Err(e) => e.to_string(),
+                };
+                FromWorker::Registered { error }
+            }
+            ToWorker::Serve {
+                id,
+                prompt,
+                options,
+                baseline,
+            } => {
+                let mut serve_options = ServeOptions::default();
+                serve_options.max_new_tokens = options.max_new_tokens;
+                serve_options.temperature = options.temperature;
+                serve_options.use_scaffolds = options.use_scaffolds;
+                serve_options.deadline = options.deadline;
+                let request = ServeRequest::new(&prompt)
+                    .options(serve_options)
+                    .baseline(baseline);
+                match engine.serve(&request) {
+                    Ok(served) => {
+                        let response = served.into_response();
+                        let stats = engine.store_stats();
+                        FromWorker::Result(WireResult {
+                            id,
+                            text: response.text,
+                            tokens: response.tokens,
+                            outcome: response.outcome,
+                            cached_tokens: response.stats.cached_tokens as u64,
+                            new_tokens: response.stats.new_tokens as u64,
+                            degraded_spans: response.stats.degraded_spans as u64,
+                            store_hits: stats.hits,
+                            store_misses: stats.misses,
+                        })
+                    }
+                    Err(e) => FromWorker::ServeErr {
+                        id,
+                        error: WireError::from_engine(&e),
+                    },
+                }
+            }
+        };
+        if write_frame(&mut stream, &reply.to_frame()).is_err() {
+            return ExitCode::SUCCESS;
+        }
+    }
+}

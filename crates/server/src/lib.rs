@@ -32,12 +32,13 @@
 //!   shed at pickup ([`ShedReason::DeadlineBeforeStart`]) without
 //!   touching the engine; a serve that overruns mid-flight returns its
 //!   partial output with `ServeOutcome::DeadlineExceeded`.
-//! * **Bounded admission.** [`Server::submit`] blocks while the queue is
-//!   full — fine for closed-loop benchmarks, a footgun for services.
-//!   [`Server::try_submit`] rejects instead ([`SubmitError::QueueFull`],
+//! * **Bounded admission.** [`Server::submit_request`] is non-blocking
+//!   by default and rejects under pressure ([`SubmitError::QueueFull`],
 //!   or [`SubmitError::PredictedDeadlineExceeded`] when (queue depth +
 //!   in-flight occupancy) × EWMA service time ÷ service slots already
-//!   exceeds the request's deadline).
+//!   exceeds the request's deadline). [`SubmitRequest::blocking`] opts
+//!   into waiting for queue space — fine for closed-loop benchmarks, a
+//!   footgun for services.
 //! * **Cancellation.** Every [`RequestHandle`] can
 //!   [`cancel`](RequestHandle::cancel): in queue the request is shed
 //!   ([`ShedReason::CancelledInQueue`]); mid-serve the engine stops
@@ -64,9 +65,9 @@
 //!
 //! ```
 //! use pc_model::{Model, ModelConfig};
-//! use pc_server::{Server, ServerConfig};
+//! use pc_server::{Server, ServerConfig, SubmitRequest};
 //! use pc_tokenizer::WordTokenizer;
-//! use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
+//! use prompt_cache::{EngineConfig, PromptCache};
 //!
 //! let tokenizer = WordTokenizer::train(&["hello world question"]);
 //! let engine = PromptCache::new(
@@ -76,23 +77,40 @@
 //!     r#"<schema name="s"><module name="m">hello world</module></schema>"#).unwrap();
 //!
 //! let server = Server::start(engine, ServerConfig::default());
-//! let handle = server.submit(
-//!     r#"<prompt schema="s"><m/>question</prompt>"#.into(),
-//!     ServeOptions::default().max_new_tokens(2));
+//! let handle = server.submit_request(
+//!     &SubmitRequest::new(r#"<prompt schema="s"><m/>question</prompt>"#)
+//!         .max_new_tokens(2)).unwrap();
 //! let result = handle.wait().unwrap();
 //! assert!(result.outcome.is_ok());
 //! server.shutdown();
 //! ```
+//!
+//! # Fleet
+//!
+//! [`Router`] scales the same serving contract across N worker engines:
+//! schemas are consistent-hash sharded ([`pc_cache::ShardMap`]) with a
+//! configurable replication factor, requests route to a worker that
+//! already holds their modules hot (schema affinity) or to the least
+//! loaded worker, and a killed worker's requests re-route to survivors
+//! — byte-identically, because non-owners re-encode on demand. Workers
+//! are threads by default; [`FleetConfig::process_mode`] runs them as OS
+//! processes over a std-only length-prefixed socket protocol.
 
 #![warn(missing_docs)]
 
 pub mod capacity;
+pub mod fleet;
 pub mod metrics;
 mod ops;
 mod server;
+mod submit;
 pub mod trace;
+pub mod wire;
 
+pub use fleet::{FleetConfig, FleetFaults, Router, WorkerInfo};
 pub use server::{
     RequestHandle, RequestOutcome, RequestResult, Server, ServerConfig, ShedReason, SubmitError,
     WorkerFaults,
 };
+pub use submit::SubmitRequest;
+pub use wire::EngineBlueprint;

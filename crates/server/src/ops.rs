@@ -1,7 +1,7 @@
 //! The ops plane: a std-only HTTP/1.1 endpoint thread.
 //!
 //! Enabled by [`crate::ServerConfig::ops_addr`], one listener thread
-//! serves four read-only endpoints over plain TCP — no HTTP library,
+//! serves read-only endpoints over plain TCP — no HTTP library,
 //! just [`std::net::TcpListener`] and a minimal request-line parser —
 //! so operators can scrape and debug a running server without linking
 //! against it:
@@ -13,6 +13,10 @@
 //! | `/debug/cache`  | JSON store snapshot + per-module heat ranking         |
 //! | `/debug/batch`  | JSON live batch membership + prefix groups            |
 //! | `/debug/flight` | Flight-recorder events as JSON Lines                  |
+//!
+//! The fleet router ([`crate::Router`]) reuses the same listener with
+//! its own route table (`/metrics`, `/healthz`, `/debug/fleet`): the
+//! listener is generic over a [`Routes`] dispatch function.
 //!
 //! The thread blocks in `accept`; shutdown sets a flag and self-connects
 //! once to wake it. Requests are served one at a time with short I/O
@@ -29,6 +33,22 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Plain-text content type.
+pub(crate) const TEXT: &str = "text/plain; charset=utf-8";
+/// Prometheus text exposition content type.
+pub(crate) const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+/// JSON content type.
+pub(crate) const JSON: &str = "application/json";
+/// JSON Lines content type.
+pub(crate) const NDJSON: &str = "application/x-ndjson";
+
+/// One rendered HTTP response: status line tail, content type, body.
+pub(crate) type RouteReply = (&'static str, &'static str, String);
+
+/// A route table: maps a GET path to a response. Returning `None` means
+/// 404.
+pub(crate) type Routes = Arc<dyn Fn(&str) -> Option<RouteReply> + Send + Sync>;
 
 /// Handle to a running ops listener: its bound address (useful with
 /// port 0) plus the shutdown hook.
@@ -55,17 +75,15 @@ impl OpsHandle {
     }
 }
 
-/// Binds `addr` and spawns the listener thread.
-pub(crate) fn spawn(
-    addr: SocketAddr,
-    shared: Arc<Shared>,
-    engine: Arc<PromptCache>,
-) -> std::io::Result<OpsHandle> {
+/// Binds `addr` and spawns a listener thread over an arbitrary route
+/// table — the shared engine room for the single-process server and the
+/// fleet router.
+pub(crate) fn spawn_routes(addr: SocketAddr, routes: Routes) -> std::io::Result<OpsHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
-    let thread = std::thread::spawn(move || serve_loop(&listener, &stop_flag, &shared, &engine));
+    let thread = std::thread::spawn(move || serve_loop(&listener, &stop_flag, &routes));
     Ok(OpsHandle {
         addr,
         stop,
@@ -73,12 +91,31 @@ pub(crate) fn spawn(
     })
 }
 
-fn serve_loop(
-    listener: &TcpListener,
-    stop: &AtomicBool,
-    shared: &Shared,
-    engine: &PromptCache,
-) {
+/// Binds `addr` and spawns the single-process server's listener.
+pub(crate) fn spawn(
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    engine: Arc<PromptCache>,
+) -> std::io::Result<OpsHandle> {
+    let routes: Routes = Arc::new(move |path| match path {
+        "/metrics" => Some(("200 OK", PROM, render_metrics(&shared, &engine))),
+        "/healthz" => Some(("200 OK", JSON, render_healthz(&shared))),
+        "/debug/cache" => Some(("200 OK", JSON, render_debug_cache(&engine))),
+        "/debug/batch" => Some(("200 OK", JSON, render_debug_batch(&shared))),
+        "/debug/flight" => Some(match render_flight(&shared) {
+            Some(body) => ("200 OK", NDJSON, body),
+            None => (
+                "404 Not Found",
+                TEXT,
+                "flight recorder disabled (set ServerConfig::flight_recorder)\n".to_owned(),
+            ),
+        }),
+        _ => None,
+    });
+    spawn_routes(addr, routes)
+}
+
+fn serve_loop(listener: &TcpListener, stop: &AtomicBool, routes: &Routes) {
     for conn in listener.incoming() {
         if stop.load(Ordering::Acquire) {
             break;
@@ -86,15 +123,11 @@ fn serve_loop(
         let Ok(stream) = conn else { continue };
         // One connection at a time: an operator plane never needs more,
         // and serial handling keeps the thread trivially robust.
-        let _ = handle_conn(stream, shared, engine);
+        let _ = handle_conn(stream, routes);
     }
 }
 
-fn handle_conn(
-    mut stream: TcpStream,
-    shared: &Shared,
-    engine: &PromptCache,
-) -> std::io::Result<()> {
+fn handle_conn(mut stream: TcpStream, routes: &Routes) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -111,28 +144,10 @@ fn handle_conn(
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
 
-    const TEXT: &str = "text/plain; charset=utf-8";
-    const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
-    const JSON: &str = "application/json";
-    const NDJSON: &str = "application/x-ndjson";
     let (status, content_type, body) = if method != "GET" {
         ("405 Method Not Allowed", TEXT, "method not allowed\n".to_owned())
     } else {
-        match path {
-            "/metrics" => ("200 OK", PROM, render_metrics(shared, engine)),
-            "/healthz" => ("200 OK", JSON, render_healthz(shared)),
-            "/debug/cache" => ("200 OK", JSON, render_debug_cache(engine)),
-            "/debug/batch" => ("200 OK", JSON, render_debug_batch(shared)),
-            "/debug/flight" => match render_flight(shared) {
-                Some(body) => ("200 OK", NDJSON, body),
-                None => (
-                    "404 Not Found",
-                    TEXT,
-                    "flight recorder disabled (set ServerConfig::flight_recorder)\n".to_owned(),
-                ),
-            },
-            _ => ("404 Not Found", TEXT, "not found\n".to_owned()),
-        }
+        routes(path).unwrap_or_else(|| ("404 Not Found", TEXT, "not found\n".to_owned()))
     };
     let head = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\

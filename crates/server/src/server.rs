@@ -3,6 +3,7 @@
 
 use crate::metrics::MetricsSnapshot;
 use crate::ops::OpsHandle;
+use crate::submit::SubmitRequest;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use pc_telemetry::flight::BATCH_SCOPE;
 use pc_telemetry::{Counter, FlightEvent, FlightRecorder, Gauge, Histogram, Telemetry};
@@ -266,6 +267,12 @@ pub struct RequestHandle {
 }
 
 impl RequestHandle {
+    /// Builds a handle — shared with the fleet router, whose submission
+    /// path mints the same handle type as the single-process server.
+    pub(crate) fn assemble(id: u64, cancel: CancelToken, rx: Receiver<RequestResult>) -> Self {
+        RequestHandle { id, cancel, rx }
+    }
+
     /// The request's id.
     pub fn id(&self) -> u64 {
         self.id
@@ -525,20 +532,50 @@ impl Server {
         &self.engine
     }
 
+    /// Submits a request built with [`SubmitRequest`] — the single
+    /// submission entry point.
+    ///
+    /// Non-blocking by default: rejects immediately when the queue is at
+    /// capacity, or when the predicted queue wait already exceeds the
+    /// request's deadline (see [`Server::estimated_queue_wait`]).
+    /// With [`SubmitRequest::blocking`] the call instead waits for queue
+    /// space and never errors — the closed-loop benchmark mode.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] or
+    /// [`SubmitError::PredictedDeadlineExceeded`] (never with
+    /// `.blocking(true)`).
+    pub fn submit_request(
+        &self,
+        request: &SubmitRequest,
+    ) -> Result<RequestHandle, SubmitError> {
+        let prompt = request.prompt().to_string();
+        let options = request.options_ref().clone();
+        if request.is_blocking() {
+            Ok(self.submit_inner(prompt, options, request.is_baseline()))
+        } else {
+            self.try_submit_inner(prompt, options, request.is_baseline())
+        }
+    }
+
     /// Submits a cached-inference request.
     ///
     /// **Blocks the calling thread while the queue is full** — fine for
     /// closed-loop benchmarks, a footgun for anything latency-sensitive:
     /// under overload every submitter stalls here with no error and no
-    /// timeout. Services should use [`Server::try_submit`], which sheds
-    /// instead of blocking.
+    /// timeout.
+    #[deprecated(note = "build a `SubmitRequest` with `.blocking(true)` and call \
+                         `Server::submit_request`")]
     pub fn submit(&self, prompt_pml: String, options: ServeOptions) -> RequestHandle {
         self.submit_inner(prompt_pml, options, false)
     }
 
     /// Submits a baseline (full-prefill) request — lets load experiments
     /// mix both paths through the same queue. Blocks when the queue is
-    /// full, like [`Server::submit`].
+    /// full.
+    #[deprecated(note = "build a `SubmitRequest` with `.baseline(true).blocking(true)` and \
+                         call `Server::submit_request`")]
     pub fn submit_baseline(&self, prompt_pml: String, options: ServeOptions) -> RequestHandle {
         self.submit_inner(prompt_pml, options, true)
     }
@@ -553,15 +590,26 @@ impl Server {
     ///
     /// [`SubmitError::QueueFull`] or
     /// [`SubmitError::PredictedDeadlineExceeded`].
+    #[deprecated(note = "build a `SubmitRequest` (non-blocking is the default) and call \
+                         `Server::submit_request`")]
     pub fn try_submit(
         &self,
         prompt_pml: String,
         options: ServeOptions,
     ) -> Result<RequestHandle, SubmitError> {
+        self.try_submit_inner(prompt_pml, options, false)
+    }
+
+    fn try_submit_inner(
+        &self,
+        prompt_pml: String,
+        options: ServeOptions,
+        baseline: bool,
+    ) -> Result<RequestHandle, SubmitError> {
         // Build the job first so even admission-time sheds carry a
         // request id in the flight recorder (ids stay unique and
         // monotone; a rejected id is simply never served).
-        let (job, handle) = self.make_job(prompt_pml, options, false);
+        let (job, handle) = self.make_job(prompt_pml, options, baseline);
         self.shared.record_flight(|| submit_event(&job));
         if let Some(deadline) = job.budget {
             let estimated_wait = self.estimated_queue_wait();
@@ -1198,7 +1246,7 @@ const BUILD_FEATURES: &str = "serve,batching,prefix-sharing,ops,flight-recorder"
 
 /// Minimal JSON string escaping for the debug endpoints (module labels,
 /// status strings).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -1467,11 +1515,35 @@ mod tests {
         ServeOptions::default().max_new_tokens(2)
     }
 
+    fn submit(server: &Server, prompt: String, options: ServeOptions) -> RequestHandle {
+        server
+            .submit_request(&SubmitRequest::new(prompt).options(options).blocking(true))
+            .expect("blocking submit cannot fail")
+    }
+
+    fn submit_baseline(server: &Server, prompt: String, options: ServeOptions) -> RequestHandle {
+        server
+            .submit_request(
+                &SubmitRequest::new(prompt)
+                    .options(options)
+                    .baseline(true)
+                    .blocking(true),
+            )
+            .expect("blocking submit cannot fail")
+    }
+
+    fn try_submit(
+        server: &Server,
+        prompt: String,
+        options: ServeOptions,
+    ) -> Result<RequestHandle, SubmitError> {
+        server.submit_request(&SubmitRequest::new(prompt).options(options))
+    }
+
     #[test]
     fn serves_a_request() {
         let server = Server::start(engine(), ServerConfig::default());
-        let result = server
-            .submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+        let result = submit(&server, r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
             .wait()
             .unwrap();
         let response = result.outcome.unwrap();
@@ -1489,7 +1561,7 @@ mod tests {
         let server = Server::start(engine(), ServerConfig::default().workers(4).queue_capacity(64));
         let handles: Vec<_> = (0..32)
             .map(|_| {
-                server.submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+                submit(&server, r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
             })
             .collect();
         for handle in handles {
@@ -1506,14 +1578,12 @@ mod tests {
     #[test]
     fn errors_are_reported_not_fatal() {
         let server = Server::start(engine(), ServerConfig::default());
-        let bad = server
-            .submit(r#"<prompt schema="ghost">x</prompt>"#.into(), opts())
+        let bad = submit(&server, r#"<prompt schema="ghost">x</prompt>"#.into(), opts())
             .wait()
             .unwrap();
         assert!(bad.outcome.is_err());
         // Server keeps serving afterwards.
-        let good = server
-            .submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+        let good = submit(&server, r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
             .wait()
             .unwrap();
         assert!(good.outcome.is_ok());
@@ -1525,14 +1595,12 @@ mod tests {
     #[test]
     fn baseline_and_cached_paths_share_the_queue() {
         let server = Server::start(engine(), ServerConfig::default());
-        let cached = server
-            .submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+        let cached = submit(&server, r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
             .wait()
             .unwrap()
             .outcome
             .unwrap();
-        let baseline = server
-            .submit_baseline(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+        let baseline = submit_baseline(&server, r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
             .wait()
             .unwrap()
             .outcome
@@ -1545,8 +1613,8 @@ mod tests {
     #[test]
     fn ids_are_unique_and_monotone() {
         let server = Server::start(engine(), ServerConfig::default());
-        let a = server.submit(r#"<prompt schema="s"><ctx/>one</prompt>"#.into(), opts());
-        let b = server.submit(r#"<prompt schema="s"><ctx/>two</prompt>"#.into(), opts());
+        let a = submit(&server, r#"<prompt schema="s"><ctx/>one</prompt>"#.into(), opts());
+        let b = submit(&server, r#"<prompt schema="s"><ctx/>two</prompt>"#.into(), opts());
         assert!(b.id() > a.id());
         a.wait().unwrap();
         b.wait().unwrap();
@@ -1556,7 +1624,7 @@ mod tests {
     #[test]
     fn drop_without_shutdown_joins_cleanly() {
         let server = Server::start(engine(), ServerConfig::default());
-        let handle = server.submit(r#"<prompt schema="s"><ctx/>one</prompt>"#.into(), opts());
+        let handle = submit(&server, r#"<prompt schema="s"><ctx/>one</prompt>"#.into(), opts());
         handle.wait().unwrap();
         drop(server); // Drop impl joins workers without hanging
     }
@@ -1564,8 +1632,7 @@ mod tests {
     #[test]
     fn metrics_text_is_valid_prometheus_with_expected_series() {
         let server = Server::start(engine(), ServerConfig::default());
-        server
-            .submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+        submit(&server, r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
             .wait()
             .unwrap();
         let text = server.metrics_text();
@@ -1638,8 +1705,7 @@ mod tests {
             )
             .unwrap();
         let server = Server::start(engine, ServerConfig::default());
-        server
-            .submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+        submit(&server, r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
             .wait()
             .unwrap();
         let text = server.metrics_text();
@@ -1676,7 +1742,7 @@ mod tests {
                 .queue_capacity(64)
                 .batching(BatchConfig::default().max_batch_size(4)),
         );
-        let handles: Vec<_> = (0..16).map(|_| server.submit(prompt.into(), opts())).collect();
+        let handles: Vec<_> = (0..16).map(|_| submit(&server, prompt.into(), opts())).collect();
         for handle in handles {
             let result = handle.wait().unwrap();
             assert_eq!(result.outcome.unwrap().tokens, reference);
@@ -1696,19 +1762,16 @@ mod tests {
             engine(),
             ServerConfig::default().batching(BatchConfig::default().max_batch_size(2)),
         );
-        let bad = server
-            .submit(r#"<prompt schema="ghost">x</prompt>"#.into(), opts())
+        let bad = submit(&server, r#"<prompt schema="ghost">x</prompt>"#.into(), opts())
             .wait()
             .unwrap();
         assert!(bad.outcome.is_err());
-        let cached = server
-            .submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+        let cached = submit(&server, r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
             .wait()
             .unwrap()
             .outcome
             .unwrap();
-        let baseline = server
-            .submit_baseline(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
+        let baseline = submit_baseline(&server, r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts())
             .wait()
             .unwrap()
             .outcome
@@ -1727,7 +1790,7 @@ mod tests {
             ServerConfig::default().batching(BatchConfig::default().max_batch_size(4)),
         );
         let prompt = r#"<prompt schema="s"><ctx/>question</prompt>"#;
-        let handle = server.submit(prompt.into(), ServeOptions::default().max_new_tokens(10_000));
+        let handle = submit(&server, prompt.into(), ServeOptions::default().max_new_tokens(10_000));
         handle.cancel();
         let result = handle.wait().unwrap();
         match result.outcome {
@@ -1747,7 +1810,7 @@ mod tests {
         );
         let prompt = r#"<prompt schema="s"><ctx/>question</prompt>"#;
         let handles: Vec<_> = (0..4)
-            .map(|_| server.submit(prompt.into(), ServeOptions::default().max_new_tokens(100_000)))
+            .map(|_| submit(&server, prompt.into(), ServeOptions::default().max_new_tokens(100_000)))
             .collect();
         assert!(server.shutdown_within(Duration::from_secs(30)));
         for handle in handles {
@@ -1774,7 +1837,7 @@ mod tests {
         let mut handles = Vec::new();
         for _ in 0..16 {
             assert!(depth.get() >= 0, "queue depth dipped below zero");
-            match server.try_submit(prompt.into(), opts()) {
+            match try_submit(&server, prompt.into(), opts()) {
                 Ok(handle) => handles.push(handle),
                 Err(SubmitError::QueueFull) => {}
                 Err(e) => panic!("unexpected rejection: {e}"),
@@ -1792,7 +1855,7 @@ mod tests {
         let server = Server::start(engine(), ServerConfig::default().workers(1).queue_capacity(64));
         // Pile up work on a single worker so later requests queue.
         let handles: Vec<_> = (0..8)
-            .map(|_| server.submit(r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts()))
+            .map(|_| submit(&server, r#"<prompt schema="s"><ctx/>question</prompt>"#.into(), opts()))
             .collect();
         for h in handles {
             h.wait().unwrap();

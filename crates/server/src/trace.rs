@@ -7,7 +7,7 @@
 //! beyond closed-loop bursts.
 
 use crate::metrics::LatencyRecorder;
-use crate::Server;
+use crate::{Server, SubmitRequest};
 use prompt_cache::ServeOptions;
 use std::time::{Duration, Instant};
 
@@ -147,7 +147,12 @@ pub fn replay(
         if let Some(wait) = event.at.checked_sub(start.elapsed()) {
             std::thread::sleep(wait);
         }
-        let handle = server.submit(prompts[event.prompt_index].clone(), options.clone());
+        let request = SubmitRequest::new(prompts[event.prompt_index].clone())
+            .options(options.clone())
+            .blocking(true);
+        let handle = server
+            .submit_request(&request)
+            .expect("blocking submit cannot fail");
         pending.push((Instant::now(), handle));
     }
     let e2e = LatencyRecorder::new();

@@ -5,7 +5,7 @@
 
 use pc_cache::StoreConfig;
 use pc_model::{Model, ModelConfig};
-use pc_server::{Server, ServerConfig};
+use pc_server::{RequestHandle, Server, ServerConfig, SubmitRequest};
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{BatchConfig, EngineConfig, PromptCache, ServeOptions, Telemetry};
 use std::io::{Read as _, Write as _};
@@ -46,6 +46,12 @@ fn observable_engine() -> PromptCache {
     )
 }
 
+fn submit(server: &Server, prompt: String, options: ServeOptions) -> RequestHandle {
+    server
+        .submit_request(&SubmitRequest::new(prompt).options(options).blocking(true))
+        .expect("blocking submit cannot fail")
+}
+
 fn opts() -> ServeOptions {
     ServeOptions::default().max_new_tokens(3)
 }
@@ -78,12 +84,11 @@ fn http_request(addr: SocketAddr, method: &str, path: &str) -> (String, String, 
 /// state to report.
 fn warm(server: &Server) {
     for prompt in PROMPTS {
-        assert!(server.submit(prompt.into(), opts()).wait().unwrap().outcome.is_ok());
+        assert!(submit(&server, prompt.into(), opts()).wait().unwrap().outcome.is_ok());
     }
     // Repeat one cached prompt with a deadline so the SLO tracker has a
     // completed deadline-carrying request.
-    assert!(server
-        .submit(PROMPTS[0].into(), opts().deadline(Duration::from_secs(30)))
+    assert!(submit(&server, PROMPTS[0].into(), opts().deadline(Duration::from_secs(30)))
         .wait()
         .unwrap()
         .outcome
@@ -232,8 +237,7 @@ fn slo_violations_are_counted() {
     let server = Server::start(observable_engine(), ServerConfig::default().workers(1));
     // An impossible budget: the serve completes but overruns, or is shed
     // dead-on-pickup — either way it burned its whole budget.
-    let _ = server
-        .submit(PROMPTS[0].into(), opts().deadline(Duration::from_nanos(1)))
+    let _ = submit(&server, PROMPTS[0].into(), opts().deadline(Duration::from_nanos(1)))
         .wait()
         .unwrap();
     let text = server.metrics_text();
@@ -259,7 +263,7 @@ fn ops_plane_disabled_is_zero_overhead_and_byte_identical() {
         PROMPTS
             .iter()
             .map(|p| {
-                let r = server.submit((*p).into(), opts()).wait().unwrap().outcome.unwrap();
+                let r = submit(&server, (*p).into(), opts()).wait().unwrap().outcome.unwrap();
                 (r.tokens, r.text)
             })
             .collect()
@@ -280,7 +284,7 @@ fn batched_server_telemetry_on_off_byte_identity() {
     let run = |config: EngineConfig, server_config: ServerConfig| -> Vec<Vec<u32>> {
         let server = Server::start(engine_with(config), server_config);
         let handles: Vec<_> =
-            PROMPTS.iter().map(|p| server.submit((*p).into(), opts())).collect();
+            PROMPTS.iter().map(|p| submit(&server, (*p).into(), opts())).collect();
         let out = handles
             .into_iter()
             .map(|h| h.wait().unwrap().outcome.unwrap().tokens)

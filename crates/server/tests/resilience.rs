@@ -3,7 +3,10 @@
 //! reaching a worker, and drain-or-cancel shutdown.
 
 use pc_model::{Model, ModelConfig};
-use pc_server::{RequestOutcome, Server, ServerConfig, ShedReason, SubmitError, WorkerFaults};
+use pc_server::{
+    RequestHandle, RequestOutcome, Server, ServerConfig, ShedReason, SubmitError, SubmitRequest,
+    WorkerFaults,
+};
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions, ServeOutcome};
 use std::time::Duration;
@@ -33,6 +36,20 @@ fn opts() -> ServeOptions {
     ServeOptions::default().max_new_tokens(2)
 }
 
+fn submit(server: &Server, prompt: String, options: ServeOptions) -> RequestHandle {
+    server
+        .submit_request(&SubmitRequest::new(prompt).options(options).blocking(true))
+        .expect("blocking submit cannot fail")
+}
+
+fn try_submit(
+    server: &Server,
+    prompt: String,
+    options: ServeOptions,
+) -> Result<RequestHandle, SubmitError> {
+    server.submit_request(&SubmitRequest::new(prompt).options(options))
+}
+
 /// Stalls every pickup by a fixed duration — pins a worker so requests
 /// pile up behind it deterministically.
 #[derive(Debug)]
@@ -52,8 +69,8 @@ fn cancel_before_pickup_sheds_without_serving() {
     ))));
     // The first request occupies the (stalled) worker; the second sits in
     // the queue where its cancellation must be noticed at pickup.
-    let first = server.submit(PROMPT.into(), opts());
-    let second = server.submit(PROMPT.into(), opts());
+    let first = submit(&server, PROMPT.into(), opts());
+    let second = submit(&server, PROMPT.into(), opts());
     second.cancel();
     let result = second.wait().unwrap();
     assert_eq!(
@@ -77,9 +94,9 @@ fn try_submit_rejects_when_the_queue_is_full() {
     ))));
     // Fill the single worker and the single queue slot, then keep trying
     // until admission control pushes back.
-    let mut admitted = vec![server.submit(PROMPT.into(), opts())];
+    let mut admitted = vec![submit(&server, PROMPT.into(), opts())];
     let rejection = loop {
-        match server.try_submit(PROMPT.into(), opts()) {
+        match try_submit(&server, PROMPT.into(), opts()) {
             Ok(handle) => admitted.push(handle),
             Err(e) => break e,
         }
@@ -96,8 +113,7 @@ fn try_submit_rejects_when_the_queue_is_full() {
 fn try_submit_sheds_on_predicted_deadline_overrun() {
     let server = server(1, 32);
     // Seed the EWMA service-time estimate with one real serve.
-    assert!(server
-        .submit(PROMPT.into(), opts())
+    assert!(submit(&server, PROMPT.into(), opts())
         .wait()
         .unwrap()
         .outcome
@@ -107,11 +123,10 @@ fn try_submit_sheds_on_predicted_deadline_overrun() {
     server.set_worker_faults(Some(std::sync::Arc::new(StallEvery(
         Duration::from_millis(120),
     ))));
-    let backlog: Vec<_> = (0..3).map(|_| server.submit(PROMPT.into(), opts())).collect();
+    let backlog: Vec<_> = (0..3).map(|_| submit(&server, PROMPT.into(), opts())).collect();
     std::thread::sleep(Duration::from_millis(20));
     assert!(server.estimated_queue_wait() > Duration::ZERO);
-    let rejection = server
-        .try_submit(
+    let rejection = try_submit(&server, 
             PROMPT.into(),
             opts().clone().deadline(Duration::from_nanos(1)),
         )
@@ -132,7 +147,7 @@ fn deadline_dead_requests_never_reach_a_worker() {
     let server = server(2, 16);
     let handles: Vec<_> = (0..4)
         .map(|_| {
-            server.submit(
+            submit(&server, 
                 PROMPT.into(),
                 opts().clone().deadline(Duration::ZERO),
             )
@@ -159,8 +174,8 @@ fn shutdown_within_sheds_queued_and_cancels_in_flight() {
         Duration::from_millis(100),
     ))));
     // One request in flight (stalled inside the worker), two queued.
-    let in_flight = server.submit(PROMPT.into(), opts());
-    let queued: Vec<_> = (0..2).map(|_| server.submit(PROMPT.into(), opts())).collect();
+    let in_flight = submit(&server, PROMPT.into(), opts());
+    let queued: Vec<_> = (0..2).map(|_| submit(&server, PROMPT.into(), opts())).collect();
     std::thread::sleep(Duration::from_millis(20));
 
     assert!(

@@ -82,6 +82,25 @@ pub fn help_for(name: &str) -> &'static str {
         "pc_model_mlp_seconds" => "Sampled MLP time per forward pass.",
         "pc_arena_bytes" => "Bytes held by the buffered-concatenation arena.",
         "pc_arena_rows" => "Rows held by the buffered-concatenation arena.",
+        // Sharded fleet: router-level request lifecycle.
+        "pc_fleet_requests_served_total" => "Requests completed by any fleet worker (including partial responses).",
+        "pc_fleet_requests_failed_total" => "Fleet requests that ended in an engine or worker error.",
+        "pc_fleet_requests_shed_total" => "Fleet requests dropped before service (dead fleet, cancelled or expired in queue).",
+        "pc_fleet_requests_cancelled_total" => "Fleet serves that ended cancelled by their caller.",
+        "pc_fleet_deadline_exceeded_total" => "Fleet serves interrupted mid-flight by their deadline.",
+        "pc_fleet_rerouted_total" => "Jobs handed off to a surviving worker after their worker died.",
+        "pc_fleet_routed_affinity_total" => "Submissions routed to a live owner of their schema (affinity placement).",
+        "pc_fleet_routed_spilled_total" => "Submissions routed off-owner (spill bound hit, owners dead, or affinity off).",
+        "pc_fleet_queue_wait_seconds" => "Time a fleet request spent queued before a worker picked it up.",
+        "pc_fleet_service_seconds" => "Wall-clock time a fleet worker spent serving one request.",
+        "pc_fleet_uptime_seconds" => "Seconds since the fleet router started.",
+        // Sharded fleet: per-worker series (labeled worker="N").
+        "pc_worker_alive" => "1 while the worker is alive, 0 once it has been killed.",
+        "pc_worker_queue_depth" => "Jobs routed to this worker and not yet completed.",
+        "pc_worker_served_total" => "Serves this worker completed (including errors).",
+        "pc_worker_rerouted_total" => "Jobs this worker handed off to survivors when it died.",
+        "pc_worker_store_hits_total" => "Module-store hits inside this worker's engine.",
+        "pc_worker_store_misses_total" => "Module-store misses inside this worker's engine (re-encode on demand).",
         // Process-level.
         "pc_build_info" => "Build metadata as labels; value is always 1.",
         "pc_uptime_seconds" => "Seconds since the server started.",

@@ -8,7 +8,7 @@
 
 use pc_cache::StoreConfig;
 use pc_model::{Model, ModelConfig};
-use pc_server::{Server, ServerConfig};
+use pc_server::{Server, ServerConfig, SubmitRequest};
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{BatchConfig, EngineConfig, PromptCache, ServeOptions, Telemetry};
 use std::io::{Read, Write};
@@ -63,15 +63,16 @@ fn main() {
     let opts = ServeOptions::default().max_new_tokens(4);
     let handles: Vec<_> = (0..8)
         .map(|i| {
-            let o = if i % 4 == 0 {
-                opts.clone().deadline(Duration::from_secs(5))
-            } else {
-                opts.clone()
-            };
-            server.submit(
-                format!(r#"<prompt schema="svc"><doc/>answer briefly q{}</prompt>"#, i % 4),
-                o,
-            )
+            let mut request = SubmitRequest::new(format!(
+                r#"<prompt schema="svc"><doc/>answer briefly q{}</prompt>"#,
+                i % 4
+            ))
+            .options(opts.clone())
+            .blocking(true);
+            if i % 4 == 0 {
+                request = request.deadline(Duration::from_secs(5));
+            }
+            server.submit_request(&request).expect("blocking submit")
         })
         .collect();
     for handle in handles {

@@ -7,7 +7,7 @@
 
 use pc_model::{Model, ModelConfig};
 use pc_server::capacity::{analyze, RequestFootprint};
-use pc_server::{Server, ServerConfig};
+use pc_server::{Server, ServerConfig, SubmitRequest};
 use pc_tokenizer::{Tokenizer, WordTokenizer};
 use prompt_cache::{EngineConfig, PromptCache, ServeOptions};
 
@@ -41,16 +41,23 @@ fn main() {
     let started = std::time::Instant::now();
     let mut handles = Vec::new();
     for i in 0..40 {
-        handles.push(server.submit(
-            format!(r#"<prompt schema="svc"><doc/>answer briefly q{}</prompt>"#, i % 5),
-            opts.clone(),
-        ));
+        let request = SubmitRequest::new(format!(
+            r#"<prompt schema="svc"><doc/>answer briefly q{}</prompt>"#,
+            i % 5
+        ))
+        .options(opts.clone())
+        .blocking(true);
+        handles.push(server.submit_request(&request).expect("blocking submit"));
     }
     for i in 0..8 {
-        handles.push(server.submit_baseline(
-            format!(r#"<prompt schema="svc"><doc/>answer briefly q{}</prompt>"#, i % 5),
-            opts.clone(),
-        ));
+        let request = SubmitRequest::new(format!(
+            r#"<prompt schema="svc"><doc/>answer briefly q{}</prompt>"#,
+            i % 5
+        ))
+        .options(opts.clone())
+        .baseline(true)
+        .blocking(true);
+        handles.push(server.submit_request(&request).expect("blocking submit"));
     }
     for handle in handles {
         handle.wait().expect("server alive").outcome.expect("served");

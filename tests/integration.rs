@@ -245,3 +245,31 @@ fn table2_reproduction_within_tolerance() {
         );
     }
 }
+
+#[test]
+fn unified_error_taxonomy_round_trips() {
+    // The facade's `pc` module is the one-stop error surface: engine
+    // errors ARE `pc::Error`, and the serving taxonomy re-exports are
+    // the same types the server crate hands back.
+    use prompt_cache_repro::pc;
+
+    let engine_err: pc::Error = prompt_cache::EngineError::EmptyPrompt;
+    assert_eq!(engine_err.to_string(), "prompt has no content");
+
+    let shed: pc::ShedReason = pc_server::ShedReason::ShuttingDown;
+    assert_eq!(shed, pc_server::ShedReason::ShuttingDown);
+    let submit: pc::SubmitError = pc_server::SubmitError::QueueFull;
+    assert!(matches!(submit, pc::SubmitError::QueueFull));
+    let outcome: pc::ServeOutcome = prompt_cache::ServeOutcome::Complete;
+    assert_eq!(outcome, pc::ServeOutcome::Complete);
+
+    fn engine_result(ok: bool) -> pc::Result<u32> {
+        if ok {
+            Ok(1)
+        } else {
+            Err(pc::Error::EmptyPrompt)
+        }
+    }
+    assert_eq!(engine_result(true).unwrap(), 1);
+    assert!(engine_result(false).is_err());
+}
